@@ -1,0 +1,52 @@
+//! Criterion benches for the Table II workload: enumerating the detector
+//! state space with and without symmetry reduction.
+//!
+//! The canonical (multiset) enumeration should beat the full product by a
+//! factor tracking Table II's state-count reduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smg_detector::{DetectorConfig, DetectorModel, SymmetricDetectorModel};
+use smg_dtmc::{explore_memoryless, ExploreOptions, MemorylessModel};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let cfg = DetectorConfig::small();
+    let full = DetectorModel::new(cfg.clone()).unwrap();
+    let sym = SymmetricDetectorModel::new(cfg).unwrap();
+    let mut g = c.benchmark_group("detector_1x2_enumeration");
+    g.sample_size(10);
+    g.bench_function("full_model", |b| b.iter(|| full.step_distribution().len()));
+    g.bench_function("symmetry_reduced", |b| {
+        b.iter(|| sym.step_distribution().len())
+    });
+    g.finish();
+}
+
+fn bench_ber(c: &mut Criterion) {
+    let cfg = DetectorConfig::small();
+    let full = DetectorModel::new(cfg.clone()).unwrap();
+    let sym = SymmetricDetectorModel::new(cfg).unwrap();
+    let mut g = c.benchmark_group("detector_1x2_ber");
+    g.sample_size(10);
+    g.bench_function("full_model", |b| b.iter(|| full.ber()));
+    g.bench_function("symmetry_reduced", |b| b.iter(|| sym.ber()));
+    g.finish();
+}
+
+fn bench_explore(c: &mut Criterion) {
+    let cfg = DetectorConfig::small();
+    let sym = SymmetricDetectorModel::new(cfg).unwrap();
+    let mut g = c.benchmark_group("detector_explore_rank_one");
+    g.sample_size(10);
+    g.bench_function("explore_memoryless", |b| {
+        b.iter(|| {
+            explore_memoryless(&sym, &ExploreOptions::default())
+                .unwrap()
+                .stats
+                .states
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_ber, bench_explore);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion benches for the guarded-command front end: how much does
+//! authoring a model in the language cost relative to building the same
+//! chain natively? (PRISM pays this parse/compile cost on every run; the
+//! paper's Table I times include it as "model construction".)
+//!
+//! Three stages are measured separately — parse, semantic check + compile,
+//! and property checking on the resulting chain — plus the native
+//! construction of the identical chain as the baseline, and the
+//! reachability-reward solver added on top of the paper's property set.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use smg_dtmc::{explore, ExploreOptions};
+use smg_lang as lang;
+use smg_pctl::{check_query, parse_property};
+use smg_viterbi::{ReducedModel, ViterbiConfig};
+
+/// A mid-sized counter chain in the language, sized by `n`.
+fn counter_src(n: usize) -> String {
+    let mut s = String::from("dtmc\nmodule m\n");
+    s.push_str(&format!("  x : [0..{n}] init 0;\n"));
+    s.push_str(&format!(
+        "  [] x<{n} -> 0.25:(x'=0) + 0.75:(x'=x+1);\n  [] x={n} -> (x'=0);\n"
+    ));
+    s.push_str("endmodule\nlabel \"top\" = x=");
+    s.push_str(&n.to_string());
+    s.push_str(";\nrewards x=");
+    s.push_str(&n.to_string());
+    s.push_str(" : 1; endrewards\n");
+    s
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lang_pipeline");
+    g.sample_size(20);
+
+    // Stage costs on a 1000-state counter.
+    let src = counter_src(1000);
+    g.bench_function("parse_1k_state_program", |b| {
+        b.iter(|| lang::parse(&src).unwrap().modules.len())
+    });
+    let program = lang::parse(&src).unwrap();
+    g.bench_function("check_and_compile_1k", |b| {
+        b.iter_batched(
+            || program.clone(),
+            |p| {
+                lang::compile(lang::check(p).unwrap())
+                    .unwrap()
+                    .dtmc
+                    .n_states()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Native-vs-language construction of the same Viterbi chain: explore
+    // the native model, render it, and compare compile time against the
+    // native exploration.
+    let cfg = ViterbiConfig::small();
+    let native = ReducedModel::new(cfg).unwrap();
+    let explored = explore(&native, &ExploreOptions::default()).unwrap();
+    let text = lang::program_text(&explored.dtmc);
+    g.bench_function("viterbi_native_explore", |b| {
+        b.iter(|| {
+            explore(&native, &ExploreOptions::default())
+                .unwrap()
+                .dtmc
+                .n_states()
+        })
+    });
+    g.bench_function("viterbi_via_language", |b| {
+        b.iter(|| {
+            lang::compile(lang::check(lang::parse(&text).unwrap()).unwrap())
+                .unwrap()
+                .dtmc
+                .n_states()
+        })
+    });
+
+    // Property checking on the compiled chain: the paper's three property
+    // shapes plus the reachability reward.
+    let compiled = lang::compile(lang::check(lang::parse(&text).unwrap()).unwrap()).unwrap();
+    for prop in [
+        "P=? [ G<=100 !flag ]",
+        "R=? [ I=100 ]",
+        "S=? [ flag ]",
+        "R=? [ F flag ]",
+    ] {
+        let property = parse_property(prop).unwrap();
+        g.bench_function(format!("check {prop}"), |b| {
+            b.iter(|| check_query(&compiled.dtmc, &property).unwrap().value())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benches for the reduction machinery itself — the ablation
+//! DESIGN.md calls out: hand abstraction (`F_abs`) versus automatic
+//! coarsest lumping versus no reduction at all.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smg_dtmc::{explore, ExploreOptions};
+use smg_reduce::{check_lumping, lump, Partition};
+use smg_viterbi::{f_abs, FullModel, ViterbiConfig};
+
+fn bench_lumping(c: &mut Criterion) {
+    let cfg = ViterbiConfig::small();
+    let l = cfg.traceback_len;
+    let full = explore(&FullModel::new(cfg).unwrap(), &ExploreOptions::default()).unwrap();
+    let hand = Partition::from_key_fn(full.dtmc.n_states(), |i| f_abs(&full.states[i], l));
+
+    let mut g = c.benchmark_group("reductions");
+    g.sample_size(10);
+    g.bench_function("coarsest_lumping_auto", |b| {
+        b.iter(|| lump::coarsest_lumping(&full.dtmc).block_count())
+    });
+    g.bench_function("hand_partition_from_f_abs", |b| {
+        b.iter(|| {
+            Partition::from_key_fn(full.dtmc.n_states(), |i| f_abs(&full.states[i], l))
+                .block_count()
+        })
+    });
+    g.bench_function("certify_hand_lumping", |b| {
+        b.iter(|| check_lumping(&full.dtmc, &hand).is_ok())
+    });
+    g.bench_function("quotient_construction", |b| {
+        b.iter(|| lump::quotient(&full.dtmc, &hand).unwrap().n_states())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lumping);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for the Tables III–V workloads: transient reward
+//! sweeps and steady-state detection, plus the Figure 2 L-sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smg_dtmc::{explore, transient, ExploreOptions};
+use smg_viterbi::{ConvergenceModel, ReducedModel, ViterbiConfig};
+
+fn bench_reward_series(c: &mut Criterion) {
+    let dtmc = explore(
+        &ReducedModel::new(ViterbiConfig::small()).unwrap(),
+        &ExploreOptions::default(),
+    )
+    .unwrap()
+    .dtmc;
+    let mut g = c.benchmark_group("table3_reward_sweep");
+    g.sample_size(10);
+    for t in [100usize, 300, 1000] {
+        g.bench_function(format!("reward_series_t{t}"), |b| {
+            b.iter(|| transient::instantaneous_reward_series(&dtmc, t).len())
+        });
+    }
+    g.bench_function("steady_state_detection", |b| {
+        b.iter(|| transient::detect_steady_state(&dtmc, 1e-12, 100_000).converged_at)
+    });
+    g.finish();
+}
+
+fn bench_fig2_sweep(c: &mut Criterion) {
+    let base = ViterbiConfig::small().with_snr_db(8.0);
+    let mut g = c.benchmark_group("fig2_l_sweep");
+    g.sample_size(10);
+    g.bench_function("c1_over_l_2_to_8", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for l in 2..=8usize {
+                let m = ConvergenceModel::new(base.clone().with_traceback_len(l)).unwrap();
+                let e = explore(&m, &ExploreOptions::default()).unwrap();
+                acc += transient::instantaneous_reward(&e.dtmc, 200);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reward_series, bench_fig2_sweep);
+criterion_main!(benches);

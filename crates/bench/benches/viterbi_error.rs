@@ -1,0 +1,70 @@
+//! Criterion benches for the Table I workload: building and checking the
+//! Viterbi error models, full versus reduced — the paper's headline
+//! scalability claim (the reduction makes checking tractable).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use smg_core::analyzer::ViterbiAnalyzer;
+use smg_dtmc::{explore, transient, ExploreOptions};
+use smg_viterbi::{FullModel, ReducedModel, ViterbiConfig};
+
+fn bench_build(c: &mut Criterion) {
+    let cfg = ViterbiConfig::small();
+    let mut g = c.benchmark_group("viterbi_build");
+    g.sample_size(10);
+    g.bench_function("full_model_explore", |b| {
+        b.iter_batched(
+            || FullModel::new(cfg.clone()).unwrap(),
+            |m| explore(&m, &ExploreOptions::default()).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("reduced_model_explore", |b| {
+        b.iter_batched(
+            || ReducedModel::new(cfg.clone()).unwrap(),
+            |m| explore(&m, &ExploreOptions::default()).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_check(c: &mut Criterion) {
+    let cfg = ViterbiConfig::small();
+    let full = explore(
+        &FullModel::new(cfg.clone()).unwrap(),
+        &ExploreOptions::default(),
+    )
+    .unwrap()
+    .dtmc;
+    let reduced = explore(
+        &ReducedModel::new(cfg.clone()).unwrap(),
+        &ExploreOptions::default(),
+    )
+    .unwrap()
+    .dtmc;
+    let mut g = c.benchmark_group("viterbi_p2_t300");
+    g.sample_size(10);
+    g.bench_function("on_full_model", |b| {
+        b.iter(|| transient::instantaneous_reward(&full, 300))
+    });
+    g.bench_function("on_reduced_model", |b| {
+        b.iter(|| transient::instantaneous_reward(&reduced, 300))
+    });
+    g.finish();
+
+    // The whole Table I pipeline at small scale.
+    let mut g = c.benchmark_group("viterbi_table1_pipeline");
+    g.sample_size(10);
+    g.bench_function("p1_p2_p3_reduced_only", |b| {
+        b.iter(|| {
+            ViterbiAnalyzer::new(cfg.clone())
+                .horizon(100)
+                .analyze()
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_check);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Design-space ablation: how the quantizer resolution and path-metric
+//! register width trade state count against fidelity.
+//!
+//! DESIGN.md calls these the two knobs that bound the Viterbi DTMC; the
+//! paper leaves them implicit (its RTL bit-widths are unpublished). The
+//! sweep shows (a) BER estimates converging as the quantizer refines —
+//! quantization *is* a noise source, per the paper's introduction — and
+//! (b) state count scaling roughly linearly in the path-metric cap while
+//! the BER stays flat once the cap stops truncating real metric
+//! differences.
+
+use smg_core::Table;
+use smg_dtmc::{explore, transient, ExploreOptions};
+use smg_viterbi::{ReducedModel, ViterbiConfig};
+
+fn ber_and_states(config: ViterbiConfig) -> (f64, usize) {
+    let model = ReducedModel::new(config).expect("config valid");
+    let e = explore(&model, &ExploreOptions::default()).expect("exploration");
+    (
+        transient::instantaneous_reward(&e.dtmc, 500),
+        e.dtmc.n_states(),
+    )
+}
+
+fn main() {
+    println!("Ablation: quantizer resolution and path-metric width (Viterbi, 5 dB)\n");
+
+    let mut t = Table::new(
+        "Quantizer levels vs BER and state count (pm_cap=16, scale=2)",
+        &["levels", "states", "BER (P2 @ T=500)"],
+    );
+    for levels in [2usize, 4, 6, 8, 12, 16] {
+        let mut cfg = ViterbiConfig::paper();
+        cfg.quant_levels = levels;
+        let (ber, states) = ber_and_states(cfg);
+        t.row(&[levels.to_string(), states.to_string(), format!("{ber:.5}")]);
+    }
+    println!("{t}");
+
+    let mut t = Table::new(
+        "Path-metric cap vs BER and state count (8 levels, scale=2)",
+        &["pm_cap", "states", "BER (P2 @ T=500)"],
+    );
+    for cap in [4u32, 8, 12, 16, 24, 32] {
+        let mut cfg = ViterbiConfig::paper();
+        cfg.pm_cap = cap;
+        let (ber, states) = ber_and_states(cfg);
+        t.row(&[cap.to_string(), states.to_string(), format!("{ber:.5}")]);
+    }
+    println!("{t}");
+
+    let mut t = Table::new(
+        "Metric scale vs BER and state count (8 levels, pm_cap=16)",
+        &["scale", "states", "BER (P2 @ T=500)"],
+    );
+    for scale in [1.0f64, 2.0, 3.0, 4.0] {
+        let mut cfg = ViterbiConfig::paper();
+        cfg.metric_scale = scale;
+        let (ber, states) = ber_and_states(cfg);
+        t.row(&[scale.to_string(), states.to_string(), format!("{ber:.5}")]);
+    }
+    println!("{t}");
+    println!(
+        "reading: finer quantizers and wider registers grow the chain; the BER\n\
+         stabilizes once both stop being the dominant noise source — the point\n\
+         where further RTL precision is wasted area, which is exactly the design\n\
+         question the paper's methodology is built to answer quickly."
+    );
+}

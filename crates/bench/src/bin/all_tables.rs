@@ -1,0 +1,33 @@
+//! Regenerates every table and figure of the paper in order.
+//!
+//! `cargo run --release -p smg-bench --bin all_tables`
+//! (set `SMG_SCALE=small` for a quick smoke run).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "fig2",
+        "sim_compare",
+        "ext_2x2",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin directory");
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nall tables and figures regenerated.");
+}

@@ -1,0 +1,79 @@
+//! Table I — error properties of the Viterbi decoder.
+//!
+//! Paper (SNR 5 dB, T=300, L=6):
+//!
+//! | prop | states (M) | states (M_R) | time (s) | result |
+//! |---|---|---|---|---|
+//! | P1 | 53,558,744 | 8,505,363 | 90.80 | 3e-15 |
+//! | P2 | 53,558,744 | 8,505,363 | 184.13 | 0.2394 |
+//! | P3 | 107,504,890 | 16,435,490 | 365.68 | ≈ 1 |
+//!
+//! Absolute state counts and probabilities depend on unpublished RTL
+//! bit-widths; the reproduced *shape* is: M_R is several times smaller than
+//! M, the P3 model is about twice the P1/P2 model (one saturating counter),
+//! P1 is astronomically small at 5 dB, P2 sits near 0.2–0.3, and P3 ≈ 1.
+
+use smg_bench::{scale, viterbi_config};
+use smg_core::analyzer::ViterbiAnalyzer;
+use smg_core::report::fmt_prob;
+use smg_core::Table;
+
+fn main() {
+    let config = viterbi_config(scale());
+    let horizon = 300;
+    println!("Table I: error properties for a Viterbi decoder");
+    println!("config: {config}, T={horizon}\n");
+
+    let report = ViterbiAnalyzer::new(config)
+        .horizon(horizon)
+        .worst_case_threshold(1)
+        .include_full_model(true)
+        .analyze()
+        .expect("analysis failed");
+
+    let full = report.full_stats.as_ref().expect("full model requested");
+    let mut t = Table::new(
+        "Error properties for a Viterbi decoder",
+        &[
+            "",
+            "states (original M)",
+            "states (reduced M_R)",
+            "build+check time (s)",
+            "result",
+        ],
+    );
+    let time = |b: &smg_dtmc::BuildStats| {
+        format!(
+            "{:.2}",
+            b.build_time.as_secs_f64() + report.check_time.as_secs_f64() / 3.0
+        )
+    };
+    t.row(&[
+        "P1".into(),
+        full.states.to_string(),
+        report.reduced_stats.states.to_string(),
+        time(&report.reduced_stats),
+        fmt_prob(report.p1),
+    ]);
+    t.row(&[
+        "P2".into(),
+        full.states.to_string(),
+        report.reduced_stats.states.to_string(),
+        time(&report.reduced_stats),
+        fmt_prob(report.p2),
+    ]);
+    let p3_full = report.p3_full_stats.as_ref().expect("full model requested");
+    t.row(&[
+        "P3".into(),
+        p3_full.states.to_string(),
+        report.p3_stats.states.to_string(),
+        time(&report.p3_stats),
+        fmt_prob(report.p3),
+    ]);
+    println!("{t}");
+    println!(
+        "reduction factor M/M_R = {:.1}; RI = {}",
+        report.reduction().expect("full model requested").factor(),
+        report.reduced_stats.reachability_iterations
+    );
+}

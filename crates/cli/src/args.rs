@@ -1,0 +1,377 @@
+//! Hand-rolled argument parsing (the workspace's dependency policy admits
+//! no CLI framework; the grammar is small enough that explicit code is
+//! clearer anyway).
+
+use crate::CliError;
+use smg_lang::ExpandOptions;
+
+/// Usage text printed for `help` and argument errors.
+pub const USAGE: &str = "\
+smg — probabilistic model checking for clocked RTL-style DTMC models
+
+USAGE:
+  smg check  <model.sm> --prop <pctl> [--prop <pctl>]... [--max-states N] [--allow-stutter]
+  smg info   <model.sm> [--max-states N] [--allow-stutter]
+  smg export <model.sm> --format <tra|lab|srew|pm|dot> [--out FILE]
+  smg steady <model.sm> [--tol T] [--max-steps N]
+  smg sim    <model.sm> --steps N [--seed S]
+  smg help
+
+Model files may be guarded-command source (.sm) or PRISM explicit
+transitions (.tra; sibling .lab/.srew files are picked up automatically).
+
+COMMANDS:
+  check   Parse, compile and model-check pCTL properties; prints one
+          PRISM-style result block per property.
+  info    Print model statistics: states, transitions, labels, BSCCs,
+          irreducibility/aperiodicity.
+  export  Write the explicit chain in PRISM explicit formats (tra/lab/
+          srew), as guarded-command source (pm), or as Graphviz (dot).
+  steady  Detect steady state of the default reward (the paper's BER
+          read-out).
+  sim     Monte-Carlo baseline: simulate the chain and estimate the mean
+          state reward (compare against `check --prop 'R=? [ I=T ]'`).
+
+OPTIONS:
+  --prop <pctl>     Property to check (repeatable), e.g. 'P=? [ G<=300 !err ]'
+  --const N=V       Override or define a constant (repeatable), e.g. --const p=0.02
+  --max-states N    Exploration cap (default 4000000)
+  --allow-stutter   Deadlocked modules self-loop instead of erroring
+  --format F        Export format: tra, lab, srew, pm, dot
+  --out FILE        Write export to FILE instead of stdout
+  --steps N         Simulation length in time steps
+  --seed S          Simulation RNG seed (default 0)
+  --tol T           Steady-state tolerance (default 1e-9)
+  --max-steps N     Steady-state step budget (default 100000)
+";
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cmd {
+    /// `smg check`
+    Check {
+        /// Model path.
+        model: String,
+        /// Properties to check, in order.
+        props: Vec<String>,
+        /// Exploration options.
+        options: Options,
+    },
+    /// `smg info`
+    Info {
+        /// Model path.
+        model: String,
+        /// Exploration options.
+        options: Options,
+    },
+    /// `smg export`
+    Export {
+        /// Model path.
+        model: String,
+        /// One of `tra`, `lab`, `srew`, `pm`, `dot`.
+        format: String,
+        /// Output path (stdout if absent).
+        out: Option<String>,
+        /// Exploration options.
+        options: Options,
+    },
+    /// `smg steady`
+    Steady {
+        /// Model path.
+        model: String,
+        /// Convergence tolerance.
+        tol: f64,
+        /// Step budget.
+        max_steps: usize,
+        /// Exploration options.
+        options: Options,
+    },
+    /// `smg sim`
+    Sim {
+        /// Model path.
+        model: String,
+        /// Number of simulated steps.
+        steps: u64,
+        /// RNG seed.
+        seed: u64,
+        /// Exploration options.
+        options: Options,
+    },
+    /// `smg help` / `--help` / no arguments.
+    Help,
+}
+
+/// Options shared by all model-loading commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// State-space cap.
+    pub max_states: usize,
+    /// Whether deadlocked modules stutter.
+    pub allow_stutter: bool,
+    /// Constant overrides (`--const name=expr`), applied before semantic
+    /// analysis.
+    pub consts: Vec<(String, String)>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            max_states: 4_000_000,
+            allow_stutter: false,
+            consts: Vec::new(),
+        }
+    }
+}
+
+impl From<Options> for ExpandOptions {
+    fn from(o: Options) -> ExpandOptions {
+        ExpandOptions {
+            max_states: o.max_states,
+            allow_stutter: o.allow_stutter,
+        }
+    }
+}
+
+/// Parses command-line arguments (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// [`CliError`] with a message suitable for stderr; the caller should also
+/// print [`USAGE`].
+pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
+    let mut it = args.iter();
+    let cmd = match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Cmd::Help),
+        Some(c) => c.to_string(),
+    };
+
+    let mut model: Option<String> = None;
+    let mut props: Vec<String> = Vec::new();
+    let mut format: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut steps: Option<u64> = None;
+    let mut seed: u64 = 0;
+    let mut tol: f64 = 1e-9;
+    let mut max_steps: usize = 100_000;
+    let mut options = Options::default();
+
+    fn value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, CliError> {
+        it.next()
+            .map(String::as_str)
+            .ok_or_else(|| CliError(format!("{flag} requires a value")))
+    }
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--prop" => props.push(value(&mut it, "--prop")?.to_string()),
+            "--format" => format = Some(value(&mut it, "--format")?.to_string()),
+            "--out" => out = Some(value(&mut it, "--out")?.to_string()),
+            "--steps" => {
+                steps = Some(
+                    value(&mut it, "--steps")?
+                        .parse()
+                        .map_err(|_| CliError("--steps expects an integer".into()))?,
+                );
+            }
+            "--seed" => {
+                seed = value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| CliError("--seed expects an integer".into()))?;
+            }
+            "--tol" => {
+                tol = value(&mut it, "--tol")?
+                    .parse()
+                    .map_err(|_| CliError("--tol expects a number".into()))?;
+            }
+            "--max-steps" => {
+                max_steps = value(&mut it, "--max-steps")?
+                    .parse()
+                    .map_err(|_| CliError("--max-steps expects an integer".into()))?;
+            }
+            "--max-states" => {
+                options.max_states = value(&mut it, "--max-states")?
+                    .parse()
+                    .map_err(|_| CliError("--max-states expects an integer".into()))?;
+            }
+            "--allow-stutter" => options.allow_stutter = true,
+            "--const" => {
+                let v = value(&mut it, "--const")?;
+                let (name, expr) = v
+                    .split_once('=')
+                    .ok_or_else(|| CliError(format!("--const expects name=value, got {v:?}")))?;
+                options
+                    .consts
+                    .push((name.trim().to_string(), expr.trim().to_string()));
+            }
+            other if other.starts_with("--") => {
+                return Err(CliError(format!("unknown option {other}")));
+            }
+            other => {
+                if model.is_some() {
+                    return Err(CliError(format!("unexpected positional argument {other}")));
+                }
+                model = Some(other.to_string());
+            }
+        }
+    }
+
+    let require_model = |m: Option<String>| m.ok_or_else(|| CliError("missing model path".into()));
+    match cmd.as_str() {
+        "check" => {
+            if props.is_empty() {
+                return Err(CliError("check requires at least one --prop".into()));
+            }
+            Ok(Cmd::Check {
+                model: require_model(model)?,
+                props,
+                options,
+            })
+        }
+        "info" => Ok(Cmd::Info {
+            model: require_model(model)?,
+            options,
+        }),
+        "export" => Ok(Cmd::Export {
+            model: require_model(model)?,
+            format: format.ok_or_else(|| CliError("export requires --format".into()))?,
+            out,
+            options,
+        }),
+        "steady" => Ok(Cmd::Steady {
+            model: require_model(model)?,
+            tol,
+            max_steps,
+            options,
+        }),
+        "sim" => Ok(Cmd::Sim {
+            model: require_model(model)?,
+            steps: steps.ok_or_else(|| CliError("sim requires --steps".into()))?,
+            seed,
+            options,
+        }),
+        other => Err(CliError(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn check_command_with_two_props() {
+        // (property strings with spaces arrive as single argv entries from
+        // the shell; emulate that directly)
+        let parsed = parse_args(&[
+            "check".into(),
+            "m.sm".into(),
+            "--prop".into(),
+            "R=? [ I=10 ]".into(),
+            "--prop".into(),
+            "S=? [ err ]".into(),
+        ])
+        .unwrap();
+        let Cmd::Check { model, props, .. } = parsed else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(model, "m.sm");
+        assert_eq!(props.len(), 2);
+    }
+
+    #[test]
+    fn check_without_props_is_an_error() {
+        assert!(parse_args(&args("check m.sm"))
+            .unwrap_err()
+            .0
+            .contains("--prop"));
+    }
+
+    #[test]
+    fn options_parse_and_default() {
+        let Cmd::Info { options, .. } =
+            parse_args(&args("info m.sm --max-states 1000 --allow-stutter")).unwrap()
+        else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(options.max_states, 1000);
+        assert!(options.allow_stutter);
+        let Cmd::Info { options, .. } = parse_args(&args("info m.sm")).unwrap() else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(options, Options::default());
+    }
+
+    #[test]
+    fn export_requires_format() {
+        assert!(parse_args(&args("export m.sm"))
+            .unwrap_err()
+            .0
+            .contains("--format"));
+        let Cmd::Export { format, out, .. } =
+            parse_args(&args("export m.sm --format tra --out x.tra")).unwrap()
+        else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(format, "tra");
+        assert_eq!(out.as_deref(), Some("x.tra"));
+    }
+
+    #[test]
+    fn sim_requires_steps() {
+        assert!(parse_args(&args("sim m.sm"))
+            .unwrap_err()
+            .0
+            .contains("--steps"));
+        let Cmd::Sim { steps, seed, .. } =
+            parse_args(&args("sim m.sm --steps 100 --seed 9")).unwrap()
+        else {
+            panic!("wrong cmd");
+        };
+        assert_eq!((steps, seed), (100, 9));
+    }
+
+    #[test]
+    fn steady_defaults() {
+        let Cmd::Steady { tol, max_steps, .. } = parse_args(&args("steady m.sm")).unwrap() else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(tol, 1e-9);
+        assert_eq!(max_steps, 100_000);
+    }
+
+    #[test]
+    fn const_overrides_parse() {
+        let Cmd::Info { options, .. } =
+            parse_args(&args("info m.sm --const N=4 --const p=0.25")).unwrap()
+        else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(
+            options.consts,
+            vec![
+                ("N".to_string(), "4".to_string()),
+                ("p".to_string(), "0.25".to_string())
+            ]
+        );
+        assert!(parse_args(&args("info m.sm --const banana")).is_err());
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(parse_args(&[]).unwrap(), Cmd::Help);
+        assert_eq!(parse_args(&args("help")).unwrap(), Cmd::Help);
+        assert_eq!(parse_args(&args("--help")).unwrap(), Cmd::Help);
+    }
+
+    #[test]
+    fn bad_input_is_rejected() {
+        assert!(parse_args(&args("frobnicate m.sm")).is_err());
+        assert!(parse_args(&args("info m.sm extra.sm")).is_err());
+        assert!(parse_args(&args("info m.sm --wat")).is_err());
+        assert!(parse_args(&args("sim m.sm --steps banana")).is_err());
+        assert!(parse_args(&args("check m.sm --prop")).is_err());
+    }
+}

@@ -1,0 +1,546 @@
+//! # smg-cli — a command-line front end for the workspace's model checker
+//!
+//! `smg` plays the role PRISM's command line plays in the paper's
+//! workflow: it takes a guarded-command model file and pCTL property
+//! strings, and prints state counts, timings and results in the shape of
+//! the paper's tables.
+//!
+//! ```text
+//! smg check model.sm --prop 'P=? [ G<=300 !err ]' --prop 'R=? [ I=300 ]'
+//! smg info model.sm
+//! smg export model.sm --format tra
+//! smg steady model.sm
+//! smg sim model.sm --steps 100000 --seed 7
+//! ```
+//!
+//! The crate is a thin library ([`run`]) plus a `main` wrapper so that the
+//! command logic is unit-testable without spawning processes.
+
+#![warn(missing_docs)]
+
+use smg_dtmc::{graph, transient, Dtmc};
+use smg_lang::{check, compile_with, parse};
+use smg_pctl::{check_query, parse_property};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+mod args;
+mod sim;
+
+pub use args::{parse_args, Cmd, Options, USAGE};
+pub use sim::{simulate_rewards, SimResult};
+
+/// Exit-status-bearing error for the CLI: a message for stderr.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<smg_lang::LangError> for CliError {
+    fn from(e: smg_lang::LangError) -> Self {
+        CliError(format!("model error: {e}"))
+    }
+}
+
+impl From<smg_pctl::PctlError> for CliError {
+    fn from(e: smg_pctl::PctlError) -> Self {
+        CliError(format!("property error: {e}"))
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("io error: {e}"))
+    }
+}
+
+impl From<smg_dtmc::DtmcError> for CliError {
+    fn from(e: smg_dtmc::DtmcError) -> Self {
+        CliError(format!("model error: {e}"))
+    }
+}
+
+/// A model loaded by the CLI — either compiled from guarded-command
+/// source or imported from PRISM explicit files.
+#[derive(Debug, Clone)]
+pub struct Loaded {
+    /// The explicit chain.
+    pub dtmc: Dtmc,
+    /// Variable names (guarded-command models only).
+    pub var_names: Vec<String>,
+}
+
+/// Executes a parsed command against the filesystem and returns what
+/// should be printed to stdout.
+///
+/// # Errors
+///
+/// [`CliError`] with a user-facing message (unreadable file, model or
+/// property errors, unknown export format).
+pub fn run(cmd: &Cmd) -> Result<String, CliError> {
+    match cmd {
+        Cmd::Help => Ok(USAGE.to_string()),
+        Cmd::Check {
+            model,
+            props,
+            options,
+        } => {
+            let (compiled, build_time) = load(model, options)?;
+            let mut out = model_header(&compiled, build_time);
+            for prop in props {
+                let property = parse_property(prop)?;
+                let result = check_query(&compiled.dtmc, &property)?;
+                let _ = writeln!(out, "\nProperty: {property}");
+                let _ = writeln!(
+                    out,
+                    "Time for model checking: {:.3} s",
+                    result.time.as_secs_f64()
+                );
+                match result.verdict() {
+                    Some(v) => {
+                        let _ = writeln!(out, "Result: {v}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "Result: {}", fmt_value(result.value()));
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Cmd::Info { model, options } => {
+            let (compiled, build_time) = load(model, options)?;
+            let mut out = model_header(&compiled, build_time);
+            let d = &compiled.dtmc;
+            if !compiled.var_names.is_empty() {
+                let _ = writeln!(out, "Variables: {}", compiled.var_names.join(", "));
+            }
+            let mut names = d.label_names();
+            names.sort_unstable();
+            for name in names {
+                let _ = writeln!(
+                    out,
+                    "Label \"{name}\": {} states",
+                    d.label(name).expect("listed").count_ones()
+                );
+            }
+            let bsccs = graph::bsccs(d);
+            let _ = writeln!(out, "BSCCs: {}", bsccs.len());
+            let _ = writeln!(out, "Irreducible: {}", graph::is_irreducible(d));
+            match graph::period(d) {
+                Some(p) => {
+                    let _ = writeln!(out, "Period: {p}");
+                }
+                None => {
+                    let _ = writeln!(out, "Period: undefined (reducible chain)");
+                }
+            }
+            let _ = writeln!(out, "Ergodic: {}", graph::is_ergodic(d));
+            Ok(out)
+        }
+        Cmd::Export {
+            model,
+            format,
+            out,
+            options,
+        } => {
+            let (compiled, _) = load(model, options)?;
+            let text = match format.as_str() {
+                "tra" => smg_dtmc::export::to_tra(&compiled.dtmc),
+                "lab" => smg_dtmc::export::to_lab(&compiled.dtmc),
+                "srew" => smg_dtmc::export::to_srew(&compiled.dtmc),
+                "pm" => smg_lang::program_text(&compiled.dtmc),
+                "dot" => smg_dtmc::export::to_dot(&compiled.dtmc),
+                other => {
+                    return Err(CliError(format!(
+                        "unknown export format {other:?} (expected tra, lab, srew, pm or dot)"
+                    )))
+                }
+            };
+            match out {
+                Some(path) => {
+                    std::fs::write(path, &text)?;
+                    Ok(format!("wrote {} bytes to {path}\n", text.len()))
+                }
+                None => Ok(text),
+            }
+        }
+        Cmd::Steady {
+            model,
+            tol,
+            max_steps,
+            options,
+        } => {
+            let (compiled, build_time) = load(model, options)?;
+            let mut out = model_header(&compiled, build_time);
+            let steady = transient::detect_steady_state(&compiled.dtmc, *tol, *max_steps);
+            match steady.converged_at {
+                Some(t) => {
+                    let _ = writeln!(out, "Steady state detected at step {t}");
+                    let _ = writeln!(
+                        out,
+                        "Long-run expected reward (BER read-out): {}",
+                        fmt_value(steady.expected_reward(&compiled.dtmc))
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "No steady state within {max_steps} steps at tolerance {tol:e}"
+                    );
+                }
+            }
+            Ok(out)
+        }
+        Cmd::Sim {
+            model,
+            steps,
+            seed,
+            options,
+        } => {
+            let (compiled, build_time) = load(model, options)?;
+            let mut out = model_header(&compiled, build_time);
+            let r = simulate_rewards(&compiled.dtmc, *steps, *seed);
+            let _ = writeln!(out, "Simulated steps: {}", r.steps);
+            let _ = writeln!(out, "Mean state reward: {}", fmt_value(r.mean));
+            let _ = writeln!(
+                out,
+                "95% CI: [{}, {}] (Wald)",
+                fmt_value(r.ci_low),
+                fmt_value(r.ci_high)
+            );
+            let _ = writeln!(out, "Nonzero-reward steps: {}", r.hits);
+            Ok(out)
+        }
+    }
+}
+
+fn load(path: &str, options: &Options) -> Result<(Loaded, f64), CliError> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let start = Instant::now();
+    // PRISM explicit transitions: pick up sibling .lab/.srew files.
+    if path.ends_with(".tra") {
+        if !options.consts.is_empty() {
+            return Err(CliError(
+                "--const applies to guarded-command models, not explicit .tra files".into(),
+            ));
+        }
+        let stem = path.strip_suffix(".tra").expect("checked");
+        let lab = std::fs::read_to_string(format!("{stem}.lab")).ok();
+        let srew = std::fs::read_to_string(format!("{stem}.srew")).ok();
+        let dtmc = smg_dtmc::import::from_explicit(&src, lab.as_deref(), srew.as_deref())?;
+        return Ok((
+            Loaded {
+                dtmc,
+                var_names: Vec::new(),
+            },
+            start.elapsed().as_secs_f64(),
+        ));
+    }
+    let mut program = parse(&src)?;
+    // `--const name=expr` overrides an existing constant in place (keeping
+    // declaration order, so later constants still see it) or prepends a
+    // new one.
+    for (name, expr_text) in &options.consts {
+        let value = smg_lang::parse_expr(expr_text)?;
+        match program.consts.iter_mut().find(|c| c.name == *name) {
+            Some(c) => c.value = value,
+            None => program.consts.insert(
+                0,
+                smg_lang::ast::ConstDecl {
+                    name: name.clone(),
+                    ty: None,
+                    value,
+                    pos: smg_lang::Pos::start(),
+                },
+            ),
+        }
+    }
+    let compiled = compile_with(check(program)?, options.clone().into())?;
+    Ok((
+        Loaded {
+            dtmc: compiled.dtmc,
+            var_names: compiled.var_names,
+        },
+        start.elapsed().as_secs_f64(),
+    ))
+}
+
+fn model_header(compiled: &Loaded, build_time: f64) -> String {
+    let d: &Dtmc = &compiled.dtmc;
+    let mut out = String::new();
+    let _ = writeln!(out, "States: {}", d.n_states());
+    let _ = writeln!(out, "Transitions: {}", d.matrix().logical_transitions());
+    let _ = writeln!(out, "Time for model construction: {build_time:.3} s");
+    out
+}
+
+/// Formats a result the way the paper's tables do: plain decimal for
+/// moderate values, scientific for very small ones, `≈ 1` style exactness
+/// is left to the reader.
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        "Infinity".to_string()
+    } else if v != 0.0 && v.abs() < 1e-3 {
+        format!("{v:.6e}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn write_model(name: &str, text: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("smg-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    const CHANNEL: &str = r#"
+        dtmc
+        const double p_err = 0.125;
+        module channel
+          err : bool init false;
+          [] true -> p_err:(err'=true) + (1-p_err):(err'=false);
+        endmodule
+        label "err" = err;
+        rewards err : 1; endrewards
+    "#;
+
+    fn opts() -> Options {
+        Options::default()
+    }
+
+    #[test]
+    fn check_reports_states_and_result() {
+        let path = write_model("channel.sm", CHANNEL);
+        let out = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec!["R=? [ I=10 ]".into(), "P=? [ G<=3 !err ]".into()],
+            options: opts(),
+        })
+        .unwrap();
+        assert!(out.contains("States: 2"), "{out}");
+        assert!(out.contains("Result: 0.125"), "{out}");
+        // (1 - 1/8)^3 = 0.669921875
+        assert!(out.contains("0.669922"), "{out}");
+    }
+
+    #[test]
+    fn info_reports_structure() {
+        let path = write_model("channel_info.sm", CHANNEL);
+        let out = run(&Cmd::Info {
+            model: path.to_string_lossy().into_owned(),
+            options: opts(),
+        })
+        .unwrap();
+        assert!(out.contains("Label \"err\": 1 states"), "{out}");
+        assert!(out.contains("Irreducible: true"), "{out}");
+        assert!(out.contains("Ergodic: true"), "{out}");
+    }
+
+    #[test]
+    fn export_formats() {
+        let path = write_model("channel_export.sm", CHANNEL);
+        for (fmt, needle) in [
+            ("tra", "2 "),
+            ("lab", "err"),
+            ("srew", "1"),
+            ("pm", "module chain"),
+            ("dot", "digraph"),
+        ] {
+            let out = run(&Cmd::Export {
+                model: path.to_string_lossy().into_owned(),
+                format: fmt.to_string(),
+                out: None,
+                options: opts(),
+            })
+            .unwrap();
+            assert!(out.contains(needle), "format {fmt}: {out}");
+        }
+        let err = run(&Cmd::Export {
+            model: path.to_string_lossy().into_owned(),
+            format: "xml".into(),
+            out: None,
+            options: opts(),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("unknown export format"));
+    }
+
+    #[test]
+    fn export_to_file_writes_bytes() {
+        let path = write_model("channel_file.sm", CHANNEL);
+        let out_path = std::env::temp_dir().join("smg-cli-tests/out.tra");
+        let msg = run(&Cmd::Export {
+            model: path.to_string_lossy().into_owned(),
+            format: "tra".into(),
+            out: Some(out_path.to_string_lossy().into_owned()),
+            options: opts(),
+        })
+        .unwrap();
+        assert!(msg.contains("wrote"));
+        assert!(std::fs::read_to_string(&out_path).unwrap().contains('2'));
+    }
+
+    #[test]
+    fn steady_finds_the_ber() {
+        let path = write_model("channel_steady.sm", CHANNEL);
+        let out = run(&Cmd::Steady {
+            model: path.to_string_lossy().into_owned(),
+            tol: 1e-12,
+            max_steps: 1000,
+            options: opts(),
+        })
+        .unwrap();
+        assert!(out.contains("Steady state detected"), "{out}");
+        assert!(out.contains("0.125"), "{out}");
+    }
+
+    #[test]
+    fn sim_estimates_the_ber() {
+        let path = write_model("channel_sim.sm", CHANNEL);
+        let out = run(&Cmd::Sim {
+            model: path.to_string_lossy().into_owned(),
+            steps: 40_000,
+            seed: 1,
+            options: opts(),
+        })
+        .unwrap();
+        // With 40k steps the estimate is well inside ±0.01 of 0.125.
+        let mean_line = out
+            .lines()
+            .find(|l| l.starts_with("Mean state reward:"))
+            .unwrap();
+        let mean: f64 = mean_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!((mean - 0.125).abs() < 0.01, "{out}");
+    }
+
+    #[test]
+    fn const_overrides_change_the_model() {
+        let path = write_model("channel_const.sm", CHANNEL);
+        // Override p_err = 0.5: BER doubles to 0.5.
+        let out = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec!["R=? [ I=10 ]".into()],
+            options: Options {
+                consts: vec![("p_err".into(), "0.5".into())],
+                ..Options::default()
+            },
+        })
+        .unwrap();
+        assert!(out.contains("Result: 0.5"), "{out}");
+        // Define a fresh constant referenced nowhere: harmless.
+        let out = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec!["R=? [ I=10 ]".into()],
+            options: Options {
+                consts: vec![("unused".into(), "1".into())],
+                ..Options::default()
+            },
+        })
+        .unwrap();
+        assert!(out.contains("Result: 0.125"), "{out}");
+        // Malformed expression surfaces as a model error.
+        let err = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec!["R=? [ I=10 ]".into()],
+            options: Options {
+                consts: vec![("p_err".into(), "0.5 +".into())],
+                ..Options::default()
+            },
+        })
+        .unwrap_err();
+        assert!(err.0.contains("model error"), "{err}");
+    }
+
+    #[test]
+    fn tra_models_load_with_sibling_lab_and_srew() {
+        let path = write_model("channel_tra.sm", CHANNEL);
+        let dir = std::env::temp_dir().join("smg-cli-tests");
+        for fmt in ["tra", "lab", "srew"] {
+            run(&Cmd::Export {
+                model: path.to_string_lossy().into_owned(),
+                format: fmt.into(),
+                out: Some(
+                    dir.join(format!("chan.{fmt}"))
+                        .to_string_lossy()
+                        .into_owned(),
+                ),
+                options: opts(),
+            })
+            .unwrap();
+        }
+        let out = run(&Cmd::Check {
+            model: dir.join("chan.tra").to_string_lossy().into_owned(),
+            props: vec!["R=? [ I=10 ]".into(), "S=? [ err ]".into()],
+            options: opts(),
+        })
+        .unwrap();
+        assert!(out.contains("States: 2"), "{out}");
+        // Both queries see the 0.125 BER through labels and rewards that
+        // came from the sibling files.
+        assert_eq!(out.matches("Result: 0.125").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = run(&Cmd::Info {
+            model: "/nonexistent/nope.sm".into(),
+            options: opts(),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("cannot read"));
+    }
+
+    #[test]
+    fn model_errors_surface_with_context() {
+        let path = write_model(
+            "bad.sm",
+            "module m x : bool; [] true -> 0.7:(x'=true); endmodule",
+        );
+        let err = run(&Cmd::Info {
+            model: path.to_string_lossy().into_owned(),
+            options: opts(),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("model error"), "{err}");
+        assert!(err.0.contains("sum to 0.7"), "{err}");
+    }
+
+    #[test]
+    fn property_errors_surface_with_context() {
+        let path = write_model("channel_prop.sm", CHANNEL);
+        let err = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec!["P=? [ H err ]".into()],
+            options: opts(),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("property error"), "{err}");
+    }
+
+    #[test]
+    fn help_is_usage() {
+        assert_eq!(run(&Cmd::Help).unwrap(), USAGE);
+    }
+
+    #[test]
+    fn fmt_value_switches_notation() {
+        assert_eq!(fmt_value(0.2394), "0.239400");
+        assert_eq!(fmt_value(1.08e-5), "1.080000e-5");
+        assert_eq!(fmt_value(0.0), "0.000000");
+        assert_eq!(fmt_value(f64::INFINITY), "Infinity");
+    }
+}

@@ -1,0 +1,313 @@
+//! The end-to-end analyzers producing the paper's table rows.
+
+use crate::error::CoreError;
+use crate::metrics::PerfMetric;
+use smg_dtmc::{explore, explore_memoryless, BuildStats, CountingModel, ExploreOptions};
+use smg_pctl::check_query;
+use smg_reduce::ReductionReport;
+use smg_viterbi::{FullModel, ReducedModel, ViterbiConfig};
+use std::time::Duration;
+
+/// Table I in one struct: P1/P2/P3 for a Viterbi configuration, with the
+/// state counts of the original and reduced models and the check times.
+#[derive(Debug, Clone)]
+pub struct ViterbiReport {
+    /// The analyzed configuration.
+    pub config: ViterbiConfig,
+    /// The horizon `T`.
+    pub horizon: u64,
+    /// P1 — probability of no error within `T` steps.
+    pub p1: f64,
+    /// P2 — expected error flag at step `T` (steady-state BER).
+    pub p2: f64,
+    /// P3 — probability of more than `threshold` errors within `T` steps.
+    pub p3: f64,
+    /// The P3 error-count threshold.
+    pub threshold: u32,
+    /// Build statistics of the full model `M` (if requested).
+    pub full_stats: Option<BuildStats>,
+    /// Build statistics of the counter-extended *full* model (the paper's
+    /// Table I "original model" row for P3; only when the full model was
+    /// requested).
+    pub p3_full_stats: Option<BuildStats>,
+    /// Build statistics of the reduced model `M_R` (used for P1/P2).
+    pub reduced_stats: BuildStats,
+    /// Build statistics of the counter-extended model (used for P3).
+    pub p3_stats: BuildStats,
+    /// Pure model-checking time (excluding model construction).
+    pub check_time: Duration,
+}
+
+impl ViterbiReport {
+    /// The Table I reduction comparison, available when the full model was
+    /// built.
+    pub fn reduction(&self) -> Option<ReductionReport> {
+        self.full_stats
+            .as_ref()
+            .map(|f| ReductionReport::new(f.states, self.reduced_stats.states))
+    }
+}
+
+/// Builder for Viterbi analyses.
+#[derive(Debug, Clone)]
+pub struct ViterbiAnalyzer {
+    config: ViterbiConfig,
+    horizon: u64,
+    threshold: u32,
+    include_full: bool,
+    explore: ExploreOptions,
+}
+
+impl ViterbiAnalyzer {
+    /// Starts an analysis of the given configuration with the paper's
+    /// defaults (`T = 300`, threshold 1, reduced model only).
+    pub fn new(config: ViterbiConfig) -> Self {
+        ViterbiAnalyzer {
+            config,
+            horizon: 300,
+            threshold: 1,
+            include_full: false,
+            explore: ExploreOptions::default(),
+        }
+    }
+
+    /// Sets the horizon `T`.
+    pub fn horizon(mut self, t: u64) -> Self {
+        self.horizon = t;
+        self
+    }
+
+    /// Sets the P3 error-count threshold.
+    pub fn worst_case_threshold(mut self, threshold: u32) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Also builds the (much larger) full model `M` so the report can show
+    /// the Table I state-count comparison.
+    pub fn include_full_model(mut self, yes: bool) -> Self {
+        self.include_full = yes;
+        self
+    }
+
+    /// Overrides exploration options (state limits, pruning).
+    pub fn explore_options(mut self, opts: ExploreOptions) -> Self {
+        self.explore = opts;
+        self
+    }
+
+    /// Runs the analysis: explores the models and checks P1, P2 and P3.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, exploration and checking errors.
+    pub fn analyze(&self) -> Result<ViterbiReport, CoreError> {
+        let reduced_model = ReducedModel::new(self.config.clone())?;
+        let reduced = explore(&reduced_model, &self.explore)?;
+
+        let (full_stats, p3_full_stats) = if self.include_full {
+            let full_model = FullModel::new(self.config.clone())?;
+            let full = explore(&full_model, &self.explore)?.stats;
+            let counted_full = CountingModel::new(
+                FullModel::new(self.config.clone())?,
+                smg_viterbi::FLAG,
+                self.threshold,
+            );
+            let p3_full = explore(&counted_full, &self.explore)?.stats;
+            (Some(full), Some(p3_full))
+        } else {
+            (None, None)
+        };
+
+        // P3 needs the error counter on top of the reduced model.
+        let counting = CountingModel::new(
+            ReducedModel::new(self.config.clone())?,
+            smg_viterbi::FLAG,
+            self.threshold,
+        );
+        let counted = explore(&counting, &self.explore)?;
+
+        let t0 = std::time::Instant::now();
+        let p1 = check_query(
+            &reduced.dtmc,
+            &PerfMetric::BestCase {
+                horizon: self.horizon,
+            }
+            .property()?,
+        )?
+        .value();
+        let p2 = check_query(
+            &reduced.dtmc,
+            &PerfMetric::AverageCase {
+                horizon: self.horizon,
+            }
+            .property()?,
+        )?
+        .value();
+        let p3 = check_query(
+            &counted.dtmc,
+            &PerfMetric::WorstCase {
+                horizon: self.horizon,
+                threshold: self.threshold,
+            }
+            .property()?,
+        )?
+        .value();
+        let check_time = t0.elapsed();
+
+        Ok(ViterbiReport {
+            config: self.config.clone(),
+            horizon: self.horizon,
+            p1,
+            p2,
+            p3,
+            threshold: self.threshold,
+            full_stats,
+            p3_full_stats,
+            reduced_stats: reduced.stats,
+            p3_stats: counted.stats,
+            check_time,
+        })
+    }
+}
+
+/// Table II + Table V in one struct: detector state counts before and after
+/// symmetry reduction, the reduction factor, and the BER.
+#[derive(Debug, Clone)]
+pub struct DetectorReport {
+    /// Human-readable system name, e.g. `"1x2"`.
+    pub system: String,
+    /// Build statistics of the full model `M`.
+    pub full_stats: BuildStats,
+    /// Build statistics of the symmetry-reduced model `M_R`.
+    pub reduced_stats: BuildStats,
+    /// The exact BER (= steady-state P2).
+    pub ber: f64,
+    /// P2 at each requested horizon (the paper's Table V columns).
+    pub p2_at: Vec<(u64, f64)>,
+}
+
+impl DetectorReport {
+    /// The Table II reduction comparison.
+    pub fn reduction(&self) -> ReductionReport {
+        ReductionReport::new(self.full_stats.states, self.reduced_stats.states)
+    }
+}
+
+/// Builder for detector analyses.
+#[derive(Debug, Clone)]
+pub struct DetectorAnalyzer {
+    config: smg_detector::DetectorConfig,
+    horizons: Vec<u64>,
+    explore: ExploreOptions,
+}
+
+impl DetectorAnalyzer {
+    /// Starts an analysis with the paper's Table V horizons (5, 10, 20).
+    pub fn new(config: smg_detector::DetectorConfig) -> Self {
+        DetectorAnalyzer {
+            config,
+            horizons: vec![5, 10, 20],
+            explore: ExploreOptions::default(),
+        }
+    }
+
+    /// Sets the P2 horizons to evaluate.
+    pub fn horizons(mut self, horizons: Vec<u64>) -> Self {
+        self.horizons = horizons;
+        self
+    }
+
+    /// Overrides exploration options.
+    pub fn explore_options(mut self, opts: ExploreOptions) -> Self {
+        self.explore = opts;
+        self
+    }
+
+    /// Runs the analysis: explores both models, compares sizes, checks P2.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, exploration and checking errors.
+    pub fn analyze(&self) -> Result<DetectorReport, CoreError> {
+        let full = smg_detector::DetectorModel::new(self.config.clone())?;
+        let sym = smg_detector::SymmetricDetectorModel::new(self.config.clone())?;
+        let ber = sym.ber();
+        let full_explored = explore_memoryless(&full, &self.explore)?;
+        let sym_explored = explore_memoryless(&sym, &self.explore)?;
+        let mut p2_at = Vec::with_capacity(self.horizons.len());
+        for &t in &self.horizons {
+            let v = check_query(
+                &sym_explored.dtmc,
+                &PerfMetric::AverageCase { horizon: t }.property()?,
+            )?
+            .value();
+            p2_at.push((t, v));
+        }
+        Ok(DetectorReport {
+            system: format!("{}x{}", self.config.nt, self.config.nr),
+            full_stats: full_explored.stats,
+            reduced_stats: sym_explored.stats,
+            ber,
+            p2_at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smg_detector::DetectorConfig;
+
+    #[test]
+    fn viterbi_report_fields_are_consistent() {
+        let r = ViterbiAnalyzer::new(ViterbiConfig::small())
+            .horizon(40)
+            .include_full_model(true)
+            .analyze()
+            .unwrap();
+        assert!(r.p1 >= 0.0 && r.p1 <= 1.0);
+        assert!(r.p2 > 0.0 && r.p2 < 0.5);
+        assert!(r.p3 >= 0.0 && r.p3 <= 1.0);
+        // With threshold 1, P(>1 error) ≤ P(≥1 error) = 1 − P1.
+        assert!(r.p3 <= 1.0 - r.p1 + 1e-12);
+        let red = r.reduction().unwrap();
+        assert!(red.factor() > 1.0);
+        // The counter at most triples the reduced space (counter ∈ {0,1,2}).
+        assert!(r.p3_stats.states <= 3 * r.reduced_stats.states);
+    }
+
+    #[test]
+    fn viterbi_without_full_model() {
+        let r = ViterbiAnalyzer::new(ViterbiConfig::small())
+            .horizon(20)
+            .analyze()
+            .unwrap();
+        assert!(r.full_stats.is_none());
+        assert!(r.reduction().is_none());
+    }
+
+    #[test]
+    fn p3_threshold_monotonicity() {
+        // Raising the threshold can only lower P3.
+        let base = ViterbiAnalyzer::new(ViterbiConfig::small()).horizon(30);
+        let p3_1 = base.clone().worst_case_threshold(1).analyze().unwrap().p3;
+        let p3_3 = base.clone().worst_case_threshold(3).analyze().unwrap().p3;
+        assert!(p3_3 <= p3_1 + 1e-12, "{p3_3} > {p3_1}");
+    }
+
+    #[test]
+    fn detector_report() {
+        let r = DetectorAnalyzer::new(DetectorConfig::small())
+            .horizons(vec![1, 5, 20])
+            .analyze()
+            .unwrap();
+        assert_eq!(r.system, "1x2");
+        assert!(r.reduction().factor() > 5.0);
+        // Memoryless chain: P2 constant across horizons and equal to BER.
+        for &(t, v) in &r.p2_at {
+            assert!((v - r.ber).abs() < 1e-12, "t={t}");
+        }
+        assert_eq!(r.full_stats.reachability_iterations, 3);
+    }
+}

@@ -1,0 +1,76 @@
+//! The unified error type of the analysis pipeline.
+
+use smg_dtmc::DtmcError;
+use smg_pctl::PctlError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the end-to-end analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A case-study model rejected its configuration.
+    Model(String),
+    /// An error from the DTMC engine.
+    Dtmc(DtmcError),
+    /// An error from the pCTL layer.
+    Pctl(PctlError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(msg) => write!(f, "model configuration: {msg}"),
+            CoreError::Dtmc(e) => write!(f, "{e}"),
+            CoreError::Pctl(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Model(_) => None,
+            CoreError::Dtmc(e) => Some(e),
+            CoreError::Pctl(e) => Some(e),
+        }
+    }
+}
+
+impl From<DtmcError> for CoreError {
+    fn from(e: DtmcError) -> Self {
+        CoreError::Dtmc(e)
+    }
+}
+
+impl From<PctlError> for CoreError {
+    fn from(e: PctlError) -> Self {
+        CoreError::Pctl(e)
+    }
+}
+
+impl From<String> for CoreError {
+    fn from(msg: String) -> Self {
+        CoreError::Model(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = DtmcError::UnknownLabel { name: "x".into() }.into();
+        assert!(e.to_string().contains('x'));
+        assert!(e.source().is_some());
+        let e: CoreError = "bad L".to_string().into();
+        assert!(e.to_string().contains("bad L"));
+        assert!(e.source().is_none());
+        let e: CoreError = PctlError::Parse {
+            position: 0,
+            message: "m".into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,48 @@
+//! End-to-end statistical performance guarantees for MIMO RTL designs.
+//!
+//! This crate assembles the paper's methodology (§III) into one pipeline:
+//!
+//! 1. **DTMC modeling** — the case-study models from `smg-viterbi` /
+//!    `smg-detector` (or any user [`smg_dtmc::DtmcModel`]);
+//! 2. **Property specification** — the BER-like metrics P1/P2/P3/C1 as
+//!    pCTL properties ([`metrics::PerfMetric`]);
+//! 3. **Property-preserving reduction** — hand reductions (`M_R`, symmetry)
+//!    or automatic lumping via `smg-reduce`;
+//! 4. **Probabilistic model checking** — `smg-pctl` over the explored
+//!    chain, with PRISM-style run statistics (states, transitions, RI,
+//!    time).
+//!
+//! The result types mirror the paper's tables: [`analyzer::ViterbiReport`]
+//! is a Table I row set, [`analyzer::DetectorReport`] a Table II/V row,
+//! [`steady::SteadyScan`] the Table III/IV time sweeps.
+//!
+//! # Example
+//!
+//! ```
+//! use smg_core::analyzer::ViterbiAnalyzer;
+//! use smg_viterbi::ViterbiConfig;
+//!
+//! let report = ViterbiAnalyzer::new(ViterbiConfig::small())
+//!     .horizon(50)
+//!     .include_full_model(true)
+//!     .analyze()?;
+//! // P1 (no error in T steps) + P(some error) = 1 at the same horizon.
+//! assert!(report.p1 >= 0.0 && report.p1 <= 1.0);
+//! assert!(report.reduced_stats.states < report.full_stats.as_ref().unwrap().states);
+//! # Ok::<(), smg_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod error;
+pub mod metrics;
+pub mod report;
+pub mod steady;
+
+pub use analyzer::{DetectorAnalyzer, DetectorReport, ViterbiAnalyzer, ViterbiReport};
+pub use error::CoreError;
+pub use metrics::PerfMetric;
+pub use report::Table;
+pub use steady::{steady_scan, SteadyScan};

@@ -1,0 +1,156 @@
+//! The paper's performance metrics as pCTL properties (§IV-A-2).
+//!
+//! * **P1 (best case)** — `P=? [ G<=T !flag ]`: "Probability that no error
+//!   occurs in any of the T steps."
+//! * **P2 (average case)** — `R=? [ I=T ]`: "Probability that an error
+//!   occurs at exactly the T-th step"; in steady state, the BER.
+//! * **P3 (worst case)** — `P=? [ F<=T count_exceeds ]`: "Probability that
+//!   the number of errors occurring in T steps is greater than a
+//!   pre-determined value" (the counter lives in
+//!   [`smg_dtmc::CountingModel`]).
+//! * **C1 (convergence)** — `R=? [ I=T ]` over the convergence model:
+//!   the probability that a decoded bit has non-converging traceback
+//!   paths.
+
+use smg_pctl::{parse_property, PctlError, Property};
+use std::fmt;
+
+/// A BER-like performance metric over a horizon of `T` time steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerfMetric {
+    /// P1: no error within the horizon.
+    BestCase {
+        /// The horizon `T`.
+        horizon: u64,
+    },
+    /// P2: expected error flag at exactly the horizon (steady-state BER).
+    AverageCase {
+        /// The horizon `T`.
+        horizon: u64,
+    },
+    /// P3: more than `threshold` errors within the horizon.
+    WorstCase {
+        /// The horizon `T`.
+        horizon: u64,
+        /// The error-count threshold (the paper uses 1).
+        threshold: u32,
+    },
+    /// C1: expected non-convergence flag at exactly the horizon.
+    Convergence {
+        /// The horizon `T`.
+        horizon: u64,
+    },
+}
+
+impl PerfMetric {
+    /// The paper's name for the metric.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PerfMetric::BestCase { .. } => "P1",
+            PerfMetric::AverageCase { .. } => "P2",
+            PerfMetric::WorstCase { .. } => "P3",
+            PerfMetric::Convergence { .. } => "C1",
+        }
+    }
+
+    /// The horizon `T`.
+    pub fn horizon(&self) -> u64 {
+        match *self {
+            PerfMetric::BestCase { horizon }
+            | PerfMetric::AverageCase { horizon }
+            | PerfMetric::WorstCase { horizon, .. }
+            | PerfMetric::Convergence { horizon } => horizon,
+        }
+    }
+
+    /// The PRISM-style property text.
+    pub fn property_text(&self) -> String {
+        match *self {
+            PerfMetric::BestCase { horizon } => format!("P=? [ G<={horizon} !flag ]"),
+            PerfMetric::AverageCase { horizon } | PerfMetric::Convergence { horizon } => {
+                format!("R=? [ I={horizon} ]")
+            }
+            PerfMetric::WorstCase { horizon, .. } => {
+                format!("P=? [ F<={horizon} count_exceeds ]")
+            }
+        }
+    }
+
+    /// The parsed property.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the properties generated here; the `Result` guards
+    /// against future formatting drift.
+    pub fn property(&self) -> Result<Property, PctlError> {
+        parse_property(&self.property_text())
+    }
+}
+
+impl fmt::Display for PerfMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} := {}", self.name(), self.property_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn texts_match_paper() {
+        assert_eq!(
+            PerfMetric::BestCase { horizon: 300 }.property_text(),
+            "P=? [ G<=300 !flag ]"
+        );
+        assert_eq!(
+            PerfMetric::AverageCase { horizon: 300 }.property_text(),
+            "R=? [ I=300 ]"
+        );
+        assert_eq!(
+            PerfMetric::WorstCase {
+                horizon: 300,
+                threshold: 1
+            }
+            .property_text(),
+            "P=? [ F<=300 count_exceeds ]"
+        );
+        assert_eq!(
+            PerfMetric::Convergence { horizon: 1000 }.property_text(),
+            "R=? [ I=1000 ]"
+        );
+    }
+
+    #[test]
+    fn all_parse() {
+        for m in [
+            PerfMetric::BestCase { horizon: 10 },
+            PerfMetric::AverageCase { horizon: 10 },
+            PerfMetric::WorstCase {
+                horizon: 10,
+                threshold: 2,
+            },
+            PerfMetric::Convergence { horizon: 10 },
+        ] {
+            assert!(m.property().is_ok(), "{m}");
+            assert_eq!(m.horizon(), 10);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(PerfMetric::BestCase { horizon: 1 }.name(), "P1");
+        assert_eq!(PerfMetric::AverageCase { horizon: 1 }.name(), "P2");
+        assert_eq!(
+            PerfMetric::WorstCase {
+                horizon: 1,
+                threshold: 1
+            }
+            .name(),
+            "P3"
+        );
+        assert_eq!(PerfMetric::Convergence { horizon: 1 }.name(), "C1");
+        let d = PerfMetric::BestCase { horizon: 5 }.to_string();
+        assert!(d.contains("P1") && d.contains("G<=5"));
+    }
+}

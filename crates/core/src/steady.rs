@@ -1,0 +1,103 @@
+//! Steady-state scans: the paper's Tables III–V time sweeps.
+//!
+//! "We observe that for values of T much greater than RI, the computed
+//! values do not change significantly. Once steady state is attained, we
+//! consider P2 as the BER of the system."
+
+use crate::error::CoreError;
+use smg_dtmc::{transient, Dtmc};
+
+/// A scan of the instantaneous reward `R=? [I=T]` over time, with
+/// steady-state detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteadyScan {
+    /// `(T, value)` samples at the requested horizons.
+    pub samples: Vec<(usize, f64)>,
+    /// The first step at which successive values changed by less than the
+    /// tolerance, if any.
+    pub converged_at: Option<usize>,
+    /// The value at the largest computed step — the steady-state BER once
+    /// converged.
+    pub final_value: f64,
+}
+
+impl SteadyScan {
+    /// The value at a sampled horizon.
+    pub fn value_at(&self, t: usize) -> Option<f64> {
+        self.samples.iter().find(|&&(s, _)| s == t).map(|&(_, v)| v)
+    }
+}
+
+/// Computes the reward series up to `max(horizons)`, sampling the requested
+/// horizons and detecting convergence of consecutive values to `tol`.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if `horizons` is empty.
+pub fn steady_scan(dtmc: &Dtmc, horizons: &[usize], tol: f64) -> Result<SteadyScan, CoreError> {
+    let &max_t = horizons
+        .iter()
+        .max()
+        .ok_or_else(|| CoreError::Model("steady_scan needs at least one horizon".to_string()))?;
+    let series = transient::instantaneous_reward_series(dtmc, max_t);
+    let samples = horizons.iter().map(|&t| (t, series[t])).collect();
+    // Converged at the first step after which the value never again moves
+    // by tol or more (a transient lull must not count as steady state).
+    let last_move = (1..series.len())
+        .rev()
+        .find(|&t| (series[t] - series[t - 1]).abs() >= tol);
+    let converged_at = match last_move {
+        None => Some(1),
+        Some(t) if t + 1 < series.len() => Some(t + 1),
+        Some(_) => None,
+    };
+    Ok(SteadyScan {
+        samples,
+        converged_at,
+        final_value: *series.last().expect("series nonempty"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smg_dtmc::{explore, ExploreOptions};
+    use smg_viterbi::{ReducedModel, ViterbiConfig};
+
+    #[test]
+    fn scan_matches_pointwise_rewards() {
+        let m = ReducedModel::new(ViterbiConfig::small()).unwrap();
+        let e = explore(&m, &ExploreOptions::default()).unwrap();
+        let scan = steady_scan(&e.dtmc, &[10, 50, 100], 1e-9).unwrap();
+        assert_eq!(scan.samples.len(), 3);
+        for &(t, v) in &scan.samples {
+            let direct = transient::instantaneous_reward(&e.dtmc, t);
+            assert!((v - direct).abs() < 1e-12, "t={t}");
+        }
+        assert_eq!(scan.value_at(50), Some(scan.samples[1].1));
+        assert_eq!(scan.value_at(51), None);
+    }
+
+    #[test]
+    fn values_settle_like_table_iii() {
+        let m = ReducedModel::new(ViterbiConfig::small()).unwrap();
+        let e = explore(&m, &ExploreOptions::default()).unwrap();
+        let scan = steady_scan(&e.dtmc, &[100, 300, 600, 1000], 0.0).unwrap();
+        let v = |t: usize| scan.value_at(t).unwrap();
+        // Differences shrink as T grows (monotone approach to steady state
+        // in magnitude, as in Table III).
+        let d1 = (v(300) - v(100)).abs();
+        let d2 = (v(600) - v(300)).abs();
+        let d3 = (v(1000) - v(600)).abs();
+        assert!(d2 <= d1 + 1e-12);
+        assert!(d3 <= d2 + 1e-12);
+        assert!((scan.final_value - v(1000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_horizons_error() {
+        let m = ReducedModel::new(ViterbiConfig::small()).unwrap();
+        let e = explore(&m, &ExploreOptions::default()).unwrap();
+        assert!(steady_scan(&e.dtmc, &[], 1e-9).is_err());
+    }
+}

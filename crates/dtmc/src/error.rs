@@ -1,0 +1,133 @@
+//! Errors produced by DTMC construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or analysing a DTMC.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DtmcError {
+    /// A state's outgoing probabilities did not sum to one.
+    NotStochastic {
+        /// Debug rendering of the offending state.
+        state: String,
+        /// The actual sum of its outgoing probabilities.
+        sum: f64,
+    },
+    /// A transition carried an invalid probability (negative, NaN, or > 1).
+    InvalidProbability {
+        /// Debug rendering of the source state.
+        state: String,
+        /// The offending probability.
+        prob: f64,
+    },
+    /// The model has no initial states, or their masses do not sum to one.
+    BadInitialDistribution {
+        /// The sum of the provided initial masses.
+        sum: f64,
+    },
+    /// Exploration exceeded the configured state limit.
+    StateLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A label referenced by an analysis does not exist on the DTMC.
+    UnknownLabel {
+        /// The requested label name.
+        name: String,
+    },
+    /// A vector passed to an analysis has the wrong length.
+    DimensionMismatch {
+        /// Expected length (the number of states).
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+    /// An iterative analysis failed to converge within its iteration budget.
+    NoConvergence {
+        /// The iteration budget that was exhausted.
+        iterations: usize,
+        /// The residual at the final iteration.
+        residual: f64,
+    },
+    /// An explicit-format file (`.tra`/`.lab`/`.srew`) failed to parse.
+    Import {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtmcError::NotStochastic { state, sum } => {
+                write!(
+                    f,
+                    "outgoing probabilities of state {state} sum to {sum}, expected 1"
+                )
+            }
+            DtmcError::InvalidProbability { state, prob } => {
+                write!(f, "state {state} has invalid transition probability {prob}")
+            }
+            DtmcError::BadInitialDistribution { sum } => {
+                write!(f, "initial distribution sums to {sum}, expected 1")
+            }
+            DtmcError::StateLimitExceeded { limit } => {
+                write!(
+                    f,
+                    "state space exceeds the configured limit of {limit} states"
+                )
+            }
+            DtmcError::UnknownLabel { name } => {
+                write!(f, "unknown label `{name}`")
+            }
+            DtmcError::DimensionMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "vector length {actual} does not match state count {expected}"
+                )
+            }
+            DtmcError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "iteration did not converge within {iterations} steps (residual {residual:e})"
+                )
+            }
+            DtmcError::Import { line, message } => {
+                write!(f, "import error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for DtmcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = DtmcError::NotStochastic {
+            state: "s0".into(),
+            sum: 0.9,
+        };
+        assert!(e.to_string().contains("0.9"));
+        let e = DtmcError::StateLimitExceeded { limit: 10 };
+        assert!(e.to_string().contains("10"));
+        let e = DtmcError::UnknownLabel {
+            name: "flag".into(),
+        };
+        assert!(e.to_string().contains("flag"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DtmcError>();
+    }
+}

@@ -1,0 +1,454 @@
+//! Breadth-first state-space exploration.
+//!
+//! [`explore`] enumerates the states of a [`DtmcModel`] reachable from its
+//! initial distribution, interning each distinct state and assembling the
+//! explicit [`Dtmc`]. The number of frontier expansions until the fixpoint
+//! is the paper's *Reachability Iterations* (RI). Probability-threshold
+//! pruning mirrors PRISM's behaviour in the paper's 1x4 detector experiment
+//! ("PRISM discards states that are reached with a probability less than
+//! 10⁻¹⁵").
+
+use crate::dtmc::{Dtmc, StateId};
+use crate::error::DtmcError;
+use crate::matrix::{CsrMatrix, RankOneMatrix, TransitionMatrix, STOCHASTIC_TOL};
+use crate::model::{DtmcModel, MemorylessModel};
+use crate::stats::BuildStats;
+use crate::BitVec;
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+/// Options controlling state-space exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Abort with [`DtmcError::StateLimitExceeded`] if more than this many
+    /// states are discovered.
+    pub max_states: usize,
+    /// Drop transitions with probability below this threshold and
+    /// renormalize the remainder (`0.0` disables pruning). This is the
+    /// paper's 10⁻¹⁵ PRISM cutoff.
+    pub prune_threshold: f64,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_states: 50_000_000,
+            prune_threshold: 0.0,
+        }
+    }
+}
+
+impl ExploreOptions {
+    /// Options with a state limit.
+    pub fn with_max_states(mut self, max: usize) -> Self {
+        self.max_states = max;
+        self
+    }
+
+    /// Options with a probability pruning threshold.
+    pub fn with_prune_threshold(mut self, t: f64) -> Self {
+        self.prune_threshold = t;
+        self
+    }
+}
+
+/// The result of exploring a model: the explicit chain plus the mapping
+/// between model states and matrix indices.
+#[derive(Debug, Clone)]
+pub struct Explored<S> {
+    /// The explicit DTMC.
+    pub dtmc: Dtmc,
+    /// State at each index (`states[id]` is the model state of `id`).
+    pub states: Vec<S>,
+    /// Index of each state.
+    pub index: HashMap<S, StateId>,
+    /// Exploration statistics (the paper's table columns).
+    pub stats: BuildStats,
+}
+
+impl<S> Explored<S> {
+    /// Looks up the id of a model state.
+    pub fn id_of(&self, state: &S) -> Option<StateId>
+    where
+        S: std::hash::Hash + Eq,
+    {
+        self.index.get(state).copied()
+    }
+}
+
+/// Normalizes a successor list: validates probabilities, optionally prunes
+/// tiny ones, and renormalizes. Returns the cleaned list.
+fn clean_successors<S: std::fmt::Debug>(
+    state: &S,
+    mut succ: Vec<(S, f64)>,
+    prune: f64,
+) -> Result<Vec<(S, f64)>, DtmcError> {
+    let mut sum = 0.0;
+    for &(_, p) in &succ {
+        if p < 0.0 || p.is_nan() || p > 1.0 + STOCHASTIC_TOL {
+            return Err(DtmcError::InvalidProbability {
+                state: format!("{state:?}"),
+                prob: p,
+            });
+        }
+        sum += p;
+    }
+    if (sum - 1.0).abs() > STOCHASTIC_TOL {
+        return Err(DtmcError::NotStochastic {
+            state: format!("{state:?}"),
+            sum,
+        });
+    }
+    if prune > 0.0 {
+        succ.retain(|&(_, p)| p >= prune);
+        let kept: f64 = succ.iter().map(|&(_, p)| p).sum();
+        if kept <= 0.0 {
+            return Err(DtmcError::NotStochastic {
+                state: format!("{state:?}"),
+                sum: 0.0,
+            });
+        }
+        for s in &mut succ {
+            s.1 /= kept;
+        }
+    } else {
+        succ.retain(|&(_, p)| p > 0.0);
+    }
+    Ok(succ)
+}
+
+/// Explores a [`DtmcModel`] breadth-first into an explicit [`Dtmc`].
+///
+/// # Errors
+///
+/// Propagates invalid-probability/stochasticity errors from the model and
+/// returns [`DtmcError::StateLimitExceeded`] if the reachable space is
+/// larger than `options.max_states`.
+pub fn explore<M: DtmcModel>(
+    model: &M,
+    options: &ExploreOptions,
+) -> Result<Explored<M::State>, DtmcError> {
+    let start = Instant::now();
+    let mut states: Vec<M::State> = Vec::new();
+    let mut index: HashMap<M::State, StateId> = HashMap::new();
+    let mut depth: Vec<u32> = Vec::new();
+
+    let intern = |s: M::State,
+                  d: u32,
+                  states: &mut Vec<M::State>,
+                  index: &mut HashMap<M::State, StateId>,
+                  depth: &mut Vec<u32>|
+     -> Result<StateId, DtmcError> {
+        if let Some(&id) = index.get(&s) {
+            return Ok(id);
+        }
+        let id = states.len() as StateId;
+        if states.len() >= options.max_states {
+            return Err(DtmcError::StateLimitExceeded {
+                limit: options.max_states,
+            });
+        }
+        index.insert(s.clone(), id);
+        states.push(s);
+        depth.push(d);
+        Ok(id)
+    };
+
+    // Initial distribution.
+    let init = model.initial_states();
+    let mut init_sum = 0.0;
+    let mut initial: Vec<(StateId, f64)> = Vec::with_capacity(init.len());
+    for (s, p) in init {
+        if p < 0.0 || p.is_nan() {
+            return Err(DtmcError::BadInitialDistribution { sum: f64::NAN });
+        }
+        init_sum += p;
+        if p > 0.0 {
+            let id = intern(s, 0, &mut states, &mut index, &mut depth)?;
+            initial.push((id, p));
+        }
+    }
+    if (init_sum - 1.0).abs() > STOCHASTIC_TOL || initial.is_empty() {
+        return Err(DtmcError::BadInitialDistribution { sum: init_sum });
+    }
+
+    // BFS in id order: ids are assigned in discovery order, and we expand
+    // them in that same order, so CSR rows can be emitted sequentially.
+    let mut rows: Vec<Vec<(u32, f64)>> = Vec::new();
+    let mut next = 0usize;
+    let mut max_depth = 0u32;
+    while next < states.len() {
+        let cur_state = states[next].clone();
+        let cur_depth = depth[next];
+        max_depth = max_depth.max(cur_depth);
+        let succ = clean_successors(
+            &cur_state,
+            model.transitions(&cur_state),
+            options.prune_threshold,
+        )?;
+        let mut row = Vec::with_capacity(succ.len());
+        for (s, p) in succ {
+            let id = intern(s, cur_depth + 1, &mut states, &mut index, &mut depth)?;
+            row.push((id, p));
+        }
+        rows.push(row);
+        next += 1;
+    }
+
+    let matrix = TransitionMatrix::Sparse(CsrMatrix::from_rows(rows)?);
+    let dtmc = assemble(model, matrix, initial, &states)?;
+    let stats = BuildStats {
+        states: states.len(),
+        transitions: dtmc.matrix().logical_transitions(),
+        // The fixpoint is detected one frontier expansion after the deepest
+        // discovery (the expansion that finds nothing new).
+        reachability_iterations: max_depth as usize + 1,
+        build_time: start.elapsed(),
+    };
+    Ok(Explored {
+        dtmc,
+        states,
+        index,
+        stats,
+    })
+}
+
+/// Explores a [`MemorylessModel`] into a rank-one [`Dtmc`].
+///
+/// The state space is the support of the shared step distribution plus the
+/// initial state; the matrix stores the distribution once. RI is 2 when the
+/// initial state is itself in the support, 3 otherwise — matching the RI=3
+/// the paper reports for its detector models (reset state, first draw,
+/// fixpoint).
+///
+/// # Errors
+///
+/// Same conditions as [`explore`].
+pub fn explore_memoryless<M: MemorylessModel>(
+    model: &M,
+    options: &ExploreOptions,
+) -> Result<Explored<M::State>, DtmcError> {
+    let start = Instant::now();
+    let init = model.initial_state();
+    let step = clean_successors(&init, model.step_distribution(), options.prune_threshold)?;
+
+    let mut states: Vec<M::State> = Vec::new();
+    let mut index: HashMap<M::State, StateId> = HashMap::new();
+    let intern = |s: M::State,
+                  states: &mut Vec<M::State>,
+                  index: &mut HashMap<M::State, StateId>|
+     -> Result<StateId, DtmcError> {
+        if let Some(&id) = index.get(&s) {
+            return Ok(id);
+        }
+        let id = states.len() as StateId;
+        if states.len() >= options.max_states {
+            return Err(DtmcError::StateLimitExceeded {
+                limit: options.max_states,
+            });
+        }
+        index.insert(s.clone(), id);
+        states.push(s);
+        Ok(id)
+    };
+
+    let init_id = intern(init.clone(), &mut states, &mut index)?;
+    let mut dist: Vec<(u32, f64)> = Vec::with_capacity(step.len());
+    for (s, p) in step {
+        let id = intern(s, &mut states, &mut index)?;
+        dist.push((id, p));
+    }
+    let init_in_support = dist.iter().any(|&(id, _)| id == init_id);
+
+    let matrix = TransitionMatrix::RankOne(RankOneMatrix::new(states.len(), dist)?);
+    let dtmc = assemble_memoryless(model, matrix, vec![(init_id, 1.0)], &states)?;
+    let stats = BuildStats {
+        states: states.len(),
+        transitions: dtmc.matrix().logical_transitions(),
+        reachability_iterations: if init_in_support { 2 } else { 3 },
+        build_time: start.elapsed(),
+    };
+    Ok(Explored {
+        dtmc,
+        states,
+        index,
+        stats,
+    })
+}
+
+fn assemble<M: DtmcModel>(
+    model: &M,
+    matrix: TransitionMatrix,
+    initial: Vec<(StateId, f64)>,
+    states: &[M::State],
+) -> Result<Dtmc, DtmcError> {
+    let mut labels = BTreeMap::new();
+    for ap in model.atomic_propositions() {
+        let bits = BitVec::from_fn(states.len(), |i| model.holds(ap, &states[i]));
+        labels.insert(ap.to_string(), bits);
+    }
+    let rewards = states.iter().map(|s| model.state_reward(s)).collect();
+    Dtmc::new(matrix, initial, labels, rewards)
+}
+
+fn assemble_memoryless<M: MemorylessModel>(
+    model: &M,
+    matrix: TransitionMatrix,
+    initial: Vec<(StateId, f64)>,
+    states: &[M::State],
+) -> Result<Dtmc, DtmcError> {
+    let mut labels = BTreeMap::new();
+    for ap in model.atomic_propositions() {
+        let bits = BitVec::from_fn(states.len(), |i| model.holds(ap, &states[i]));
+        labels.insert(ap.to_string(), bits);
+    }
+    let rewards = states.iter().map(|s| model.state_reward(s)).collect();
+    Dtmc::new(matrix, initial, labels, rewards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Random walk on 0..n with reflecting barriers.
+    struct Walk {
+        n: u8,
+    }
+
+    impl DtmcModel for Walk {
+        type State = u8;
+        fn initial_states(&self) -> Vec<(u8, f64)> {
+            vec![(0, 1.0)]
+        }
+        fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+            if *s == 0 {
+                vec![(1, 1.0)]
+            } else if *s == self.n - 1 {
+                vec![(self.n - 2, 1.0)]
+            } else {
+                vec![(s - 1, 0.5), (s + 1, 0.5)]
+            }
+        }
+        fn atomic_propositions(&self) -> Vec<&'static str> {
+            vec!["end"]
+        }
+        fn holds(&self, ap: &str, s: &u8) -> bool {
+            ap == "end" && *s == self.n - 1
+        }
+    }
+
+    #[test]
+    fn explores_whole_walk() {
+        let e = explore(&Walk { n: 10 }, &ExploreOptions::default()).unwrap();
+        assert_eq!(e.dtmc.n_states(), 10);
+        assert_eq!(e.stats.states, 10);
+        // Line graph: farthest state is at depth 9 → RI 10.
+        assert_eq!(e.stats.reachability_iterations, 10);
+        assert!(e
+            .dtmc
+            .label("end")
+            .unwrap()
+            .get(e.id_of(&9).unwrap() as usize));
+        assert_eq!(e.dtmc.rewards()[e.id_of(&9).unwrap() as usize], 1.0);
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let err = explore(
+            &Walk { n: 100 },
+            &ExploreOptions::default().with_max_states(5),
+        );
+        assert!(matches!(
+            err,
+            Err(DtmcError::StateLimitExceeded { limit: 5 })
+        ));
+    }
+
+    struct BadModel;
+    impl DtmcModel for BadModel {
+        type State = u8;
+        fn initial_states(&self) -> Vec<(u8, f64)> {
+            vec![(0, 1.0)]
+        }
+        fn transitions(&self, _: &u8) -> Vec<(u8, f64)> {
+            vec![(0, 0.5)]
+        }
+    }
+
+    #[test]
+    fn non_stochastic_model_rejected() {
+        let err = explore(&BadModel, &ExploreOptions::default());
+        assert!(matches!(err, Err(DtmcError::NotStochastic { .. })));
+    }
+
+    struct Skewed;
+    impl DtmcModel for Skewed {
+        type State = u8;
+        fn initial_states(&self) -> Vec<(u8, f64)> {
+            vec![(0, 1.0)]
+        }
+        fn transitions(&self, _: &u8) -> Vec<(u8, f64)> {
+            vec![(0, 1.0 - 1e-6), (1, 1e-6)]
+        }
+    }
+
+    #[test]
+    fn pruning_drops_rare_branches() {
+        let full = explore(&Skewed, &ExploreOptions::default()).unwrap();
+        assert_eq!(full.dtmc.n_states(), 2);
+        let pruned = explore(
+            &Skewed,
+            &ExploreOptions::default().with_prune_threshold(1e-3),
+        )
+        .unwrap();
+        assert_eq!(pruned.dtmc.n_states(), 1);
+        // Remaining row renormalized to 1 (matrix constructor would reject
+        // otherwise).
+        assert_eq!(pruned.dtmc.matrix().successors(0), vec![(0, 1.0)]);
+    }
+
+    struct Dice;
+    impl MemorylessModel for Dice {
+        type State = u8;
+        fn initial_state(&self) -> u8 {
+            255
+        }
+        fn step_distribution(&self) -> Vec<(u8, f64)> {
+            (1..=6).map(|f| (f, 1.0 / 6.0)).collect()
+        }
+        fn atomic_propositions(&self) -> Vec<&'static str> {
+            vec!["six"]
+        }
+        fn holds(&self, ap: &str, s: &u8) -> bool {
+            ap == "six" && *s == 6
+        }
+    }
+
+    #[test]
+    fn memoryless_exploration() {
+        let e = explore_memoryless(&Dice, &ExploreOptions::default()).unwrap();
+        assert_eq!(e.dtmc.n_states(), 7); // reset state + 6 faces
+        assert_eq!(e.stats.reachability_iterations, 3);
+        assert_eq!(e.dtmc.matrix().stored_transitions(), 6);
+        assert_eq!(e.dtmc.matrix().logical_transitions(), 42);
+        // Forward from the initial distribution mixes in one step.
+        let pi1 = e.dtmc.matrix().forward(&e.dtmc.initial_dense());
+        let six = e.id_of(&6).unwrap() as usize;
+        assert!((pi1[six] - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memoryless_agrees_with_general_exploration() {
+        use crate::model::MemorylessAsDtmc;
+        let fast = explore_memoryless(&Dice, &ExploreOptions::default()).unwrap();
+        let slow = explore(&MemorylessAsDtmc(Dice), &ExploreOptions::default()).unwrap();
+        assert_eq!(fast.dtmc.n_states(), slow.dtmc.n_states());
+        let pf = crate::transient::distribution_at(&fast.dtmc, 5);
+        let ps = crate::transient::distribution_at(&slow.dtmc, 5);
+        // Same states may have different ids; compare via state lookup.
+        for (s, &id_f) in &fast.index {
+            let id_s = slow.index[s] as usize;
+            assert!((pf[id_f as usize] - ps[id_s]).abs() < 1e-12);
+        }
+    }
+}

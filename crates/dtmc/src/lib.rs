@@ -1,0 +1,82 @@
+//! Explicit-state Discrete-Time Markov Chain (DTMC) substrate.
+//!
+//! This crate implements the modelling layer of the paper: "MIMO RTL designs
+//! can be modeled as finite-state probabilistic systems with discrete-time
+//! transitions. Therefore, we represent them as Discrete-Time Markov Chains."
+//!
+//! A DTMC is described *implicitly* by a [`DtmcModel`]: a state type plus a
+//! probabilistic transition function — exactly the paper's tuple `(S, T_p)`.
+//! [`explore()`] enumerates the reachable state space breadth-first (reporting
+//! the paper's *Reachability Iterations*), interns states, and produces an
+//! explicit [`Dtmc`] holding a row-stochastic [`TransitionMatrix`], atomic
+//! proposition labels, and a state reward structure.
+//!
+//! Memoryless designs such as the paper's MIMO detector — where every state
+//! has the *same* successor distribution and the chain mixes in one step
+//! (RI=3 in the paper's Table V) — are represented with a rank-one matrix
+//! ([`MemorylessModel`]), avoiding the quadratic blow-up an explicit sparse
+//! matrix would incur. This plays the role of the structure sharing PRISM
+//! obtains from MTBDDs.
+//!
+//! Analysis entry points live in [`transient`] (forward probability
+//! propagation for time-bounded properties and instantaneous rewards) and
+//! [`graph`] (SCC/BSCC decomposition, used for steady-state arguments).
+//!
+//! # Example
+//!
+//! ```
+//! use smg_dtmc::{explore, DtmcModel, ExploreOptions};
+//!
+//! /// A two-state on/off chain.
+//! struct OnOff;
+//! impl DtmcModel for OnOff {
+//!     type State = bool;
+//!     fn initial_states(&self) -> Vec<(bool, f64)> {
+//!         vec![(false, 1.0)]
+//!     }
+//!     fn transitions(&self, s: &bool) -> Vec<(bool, f64)> {
+//!         if *s { vec![(false, 0.3), (true, 0.7)] } else { vec![(false, 0.6), (true, 0.4)] }
+//!     }
+//!     fn atomic_propositions(&self) -> Vec<&'static str> {
+//!         vec!["on"]
+//!     }
+//!     fn holds(&self, ap: &str, s: &bool) -> bool {
+//!         ap == "on" && *s
+//!     }
+//! }
+//!
+//! let explored = explore(&OnOff, &ExploreOptions::default())?;
+//! assert_eq!(explored.dtmc.n_states(), 2);
+//! let pi = smg_dtmc::transient::distribution_at(&explored.dtmc, 100);
+//! // Stationary distribution of this chain is (3/7, 4/7).
+//! assert!((pi[1] - 4.0 / 7.0).abs() < 1e-9);
+//! # Ok::<(), smg_dtmc::DtmcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitvec;
+pub mod compose;
+pub mod dtmc;
+pub mod error;
+pub mod explore;
+pub mod export;
+pub mod graph;
+pub mod import;
+pub mod matrix;
+pub mod model;
+pub mod solve;
+pub mod stats;
+pub mod transient;
+pub mod wrappers;
+
+pub use bitvec::BitVec;
+pub use compose::SyncProduct;
+pub use dtmc::{Dtmc, StateId};
+pub use error::DtmcError;
+pub use explore::{explore, explore_memoryless, ExploreOptions, Explored};
+pub use matrix::{CsrMatrix, RankOneMatrix, TransitionMatrix};
+pub use model::{DtmcModel, MemorylessModel};
+pub use stats::BuildStats;
+pub use wrappers::CountingModel;

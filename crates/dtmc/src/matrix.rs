@@ -1,0 +1,466 @@
+//! Transition-matrix representations.
+//!
+//! Two concrete representations sit behind [`TransitionMatrix`]:
+//!
+//! * [`CsrMatrix`] — compressed sparse rows, the workhorse for chains with
+//!   genuine memory (the Viterbi models).
+//! * [`RankOneMatrix`] — every row is the same distribution; this captures
+//!   memoryless designs like the paper's MIMO detector exactly and in `O(n)`
+//!   space instead of `O(n²)`.
+//!
+//! All analyses are expressed through the *masked* forward/backward products
+//! so that time-bounded properties can make target states absorbing without
+//! mutating the matrix (see [`crate::transient`]).
+
+use crate::bitvec::BitVec;
+use crate::error::DtmcError;
+
+/// Tolerance for row-stochasticity checks.
+pub const STOCHASTIC_TOL: f64 = 1e-9;
+
+/// A square row-stochastic matrix in compressed sparse row form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from per-row `(column, value)` lists.
+    ///
+    /// Duplicate columns within a row are merged by summation.
+    ///
+    /// # Errors
+    ///
+    /// * [`DtmcError::InvalidProbability`] for negative or NaN entries.
+    /// * [`DtmcError::NotStochastic`] if a row does not sum to one.
+    pub fn from_rows(rows: Vec<Vec<(u32, f64)>>) -> Result<Self, DtmcError> {
+        let n = rows.len();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for (r, mut row) in rows.into_iter().enumerate() {
+            let mut sum = 0.0;
+            for &(c, v) in &row {
+                if v < 0.0 || v.is_nan() || v > 1.0 + STOCHASTIC_TOL {
+                    return Err(DtmcError::InvalidProbability {
+                        state: format!("#{r}"),
+                        prob: v,
+                    });
+                }
+                debug_assert!((c as usize) < n, "column {c} out of range in row {r}");
+                sum += v;
+            }
+            if (sum - 1.0).abs() > STOCHASTIC_TOL {
+                return Err(DtmcError::NotStochastic {
+                    state: format!("#{r}"),
+                    sum,
+                });
+            }
+            row.sort_by_key(|&(c, _)| c);
+            // Merge duplicates.
+            let mut merged: Vec<(u32, f64)> = Vec::with_capacity(row.len());
+            for (c, v) in row {
+                match merged.last_mut() {
+                    Some((lc, lv)) if *lc == c => *lv += v,
+                    _ => merged.push((c, v)),
+                }
+            }
+            for (c, v) in merged {
+                if v > 0.0 {
+                    cols.push(c);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(cols.len());
+        }
+        Ok(CsrMatrix {
+            n,
+            row_ptr,
+            cols,
+            vals,
+        })
+    }
+
+    /// The dimension (number of states).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The number of stored (non-zero) transitions.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Iterates over `(column, value)` of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.cols[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.vals[lo..hi].iter().copied())
+    }
+
+    /// The transposed matrix in CSR form (rows of the transpose are columns
+    /// of `self`). The transpose of a stochastic matrix is generally not
+    /// stochastic, so this returns raw triplet structure for graph use.
+    pub fn transpose_structure(&self) -> Vec<Vec<u32>> {
+        let mut t: Vec<Vec<u32>> = vec![Vec::new(); self.n];
+        for r in 0..self.n {
+            for (c, _) in self.row(r) {
+                t[c as usize].push(r as u32);
+            }
+        }
+        t
+    }
+}
+
+/// A rank-one stochastic matrix: every row equals `dist`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankOneMatrix {
+    n: usize,
+    dist: Vec<(u32, f64)>,
+}
+
+impl RankOneMatrix {
+    /// Builds a rank-one matrix of dimension `n` whose every row is `dist`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DtmcError::InvalidProbability`] for negative or NaN entries.
+    /// * [`DtmcError::NotStochastic`] if the distribution does not sum to 1.
+    pub fn new(n: usize, mut dist: Vec<(u32, f64)>) -> Result<Self, DtmcError> {
+        let mut sum = 0.0;
+        for &(c, v) in &dist {
+            if v < 0.0 || v.is_nan() || v > 1.0 + STOCHASTIC_TOL {
+                return Err(DtmcError::InvalidProbability {
+                    state: "rank-one row".into(),
+                    prob: v,
+                });
+            }
+            debug_assert!((c as usize) < n, "column {c} out of range");
+            sum += v;
+        }
+        if (sum - 1.0).abs() > STOCHASTIC_TOL {
+            return Err(DtmcError::NotStochastic {
+                state: "rank-one row".into(),
+                sum,
+            });
+        }
+        dist.sort_by_key(|&(c, _)| c);
+        let mut merged: Vec<(u32, f64)> = Vec::with_capacity(dist.len());
+        for (c, v) in dist {
+            match merged.last_mut() {
+                Some((lc, lv)) if *lc == c => *lv += v,
+                _ => merged.push((c, v)),
+            }
+        }
+        merged.retain(|&(_, v)| v > 0.0);
+        Ok(RankOneMatrix { n, dist: merged })
+    }
+
+    /// The dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The shared row distribution.
+    pub fn dist(&self) -> &[(u32, f64)] {
+        &self.dist
+    }
+}
+
+/// A row-stochastic transition matrix in one of the supported
+/// representations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransitionMatrix {
+    /// General sparse representation.
+    Sparse(CsrMatrix),
+    /// Memoryless (identical rows) representation.
+    RankOne(RankOneMatrix),
+}
+
+impl TransitionMatrix {
+    /// The dimension (number of states).
+    pub fn n(&self) -> usize {
+        match self {
+            TransitionMatrix::Sparse(m) => m.n(),
+            TransitionMatrix::RankOne(m) => m.n(),
+        }
+    }
+
+    /// The number of distinct stored transitions. For the rank-one form this
+    /// is the support size of the shared row (the number of *distinct*
+    /// transition distributions' entries, matching how a symbolic engine
+    /// would share them), not `n × support`.
+    pub fn stored_transitions(&self) -> usize {
+        match self {
+            TransitionMatrix::Sparse(m) => m.nnz(),
+            TransitionMatrix::RankOne(m) => m.dist().len(),
+        }
+    }
+
+    /// The *logical* number of transitions of the chain (what PRISM would
+    /// report): `nnz` for sparse, `n × support` for rank-one.
+    pub fn logical_transitions(&self) -> usize {
+        match self {
+            TransitionMatrix::Sparse(m) => m.nnz(),
+            TransitionMatrix::RankOne(m) => m.n() * m.dist().len(),
+        }
+    }
+
+    /// Forward product `out = π · P` (distribution propagation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != n`.
+    pub fn forward(&self, pi: &[f64]) -> Vec<f64> {
+        self.forward_masked(pi, None)
+    }
+
+    /// Forward product where only rows with `active` bit set propagate;
+    /// rows outside the mask contribute nothing (their mass is handled by
+    /// the caller, typically accumulated as absorbed). `None` means all
+    /// rows are active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != n` or the mask length mismatches.
+    pub fn forward_masked(&self, pi: &[f64], active: Option<&BitVec>) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(pi.len(), n, "distribution length mismatch");
+        if let Some(m) = active {
+            assert_eq!(m.len(), n, "mask length mismatch");
+        }
+        let mut out = vec![0.0; n];
+        match self {
+            TransitionMatrix::Sparse(m) => {
+                for (r, &p) in pi.iter().enumerate() {
+                    if p == 0.0 {
+                        continue;
+                    }
+                    if let Some(mask) = active {
+                        if !mask.get(r) {
+                            continue;
+                        }
+                    }
+                    for (c, v) in m.row(r) {
+                        out[c as usize] += p * v;
+                    }
+                }
+            }
+            TransitionMatrix::RankOne(m) => {
+                let mass: f64 = match active {
+                    None => pi.iter().sum(),
+                    Some(mask) => pi
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| mask.get(i))
+                        .map(|(_, &p)| p)
+                        .sum(),
+                };
+                if mass > 0.0 {
+                    for &(c, v) in m.dist() {
+                        out[c as usize] += mass * v;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward product `out = P · x` (value propagation): `out[s]` is the
+    /// expectation of `x` one step after `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn backward(&self, x: &[f64]) -> Vec<f64> {
+        self.backward_masked(x, None)
+    }
+
+    /// Backward product where rows outside the mask keep their current value
+    /// (absorbing semantics: `out[s] = x[s]` for inactive `s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n` or the mask length mismatches.
+    pub fn backward_masked(&self, x: &[f64], active: Option<&BitVec>) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(x.len(), n, "value vector length mismatch");
+        if let Some(m) = active {
+            assert_eq!(m.len(), n, "mask length mismatch");
+        }
+        match self {
+            TransitionMatrix::Sparse(m) => {
+                let mut out = vec![0.0; n];
+                for r in 0..n {
+                    if let Some(mask) = active {
+                        if !mask.get(r) {
+                            out[r] = x[r];
+                            continue;
+                        }
+                    }
+                    let mut acc = 0.0;
+                    for (c, v) in m.row(r) {
+                        acc += v * x[c as usize];
+                    }
+                    out[r] = acc;
+                }
+                out
+            }
+            TransitionMatrix::RankOne(m) => {
+                let shared: f64 = m.dist().iter().map(|&(c, v)| v * x[c as usize]).sum();
+                (0..n)
+                    .map(|r| match active {
+                        Some(mask) if !mask.get(r) => x[r],
+                        _ => shared,
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The successors of state `r` as `(column, probability)` pairs.
+    pub fn successors(&self, r: usize) -> Vec<(u32, f64)> {
+        match self {
+            TransitionMatrix::Sparse(m) => m.row(r).collect(),
+            TransitionMatrix::RankOne(m) => m.dist().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> TransitionMatrix {
+        TransitionMatrix::Sparse(
+            CsrMatrix::from_rows(vec![vec![(0, 0.6), (1, 0.4)], vec![(0, 0.3), (1, 0.7)]]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn csr_validates_rows() {
+        assert!(CsrMatrix::from_rows(vec![vec![(0, 0.5)]]).is_err());
+        assert!(CsrMatrix::from_rows(vec![vec![(0, -0.5), (0, 1.5)]]).is_err());
+        assert!(CsrMatrix::from_rows(vec![vec![(0, f64::NAN), (0, 1.0)]]).is_err());
+    }
+
+    #[test]
+    fn csr_merges_duplicates() {
+        let m = CsrMatrix::from_rows(vec![vec![(0, 0.25), (0, 0.25), (0, 0.5)]]).unwrap();
+        assert_eq!(m.nnz(), 1);
+        let row: Vec<_> = m.row(0).collect();
+        assert_eq!(row.len(), 1);
+        assert!((row[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_preserves_mass() {
+        let m = two_state();
+        let pi = vec![0.25, 0.75];
+        let out = m.forward(&pi);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((out[0] - (0.25 * 0.6 + 0.75 * 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_is_expectation() {
+        let m = two_state();
+        let x = vec![1.0, 0.0];
+        let out = m.backward(&x);
+        assert!((out[0] - 0.6).abs() < 1e-12);
+        assert!((out[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_forward_absorbs() {
+        let m = two_state();
+        let mut mask = BitVec::ones(2);
+        mask.set(1, false); // state 1 is absorbing
+        let pi = vec![1.0, 0.0];
+        let out = m.forward_masked(&pi, Some(&mask));
+        // Only state 0 propagates.
+        assert!((out[0] - 0.6).abs() < 1e-12);
+        assert!((out[1] - 0.4).abs() < 1e-12);
+        let out2 = m.forward_masked(&out, Some(&mask));
+        // Mass already in state 1 (0.4) is dropped by the masked product —
+        // the caller accumulates it separately.
+        assert!((out2.iter().sum::<f64>() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_backward_holds_values() {
+        let m = two_state();
+        let mut mask = BitVec::ones(2);
+        mask.set(1, false);
+        let x = vec![0.0, 1.0];
+        let out = m.backward_masked(&x, Some(&mask));
+        assert!((out[1] - 1.0).abs() < 1e-12, "absorbing state keeps value");
+        assert!((out[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_one_matches_equivalent_sparse() {
+        let dist = vec![(0u32, 0.2), (1, 0.5), (2, 0.3)];
+        let r1 = TransitionMatrix::RankOne(RankOneMatrix::new(3, dist.clone()).unwrap());
+        let sp = TransitionMatrix::Sparse(
+            CsrMatrix::from_rows(vec![dist.clone(), dist.clone(), dist]).unwrap(),
+        );
+        let pi = vec![0.5, 0.25, 0.25];
+        let f1 = r1.forward(&pi);
+        let f2 = sp.forward(&pi);
+        for (a, b) in f1.iter().zip(&f2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let x = vec![3.0, -1.0, 2.0];
+        let b1 = r1.backward(&x);
+        let b2 = sp.backward(&x);
+        for (a, b) in b1.iter().zip(&b2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let mut mask = BitVec::ones(3);
+        mask.set(2, false);
+        let m1 = r1.forward_masked(&pi, Some(&mask));
+        let m2 = sp.forward_masked(&pi, Some(&mask));
+        for (a, b) in m1.iter().zip(&m2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let v1 = r1.backward_masked(&x, Some(&mask));
+        let v2 = sp.backward_masked(&x, Some(&mask));
+        for (a, b) in v1.iter().zip(&v2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_one_transition_counts() {
+        let m =
+            TransitionMatrix::RankOne(RankOneMatrix::new(100, vec![(0, 0.5), (1, 0.5)]).unwrap());
+        assert_eq!(m.stored_transitions(), 2);
+        assert_eq!(m.logical_transitions(), 200);
+        assert_eq!(m.successors(42), vec![(0, 0.5), (1, 0.5)]);
+    }
+
+    #[test]
+    fn rank_one_validates() {
+        assert!(RankOneMatrix::new(2, vec![(0, 0.4)]).is_err());
+        assert!(RankOneMatrix::new(2, vec![(0, -0.1), (1, 1.1)]).is_err());
+        // Duplicates merged.
+        let m = RankOneMatrix::new(2, vec![(1, 0.5), (1, 0.5)]).unwrap();
+        assert_eq!(m.dist(), &[(1u32, 1.0)]);
+    }
+
+    #[test]
+    fn transpose_structure() {
+        let m = CsrMatrix::from_rows(vec![vec![(1, 1.0)], vec![(0, 0.5), (1, 0.5)]]).unwrap();
+        let t = m.transpose_structure();
+        assert_eq!(t[0], vec![1]);
+        assert_eq!(t[1], vec![0, 1]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Implicit DTMC model descriptions.
+//!
+//! A [`DtmcModel`] is the paper's tuple `(S, T_p)`: a set of state variables
+//! (the `State` associated type — "a state is a unique assignment of values
+//! to the state variables") and a probabilistic state transition relation
+//! (`transitions`). Atomic propositions (such as the paper's `flag`) and
+//! state rewards (the paper's reward model, "for each state, we assign a
+//! reward equal to the value of flag in that state") are part of the model
+//! so that exploration can label the explicit chain.
+
+use std::fmt;
+use std::hash::Hash;
+
+/// An implicit description of a finite DTMC.
+///
+/// Implementors define the chain by its initial distribution and a
+/// transition function; [`crate::explore()`] turns this into an explicit
+/// [`crate::Dtmc`].
+///
+/// # Example
+///
+/// ```
+/// use smg_dtmc::DtmcModel;
+///
+/// /// A biased random walk on 0..=3 with absorbing ends.
+/// struct Walk;
+/// impl DtmcModel for Walk {
+///     type State = u8;
+///     fn initial_states(&self) -> Vec<(u8, f64)> {
+///         vec![(1, 1.0)]
+///     }
+///     fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+///         match *s {
+///             0 | 3 => vec![(*s, 1.0)],
+///             s => vec![(s - 1, 0.4), (s + 1, 0.6)],
+///         }
+///     }
+///     fn atomic_propositions(&self) -> Vec<&'static str> {
+///         vec!["goal"]
+///     }
+///     fn holds(&self, ap: &str, s: &u8) -> bool {
+///         ap == "goal" && *s == 3
+///     }
+/// }
+/// ```
+pub trait DtmcModel {
+    /// A unique assignment of values to the model's state variables.
+    type State: Clone + Eq + Hash + fmt::Debug;
+
+    /// The initial probability distribution over states. Masses must sum
+    /// to one.
+    fn initial_states(&self) -> Vec<(Self::State, f64)>;
+
+    /// The probabilistic transition relation `T_p`: successor states of `s`
+    /// with their probabilities. Masses must sum to one; duplicate successor
+    /// states are allowed and are merged during exploration.
+    fn transitions(&self, state: &Self::State) -> Vec<(Self::State, f64)>;
+
+    /// Names of the atomic propositions this model labels states with.
+    fn atomic_propositions(&self) -> Vec<&'static str> {
+        Vec::new()
+    }
+
+    /// Whether atomic proposition `ap` holds in `state`. Must return `false`
+    /// for names not listed by [`DtmcModel::atomic_propositions`].
+    fn holds(&self, ap: &str, state: &Self::State) -> bool {
+        let _ = (ap, state);
+        false
+    }
+
+    /// The reward assigned to `state`. Defaults to the value of the first
+    /// atomic proposition if any (matching the paper's 0/1 `flag` reward
+    /// model), else zero.
+    fn state_reward(&self, state: &Self::State) -> f64 {
+        match self.atomic_propositions().first() {
+            Some(ap) if self.holds(ap, state) => 1.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// A DTMC whose successor distribution is the *same for every state*.
+///
+/// This is the structure of the paper's MIMO detector model: each time step
+/// independently draws fresh transmitted bits, channel coefficients and
+/// noise, so the chain forgets its state entirely — "RI = 3" in the paper's
+/// Table V. Exploring such a model as a generic [`DtmcModel`] would build a
+/// dense `n × n` matrix; [`crate::explore_memoryless`] instead produces a
+/// rank-one representation of size `n`.
+pub trait MemorylessModel {
+    /// A unique assignment of values to the model's state variables.
+    type State: Clone + Eq + Hash + fmt::Debug;
+
+    /// The initial state (typically a reset state before the first draw).
+    fn initial_state(&self) -> Self::State;
+
+    /// The one-step distribution shared by all states. Masses must sum to
+    /// one; duplicate outcomes are allowed and are merged.
+    fn step_distribution(&self) -> Vec<(Self::State, f64)>;
+
+    /// Names of the atomic propositions this model labels states with.
+    fn atomic_propositions(&self) -> Vec<&'static str> {
+        Vec::new()
+    }
+
+    /// Whether atomic proposition `ap` holds in `state`.
+    fn holds(&self, ap: &str, state: &Self::State) -> bool {
+        let _ = (ap, state);
+        false
+    }
+
+    /// The reward assigned to `state` (same default as [`DtmcModel`]).
+    fn state_reward(&self, state: &Self::State) -> f64 {
+        match self.atomic_propositions().first() {
+            Some(ap) if self.holds(ap, state) => 1.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Adapter exposing a [`MemorylessModel`] through the general [`DtmcModel`]
+/// interface (used by tests and by the reduction checkers, which want the
+/// general view; large detector instances should prefer
+/// [`crate::explore_memoryless`]).
+#[derive(Debug, Clone)]
+pub struct MemorylessAsDtmc<M>(pub M);
+
+impl<M: MemorylessModel> DtmcModel for MemorylessAsDtmc<M> {
+    type State = M::State;
+
+    fn initial_states(&self) -> Vec<(Self::State, f64)> {
+        vec![(self.0.initial_state(), 1.0)]
+    }
+
+    fn transitions(&self, _state: &Self::State) -> Vec<(Self::State, f64)> {
+        self.0.step_distribution()
+    }
+
+    fn atomic_propositions(&self) -> Vec<&'static str> {
+        self.0.atomic_propositions()
+    }
+
+    fn holds(&self, ap: &str, state: &Self::State) -> bool {
+        self.0.holds(ap, state)
+    }
+
+    fn state_reward(&self, state: &Self::State) -> f64 {
+        self.0.state_reward(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Coin;
+    impl MemorylessModel for Coin {
+        type State = u8;
+        fn initial_state(&self) -> u8 {
+            2
+        }
+        fn step_distribution(&self) -> Vec<(u8, f64)> {
+            vec![(0, 0.5), (1, 0.5)]
+        }
+        fn atomic_propositions(&self) -> Vec<&'static str> {
+            vec!["heads"]
+        }
+        fn holds(&self, ap: &str, s: &u8) -> bool {
+            ap == "heads" && *s == 1
+        }
+    }
+
+    #[test]
+    fn default_reward_tracks_first_ap() {
+        let c = Coin;
+        assert_eq!(c.state_reward(&1), 1.0);
+        assert_eq!(c.state_reward(&0), 0.0);
+    }
+
+    #[test]
+    fn adapter_preserves_semantics() {
+        let m = MemorylessAsDtmc(Coin);
+        assert_eq!(m.initial_states(), vec![(2, 1.0)]);
+        assert_eq!(m.transitions(&0), m.transitions(&1));
+        assert!(m.holds("heads", &1));
+        assert!(!m.holds("heads", &0));
+        assert_eq!(m.atomic_propositions(), vec!["heads"]);
+        assert_eq!(m.state_reward(&1), 1.0);
+    }
+
+    struct NoAps;
+    impl DtmcModel for NoAps {
+        type State = ();
+        fn initial_states(&self) -> Vec<((), f64)> {
+            vec![((), 1.0)]
+        }
+        fn transitions(&self, _: &()) -> Vec<((), f64)> {
+            vec![((), 1.0)]
+        }
+    }
+
+    #[test]
+    fn default_reward_without_aps_is_zero() {
+        assert_eq!(NoAps.state_reward(&()), 0.0);
+        assert!(!NoAps.holds("x", &()));
+        assert!(NoAps.atomic_propositions().is_empty());
+    }
+}

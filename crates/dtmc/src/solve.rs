@@ -1,0 +1,236 @@
+//! Linear-equation solvers for unbounded properties.
+//!
+//! PRISM's default engine for unbounded reachability is Gauss–Seidel
+//! iteration on the linear system `x = P·x` restricted to non-target,
+//! non-failure states; this module provides the same, converging
+//! markedly faster than the Jacobi-style value iteration in
+//! [`crate::transient::unbounded_reach_values`] (both are provided, and
+//! tests pin their agreement).
+
+use crate::bitvec::BitVec;
+use crate::dtmc::Dtmc;
+use crate::error::DtmcError;
+use crate::matrix::TransitionMatrix;
+
+/// Unbounded reachability probabilities `P(F target)` from every state,
+/// solved by Gauss–Seidel iteration with in-place sweeps.
+///
+/// # Errors
+///
+/// * [`DtmcError::DimensionMismatch`] if the target mask has the wrong
+///   length.
+/// * [`DtmcError::NoConvergence`] if `max_iter` sweeps do not reach the
+///   tolerance.
+pub fn gauss_seidel_reach(
+    dtmc: &Dtmc,
+    target: &BitVec,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Vec<f64>, DtmcError> {
+    let n = dtmc.n_states();
+    if target.len() != n {
+        return Err(DtmcError::DimensionMismatch {
+            expected: n,
+            actual: target.len(),
+        });
+    }
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| if target.get(i) { 1.0 } else { 0.0 })
+        .collect();
+
+    match dtmc.matrix() {
+        TransitionMatrix::RankOne(m) => {
+            // Every non-target state's value v satisfies
+            //   v = Σ_{c∈target} p_c + v · Σ_{c∉target} p_c
+            // (all rows identical), which has the closed form below.
+            let hit: f64 = m
+                .dist()
+                .iter()
+                .filter(|&&(c, _)| target.get(c as usize))
+                .map(|&(_, p)| p)
+                .sum();
+            let stay: f64 = 1.0 - hit;
+            let v = if stay >= 1.0 { 0.0 } else { hit / (1.0 - stay) };
+            for (i, slot) in x.iter_mut().enumerate() {
+                if !target.get(i) {
+                    *slot = v;
+                }
+            }
+            Ok(x)
+        }
+        TransitionMatrix::Sparse(_) => {
+            for _ in 0..max_iter {
+                let mut delta: f64 = 0.0;
+                for i in 0..n {
+                    if target.get(i) {
+                        continue;
+                    }
+                    let mut acc = 0.0;
+                    let mut self_loop = 0.0;
+                    for (c, p) in dtmc.matrix().successors(i) {
+                        if c as usize == i {
+                            self_loop += p;
+                        } else {
+                            acc += p * x[c as usize];
+                        }
+                    }
+                    // Solve the diagonal immediately: x_i = acc + a_ii x_i.
+                    let new = if self_loop < 1.0 {
+                        acc / (1.0 - self_loop)
+                    } else {
+                        // Pure self-loop outside the target never reaches it.
+                        0.0
+                    };
+                    delta = delta.max((new - x[i]).abs());
+                    x[i] = new;
+                }
+                if delta < tol {
+                    return Ok(x);
+                }
+            }
+            Err(DtmcError::NoConvergence {
+                iterations: max_iter,
+                residual: tol,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, explore_memoryless, ExploreOptions};
+    use crate::model::{DtmcModel, MemorylessModel};
+    use crate::transient;
+
+    /// Gambler's ruin on 0..=4 starting at 2 with p = 0.4 up.
+    struct Ruin;
+    impl DtmcModel for Ruin {
+        type State = u8;
+        fn initial_states(&self) -> Vec<(u8, f64)> {
+            vec![(2, 1.0)]
+        }
+        fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+            match *s {
+                0 => vec![(0, 1.0)],
+                4 => vec![(4, 1.0)],
+                s => vec![(s + 1, 0.4), (s - 1, 0.6)],
+            }
+        }
+        fn atomic_propositions(&self) -> Vec<&'static str> {
+            vec!["rich"]
+        }
+        fn holds(&self, ap: &str, s: &u8) -> bool {
+            ap == "rich" && *s == 4
+        }
+    }
+
+    #[test]
+    fn matches_closed_form_gambler() {
+        let e = explore(&Ruin, &ExploreOptions::default()).unwrap();
+        let rich = e.dtmc.label("rich").unwrap().clone();
+        let x = gauss_seidel_reach(&e.dtmc, &rich, 1e-14, 100_000).unwrap();
+        // Closed form: with q/p ratio r = 0.6/0.4 = 1.5,
+        // P(reach 4 from k) = (1 - r^k) / (1 - r^4).
+        let r: f64 = 1.5;
+        for k in 0..=4u8 {
+            let want = (1.0 - r.powi(k as i32)) / (1.0 - r.powi(4));
+            let got = x[e.id_of(&k).unwrap() as usize];
+            assert!((got - want).abs() < 1e-10, "k={k}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_value_iteration() {
+        let e = explore(&Ruin, &ExploreOptions::default()).unwrap();
+        let rich = e.dtmc.label("rich").unwrap().clone();
+        let gs = gauss_seidel_reach(&e.dtmc, &rich, 1e-13, 100_000).unwrap();
+        let vi = transient::unbounded_reach_values(&e.dtmc, &rich, 1e-13, 1_000_000).unwrap();
+        for (a, b) in gs.iter().zip(&vi) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_needs_fewer_sweeps() {
+        // With a generous tolerance both converge; with a tight iteration
+        // budget only Gauss–Seidel makes it on this chain.
+        let e = explore(&Ruin, &ExploreOptions::default()).unwrap();
+        let rich = e.dtmc.label("rich").unwrap().clone();
+        let budget = 100;
+        let gs = gauss_seidel_reach(&e.dtmc, &rich, 1e-12, budget);
+        assert!(
+            gs.is_ok(),
+            "gauss-seidel should converge in {budget} sweeps"
+        );
+    }
+
+    struct Dice;
+    impl MemorylessModel for Dice {
+        type State = u8;
+        fn initial_state(&self) -> u8 {
+            0
+        }
+        fn step_distribution(&self) -> Vec<(u8, f64)> {
+            (1..=6).map(|f| (f, 1.0 / 6.0)).collect()
+        }
+        fn atomic_propositions(&self) -> Vec<&'static str> {
+            vec!["six"]
+        }
+        fn holds(&self, ap: &str, s: &u8) -> bool {
+            ap == "six" && *s == 6
+        }
+    }
+
+    #[test]
+    fn rank_one_closed_form() {
+        let e = explore_memoryless(&Dice, &ExploreOptions::default()).unwrap();
+        let six = e.dtmc.label("six").unwrap().clone();
+        let x = gauss_seidel_reach(&e.dtmc, &six, 1e-14, 10).unwrap();
+        // Geometric: the six is eventually rolled with probability 1.
+        for (i, v) in x.iter().enumerate() {
+            let expect = 1.0;
+            assert!((v - expect).abs() < 1e-12, "state {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn absorbing_failure_states_stay_zero() {
+        // 0 → {1: .5, 2: .5}; 1 absorbing target; 2 absorbing failure.
+        struct Split;
+        impl DtmcModel for Split {
+            type State = u8;
+            fn initial_states(&self) -> Vec<(u8, f64)> {
+                vec![(0, 1.0)]
+            }
+            fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+                match *s {
+                    0 => vec![(1, 0.5), (2, 0.5)],
+                    s => vec![(s, 1.0)],
+                }
+            }
+            fn atomic_propositions(&self) -> Vec<&'static str> {
+                vec!["goal"]
+            }
+            fn holds(&self, ap: &str, s: &u8) -> bool {
+                ap == "goal" && *s == 1
+            }
+        }
+        let e = explore(&Split, &ExploreOptions::default()).unwrap();
+        let goal = e.dtmc.label("goal").unwrap().clone();
+        let x = gauss_seidel_reach(&e.dtmc, &goal, 1e-14, 1000).unwrap();
+        assert!((x[e.id_of(&0).unwrap() as usize] - 0.5).abs() < 1e-12);
+        assert_eq!(x[e.id_of(&2).unwrap() as usize], 0.0);
+        assert_eq!(x[e.id_of(&1).unwrap() as usize], 1.0);
+    }
+
+    #[test]
+    fn dimension_checked() {
+        let e = explore(&Ruin, &ExploreOptions::default()).unwrap();
+        let bad = BitVec::zeros(2);
+        assert!(matches!(
+            gauss_seidel_reach(&e.dtmc, &bad, 1e-9, 10),
+            Err(DtmcError::DimensionMismatch { .. })
+        ));
+    }
+}

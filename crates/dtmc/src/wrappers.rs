@@ -1,0 +1,216 @@
+//! Model combinators.
+//!
+//! [`CountingModel`] instruments a model with a saturating counter of the
+//! steps in which a chosen atomic proposition holds. This is how the paper's
+//! worst-case property P3 is expressed: "Probability that number of errors
+//! occurring in T steps is greater than a pre-determined value" — the
+//! counter counts `flag` steps and a new proposition `count_exceeds` holds
+//! once the count passes the threshold. The counter saturates at
+//! `threshold + 1`, which keeps the product state space small (the paper's
+//! Table I shows the P3 model at roughly twice the size of the P1/P2 model,
+//! matching one extra saturating counter bit).
+
+use crate::model::DtmcModel;
+
+/// The atomic proposition added by [`CountingModel`].
+pub const COUNT_EXCEEDS: &str = "count_exceeds";
+
+/// A model extended with a saturating occurrence counter for one of its
+/// atomic propositions.
+///
+/// The product state is `(inner_state, count)` where `count` saturates at
+/// `threshold + 1`; proposition [`COUNT_EXCEEDS`] holds when
+/// `count > threshold`.
+///
+/// # Example
+///
+/// ```
+/// use smg_dtmc::{explore, CountingModel, DtmcModel, ExploreOptions};
+/// use smg_dtmc::wrappers::COUNT_EXCEEDS;
+///
+/// struct Coin;
+/// impl DtmcModel for Coin {
+///     type State = bool;
+///     fn initial_states(&self) -> Vec<(bool, f64)> { vec![(false, 1.0)] }
+///     fn transitions(&self, _: &bool) -> Vec<(bool, f64)> {
+///         vec![(false, 0.5), (true, 0.5)]
+///     }
+///     fn atomic_propositions(&self) -> Vec<&'static str> { vec!["heads"] }
+///     fn holds(&self, ap: &str, s: &bool) -> bool { ap == "heads" && *s }
+/// }
+///
+/// // Count heads; "count_exceeds" holds once more than 1 head was seen.
+/// let counted = CountingModel::new(Coin, "heads", 1);
+/// let e = explore(&counted, &ExploreOptions::default())?;
+/// let p = smg_dtmc::transient::bounded_reach_prob(
+///     &e.dtmc, e.dtmc.label(COUNT_EXCEEDS)?, 3)?;
+/// // P(≥2 heads in 3 tosses) = 1/2 (state counts heads *after* each toss).
+/// assert!((p - 0.5).abs() < 1e-12);
+/// # Ok::<(), smg_dtmc::DtmcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingModel<M> {
+    inner: M,
+    counted_ap: &'static str,
+    threshold: u32,
+}
+
+impl<M: DtmcModel> CountingModel<M> {
+    /// Wraps `inner`, counting steps where `counted_ap` holds; the
+    /// [`COUNT_EXCEEDS`] proposition holds when the count exceeds
+    /// `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counted_ap` is not one of the inner model's atomic
+    /// propositions.
+    pub fn new(inner: M, counted_ap: &'static str, threshold: u32) -> Self {
+        assert!(
+            inner.atomic_propositions().contains(&counted_ap),
+            "`{counted_ap}` is not an atomic proposition of the inner model"
+        );
+        CountingModel {
+            inner,
+            counted_ap,
+            threshold,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The threshold above which [`COUNT_EXCEEDS`] holds.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    fn count_for(&self, state: &M::State, count: u32) -> u32 {
+        let cap = self.threshold + 1;
+        if self.inner.holds(self.counted_ap, state) {
+            (count + 1).min(cap)
+        } else {
+            count
+        }
+    }
+}
+
+impl<M: DtmcModel> DtmcModel for CountingModel<M> {
+    type State = (M::State, u32);
+
+    fn initial_states(&self) -> Vec<(Self::State, f64)> {
+        self.inner
+            .initial_states()
+            .into_iter()
+            .map(|(s, p)| {
+                let c = self.count_for(&s, 0);
+                ((s, c), p)
+            })
+            .collect()
+    }
+
+    fn transitions(&self, state: &Self::State) -> Vec<(Self::State, f64)> {
+        let (s, count) = state;
+        self.inner
+            .transitions(s)
+            .into_iter()
+            .map(|(s2, p)| {
+                let c2 = self.count_for(&s2, *count);
+                ((s2, c2), p)
+            })
+            .collect()
+    }
+
+    fn atomic_propositions(&self) -> Vec<&'static str> {
+        let mut aps = self.inner.atomic_propositions();
+        aps.push(COUNT_EXCEEDS);
+        aps
+    }
+
+    fn holds(&self, ap: &str, state: &Self::State) -> bool {
+        if ap == COUNT_EXCEEDS {
+            state.1 > self.threshold
+        } else {
+            self.inner.holds(ap, &state.0)
+        }
+    }
+
+    fn state_reward(&self, state: &Self::State) -> f64 {
+        self.inner.state_reward(&state.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExploreOptions};
+    use crate::transient;
+
+    struct Coin;
+    impl DtmcModel for Coin {
+        type State = bool;
+        fn initial_states(&self) -> Vec<(bool, f64)> {
+            vec![(false, 1.0)]
+        }
+        fn transitions(&self, _: &bool) -> Vec<(bool, f64)> {
+            vec![(false, 0.5), (true, 0.5)]
+        }
+        fn atomic_propositions(&self) -> Vec<&'static str> {
+            vec!["heads"]
+        }
+        fn holds(&self, ap: &str, s: &bool) -> bool {
+            ap == "heads" && *s
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not an atomic proposition")]
+    fn unknown_ap_rejected() {
+        let _ = CountingModel::new(Coin, "tails", 1);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let c = CountingModel::new(Coin, "heads", 2);
+        // cap = 3.
+        assert_eq!(c.count_for(&true, 3), 3);
+        assert_eq!(c.count_for(&true, 2), 3);
+        assert_eq!(c.count_for(&false, 2), 2);
+    }
+
+    #[test]
+    fn exceed_probability_matches_binomial() {
+        // P(#heads > 1 within t tosses) for a fair coin; the counted state
+        // is the coin face *after* each toss, so t tosses = t steps.
+        let counted = CountingModel::new(Coin, "heads", 1);
+        let e = explore(&counted, &ExploreOptions::default()).unwrap();
+        let label = e.dtmc.label(COUNT_EXCEEDS).unwrap().clone();
+        // P(≥2 heads in 3) = C(3,2)/8 + C(3,3)/8 = 4/8.
+        let p3 = transient::bounded_reach_prob(&e.dtmc, &label, 3).unwrap();
+        assert!((p3 - 0.5).abs() < 1e-12, "p3 = {p3}");
+        // P(≥2 heads in 2) = 1/4.
+        let p2 = transient::bounded_reach_prob(&e.dtmc, &label, 2).unwrap();
+        assert!((p2 - 0.25).abs() < 1e-12, "p2 = {p2}");
+    }
+
+    #[test]
+    fn state_space_growth_is_bounded() {
+        // Counter saturates at threshold+1, so the product space is at most
+        // |inner| × (threshold + 2).
+        let counted = CountingModel::new(Coin, "heads", 1);
+        let e = explore(&counted, &ExploreOptions::default()).unwrap();
+        assert!(e.dtmc.n_states() <= 2 * 3);
+        // Rewards pass through from the inner model.
+        let heads_id = e.id_of(&(true, 1)).unwrap() as usize;
+        assert_eq!(e.dtmc.rewards()[heads_id], 1.0);
+    }
+
+    #[test]
+    fn inner_accessors() {
+        let counted = CountingModel::new(Coin, "heads", 4);
+        assert_eq!(counted.threshold(), 4);
+        assert!(counted.inner().holds("heads", &true));
+        assert!(counted.atomic_propositions().contains(&COUNT_EXCEEDS));
+    }
+}

@@ -1,0 +1,465 @@
+//! Abstract syntax for the guarded-command language.
+//!
+//! A [`Program`] mirrors a PRISM `dtmc` model file: constants, formulas,
+//! modules of range-bounded variables and guarded commands, `label`
+//! declarations naming atomic propositions, and `rewards` blocks.
+
+use crate::error::Pos;
+use std::fmt;
+
+/// Binary operators, in increasing binding strength groups (see
+/// [`crate::parser`] for precedence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `|`
+    Or,
+    /// `&`
+    And,
+    /// `=>` (material implication)
+    Implies,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (always real division, as in PRISM)
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Or => "|",
+            BinOp::And => "&",
+            BinOp::Implies => "=>",
+            BinOp::Eq => "=",
+            BinOp::Neq => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Built-in functions (`min`, `max`, `floor`, `ceil`, `mod`, `pow`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Func {
+    /// `min(a, b, ...)` — smallest argument.
+    Min,
+    /// `max(a, b, ...)` — largest argument.
+    Max,
+    /// `floor(a)` — round towards −∞ (result is `int`).
+    Floor,
+    /// `ceil(a)` — round towards +∞ (result is `int`).
+    Ceil,
+    /// `mod(a, b)` — Euclidean remainder (result is `int`, always ≥ 0 for
+    /// `b > 0`, matching PRISM).
+    Mod,
+    /// `pow(a, b)` — exponentiation (`int` if both args are `int` and
+    /// `b ≥ 0`, else `double`).
+    Pow,
+}
+
+impl Func {
+    /// Parses a function name.
+    pub fn from_name(name: &str) -> Option<Func> {
+        Some(match name {
+            "min" => Func::Min,
+            "max" => Func::Max,
+            "floor" => Func::Floor,
+            "ceil" => Func::Ceil,
+            "mod" => Func::Mod,
+            "pow" => Func::Pow,
+            _ => return None,
+        })
+    }
+
+    /// The surface name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Func::Min => "min",
+            Func::Max => "max",
+            Func::Floor => "floor",
+            Func::Ceil => "ceil",
+            Func::Mod => "mod",
+            Func::Pow => "pow",
+        }
+    }
+
+    /// Number of arguments accepted: `(min, max)` — `None` max means
+    /// variadic.
+    pub fn arity(self) -> (usize, Option<usize>) {
+        match self {
+            Func::Min | Func::Max => (2, None),
+            Func::Floor | Func::Ceil => (1, Some(1)),
+            Func::Mod | Func::Pow => (2, Some(2)),
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Double(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable, constant or formula reference.
+    Name(String, Pos),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional `cond ? a : b`.
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Function application.
+    Apply(Func, Vec<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a name with a default position (used by tests and by
+    /// programmatic model builders).
+    pub fn name(s: &str) -> Expr {
+        Expr::Name(s.to_string(), Pos::start())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(v) => write!(f, "{v}"),
+            Expr::Double(v) => {
+                // Keep round-trippability: always show a decimal point.
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Bool(v) => write!(f, "{v}"),
+            Expr::Name(s, _) => write!(f, "{s}"),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+            Expr::Not(e) => write!(f, "(!{e})"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Ite(c, a, b) => write!(f, "({c} ? {a} : {b})"),
+            Expr::Apply(func, args) => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Declared type of a constant or variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeclType {
+    /// `bool`
+    Bool,
+    /// `int` with an inclusive range `[lo..hi]` (expressions over
+    /// constants).
+    Range(Expr, Expr),
+}
+
+/// A module-local state variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// `bool` or a range.
+    pub ty: DeclType,
+    /// Initial-value expression (defaults to `lo` / `false`).
+    pub init: Option<Expr>,
+    /// Source position of the declaration.
+    pub pos: Pos,
+}
+
+/// One `(x'=e)` assignment inside an update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assign {
+    /// Target variable.
+    pub var: String,
+    /// New-value expression (primed semantics: reads are *pre*-state).
+    pub value: Expr,
+    /// Source position of the target.
+    pub pos: Pos,
+}
+
+/// One probabilistic branch of a command: `prob : (x'=..) & (y'=..)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    /// Probability expression (defaults to `1` when omitted).
+    pub prob: Expr,
+    /// Assignments applied atomically. An empty list is PRISM's `true`
+    /// (self-loop for this module's variables).
+    pub assigns: Vec<Assign>,
+}
+
+/// A guarded command `[label] guard -> u1 + u2 + ...;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Command {
+    /// Optional synchronization label (parsed and kept for display; the
+    /// compiler's synchronous-product semantics steps every module each
+    /// tick, so labels have no further effect — see `crate::model`).
+    pub action: Option<String>,
+    /// Boolean guard.
+    pub guard: Expr,
+    /// Probabilistic updates.
+    pub updates: Vec<Update>,
+    /// Source position of the opening `[`.
+    pub pos: Pos,
+}
+
+/// A module: named variables plus guarded commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Variables owned (written) by this module.
+    pub vars: Vec<VarDecl>,
+    /// Guarded commands.
+    pub commands: Vec<Command>,
+    /// Source position of the `module` keyword.
+    pub pos: Pos,
+}
+
+/// A `const` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDecl {
+    /// Constant name.
+    pub name: String,
+    /// Optional annotated type keyword (`int` / `double` / `bool`) —
+    /// retained for display; the value's runtime type is what matters.
+    pub ty: Option<String>,
+    /// Defining expression (may reference earlier constants).
+    pub value: Expr,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A `formula` declaration — a macro expanded by name at evaluation sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormulaDecl {
+    /// Formula name.
+    pub name: String,
+    /// Body.
+    pub body: Expr,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A `label "name" = expr;` declaration — an atomic proposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelDecl {
+    /// Proposition name (the quoted string).
+    pub name: String,
+    /// Defining boolean expression.
+    pub body: Expr,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// One `guard : value;` item in a rewards block (state rewards only —
+/// the paper's reward models are all state rewards).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewardItem {
+    /// States the reward applies to.
+    pub guard: Expr,
+    /// Reward value expression.
+    pub value: Expr,
+}
+
+/// A `rewards ["name"] ... endrewards` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewardsDecl {
+    /// Optional name; the unnamed block is the model's default reward
+    /// structure.
+    pub name: Option<String>,
+    /// Items, summed per state.
+    pub items: Vec<RewardItem>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// `const` declarations, in source order.
+    pub consts: Vec<ConstDecl>,
+    /// `formula` declarations.
+    pub formulas: Vec<FormulaDecl>,
+    /// Modules, in source order (their variables concatenate to form the
+    /// state vector).
+    pub modules: Vec<Module>,
+    /// Atomic propositions.
+    pub labels: Vec<LabelDecl>,
+    /// Reward structures.
+    pub rewards: Vec<RewardsDecl>,
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dtmc")?;
+        for c in &self.consts {
+            match &c.ty {
+                Some(ty) => writeln!(f, "const {ty} {} = {};", c.name, c.value)?,
+                None => writeln!(f, "const {} = {};", c.name, c.value)?,
+            }
+        }
+        for fm in &self.formulas {
+            writeln!(f, "formula {} = {};", fm.name, fm.body)?;
+        }
+        for m in &self.modules {
+            writeln!(f, "module {}", m.name)?;
+            for v in &m.vars {
+                match &v.ty {
+                    DeclType::Bool => write!(f, "  {} : bool", v.name)?,
+                    DeclType::Range(lo, hi) => write!(f, "  {} : [{lo}..{hi}]", v.name)?,
+                }
+                match &v.init {
+                    Some(e) => writeln!(f, " init {e};")?,
+                    None => writeln!(f, ";")?,
+                }
+            }
+            for cmd in &m.commands {
+                match &cmd.action {
+                    Some(a) => write!(f, "  [{a}] {} -> ", cmd.guard)?,
+                    None => write!(f, "  [] {} -> ", cmd.guard)?,
+                }
+                for (i, u) in cmd.updates.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{} : ", u.prob)?;
+                    if u.assigns.is_empty() {
+                        write!(f, "true")?;
+                    }
+                    for (j, a) in u.assigns.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, " & ")?;
+                        }
+                        write!(f, "({}'={})", a.var, a.value)?;
+                    }
+                }
+                writeln!(f, ";")?;
+            }
+            writeln!(f, "endmodule")?;
+        }
+        for l in &self.labels {
+            writeln!(f, "label \"{}\" = {};", l.name, l.body)?;
+        }
+        for r in &self.rewards {
+            match &r.name {
+                Some(n) => writeln!(f, "rewards \"{n}\"")?,
+                None => writeln!(f, "rewards")?,
+            }
+            for item in &r.items {
+                writeln!(f, "  {} : {};", item.guard, item.value)?;
+            }
+            writeln!(f, "endrewards")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn func_names_round_trip() {
+        for f in [
+            Func::Min,
+            Func::Max,
+            Func::Floor,
+            Func::Ceil,
+            Func::Mod,
+            Func::Pow,
+        ] {
+            assert_eq!(Func::from_name(f.name()), Some(f));
+        }
+        assert_eq!(Func::from_name("sin"), None);
+    }
+
+    #[test]
+    fn expr_display_parenthesizes() {
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::name("x")),
+            Box::new(Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::Int(2)),
+                Box::new(Expr::name("y")),
+            )),
+        );
+        assert_eq!(e.to_string(), "(x + (2 * y))");
+    }
+
+    #[test]
+    fn double_display_keeps_decimal_point() {
+        assert_eq!(Expr::Double(1.0).to_string(), "1.0");
+        assert_eq!(Expr::Double(0.25).to_string(), "0.25");
+    }
+
+    #[test]
+    fn program_display_is_valid_surface_syntax() {
+        let p = Program {
+            modules: vec![Module {
+                name: "m".into(),
+                vars: vec![VarDecl {
+                    name: "x".into(),
+                    ty: DeclType::Range(Expr::Int(0), Expr::Int(3)),
+                    init: Some(Expr::Int(0)),
+                    pos: Pos::start(),
+                }],
+                commands: vec![Command {
+                    action: None,
+                    guard: Expr::Bool(true),
+                    updates: vec![Update {
+                        prob: Expr::Double(1.0),
+                        assigns: vec![Assign {
+                            var: "x".into(),
+                            value: Expr::Int(0),
+                            pos: Pos::start(),
+                        }],
+                    }],
+                    pos: Pos::start(),
+                }],
+                pos: Pos::start(),
+            }],
+            ..Program::default()
+        };
+        let text = p.to_string();
+        assert!(text.contains("module m"));
+        assert!(text.contains("x : [0..3] init 0;"));
+        assert!(text.contains("[] true -> 1.0 : (x'=0);"));
+    }
+}

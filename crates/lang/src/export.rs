@@ -1,0 +1,187 @@
+//! Rendering an explicit [`Dtmc`] back into guarded-command source text.
+//!
+//! [`program_text`] produces a single-module program with one state
+//! variable `s` and one command per state. Parsing and compiling the text
+//! reproduces a chain isomorphic to the original (same transition
+//! probabilities, labels and rewards) — the round-trip is pinned by tests
+//! and gives a machine-checkable bridge between natively-built models
+//! (e.g. the Viterbi and detector case studies) and the language front
+//! end, mirroring how the paper's authors moved their RTL into PRISM's
+//! input language.
+
+use smg_dtmc::Dtmc;
+use std::fmt::Write as _;
+
+/// Renders `dtmc` as a parseable single-module program.
+///
+/// States are numbered as in the explicit chain. If the initial
+/// distribution is concentrated on one state, that state becomes the
+/// module's `init`; otherwise a fresh pre-initial state `n` is added whose
+/// single command performs the initial draw (this preserves every
+/// time-bounded property's value at the cost of shifting time by one step,
+/// which callers must account for — the paper's chains all have a single
+/// initial state, so the shift never arises in practice).
+pub fn program_text(dtmc: &Dtmc) -> String {
+    let n = dtmc.n_states();
+    let single_init = dtmc.initial().len() == 1 && (dtmc.initial()[0].1 - 1.0).abs() < 1e-12;
+    let (top, init) = if single_init {
+        (n - 1, dtmc.initial()[0].0 as usize)
+    } else {
+        (n, n)
+    };
+
+    let mut out = String::new();
+    out.push_str("dtmc\n\nmodule chain\n");
+    let _ = writeln!(out, "  s : [0..{top}] init {init};");
+    if !single_init {
+        let _ = write!(out, "  [] s={n} -> ");
+        for (i, (target, p)) in dtmc.initial().iter().enumerate() {
+            if i > 0 {
+                out.push_str(" + ");
+            }
+            let _ = write!(out, "{p:?}:(s'={target})");
+        }
+        out.push_str(";\n");
+    }
+    for s in 0..n {
+        let _ = write!(out, "  [] s={s} -> ");
+        let mut row = dtmc.matrix().successors(s);
+        // Row sums are only stochastic up to f64 summation order; the
+        // compiler will re-sum in its own order, so fold the residual into
+        // the heaviest entry to make the emitted row robustly stochastic.
+        // (When the row already sums to exactly 1.0 this is a no-op and
+        // probabilities survive bit-for-bit.)
+        let sum: f64 = row.iter().map(|&(_, p)| p).sum();
+        if sum != 1.0 {
+            if let Some(heaviest) = row
+                .iter_mut()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("probabilities are not NaN"))
+            {
+                heaviest.1 += 1.0 - sum;
+            }
+        }
+        for (i, (target, p)) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" + ");
+            }
+            // `{:?}` prints the shortest representation that parses back
+            // to the identical f64, keeping the round-trip exact.
+            let _ = write!(out, "{p:?}:(s'={target})");
+        }
+        out.push_str(";\n");
+    }
+    out.push_str("endmodule\n");
+
+    for name in dtmc.label_names() {
+        let bits = dtmc.label(name).expect("label_names is authoritative");
+        let mut terms: Vec<String> = bits.iter_ones().map(|i| format!("s={i}")).collect();
+        if terms.is_empty() {
+            terms.push("false".to_string());
+        }
+        let _ = writeln!(out, "label \"{name}\" = {};", terms.join(" | "));
+    }
+
+    let rewards = dtmc.rewards();
+    if rewards.iter().any(|&r| r != 0.0) {
+        out.push_str("rewards\n");
+        for (i, &r) in rewards.iter().enumerate() {
+            if r != 0.0 {
+                let _ = writeln!(out, "  s={i} : {r:?};");
+            }
+        }
+        out.push_str("endrewards\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+    use crate::model::compile;
+    use crate::parser::parse;
+    use smg_dtmc::bitvec::BitVec;
+    use smg_dtmc::matrix::{CsrMatrix, TransitionMatrix};
+    use std::collections::BTreeMap;
+
+    fn mk(rows: Vec<Vec<(u32, f64)>>) -> Result<TransitionMatrix, smg_dtmc::DtmcError> {
+        Ok(TransitionMatrix::Sparse(CsrMatrix::from_rows(rows)?))
+    }
+
+    fn tiny() -> Dtmc {
+        let matrix = mk(vec![vec![(0, 0.25), (1, 0.75)], vec![(0, 1.0)]]).unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("flag".to_string(), BitVec::from_fn(2, |i| i == 1));
+        Dtmc::new(matrix, vec![(0, 1.0)], labels, vec![0.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_chain_labels_and_rewards() {
+        let original = tiny();
+        let text = program_text(&original);
+        let compiled = compile(check(parse(&text).unwrap()).unwrap()).unwrap();
+        assert_eq!(compiled.dtmc.n_states(), 2);
+        // compile() numbers states in BFS order from the init, which here
+        // coincides with the original numbering.
+        for s in 0..2 {
+            assert_eq!(
+                compiled.dtmc.matrix().successors(s),
+                original.matrix().successors(s)
+            );
+        }
+        assert_eq!(
+            compiled
+                .dtmc
+                .label("flag")
+                .unwrap()
+                .iter_ones()
+                .collect::<Vec<_>>(),
+            vec![1]
+        );
+        assert_eq!(compiled.dtmc.rewards(), original.rewards());
+    }
+
+    #[test]
+    fn exact_f64_probabilities_survive_the_trip() {
+        // 1/3 is not exactly representable in decimal; `{:?}` printing must
+        // still round-trip the bit pattern.
+        let matrix = mk(vec![vec![(0, 1.0 / 3.0), (1, 2.0 / 3.0)], vec![(1, 1.0)]]).unwrap();
+        let original = Dtmc::new(matrix, vec![(0, 1.0)], BTreeMap::new(), vec![0.0; 2]).unwrap();
+        let compiled = compile(check(parse(&program_text(&original)).unwrap()).unwrap()).unwrap();
+        let row = compiled.dtmc.matrix().successors(0);
+        assert_eq!(row[0].1, 1.0 / 3.0);
+        assert_eq!(row[1].1, 2.0 / 3.0);
+    }
+
+    #[test]
+    fn distributed_initial_state_gets_a_preinit() {
+        let matrix = mk(vec![vec![(0, 1.0)], vec![(1, 1.0)]]).unwrap();
+        let original = Dtmc::new(
+            matrix,
+            vec![(0, 0.5), (1, 0.5)],
+            BTreeMap::new(),
+            vec![0.0; 2],
+        )
+        .unwrap();
+        let text = program_text(&original);
+        assert!(text.contains("init 2"));
+        let compiled = compile(check(parse(&text).unwrap()).unwrap()).unwrap();
+        assert_eq!(compiled.dtmc.n_states(), 3);
+        // One step in, the mass splits 50/50 over the two absorbing states.
+        let pi = smg_dtmc::transient::distribution_at(&compiled.dtmc, 1);
+        let split: Vec<f64> = pi.iter().copied().filter(|&p| p > 0.0).collect();
+        assert_eq!(split, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn empty_label_renders_as_false() {
+        let matrix = mk(vec![vec![(0, 1.0)]]).unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("never".to_string(), BitVec::zeros(1));
+        let d = Dtmc::new(matrix, vec![(0, 1.0)], labels, vec![0.0]).unwrap();
+        let text = program_text(&d);
+        assert!(text.contains("label \"never\" = false;"));
+        // And it still parses.
+        assert!(compile(check(parse(&text).unwrap()).unwrap()).is_ok());
+    }
+}

@@ -1,0 +1,60 @@
+//! # smg-lang — a guarded-command modeling language for DTMCs
+//!
+//! The paper's workflow hands RTL-derived probabilistic models to PRISM,
+//! whose input is a guarded-command language of modules, range-bounded
+//! variables and probabilistic updates. This crate provides that front
+//! end for the rest of the workspace: a parser and compiler for a
+//! PRISM-compatible subset, targeting [`smg_dtmc`]'s explicit chains and
+//! implicit [`smg_dtmc::DtmcModel`]s.
+//!
+//! Pipeline: [`parse`] → [`check()`](check()) → [`compile`] (or wrap the checked
+//! program in a [`LangModel`] to use the generic exploration/reduction
+//! tooling).
+//!
+//! ```
+//! # fn main() -> Result<(), smg_lang::LangError> {
+//! // A two-state "channel": a bit is hit by noise with probability 0.1.
+//! let src = r#"
+//!     dtmc
+//!     const double p_err = 0.1;
+//!     module channel
+//!       err : bool init false;
+//!       [] true -> p_err:(err'=true) + (1-p_err):(err'=false);
+//!     endmodule
+//!     label "err" = err;
+//!     rewards err : 1; endrewards
+//! "#;
+//! let compiled = smg_lang::compile(smg_lang::check(smg_lang::parse(src)?)?)?;
+//! // The expected instantaneous reward at any step t>=1 is the BER, 0.1.
+//! let ber = smg_dtmc::transient::instantaneous_reward(&compiled.dtmc, 5);
+//! assert!((ber - 0.1).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Deviations from PRISM
+//!
+//! Documented per item; the load-bearing ones are: only `dtmc` models;
+//! **modules compose synchronously** (every module steps each clock tick,
+//! matching the paper's clocked-RTL reading — identical to PRISM for
+//! single-module programs); undefined (`-const`-style) constants are not
+//! supported; rewards blocks carry state rewards only.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod check;
+pub mod error;
+pub mod export;
+pub mod model;
+pub mod parser;
+pub mod token;
+pub mod value;
+
+pub use ast::{Expr, Program};
+pub use check::{check, CheckedProgram, VarInfo};
+pub use error::{LangError, Pos};
+pub use export::program_text;
+pub use model::{compile, compile_with, CompiledModel, ExpandOptions, LangModel};
+pub use parser::{parse, parse_expr};
+pub use value::{eval, Env, Value};

@@ -1,0 +1,789 @@
+//! State-space expansion: from a [`CheckedProgram`] to an explicit
+//! [`Dtmc`], and a [`DtmcModel`] adapter for the reduction/bisimulation
+//! tooling.
+//!
+//! # Semantics
+//!
+//! * A state is an assignment to the concatenated variable vector of all
+//!   modules (`Vec<i64>`, booleans as 0/1).
+//! * **All modules step synchronously on every clock tick** and their
+//!   randomness is independent, so the joint transition probability is the
+//!   product over modules. This is the clocked-RTL semantics of the paper
+//!   (every DTMC transition is one clock cycle) and of
+//!   [`smg_dtmc::SyncProduct`]; it coincides with PRISM's DTMC semantics
+//!   for single-module programs. Synchronization labels are parsed but do
+//!   not restrict stepping.
+//! * Within one module, if several commands are enabled in a state the
+//!   module makes a **uniform choice** among them (PRISM's DTMC
+//!   convention); if none is enabled the module *stutters* (keeps its
+//!   variables) when [`ExpandOptions::allow_stutter`] is set, and expansion
+//!   fails with [`LangError::Deadlock`] otherwise.
+//! * Update right-hand sides read the **pre-state** (primed semantics);
+//!   unassigned variables keep their values; a variable assigned outside
+//!   its declared range aborts expansion with [`LangError::OutOfRange`]
+//!   (PRISM raises the analogous runtime error).
+
+use crate::ast::Expr;
+use crate::check::CheckedProgram;
+use crate::error::LangError;
+use crate::value::{eval, Env, Value};
+use smg_dtmc::bitvec::BitVec;
+use smg_dtmc::matrix::{CsrMatrix, TransitionMatrix};
+use smg_dtmc::{Dtmc, DtmcModel};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Probability mass below which an update branch is treated as absent, and
+/// tolerance for "sums to one" checks. Matches the DTMC layer's
+/// stochasticity tolerance.
+const PROB_TOL: f64 = 1e-9;
+
+/// Knobs for [`compile_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExpandOptions {
+    /// Maximum number of states to enumerate before giving up (guards
+    /// against typos that blow up the space). Default: 4,000,000.
+    pub max_states: usize,
+    /// If `true`, a module with no enabled command keeps its variables for
+    /// that tick instead of the whole expansion failing. Default: `false`
+    /// (a deadlocked module is almost always a modeling bug in clocked
+    /// designs).
+    pub allow_stutter: bool,
+}
+
+impl Default for ExpandOptions {
+    fn default() -> Self {
+        ExpandOptions {
+            max_states: 4_000_000,
+            allow_stutter: false,
+        }
+    }
+}
+
+/// The result of compiling a program: the explicit chain plus the
+/// name↔state bookkeeping a client needs to interpret it.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    /// The explicit DTMC. Labels carry the program's `label` declarations;
+    /// the reward vector is the default reward structure (see
+    /// [`CompiledModel::reward_vector`]).
+    pub dtmc: Dtmc,
+    /// Variable names in state-vector order.
+    pub var_names: Vec<String>,
+    /// The concrete variable assignment of every explored state, indexed
+    /// by [`smg_dtmc::StateId`].
+    pub states: Vec<Vec<i64>>,
+    /// Named reward structures (`rewards "name" ...`), as dense vectors.
+    pub named_rewards: BTreeMap<String, Vec<f64>>,
+}
+
+impl CompiledModel {
+    /// A reward structure by name; `None` requests the default (unnamed)
+    /// structure, which is also baked into [`CompiledModel::dtmc`].
+    pub fn reward_vector(&self, name: Option<&str>) -> Option<&[f64]> {
+        match name {
+            None => Some(self.dtmc.rewards()),
+            Some(n) => self.named_rewards.get(n).map(Vec::as_slice),
+        }
+    }
+
+    /// Renders a state as `{x=1, b=false}` for diagnostics.
+    pub fn render_state(&self, id: smg_dtmc::StateId) -> String {
+        render_assignment(&self.var_names, &self.states[id as usize])
+    }
+}
+
+fn render_assignment(names: &[String], vals: &[i64]) -> String {
+    let mut s = String::from("{");
+    for (i, (n, v)) in names.iter().zip(vals).enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("{n}={v}"));
+    }
+    s.push('}');
+    s
+}
+
+/// A checked program viewed as an implicit [`DtmcModel`].
+///
+/// This adapter exists for interop with the exploration, reduction and
+/// bisimulation tooling, which are generic over `DtmcModel`. Prefer
+/// [`compile`] when you just want the explicit chain — it reports
+/// expansion errors as `Result`s, whereas the trait's `transitions` has no
+/// error channel and **panics** on deadlocks, bad distributions and
+/// range violations (each panic message names the state).
+#[derive(Debug, Clone)]
+pub struct LangModel {
+    checked: CheckedProgram,
+    options: ExpandOptions,
+    /// Label names leaked to `'static` (once per `LangModel`, bounded by
+    /// the program's label count) because [`DtmcModel`] identifies atomic
+    /// propositions by `&'static str`.
+    ap_names: Vec<&'static str>,
+}
+
+impl LangModel {
+    /// Wraps a checked program with default options.
+    pub fn new(checked: CheckedProgram) -> Self {
+        Self::with_options(checked, ExpandOptions::default())
+    }
+
+    /// Wraps a checked program.
+    pub fn with_options(checked: CheckedProgram, options: ExpandOptions) -> Self {
+        let ap_names = checked
+            .program
+            .labels
+            .iter()
+            .map(|l| &*Box::leak(l.name.clone().into_boxed_str()))
+            .collect();
+        LangModel {
+            checked,
+            options,
+            ap_names,
+        }
+    }
+
+    /// The checked program.
+    pub fn checked(&self) -> &CheckedProgram {
+        &self.checked
+    }
+
+    /// The initial state vector.
+    pub fn initial_state(&self) -> Vec<i64> {
+        self.checked.vars.iter().map(|v| v.init).collect()
+    }
+
+    fn env<'a>(&'a self, state: &[i64]) -> Env<'a> {
+        let mut vars = HashMap::with_capacity(self.checked.vars.len());
+        for (info, &raw) in self.checked.vars.iter().zip(state) {
+            let v = if info.is_bool {
+                Value::Bool(raw != 0)
+            } else {
+                Value::Int(raw)
+            };
+            vars.insert(info.name.as_str(), v);
+        }
+        Env {
+            vars,
+            consts: &self.checked.consts,
+            formulas: &self.checked.formulas,
+        }
+    }
+
+    /// Evaluates a boolean expression (a label body or reward guard) in a
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors ([`LangError::TypeMismatch`] etc.).
+    pub fn eval_bool(&self, e: &Expr, state: &[i64], context: &str) -> Result<bool, LangError> {
+        eval(e, &self.env(state))?.as_bool(context)
+    }
+
+    /// Evaluates a numeric expression in a state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn eval_num(&self, e: &Expr, state: &[i64], context: &str) -> Result<f64, LangError> {
+        eval(e, &self.env(state))?.as_double(context)
+    }
+
+    /// The successor distribution of `state`, or the expansion error that
+    /// makes it undefined.
+    ///
+    /// # Errors
+    ///
+    /// [`LangError::Deadlock`] (unless stuttering is allowed),
+    /// [`LangError::BadDistribution`], [`LangError::BadProbability`],
+    /// [`LangError::OutOfRange`], plus any expression-evaluation error.
+    pub fn transitions_checked(&self, state: &[i64]) -> Result<Vec<(Vec<i64>, f64)>, LangError> {
+        // A delta is a sparse list of (var index, new value); each module
+        // contributes a distribution over deltas.
+        type Delta = Vec<(usize, i64)>;
+        let env = self.env(state);
+        let mut module_dists: Vec<Vec<(Delta, f64)>> =
+            Vec::with_capacity(self.checked.program.modules.len());
+        for (mi, m) in self.checked.program.modules.iter().enumerate() {
+            let mut enabled: Vec<usize> = Vec::new();
+            for (ci, cmd) in m.commands.iter().enumerate() {
+                let g = eval(&cmd.guard, &env)?
+                    .as_bool(&format!("guard of command {ci} in module {}", m.name))?;
+                if g {
+                    enabled.push(ci);
+                }
+            }
+            if enabled.is_empty() {
+                if self.options.allow_stutter {
+                    module_dists.push(vec![(Vec::new(), 1.0)]);
+                    continue;
+                }
+                return Err(LangError::Deadlock {
+                    module: m.name.clone(),
+                    state: render_assignment(
+                        &self
+                            .checked
+                            .vars
+                            .iter()
+                            .map(|v| v.name.clone())
+                            .collect::<Vec<_>>(),
+                        state,
+                    ),
+                });
+            }
+            // Uniform choice among enabled commands.
+            let choice_w = 1.0 / enabled.len() as f64;
+            let mut dist: Vec<(Delta, f64)> = Vec::new();
+            for &ci in &enabled {
+                let cmd = &m.commands[ci];
+                let mut sum = 0.0;
+                for u in &cmd.updates {
+                    let p = eval(&u.prob, &env)?
+                        .as_double(&format!("probability in command {ci} of module {}", m.name))?;
+                    if !(0.0..=1.0 + PROB_TOL).contains(&p) || p.is_nan() {
+                        return Err(LangError::BadProbability {
+                            context: format!("command {ci} of module {}", m.name),
+                            value: p,
+                        });
+                    }
+                    sum += p;
+                    // Only exact zeros are dropped: near-zero branches are
+                    // real probability mass (the detector chains carry
+                    // ~1e-11 outcomes), and dropping them would both skew
+                    // results and break row stochasticity.
+                    if p <= 0.0 {
+                        continue;
+                    }
+                    let mut delta: Vec<(usize, i64)> = Vec::with_capacity(u.assigns.len());
+                    for a in &u.assigns {
+                        let vi = self.checked.var_index[&a.var];
+                        let info = &self.checked.vars[vi];
+                        let val = eval(&a.value, &env)?;
+                        let new = if info.is_bool {
+                            i64::from(val.as_bool(&format!("assignment to {}", a.var))?)
+                        } else {
+                            val.as_int(&format!("assignment to {}", a.var))?
+                        };
+                        if new < info.lo || new > info.hi {
+                            return Err(LangError::OutOfRange {
+                                var: a.var.clone(),
+                                value: new,
+                                lo: info.lo,
+                                hi: info.hi,
+                            });
+                        }
+                        delta.push((vi, new));
+                    }
+                    dist.push((delta, choice_w * p));
+                }
+                if (sum - 1.0).abs() > 1e-6 {
+                    return Err(LangError::BadDistribution {
+                        module: m.name.clone(),
+                        command: ci,
+                        sum,
+                    });
+                }
+            }
+            module_dists.push(dist);
+            let _ = mi;
+        }
+
+        // Synchronous product: cartesian combination of module deltas.
+        let mut out: Vec<(Vec<i64>, f64)> = vec![(state.to_vec(), 1.0)];
+        for dist in module_dists {
+            let mut next = Vec::with_capacity(out.len() * dist.len());
+            for (base, bp) in &out {
+                for (delta, dp) in &dist {
+                    let mut s = base.clone();
+                    for &(vi, val) in delta {
+                        s[vi] = val;
+                    }
+                    next.push((s, bp * dp));
+                }
+            }
+            out = next;
+        }
+        // Merge duplicate successors so downstream consumers see a
+        // distribution, not a multiset.
+        let mut merged: HashMap<Vec<i64>, f64> = HashMap::with_capacity(out.len());
+        for (s, p) in out {
+            *merged.entry(s).or_insert(0.0) += p;
+        }
+        Ok(merged.into_iter().collect())
+    }
+}
+
+impl DtmcModel for LangModel {
+    type State = Vec<i64>;
+
+    fn initial_states(&self) -> Vec<(Vec<i64>, f64)> {
+        vec![(self.initial_state(), 1.0)]
+    }
+
+    /// # Panics
+    ///
+    /// On any expansion error (deadlock, bad distribution, range
+    /// violation) — the trait has no error channel. Use
+    /// [`LangModel::transitions_checked`] or [`compile`] to keep errors as
+    /// values.
+    fn transitions(&self, state: &Vec<i64>) -> Vec<(Vec<i64>, f64)> {
+        match self.transitions_checked(state) {
+            Ok(t) => t,
+            Err(e) => panic!("state expansion failed: {e}"),
+        }
+    }
+
+    fn atomic_propositions(&self) -> Vec<&'static str> {
+        self.ap_names.clone()
+    }
+
+    fn holds(&self, ap: &str, state: &Vec<i64>) -> bool {
+        for (l, name) in self.checked.program.labels.iter().zip(&self.ap_names) {
+            if *name == ap {
+                return self
+                    .eval_bool(&l.body, state, "label body")
+                    .unwrap_or_else(|e| panic!("label {ap:?} failed to evaluate: {e}"));
+            }
+        }
+        false
+    }
+
+    fn state_reward(&self, state: &Vec<i64>) -> f64 {
+        let Some(block) = default_rewards_block(&self.checked) else {
+            return 0.0;
+        };
+        let mut total = 0.0;
+        for item in &block.items {
+            let on = self
+                .eval_bool(&item.guard, state, "reward guard")
+                .unwrap_or_else(|e| panic!("reward guard failed to evaluate: {e}"));
+            if on {
+                total += self
+                    .eval_num(&item.value, state, "reward value")
+                    .unwrap_or_else(|e| panic!("reward value failed to evaluate: {e}"));
+            }
+        }
+        total
+    }
+}
+
+/// The default reward structure: the unnamed block if present, else the
+/// first block, else none.
+fn default_rewards_block(cp: &CheckedProgram) -> Option<&crate::ast::RewardsDecl> {
+    cp.program
+        .rewards
+        .iter()
+        .find(|r| r.name.is_none())
+        .or_else(|| cp.program.rewards.first())
+}
+
+/// Compiles a checked program into an explicit [`Dtmc`] with default
+/// options.
+///
+/// # Errors
+///
+/// Any expansion error; see [`LangModel::transitions_checked`]. Also
+/// [`LangError::Dtmc`] if the enumerated space exceeds
+/// [`ExpandOptions::max_states`].
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), smg_lang::LangError> {
+/// let program = smg_lang::parse(
+///     "module coin
+///        heads : bool;
+///        [] true -> 0.5:(heads'=true) + 0.5:(heads'=false);
+///      endmodule
+///      label \"h\" = heads;",
+/// )?;
+/// let compiled = smg_lang::compile(smg_lang::check(program)?)?;
+/// assert_eq!(compiled.dtmc.n_states(), 2); // heads=false (also init), heads=true
+/// # Ok(())
+/// # }
+/// ```
+pub fn compile(checked: CheckedProgram) -> Result<CompiledModel, LangError> {
+    compile_with(checked, ExpandOptions::default())
+}
+
+/// Compiles with explicit options.
+///
+/// # Errors
+///
+/// As for [`compile`].
+pub fn compile_with(
+    checked: CheckedProgram,
+    options: ExpandOptions,
+) -> Result<CompiledModel, LangError> {
+    let model = LangModel::with_options(checked, options);
+    let init = model.initial_state();
+
+    let mut index: HashMap<Vec<i64>, u32> = HashMap::new();
+    let mut states: Vec<Vec<i64>> = Vec::new();
+    let mut rows: Vec<Vec<(u32, f64)>> = Vec::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+
+    index.insert(init.clone(), 0);
+    states.push(init);
+    queue.push_back(0);
+
+    while let Some(id) = queue.pop_front() {
+        let succ = model.transitions_checked(&states[id as usize])?;
+        let mut row: Vec<(u32, f64)> = Vec::with_capacity(succ.len());
+        for (s, p) in succ {
+            let next_id = match index.entry(s) {
+                Entry::Occupied(o) => *o.get(),
+                Entry::Vacant(v) => {
+                    let nid = states.len() as u32;
+                    if states.len() >= options.max_states {
+                        return Err(LangError::Dtmc(format!(
+                            "state space exceeds max_states={}",
+                            options.max_states
+                        )));
+                    }
+                    states.push(v.key().clone());
+                    v.insert(nid);
+                    queue.push_back(nid);
+                    nid
+                }
+            };
+            row.push((next_id, p));
+        }
+        row.sort_by_key(|&(s, _)| s);
+        debug_assert!(rows.len() == id as usize);
+        rows.push(row);
+    }
+
+    let n = states.len();
+    let matrix = TransitionMatrix::Sparse(
+        CsrMatrix::from_rows(rows).map_err(|e| LangError::Dtmc(e.to_string()))?,
+    );
+
+    let mut labels: BTreeMap<String, BitVec> = BTreeMap::new();
+    for l in &model.checked().program.labels {
+        let mut bv = BitVec::zeros(n);
+        for (i, s) in states.iter().enumerate() {
+            bv.set(i, model.eval_bool(&l.body, s, "label body")?);
+        }
+        labels.insert(l.name.clone(), bv);
+    }
+
+    let eval_block = |block: &crate::ast::RewardsDecl| -> Result<Vec<f64>, LangError> {
+        let mut out = vec![0.0; n];
+        for (i, s) in states.iter().enumerate() {
+            let mut total = 0.0;
+            for item in &block.items {
+                if model.eval_bool(&item.guard, s, "reward guard")? {
+                    total += model.eval_num(&item.value, s, "reward value")?;
+                }
+            }
+            out[i] = total;
+        }
+        Ok(out)
+    };
+
+    let default_rewards = match default_rewards_block(model.checked()) {
+        Some(block) => eval_block(block)?,
+        None => vec![0.0; n],
+    };
+    let mut named_rewards = BTreeMap::new();
+    for block in &model.checked().program.rewards {
+        if let Some(name) = &block.name {
+            named_rewards.insert(name.clone(), eval_block(block)?);
+        }
+    }
+
+    let dtmc = Dtmc::new(matrix, vec![(0, 1.0)], labels, default_rewards)
+        .map_err(|e| LangError::Dtmc(e.to_string()))?;
+
+    let var_names = model
+        .checked()
+        .vars
+        .iter()
+        .map(|v| v.name.clone())
+        .collect();
+    Ok(CompiledModel {
+        dtmc,
+        var_names,
+        states,
+        named_rewards,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+    use crate::parser::parse;
+
+    fn compiled(src: &str) -> Result<CompiledModel, LangError> {
+        compile(check(parse(src).unwrap())?)
+    }
+
+    #[test]
+    fn coin_flip_has_three_states() {
+        let m = compiled(
+            "module coin
+               heads : bool;
+               [] true -> 0.5:(heads'=true) + 0.5:(heads'=false);
+             endmodule
+             label \"h\" = heads;",
+        )
+        .unwrap();
+        assert_eq!(m.dtmc.n_states(), 2); // heads=false (init, revisited), heads=true
+        assert_eq!(m.dtmc.label("h").unwrap().count_ones(), 1);
+    }
+
+    #[test]
+    fn knuth_yao_die_is_uniform() {
+        // The classic fair-coin-to-die chain: 13 states, each face 1/6.
+        let m = compiled(
+            "module die
+               s : [0..7] init 0;
+               d : [0..6] init 0;
+               [] s=0 -> 0.5:(s'=1) + 0.5:(s'=2);
+               [] s=1 -> 0.5:(s'=3) + 0.5:(s'=4);
+               [] s=2 -> 0.5:(s'=5) + 0.5:(s'=6);
+               [] s=3 -> 0.5:(s'=1) + 0.5:(s'=7)&(d'=1);
+               [] s=4 -> 0.5:(s'=7)&(d'=2) + 0.5:(s'=7)&(d'=3);
+               [] s=5 -> 0.5:(s'=7)&(d'=4) + 0.5:(s'=7)&(d'=5);
+               [] s=6 -> 0.5:(s'=2) + 0.5:(s'=7)&(d'=6);
+               [] s=7 -> (s'=7);
+             endmodule
+             label \"done\" = s=7;",
+        )
+        .unwrap();
+        assert_eq!(m.dtmc.n_states(), 13);
+        // Forward-propagate long enough to absorb: each face gets 1/6.
+        let pi = smg_dtmc::transient::distribution_at(&m.dtmc, 100);
+        for face in 1..=6i64 {
+            let mass: f64 = m
+                .states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s[0] == 7 && s[1] == face)
+                .map(|(i, _)| pi[i])
+                .sum();
+            assert!((mass - 1.0 / 6.0).abs() < 1e-9, "face {face}: {mass}");
+        }
+    }
+
+    #[test]
+    fn unassigned_variables_keep_their_values() {
+        let m = compiled(
+            "module m
+               x : [0..1] init 1;
+               y : [0..1] init 0;
+               [] true -> (y'=1-y);
+             endmodule",
+        )
+        .unwrap();
+        assert!(m.states.iter().all(|s| s[0] == 1));
+    }
+
+    #[test]
+    fn two_modules_step_synchronously() {
+        // Two independent toggles: the product chain alternates both bits
+        // together — 2 reachable states, not 4.
+        let m = compiled(
+            "module a x : bool init false; [] true -> (x'=!x); endmodule
+             module b y : bool init false; [] true -> (y'=!y); endmodule",
+        )
+        .unwrap();
+        assert_eq!(m.dtmc.n_states(), 2);
+        assert!(m.states.contains(&vec![0, 0]) && m.states.contains(&vec![1, 1]));
+    }
+
+    #[test]
+    fn synchronous_probabilities_multiply() {
+        let m = compiled(
+            "module a x : bool; [] true -> 0.5:(x'=true) + 0.5:(x'=false); endmodule
+             module b y : bool; [] true -> 0.5:(y'=true) + 0.5:(y'=false); endmodule",
+        )
+        .unwrap();
+        // From the initial state, four successors each with mass 1/4.
+        let row: Vec<(u32, f64)> = m.dtmc.matrix().successors(0);
+        assert_eq!(row.len(), 4);
+        for (_, p) in row {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overlapping_guards_make_a_uniform_choice() {
+        // Both commands enabled: uniform 1/2 over them, times their update
+        // distributions.
+        let m = compiled(
+            "module m
+               x : [0..2] init 0;
+               [] x=0 -> (x'=1);
+               [] x=0 -> (x'=2);
+               [] x>0 -> (x'=x);
+             endmodule",
+        )
+        .unwrap();
+        let row = m.dtmc.matrix().successors(0);
+        assert_eq!(row.len(), 2);
+        for (_, p) in row {
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deadlock_is_reported_with_state() {
+        let err = compiled(
+            "module m
+               x : [0..1] init 0;
+               [] x=0 -> (x'=1);
+             endmodule",
+        )
+        .unwrap_err();
+        let LangError::Deadlock { module, state } = err else {
+            panic!("expected deadlock, got {err}");
+        };
+        assert_eq!(module, "m");
+        assert!(state.contains("x=1"));
+    }
+
+    #[test]
+    fn stutter_option_turns_deadlock_into_self_loop() {
+        let cp = check(
+            parse(
+                "module m
+               x : [0..1] init 0;
+               [] x=0 -> (x'=1);
+             endmodule",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let m = compile_with(
+            cp,
+            ExpandOptions {
+                allow_stutter: true,
+                ..ExpandOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(m.dtmc.n_states(), 2);
+        assert_eq!(m.dtmc.matrix().successors(1), vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn bad_distribution_is_rejected() {
+        let err =
+            compiled("module m x : bool; [] true -> 0.5:(x'=true) + 0.4:(x'=false); endmodule")
+                .unwrap_err();
+        assert!(matches!(err, LangError::BadDistribution { sum, .. } if (sum - 0.9).abs() < 1e-12));
+    }
+
+    #[test]
+    fn negative_probability_is_rejected() {
+        let err = compiled(
+            "const double p = -0.25;
+             module m x : bool; [] true -> p:(x'=true) + (1-p):(x'=false); endmodule",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::BadProbability { .. }));
+    }
+
+    #[test]
+    fn out_of_range_update_is_rejected_with_details() {
+        let err =
+            compiled("module m x : [0..3] init 0; [] true -> (x'=x+1); endmodule").unwrap_err();
+        assert!(
+            matches!(err, LangError::OutOfRange { ref var, value: 4, lo: 0, hi: 3 } if var == "x")
+        );
+    }
+
+    #[test]
+    fn state_cap_is_enforced() {
+        let cp = check(
+            parse("module m x : [0..1000000] init 0; [] true -> (x'=min(x+1, 1000000)); endmodule")
+                .unwrap(),
+        )
+        .unwrap();
+        let err = compile_with(
+            cp,
+            ExpandOptions {
+                max_states: 100,
+                ..ExpandOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::Dtmc(ref m) if m.contains("max_states")));
+    }
+
+    #[test]
+    fn rewards_default_and_named() {
+        let m = compiled(
+            "module m
+               x : [0..1] init 0;
+               [] true -> (x'=1-x);
+             endmodule
+             rewards x=1 : 1; endrewards
+             rewards \"double\" x=1 : 2; true : 0.5; endrewards",
+        )
+        .unwrap();
+        let def = m.reward_vector(None).unwrap();
+        let dbl = m.reward_vector(Some("double")).unwrap();
+        for (i, s) in m.states.iter().enumerate() {
+            if s[0] == 1 {
+                assert_eq!(def[i], 1.0);
+                assert_eq!(dbl[i], 2.5);
+            } else {
+                assert_eq!(def[i], 0.0);
+                assert_eq!(dbl[i], 0.5);
+            }
+        }
+        assert!(m.reward_vector(Some("missing")).is_none());
+    }
+
+    #[test]
+    fn langmodel_implements_dtmcmodel_for_reduction_tooling() {
+        let cp = check(
+            parse(
+                "module m
+               x : [0..1] init 0;
+               [] true -> 0.5:(x'=0) + 0.5:(x'=1);
+             endmodule
+             label \"one\" = x=1;",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let lm = LangModel::new(cp);
+        assert_eq!(lm.initial_states(), vec![(vec![0], 1.0)]);
+        assert_eq!(lm.transitions(&vec![0]).len(), 2);
+        assert_eq!(lm.atomic_propositions(), vec!["one"]);
+        assert!(lm.holds("one", &vec![1]));
+        assert!(!lm.holds("one", &vec![0]));
+        assert!(!lm.holds("unknown", &vec![1]));
+        assert_eq!(lm.state_reward(&vec![1]), 0.0); // no rewards block
+    }
+
+    #[test]
+    fn render_state_names_variables() {
+        let m =
+            compiled("module m x : [0..2] init 2; b : bool init true; [] true -> true; endmodule")
+                .unwrap();
+        assert_eq!(m.render_state(0), "{x=2, b=1}");
+    }
+
+    #[test]
+    fn formulas_are_usable_in_guards_and_labels() {
+        let m = compiled(
+            "formula at_top = x=2;
+             module m
+               x : [0..2] init 0;
+               [] !at_top -> (x'=x+1);
+               [] at_top -> (x'=0);
+             endmodule
+             label \"top\" = at_top;",
+        )
+        .unwrap();
+        assert_eq!(m.dtmc.n_states(), 3);
+        assert_eq!(m.dtmc.label("top").unwrap().count_ones(), 1);
+    }
+}

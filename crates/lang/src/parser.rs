@@ -1,0 +1,721 @@
+//! Recursive-descent parser for the guarded-command language.
+//!
+//! Grammar (PRISM-compatible subset; `?` marks optional, `*` repetition):
+//!
+//! ```text
+//! program   := "dtmc"? item*
+//! item      := const | formula | label | module | rewards
+//! const     := "const" type? IDENT "=" expr ";"
+//! type      := "int" | "double" | "bool"
+//! formula   := "formula" IDENT "=" expr ";"
+//! label     := "label" STRING "=" expr ";"
+//! module    := "module" IDENT vardecl* command* "endmodule"
+//! vardecl   := IDENT ":" ( "bool" | "[" expr ".." expr "]" ) ("init" expr)? ";"
+//! command   := "[" IDENT? "]" expr "->" update ("+" update)* ";"
+//! update    := (expr ":")? ( "true" | assign ("&" assign)* )
+//! assign    := "(" IDENT "'" "=" expr ")"
+//! rewards   := "rewards" STRING? (expr ":" expr ";")* "endrewards"
+//! ```
+//!
+//! Expression precedence, loosest first: `? :`, `=>`, `|`, `&`, `!`,
+//! relational (`= != < <= > >=`, non-associative), `+ -`, `* /`, unary `-`,
+//! atoms. This matches PRISM except that PRISM's `<->` is omitted.
+
+use crate::ast::*;
+use crate::error::{LangError, Pos};
+use crate::token::{lex, Spanned, Tok};
+
+/// Parses a program from source text.
+///
+/// # Errors
+///
+/// Any lexing error, or [`LangError::UnexpectedToken`] with the position of
+/// the first token that does not fit the grammar.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), smg_lang::LangError> {
+/// let program = smg_lang::parse(
+///     "dtmc
+///      module coin
+///        heads : bool init false;
+///        [] true -> 0.5:(heads'=true) + 0.5:(heads'=false);
+///      endmodule
+///      label \"h\" = heads;",
+/// )?;
+/// assert_eq!(program.modules.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(src: &str) -> Result<Program, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    p.program()
+}
+
+/// Parses a single expression (used by the CLI for `-const`-style
+/// overrides and by tests).
+///
+/// # Errors
+///
+/// As for [`parse`]; trailing tokens after the expression are rejected.
+pub fn parse_expr(src: &str) -> Result<Expr, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, expected: &str) -> Result<T, LangError> {
+        Err(LangError::UnexpectedToken {
+            expected: expected.to_string(),
+            found: self.peek().describe(),
+            pos: self.pos(),
+        })
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), LangError> {
+        if self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(what)
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), LangError> {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(&format!("keyword `{kw}`"))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), LangError> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            self.err("end of input")
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Pos), LangError> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok((s, pos))
+            }
+            _ => self.err(what),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        let mut prog = Program::default();
+        // Optional model-type header; only `dtmc` is supported.
+        if self.peek().is_kw("dtmc") || self.peek().is_kw("probabilistic") {
+            self.bump();
+        }
+        loop {
+            match self.peek() {
+                Tok::Eof => return Ok(prog),
+                Tok::Ident(kw) if kw == "const" => {
+                    let c = self.const_decl()?;
+                    prog.consts.push(c);
+                }
+                Tok::Ident(kw) if kw == "formula" => {
+                    self.bump();
+                    let (name, pos) = self.ident("formula name")?;
+                    self.expect(&Tok::Eq, "`=`")?;
+                    let body = self.expr()?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    prog.formulas.push(FormulaDecl { name, body, pos });
+                }
+                Tok::Ident(kw) if kw == "label" => {
+                    self.bump();
+                    let pos = self.pos();
+                    let name = match self.peek() {
+                        Tok::Str(s) => {
+                            let s = s.clone();
+                            self.bump();
+                            s
+                        }
+                        _ => return self.err("label name string"),
+                    };
+                    self.expect(&Tok::Eq, "`=`")?;
+                    let body = self.expr()?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    prog.labels.push(LabelDecl { name, body, pos });
+                }
+                Tok::Ident(kw) if kw == "module" => {
+                    let m = self.module()?;
+                    prog.modules.push(m);
+                }
+                Tok::Ident(kw) if kw == "rewards" => {
+                    let r = self.rewards()?;
+                    prog.rewards.push(r);
+                }
+                _ => return self.err("`const`, `formula`, `label`, `module` or `rewards`"),
+            }
+        }
+    }
+
+    fn const_decl(&mut self) -> Result<ConstDecl, LangError> {
+        let pos = self.pos();
+        self.expect_kw("const")?;
+        let mut ty = None;
+        for t in ["int", "double", "bool"] {
+            if self.peek().is_kw(t) {
+                ty = Some(t.to_string());
+                self.bump();
+                break;
+            }
+        }
+        let (name, _) = self.ident("constant name")?;
+        if matches!(self.peek(), Tok::Semi) {
+            // `const int N;` — undefined constant, which we do not support.
+            return Err(LangError::UnboundConstant { name });
+        }
+        self.expect(&Tok::Eq, "`=`")?;
+        let value = self.expr()?;
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(ConstDecl {
+            name,
+            ty,
+            value,
+            pos,
+        })
+    }
+
+    fn module(&mut self) -> Result<Module, LangError> {
+        let pos = self.pos();
+        self.expect_kw("module")?;
+        let (name, _) = self.ident("module name")?;
+        let mut vars = Vec::new();
+        let mut commands = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Ident(kw) if kw == "endmodule" => {
+                    self.bump();
+                    return Ok(Module {
+                        name,
+                        vars,
+                        commands,
+                        pos,
+                    });
+                }
+                Tok::LBracket => commands.push(self.command()?),
+                Tok::Ident(_) => vars.push(self.var_decl()?),
+                _ => return self.err("variable declaration, command or `endmodule`"),
+            }
+        }
+    }
+
+    fn var_decl(&mut self) -> Result<VarDecl, LangError> {
+        let (name, pos) = self.ident("variable name")?;
+        self.expect(&Tok::Colon, "`:`")?;
+        let ty = if self.eat_kw("bool") {
+            DeclType::Bool
+        } else {
+            self.expect(&Tok::LBracket, "`bool` or `[lo..hi]` range")?;
+            let lo = self.expr()?;
+            self.expect(&Tok::DotDot, "`..`")?;
+            let hi = self.expr()?;
+            self.expect(&Tok::RBracket, "`]`")?;
+            DeclType::Range(lo, hi)
+        };
+        let init = if self.eat_kw("init") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(VarDecl {
+            name,
+            ty,
+            init,
+            pos,
+        })
+    }
+
+    fn command(&mut self) -> Result<Command, LangError> {
+        let pos = self.pos();
+        self.expect(&Tok::LBracket, "`[`")?;
+        let action = match self.peek() {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Some(s)
+            }
+            _ => None,
+        };
+        self.expect(&Tok::RBracket, "`]`")?;
+        let guard = self.expr()?;
+        self.expect(&Tok::Arrow, "`->`")?;
+        let mut updates = vec![self.update()?];
+        while matches!(self.peek(), Tok::Plus) {
+            self.bump();
+            updates.push(self.update()?);
+        }
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(Command {
+            action,
+            guard,
+            updates,
+            pos,
+        })
+    }
+
+    /// One probabilistic branch. The `prob :` prefix is optional (defaults
+    /// to probability 1). Disambiguation: we parse an expression; if a `:`
+    /// follows, it was the probability, otherwise the expression must have
+    /// been the literal `true` (PRISM's empty update) — assignments always
+    /// start with `(` followed by `IDENT '`, which cannot be confused with
+    /// an expression because we look ahead for the prime.
+    fn update(&mut self) -> Result<Update, LangError> {
+        // Case 1: update starts directly with an assignment list.
+        if self.starts_assign() {
+            return Ok(Update {
+                prob: Expr::Int(1),
+                assigns: self.assign_list()?,
+            });
+        }
+        // Case 2: `true` with no probability.
+        if self.peek().is_kw("true") && !matches!(self.toks[self.i + 1].tok, Tok::Colon) {
+            self.bump();
+            return Ok(Update {
+                prob: Expr::Int(1),
+                assigns: Vec::new(),
+            });
+        }
+        // Case 3: `prob : (...)` or `prob : true`.
+        let prob = self.expr()?;
+        self.expect(&Tok::Colon, "`:` after update probability")?;
+        if self.eat_kw("true") {
+            return Ok(Update {
+                prob,
+                assigns: Vec::new(),
+            });
+        }
+        Ok(Update {
+            prob,
+            assigns: self.assign_list()?,
+        })
+    }
+
+    /// Whether the upcoming tokens are `( IDENT '` — the start of an
+    /// assignment rather than a parenthesized probability expression.
+    fn starts_assign(&self) -> bool {
+        matches!(self.toks.get(self.i).map(|s| &s.tok), Some(Tok::LParen))
+            && matches!(
+                self.toks.get(self.i + 1).map(|s| &s.tok),
+                Some(Tok::Ident(_))
+            )
+            && matches!(self.toks.get(self.i + 2).map(|s| &s.tok), Some(Tok::Prime))
+    }
+
+    fn assign_list(&mut self) -> Result<Vec<Assign>, LangError> {
+        let mut out = vec![self.assign()?];
+        while matches!(self.peek(), Tok::Amp) {
+            self.bump();
+            out.push(self.assign()?);
+        }
+        Ok(out)
+    }
+
+    fn assign(&mut self) -> Result<Assign, LangError> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let (var, pos) = self.ident("assignment target")?;
+        self.expect(&Tok::Prime, "`'`")?;
+        self.expect(&Tok::Eq, "`=`")?;
+        let value = self.expr()?;
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok(Assign { var, value, pos })
+    }
+
+    fn rewards(&mut self) -> Result<RewardsDecl, LangError> {
+        let pos = self.pos();
+        self.expect_kw("rewards")?;
+        let name = match self.peek() {
+            Tok::Str(s) => {
+                let s = s.clone();
+                self.bump();
+                Some(s)
+            }
+            _ => None,
+        };
+        let mut items = Vec::new();
+        while !self.peek().is_kw("endrewards") {
+            if matches!(self.peek(), Tok::Eof) {
+                return self.err("`endrewards`");
+            }
+            let guard = self.expr()?;
+            self.expect(&Tok::Colon, "`:`")?;
+            let value = self.expr()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            items.push(RewardItem { guard, value });
+        }
+        self.bump(); // endrewards
+        Ok(RewardsDecl { name, items, pos })
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.ite()
+    }
+
+    fn ite(&mut self) -> Result<Expr, LangError> {
+        let cond = self.implies()?;
+        if matches!(self.peek(), Tok::Question) {
+            self.bump();
+            let then = self.ite()?;
+            self.expect(&Tok::Colon, "`:` in conditional")?;
+            let els = self.ite()?;
+            return Ok(Expr::Ite(Box::new(cond), Box::new(then), Box::new(els)));
+        }
+        Ok(cond)
+    }
+
+    fn implies(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.or()?;
+        if matches!(self.peek(), Tok::Implies) {
+            self.bump();
+            // Right-associative.
+            let rhs = self.implies()?;
+            return Ok(Expr::Bin(BinOp::Implies, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and()?;
+        while matches!(self.peek(), Tok::Pipe) {
+            self.bump();
+            let rhs = self.and()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.not()?;
+        while matches!(self.peek(), Tok::Amp) {
+            self.bump();
+            let rhs = self.not()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not(&mut self) -> Result<Expr, LangError> {
+        if matches!(self.peek(), Tok::Not) {
+            self.bump();
+            let inner = self.not()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.rel()
+    }
+
+    fn rel(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add()?;
+        let op = match self.peek() {
+            Tok::Eq => BinOp::Eq,
+            Tok::Neq => BinOp::Neq,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add()?;
+        Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn mul(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        if matches!(self.peek(), Tok::Minus) {
+            self.bump();
+            let inner = self.unary()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::Double(v) => {
+                self.bump();
+                Ok(Expr::Double(v))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if name == "true" {
+                    return Ok(Expr::Bool(true));
+                }
+                if name == "false" {
+                    return Ok(Expr::Bool(false));
+                }
+                if let Some(func) = Func::from_name(&name) {
+                    if matches!(self.peek(), Tok::LParen) {
+                        self.bump();
+                        let mut args = vec![self.expr()?];
+                        while matches!(self.peek(), Tok::Comma) {
+                            self.bump();
+                            args.push(self.expr()?);
+                        }
+                        self.expect(&Tok::RParen, "`)`")?;
+                        let (lo, hi) = func.arity();
+                        if args.len() < lo || hi.is_some_and(|h| args.len() > h) {
+                            return Err(LangError::UnexpectedToken {
+                                expected: format!(
+                                    "{} arguments to {}",
+                                    match hi {
+                                        Some(h) if h == lo => format!("{lo}"),
+                                        Some(h) => format!("{lo}..{h}"),
+                                        None => format!("at least {lo}"),
+                                    },
+                                    func.name()
+                                ),
+                                found: format!("{}", args.len()),
+                                pos,
+                            });
+                        }
+                        return Ok(Expr::Apply(func, args));
+                    }
+                }
+                Ok(Expr::Name(name, pos))
+            }
+            _ => self.err("expression"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_readme_die_fragment() {
+        let src = r#"
+            dtmc
+            // Knuth-Yao style fragment
+            module die
+              s : [0..3] init 0;
+              [] s=0 -> 0.5:(s'=1) + 0.5:(s'=2);
+              [] s>0 -> (s'=s);
+            endmodule
+            label "done" = s>0;
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.modules.len(), 1);
+        assert_eq!(p.modules[0].vars.len(), 1);
+        assert_eq!(p.modules[0].commands.len(), 2);
+        assert_eq!(p.labels.len(), 1);
+        assert_eq!(p.labels[0].name, "done");
+    }
+
+    #[test]
+    fn update_probability_defaults_to_one() {
+        let p = parse("module m x : bool; [] true -> (x'=!x); endmodule").unwrap();
+        let u = &p.modules[0].commands[0].updates[0];
+        assert_eq!(u.prob, Expr::Int(1));
+        assert_eq!(u.assigns.len(), 1);
+    }
+
+    #[test]
+    fn true_update_is_empty_assign_list() {
+        let p = parse("module m x : bool; [] true -> true; endmodule").unwrap();
+        assert!(p.modules[0].commands[0].updates[0].assigns.is_empty());
+        let p = parse("module m x : bool; [] true -> 0.3:true + 0.7:(x'=true); endmodule").unwrap();
+        assert!(p.modules[0].commands[0].updates[0].assigns.is_empty());
+        assert_eq!(p.modules[0].commands[0].updates.len(), 2);
+    }
+
+    #[test]
+    fn parenthesized_probability_is_not_mistaken_for_assignment() {
+        // `(p) : (x'=true)` — probability in parens.
+        let p = parse(
+            "const double p = 0.25; module m x : bool; [] true -> (p):(x'=true) + (1-p):true; endmodule",
+        )
+        .unwrap();
+        assert_eq!(p.modules[0].commands[0].updates.len(), 2);
+    }
+
+    #[test]
+    fn precedence_binds_arithmetic_tighter_than_comparison() {
+        let e = parse_expr("x + 1 < 2 * y").unwrap();
+        let Expr::Bin(BinOp::Lt, lhs, rhs) = e else {
+            panic!("expected comparison at top");
+        };
+        assert!(matches!(*lhs, Expr::Bin(BinOp::Add, _, _)));
+        assert!(matches!(*rhs, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let e = parse_expr("a => b => c").unwrap();
+        let Expr::Bin(BinOp::Implies, _, rhs) = e else {
+            panic!("expected implies at top");
+        };
+        assert!(matches!(*rhs, Expr::Bin(BinOp::Implies, _, _)));
+    }
+
+    #[test]
+    fn conditional_nests() {
+        let e = parse_expr("a ? 1 : b ? 2 : 3").unwrap();
+        let Expr::Ite(_, _, els) = e else {
+            panic!("expected conditional");
+        };
+        assert!(matches!(*els, Expr::Ite(_, _, _)));
+    }
+
+    #[test]
+    fn function_arity_is_checked() {
+        assert!(parse_expr("floor(1.5)").is_ok());
+        assert!(parse_expr("floor(1.5, 2)").is_err());
+        assert!(parse_expr("mod(5)").is_err());
+        assert!(parse_expr("min(1,2,3,4)").is_ok());
+    }
+
+    #[test]
+    fn undefined_const_is_rejected() {
+        assert!(matches!(
+            parse("const int N;").unwrap_err(),
+            LangError::UnboundConstant { .. }
+        ));
+    }
+
+    #[test]
+    fn rewards_blocks_parse_named_and_unnamed() {
+        let p = parse(
+            r#"module m x : bool; [] true -> true; endmodule
+               rewards x : 1; endrewards
+               rewards "steps" true : 0.5; endrewards"#,
+        )
+        .unwrap();
+        assert_eq!(p.rewards.len(), 2);
+        assert_eq!(p.rewards[0].name, None);
+        assert_eq!(p.rewards[1].name.as_deref(), Some("steps"));
+    }
+
+    #[test]
+    fn error_position_points_at_problem() {
+        let err = parse("module m x : bool; [] true -> ; endmodule").unwrap_err();
+        let LangError::UnexpectedToken { pos, .. } = err else {
+            panic!("expected UnexpectedToken");
+        };
+        assert_eq!(pos.line, 1);
+        assert_eq!(pos.col, 31);
+    }
+
+    #[test]
+    fn synchronization_labels_are_kept() {
+        let p = parse("module m x : bool; [tick] true -> (x'=!x); endmodule").unwrap();
+        assert_eq!(p.modules[0].commands[0].action.as_deref(), Some("tick"));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let src = r#"
+            dtmc
+            const double p = 0.3;
+            formula stay = x=0 & !done;
+            module m
+              x : [0..2] init 0;
+              done : bool init false;
+              [] stay -> p:(x'=1) + (1-p):(x'=0);
+              [] x>0 -> (done'=true) & (x'=min(x+1, 2));
+              [] done -> true;
+            endmodule
+            label "fin" = done;
+            rewards
+              done : 1;
+            endrewards
+        "#;
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&p1.to_string()).unwrap();
+        // Positions differ between the two parses; the pretty-printed
+        // forms (which elide positions) must agree exactly.
+        assert_eq!(p1.to_string(), p2.to_string());
+    }
+
+    #[test]
+    fn trailing_garbage_in_expr_is_rejected() {
+        assert!(parse_expr("1 + 2 )").is_err());
+    }
+}

@@ -1,0 +1,502 @@
+//! Lexer for the guarded-command language.
+//!
+//! The surface syntax follows PRISM's module language closely enough that
+//! small PRISM models lex unchanged: `//` line comments, `/* */` block
+//! comments, `'` primes on update targets, `..` range dots, `->` in
+//! commands and the usual operator set.
+
+use crate::error::{LangError, Pos};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser via
+    /// [`Tok::is_kw`]; this keeps the lexer trivial and the token type
+    /// small).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Double(f64),
+    /// Double-quoted string literal (label names).
+    Str(String),
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `'`
+    Prime,
+    /// `..`
+    DotDot,
+    /// `->`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `!`
+    Not,
+    /// `=>`
+    Implies,
+    /// `?`
+    Question,
+    /// End of input (simplifies the parser's lookahead).
+    Eof,
+}
+
+impl Tok {
+    /// Whether this token is the keyword `kw`.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == kw)
+    }
+
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("{s:?}"),
+            Tok::Int(v) => format!("{v}"),
+            Tok::Double(v) => format!("{v}"),
+            Tok::Str(s) => format!("\"{s}\""),
+            Tok::Eof => "end of input".to_string(),
+            other => format!("`{other}`"),
+        }
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tok::Ident(s) => return write!(f, "{s}"),
+            Tok::Int(v) => return write!(f, "{v}"),
+            Tok::Double(v) => return write!(f, "{v}"),
+            Tok::Str(s) => return write!(f, "\"{s}\""),
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::Semi => ";",
+            Tok::Colon => ":",
+            Tok::Comma => ",",
+            Tok::Prime => "'",
+            Tok::DotDot => "..",
+            Tok::Arrow => "->",
+            Tok::Eq => "=",
+            Tok::Neq => "!=",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Amp => "&",
+            Tok::Pipe => "|",
+            Tok::Not => "!",
+            Tok::Implies => "=>",
+            Tok::Question => "?",
+            Tok::Eof => "<eof>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A token together with the position where it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Start position.
+    pub pos: Pos,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    i: usize,
+    pos: Pos,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.i += 1;
+        if b == b'\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(b)
+    }
+}
+
+/// Tokenizes `src`, producing a vector terminated by [`Tok::Eof`].
+///
+/// # Errors
+///
+/// [`LangError::UnexpectedChar`], [`LangError::UnterminatedToken`] or
+/// [`LangError::BadNumber`] with the offending source position.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        i: 0,
+        pos: Pos::start(),
+    };
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace and comments.
+        loop {
+            match c.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    c.bump();
+                }
+                Some(b'/') if c.peek2() == Some(b'/') => {
+                    while let Some(b) = c.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        c.bump();
+                    }
+                }
+                Some(b'/') if c.peek2() == Some(b'*') => {
+                    let open = c.pos;
+                    c.bump();
+                    c.bump();
+                    let mut closed = false;
+                    while let Some(b) = c.bump() {
+                        if b == b'*' && c.peek() == Some(b'/') {
+                            c.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(LangError::UnterminatedToken {
+                            what: "block comment",
+                            pos: open,
+                        });
+                    }
+                }
+                _ => break,
+            }
+        }
+        let pos = c.pos;
+        let Some(b) = c.peek() else {
+            out.push(Spanned { tok: Tok::Eof, pos });
+            return Ok(out);
+        };
+        let tok = match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = c.i;
+                while matches!(c.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+                    c.bump();
+                }
+                let text = std::str::from_utf8(&c.src[start..c.i]).expect("ascii ident");
+                Tok::Ident(text.to_string())
+            }
+            b'0'..=b'9' => {
+                let start = c.i;
+                while matches!(c.peek(), Some(b) if b.is_ascii_digit()) {
+                    c.bump();
+                }
+                let mut is_double = false;
+                // A '.' begins a fraction only if not the start of `..`.
+                if c.peek() == Some(b'.') && c.peek2() != Some(b'.') {
+                    is_double = true;
+                    c.bump();
+                    while matches!(c.peek(), Some(b) if b.is_ascii_digit()) {
+                        c.bump();
+                    }
+                }
+                if matches!(c.peek(), Some(b'e') | Some(b'E')) {
+                    is_double = true;
+                    c.bump();
+                    if matches!(c.peek(), Some(b'+') | Some(b'-')) {
+                        c.bump();
+                    }
+                    while matches!(c.peek(), Some(b) if b.is_ascii_digit()) {
+                        c.bump();
+                    }
+                }
+                let text = std::str::from_utf8(&c.src[start..c.i]).expect("ascii number");
+                if is_double {
+                    match text.parse::<f64>() {
+                        Ok(v) => Tok::Double(v),
+                        Err(_) => {
+                            return Err(LangError::BadNumber {
+                                text: text.to_string(),
+                                pos,
+                            })
+                        }
+                    }
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => Tok::Int(v),
+                        Err(_) => {
+                            return Err(LangError::BadNumber {
+                                text: text.to_string(),
+                                pos,
+                            })
+                        }
+                    }
+                }
+            }
+            b'"' => {
+                c.bump();
+                let start = c.i;
+                loop {
+                    match c.peek() {
+                        Some(b'"') => break,
+                        Some(b'\n') | None => {
+                            return Err(LangError::UnterminatedToken {
+                                what: "string literal",
+                                pos,
+                            })
+                        }
+                        Some(_) => {
+                            c.bump();
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&c.src[start..c.i])
+                    .expect("utf8 checked at entry")
+                    .to_string();
+                c.bump(); // closing quote
+                Tok::Str(text)
+            }
+            _ => {
+                c.bump();
+                match b {
+                    b'[' => Tok::LBracket,
+                    b']' => Tok::RBracket,
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b';' => Tok::Semi,
+                    b':' => Tok::Colon,
+                    b',' => Tok::Comma,
+                    b'\'' => Tok::Prime,
+                    b'?' => Tok::Question,
+                    b'+' => Tok::Plus,
+                    b'*' => Tok::Star,
+                    b'/' => Tok::Slash,
+                    b'&' => Tok::Amp,
+                    b'|' => Tok::Pipe,
+                    b'.' if c.peek() == Some(b'.') => {
+                        c.bump();
+                        Tok::DotDot
+                    }
+                    b'-' if c.peek() == Some(b'>') => {
+                        c.bump();
+                        Tok::Arrow
+                    }
+                    b'-' => Tok::Minus,
+                    b'=' if c.peek() == Some(b'>') => {
+                        c.bump();
+                        Tok::Implies
+                    }
+                    b'=' => Tok::Eq,
+                    b'!' if c.peek() == Some(b'=') => {
+                        c.bump();
+                        Tok::Neq
+                    }
+                    b'!' => Tok::Not,
+                    b'<' if c.peek() == Some(b'=') => {
+                        c.bump();
+                        Tok::Le
+                    }
+                    b'<' => Tok::Lt,
+                    b'>' if c.peek() == Some(b'=') => {
+                        c.bump();
+                        Tok::Ge
+                    }
+                    b'>' => Tok::Gt,
+                    other => {
+                        return Err(LangError::UnexpectedChar {
+                            ch: other as char,
+                            pos,
+                        })
+                    }
+                }
+            }
+        };
+        out.push(Spanned { tok, pos });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_command() {
+        let ts = toks("[] x<3 -> 0.5:(x'=x+1) + 0.5:(x'=0);");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::LBracket,
+                Tok::RBracket,
+                Tok::Ident("x".into()),
+                Tok::Lt,
+                Tok::Int(3),
+                Tok::Arrow,
+                Tok::Double(0.5),
+                Tok::Colon,
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::Prime,
+                Tok::Eq,
+                Tok::Ident("x".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::RParen,
+                Tok::Plus,
+                Tok::Double(0.5),
+                Tok::Colon,
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::Prime,
+                Tok::Eq,
+                Tok::Int(0),
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn range_dots_do_not_eat_into_numbers() {
+        assert_eq!(
+            toks("[0..15]"),
+            vec![
+                Tok::LBracket,
+                Tok::Int(0),
+                Tok::DotDot,
+                Tok::Int(15),
+                Tok::RBracket,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_notation_is_a_double() {
+        assert_eq!(toks("1e-3"), vec![Tok::Double(1e-3), Tok::Eof]);
+        assert_eq!(toks("2.5E2"), vec![Tok::Double(250.0), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ts = toks("x // trailing\n/* block\n over lines */ y");
+        assert_eq!(
+            ts,
+            vec![Tok::Ident("x".into()), Tok::Ident("y".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_and_labels() {
+        assert_eq!(
+            toks("label \"err\" = f;"),
+            vec![
+                Tok::Ident("label".into()),
+                Tok::Str("err".into()),
+                Tok::Eq,
+                Tok::Ident("f".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unterminated_string_is_reported_at_open_quote() {
+        let err = lex("x \"abc").unwrap_err();
+        assert!(matches!(
+            err,
+            LangError::UnterminatedToken {
+                what: "string literal",
+                pos: Pos { line: 1, col: 3 }
+            }
+        ));
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        assert!(matches!(
+            lex("/* never closed").unwrap_err(),
+            LangError::UnterminatedToken { .. }
+        ));
+    }
+
+    #[test]
+    fn stray_characters_are_rejected() {
+        assert!(matches!(
+            lex("x # y").unwrap_err(),
+            LangError::UnexpectedChar { ch: '#', .. }
+        ));
+    }
+
+    #[test]
+    fn implies_vs_assign() {
+        assert_eq!(toks("= =>"), vec![Tok::Eq, Tok::Implies, Tok::Eof]);
+    }
+
+    #[test]
+    fn huge_integer_literal_is_bad_number() {
+        assert!(matches!(
+            lex("99999999999999999999999").unwrap_err(),
+            LangError::BadNumber { .. }
+        ));
+    }
+}

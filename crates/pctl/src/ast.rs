@@ -1,0 +1,308 @@
+//! Abstract syntax of pCTL formulas and top-level queries.
+
+use std::fmt;
+
+/// Comparison operators for probability bounds (`P>=0.99 [...]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `>=`
+    Geq,
+    /// `>`
+    Gt,
+    /// `<=`
+    Leq,
+    /// `<`
+    Lt,
+}
+
+impl Cmp {
+    /// Applies the comparison: `value ⋈ threshold`.
+    pub fn eval(self, value: f64, threshold: f64) -> bool {
+        match self {
+            Cmp::Geq => value >= threshold,
+            Cmp::Gt => value > threshold,
+            Cmp::Leq => value <= threshold,
+            Cmp::Lt => value < threshold,
+        }
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cmp::Geq => ">=",
+            Cmp::Gt => ">",
+            Cmp::Leq => "<=",
+            Cmp::Lt => "<",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A pCTL state formula.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateFormula {
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// An atomic proposition (a DTMC label such as the paper's `flag`).
+    Ap(String),
+    /// Negation.
+    Not(Box<StateFormula>),
+    /// Conjunction.
+    And(Box<StateFormula>, Box<StateFormula>),
+    /// Disjunction.
+    Or(Box<StateFormula>, Box<StateFormula>),
+    /// Implication.
+    Implies(Box<StateFormula>, Box<StateFormula>),
+    /// Probability-bounded path quantifier `P ⋈ p [path]`.
+    Prob {
+        /// The comparison operator.
+        cmp: Cmp,
+        /// The probability threshold.
+        threshold: f64,
+        /// The path formula.
+        path: Box<PathFormula>,
+    },
+}
+
+impl StateFormula {
+    /// Convenience constructor for an atomic proposition.
+    pub fn ap(name: &str) -> Self {
+        StateFormula::Ap(name.to_string())
+    }
+
+    /// Convenience constructor for negation.
+    ///
+    /// Deliberately shares its name with [`std::ops::Not::not`]: `f.not()`
+    /// reads as the formula `!f`, and implementing the operator trait on a
+    /// by-value AST builder would gain nothing.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        StateFormula::Not(Box::new(self))
+    }
+
+    /// Convenience constructor for conjunction.
+    pub fn and(self, rhs: StateFormula) -> Self {
+        StateFormula::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Convenience constructor for disjunction.
+    pub fn or(self, rhs: StateFormula) -> Self {
+        StateFormula::Or(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl fmt::Display for StateFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateFormula::True => write!(f, "true"),
+            StateFormula::False => write!(f, "false"),
+            StateFormula::Ap(name) => write!(f, "{name}"),
+            StateFormula::Not(inner) => write!(f, "!{inner}"),
+            StateFormula::And(a, b) => write!(f, "({a} & {b})"),
+            StateFormula::Or(a, b) => write!(f, "({a} | {b})"),
+            StateFormula::Implies(a, b) => write!(f, "({a} => {b})"),
+            StateFormula::Prob {
+                cmp,
+                threshold,
+                path,
+            } => write!(f, "P{cmp}{threshold} [ {path} ]"),
+        }
+    }
+}
+
+/// A step bound on a temporal operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeBound {
+    /// Unbounded.
+    #[default]
+    None,
+    /// `<=t` — within the first `t` steps.
+    Upper(u64),
+    /// `[a,b]` — at a step in the inclusive window `a..=b` (PRISM's
+    /// interval bound). `a <= b` is enforced by the parser.
+    Interval(u64, u64),
+}
+
+impl TimeBound {
+    /// The canonical `<=t` bound.
+    pub fn upper(t: u64) -> TimeBound {
+        TimeBound::Upper(t)
+    }
+}
+
+impl fmt::Display for TimeBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeBound::None => Ok(()),
+            TimeBound::Upper(t) => write!(f, "<={t}"),
+            TimeBound::Interval(a, b) => write!(f, "[{a},{b}]"),
+        }
+    }
+}
+
+/// A pCTL path formula, optionally time-bounded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathFormula {
+    /// `X φ` — φ holds in the next state.
+    Next(StateFormula),
+    /// `φ U[<=t] ψ` — ψ is reached (within `t` steps if bounded), with φ
+    /// holding until then.
+    Until {
+        /// Left operand (must hold until `rhs`).
+        lhs: StateFormula,
+        /// Right operand (the target).
+        rhs: StateFormula,
+        /// Step bound.
+        bound: TimeBound,
+    },
+    /// `F[<=t] φ` — φ is eventually reached. Sugar for `true U φ`.
+    Finally {
+        /// The target formula.
+        inner: StateFormula,
+        /// Step bound.
+        bound: TimeBound,
+    },
+    /// `G[<=t] φ` — φ holds at every step (up to `t` if bounded). The
+    /// paper's best-case property P1 is `G<=T !flag`.
+    Globally {
+        /// The invariant formula.
+        inner: StateFormula,
+        /// Step bound.
+        bound: TimeBound,
+    },
+}
+
+impl fmt::Display for PathFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathFormula::Next(inner) => write!(f, "X {inner}"),
+            PathFormula::Until { lhs, rhs, bound } => {
+                write!(f, "{lhs} U{bound} {rhs}")
+            }
+            PathFormula::Finally { inner, bound } => {
+                write!(f, "F{bound} {inner}")
+            }
+            PathFormula::Globally { inner, bound } => {
+                write!(f, "G{bound} {inner}")
+            }
+        }
+    }
+}
+
+/// A reward query (`R=? [...]`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RewardQuery {
+    /// `I=t` — expected instantaneous reward at exactly step `t`. This is
+    /// the paper's average-case property P2 (and C1): "Probability that an
+    /// error occurs at exactly the T-th step".
+    Instantaneous(u64),
+    /// `C<=t` — expected reward accumulated over the first `t` steps.
+    Cumulative(u64),
+    /// `F φ` — expected reward accumulated strictly before the first
+    /// φ-state is reached (PRISM's reachability reward; the target state's
+    /// own reward is not counted). Infinite when the target is reached
+    /// with probability < 1.
+    Reach(StateFormula),
+}
+
+impl fmt::Display for RewardQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewardQuery::Instantaneous(t) => write!(f, "I={t}"),
+            RewardQuery::Cumulative(t) => write!(f, "C<={t}"),
+            RewardQuery::Reach(phi) => write!(f, "F {phi}"),
+        }
+    }
+}
+
+/// A top-level query evaluated against a DTMC's initial distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Property {
+    /// `P=? [path]` — the probability of the path formula from the initial
+    /// distribution.
+    ProbQuery(PathFormula),
+    /// `P ⋈ p [path]` or any boolean state formula — does the initial
+    /// distribution satisfy it? (A distribution satisfies a state formula
+    /// iff every initial state with positive mass does.)
+    Bool(StateFormula),
+    /// `R=? [...]` — an expected-reward query.
+    RewardQuery(RewardQuery),
+    /// `S=? [φ]` — the long-run probability of being in a φ-state.
+    SteadyQuery(StateFormula),
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Property::ProbQuery(p) => write!(f, "P=? [ {p} ]"),
+            Property::Bool(s) => write!(f, "{s}"),
+            Property::RewardQuery(r) => write!(f, "R=? [ {r} ]"),
+            Property::SteadyQuery(s) => write!(f, "S=? [ {s} ]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval() {
+        assert!(Cmp::Geq.eval(0.5, 0.5));
+        assert!(!Cmp::Gt.eval(0.5, 0.5));
+        assert!(Cmp::Leq.eval(0.5, 0.5));
+        assert!(!Cmp::Lt.eval(0.5, 0.5));
+        assert!(Cmp::Gt.eval(0.6, 0.5));
+        assert!(Cmp::Lt.eval(0.4, 0.5));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let f = StateFormula::ap("a").and(StateFormula::ap("b").not());
+        assert_eq!(f.to_string(), "(a & !b)");
+        let g = StateFormula::ap("x").or(StateFormula::True);
+        assert_eq!(g.to_string(), "(x | true)");
+    }
+
+    #[test]
+    fn display_round_trippable_forms() {
+        let p1 = Property::ProbQuery(PathFormula::Globally {
+            inner: StateFormula::ap("flag").not(),
+            bound: TimeBound::Upper(300),
+        });
+        assert_eq!(p1.to_string(), "P=? [ G<=300 !flag ]");
+        let p2 = Property::RewardQuery(RewardQuery::Instantaneous(300));
+        assert_eq!(p2.to_string(), "R=? [ I=300 ]");
+        let p3 = Property::ProbQuery(PathFormula::Finally {
+            inner: StateFormula::ap("count_exceeds"),
+            bound: TimeBound::Upper(300),
+        });
+        assert_eq!(p3.to_string(), "P=? [ F<=300 count_exceeds ]");
+        let u = Property::ProbQuery(PathFormula::Until {
+            lhs: StateFormula::ap("a"),
+            rhs: StateFormula::ap("b"),
+            bound: TimeBound::None,
+        });
+        assert_eq!(u.to_string(), "P=? [ a U b ]");
+        let s = Property::SteadyQuery(StateFormula::ap("flag"));
+        assert_eq!(s.to_string(), "S=? [ flag ]");
+        let x = Property::ProbQuery(PathFormula::Next(StateFormula::ap("y")));
+        assert_eq!(x.to_string(), "P=? [ X y ]");
+    }
+
+    #[test]
+    fn nested_prob_display() {
+        let f = StateFormula::Prob {
+            cmp: Cmp::Geq,
+            threshold: 0.9,
+            path: Box::new(PathFormula::Finally {
+                inner: StateFormula::ap("ok"),
+                bound: TimeBound::Upper(5),
+            }),
+        };
+        assert_eq!(f.to_string(), "P>=0.9 [ F<=5 ok ]");
+    }
+}

@@ -1,0 +1,780 @@
+//! The pCTL model checker.
+//!
+//! Two evaluation styles are provided, mirroring how PRISM separates
+//! satisfaction sets from numerical queries:
+//!
+//! * [`sat_states`] computes, for any state formula, the set of satisfying
+//!   states (bounded `P⋈p` operators are resolved by backward value
+//!   iteration so the operator can be nested).
+//! * [`check_query`] evaluates a top-level [`Property`] against the chain's
+//!   initial distribution. For `P=? [...]` it uses the *forward* transient
+//!   engine (one pass, no per-state vectors), which is how the paper's
+//!   single-initial-state experiments are computed.
+//!
+//! The two styles agree; `forward_backward_agree` in the tests pins this.
+
+use crate::ast::{PathFormula, Property, RewardQuery, StateFormula, TimeBound};
+use crate::error::PctlError;
+use smg_dtmc::{transient, BitVec, Dtmc};
+use std::time::{Duration, Instant};
+
+/// Tolerance for unbounded-until value iteration.
+const UNBOUNDED_TOL: f64 = 1e-12;
+/// Iteration budget for unbounded queries.
+const UNBOUNDED_MAX_ITER: usize = 1_000_000;
+/// Tolerance for steady-state detection.
+const STEADY_TOL: f64 = 1e-13;
+/// Step budget for steady-state detection.
+const STEADY_MAX_STEPS: usize = 1_000_000;
+
+/// The outcome of checking a property, together with the wall-clock time
+/// spent (the paper's tables report "time (seconds), accounting for both
+/// model construction and model checking"; model-construction time is
+/// reported separately by [`smg_dtmc::BuildStats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckResult {
+    value: f64,
+    boolean: Option<bool>,
+    /// Time spent checking.
+    pub time: Duration,
+}
+
+impl CheckResult {
+    /// The numeric value of the query (for boolean queries, 1.0 or 0.0).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The boolean verdict, if the query was boolean.
+    pub fn verdict(&self) -> Option<bool> {
+        self.boolean
+    }
+}
+
+/// Evaluates a top-level property against the DTMC's initial distribution.
+///
+/// # Errors
+///
+/// * [`PctlError::Dtmc`] for unknown labels or non-convergence.
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn check_query(dtmc: &Dtmc, property: &Property) -> Result<CheckResult, PctlError> {
+    let start = Instant::now();
+    let (value, boolean) = match property {
+        Property::ProbQuery(path) => (path_prob_from_initial(dtmc, path)?, None),
+        Property::Bool(f) => {
+            let sat = sat_states(dtmc, f)?;
+            // A chain satisfies a state formula iff all initial states with
+            // positive mass satisfy it.
+            let ok = dtmc
+                .initial()
+                .iter()
+                .all(|&(s, p)| p == 0.0 || sat.get(s as usize));
+            (if ok { 1.0 } else { 0.0 }, Some(ok))
+        }
+        Property::RewardQuery(q) => (reward_query(dtmc, q)?, None),
+        Property::SteadyQuery(f) => {
+            let sat = sat_states(dtmc, f)?;
+            (steady_prob(dtmc, &sat)?, None)
+        }
+    };
+    Ok(CheckResult {
+        value,
+        boolean,
+        time: start.elapsed(),
+    })
+}
+
+/// The probability, from the initial distribution, of the path formula —
+/// computed with the forward transient engine.
+///
+/// # Errors
+///
+/// [`PctlError::Dtmc`] for unknown labels or non-convergence of unbounded
+/// operators.
+pub fn path_prob_from_initial(dtmc: &Dtmc, path: &PathFormula) -> Result<f64, PctlError> {
+    match path {
+        PathFormula::Next(f) => {
+            let sat = sat_states(dtmc, f)?;
+            let pi1 = transient::distribution_at(dtmc, 1);
+            Ok(sat.iter_ones().map(|i| pi1[i]).sum())
+        }
+        PathFormula::Until { lhs, rhs, bound } => {
+            let l = sat_states(dtmc, lhs)?;
+            let r = sat_states(dtmc, rhs)?;
+            match bound {
+                TimeBound::Upper(t) => {
+                    Ok(transient::bounded_until_prob(dtmc, &l, &r, *t as usize)?)
+                }
+                TimeBound::Interval(a, b) => {
+                    let vals = interval_until_values(dtmc, &l, &r, *a, *b)?;
+                    Ok(initial_expectation(dtmc, &vals))
+                }
+                TimeBound::None => {
+                    let vals = unbounded_until_values(dtmc, &l, &r)?;
+                    Ok(initial_expectation(dtmc, &vals))
+                }
+            }
+        }
+        PathFormula::Finally { inner, bound } => {
+            let f = sat_states(dtmc, inner)?;
+            match bound {
+                TimeBound::Upper(t) => Ok(transient::bounded_reach_prob(dtmc, &f, *t as usize)?),
+                TimeBound::Interval(a, b) => {
+                    let all = BitVec::ones(dtmc.n_states());
+                    let vals = interval_until_values(dtmc, &all, &f, *a, *b)?;
+                    Ok(initial_expectation(dtmc, &vals))
+                }
+                TimeBound::None => {
+                    let vals = transient::unbounded_reach_values(
+                        dtmc,
+                        &f,
+                        UNBOUNDED_TOL,
+                        UNBOUNDED_MAX_ITER,
+                    )?;
+                    Ok(initial_expectation(dtmc, &vals))
+                }
+            }
+        }
+        PathFormula::Globally { inner, bound } => {
+            let f = sat_states(dtmc, inner)?;
+            match bound {
+                TimeBound::Upper(t) => Ok(transient::bounded_globally_prob(dtmc, &f, *t as usize)?),
+                TimeBound::Interval(a, b) => {
+                    // G[a,b] φ = ¬ F[a,b] ¬φ.
+                    let all = BitVec::ones(dtmc.n_states());
+                    let vals = interval_until_values(dtmc, &all, &f.not(), *a, *b)?;
+                    Ok(1.0 - initial_expectation(dtmc, &vals))
+                }
+                TimeBound::None => {
+                    // G φ = ¬F ¬φ.
+                    let bad = f.not();
+                    let vals = transient::unbounded_reach_values(
+                        dtmc,
+                        &bad,
+                        UNBOUNDED_TOL,
+                        UNBOUNDED_MAX_ITER,
+                    )?;
+                    Ok(1.0 - initial_expectation(dtmc, &vals))
+                }
+            }
+        }
+    }
+}
+
+/// Per-state probabilities of `lhs U[a,b] rhs`: `rhs` is reached at some
+/// step in the inclusive window `[a,b]`, with `lhs` holding at every
+/// earlier step (including the pre-window prefix — PRISM's interval-until
+/// semantics).
+///
+/// Computed backwards: first the plain bounded until over the window
+/// (`b - a` steps), then `a` prefix steps in which only `lhs`-states
+/// survive and reaching `rhs` does not yet count.
+///
+/// # Errors
+///
+/// [`PctlError::Dtmc`] on dimension mismatches from the matrix layer.
+pub fn interval_until_values(
+    dtmc: &Dtmc,
+    lhs: &BitVec,
+    rhs: &BitVec,
+    a: u64,
+    b: u64,
+) -> Result<Vec<f64>, PctlError> {
+    debug_assert!(a <= b, "parser enforces non-empty intervals");
+    let mut x = transient::bounded_until_values(dtmc, lhs, rhs, (b - a) as usize)?;
+    for _ in 0..a {
+        let mut next = dtmc.matrix().backward_masked(&x, Some(lhs));
+        // Non-lhs states die during the prefix (rhs does not absorb yet).
+        for (i, v) in next.iter_mut().enumerate() {
+            if !lhs.get(i) {
+                *v = 0.0;
+            }
+        }
+        x = next;
+    }
+    Ok(x)
+}
+
+/// The set of states satisfying a state formula. Nested `P⋈p` operators are
+/// resolved by backward value iteration.
+///
+/// # Errors
+///
+/// [`PctlError::Dtmc`] for unknown labels or non-convergence.
+pub fn sat_states(dtmc: &Dtmc, formula: &StateFormula) -> Result<BitVec, PctlError> {
+    let n = dtmc.n_states();
+    match formula {
+        StateFormula::True => Ok(BitVec::ones(n)),
+        StateFormula::False => Ok(BitVec::zeros(n)),
+        StateFormula::Ap(name) => Ok(dtmc.label(name)?.clone()),
+        StateFormula::Not(f) => Ok(sat_states(dtmc, f)?.not()),
+        StateFormula::And(a, b) => Ok(sat_states(dtmc, a)?.and(&sat_states(dtmc, b)?)),
+        StateFormula::Or(a, b) => Ok(sat_states(dtmc, a)?.or(&sat_states(dtmc, b)?)),
+        StateFormula::Implies(a, b) => Ok(sat_states(dtmc, a)?.not().or(&sat_states(dtmc, b)?)),
+        StateFormula::Prob {
+            cmp,
+            threshold,
+            path,
+        } => {
+            let vals = path_values(dtmc, path)?;
+            Ok(BitVec::from_fn(n, |i| cmp.eval(vals[i], *threshold)))
+        }
+    }
+}
+
+/// The probability of the path formula *from every state* (backward
+/// algorithms).
+///
+/// # Errors
+///
+/// [`PctlError::Dtmc`] for unknown labels or non-convergence.
+pub fn path_values(dtmc: &Dtmc, path: &PathFormula) -> Result<Vec<f64>, PctlError> {
+    let n = dtmc.n_states();
+    match path {
+        PathFormula::Next(f) => {
+            let sat = sat_states(dtmc, f)?;
+            let x: Vec<f64> = (0..n).map(|i| if sat.get(i) { 1.0 } else { 0.0 }).collect();
+            Ok(dtmc.matrix().backward(&x))
+        }
+        PathFormula::Until { lhs, rhs, bound } => {
+            let l = sat_states(dtmc, lhs)?;
+            let r = sat_states(dtmc, rhs)?;
+            match bound {
+                TimeBound::Upper(t) => {
+                    Ok(transient::bounded_until_values(dtmc, &l, &r, *t as usize)?)
+                }
+                TimeBound::Interval(a, b) => interval_until_values(dtmc, &l, &r, *a, *b),
+                TimeBound::None => unbounded_until_values(dtmc, &l, &r),
+            }
+        }
+        PathFormula::Finally { inner, bound } => {
+            let f = sat_states(dtmc, inner)?;
+            let all = BitVec::ones(n);
+            match bound {
+                TimeBound::Upper(t) => Ok(transient::bounded_until_values(
+                    dtmc,
+                    &all,
+                    &f,
+                    *t as usize,
+                )?),
+                TimeBound::Interval(a, b) => interval_until_values(dtmc, &all, &f, *a, *b),
+                TimeBound::None => Ok(transient::unbounded_reach_values(
+                    dtmc,
+                    &f,
+                    UNBOUNDED_TOL,
+                    UNBOUNDED_MAX_ITER,
+                )?),
+            }
+        }
+        PathFormula::Globally { inner, bound } => {
+            // G φ = ¬F ¬φ (also for the bounded cases).
+            let f = sat_states(dtmc, inner)?;
+            let bad = f.not();
+            let all = BitVec::ones(n);
+            let reach = match bound {
+                TimeBound::Upper(t) => {
+                    transient::bounded_until_values(dtmc, &all, &bad, *t as usize)?
+                }
+                TimeBound::Interval(a, b) => interval_until_values(dtmc, &all, &bad, *a, *b)?,
+                TimeBound::None => transient::unbounded_reach_values(
+                    dtmc,
+                    &bad,
+                    UNBOUNDED_TOL,
+                    UNBOUNDED_MAX_ITER,
+                )?,
+            };
+            Ok(reach.into_iter().map(|p| 1.0 - p).collect())
+        }
+    }
+}
+
+fn unbounded_until_values(dtmc: &Dtmc, lhs: &BitVec, rhs: &BitVec) -> Result<Vec<f64>, PctlError> {
+    // φ U ψ = reachability of ψ through φ-only states: make ¬φ∧¬ψ states
+    // absorbing failures by restricting the until iteration. Reuse the
+    // bounded iteration until the values converge.
+    let n = dtmc.n_states();
+    let mut x: Vec<f64> = (0..n).map(|i| if rhs.get(i) { 1.0 } else { 0.0 }).collect();
+    let active = lhs.and(&rhs.not());
+    for _ in 0..UNBOUNDED_MAX_ITER {
+        let mut next = dtmc.matrix().backward_masked(&x, Some(&active));
+        for (i, v) in next.iter_mut().enumerate() {
+            if rhs.get(i) {
+                *v = 1.0;
+            } else if !lhs.get(i) {
+                *v = 0.0;
+            }
+        }
+        let diff = x
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        x = next;
+        if diff < UNBOUNDED_TOL {
+            return Ok(x);
+        }
+    }
+    Err(PctlError::Dtmc(smg_dtmc::DtmcError::NoConvergence {
+        iterations: UNBOUNDED_MAX_ITER,
+        residual: UNBOUNDED_TOL,
+    }))
+}
+
+fn reward_query(dtmc: &Dtmc, q: &RewardQuery) -> Result<f64, PctlError> {
+    match q {
+        RewardQuery::Instantaneous(t) => Ok(transient::instantaneous_reward(dtmc, *t as usize)),
+        RewardQuery::Cumulative(t) => {
+            // Σ_{k=0}^{t-1} expected reward at step k (reward of the state
+            // occupied at each of the first t steps).
+            Ok(
+                transient::instantaneous_reward_series(dtmc, (*t as usize).saturating_sub(1))
+                    .iter()
+                    .sum(),
+            )
+        }
+        RewardQuery::Reach(phi) => {
+            let target = sat_states(dtmc, phi)?;
+            let vals = reach_reward_values(dtmc, &target)?;
+            // Skip zero-mass initial states so `0 × ∞` cannot poison the
+            // expectation with NaN.
+            Ok(dtmc
+                .initial()
+                .iter()
+                .filter(|&&(_, p)| p > 0.0)
+                .map(|&(s, p)| p * vals[s as usize])
+                .sum())
+        }
+    }
+}
+
+/// The expected reward accumulated strictly before first reaching a
+/// `target`-state, *from every state* (PRISM's `R=? [ F φ ]` semantics:
+/// the target state's own reward is not counted, and states from which the
+/// target is reached with probability < 1 get `f64::INFINITY`).
+///
+/// Computed by value iteration on `x = r + P·x` restricted to non-target
+/// states whose reachability probability is 1; from such states every
+/// successor is again certain (or the target), so infinities never enter
+/// the iteration.
+///
+/// # Errors
+///
+/// [`PctlError::Dtmc`] if the reachability pre-pass or the reward
+/// iteration fails to converge.
+pub fn reach_reward_values(dtmc: &Dtmc, target: &BitVec) -> Result<Vec<f64>, PctlError> {
+    let n = dtmc.n_states();
+    let reach = transient::unbounded_reach_values(dtmc, target, UNBOUNDED_TOL, UNBOUNDED_MAX_ITER)?;
+    let certain = BitVec::from_fn(n, |i| reach[i] > 1.0 - 1e-9);
+    // Iterate only over certain non-target states; everything else is
+    // pinned (0 on targets, ∞ elsewhere, applied after convergence).
+    let active = certain.and(&target.not());
+    let rewards = dtmc.rewards();
+    let mut x = vec![0.0; n];
+    let mut converged = false;
+    for _ in 0..UNBOUNDED_MAX_ITER {
+        let mut next = dtmc.matrix().backward_masked(&x, Some(&active));
+        let mut diff: f64 = 0.0;
+        for i in active.iter_ones() {
+            next[i] += rewards[i];
+            diff = diff.max((next[i] - x[i]).abs());
+        }
+        x = next;
+        if diff < UNBOUNDED_TOL {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(PctlError::Dtmc(smg_dtmc::DtmcError::NoConvergence {
+            iterations: UNBOUNDED_MAX_ITER,
+            residual: UNBOUNDED_TOL,
+        }));
+    }
+    for (i, v) in x.iter_mut().enumerate() {
+        if !certain.get(i) {
+            *v = f64::INFINITY;
+        } else if target.get(i) {
+            *v = 0.0;
+        }
+    }
+    Ok(x)
+}
+
+/// The long-run probability of being in a `sat`-state, computed by damped
+/// ("lazy-chain") power iteration which converges even for periodic chains
+/// and equals the Cesàro limit.
+fn steady_prob(dtmc: &Dtmc, sat: &BitVec) -> Result<f64, PctlError> {
+    let mut pi = dtmc.initial_dense();
+    for _ in 0..STEADY_MAX_STEPS {
+        let stepped = dtmc.matrix().forward(&pi);
+        let mut delta: f64 = 0.0;
+        for (p, s) in pi.iter_mut().zip(&stepped) {
+            let lazy = 0.5 * *p + 0.5 * s;
+            delta = delta.max((lazy - *p).abs());
+            *p = lazy;
+        }
+        if delta < STEADY_TOL {
+            return Ok(sat.iter_ones().map(|i| pi[i]).sum());
+        }
+    }
+    Err(PctlError::Dtmc(smg_dtmc::DtmcError::NoConvergence {
+        iterations: STEADY_MAX_STEPS,
+        residual: STEADY_TOL,
+    }))
+}
+
+fn initial_expectation(dtmc: &Dtmc, vals: &[f64]) -> f64 {
+    dtmc.initial()
+        .iter()
+        .map(|&(s, p)| p * vals[s as usize])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_property;
+    use smg_dtmc::{explore, DtmcModel, ExploreOptions};
+
+    /// The classic Knuth–Yao-ish chain: 0 →(.5) 1 | 2; 1 →(.5) goal | 0;
+    /// 2 absorbing "bad"; goal absorbing "goal".
+    struct Gadget;
+    impl DtmcModel for Gadget {
+        type State = u8;
+        fn initial_states(&self) -> Vec<(u8, f64)> {
+            vec![(0, 1.0)]
+        }
+        fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+            match s {
+                0 => vec![(1, 0.5), (2, 0.5)],
+                1 => vec![(3, 0.5), (0, 0.5)],
+                2 => vec![(2, 1.0)],
+                _ => vec![(3, 1.0)],
+            }
+        }
+        fn atomic_propositions(&self) -> Vec<&'static str> {
+            vec!["goal", "bad"]
+        }
+        fn holds(&self, ap: &str, s: &u8) -> bool {
+            (ap == "goal" && *s == 3) || (ap == "bad" && *s == 2)
+        }
+        fn state_reward(&self, s: &u8) -> f64 {
+            if *s == 3 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    fn gadget() -> Dtmc {
+        explore(&Gadget, &ExploreOptions::default()).unwrap().dtmc
+    }
+
+    fn q(dtmc: &Dtmc, prop: &str) -> f64 {
+        check_query(dtmc, &parse_property(prop).unwrap())
+            .unwrap()
+            .value()
+    }
+
+    #[test]
+    fn unbounded_reach_is_one_third() {
+        // P(reach goal) satisfies p = 1/2 * (1/2 + 1/2 p) → p = 1/3.
+        let d = gadget();
+        let p = q(&d, "P=? [ F goal ]");
+        assert!((p - 1.0 / 3.0).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn bounded_reach_steps() {
+        let d = gadget();
+        assert_eq!(q(&d, "P=? [ F<=1 goal ]"), 0.0);
+        assert!((q(&d, "P=? [ F<=2 goal ]") - 0.25).abs() < 1e-12);
+        // After 4 steps: 0.25 + (1/4 of the restart mass) * 0.25 = 0.3125.
+        assert!((q(&d, "P=? [ F<=4 goal ]") - 0.3125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn globally_avoids_bad() {
+        let d = gadget();
+        // G !bad ⇔ never absorb at 2 ⇔ eventually reach goal = 1/3.
+        let p = q(&d, "P=? [ G !bad ]");
+        assert!((p - 1.0 / 3.0).abs() < 1e-9);
+        // Bounded version is larger (paths still alive count).
+        let pb = q(&d, "P=? [ G<=2 !bad ]");
+        assert!((pb - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn next_operator() {
+        let d = gadget();
+        assert!((q(&d, "P=? [ X bad ]") - 0.5).abs() < 1e-12);
+        assert!((q(&d, "P=? [ X (bad | goal) ]") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn until_respects_lhs() {
+        let d = gadget();
+        // Reach goal while avoiding state 0 after start... lhs = !bad is the
+        // same as F goal here.
+        let p = q(&d, "P=? [ !bad U goal ]");
+        assert!((p - 1.0 / 3.0).abs() < 1e-9);
+        // lhs = goal | bad forbids passing through 0 and 1 → 0.
+        assert_eq!(q(&d, "P=? [ (goal | bad) U goal ]"), 0.0);
+    }
+
+    #[test]
+    fn reward_queries() {
+        let d = gadget();
+        // Instantaneous reward at t equals P(in goal at t) = P(F<=t goal)
+        // since goal is absorbing.
+        for t in [0u64, 1, 2, 5, 10] {
+            let r = q(&d, &format!("R=? [ I={t} ]"));
+            let f = q(&d, &format!("P=? [ F<={t} goal ]"));
+            assert!((r - f).abs() < 1e-12, "t={t}");
+        }
+        // Cumulative reward over first steps is the sum of the series.
+        let c = q(&d, "R=? [ C<=3 ]");
+        let series: f64 = (0..=2).map(|t| q(&d, &format!("R=? [ I={t} ]"))).sum();
+        assert!((c - series).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_bounds_follow_prism_semantics() {
+        let d = gadget();
+        // F[0,t] coincides with F<=t.
+        for t in [0u64, 1, 2, 5, 9] {
+            let a = q(&d, &format!("P=? [ F[0,{t}] goal ]"));
+            let b = q(&d, &format!("P=? [ F<={t} goal ]"));
+            assert!((a - b).abs() < 1e-12, "t={t}: {a} vs {b}");
+        }
+        // F[t,t] φ is exactly "φ at step t" (lhs = true): the transient
+        // distribution mass on φ.
+        for t in [1usize, 2, 4, 7] {
+            let a = q(&d, &format!("P=? [ F[{t},{t}] goal ]"));
+            let pi = transient::distribution_at(&d, t);
+            let mass: f64 = d.label("goal").unwrap().iter_ones().map(|i| pi[i]).sum();
+            assert!((a - mass).abs() < 1e-12, "t={t}: {a} vs {mass}");
+        }
+        // G[a,b] φ = 1 - F[a,b] ¬φ.
+        let g = q(&d, "P=? [ G[2,5] !bad ]");
+        let f = q(&d, "P=? [ F[2,5] bad ]");
+        assert!((g - (1.0 - f)).abs() < 1e-12);
+        // The until prefix constraint really binds: reaching goal in the
+        // window while avoiding state 0 after the start is impossible
+        // beyond the direct 0→1→goal path once the window opens late.
+        let constrained = q(
+            &d,
+            "P=? [ (goal | bad | P>=0.5 [ X (goal|bad) ]) U[2,2] goal ]",
+        );
+        // lhs above = {1, 2(bad), 3(goal)}: paths 0→1→goal only.
+        assert!(
+            (constrained - 0.25).abs() < 1e-12,
+            "constrained = {constrained}"
+        );
+        // Degenerate window at 0: F[0,0] φ is the initial indicator.
+        assert_eq!(q(&d, "P=? [ F[0,0] goal ]"), 0.0);
+        assert_eq!(q(&d, "P=? [ F[0,0] !goal ]"), 1.0);
+    }
+
+    #[test]
+    fn interval_bounds_forward_backward_agree() {
+        let d = gadget();
+        for (a, b) in [(0u64, 3u64), (1, 4), (3, 3), (2, 8)] {
+            let prop = format!("P=? [ !bad U[{a},{b}] goal ]");
+            let fwd = q(&d, &prop);
+            let Property::ProbQuery(path) = parse_property(&prop).unwrap() else {
+                unreachable!()
+            };
+            let vals = path_values(&d, &path).unwrap();
+            let bwd = initial_expectation(&d, &vals);
+            assert!((fwd - bwd).abs() < 1e-12, "{prop}: {fwd} vs {bwd}");
+        }
+    }
+
+    #[test]
+    fn reach_reward_is_infinite_when_target_not_almost_sure() {
+        // The gadget reaches `goal` with probability 1/3 < 1.
+        let d = gadget();
+        assert_eq!(q(&d, "R=? [ F goal ]"), f64::INFINITY);
+        // `goal | bad` is reached almost surely; rewards are 0 outside
+        // goal, so the expected pre-target accumulation is 0.
+        assert_eq!(q(&d, "R=? [ F (goal | bad) ]"), 0.0);
+    }
+
+    #[test]
+    fn reach_reward_matches_geometric_expectation() {
+        // One transient state with reward 1 that reaches the target with
+        // probability p each step: expected visits = 1/p.
+        struct Geo(f64);
+        impl DtmcModel for Geo {
+            type State = u8;
+            fn initial_states(&self) -> Vec<(u8, f64)> {
+                vec![(0, 1.0)]
+            }
+            fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+                match s {
+                    0 => vec![(1, self.0), (0, 1.0 - self.0)],
+                    _ => vec![(1, 1.0)],
+                }
+            }
+            fn atomic_propositions(&self) -> Vec<&'static str> {
+                vec!["t"]
+            }
+            fn holds(&self, ap: &str, s: &u8) -> bool {
+                ap == "t" && *s == 1
+            }
+            fn state_reward(&self, s: &u8) -> f64 {
+                // Target reward must NOT be counted; make it huge so a
+                // semantics bug is loud.
+                if *s == 0 {
+                    1.0
+                } else {
+                    1e9
+                }
+            }
+        }
+        for p in [0.5, 0.25, 0.01] {
+            let d = explore(&Geo(p), &ExploreOptions::default()).unwrap().dtmc;
+            let r = q(&d, "R=? [ F t ]");
+            assert!((r - 1.0 / p).abs() < 1e-6, "p={p}: r={r}");
+        }
+    }
+
+    #[test]
+    fn reach_reward_values_per_state() {
+        // Deterministic line 0→1→2(target), reward 1 everywhere: values
+        // are the distances 2, 1, 0.
+        struct Line;
+        impl DtmcModel for Line {
+            type State = u8;
+            fn initial_states(&self) -> Vec<(u8, f64)> {
+                vec![(0, 1.0)]
+            }
+            fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+                vec![((*s + 1).min(2), 1.0)]
+            }
+            fn atomic_propositions(&self) -> Vec<&'static str> {
+                vec!["end"]
+            }
+            fn holds(&self, ap: &str, s: &u8) -> bool {
+                ap == "end" && *s == 2
+            }
+            fn state_reward(&self, _: &u8) -> f64 {
+                1.0
+            }
+        }
+        let d = explore(&Line, &ExploreOptions::default()).unwrap().dtmc;
+        let target = d.label("end").unwrap().clone();
+        let vals = reach_reward_values(&d, &target).unwrap();
+        assert!((vals[0] - 2.0).abs() < 1e-9);
+        assert!((vals[1] - 1.0).abs() < 1e-9);
+        assert_eq!(vals[2], 0.0);
+    }
+
+    #[test]
+    fn steady_state_query() {
+        let d = gadget();
+        let s_goal = q(&d, "S=? [ goal ]");
+        let s_bad = q(&d, "S=? [ bad ]");
+        assert!((s_goal - 1.0 / 3.0).abs() < 1e-6, "s_goal = {s_goal}");
+        assert!((s_bad - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let d = gadget();
+        let r = check_query(&d, &parse_property("P>=0.3 [ F goal ]").unwrap()).unwrap();
+        assert_eq!(r.verdict(), Some(true));
+        assert_eq!(r.value(), 1.0);
+        let r = check_query(&d, &parse_property("P>=0.5 [ F goal ]").unwrap()).unwrap();
+        assert_eq!(r.verdict(), Some(false));
+        let r = check_query(&d, &parse_property("!goal").unwrap()).unwrap();
+        assert_eq!(r.verdict(), Some(true), "initial state is not the goal");
+    }
+
+    #[test]
+    fn forward_backward_agree() {
+        let d = gadget();
+        for (lhs, rhs) in [("true", "goal"), ("!bad", "goal"), ("true", "bad")] {
+            for t in [0u64, 1, 3, 7, 20] {
+                let fwd = q(&d, &format!("P=? [ {lhs} U<={t} {rhs} ]"));
+                let path = match parse_property(&format!("P=? [ {lhs} U<={t} {rhs} ]")).unwrap() {
+                    Property::ProbQuery(p) => p,
+                    _ => unreachable!(),
+                };
+                let vals = path_values(&d, &path).unwrap();
+                let bwd = initial_expectation(&d, &vals);
+                assert!(
+                    (fwd - bwd).abs() < 1e-12,
+                    "{lhs} U<={t} {rhs}: fwd={fwd} bwd={bwd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nested_probability_operator() {
+        let d = gadget();
+        // States from which goal is reached with ≥ 1/2 probability: state 1
+        // (p=1/2+1/2·1/3=2/3) and goal itself (p=1). Initial state 0 has
+        // p=1/3 < 1/2, bad has 0.
+        let sat = sat_states(
+            &d,
+            &parse_property("P>=0.5 [ F goal ]")
+                .map(|p| match p {
+                    Property::Bool(f) => f,
+                    _ => unreachable!(),
+                })
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(sat.count_ones(), 2);
+        // Probability of reaching such a state within 1 step = P(0→1) = 1/2.
+        let p = q(&d, "P=? [ F<=1 P>=0.5 [ F goal ] ]");
+        assert!((p - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_label_is_reported() {
+        let d = gadget();
+        let e = check_query(&d, &parse_property("P=? [ F nope ]").unwrap());
+        assert!(matches!(
+            e,
+            Err(PctlError::Dtmc(smg_dtmc::DtmcError::UnknownLabel { .. }))
+        ));
+    }
+
+    #[test]
+    fn globally_unbounded_on_safe_chain() {
+        // A chain that never leaves good states: G good = 1.
+        struct Safe;
+        impl DtmcModel for Safe {
+            type State = u8;
+            fn initial_states(&self) -> Vec<(u8, f64)> {
+                vec![(0, 1.0)]
+            }
+            fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+                vec![((s + 1) % 3, 1.0)]
+            }
+            fn atomic_propositions(&self) -> Vec<&'static str> {
+                vec!["good"]
+            }
+            fn holds(&self, ap: &str, _: &u8) -> bool {
+                ap == "good"
+            }
+        }
+        let d = explore(&Safe, &ExploreOptions::default()).unwrap().dtmc;
+        assert!((q(&d, "P=? [ G good ]") - 1.0).abs() < 1e-9);
+        // Steady state of a period-3 cycle: S=? of one state = 1/3 via the
+        // Cesàro (lazy-chain) limit.
+        let mut d2 = d.clone();
+        d2.insert_label("zero", smg_dtmc::BitVec::from_fn(3, |i| i == 0))
+            .unwrap();
+        let s = q(&d2, "S=? [ zero ]");
+        assert!((s - 1.0 / 3.0).abs() < 1e-5, "s = {s}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Errors produced while parsing or checking pCTL.
+
+use smg_dtmc::DtmcError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the pCTL layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PctlError {
+    /// The property text could not be parsed.
+    Parse {
+        /// Byte offset of the failure.
+        position: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// An error from the underlying DTMC engine (unknown label, dimension
+    /// mismatch, non-convergence, ...).
+    Dtmc(DtmcError),
+    /// The combination of formula and algorithm is not supported.
+    Unsupported {
+        /// Description of the unsupported construct.
+        construct: String,
+    },
+}
+
+impl fmt::Display for PctlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PctlError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            PctlError::Dtmc(e) => write!(f, "{e}"),
+            PctlError::Unsupported { construct } => {
+                write!(f, "unsupported construct: {construct}")
+            }
+        }
+    }
+}
+
+impl Error for PctlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PctlError::Dtmc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DtmcError> for PctlError {
+    fn from(e: DtmcError) -> Self {
+        PctlError::Dtmc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PctlError::Parse {
+            position: 3,
+            message: "expected `[`".into(),
+        };
+        assert!(e.to_string().contains("byte 3"));
+        assert!(e.source().is_none());
+
+        let e = PctlError::from(DtmcError::UnknownLabel { name: "x".into() });
+        assert!(e.to_string().contains('x'));
+        assert!(e.source().is_some());
+
+        let e = PctlError::Unsupported {
+            construct: "nested S".into(),
+        };
+        assert!(e.to_string().contains("nested S"));
+    }
+}

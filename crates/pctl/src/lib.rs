@@ -1,0 +1,54 @@
+//! Probabilistic Computation Tree Logic (pCTL) over DTMCs.
+//!
+//! The paper specifies its performance metrics "as properties in a
+//! probabilistic temporal logic" (Hansson & Jonsson's pCTL) and verifies
+//! them with PRISM. This crate is the corresponding layer of our stack:
+//!
+//! * [`ast`] — formulas: state formulas with a probability operator
+//!   `P⋈p [path]`, path formulas `X φ`, `φ U[<=t] ψ`, `F[<=t] φ`,
+//!   `G[<=t] φ`, plus top-level queries `P=? [...]`, `R=? [I=t]`,
+//!   `R=? [C<=t]` and `S=? [φ]`.
+//! * [`parser`] — a PRISM-flavoured concrete syntax, so the paper's
+//!   properties can be written verbatim: `P=? [ G<=300 !flag ]`,
+//!   `R=? [ I=300 ]`, `P=? [ F<=300 count_exceeds ]`.
+//! * [`check`] — the model-checking algorithms over [`smg_dtmc::Dtmc`]:
+//!   forward transient propagation for initial-state queries and backward
+//!   value iteration for per-state satisfaction (both provided; they agree,
+//!   and the tests enforce it).
+//!
+//! # Example
+//!
+//! ```
+//! use smg_dtmc::{explore, DtmcModel, ExploreOptions};
+//! use smg_pctl::{check_query, parse_property};
+//!
+//! struct Coin;
+//! impl DtmcModel for Coin {
+//!     type State = bool;
+//!     fn initial_states(&self) -> Vec<(bool, f64)> { vec![(false, 1.0)] }
+//!     fn transitions(&self, _: &bool) -> Vec<(bool, f64)> {
+//!         vec![(false, 0.5), (true, 0.5)]
+//!     }
+//!     fn atomic_propositions(&self) -> Vec<&'static str> { vec!["heads"] }
+//!     fn holds(&self, ap: &str, s: &bool) -> bool { ap == "heads" && *s }
+//! }
+//!
+//! let e = explore(&Coin, &ExploreOptions::default())?;
+//! let prop = parse_property("P=? [ F<=3 heads ]")?;
+//! let result = check_query(&e.dtmc, &prop)?;
+//! assert!((result.value() - 0.875).abs() < 1e-12);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod check;
+pub mod error;
+pub mod parser;
+
+pub use ast::{Cmp, PathFormula, Property, RewardQuery, StateFormula};
+pub use check::{check_query, path_prob_from_initial, sat_states, CheckResult};
+pub use error::PctlError;
+pub use parser::parse_property;

@@ -1,0 +1,498 @@
+//! A PRISM-flavoured concrete syntax for pCTL properties.
+//!
+//! The grammar (whitespace-insensitive):
+//!
+//! ```text
+//! property := 'P' '=?' '[' path ']'
+//!           | 'R' '=?' '[' reward ']'
+//!           | 'S' '=?' '[' state ']'
+//!           | state                      (boolean query)
+//! reward   := 'I' '=' INT | 'C' '<=' INT | 'F' state
+//! path     := 'X' state
+//!           | ('F' | 'G') bound? state
+//!           | state 'U' bound? state
+//! bound    := '<=' INT | '[' INT ',' INT ']'
+//! state    := or ( '=>' or )?
+//! or       := and ( '|' and )*
+//! and      := unary ( '&' unary )*
+//! unary    := '!' unary | atom
+//! atom     := 'true' | 'false' | IDENT | '(' state ')'
+//!           | 'P' cmp NUMBER '[' path ']'
+//! cmp      := '>=' | '>' | '<=' | '<'
+//! ```
+//!
+//! The paper's properties parse verbatim:
+//! `P=? [ G<=300 !flag ]`, `R=? [ I=300 ]`, `P=? [ F<=300 count_exceeds ]`.
+
+use crate::ast::{Cmp, PathFormula, Property, RewardQuery, StateFormula, TimeBound};
+use crate::error::PctlError;
+
+/// Parses a property string.
+///
+/// # Errors
+///
+/// Returns [`PctlError::Parse`] with a byte position and message when the
+/// input does not match the grammar.
+///
+/// # Example
+///
+/// ```
+/// use smg_pctl::parse_property;
+/// let p = parse_property("P=? [ G<=300 !flag ]")?;
+/// assert_eq!(p.to_string(), "P=? [ G<=300 !flag ]");
+/// # Ok::<(), smg_pctl::PctlError>(())
+/// ```
+pub fn parse_property(input: &str) -> Result<Property, PctlError> {
+    let mut p = Parser::new(input);
+    let prop = p.property()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(prop)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn err(&self, message: &str) -> PctlError {
+        PctlError::Parse {
+            position: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), PctlError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{token}`")))
+        }
+    }
+
+    /// Eats a keyword only if it is not a prefix of a longer identifier
+    /// (so `F` is a temporal operator but `Flag` is an AP).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(kw) {
+            let after = &self.rest()[kw.len()..];
+            let next = after.chars().next();
+            if next.is_none_or(|c| !c.is_alphanumeric() && c != '_') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_keyword(&mut self, kw: &str) -> bool {
+        let save = self.pos;
+        let hit = self.eat_keyword(kw);
+        self.pos = save;
+        hit
+    }
+
+    fn integer(&mut self) -> Result<u64, PctlError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .rest()
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit())
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected an integer"));
+        }
+        self.input[start..self.pos]
+            .parse()
+            .map_err(|_| self.err("integer out of range"))
+    }
+
+    fn number(&mut self) -> Result<f64, PctlError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.rest().chars().next().is_some_and(|c| {
+            c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+'
+        }) {
+            // Only allow sign right after 'e'/'E' or at the start.
+            let c = self.rest().chars().next().unwrap();
+            if (c == '-' || c == '+') && self.pos != start {
+                let prev = self.input[start..self.pos].chars().last().unwrap();
+                if prev != 'e' && prev != 'E' {
+                    break;
+                }
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        self.input[start..self.pos]
+            .parse()
+            .map_err(|_| self.err("malformed number"))
+    }
+
+    fn identifier(&mut self) -> Result<String, PctlError> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut first = true;
+        while let Some(c) = self.rest().chars().next() {
+            // Dots are allowed mid-identifier: composed models namespace
+            // their atomic propositions as `l.<ap>` / `r.<ap>`
+            // (see `smg_dtmc::SyncProduct`).
+            let ok = if first {
+                c.is_alphabetic() || c == '_'
+            } else {
+                c.is_alphanumeric() || c == '_' || c == '.'
+            };
+            if !ok {
+                break;
+            }
+            first = false;
+            self.pos += c.len_utf8();
+        }
+        if self.pos == start {
+            return Err(self.err("expected an identifier"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn property(&mut self) -> Result<Property, PctlError> {
+        self.skip_ws();
+        if self.peek_keyword("P") {
+            let save = self.pos;
+            assert!(self.eat_keyword("P"));
+            if self.eat("=?") {
+                self.expect("[")?;
+                let path = self.path()?;
+                self.expect("]")?;
+                return Ok(Property::ProbQuery(path));
+            }
+            // Bounded P operator as a boolean query.
+            self.pos = save;
+            return Ok(Property::Bool(self.state()?));
+        }
+        if self.eat_keyword("R") {
+            self.expect("=?")?;
+            self.expect("[")?;
+            let q = if self.eat_keyword("I") {
+                self.expect("=")?;
+                RewardQuery::Instantaneous(self.integer()?)
+            } else if self.eat_keyword("C") {
+                self.expect("<=")?;
+                RewardQuery::Cumulative(self.integer()?)
+            } else if self.eat_keyword("F") {
+                RewardQuery::Reach(self.state()?)
+            } else {
+                return Err(self.err("expected `I=`, `C<=` or `F` in reward query"));
+            };
+            self.expect("]")?;
+            return Ok(Property::RewardQuery(q));
+        }
+        if self.eat_keyword("S") {
+            self.expect("=?")?;
+            self.expect("[")?;
+            let f = self.state()?;
+            self.expect("]")?;
+            return Ok(Property::SteadyQuery(f));
+        }
+        Ok(Property::Bool(self.state()?))
+    }
+
+    fn bound(&mut self) -> Result<TimeBound, PctlError> {
+        if self.eat("<=") {
+            return Ok(TimeBound::Upper(self.integer()?));
+        }
+        if self.eat("[") {
+            let a = self.integer()?;
+            self.expect(",")?;
+            let b = self.integer()?;
+            self.expect("]")?;
+            if a > b {
+                return Err(self.err("empty time interval (lower bound exceeds upper)"));
+            }
+            return Ok(TimeBound::Interval(a, b));
+        }
+        Ok(TimeBound::None)
+    }
+
+    fn path(&mut self) -> Result<PathFormula, PctlError> {
+        if self.eat_keyword("X") {
+            return Ok(PathFormula::Next(self.state()?));
+        }
+        if self.eat_keyword("F") {
+            let bound = self.bound()?;
+            return Ok(PathFormula::Finally {
+                inner: self.state()?,
+                bound,
+            });
+        }
+        if self.eat_keyword("G") {
+            let bound = self.bound()?;
+            return Ok(PathFormula::Globally {
+                inner: self.state()?,
+                bound,
+            });
+        }
+        let lhs = self.state()?;
+        if self.eat_keyword("U") {
+            let bound = self.bound()?;
+            let rhs = self.state()?;
+            return Ok(PathFormula::Until { lhs, rhs, bound });
+        }
+        Err(self.err("expected a path formula (X, F, G, or U)"))
+    }
+
+    fn state(&mut self) -> Result<StateFormula, PctlError> {
+        let lhs = self.or()?;
+        if self.eat("=>") {
+            let rhs = self.or()?;
+            return Ok(StateFormula::Implies(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> Result<StateFormula, PctlError> {
+        let mut lhs = self.and()?;
+        while {
+            // `|` but not `||` ambiguity: single | only in this grammar.
+            self.skip_ws();
+            self.rest().starts_with('|')
+        } {
+            self.pos += 1;
+            let rhs = self.and()?;
+            lhs = StateFormula::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<StateFormula, PctlError> {
+        let mut lhs = self.unary()?;
+        while {
+            self.skip_ws();
+            self.rest().starts_with('&')
+        } {
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = StateFormula::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<StateFormula, PctlError> {
+        if self.eat("!") {
+            return Ok(StateFormula::Not(Box::new(self.unary()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<StateFormula, PctlError> {
+        if self.eat("(") {
+            let f = self.state()?;
+            self.expect(")")?;
+            return Ok(f);
+        }
+        if self.eat_keyword("true") {
+            return Ok(StateFormula::True);
+        }
+        if self.eat_keyword("false") {
+            return Ok(StateFormula::False);
+        }
+        // Bounded probability operator `P cmp p [ path ]`.
+        if self.peek_keyword("P") {
+            let save = self.pos;
+            assert!(self.eat_keyword("P"));
+            let cmp = if self.eat(">=") {
+                Some(Cmp::Geq)
+            } else if self.eat("<=") {
+                Some(Cmp::Leq)
+            } else if self.eat(">") {
+                Some(Cmp::Gt)
+            } else if self.eat("<") {
+                Some(Cmp::Lt)
+            } else {
+                None
+            };
+            match cmp {
+                Some(cmp) => {
+                    let threshold = self.number()?;
+                    self.expect("[")?;
+                    let path = self.path()?;
+                    self.expect("]")?;
+                    return Ok(StateFormula::Prob {
+                        cmp,
+                        threshold,
+                        path: Box::new(path),
+                    });
+                }
+                None => {
+                    // Plain identifier starting with P.
+                    self.pos = save;
+                }
+            }
+        }
+        let name = self.identifier()?;
+        Ok(StateFormula::Ap(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(s: &str) {
+        let p = parse_property(s).unwrap_or_else(|e| panic!("parsing `{s}`: {e}"));
+        let printed = p.to_string();
+        let p2 = parse_property(&printed).unwrap_or_else(|e| panic!("reparsing `{printed}`: {e}"));
+        assert_eq!(p, p2, "round trip of `{s}` via `{printed}`");
+    }
+
+    #[test]
+    fn paper_properties_parse() {
+        // P1, P2, P3, C1 exactly as in the paper (modulo the counter AP).
+        round_trip("P=? [ G<=300 !flag ]");
+        round_trip("R=? [ I=300 ]");
+        round_trip("P=? [ F<=300 count_exceeds ]");
+        round_trip("R=? [ I=1000 ]");
+    }
+
+    #[test]
+    fn structured_forms() {
+        round_trip("P=? [ a U<=10 b ]");
+        round_trip("P=? [ a U b ]");
+        round_trip("P=? [ X done ]");
+        round_trip("S=? [ flag ]");
+        round_trip("R=? [ C<=50 ]");
+        round_trip("R=? [ F done ]");
+        round_trip("R=? [ F (converged & !flag) ]");
+        // Namespaced APs from composed models (SyncProduct).
+        round_trip("P=? [ F<=8 (l.err & r.err) ]");
+        round_trip("S=? [ l.flag ]");
+        // Interval bounds.
+        round_trip("P=? [ F[3,7] flag ]");
+        round_trip("P=? [ G[0,4] !flag ]");
+        round_trip("P=? [ a U[2,2] b ]");
+        round_trip("P=? [ F (a & !b | c) ]");
+        round_trip("(a => b)");
+        round_trip("P>=0.99 [ F<=5 ok ]");
+        round_trip("P<0.001 [ G bad ]");
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_property("P=?[G<=300 !flag]").unwrap();
+        let b = parse_property("  P=?  [  G<=300   ! flag ]  ").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        // `Flag` starts with F but is an AP, not `F lag`.
+        let p = parse_property("P=? [ F<=3 Flag ]").unwrap();
+        match p {
+            Property::ProbQuery(PathFormula::Finally { inner, .. }) => {
+                assert_eq!(inner, StateFormula::ap("Flag"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // An AP named `trueish` is not the literal `true`.
+        let p = parse_property("trueish").unwrap();
+        assert_eq!(p, Property::Bool(StateFormula::ap("trueish")));
+    }
+
+    #[test]
+    fn precedence() {
+        // & binds tighter than |.
+        let p = parse_property("a | b & c").unwrap();
+        assert_eq!(p.to_string(), "(a | (b & c))");
+        // ! binds tightest.
+        let p = parse_property("!a & b").unwrap();
+        assert_eq!(p.to_string(), "(!a & b)");
+        // Parentheses override.
+        let p = parse_property("(a | b) & c").unwrap();
+        assert_eq!(p.to_string(), "((a | b) & c)");
+    }
+
+    #[test]
+    fn nested_prob_operator() {
+        let p = parse_property("P=? [ F<=10 P>=0.5 [ X ok ] ]").unwrap();
+        match p {
+            Property::ProbQuery(PathFormula::Finally { inner, bound }) => {
+                assert_eq!(bound, TimeBound::Upper(10));
+                assert!(matches!(inner, StateFormula::Prob { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_located() {
+        for bad in [
+            "P=? [",
+            "P=? [ H flag ]",
+            "R=? [ I 300 ]",
+            "R=? [ Z=3 ]",
+            "P=? [ F<=x flag ]",
+            "P=? [ G flag ] trailing",
+            "",
+            "P>= [ F a ]",
+            "()",
+            "P=? [ F[5,2] flag ]",
+            "P=? [ F[3 7] flag ]",
+        ] {
+            let e = parse_property(bad);
+            assert!(e.is_err(), "`{bad}` should not parse");
+            let msg = e.unwrap_err().to_string();
+            assert!(msg.contains("parse error"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn scientific_threshold() {
+        let p = parse_property("P<1e-6 [ F bad ]").unwrap();
+        match p {
+            Property::Bool(StateFormula::Prob { threshold, .. }) => {
+                assert!((threshold - 1e-6).abs() < 1e-18);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Machine-checked soundness certificates for proposed lumpings.
+//!
+//! The paper proves its Viterbi reduction sound in two parts (§IV-A-4):
+//! *Part A* — the property variable (`flag`) is preserved by the abstraction
+//! (discharged there with a commercial equivalence checker); *Part B* — the
+//! equivalence classes preserve probabilistic behaviour (a manual Strong
+//! Lumping argument). [`check_lumping`] discharges both parts exhaustively
+//! on the explicit chain: every state must agree with its block on all
+//! labels and rewards (Part A) and on its probability mass into every block
+//! (Part B).
+
+use crate::partition::Partition;
+use smg_dtmc::Dtmc;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Tolerance for comparing block transition probabilities.
+pub const LUMPING_TOL: f64 = 1e-9;
+
+/// A witness that a proposed partition is *not* a valid strong lumping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LumpingViolation {
+    /// Two states in one block disagree on a label (Part A failure).
+    LabelMismatch {
+        /// The block containing the disagreeing states.
+        block: u32,
+        /// A state carrying the label.
+        labeled: u32,
+        /// A state in the same block not carrying it.
+        unlabeled: u32,
+        /// The label name.
+        label: String,
+    },
+    /// Two states in one block have different rewards (Part A failure).
+    RewardMismatch {
+        /// The block containing the disagreeing states.
+        block: u32,
+        /// First state.
+        a: u32,
+        /// Second state.
+        b: u32,
+        /// Reward of `a`.
+        reward_a: f64,
+        /// Reward of `b`.
+        reward_b: f64,
+    },
+    /// A state's probability into some block differs from its block
+    /// representative's (Part B failure).
+    ProbabilityMismatch {
+        /// The source block.
+        block: u32,
+        /// The state that disagrees with the block representative.
+        state: u32,
+        /// The destination block where mass differs.
+        target_block: u32,
+        /// The representative's mass into `target_block`.
+        expected: f64,
+        /// The disagreeing state's mass into `target_block`.
+        actual: f64,
+    },
+}
+
+impl fmt::Display for LumpingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LumpingViolation::LabelMismatch {
+                block,
+                labeled,
+                unlabeled,
+                label,
+            } => write!(
+                f,
+                "block {block}: state {labeled} has label `{label}` but state {unlabeled} does not"
+            ),
+            LumpingViolation::RewardMismatch {
+                block,
+                a,
+                b,
+                reward_a,
+                reward_b,
+            } => write!(
+                f,
+                "block {block}: state {a} has reward {reward_a} but state {b} has {reward_b}"
+            ),
+            LumpingViolation::ProbabilityMismatch {
+                block,
+                state,
+                target_block,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "block {block}: state {state} carries mass {actual} into block {target_block}, \
+                 the representative carries {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LumpingViolation {}
+
+/// Checks that `partition` satisfies the Strong Lumping condition on
+/// `dtmc`, i.e. that its quotient is a probabilistic bisimulation.
+///
+/// # Errors
+///
+/// Returns the first [`LumpingViolation`] found; `Ok(())` is a soundness
+/// certificate: the quotient preserves every pCTL property over the chain's
+/// labels and every reward query.
+pub fn check_lumping(dtmc: &Dtmc, partition: &Partition) -> Result<(), LumpingViolation> {
+    assert_eq!(
+        partition.n_states(),
+        dtmc.n_states(),
+        "partition size must match the chain"
+    );
+    let blocks = partition.blocks();
+    let label_names = dtmc.label_names();
+    let labels: Vec<_> = label_names
+        .iter()
+        .map(|n| dtmc.label(n).expect("label exists"))
+        .collect();
+
+    for (bi, members) in blocks.iter().enumerate() {
+        let rep = members[0];
+        // Part A: labels and rewards agree within the block.
+        for &s in &members[1..] {
+            for (li, lab) in labels.iter().enumerate() {
+                let lr = lab.get(rep as usize);
+                let ls = lab.get(s as usize);
+                if lr != ls {
+                    let (labeled, unlabeled) = if lr { (rep, s) } else { (s, rep) };
+                    return Err(LumpingViolation::LabelMismatch {
+                        block: bi as u32,
+                        labeled,
+                        unlabeled,
+                        label: label_names[li].to_string(),
+                    });
+                }
+            }
+            let ra = dtmc.rewards()[rep as usize];
+            let rb = dtmc.rewards()[s as usize];
+            if (ra - rb).abs() > LUMPING_TOL {
+                return Err(LumpingViolation::RewardMismatch {
+                    block: bi as u32,
+                    a: rep,
+                    b: s,
+                    reward_a: ra,
+                    reward_b: rb,
+                });
+            }
+        }
+
+        // Part B: block-to-block mass agrees with the representative.
+        let rep_sig = block_signature(dtmc, partition, rep);
+        for &s in &members[1..] {
+            let sig = block_signature(dtmc, partition, s);
+            if let Some((tb, expected, actual)) = first_sig_diff(&rep_sig, &sig) {
+                return Err(LumpingViolation::ProbabilityMismatch {
+                    block: bi as u32,
+                    state: s,
+                    target_block: tb,
+                    expected,
+                    actual,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn block_signature(dtmc: &Dtmc, partition: &Partition, s: u32) -> BTreeMap<u32, f64> {
+    let mut acc = BTreeMap::new();
+    for (c, p) in dtmc.matrix().successors(s as usize) {
+        *acc.entry(partition.block_of(c as usize)).or_insert(0.0) += p;
+    }
+    acc
+}
+
+fn first_sig_diff(a: &BTreeMap<u32, f64>, b: &BTreeMap<u32, f64>) -> Option<(u32, f64, f64)> {
+    for (&tb, &pa) in a {
+        let pb = b.get(&tb).copied().unwrap_or(0.0);
+        if (pa - pb).abs() > LUMPING_TOL {
+            return Some((tb, pa, pb));
+        }
+    }
+    for (&tb, &pb) in b {
+        if !a.contains_key(&tb) && pb > LUMPING_TOL {
+            return Some((tb, 0.0, pb));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lump::coarsest_lumping;
+    use smg_dtmc::{explore, DtmcModel, ExploreOptions};
+
+    struct Diamond;
+    impl DtmcModel for Diamond {
+        type State = u8;
+        fn initial_states(&self) -> Vec<(u8, f64)> {
+            vec![(0, 1.0)]
+        }
+        fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+            match s {
+                0 => vec![(1, 0.3), (2, 0.7)],
+                1 | 2 => vec![(3, 0.5), (0, 0.5)],
+                _ => vec![(0, 1.0)],
+            }
+        }
+        fn atomic_propositions(&self) -> Vec<&'static str> {
+            vec!["hit"]
+        }
+        fn holds(&self, ap: &str, s: &u8) -> bool {
+            ap == "hit" && *s == 3
+        }
+    }
+
+    #[test]
+    fn coarsest_lumping_is_certified() {
+        let e = explore(&Diamond, &ExploreOptions::default()).unwrap();
+        let p = coarsest_lumping(&e.dtmc);
+        assert!(check_lumping(&e.dtmc, &p).is_ok());
+    }
+
+    #[test]
+    fn discrete_partition_always_valid() {
+        let e = explore(&Diamond, &ExploreOptions::default()).unwrap();
+        let p = Partition::discrete(e.dtmc.n_states());
+        assert!(check_lumping(&e.dtmc, &p).is_ok());
+    }
+
+    #[test]
+    fn merging_label_distinct_states_fails_part_a() {
+        let e = explore(&Diamond, &ExploreOptions::default()).unwrap();
+        // One big block: 3 is labeled "hit", 0 is not.
+        let p = Partition::single_block(e.dtmc.n_states());
+        let err = check_lumping(&e.dtmc, &p).unwrap_err();
+        assert!(
+            matches!(err, LumpingViolation::LabelMismatch { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn merging_dynamically_distinct_states_fails_part_b() {
+        let e = explore(&Diamond, &ExploreOptions::default()).unwrap();
+        // Merge state 0 (split 0.3/0.7 to middle) with state 1 (0.5 to hit):
+        // labels agree (neither is "hit") but dynamics differ.
+        let id0 = e.id_of(&0).unwrap();
+        let id1 = e.id_of(&1).unwrap();
+        let raw: Vec<u32> = (0..e.dtmc.n_states() as u32)
+            .map(|s| if s == id0 || s == id1 { 100 } else { s })
+            .collect();
+        let p = Partition::from_assignment(&raw);
+        let err = check_lumping(&e.dtmc, &p).unwrap_err();
+        assert!(
+            matches!(err, LumpingViolation::ProbabilityMismatch { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn reward_mismatch_detected() {
+        struct RewardChain;
+        impl DtmcModel for RewardChain {
+            type State = u8;
+            fn initial_states(&self) -> Vec<(u8, f64)> {
+                vec![(0, 1.0)]
+            }
+            fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+                vec![((s + 1) % 2, 1.0)]
+            }
+            fn state_reward(&self, s: &u8) -> f64 {
+                *s as f64
+            }
+        }
+        let e = explore(&RewardChain, &ExploreOptions::default()).unwrap();
+        let p = Partition::single_block(2);
+        let err = check_lumping(&e.dtmc, &p).unwrap_err();
+        assert!(matches!(err, LumpingViolation::RewardMismatch { .. }));
+        assert!(err.to_string().contains("reward"));
+    }
+
+    #[test]
+    fn violation_messages_are_informative() {
+        let v = LumpingViolation::ProbabilityMismatch {
+            block: 1,
+            state: 5,
+            target_block: 2,
+            expected: 0.5,
+            actual: 0.25,
+        };
+        let s = v.to_string();
+        assert!(s.contains("0.5") && s.contains("0.25"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Partitions of an explicit state space into equivalence classes.
+//!
+//! "All the states in M that are mapped to the same state in M_R through the
+//! function F_abs, constitute an equivalence class" (§IV-A-4). A
+//! [`Partition`] assigns each state a block id; blocks are the equivalence
+//! classes.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A partition of states `0..n` into blocks `0..block_count`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    block_of: Vec<u32>,
+    block_count: usize,
+}
+
+impl Partition {
+    /// The trivial partition with every state in one block.
+    pub fn single_block(n: usize) -> Self {
+        Partition {
+            block_of: vec![0; n],
+            block_count: if n == 0 { 0 } else { 1 },
+        }
+    }
+
+    /// The discrete partition with every state in its own block.
+    pub fn discrete(n: usize) -> Self {
+        Partition {
+            block_of: (0..n as u32).collect(),
+            block_count: n,
+        }
+    }
+
+    /// Builds a partition from an explicit block assignment, renumbering
+    /// blocks densely in order of first appearance.
+    pub fn from_assignment(raw: &[u32]) -> Self {
+        let mut renumber: HashMap<u32, u32> = HashMap::new();
+        let mut block_of = Vec::with_capacity(raw.len());
+        for &b in raw {
+            let next = renumber.len() as u32;
+            let id = *renumber.entry(b).or_insert(next);
+            block_of.push(id);
+        }
+        Partition {
+            block_count: renumber.len(),
+            block_of,
+        }
+    }
+
+    /// Builds a partition by keying each state with `f` — states with equal
+    /// keys share a block. This is how an abstraction function `F_abs`
+    /// induces its equivalence classes.
+    pub fn from_key_fn<K: Hash + Eq, F: FnMut(usize) -> K>(n: usize, mut f: F) -> Self {
+        let mut keys: HashMap<K, u32> = HashMap::new();
+        let mut block_of = Vec::with_capacity(n);
+        for i in 0..n {
+            let k = f(i);
+            let next = keys.len() as u32;
+            let id = *keys.entry(k).or_insert(next);
+            block_of.push(id);
+        }
+        Partition {
+            block_count: keys.len(),
+            block_of,
+        }
+    }
+
+    /// The number of states.
+    pub fn n_states(&self) -> usize {
+        self.block_of.len()
+    }
+
+    /// The number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.block_count
+    }
+
+    /// The block of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn block_of(&self, i: usize) -> u32 {
+        self.block_of[i]
+    }
+
+    /// The raw assignment slice.
+    pub fn assignment(&self) -> &[u32] {
+        &self.block_of
+    }
+
+    /// The members of every block.
+    pub fn blocks(&self) -> Vec<Vec<u32>> {
+        let mut blocks = vec![Vec::new(); self.block_count];
+        for (s, &b) in self.block_of.iter().enumerate() {
+            blocks[b as usize].push(s as u32);
+        }
+        blocks
+    }
+
+    /// Whether `other` refines `self` (every block of `other` is contained
+    /// in a block of `self`).
+    pub fn is_refined_by(&self, other: &Partition) -> bool {
+        if self.n_states() != other.n_states() {
+            return false;
+        }
+        // Two states in the same `other` block must share a `self` block.
+        let mut rep: HashMap<u32, u32> = HashMap::new();
+        for (s, &ob) in other.block_of.iter().enumerate() {
+            let sb = self.block_of[s];
+            match rep.entry(ob) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != sb {
+                        return false;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(sb);
+                }
+            }
+        }
+        true
+    }
+
+    /// Refines this partition by an additional key function: states stay in
+    /// the same block only if they were together before *and* have equal
+    /// keys. Returns the refined partition.
+    pub fn refine_by<K: Hash + Eq, F: FnMut(usize) -> K>(&self, mut f: F) -> Partition {
+        Partition::from_key_fn(self.n_states(), |i| (self.block_of[i], f(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let s = Partition::single_block(4);
+        assert_eq!(s.block_count(), 1);
+        let d = Partition::discrete(4);
+        assert_eq!(d.block_count(), 4);
+        assert_eq!(Partition::single_block(0).block_count(), 0);
+    }
+
+    #[test]
+    fn from_assignment_renumbers() {
+        let p = Partition::from_assignment(&[7, 7, 3, 7, 3]);
+        assert_eq!(p.block_count(), 2);
+        assert_eq!(p.block_of(0), p.block_of(1));
+        assert_eq!(p.block_of(2), p.block_of(4));
+        assert_ne!(p.block_of(0), p.block_of(2));
+        // Dense ids in order of first appearance.
+        assert_eq!(p.block_of(0), 0);
+        assert_eq!(p.block_of(2), 1);
+    }
+
+    #[test]
+    fn from_key_fn_groups() {
+        let p = Partition::from_key_fn(6, |i| i % 3);
+        assert_eq!(p.block_count(), 3);
+        let blocks = p.blocks();
+        assert_eq!(blocks[0], vec![0, 3]);
+        assert_eq!(blocks[1], vec![1, 4]);
+        assert_eq!(blocks[2], vec![2, 5]);
+    }
+
+    #[test]
+    fn refinement_relation() {
+        let coarse = Partition::from_key_fn(8, |i| i % 2);
+        let fine = Partition::from_key_fn(8, |i| i % 4);
+        assert!(coarse.is_refined_by(&fine));
+        assert!(!fine.is_refined_by(&coarse));
+        assert!(coarse.is_refined_by(&coarse));
+        assert!(!coarse.is_refined_by(&Partition::discrete(7)));
+    }
+
+    #[test]
+    fn refine_by_intersects() {
+        let p = Partition::from_key_fn(8, |i| i % 2);
+        let q = p.refine_by(|i| i < 4);
+        assert_eq!(q.block_count(), 4);
+        assert!(p.is_refined_by(&q));
+    }
+}

@@ -1,0 +1,202 @@
+//! Block-permutation symmetry reduction.
+//!
+//! §IV-B of the paper observes that the ML MIMO detector's metric blocks —
+//! one per receive antenna per real/imaginary part, `2·N_R` in total — are
+//! fully interchangeable: swapping the variables of two blocks changes
+//! neither the detector output (`flag`) nor the transition probabilities.
+//! Quotienting by these permutations is symmetry reduction (Kwiatkowska,
+//! Norman & Parker, CAV'06); the canonical representative of an orbit is
+//! obtained simply by sorting the blocks.
+//!
+//! This module provides the canonicalization helper used by the detector
+//! model, orbit-size accounting, and the [`ReductionReport`] type the Table
+//! II benchmark prints.
+
+use std::fmt;
+
+/// Canonicalizes a state made of interchangeable blocks by sorting the
+/// blocks. Two states are in the same symmetry orbit iff they canonicalize
+/// to the same value.
+///
+/// # Example
+///
+/// ```
+/// let mut a = vec![(3, 1), (0, 2), (3, 0)];
+/// let mut b = vec![(3, 0), (3, 1), (0, 2)];
+/// smg_reduce::symmetry::canonicalize_blocks(&mut a);
+/// smg_reduce::symmetry::canonicalize_blocks(&mut b);
+/// assert_eq!(a, b);
+/// ```
+pub fn canonicalize_blocks<T: Ord>(blocks: &mut [T]) {
+    blocks.sort_unstable();
+}
+
+/// Whether a slice of blocks is already in canonical (sorted) order.
+pub fn is_canonical<T: Ord>(blocks: &[T]) -> bool {
+    blocks.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// The number of distinct permutations of a canonical block list — the size
+/// of the symmetry orbit it represents. Equal to `k! / Π mᵢ!` where `mᵢ`
+/// are the multiplicities of repeated blocks.
+pub fn orbit_size<T: Ord>(canonical_blocks: &[T]) -> u128 {
+    let k = canonical_blocks.len();
+    let mut size = factorial(k as u128);
+    let mut i = 0;
+    while i < k {
+        let mut j = i + 1;
+        while j < k && canonical_blocks[j] == canonical_blocks[i] {
+            j += 1;
+        }
+        size /= factorial((j - i) as u128);
+        i = j;
+    }
+    size
+}
+
+fn factorial(n: u128) -> u128 {
+    (1..=n).product::<u128>().max(1)
+}
+
+/// The number of multisets of size `k` over an alphabet of `v` block values:
+/// `C(v + k - 1, k)`. This is the size of the symmetry-reduced block space,
+/// versus `v^k` unreduced — the source of the paper's Table II factors.
+pub fn multiset_count(v: u128, k: u128) -> u128 {
+    // C(v+k-1, k)
+    binomial(v + k - 1, k)
+}
+
+fn binomial(n: u128, k: u128) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    let mut den: u128 = 1;
+    for i in 0..k {
+        num *= n - i;
+        den *= i + 1;
+        let g = gcd(num, den);
+        num /= g;
+        den /= g;
+    }
+    num / den
+}
+
+fn gcd(a: u128, b: u128) -> u128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// A state-count comparison between an original and a reduced model — the
+/// rows of the paper's Tables I and II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReductionReport {
+    /// States of the original model `M`.
+    pub original_states: usize,
+    /// States of the reduced model `M_R`.
+    pub reduced_states: usize,
+}
+
+impl ReductionReport {
+    /// Creates a report.
+    pub fn new(original_states: usize, reduced_states: usize) -> Self {
+        ReductionReport {
+            original_states,
+            reduced_states,
+        }
+    }
+
+    /// The reduction factor (original / reduced), the paper's Table II
+    /// third column.
+    pub fn factor(&self) -> f64 {
+        if self.reduced_states == 0 {
+            f64::INFINITY
+        } else {
+            self.original_states as f64 / self.reduced_states as f64
+        }
+    }
+}
+
+impl fmt::Display for ReductionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} states (factor {:.1})",
+            self.original_states,
+            self.reduced_states,
+            self.factor()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization_is_idempotent_and_orbit_invariant() {
+        let mut a = vec![5, 1, 3, 1];
+        canonicalize_blocks(&mut a);
+        assert_eq!(a, vec![1, 1, 3, 5]);
+        assert!(is_canonical(&a));
+        let b = a.clone();
+        canonicalize_blocks(&mut a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn orbit_sizes() {
+        // All distinct: 4! = 24 (the paper's 1x2 detector bound).
+        assert_eq!(orbit_size(&[1, 2, 3, 4]), 24);
+        // Repeats shrink orbits.
+        assert_eq!(orbit_size(&[1, 1, 2]), 3);
+        assert_eq!(orbit_size(&[1, 1, 1]), 1);
+        assert_eq!(orbit_size::<u8>(&[]), 1);
+    }
+
+    #[test]
+    fn multiset_counts() {
+        // 25 block values, 4 blocks (1x2 detector with 5x5 quantization):
+        // C(28,4) = 20475 canonical states vs 25^4 = 390625 raw.
+        assert_eq!(multiset_count(25, 4), 20475);
+        // 6 values, 8 blocks (1x4 with 3x2): C(13,8) = 1287.
+        assert_eq!(multiset_count(6, 8), 1287);
+        assert_eq!(multiset_count(1, 5), 1);
+        assert_eq!(multiset_count(3, 0), 1);
+    }
+
+    #[test]
+    fn orbit_sizes_sum_to_raw_count() {
+        // Enumerate all multisets of size 3 over 3 values; orbit sizes must
+        // total 3^3 = 27.
+        let mut total: u128 = 0;
+        for a in 0..3u8 {
+            for b in a..3u8 {
+                for c in b..3u8 {
+                    total += orbit_size(&[a, b, c]);
+                }
+            }
+        }
+        assert_eq!(total, 27);
+    }
+
+    #[test]
+    fn report_factor() {
+        let r = ReductionReport::new(569_480, 32_088);
+        assert!((r.factor() - 17.747).abs() < 0.01);
+        assert!(r.to_string().contains("569480"));
+        assert_eq!(ReductionReport::new(5, 0).factor(), f64::INFINITY);
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 6), 0);
+        assert_eq!(binomial(60, 30), 118264581564861424);
+    }
+}

@@ -1,0 +1,84 @@
+//! The clocked-update abstraction.
+//!
+//! "We assume that every transition of the DTMC model corresponds to a
+//! single time step (modeled by an explicit clock in RTL)" — §III. A
+//! [`Clocked`] component consumes one input per clock edge and produces one
+//! output; the bit-true simulators in `smg-viterbi` and `smg-sim` are built
+//! from these.
+
+/// A synchronous component clocked once per time step.
+///
+/// # Example
+///
+/// ```
+/// use smg_rtl::Clocked;
+///
+/// /// An accumulator register.
+/// struct Acc(u32);
+/// impl Clocked for Acc {
+///     type Input = u32;
+///     type Output = u32;
+///     fn tick(&mut self, input: u32) -> u32 {
+///         self.0 += input;
+///         self.0
+///     }
+///     fn reset(&mut self) {
+///         self.0 = 0;
+///     }
+/// }
+///
+/// let mut acc = Acc(0);
+/// assert_eq!(acc.tick(2), 2);
+/// assert_eq!(acc.tick(3), 5);
+/// acc.reset();
+/// assert_eq!(acc.tick(1), 1);
+/// ```
+pub trait Clocked {
+    /// The value consumed on each clock edge.
+    type Input;
+    /// The value produced on each clock edge.
+    type Output;
+
+    /// Advances one clock cycle.
+    fn tick(&mut self, input: Self::Input) -> Self::Output;
+
+    /// Returns the component to its power-on state.
+    fn reset(&mut self);
+
+    /// Runs a whole input sequence, collecting the outputs.
+    fn run<I>(&mut self, inputs: I) -> Vec<Self::Output>
+    where
+        I: IntoIterator<Item = Self::Input>,
+        Self: Sized,
+    {
+        inputs.into_iter().map(|i| self.tick(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Delay {
+        held: u8,
+    }
+
+    impl Clocked for Delay {
+        type Input = u8;
+        type Output = u8;
+        fn tick(&mut self, input: u8) -> u8 {
+            std::mem::replace(&mut self.held, input)
+        }
+        fn reset(&mut self) {
+            self.held = 0;
+        }
+    }
+
+    #[test]
+    fn delay_element() {
+        let mut d = Delay { held: 0 };
+        assert_eq!(d.run([1, 2, 3, 4]), vec![0, 1, 2, 3]);
+        d.reset();
+        assert_eq!(d.tick(9), 0);
+    }
+}

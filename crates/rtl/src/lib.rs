@@ -1,0 +1,33 @@
+//! RTL hardware substrate for `statguard-mimo`.
+//!
+//! The paper analyses designs "at the RT Level": every state variable lives
+//! in a register of finite width, every counter saturates or wraps, and path
+//! metrics are renormalized so they never overflow. This crate provides those
+//! bounded-arithmetic primitives so the DTMC case-study models are honest
+//! about finite hardware state — the finiteness of the DTMC state space
+//! *derives* from these types rather than being assumed.
+//!
+//! # Example
+//!
+//! ```
+//! use smg_rtl::{SatCounter, normalize_pair};
+//!
+//! let mut c = SatCounter::new(0, 7);
+//! c.add(5);
+//! c.add(5);
+//! assert_eq!(c.value(), 7); // saturates at the cap
+//!
+//! let (a, b) = normalize_pair(9, 4, 7);
+//! assert_eq!((a, b), (5, 0)); // min subtracted, then saturated
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clocked;
+pub mod sat;
+pub mod shift;
+
+pub use clocked::Clocked;
+pub use sat::{normalize_pair, SatCounter};
+pub use shift::ShiftRegister;

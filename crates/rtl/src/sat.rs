@@ -1,0 +1,179 @@
+//! Saturating bounded counters and path-metric normalization.
+
+/// A saturating counter confined to `0..=cap`.
+///
+/// Additions clamp at `cap`, subtractions clamp at zero — exactly the
+/// behaviour of a hardware accumulator with saturation logic. Used for the
+/// Viterbi path metrics (which saturate after normalization) and the error /
+/// non-convergence counters of properties P3 and C1.
+///
+/// # Example
+///
+/// ```
+/// use smg_rtl::SatCounter;
+///
+/// let mut pm = SatCounter::new(3, 15);
+/// pm.add(20);
+/// assert_eq!(pm.value(), 15);
+/// pm.sub(4);
+/// assert_eq!(pm.value(), 11);
+/// pm.sub(100);
+/// assert_eq!(pm.value(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SatCounter {
+    value: u32,
+    cap: u32,
+}
+
+impl SatCounter {
+    /// Creates a counter with the given initial value and cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value > cap`.
+    pub fn new(value: u32, cap: u32) -> Self {
+        assert!(value <= cap, "initial value {value} exceeds cap {cap}");
+        SatCounter { value, cap }
+    }
+
+    /// A zero-initialized counter with the given cap.
+    pub fn zeroed(cap: u32) -> Self {
+        SatCounter { value: 0, cap }
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// The saturation cap.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Whether the counter is pegged at its cap.
+    pub fn is_saturated(&self) -> bool {
+        self.value == self.cap
+    }
+
+    /// Adds with saturation at the cap.
+    pub fn add(&mut self, amount: u32) {
+        self.value = self.value.saturating_add(amount).min(self.cap);
+    }
+
+    /// Subtracts with saturation at zero.
+    pub fn sub(&mut self, amount: u32) {
+        self.value = self.value.saturating_sub(amount);
+    }
+
+    /// Increments by one with saturation.
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Returns a copy with the given value, saturated into range.
+    pub fn with_value(&self, value: u32) -> Self {
+        SatCounter {
+            value: value.min(self.cap),
+            cap: self.cap,
+        }
+    }
+}
+
+/// Normalizes a pair of path metrics the way Viterbi hardware does: subtract
+/// the minimum from both (so the smaller becomes zero) and saturate each at
+/// `cap`. Returns the normalized pair.
+///
+/// Normalization keeps the *difference* of the metrics — the only quantity
+/// the add-compare-select decisions depend on — while confining both values
+/// to a finite register range. This is what makes the Viterbi DTMC finite.
+///
+/// # Example
+///
+/// ```
+/// use smg_rtl::normalize_pair;
+/// assert_eq!(normalize_pair(7, 3, 10), (4, 0));
+/// assert_eq!(normalize_pair(3, 30, 10), (0, 10)); // saturated
+/// assert_eq!(normalize_pair(5, 5, 10), (0, 0));
+/// ```
+pub fn normalize_pair(a: u32, b: u32, cap: u32) -> (u32, u32) {
+    let m = a.min(b);
+    ((a - m).min(cap), (b - m).min(cap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_saturates() {
+        let mut c = SatCounter::zeroed(5);
+        for _ in 0..10 {
+            c.incr();
+        }
+        assert_eq!(c.value(), 5);
+        assert!(c.is_saturated());
+        c.add(u32::MAX);
+        assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn sub_saturates_at_zero() {
+        let mut c = SatCounter::new(2, 5);
+        c.sub(10);
+        assert_eq!(c.value(), 0);
+        assert!(!c.is_saturated());
+    }
+
+    #[test]
+    fn reset_and_with_value() {
+        let mut c = SatCounter::new(4, 5);
+        c.reset();
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.with_value(99).value(), 5);
+        assert_eq!(c.with_value(3).value(), 3);
+        assert_eq!(c.cap(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cap")]
+    fn new_validates() {
+        let _ = SatCounter::new(6, 5);
+    }
+
+    #[test]
+    fn normalize_pair_makes_min_zero() {
+        for a in 0..20u32 {
+            for b in 0..20u32 {
+                let (x, y) = normalize_pair(a, b, 12);
+                assert_eq!(x.min(y), 0, "one side must be zero for ({a},{b})");
+                assert!(x <= 12 && y <= 12);
+                if a.abs_diff(b) <= 12 {
+                    assert_eq!(x.abs_diff(y), a.abs_diff(b), "difference preserved");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_pair_is_idempotent() {
+        for a in 0..15u32 {
+            for b in 0..15u32 {
+                let first = normalize_pair(a, b, 9);
+                let second = normalize_pair(first.0, first.1, 9);
+                assert_eq!(first, second);
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_derives() {
+        assert!(SatCounter::new(1, 5) < SatCounter::new(2, 5));
+    }
+}

@@ -1,0 +1,162 @@
+//! Fixed-depth shift registers.
+//!
+//! The Viterbi decoder "stores the variables corresponding to the previous
+//! L−1 trellis stages" (§IV-A); in hardware that is a bank of shift
+//! registers clocked once per time step. [`ShiftRegister`] models exactly
+//! that: a fixed-depth pipeline where pushing at the front drops the oldest
+//! element off the back.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A fixed-depth shift register.
+///
+/// Index 0 is the most recently pushed element (the paper's "stage 0,
+/// corresponding to the trellis stage in the current time step"); index
+/// `depth-1` is the oldest retained element.
+///
+/// # Example
+///
+/// ```
+/// use smg_rtl::ShiftRegister;
+///
+/// let mut sr = ShiftRegister::filled(0u8, 3);
+/// sr.push(1);
+/// sr.push(2);
+/// assert_eq!(sr.get(0), &2);
+/// assert_eq!(sr.get(1), &1);
+/// assert_eq!(sr.get(2), &0);
+/// assert_eq!(sr.push(3), 0); // the dropped oldest element is returned
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShiftRegister<T> {
+    // Front = newest.
+    slots: VecDeque<T>,
+}
+
+impl<T: Clone> ShiftRegister<T> {
+    /// Creates a register of the given depth with every slot holding `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn filled(fill: T, depth: usize) -> Self {
+        assert!(depth > 0, "shift register depth must be positive");
+        ShiftRegister {
+            slots: VecDeque::from(vec![fill; depth]),
+        }
+    }
+}
+
+impl<T> ShiftRegister<T> {
+    /// Creates a register from newest-first contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contents` is empty.
+    pub fn from_newest_first(contents: Vec<T>) -> Self {
+        assert!(
+            !contents.is_empty(),
+            "shift register depth must be positive"
+        );
+        ShiftRegister {
+            slots: contents.into(),
+        }
+    }
+
+    /// The depth of the register.
+    pub fn depth(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Pushes a new element into stage 0, shifting every stage down by one
+    /// and returning the element that fell off the back.
+    pub fn push(&mut self, value: T) -> T {
+        self.slots.push_front(value);
+        self.slots.pop_back().expect("depth is positive")
+    }
+
+    /// The element at stage `i` (0 = newest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= depth`.
+    pub fn get(&self, i: usize) -> &T {
+        &self.slots[i]
+    }
+
+    /// The oldest retained element (stage `depth − 1`).
+    pub fn oldest(&self) -> &T {
+        self.slots.back().expect("depth is positive")
+    }
+
+    /// The newest element (stage 0).
+    pub fn newest(&self) -> &T {
+        self.slots.front().expect("depth is positive")
+    }
+
+    /// Iterates newest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter()
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for ShiftRegister<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shifts_and_drops() {
+        let mut sr = ShiftRegister::filled(0, 4);
+        for v in 1..=4 {
+            sr.push(v);
+        }
+        // Newest-first: 4 3 2 1.
+        let collected: Vec<_> = sr.iter().copied().collect();
+        assert_eq!(collected, vec![4, 3, 2, 1]);
+        assert_eq!(sr.push(5), 1);
+        assert_eq!(*sr.oldest(), 2);
+        assert_eq!(*sr.newest(), 5);
+    }
+
+    #[test]
+    fn depth_is_constant() {
+        let mut sr = ShiftRegister::filled('a', 3);
+        for c in "bcdefg".chars() {
+            sr.push(c);
+            assert_eq!(sr.depth(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_depth_rejected() {
+        let _ = ShiftRegister::filled(0u8, 0);
+    }
+
+    #[test]
+    fn from_newest_first() {
+        let sr = ShiftRegister::from_newest_first(vec![9, 8, 7]);
+        assert_eq!(*sr.get(0), 9);
+        assert_eq!(*sr.get(2), 7);
+    }
+
+    #[test]
+    fn display() {
+        let sr = ShiftRegister::from_newest_first(vec![1, 2, 3]);
+        assert_eq!(sr.to_string(), "[1 2 3]");
+    }
+}

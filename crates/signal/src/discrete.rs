@@ -1,0 +1,308 @@
+//! Finite discrete probability distributions.
+//!
+//! [`DiscreteDist`] is the common currency between the signal substrate and
+//! the DTMC models: quantized noise, quantized fading coefficients and data
+//! bits are all finite distributions whose products form the probabilistic
+//! transition relation `T_p` of the paper's models.
+
+use crate::error::SignalError;
+use std::fmt;
+
+/// Tolerance used when checking that masses sum to one.
+pub const NORMALIZATION_TOL: f64 = 1e-9;
+
+/// A finite discrete distribution over values of type `V`.
+///
+/// Invariants: every mass is in `(0, 1]` (zero-mass outcomes are dropped at
+/// construction) and the masses sum to 1 within [`NORMALIZATION_TOL`].
+///
+/// # Example
+///
+/// ```
+/// use smg_signal::DiscreteDist;
+///
+/// let d = DiscreteDist::new(vec![("a", 0.25), ("b", 0.75)])?;
+/// assert_eq!(d.len(), 2);
+/// assert!((d.expectation(|&v| if v == "b" { 1.0 } else { 0.0 }) - 0.75).abs() < 1e-12);
+/// # Ok::<(), smg_signal::SignalError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteDist<V> {
+    outcomes: Vec<(V, f64)>,
+}
+
+impl<V> DiscreteDist<V> {
+    /// Creates a distribution from `(value, mass)` pairs.
+    ///
+    /// Outcomes with zero mass are dropped. Values are *not* deduplicated;
+    /// use [`DiscreteDist::dedup`] (requires `V: Ord`) if duplicate outcomes
+    /// should be merged.
+    ///
+    /// # Errors
+    ///
+    /// * [`SignalError::InvalidProbability`] if any mass is negative, NaN, or
+    ///   greater than one.
+    /// * [`SignalError::NotNormalized`] if the masses do not sum to one.
+    pub fn new(outcomes: Vec<(V, f64)>) -> Result<Self, SignalError> {
+        let mut sum = 0.0;
+        for &(_, p) in &outcomes {
+            if !(0.0..=1.0 + NORMALIZATION_TOL).contains(&p) || p.is_nan() {
+                return Err(SignalError::InvalidProbability { value: p });
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > NORMALIZATION_TOL {
+            return Err(SignalError::NotNormalized { sum });
+        }
+        let outcomes = outcomes.into_iter().filter(|&(_, p)| p > 0.0).collect();
+        Ok(DiscreteDist { outcomes })
+    }
+
+    /// Creates a distribution without checking normalization, rescaling the
+    /// masses so they sum to one.
+    ///
+    /// # Errors
+    ///
+    /// * [`SignalError::InvalidProbability`] if any mass is negative or NaN.
+    /// * [`SignalError::NotNormalized`] if the total mass is zero.
+    pub fn normalized(outcomes: Vec<(V, f64)>) -> Result<Self, SignalError> {
+        let mut sum = 0.0;
+        for &(_, p) in &outcomes {
+            if p < 0.0 || p.is_nan() {
+                return Err(SignalError::InvalidProbability { value: p });
+            }
+            sum += p;
+        }
+        if sum <= 0.0 {
+            return Err(SignalError::NotNormalized { sum });
+        }
+        let outcomes = outcomes
+            .into_iter()
+            .filter(|&(_, p)| p > 0.0)
+            .map(|(v, p)| (v, p / sum))
+            .collect();
+        Ok(DiscreteDist { outcomes })
+    }
+
+    /// The point distribution concentrated on a single value.
+    pub fn point(value: V) -> Self {
+        DiscreteDist {
+            outcomes: vec![(value, 1.0)],
+        }
+    }
+
+    /// The number of outcomes with positive mass.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the distribution has no outcomes (only possible for the empty
+    /// product of distributions; normal construction never yields this).
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Iterates over `(value, mass)` pairs.
+    pub fn iter(&self) -> std::slice::Iter<'_, (V, f64)> {
+        self.outcomes.iter()
+    }
+
+    /// The outcomes as a slice.
+    pub fn as_slice(&self) -> &[(V, f64)] {
+        &self.outcomes
+    }
+
+    /// Consumes the distribution, returning its outcomes.
+    pub fn into_outcomes(self) -> Vec<(V, f64)> {
+        self.outcomes
+    }
+
+    /// The expectation of `f` under this distribution.
+    pub fn expectation<F: Fn(&V) -> f64>(&self, f: F) -> f64 {
+        self.outcomes.iter().map(|(v, p)| f(v) * p).sum()
+    }
+
+    /// The total probability of outcomes satisfying `pred`.
+    pub fn prob<F: Fn(&V) -> bool>(&self, pred: F) -> f64 {
+        self.outcomes
+            .iter()
+            .filter(|(v, _)| pred(v))
+            .map(|&(_, p)| p)
+            .sum()
+    }
+
+    /// Maps outcome values, keeping masses (duplicates are not merged).
+    pub fn map<U, F: FnMut(V) -> U>(self, mut f: F) -> DiscreteDist<U> {
+        DiscreteDist {
+            outcomes: self.outcomes.into_iter().map(|(v, p)| (f(v), p)).collect(),
+        }
+    }
+
+    /// The product distribution of two independent distributions.
+    pub fn product<U: Clone>(&self, other: &DiscreteDist<U>) -> DiscreteDist<(V, U)>
+    where
+        V: Clone,
+    {
+        let mut outcomes = Vec::with_capacity(self.len() * other.len());
+        for (a, pa) in &self.outcomes {
+            for (b, pb) in &other.outcomes {
+                outcomes.push(((a.clone(), b.clone()), pa * pb));
+            }
+        }
+        DiscreteDist { outcomes }
+    }
+
+    /// Samples an outcome given a uniform draw `u ∈ [0, 1)`.
+    ///
+    /// Deterministic given `u`, which keeps the Monte-Carlo engine
+    /// reproducible and testable.
+    pub fn sample_with(&self, u: f64) -> &V {
+        let mut acc = 0.0;
+        for (v, p) in &self.outcomes {
+            acc += p;
+            if u < acc {
+                return v;
+            }
+        }
+        // Floating-point slack: return the last outcome.
+        &self
+            .outcomes
+            .last()
+            .expect("sample_with on empty distribution")
+            .0
+    }
+}
+
+impl<V: Ord> DiscreteDist<V> {
+    /// Merges duplicate outcomes, summing their masses, and sorts outcomes.
+    pub fn dedup(mut self) -> Self {
+        self.outcomes.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut merged: Vec<(V, f64)> = Vec::with_capacity(self.outcomes.len());
+        for (v, p) in self.outcomes {
+            match merged.last_mut() {
+                Some((lv, lp)) if *lv == v => *lp += p,
+                _ => merged.push((v, p)),
+            }
+        }
+        DiscreteDist { outcomes: merged }
+    }
+}
+
+impl<V: fmt::Debug> fmt::Display for DiscreteDist<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, p)) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}: {p:.6}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The fair-coin distribution over data bits used for every transmitted bit
+/// in the case studies.
+pub fn fair_bit() -> DiscreteDist<crate::modulation::Bit> {
+    DiscreteDist {
+        outcomes: vec![
+            (crate::modulation::Bit::ZERO, 0.5),
+            (crate::modulation::Bit::ONE, 0.5),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulation::Bit;
+
+    #[test]
+    fn construction_validates() {
+        assert!(DiscreteDist::new(vec![(0, 0.5), (1, 0.5)]).is_ok());
+        assert!(DiscreteDist::new(vec![(0, 0.5), (1, 0.4)]).is_err());
+        assert!(DiscreteDist::new(vec![(0, -0.1), (1, 1.1)]).is_err());
+        assert!(DiscreteDist::new(vec![(0, f64::NAN), (1, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn zero_mass_outcomes_dropped() {
+        let d = DiscreteDist::new(vec![(0, 0.0), (1, 1.0)]).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn normalized_rescales() {
+        let d = DiscreteDist::normalized(vec![(0, 2.0), (1, 6.0)]).unwrap();
+        assert!((d.prob(|&v| v == 1) - 0.75).abs() < 1e-12);
+        assert!(DiscreteDist::<i32>::normalized(vec![]).is_err());
+        assert!(DiscreteDist::normalized(vec![(0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn point_and_expectation() {
+        let d = DiscreteDist::point(7);
+        assert_eq!(d.len(), 1);
+        assert!((d.expectation(|&v| v as f64) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_is_independent() {
+        let a = DiscreteDist::new(vec![(0, 0.25), (1, 0.75)]).unwrap();
+        let b = DiscreteDist::new(vec![("x", 0.5), ("y", 0.5)]).unwrap();
+        let p = a.product(&b);
+        assert_eq!(p.len(), 4);
+        assert!((p.prob(|&(v, s)| v == 1 && s == "y") - 0.375).abs() < 1e-12);
+        let total: f64 = p.iter().map(|&(_, m)| m).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dedup_merges() {
+        let d = DiscreteDist::normalized(vec![(1, 0.2), (0, 0.3), (1, 0.5)]).unwrap();
+        let d = d.dedup();
+        assert_eq!(d.len(), 2);
+        assert!((d.prob(|&v| v == 1) - 0.7).abs() < 1e-12);
+        // Sorted after dedup.
+        assert_eq!(d.as_slice()[0].0, 0);
+    }
+
+    #[test]
+    fn sampling_quantiles() {
+        let d = DiscreteDist::new(vec![("a", 0.25), ("b", 0.75)]).unwrap();
+        assert_eq!(*d.sample_with(0.0), "a");
+        assert_eq!(*d.sample_with(0.24), "a");
+        assert_eq!(*d.sample_with(0.26), "b");
+        assert_eq!(*d.sample_with(0.999), "b");
+        // Slack beyond accumulated mass returns last outcome.
+        assert_eq!(*d.sample_with(1.0), "b");
+    }
+
+    #[test]
+    fn fair_bit_is_fair() {
+        let d = fair_bit();
+        assert!((d.prob(|b| b.is_one()) - 0.5).abs() < 1e-12);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn map_preserves_mass() {
+        let d = fair_bit().map(|b| b.value() as i32 * 10);
+        assert!((d.prob(|&v| v == 10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_masses() {
+        let d = DiscreteDist::new(vec![(0u8, 1.0)]).unwrap();
+        let s = d.to_string();
+        assert!(s.contains("1.000000"), "{s}");
+    }
+
+    #[test]
+    fn bit_product_distribution() {
+        let two_bits = fair_bit().product(&fair_bit());
+        assert_eq!(two_bits.len(), 4);
+        assert!((two_bits.prob(|&(a, b)| a == Bit::ONE && b == Bit::ZERO) - 0.25).abs() < 1e-12);
+    }
+}

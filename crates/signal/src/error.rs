@@ -1,0 +1,96 @@
+//! Error type shared by the signal substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or using signal-processing primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SignalError {
+    /// A variance (or other strictly positive parameter) was not positive.
+    NonPositiveVariance {
+        /// The offending value.
+        value: f64,
+    },
+    /// A quantizer was requested with fewer than two levels.
+    TooFewLevels {
+        /// The requested number of levels.
+        levels: usize,
+    },
+    /// A quantizer range was empty or inverted.
+    EmptyRange {
+        /// Lower edge of the requested range.
+        lo: f64,
+        /// Upper edge of the requested range.
+        hi: f64,
+    },
+    /// A probability was outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A discrete distribution did not sum to one.
+    NotNormalized {
+        /// The actual sum of the provided masses.
+        sum: f64,
+    },
+    /// A parameter was not finite (NaN or infinite).
+    NotFinite {
+        /// Human-readable name of the parameter.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for SignalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalError::NonPositiveVariance { value } => {
+                write!(f, "variance must be positive, got {value}")
+            }
+            SignalError::TooFewLevels { levels } => {
+                write!(f, "quantizer needs at least 2 levels, got {levels}")
+            }
+            SignalError::EmptyRange { lo, hi } => {
+                write!(f, "quantizer range [{lo}, {hi}] is empty")
+            }
+            SignalError::InvalidProbability { value } => {
+                write!(f, "probability {value} is outside [0, 1]")
+            }
+            SignalError::NotNormalized { sum } => {
+                write!(f, "distribution masses sum to {sum}, expected 1")
+            }
+            SignalError::NotFinite { name } => {
+                write!(f, "parameter `{name}` must be finite")
+            }
+        }
+    }
+}
+
+impl Error for SignalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            SignalError::NonPositiveVariance { value: -1.0 },
+            SignalError::TooFewLevels { levels: 1 },
+            SignalError::EmptyRange { lo: 1.0, hi: 0.0 },
+            SignalError::InvalidProbability { value: 2.0 },
+            SignalError::NotNormalized { sum: 0.5 },
+            SignalError::NotFinite { name: "mean" },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(SignalError::TooFewLevels { levels: 0 });
+        assert!(e.source().is_none());
+    }
+}

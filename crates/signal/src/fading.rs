@@ -1,0 +1,181 @@
+//! Flat Rayleigh fading channel model.
+//!
+//! "We assume a commonly used flat fading Rayleigh channel model and obtain
+//! the probability distribution of the elements of H" (§IV). Each channel
+//! coefficient `h` is circularly-symmetric complex Gaussian `CN(0, 1)`, so
+//! its real and imaginary parts are independent `N(0, 1/2)`; the magnitude
+//! `|h|` is Rayleigh distributed — hence the name.
+//!
+//! For the DTMC models the real and imaginary parts are pushed through a
+//! quantizer ([`RayleighFading::quantized_part_dist`]), matching how the
+//! paper uses "the probability distribution of the elements of H … to assign
+//! probabilities to the DTMC transitions".
+
+use crate::complex::Complex;
+use crate::discrete::DiscreteDist;
+use crate::error::SignalError;
+use crate::gaussian::Gaussian;
+use crate::quantizer::Quantizer;
+
+/// A flat Rayleigh fading channel with `CN(0, gain_power)` coefficients.
+///
+/// # Example
+///
+/// ```
+/// use smg_signal::{RayleighFading, Quantizer};
+///
+/// let fading = RayleighFading::unit();
+/// let quant = Quantizer::symmetric(5, 2.0)?;
+/// let part = fading.quantized_part_dist(&quant);
+/// let total: f64 = part.iter().map(|&(_, p)| p).sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// # Ok::<(), smg_signal::SignalError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RayleighFading {
+    gain_power: f64,
+}
+
+impl RayleighFading {
+    /// A channel with the given average power `E[|h|²]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::NonPositiveVariance`] unless
+    /// `gain_power > 0` and finite.
+    pub fn new(gain_power: f64) -> Result<Self, SignalError> {
+        if !gain_power.is_finite() {
+            return Err(SignalError::NotFinite { name: "gain_power" });
+        }
+        if gain_power <= 0.0 {
+            return Err(SignalError::NonPositiveVariance { value: gain_power });
+        }
+        Ok(RayleighFading { gain_power })
+    }
+
+    /// The conventional unit-power channel `E[|h|²] = 1`.
+    pub fn unit() -> Self {
+        RayleighFading { gain_power: 1.0 }
+    }
+
+    /// The average coefficient power `E[|h|²]`.
+    pub fn gain_power(&self) -> f64 {
+        self.gain_power
+    }
+
+    /// The Gaussian distribution of each real/imaginary part:
+    /// `N(0, gain_power / 2)`.
+    pub fn part_dist(&self) -> Gaussian {
+        Gaussian::new(0.0, self.gain_power / 2.0).expect("gain_power validated at construction")
+    }
+
+    /// The exact finite distribution of one quantized real/imaginary part.
+    pub fn quantized_part_dist(&self, quantizer: &Quantizer) -> Vec<(usize, f64)> {
+        quantizer.discretize(&self.part_dist())
+    }
+
+    /// The quantized part distribution as a [`DiscreteDist`] over level
+    /// indices.
+    pub fn quantized_part_discrete(&self, quantizer: &Quantizer) -> DiscreteDist<usize> {
+        DiscreteDist::normalized(self.quantized_part_dist(quantizer))
+            .expect("gaussian discretization always has positive total mass")
+    }
+
+    /// Samples one complex coefficient from four independent uniforms in
+    /// `(0, 1]` (two Box–Muller transforms).
+    pub fn sample(&self, u: [f64; 4]) -> Complex {
+        let g = self.part_dist();
+        Complex::new(
+            g.sample_box_muller(u[0], u[1]),
+            g.sample_box_muller(u[2], u[3]),
+        )
+    }
+
+    /// The Rayleigh CDF of the coefficient magnitude:
+    /// `P(|h| ≤ r) = 1 − exp(−r²/gain_power)`.
+    pub fn magnitude_cdf(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-r * r / self.gain_power).exp()
+        }
+    }
+}
+
+impl Default for RayleighFading {
+    fn default() -> Self {
+        RayleighFading::unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(RayleighFading::new(0.0).is_err());
+        assert!(RayleighFading::new(-1.0).is_err());
+        assert!(RayleighFading::new(f64::NAN).is_err());
+        assert!(RayleighFading::new(2.0).is_ok());
+    }
+
+    #[test]
+    fn part_variance_is_half_power() {
+        let f = RayleighFading::new(2.0).unwrap();
+        assert!((f.part_dist().variance() - 1.0).abs() < 1e-12);
+        let unit = RayleighFading::unit();
+        assert!((unit.part_dist().variance() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantized_parts_sum_to_one_and_are_symmetric() {
+        let f = RayleighFading::unit();
+        let q = Quantizer::symmetric(5, 2.0).unwrap();
+        let d = f.quantized_part_dist(&q);
+        let total: f64 = d.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Zero-mean Gaussian through a symmetric quantizer: mirrored levels
+        // carry equal mass.
+        for i in 0..d.len() {
+            let j = d.len() - 1 - i;
+            assert!(
+                (d[i].1 - d[j].1).abs() < 1e-12,
+                "levels {i} and {j} should be symmetric"
+            );
+        }
+    }
+
+    #[test]
+    fn magnitude_cdf_properties() {
+        let f = RayleighFading::unit();
+        assert_eq!(f.magnitude_cdf(0.0), 0.0);
+        assert_eq!(f.magnitude_cdf(-1.0), 0.0);
+        assert!(f.magnitude_cdf(10.0) > 0.999_999);
+        // Median of Rayleigh with E|h|² = 1 is sqrt(ln 2).
+        let median = (2f64.ln()).sqrt();
+        assert!((f.magnitude_cdf(median) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_uniforms() {
+        let f = RayleighFading::unit();
+        let a = f.sample([0.3, 0.7, 0.9, 0.1]);
+        let b = f.sample([0.3, 0.7, 0.9, 0.1]);
+        assert_eq!(a, b);
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn discrete_wrapper_matches_raw() {
+        let f = RayleighFading::unit();
+        let q = Quantizer::symmetric(5, 2.0).unwrap();
+        let raw = f.quantized_part_dist(&q);
+        let disc = f.quantized_part_discrete(&q);
+        for (lvl, p) in raw {
+            if p > 0.0 {
+                assert!((disc.prob(|&v| v == lvl) - p).abs() < 1e-12);
+            }
+        }
+    }
+}

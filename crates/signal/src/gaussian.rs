@@ -1,0 +1,234 @@
+//! Univariate Gaussian distributions: exact interval probabilities and
+//! sampling.
+//!
+//! The paper models "a large number of small error sources … lumped together
+//! by the Central Limit Theorem … as a single random variable, called noise,
+//! with a zero-mean Gaussian distribution". This module is that random
+//! variable: it provides the exact CDF used to label DTMC transitions and a
+//! Box–Muller sampler used by the Monte-Carlo baseline.
+
+use crate::error::SignalError;
+use crate::special::{phi, std_normal_pdf};
+
+/// A Gaussian (normal) distribution `N(mean, variance)`.
+///
+/// # Example
+///
+/// ```
+/// use smg_signal::Gaussian;
+///
+/// let g = Gaussian::new(0.0, 4.0)?;
+/// assert!((g.cdf(0.0) - 0.5).abs() < 1e-12);
+/// // P(-2σ < X ≤ 2σ) ≈ 0.9545
+/// assert!((g.interval_prob(-4.0, 4.0) - 0.9544997361036416).abs() < 1e-9);
+/// # Ok::<(), smg_signal::SignalError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    variance: f64,
+    sigma: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian with the given mean and variance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::NonPositiveVariance`] if `variance <= 0`, and
+    /// [`SignalError::NotFinite`] if either parameter is NaN or infinite.
+    pub fn new(mean: f64, variance: f64) -> Result<Self, SignalError> {
+        if !mean.is_finite() {
+            return Err(SignalError::NotFinite { name: "mean" });
+        }
+        if !variance.is_finite() {
+            return Err(SignalError::NotFinite { name: "variance" });
+        }
+        if variance <= 0.0 {
+            return Err(SignalError::NonPositiveVariance { value: variance });
+        }
+        Ok(Gaussian {
+            mean,
+            variance,
+            sigma: variance.sqrt(),
+        })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Gaussian {
+            mean: 0.0,
+            variance: 1.0,
+            sigma: 1.0,
+        }
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The variance.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// The standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Returns a copy shifted so its mean is `mean`.
+    pub fn with_mean(&self, mean: f64) -> Self {
+        Gaussian { mean, ..*self }
+    }
+
+    /// The cumulative distribution function `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x == f64::INFINITY {
+            return 1.0;
+        }
+        if x == f64::NEG_INFINITY {
+            return 0.0;
+        }
+        phi((x - self.mean) / self.sigma)
+    }
+
+    /// The probability density function at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        std_normal_pdf((x - self.mean) / self.sigma) / self.sigma
+    }
+
+    /// The probability `P(lo < X ≤ hi)`. Accepts infinite endpoints.
+    ///
+    /// Returns `0` when `hi <= lo`.
+    pub fn interval_prob(&self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
+        (self.cdf(hi) - self.cdf(lo)).max(0.0)
+    }
+
+    /// Draws one sample using the Box–Muller transform with the caller's
+    /// uniform source. `u1` and `u2` must be independent uniforms in `(0,1]`.
+    ///
+    /// This is deliberately decoupled from any RNG crate: the Monte-Carlo
+    /// engine feeds it from a seeded `rand` generator, and the tests feed it
+    /// deterministic sequences.
+    pub fn sample_box_muller(&self, u1: f64, u2: f64) -> f64 {
+        let u1 = u1.clamp(f64::MIN_POSITIVE, 1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.sigma * r * theta.cos()
+    }
+
+    /// Draws a pair of independent samples from one Box–Muller transform.
+    pub fn sample_box_muller_pair(&self, u1: f64, u2: f64) -> (f64, f64) {
+        let u1 = u1.clamp(f64::MIN_POSITIVE, 1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        (
+            self.mean + self.sigma * r * theta.cos(),
+            self.mean + self.sigma * r * theta.sin(),
+        )
+    }
+}
+
+impl Default for Gaussian {
+    fn default() -> Self {
+        Gaussian::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Gaussian::new(0.0, 0.0).is_err());
+        assert!(Gaussian::new(0.0, -1.0).is_err());
+        assert!(Gaussian::new(f64::NAN, 1.0).is_err());
+        assert!(Gaussian::new(0.0, f64::INFINITY).is_err());
+        assert!(Gaussian::new(1.5, 2.0).is_ok());
+    }
+
+    #[test]
+    fn standard_matches_phi() {
+        let g = Gaussian::standard();
+        for i in -20..=20 {
+            let x = i as f64 * 0.3;
+            assert!((g.cdf(x) - phi(x)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn scaling_and_shifting() {
+        let g = Gaussian::new(3.0, 4.0).unwrap();
+        // P(X <= 3) = 0.5; P(X <= 5) = phi(1).
+        assert!((g.cdf(3.0) - 0.5).abs() < 1e-12);
+        assert!((g.cdf(5.0) - phi(1.0)).abs() < 1e-12);
+        let shifted = g.with_mean(0.0);
+        assert_eq!(shifted.variance(), 4.0);
+        assert!((shifted.cdf(2.0) - phi(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_probabilities() {
+        let g = Gaussian::standard();
+        assert_eq!(g.interval_prob(1.0, 1.0), 0.0);
+        assert_eq!(g.interval_prob(2.0, 1.0), 0.0);
+        assert!((g.interval_prob(f64::NEG_INFINITY, f64::INFINITY) - 1.0).abs() < 1e-12);
+        let p = g.interval_prob(-1.0, 1.0);
+        assert!((p - 0.6826894921370859).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdf_peak_at_mean() {
+        let g = Gaussian::new(2.0, 0.25).unwrap();
+        assert!(g.pdf(2.0) > g.pdf(2.5));
+        assert!(g.pdf(2.0) > g.pdf(1.5));
+        // Peak value = 1/(σ√(2π)) with σ = 0.5.
+        assert!((g.pdf(2.0) - 0.7978845608028654).abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_muller_deterministic_inputs() {
+        let g = Gaussian::standard();
+        // u1 = 1 gives r = 0 regardless of u2.
+        assert_eq!(g.sample_box_muller(1.0, 0.37), 0.0);
+        // Known point: u1 = e^{-1/2} → r = 1; u2 = 0 → cos = 1.
+        let s = g.sample_box_muller((-0.5f64).exp(), 0.0);
+        assert!((s - 1.0).abs() < 1e-12);
+        let (a, b) = g.sample_box_muller_pair((-0.5f64).exp(), 0.25);
+        assert!(a.abs() < 1e-9 && (b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_muller_sample_moments() {
+        // Deterministic low-discrepancy sweep is enough to sanity-check
+        // mean/variance of the transform.
+        let g = Gaussian::new(1.0, 9.0).unwrap();
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for i in 0..n {
+            let u1 = (i as f64 + 0.5) / n as f64;
+            let u2 = ((i as f64 * 0.618_033_988_749_895) % 1.0).abs();
+            let s = g.sample_box_muller(u1, u2);
+            sum += s;
+            sumsq += s * s;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 1.0).abs() < 0.1, "mean = {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var = {var}");
+    }
+
+    #[test]
+    fn infinite_cdf_endpoints() {
+        let g = Gaussian::new(0.0, 2.0).unwrap();
+        assert_eq!(g.cdf(f64::INFINITY), 1.0);
+        assert_eq!(g.cdf(f64::NEG_INFINITY), 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Binary Phase Shift Keying (BPSK) modulation.
+//!
+//! The paper assumes "an Additive White Gaussian Noise (AWGN) model and a
+//! Binary Phase Shift Key (BPSK) signaling scheme" (§II). BPSK maps a data
+//! bit to an antipodal amplitude: `0 ↦ −1`, `1 ↦ +1`.
+
+/// A data bit. Newtype over `u8` restricted to `{0, 1}`.
+///
+/// # Example
+///
+/// ```
+/// use smg_signal::Bit;
+///
+/// let b = Bit::new(1).unwrap();
+/// assert_eq!(b.flip(), Bit::ZERO);
+/// assert_eq!(b.value(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Bit(u8);
+
+impl Bit {
+    /// The bit `0`.
+    pub const ZERO: Bit = Bit(0);
+    /// The bit `1`.
+    pub const ONE: Bit = Bit(1);
+
+    /// Creates a bit, returning `None` unless the value is 0 or 1.
+    pub fn new(v: u8) -> Option<Bit> {
+        match v {
+            0 | 1 => Some(Bit(v)),
+            _ => None,
+        }
+    }
+
+    /// Creates a bit from a boolean (`true ↦ 1`).
+    pub fn from_bool(b: bool) -> Bit {
+        Bit(b as u8)
+    }
+
+    /// The raw value, 0 or 1.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the bit `1`.
+    pub fn is_one(self) -> bool {
+        self.0 == 1
+    }
+
+    /// The complemented bit.
+    pub fn flip(self) -> Bit {
+        Bit(1 - self.0)
+    }
+
+    /// XOR of two bits.
+    pub fn xor(self, other: Bit) -> Bit {
+        Bit(self.0 ^ other.0)
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Bit {
+        Bit::from_bool(b)
+    }
+}
+
+impl std::fmt::Display for Bit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// BPSK-maps a bit to an antipodal amplitude: `0 ↦ −1.0`, `1 ↦ +1.0`.
+///
+/// # Example
+///
+/// ```
+/// use smg_signal::{bpsk, Bit};
+/// assert_eq!(bpsk(Bit::ZERO), -1.0);
+/// assert_eq!(bpsk(Bit::ONE), 1.0);
+/// ```
+pub fn bpsk(bit: Bit) -> f64 {
+    if bit.is_one() {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// BPSK-maps a raw 0/1 value. Convenience for hot loops where the caller has
+/// already established the value is a bit.
+///
+/// # Panics
+///
+/// Debug-asserts that `bit` is 0 or 1.
+pub fn bpsk_bit(bit: u8) -> f64 {
+    debug_assert!(bit <= 1, "bpsk_bit expects 0 or 1, got {bit}");
+    if bit == 1 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Hard-decision BPSK demapping: non-negative amplitudes decode to 1.
+pub fn bpsk_demap(amplitude: f64) -> Bit {
+    Bit::from_bool(amplitude >= 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_construction() {
+        assert_eq!(Bit::new(0), Some(Bit::ZERO));
+        assert_eq!(Bit::new(1), Some(Bit::ONE));
+        assert_eq!(Bit::new(2), None);
+        assert_eq!(Bit::from_bool(true), Bit::ONE);
+        assert_eq!(Bit::from(false), Bit::ZERO);
+    }
+
+    #[test]
+    fn bit_ops() {
+        assert_eq!(Bit::ZERO.flip(), Bit::ONE);
+        assert_eq!(Bit::ONE.flip(), Bit::ZERO);
+        assert_eq!(Bit::ONE.xor(Bit::ONE), Bit::ZERO);
+        assert_eq!(Bit::ONE.xor(Bit::ZERO), Bit::ONE);
+        assert!(Bit::ONE.is_one());
+        assert!(!Bit::ZERO.is_one());
+    }
+
+    #[test]
+    fn mapping_is_antipodal() {
+        assert_eq!(bpsk(Bit::ZERO), -bpsk(Bit::ONE));
+        assert_eq!(bpsk_bit(0), -1.0);
+        assert_eq!(bpsk_bit(1), 1.0);
+    }
+
+    #[test]
+    fn demap_round_trips() {
+        assert_eq!(bpsk_demap(bpsk(Bit::ONE)), Bit::ONE);
+        assert_eq!(bpsk_demap(bpsk(Bit::ZERO)), Bit::ZERO);
+        // Noisy but on the right side.
+        assert_eq!(bpsk_demap(0.2), Bit::ONE);
+        assert_eq!(bpsk_demap(-0.2), Bit::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Bit::ONE.to_string(), "1");
+        assert_eq!(Bit::ZERO.to_string(), "0");
+    }
+}

@@ -1,0 +1,266 @@
+//! Uniform quantizers and the discretization of continuous noise.
+//!
+//! "The presence of noise can lead to errors in quantization of the received
+//! sample" (§II). The paper's DTMC transition probabilities are exactly the
+//! probabilities that a Gaussian-corrupted sample lands in each quantization
+//! cell; [`Quantizer::discretize`] computes these masses in closed form from
+//! the Gaussian CDF.
+
+use crate::error::SignalError;
+use crate::gaussian::Gaussian;
+
+/// A uniform quantizer with `levels` cells over `[lo, hi]`.
+///
+/// Cell `i` covers `[lo + iΔ, lo + (i+1)Δ)` with `Δ = (hi − lo)/levels`; the
+/// outermost cells absorb the tails (samples below `lo` map to cell 0,
+/// samples at or above `hi` map to the last cell). The reconstruction value
+/// of a cell is its midpoint — a mid-rise characteristic.
+///
+/// # Example
+///
+/// ```
+/// use smg_signal::Quantizer;
+///
+/// let q = Quantizer::uniform(4, -2.0, 2.0)?;
+/// assert_eq!(q.quantize(-3.0), 0);  // clamped into the lowest cell
+/// assert_eq!(q.quantize(0.1), 2);
+/// assert_eq!(q.quantize(5.0), 3);   // clamped into the highest cell
+/// assert!((q.level_value(2) - 0.5).abs() < 1e-12);
+/// # Ok::<(), smg_signal::SignalError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantizer {
+    levels: usize,
+    lo: f64,
+    hi: f64,
+    step: f64,
+}
+
+impl Quantizer {
+    /// Creates a uniform quantizer with `levels` cells over `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SignalError::TooFewLevels`] if `levels < 2`.
+    /// * [`SignalError::EmptyRange`] if `hi <= lo`.
+    /// * [`SignalError::NotFinite`] if either bound is NaN or infinite.
+    pub fn uniform(levels: usize, lo: f64, hi: f64) -> Result<Self, SignalError> {
+        if levels < 2 {
+            return Err(SignalError::TooFewLevels { levels });
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(SignalError::NotFinite { name: "range" });
+        }
+        if hi <= lo {
+            return Err(SignalError::EmptyRange { lo, hi });
+        }
+        Ok(Quantizer {
+            levels,
+            lo,
+            hi,
+            step: (hi - lo) / levels as f64,
+        })
+    }
+
+    /// Creates a quantizer symmetric about zero: `levels` cells over
+    /// `[-range, range]`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Quantizer::uniform`]; additionally requires `range > 0`.
+    pub fn symmetric(levels: usize, range: f64) -> Result<Self, SignalError> {
+        Quantizer::uniform(levels, -range, range)
+    }
+
+    /// The number of quantization levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The cell width Δ.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// The lower edge of the quantizer range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// The upper edge of the quantizer range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Quantizes a sample to a level index in `0..levels` (clamping values
+    /// outside the range into the outermost cells).
+    pub fn quantize(&self, x: f64) -> usize {
+        if x < self.lo {
+            return 0;
+        }
+        let idx = ((x - self.lo) / self.step) as usize;
+        idx.min(self.levels - 1)
+    }
+
+    /// The reconstruction (midpoint) value of level `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= levels`.
+    pub fn level_value(&self, i: usize) -> f64 {
+        assert!(i < self.levels, "level {i} out of range 0..{}", self.levels);
+        self.lo + (i as f64 + 0.5) * self.step
+    }
+
+    /// The decision boundaries of level `i` as used for probability mass:
+    /// the lowest cell extends to `−∞` and the highest to `+∞`.
+    pub fn cell_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.levels, "level {i} out of range 0..{}", self.levels);
+        let lo = if i == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.lo + i as f64 * self.step
+        };
+        let hi = if i == self.levels - 1 {
+            f64::INFINITY
+        } else {
+            self.lo + (i + 1) as f64 * self.step
+        };
+        (lo, hi)
+    }
+
+    /// Pushes a Gaussian through the quantizer: returns, for every level, the
+    /// probability that a sample of `dist` is quantized to that level. The
+    /// masses sum to 1 exactly (up to floating point).
+    ///
+    /// This is the paper's §III "we use this to calculate the probability of
+    /// a received sample being mapped to a particular quantization level
+    /// which in turn can be used to label the transitions of the DTMC model".
+    pub fn discretize(&self, dist: &Gaussian) -> Vec<(usize, f64)> {
+        let mut out = Vec::with_capacity(self.levels);
+        for i in 0..self.levels {
+            let (lo, hi) = self.cell_bounds(i);
+            out.push((i, dist.interval_prob(lo, hi)));
+        }
+        out
+    }
+
+    /// Like [`Quantizer::discretize`] but drops levels whose mass is below
+    /// `threshold` and renormalizes the rest. This mirrors PRISM's behaviour
+    /// in the paper's 1x4 experiment ("PRISM discards states that are reached
+    /// with a probability less than 10⁻¹⁵").
+    pub fn discretize_pruned(&self, dist: &Gaussian, threshold: f64) -> Vec<(usize, f64)> {
+        let mut masses = self.discretize(dist);
+        masses.retain(|&(_, p)| p >= threshold);
+        let total: f64 = masses.iter().map(|&(_, p)| p).sum();
+        if total > 0.0 {
+            for m in &mut masses {
+                m.1 /= total;
+            }
+        }
+        masses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Quantizer::uniform(1, -1.0, 1.0).is_err());
+        assert!(Quantizer::uniform(4, 1.0, 1.0).is_err());
+        assert!(Quantizer::uniform(4, 2.0, 1.0).is_err());
+        assert!(Quantizer::uniform(4, f64::NAN, 1.0).is_err());
+        assert!(Quantizer::symmetric(8, 3.0).is_ok());
+    }
+
+    #[test]
+    fn quantize_midpoints_round_trip() {
+        let q = Quantizer::symmetric(8, 3.0).unwrap();
+        for i in 0..8 {
+            assert_eq!(q.quantize(q.level_value(i)), i, "level {i}");
+        }
+    }
+
+    #[test]
+    fn quantize_clamps() {
+        let q = Quantizer::symmetric(4, 2.0).unwrap();
+        assert_eq!(q.quantize(-100.0), 0);
+        assert_eq!(q.quantize(100.0), 3);
+        assert_eq!(q.quantize(2.0), 3); // at the upper edge
+        assert_eq!(q.quantize(-2.0), 0);
+    }
+
+    #[test]
+    fn boundaries_partition_the_line() {
+        let q = Quantizer::symmetric(6, 3.0).unwrap();
+        // Consecutive cells share a boundary; first/last are infinite.
+        assert_eq!(q.cell_bounds(0).0, f64::NEG_INFINITY);
+        assert_eq!(q.cell_bounds(5).1, f64::INFINITY);
+        for i in 0..5 {
+            let (_, hi) = q.cell_bounds(i);
+            let (lo, _) = q.cell_bounds(i + 1);
+            assert!((hi - lo).abs() < 1e-12, "cells {i}/{} must abut", i + 1);
+        }
+    }
+
+    #[test]
+    fn discretize_sums_to_one() {
+        let q = Quantizer::symmetric(8, 3.0).unwrap();
+        for mean in [-2.0, 0.0, 2.0] {
+            let g = Gaussian::new(mean, 0.63).unwrap();
+            let pmf = q.discretize(&g);
+            let total: f64 = pmf.iter().map(|&(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-12, "mass at mean {mean} = {total}");
+            assert_eq!(pmf.len(), 8);
+        }
+    }
+
+    #[test]
+    fn discretize_mass_concentrates_near_mean() {
+        let q = Quantizer::symmetric(8, 3.0).unwrap();
+        let g = Gaussian::new(2.0, 0.1).unwrap();
+        let pmf = q.discretize(&g);
+        let best = pmf
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        // Level containing +2.0.
+        assert_eq!(best.0, q.quantize(2.0));
+        assert!(best.1 > 0.5);
+    }
+
+    #[test]
+    fn discretize_pruned_renormalizes() {
+        let q = Quantizer::symmetric(8, 3.0).unwrap();
+        let g = Gaussian::new(2.5, 0.05).unwrap();
+        let pruned = q.discretize_pruned(&g, 1e-6);
+        assert!(pruned.len() < 8, "tail levels should be pruned");
+        let total: f64 = pruned.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn level_value_bounds_checked() {
+        let q = Quantizer::symmetric(4, 1.0).unwrap();
+        let _ = q.level_value(4);
+    }
+
+    #[test]
+    fn quantize_matches_cell_bounds() {
+        // Every sample quantizes to the unique cell whose bounds contain it.
+        let q = Quantizer::uniform(5, -1.0, 4.0).unwrap();
+        let mut x = -3.0;
+        while x < 6.0 {
+            let lvl = q.quantize(x);
+            let (lo, hi) = q.cell_bounds(lvl);
+            assert!(
+                x >= lo && x < hi || (lvl == 4 && x >= hi),
+                "x={x} lvl={lvl}"
+            );
+            x += 0.037;
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Signal-to-noise ratio bookkeeping.
+//!
+//! "Signal-to-Noise Ratio (SNR) represents the level of the uncorrupted
+//! signal relative to that of the noise. For high values of SNR, the noise is
+//! insignificant compared to the signal, resulting in a low BER." — §II.
+//!
+//! [`Snr`] is a newtype so that decibel and linear quantities can never be
+//! confused, and it owns the single conversion the whole pipeline relies on:
+//! *given an SNR and an average signal power, what is the noise variance?*
+
+use crate::error::SignalError;
+use crate::gaussian::Gaussian;
+use std::fmt;
+
+/// A signal-to-noise ratio.
+///
+/// Stored internally in decibels; the linear ratio is `10^(dB/10)`.
+///
+/// # Example
+///
+/// ```
+/// use smg_signal::Snr;
+///
+/// let snr = Snr::from_db(10.0);
+/// assert!((snr.linear() - 10.0).abs() < 1e-12);
+/// // At 10 dB with unit signal power the noise variance is 0.1.
+/// assert!((snr.noise_variance(1.0) - 0.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Snr {
+    db: f64,
+}
+
+impl Snr {
+    /// Creates an SNR from a value in decibels.
+    pub fn from_db(db: f64) -> Self {
+        Snr { db }
+    }
+
+    /// Creates an SNR from a linear power ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linear` is not strictly positive (an SNR of zero or
+    /// negative linear power is meaningless).
+    pub fn from_linear(linear: f64) -> Self {
+        assert!(
+            linear > 0.0 && linear.is_finite(),
+            "linear SNR must be positive and finite, got {linear}"
+        );
+        Snr {
+            db: 10.0 * linear.log10(),
+        }
+    }
+
+    /// The SNR in decibels.
+    pub fn db(&self) -> f64 {
+        self.db
+    }
+
+    /// The linear power ratio `signal power / noise power`.
+    pub fn linear(&self) -> f64 {
+        10f64.powf(self.db / 10.0)
+    }
+
+    /// The total noise variance implied by this SNR for a signal of average
+    /// power `signal_power`: `σ² = P_s / SNR_linear`.
+    pub fn noise_variance(&self, signal_power: f64) -> f64 {
+        signal_power / self.linear()
+    }
+
+    /// The zero-mean Gaussian noise distribution implied by this SNR for a
+    /// signal of average power `signal_power`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the implied variance is not positive and finite
+    /// (for example if `signal_power` is zero).
+    pub fn noise(&self, signal_power: f64) -> Result<Gaussian, SignalError> {
+        Gaussian::new(0.0, self.noise_variance(signal_power))
+    }
+
+    /// The per-dimension noise variance for a complex noise vector whose
+    /// total variance is `σ²`: each of the real and imaginary parts carries
+    /// half the power. This is the variance used for the real/imaginary
+    /// component variables of the MIMO detector DTMC.
+    pub fn noise_variance_per_dim(&self, signal_power: f64) -> f64 {
+        self.noise_variance(signal_power) / 2.0
+    }
+}
+
+impl fmt::Display for Snr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} dB", self.db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_linear_round_trip() {
+        for db in [-10.0, 0.0, 3.0, 5.0, 8.0, 12.0, 20.0] {
+            let s = Snr::from_db(db);
+            let back = Snr::from_linear(s.linear());
+            assert!((back.db() - db).abs() < 1e-10, "round trip at {db} dB");
+        }
+    }
+
+    #[test]
+    fn zero_db_is_unity() {
+        let s = Snr::from_db(0.0);
+        assert!((s.linear() - 1.0).abs() < 1e-12);
+        assert!((s.noise_variance(2.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_snr_means_less_noise() {
+        let lo = Snr::from_db(5.0);
+        let hi = Snr::from_db(12.0);
+        assert!(hi.noise_variance(1.0) < lo.noise_variance(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn from_linear_rejects_zero() {
+        let _ = Snr::from_linear(0.0);
+    }
+
+    #[test]
+    fn noise_distribution() {
+        let s = Snr::from_db(5.0);
+        let g = s.noise(2.0).unwrap();
+        assert_eq!(g.mean(), 0.0);
+        // 5 dB → linear ≈ 3.1623; variance = 2 / 3.1623 ≈ 0.6325.
+        assert!((g.variance() - 0.632_455_532_033_675_9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_dimension_variance_halves() {
+        let s = Snr::from_db(8.0);
+        assert!((s.noise_variance_per_dim(1.0) * 2.0 - s.noise_variance(1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Snr::from_db(5.0).to_string(), "5 dB");
+    }
+}

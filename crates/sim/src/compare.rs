@@ -1,0 +1,109 @@
+//! Simulation-versus-model-checking agreement reports (paper §V).
+//!
+//! "The values computed in our approach closely match those obtained by
+//! performing simulations over a large number of time steps." This module
+//! packages that comparison: a model-checked value, a Monte-Carlo estimate
+//! with its confidence interval, and the verdict.
+
+use crate::estimator::BerEstimator;
+use std::fmt;
+
+/// The outcome of comparing a model-checked value against a Monte-Carlo
+/// estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgreementReport {
+    /// The exact (model-checked) value.
+    pub model_value: f64,
+    /// The simulation point estimate.
+    pub estimate: f64,
+    /// Confidence-interval bounds of the estimate.
+    pub ci: (f64, f64),
+    /// Confidence level of the interval.
+    pub confidence: f64,
+    /// Number of simulated trials.
+    pub trials: u64,
+    /// Number of observed errors.
+    pub errors: u64,
+}
+
+impl AgreementReport {
+    /// Builds a report from an estimator and the model-checked value.
+    pub fn from_estimator(model_value: f64, est: &BerEstimator, confidence: f64) -> Self {
+        AgreementReport {
+            model_value,
+            estimate: est.ber(),
+            ci: est.wilson_ci(confidence),
+            confidence,
+            trials: est.trials(),
+            errors: est.errors(),
+        }
+    }
+
+    /// Whether the model value lies inside the estimate's confidence
+    /// interval.
+    pub fn agrees(&self) -> bool {
+        self.ci.0 <= self.model_value && self.model_value <= self.ci.1
+    }
+
+    /// The relative difference `|estimate − model| / model` (infinite when
+    /// the model value is zero and the estimate is not).
+    pub fn relative_error(&self) -> f64 {
+        if self.model_value == 0.0 {
+            if self.estimate == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.estimate - self.model_value).abs() / self.model_value
+        }
+    }
+}
+
+impl fmt::Display for AgreementReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "model {:.6e} vs sim {:.6e} [{:.6e}, {:.6e}] @{}% ({} errors / {} trials): {}",
+            self.model_value,
+            self.estimate,
+            self.ci.0,
+            self.ci.1,
+            self.confidence * 100.0,
+            self.errors,
+            self.trials,
+            if self.agrees() { "AGREE" } else { "DISAGREE" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_verdict() {
+        let mut e = BerEstimator::new();
+        for i in 0..10_000 {
+            e.add(i % 100 == 0);
+        }
+        let r = AgreementReport::from_estimator(0.01, &e, 0.95);
+        assert!(r.agrees());
+        assert!(r.relative_error() < 0.2);
+        assert!(r.to_string().contains("AGREE"));
+        let bad = AgreementReport::from_estimator(0.5, &e, 0.95);
+        assert!(!bad.agrees());
+        assert!(bad.to_string().contains("DISAGREE"));
+    }
+
+    #[test]
+    fn relative_error_edge_cases() {
+        let e = BerEstimator::new();
+        let r = AgreementReport::from_estimator(0.0, &e, 0.95);
+        assert_eq!(r.relative_error(), 0.0);
+        let mut e2 = BerEstimator::new();
+        e2.add(true);
+        let r2 = AgreementReport::from_estimator(0.0, &e2, 0.95);
+        assert_eq!(r2.relative_error(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,210 @@
+//! BER estimation with confidence intervals.
+//!
+//! The paper's criticism of simulation is statistical: "Estimates that are
+//! reasonably accurate can be obtained by simulating the MIMO systems over
+//! many cycles" — how many is exactly what this module quantifies.
+
+use smg_signal::special::inv_phi;
+
+/// An online Bernoulli estimator: counts error trials among total trials.
+///
+/// # Example
+///
+/// ```
+/// use smg_sim::BerEstimator;
+///
+/// let mut e = BerEstimator::new();
+/// for i in 0..1000 {
+///     e.add(i % 100 == 0); // 1% error rate
+/// }
+/// assert!((e.ber() - 0.01).abs() < 1e-12);
+/// let (lo, hi) = e.wilson_ci(0.95);
+/// assert!(lo < 0.01 && 0.01 < hi);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BerEstimator {
+    trials: u64,
+    errors: u64,
+}
+
+impl BerEstimator {
+    /// A fresh estimator with no observations.
+    pub fn new() -> Self {
+        BerEstimator::default()
+    }
+
+    /// Records one trial.
+    pub fn add(&mut self, error: bool) {
+        self.trials += 1;
+        self.errors += error as u64;
+    }
+
+    /// Merges another estimator's counts into this one.
+    pub fn merge(&mut self, other: &BerEstimator) {
+        self.trials += other.trials;
+        self.errors += other.errors;
+    }
+
+    /// The number of trials observed.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// The number of errors observed.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// The point estimate (0 when no trials have been observed).
+    pub fn ber(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.trials as f64
+        }
+    }
+
+    /// The standard error of the point estimate.
+    pub fn std_error(&self) -> f64 {
+        if self.trials == 0 {
+            return f64::INFINITY;
+        }
+        let p = self.ber();
+        (p * (1.0 - p) / self.trials as f64).sqrt()
+    }
+
+    /// The Wilson score interval at the given confidence level (e.g.
+    /// `0.95`). Well-behaved even with zero observed errors — the regime
+    /// the paper's "zero bit errors in 10⁵ time steps" observation lives
+    /// in.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < confidence < 1`.
+    pub fn wilson_ci(&self, confidence: f64) -> (f64, f64) {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1), got {confidence}"
+        );
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let z = inv_phi(1.0 - (1.0 - confidence) / 2.0);
+        let n = self.trials as f64;
+        let p = self.ber();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt() / denom;
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// Whether the estimate has reached the relative half-width target at
+    /// the given confidence (common stopping rule).
+    pub fn is_converged(&self, confidence: f64, rel_half_width: f64) -> bool {
+        if self.errors == 0 {
+            return false;
+        }
+        let (lo, hi) = self.wilson_ci(confidence);
+        let p = self.ber();
+        (hi - lo) / 2.0 <= rel_half_width * p
+    }
+}
+
+/// The number of Monte-Carlo trials needed to estimate an error rate `p`
+/// to relative half-width `rel` at confidence `confidence` — the cost the
+/// paper's approach avoids. For BER = 10⁻⁷ at ±10% / 95% this is ≈ 3.8·10⁹
+/// trials.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`, `rel > 0`, and `0 < confidence < 1`.
+pub fn required_trials(p: f64, rel: f64, confidence: f64) -> u64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+    assert!(rel > 0.0, "rel must be positive");
+    assert!(confidence > 0.0 && confidence < 1.0);
+    let z = inv_phi(1.0 - (1.0 - confidence) / 2.0);
+    let n = z * z * (1.0 - p) / (p * rel * rel);
+    n.ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_merge() {
+        let mut a = BerEstimator::new();
+        a.add(true);
+        a.add(false);
+        let mut b = BerEstimator::new();
+        b.add(true);
+        a.merge(&b);
+        assert_eq!(a.trials(), 3);
+        assert_eq!(a.errors(), 2);
+        assert!((a.ber() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_estimator() {
+        let e = BerEstimator::new();
+        assert_eq!(e.ber(), 0.0);
+        assert_eq!(e.std_error(), f64::INFINITY);
+        assert_eq!(e.wilson_ci(0.95), (0.0, 1.0));
+        assert!(!e.is_converged(0.95, 0.1));
+    }
+
+    #[test]
+    fn wilson_interval_properties() {
+        let mut e = BerEstimator::new();
+        for i in 0..10_000 {
+            e.add(i % 50 == 0); // p = 0.02
+        }
+        let (lo95, hi95) = e.wilson_ci(0.95);
+        let (lo99, hi99) = e.wilson_ci(0.99);
+        assert!(lo99 <= lo95 && hi95 <= hi99, "99% CI contains 95% CI");
+        assert!(lo95 > 0.015 && hi95 < 0.025);
+    }
+
+    #[test]
+    fn wilson_with_zero_errors_is_positive_width() {
+        // The paper's "zero errors in 1e5 steps" case: the upper bound must
+        // still be informative (≈ 3.7e-5 at 95%).
+        let mut e = BerEstimator::new();
+        for _ in 0..100_000 {
+            e.add(false);
+        }
+        let (lo, hi) = e.wilson_ci(0.95);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 1e-6 && hi < 1e-4, "hi = {hi}");
+    }
+
+    #[test]
+    fn convergence_stopping_rule() {
+        let mut e = BerEstimator::new();
+        for i in 0..100 {
+            e.add(i % 4 == 0);
+        }
+        assert!(!e.is_converged(0.95, 0.05));
+        for i in 0..200_000 {
+            e.add(i % 4 == 0);
+        }
+        assert!(e.is_converged(0.95, 0.05));
+    }
+
+    #[test]
+    fn required_trials_scales_inversely_with_p() {
+        let a = required_trials(1e-3, 0.1, 0.95);
+        let b = required_trials(1e-5, 0.1, 0.95);
+        assert!(b > 90 * a, "two decades of BER ≈ two decades of cost");
+        // Classic figure: p = 1e-7, ±10%, 95% → ≈ 3.8e9.
+        let c = required_trials(1e-7, 0.1, 0.95);
+        assert!(c > 3.5e9 as u64 && c < 4.2e9 as u64, "c = {c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn wilson_validates_confidence() {
+        let _ = BerEstimator::new().wilson_ci(1.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Monte-Carlo simulation baseline (the technique the paper replaces).
+//!
+//! "Conventionally, performance estimation is done by performing Monte
+//! Carlo simulations of MIMO RTL using random input vectors. … This
+//! technique is time consuming and incomplete." (§I). The paper's §V
+//! comparison simulates 10⁷ time steps to estimate the 1x4 detector's BER
+//! and observes zero bit errors in 10⁵ steps — illustrating why model
+//! checking wins for low-BER systems.
+//!
+//! This crate reproduces that baseline: bit-level simulations of the same
+//! Viterbi decoder and MIMO detector datapaths analysed by the DTMC models
+//! (the combinational logic is shared, so the two approaches agree in
+//! distribution by construction), plus statistically sound BER estimation
+//! with Wilson confidence intervals and rare-event stopping rules.
+//!
+//! The [`smc`] module adds the middle ground the paper cites as related
+//! work: *statistical model checking* of time-bounded path formulas by
+//! SPRT hypothesis testing and Chernoff-bound estimation.
+//!
+//! # Example
+//!
+//! ```
+//! use smg_sim::{BerEstimator, ViterbiSimulation};
+//! use smg_viterbi::ViterbiConfig;
+//!
+//! let mut sim = ViterbiSimulation::new(ViterbiConfig::small(), 42)?;
+//! let est = sim.run(5_000);
+//! assert!(est.trials() == 5_000);
+//! let (lo, hi) = est.wilson_ci(0.95);
+//! assert!(lo <= est.ber() && est.ber() <= hi);
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod detector_sim;
+pub mod estimator;
+pub mod smc;
+pub mod viterbi_sim;
+
+pub use compare::AgreementReport;
+pub use detector_sim::DetectorSimulation;
+pub use estimator::BerEstimator;
+pub use smc::{
+    estimate, okamoto_bound, sprt, ApproxResult, SmcError, SprtConfig, SprtDecision, SprtOutcome,
+};
+pub use viterbi_sim::ViterbiSimulation;

@@ -1,0 +1,624 @@
+//! Statistical model checking — the middle ground between the paper's two
+//! poles (plain Monte-Carlo simulation and exact probabilistic model
+//! checking), in the style the paper cites as related work (Clarke,
+//! Donzé & Legay, HVC'08 [13]).
+//!
+//! Given a time-bounded pCTL path formula φ and an explicit chain, a
+//! *statistical* checker samples finite paths and either
+//!
+//! * tests the hypothesis `P(φ) ⋈ θ` with Wald's **sequential probability
+//!   ratio test** ([`sprt`]) at prescribed type-I/II error rates, or
+//! * **estimates** `P(φ)` within ±ε at confidence 1−δ using the
+//!   Okamoto/Chernoff–Hoeffding sample bound ([`estimate`]).
+//!
+//! Sampling uses the explicit chain (not the RTL datapath simulators in
+//! the sibling modules), so any chain the model checker accepts can also
+//! be checked statistically; the test suite pins both methods against the
+//! exact engine. The contrast the paper's §V draws — exhaustive checking
+//! wins precisely where BERs are tiny — is visible here as the sample
+//! bound `N ≥ ln(2/δ)/(2ε²)` blowing up as ε must shrink below the BER.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smg_dtmc::{BitVec, Dtmc, StateId};
+use smg_pctl::ast::{PathFormula, TimeBound};
+use smg_pctl::{sat_states, PctlError};
+
+/// Errors raised by the statistical checker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SmcError {
+    /// The path formula has no finite time bound, so a sampled prefix
+    /// cannot decide it.
+    Unbounded,
+    /// Propagated from resolving the formula's state subformulas.
+    Pctl(String),
+    /// A parameter was out of range (e.g. `theta ± delta` outside (0,1)).
+    BadParameter {
+        /// Description of the offending parameter.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for SmcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmcError::Unbounded => {
+                write!(f, "statistical checking needs a time-bounded path formula")
+            }
+            SmcError::Pctl(msg) => write!(f, "state formula resolution failed: {msg}"),
+            SmcError::BadParameter { what } => write!(f, "bad parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SmcError {}
+
+impl From<PctlError> for SmcError {
+    fn from(e: PctlError) -> Self {
+        SmcError::Pctl(e.to_string())
+    }
+}
+
+/// A bounded path formula compiled to bit-vector tests, ready for cheap
+/// per-path evaluation.
+///
+/// State subformulas are resolved *exactly* (via [`sat_states`], which
+/// handles nested `P⋈p` operators with the numerical engine); only the
+/// outermost temporal operator is sampled. This hybrid is standard in
+/// statistical checkers: path-level sampling with state-level oracles.
+#[derive(Debug, Clone)]
+pub struct CompiledPath {
+    kind: PathKind,
+    /// Number of transitions a sample must take to decide the formula.
+    horizon: usize,
+}
+
+#[derive(Debug, Clone)]
+enum PathKind {
+    /// `X φ`.
+    Next(BitVec),
+    /// `lhs U[a,b] rhs` (with `F` as `true U` and `G` via negation at
+    /// evaluation time — see `negated`).
+    Until {
+        lhs: BitVec,
+        rhs: BitVec,
+        lo: usize,
+        hi: usize,
+        /// When true the result is complemented (`G[a,b] φ` is sampled as
+        /// `¬(true U[a,b] ¬φ)`).
+        negated: bool,
+    },
+}
+
+impl CompiledPath {
+    /// Resolves a bounded path formula against a chain.
+    ///
+    /// # Errors
+    ///
+    /// [`SmcError::Unbounded`] for formulas with no finite bound;
+    /// [`SmcError::Pctl`] if a state subformula fails to resolve.
+    pub fn compile(dtmc: &Dtmc, path: &PathFormula) -> Result<CompiledPath, SmcError> {
+        let bounds = |b: &TimeBound| -> Result<(usize, usize), SmcError> {
+            match b {
+                TimeBound::Upper(t) => Ok((0, *t as usize)),
+                TimeBound::Interval(a, b) => Ok((*a as usize, *b as usize)),
+                TimeBound::None => Err(SmcError::Unbounded),
+            }
+        };
+        Ok(match path {
+            PathFormula::Next(f) => CompiledPath {
+                kind: PathKind::Next(sat_states(dtmc, f)?),
+                horizon: 1,
+            },
+            PathFormula::Until { lhs, rhs, bound } => {
+                let (lo, hi) = bounds(bound)?;
+                CompiledPath {
+                    kind: PathKind::Until {
+                        lhs: sat_states(dtmc, lhs)?,
+                        rhs: sat_states(dtmc, rhs)?,
+                        lo,
+                        hi,
+                        negated: false,
+                    },
+                    horizon: hi,
+                }
+            }
+            PathFormula::Finally { inner, bound } => {
+                let (lo, hi) = bounds(bound)?;
+                CompiledPath {
+                    kind: PathKind::Until {
+                        lhs: BitVec::ones(dtmc.n_states()),
+                        rhs: sat_states(dtmc, inner)?,
+                        lo,
+                        hi,
+                        negated: false,
+                    },
+                    horizon: hi,
+                }
+            }
+            PathFormula::Globally { inner, bound } => {
+                let (lo, hi) = bounds(bound)?;
+                CompiledPath {
+                    kind: PathKind::Until {
+                        lhs: BitVec::ones(dtmc.n_states()),
+                        rhs: sat_states(dtmc, inner)?.not(),
+                        lo,
+                        hi,
+                        negated: true,
+                    },
+                    horizon: hi,
+                }
+            }
+        })
+    }
+
+    /// Evaluates the formula on a sampled trace (`trace[0]` is the initial
+    /// state; `trace.len() == horizon + 1`).
+    fn holds(&self, trace: &[StateId]) -> bool {
+        match &self.kind {
+            PathKind::Next(sat) => sat.get(trace[1] as usize),
+            PathKind::Until {
+                lhs,
+                rhs,
+                lo,
+                hi,
+                negated,
+            } => {
+                let mut raw = false;
+                for (t, &s) in trace.iter().enumerate().take(hi + 1) {
+                    if t >= *lo && rhs.get(s as usize) {
+                        raw = true;
+                        break;
+                    }
+                    if !lhs.get(s as usize) {
+                        break;
+                    }
+                }
+                raw != *negated
+            }
+        }
+    }
+}
+
+/// Samples one path of `horizon` transitions and reports whether the
+/// compiled formula holds on it.
+fn sample_once(dtmc: &Dtmc, compiled: &CompiledPath, rng: &mut SmallRng) -> bool {
+    let mut trace = Vec::with_capacity(compiled.horizon + 1);
+    let mut state = draw(dtmc.initial(), rng);
+    trace.push(state);
+    for _ in 0..compiled.horizon {
+        state = draw(&dtmc.matrix().successors(state as usize), rng);
+        trace.push(state);
+    }
+    compiled.holds(&trace)
+}
+
+fn draw(dist: &[(StateId, f64)], rng: &mut SmallRng) -> StateId {
+    let mut u: f64 = rng.gen();
+    for &(s, p) in dist {
+        if u < p {
+            return s;
+        }
+        u -= p;
+    }
+    dist.last().expect("non-empty distribution").0
+}
+
+/// Outcome of a sequential hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SprtDecision {
+    /// Evidence supports `P(φ) ≥ θ + δ`.
+    AtLeast,
+    /// Evidence supports `P(φ) ≤ θ − δ`.
+    AtMost,
+    /// The sample budget ran out inside the indifference region.
+    Undecided,
+}
+
+/// A completed SPRT run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SprtOutcome {
+    /// The decision.
+    pub decision: SprtDecision,
+    /// Paths sampled.
+    pub samples: u64,
+    /// Successes among them.
+    pub successes: u64,
+}
+
+/// Parameters of [`sprt`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SprtConfig {
+    /// The threshold θ under test.
+    pub theta: f64,
+    /// Half-width of the indifference region (θ±δ must stay in (0,1)).
+    pub delta: f64,
+    /// Type-I error bound (false `AtMost` when `P ≥ θ+δ`).
+    pub alpha: f64,
+    /// Type-II error bound (false `AtLeast` when `P ≤ θ−δ`).
+    pub beta: f64,
+    /// Hard cap on samples (returns `Undecided` when exhausted).
+    pub max_samples: u64,
+}
+
+impl Default for SprtConfig {
+    fn default() -> Self {
+        SprtConfig {
+            theta: 0.5,
+            delta: 0.01,
+            alpha: 0.01,
+            beta: 0.01,
+            max_samples: 10_000_000,
+        }
+    }
+}
+
+/// Wald's sequential probability ratio test for `P(φ) ⋈ θ`.
+///
+/// Tests `H⁺: P(φ) ≥ θ+δ` against `H⁻: P(φ) ≤ θ−δ` with error bounds
+/// `alpha`/`beta`; inside the indifference region `(θ−δ, θ+δ)` either
+/// answer is acceptable. The expected sample count grows as the true
+/// probability approaches θ — the test is cheap for clear-cut hypotheses
+/// and expensive near the boundary (the classic SMC trade-off the exact
+/// engine does not have).
+///
+/// # Errors
+///
+/// [`SmcError::BadParameter`] for out-of-range θ/δ/α/β;
+/// [`SmcError::Unbounded`] / [`SmcError::Pctl`] from formula compilation.
+pub fn sprt(
+    dtmc: &Dtmc,
+    path: &PathFormula,
+    config: SprtConfig,
+    seed: u64,
+) -> Result<SprtOutcome, SmcError> {
+    let SprtConfig {
+        theta,
+        delta,
+        alpha,
+        beta,
+        max_samples,
+    } = config;
+    let p1 = theta + delta;
+    let p0 = theta - delta;
+    if !(0.0 < p0 && p1 < 1.0) {
+        return Err(SmcError::BadParameter {
+            what: format!("theta ± delta = [{p0}, {p1}] must lie inside (0, 1)"),
+        });
+    }
+    if !(0.0..1.0).contains(&alpha) || alpha == 0.0 || !(0.0..1.0).contains(&beta) || beta == 0.0 {
+        return Err(SmcError::BadParameter {
+            what: format!("alpha = {alpha}, beta = {beta} must lie in (0, 1)"),
+        });
+    }
+    let compiled = CompiledPath::compile(dtmc, path)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Log-likelihood ratio of H⁻ (p0) against H⁺ (p1).
+    let accept_low = ((1.0 - beta) / alpha).ln();
+    let accept_high = (beta / (1.0 - alpha)).ln();
+    let succ_step = (p0 / p1).ln();
+    let fail_step = ((1.0 - p0) / (1.0 - p1)).ln();
+
+    let mut llr = 0.0;
+    let mut successes = 0u64;
+    for n in 1..=max_samples {
+        if sample_once(dtmc, &compiled, &mut rng) {
+            successes += 1;
+            llr += succ_step;
+        } else {
+            llr += fail_step;
+        }
+        if llr >= accept_low {
+            return Ok(SprtOutcome {
+                decision: SprtDecision::AtMost,
+                samples: n,
+                successes,
+            });
+        }
+        if llr <= accept_high {
+            return Ok(SprtOutcome {
+                decision: SprtDecision::AtLeast,
+                samples: n,
+                successes,
+            });
+        }
+    }
+    Ok(SprtOutcome {
+        decision: SprtDecision::Undecided,
+        samples: max_samples,
+        successes,
+    })
+}
+
+/// A fixed-sample estimation result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxResult {
+    /// The point estimate of `P(φ)`.
+    pub estimate: f64,
+    /// Paths sampled.
+    pub samples: u64,
+    /// The absolute-error target ε.
+    pub epsilon: f64,
+    /// The confidence parameter δ (failure probability).
+    pub delta: f64,
+}
+
+/// The Okamoto / Chernoff–Hoeffding sample bound: the smallest `N` with
+/// `P(|estimate − P(φ)| > ε) ≤ δ`, namely `N ≥ ln(2/δ) / (2ε²)`.
+///
+/// # Errors
+///
+/// [`SmcError::BadParameter`] for ε or δ outside (0, 1).
+pub fn okamoto_bound(epsilon: f64, delta: f64) -> Result<u64, SmcError> {
+    if !(0.0..1.0).contains(&epsilon) || epsilon == 0.0 || !(0.0..1.0).contains(&delta) || delta == 0.0 {
+        return Err(SmcError::BadParameter {
+            what: format!("epsilon = {epsilon}, delta = {delta} must lie in (0, 1)"),
+        });
+    }
+    Ok(((2.0 / delta).ln() / (2.0 * epsilon * epsilon)).ceil() as u64)
+}
+
+/// Estimates `P(φ)` within ±ε at confidence 1−δ by sampling the
+/// Okamoto-bound number of paths.
+///
+/// # Errors
+///
+/// As for [`okamoto_bound`] and [`CompiledPath::compile`].
+pub fn estimate(
+    dtmc: &Dtmc,
+    path: &PathFormula,
+    epsilon: f64,
+    delta: f64,
+    seed: u64,
+) -> Result<ApproxResult, SmcError> {
+    let n = okamoto_bound(epsilon, delta)?;
+    let compiled = CompiledPath::compile(dtmc, path)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut successes = 0u64;
+    for _ in 0..n {
+        if sample_once(dtmc, &compiled, &mut rng) {
+            successes += 1;
+        }
+    }
+    Ok(ApproxResult {
+        estimate: successes as f64 / n as f64,
+        samples: n,
+        epsilon,
+        delta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smg_dtmc::matrix::{CsrMatrix, TransitionMatrix};
+    use smg_pctl::{check_query, parse_property, Property};
+    use std::collections::BTreeMap;
+
+    /// The same gadget the exact checker's tests use: P(F goal) = 1/3,
+    /// with goal/bad absorbing.
+    fn gadget() -> Dtmc {
+        let matrix = TransitionMatrix::Sparse(
+            CsrMatrix::from_rows(vec![
+                vec![(1, 0.5), (2, 0.5)],
+                vec![(3, 0.5), (0, 0.5)],
+                vec![(2, 1.0)],
+                vec![(3, 1.0)],
+            ])
+            .unwrap(),
+        );
+        let mut labels = BTreeMap::new();
+        labels.insert("goal".to_string(), BitVec::from_fn(4, |i| i == 3));
+        labels.insert("bad".to_string(), BitVec::from_fn(4, |i| i == 2));
+        Dtmc::new(matrix, vec![(0, 1.0)], labels, vec![0.0, 0.0, 0.0, 1.0]).unwrap()
+    }
+
+    fn path_of(prop: &str) -> PathFormula {
+        match parse_property(prop).unwrap() {
+            Property::ProbQuery(p) => p,
+            other => panic!("expected a P=? query, got {other}"),
+        }
+    }
+
+    fn exact(d: &Dtmc, prop: &str) -> f64 {
+        check_query(d, &parse_property(prop).unwrap())
+            .unwrap()
+            .value()
+    }
+
+    #[test]
+    fn estimate_brackets_the_exact_value() {
+        let d = gadget();
+        for prop in [
+            "P=? [ F<=8 goal ]",
+            "P=? [ G<=6 !bad ]",
+            "P=? [ !bad U<=10 goal ]",
+            "P=? [ F[2,4] goal ]",
+            "P=? [ X bad ]",
+        ] {
+            let truth = exact(&d, prop);
+            let r = estimate(&d, &path_of(prop), 0.02, 0.01, 7).unwrap();
+            assert!(
+                (r.estimate - truth).abs() <= r.epsilon,
+                "{prop}: est {} vs exact {truth} (±{})",
+                r.estimate,
+                r.epsilon
+            );
+        }
+    }
+
+    #[test]
+    fn okamoto_bound_matches_formula() {
+        let n = okamoto_bound(0.01, 0.05).unwrap();
+        assert_eq!(n, ((2.0f64 / 0.05).ln() / (2.0 * 0.0001)).ceil() as u64);
+        // Tighter ε costs quadratically.
+        assert!(okamoto_bound(0.001, 0.05).unwrap() / n >= 99);
+        assert!(okamoto_bound(0.0, 0.5).is_err());
+        assert!(okamoto_bound(0.1, 1.0).is_err());
+    }
+
+    #[test]
+    fn sprt_decides_clear_hypotheses_quickly() {
+        let d = gadget();
+        // Exact P(F<=8 goal) ≈ 0.333; theta = 0.2 should be decided
+        // AtLeast, theta = 0.45 AtMost, both with modest sample counts.
+        let path = path_of("P=? [ F<=8 goal ]");
+        let low = sprt(
+            &d,
+            &path,
+            SprtConfig {
+                theta: 0.2,
+                ..SprtConfig::default()
+            },
+            11,
+        )
+        .unwrap();
+        assert_eq!(low.decision, SprtDecision::AtLeast, "{low:?}");
+        let high = sprt(
+            &d,
+            &path,
+            SprtConfig {
+                theta: 0.45,
+                ..SprtConfig::default()
+            },
+            11,
+        )
+        .unwrap();
+        assert_eq!(high.decision, SprtDecision::AtMost, "{high:?}");
+        // Clear hypotheses should need far fewer samples than the
+        // fixed-size Okamoto bound at comparable strength.
+        let fixed = okamoto_bound(0.01, 0.01).unwrap();
+        assert!(low.samples < fixed / 10, "{} vs {fixed}", low.samples);
+    }
+
+    #[test]
+    fn sprt_near_the_boundary_takes_longer_or_stalls() {
+        let d = gadget();
+        let path = path_of("P=? [ F<=8 goal ]");
+        let truth = exact(&d, "P=? [ F<=8 goal ]");
+        let clear = sprt(
+            &d,
+            &path,
+            SprtConfig {
+                theta: 0.1,
+                ..SprtConfig::default()
+            },
+            5,
+        )
+        .unwrap();
+        let near = sprt(
+            &d,
+            &path,
+            SprtConfig {
+                theta: truth, // dead centre of the indifference region
+                max_samples: 2_000,
+                ..SprtConfig::default()
+            },
+            5,
+        )
+        .unwrap();
+        assert!(
+            near.samples > clear.samples,
+            "near {:?} vs clear {:?}",
+            near,
+            clear
+        );
+    }
+
+    #[test]
+    fn sprt_error_rates_hold_across_seeds() {
+        // With P = 1/3 and theta = 0.3 (true answer AtLeast since
+        // 1/3 > 0.3 + 0.01), count wrong decisions across seeds; must not
+        // exceed a generous multiple of beta.
+        let d = gadget();
+        let path = path_of("P=? [ F<=8 goal ]");
+        let mut wrong = 0;
+        for seed in 0..40 {
+            let r = sprt(
+                &d,
+                &path,
+                SprtConfig {
+                    theta: 0.30,
+                    delta: 0.01,
+                    alpha: 0.05,
+                    beta: 0.05,
+                    max_samples: 1_000_000,
+                },
+                seed,
+            )
+            .unwrap();
+            if r.decision != SprtDecision::AtLeast {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 6, "{wrong}/40 wrong decisions");
+    }
+
+    #[test]
+    fn unbounded_formulas_are_rejected() {
+        let d = gadget();
+        assert_eq!(
+            CompiledPath::compile(&d, &path_of("P=? [ F goal ]")).unwrap_err(),
+            SmcError::Unbounded
+        );
+        assert!(matches!(
+            estimate(&d, &path_of("P=? [ G bad ]"), 0.1, 0.1, 0).unwrap_err(),
+            SmcError::Unbounded
+        ));
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        let d = gadget();
+        let path = path_of("P=? [ F<=3 goal ]");
+        for (theta, delta) in [(0.005, 0.01), (0.995, 0.01), (0.5, 0.6)] {
+            let e = sprt(
+                &d,
+                &path,
+                SprtConfig {
+                    theta,
+                    delta,
+                    ..SprtConfig::default()
+                },
+                0,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(e, SmcError::BadParameter { .. }),
+                "{theta}/{delta}"
+            );
+        }
+        let e = sprt(
+            &d,
+            &path,
+            SprtConfig {
+                alpha: 0.0,
+                ..SprtConfig::default()
+            },
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(e, SmcError::BadParameter { .. }));
+    }
+
+    #[test]
+    fn interval_and_next_formulas_sample_correctly() {
+        let d = gadget();
+        // X bad: exact 0.5; a seeded estimate at ε=0.02 must agree.
+        let r = estimate(&d, &path_of("P=? [ X bad ]"), 0.02, 0.01, 3).unwrap();
+        assert!((r.estimate - 0.5).abs() <= 0.02, "{}", r.estimate);
+        // G[1,1] !bad = 1 - P(bad at step 1) = 0.5.
+        let r = estimate(&d, &path_of("P=? [ G[1,1] !bad ]"), 0.02, 0.01, 3).unwrap();
+        assert!((r.estimate - 0.5).abs() <= 0.02, "{}", r.estimate);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let d = gadget();
+        let path = path_of("P=? [ F<=6 goal ]");
+        let a = estimate(&d, &path, 0.05, 0.05, 99).unwrap();
+        let b = estimate(&d, &path, 0.05, 0.05, 99).unwrap();
+        assert_eq!(a, b);
+    }
+}

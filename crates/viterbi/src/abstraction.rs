@@ -1,0 +1,151 @@
+//! The abstraction function `F_abs` from the full model `M` to the reduced
+//! model `M_R` (paper Equation 6), plus the machinery to certify the
+//! reduction.
+//!
+//! "Multiple states in M (p₁, p₂, …) are mapped to the same state p_R in
+//! M_R by the function F_abs. This illustrates how we achieve a reduction in
+//! the state-space." The tests in this module (and the integration tests at
+//! the workspace root) use `smg-reduce` to check exhaustively that the
+//! partition induced by [`f_abs`] satisfies the Strong Lumping Theorem — the
+//! machine-checked version of the paper's §IV-A-4 proof.
+
+use crate::full::FullState;
+use crate::reduced::ReducedState;
+
+/// Maps a full-model state to its reduced-model equivalent (Equation 6).
+///
+/// For each stage `i`:
+/// * `cᵢ` is set iff the survivor pointer out of the internal state that
+///   matches the true bit `xᵢ` points at the true bit `x_{i+1}`;
+/// * `wᵢ` is set iff the pointer out of the *other* internal state points
+///   at `x_{i+1}`.
+///
+/// `pm0`, `pm1`, `x₀` and `flag` are carried over unchanged ("values of
+/// these variables are same in states p₁, p₂ and p_R").
+pub fn f_abs(s: &FullState, l: usize) -> ReducedState {
+    let bit = |i: usize| (s.bits >> i) & 1 == 1;
+    let mut c = 0u16;
+    let mut w = 0u16;
+    for i in 0..l - 1 {
+        let (ptr_true, ptr_wrong) = if bit(i) {
+            (s.prev1, s.prev0)
+        } else {
+            (s.prev0, s.prev1)
+        };
+        if ((ptr_true >> i) & 1 == 1) == bit(i + 1) {
+            c |= 1 << i;
+        }
+        if ((ptr_wrong >> i) & 1 == 1) == bit(i + 1) {
+            w |= 1 << i;
+        }
+    }
+    ReducedState {
+        pm0: s.pm0,
+        pm1: s.pm1,
+        x0: bit(0),
+        c,
+        w,
+        flag: s.flag,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ViterbiConfig;
+    use crate::full::FullModel;
+    use crate::reduced::ReducedModel;
+    use smg_dtmc::{explore, ExploreOptions};
+    use smg_reduce::{check_lumping, lump, Partition};
+    use std::collections::HashSet;
+
+    #[test]
+    fn reset_states_correspond() {
+        let l = 4;
+        assert_eq!(f_abs(&FullState::reset(), l), ReducedState::reset(l));
+    }
+
+    #[test]
+    fn f_abs_commutes_with_step() {
+        // F_abs(step_M(s, r)) = step_{M_R}(F_abs(s), r) for every state
+        // reachable in a few steps and every randomness r — the functional
+        // core of the paper's Part A/Part B argument.
+        let cfg = ViterbiConfig::small();
+        let l = cfg.traceback_len;
+        let full = FullModel::new(cfg.clone()).unwrap();
+        let reduced = ReducedModel::new(cfg).unwrap();
+        let mut frontier = vec![FullState::reset()];
+        let mut seen: HashSet<FullState> = frontier.iter().copied().collect();
+        for _depth in 0..4 {
+            let mut next = Vec::new();
+            for s in &frontier {
+                for xn in [false, true] {
+                    for level in 0..full.tables().levels() {
+                        let s2 = full.step(s, xn, level);
+                        let abs_then_step = reduced.step(&f_abs(s, l), xn, level);
+                        let step_then_abs = f_abs(&s2, l);
+                        assert_eq!(
+                            abs_then_step, step_then_abs,
+                            "commutation fails at {s:?} xn={xn} level={level}"
+                        );
+                        if seen.insert(s2) {
+                            next.push(s2);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        assert!(seen.len() > 50, "explored too little: {}", seen.len());
+    }
+
+    #[test]
+    fn induced_partition_is_certified_lumping() {
+        // The full §IV-A-4 proof, mechanized: the partition of M's state
+        // space induced by F_abs satisfies the Strong Lumping condition.
+        let cfg = ViterbiConfig::small();
+        let l = cfg.traceback_len;
+        let full = explore(&FullModel::new(cfg).unwrap(), &ExploreOptions::default()).unwrap();
+        let partition = Partition::from_key_fn(full.dtmc.n_states(), |i| f_abs(&full.states[i], l));
+        assert!(
+            partition.block_count() < full.dtmc.n_states(),
+            "abstraction must actually merge states"
+        );
+        check_lumping(&full.dtmc, &partition).expect("F_abs must induce a valid lumping");
+    }
+
+    #[test]
+    fn quotient_size_matches_reduced_model() {
+        // The reachable quotient of M under F_abs has exactly the states of
+        // the (reachable) reduced model M_R.
+        let cfg = ViterbiConfig::small();
+        let l = cfg.traceback_len;
+        let full = explore(
+            &FullModel::new(cfg.clone()).unwrap(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        let reduced =
+            explore(&ReducedModel::new(cfg).unwrap(), &ExploreOptions::default()).unwrap();
+        let images: HashSet<ReducedState> = full.states.iter().map(|s| f_abs(s, l)).collect();
+        let reduced_states: HashSet<ReducedState> = reduced.states.iter().copied().collect();
+        assert_eq!(images, reduced_states);
+    }
+
+    #[test]
+    fn coarsest_lumping_is_at_least_as_small_as_f_abs() {
+        // Automatic lumping can only do better (or equal) than the paper's
+        // hand abstraction.
+        let cfg = ViterbiConfig::small();
+        let l = cfg.traceback_len;
+        let full = explore(&FullModel::new(cfg).unwrap(), &ExploreOptions::default()).unwrap();
+        let hand = Partition::from_key_fn(full.dtmc.n_states(), |i| f_abs(&full.states[i], l));
+        let auto = lump::coarsest_lumping(&full.dtmc);
+        assert!(
+            auto.block_count() <= hand.block_count(),
+            "auto {} > hand {}",
+            auto.block_count(),
+            hand.block_count()
+        );
+    }
+}

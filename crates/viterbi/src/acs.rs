@@ -1,0 +1,216 @@
+//! Add-compare-select and traceback — the decoder datapath shared by the
+//! DTMC models and the bit-true decoder.
+//!
+//! Keeping these in one place is what makes the cross-validation between
+//! model checking and Monte-Carlo simulation exact: both drive the *same*
+//! combinational functions, only the source of randomness differs.
+
+use crate::tables::TrellisTables;
+use smg_rtl::normalize_pair;
+
+/// The outcome of one add-compare-select step: updated (normalized,
+/// saturated) path metrics and the survivor pointers of the new trellis
+/// stage.
+///
+/// `prev0`/`prev1` are the paper's trellis-stage variables: the
+/// most-probable previous internal state when the current internal state is
+/// 0 resp. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcsOutcome {
+    /// New path metric of internal state 0.
+    pub pm0: u32,
+    /// New path metric of internal state 1.
+    pub pm1: u32,
+    /// Survivor pointer of internal state 0 (`true` = previous state 1).
+    pub prev0: bool,
+    /// Survivor pointer of internal state 1 (`true` = previous state 1).
+    pub prev1: bool,
+}
+
+/// One add-compare-select step: extends both internal states with the
+/// branch metrics of quantized sample `level`, picks survivors (ties resolve
+/// to previous state 0, as a deterministic RTL mux would), then normalizes
+/// and saturates the metrics.
+pub fn acs(tables: &TrellisTables, pm0: u32, pm1: u32, level: usize) -> AcsOutcome {
+    let cap = tables.config().pm_cap;
+    let mut new_pm = [0u32; 2];
+    let mut prev = [false; 2];
+    for cur in 0..2u8 {
+        let from0 = pm0 + tables.metric(level, cur, 0);
+        let from1 = pm1 + tables.metric(level, cur, 1);
+        // Strict comparison: tie selects previous state 0.
+        let take1 = from1 < from0;
+        prev[cur as usize] = take1;
+        new_pm[cur as usize] = if take1 { from1 } else { from0 };
+    }
+    let (pm0n, pm1n) = normalize_pair(new_pm[0], new_pm[1], cap);
+    AcsOutcome {
+        pm0: pm0n,
+        pm1: pm1n,
+        prev0: prev[0],
+        prev1: prev[1],
+    }
+}
+
+/// The traceback starting state: the internal state with the smaller path
+/// metric ("the decoder chooses the internal state with the least
+/// corresponding path metric, as the starting point for traceback"); ties
+/// resolve to state 0.
+pub fn traceback_start(pm0: u32, pm1: u32) -> bool {
+    pm1 < pm0
+}
+
+/// Follows survivor pointers through `hops` trellis stages and returns the
+/// internal state reached — the decoded bit for the oldest stage.
+///
+/// `prev0`/`prev1` are packed pointer registers: bit `i` is the pointer of
+/// stage `i` (stage 0 = newest).
+pub fn traceback(prev0: u16, prev1: u16, start: bool, hops: usize) -> bool {
+    let mut state = start;
+    for i in 0..hops {
+        let bit = if state { prev1 } else { prev0 };
+        state = (bit >> i) & 1 == 1;
+    }
+    state
+}
+
+/// Traceback in the reduced model's correctness coordinates: starting from
+/// the correctness of the initial traceback state, chains through the
+/// `(cᵢ, wᵢ)` bits — if the current traceback state matches the true bit,
+/// the next matches iff `cᵢ`; otherwise iff `wᵢ`. Returns whether the
+/// decoded bit is correct.
+pub fn traceback_correct(c: u16, w: u16, start_correct: bool, hops: usize) -> bool {
+    let mut correct = start_correct;
+    for i in 0..hops {
+        let bits = if correct { c } else { w };
+        correct = (bits >> i) & 1 == 1;
+    }
+    correct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ViterbiConfig;
+
+    fn tables() -> TrellisTables {
+        TrellisTables::new(ViterbiConfig::paper()).unwrap()
+    }
+
+    #[test]
+    fn acs_normalizes_to_zero_min() {
+        let t = tables();
+        for level in 0..t.levels() {
+            for pm0 in 0..8u32 {
+                for pm1 in 0..8u32 {
+                    let out = acs(&t, pm0, pm1, level);
+                    assert_eq!(out.pm0.min(out.pm1), 0, "min must be zero");
+                    assert!(out.pm0 <= t.config().pm_cap);
+                    assert!(out.pm1 <= t.config().pm_cap);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acs_prefers_matching_branch() {
+        let t = tables();
+        // A sample at the top level strongly suggests (1,1): state 1 should
+        // win and its survivor should point to state 1.
+        let top = t.levels() - 1;
+        let out = acs(&t, 0, 0, top);
+        assert!(out.pm1 <= out.pm0);
+        assert!(out.prev1, "survivor of state 1 should be state 1");
+        // Bottom level suggests (0,0).
+        let out = acs(&t, 0, 0, 0);
+        assert!(out.pm0 <= out.pm1);
+        assert!(!out.prev0, "survivor of state 0 should be state 0");
+    }
+
+    #[test]
+    fn tie_breaks_to_state_zero() {
+        let t = tables();
+        // Equal path metrics and the mid-level sample make branches from 0
+        // and 1 symmetric for the `cur` whose metrics tie; the pointer must
+        // then be `false` (state 0).
+        // Find a level where metric(level, 0, 0) == metric(level, 0, 1).
+        for level in 0..t.levels() {
+            if t.metric(level, 0, 0) == t.metric(level, 0, 1) {
+                let out = acs(&t, 3, 3, level);
+                assert!(!out.prev0, "tie at level {level} must resolve to 0");
+            }
+        }
+    }
+
+    #[test]
+    fn traceback_follows_pointers() {
+        // Stage 0 pointers: prev0 = 1 (bit set), prev1 = 0.
+        // Stage 1 pointers: prev0 = 0, prev1 = 1.
+        let prev0 = 0b01u16; // stage0: 1, stage1: 0
+        let prev1 = 0b10u16; // stage0: 0, stage1: 1
+                             // Start at state 0: stage0 pointer of state 0 = 1 → state 1;
+                             // stage1 pointer of state 1 = 1 → state 1.
+        assert!(traceback(prev0, prev1, false, 2));
+        // Start at state 1: stage0 pointer of state 1 = 0 → state 0;
+        // stage1 pointer of state 0 = 0 → state 0.
+        assert!(!traceback(prev0, prev1, true, 2));
+        // Zero hops returns the start.
+        assert!(traceback(prev0, prev1, true, 0));
+    }
+
+    #[test]
+    fn traceback_start_tie_to_zero() {
+        assert!(!traceback_start(3, 3));
+        assert!(!traceback_start(2, 3));
+        assert!(traceback_start(3, 2));
+    }
+
+    #[test]
+    fn correctness_traceback_chains() {
+        // c = all ones, w = all zeros: once correct, stays correct; once
+        // wrong, stays wrong.
+        assert!(traceback_correct(0b1111, 0, true, 4));
+        assert!(!traceback_correct(0b1111, 0, false, 4));
+        // w bit set at stage 0 recovers a wrong start.
+        assert!(traceback_correct(0b1110, 0b0001, false, 4));
+        // c bit clear at stage 2 loses a correct start for good (w=0).
+        assert!(!traceback_correct(0b1011, 0, true, 4));
+    }
+
+    #[test]
+    fn exhaustive_equivalence_of_tracebacks() {
+        // For every pointer configuration over 3 stages, every bit history
+        // and every start: the correctness traceback computed from
+        // (c, w) bits equals the direct traceback compared against truth.
+        let hops = 3usize;
+        for prev0 in 0..(1u16 << hops) {
+            for prev1 in 0..(1u16 << hops) {
+                for bits in 0..(1u16 << (hops + 1)) {
+                    // bits[i] = true bit at stage i.
+                    let bit_at = |i: usize| (bits >> i) & 1 == 1;
+                    let mut c = 0u16;
+                    let mut w = 0u16;
+                    for i in 0..hops {
+                        let ptr_true = if bit_at(i) { prev1 } else { prev0 };
+                        let ptr_false = if bit_at(i) { prev0 } else { prev1 };
+                        if ((ptr_true >> i) & 1 == 1) == bit_at(i + 1) {
+                            c |= 1 << i;
+                        }
+                        if ((ptr_false >> i) & 1 == 1) == bit_at(i + 1) {
+                            w |= 1 << i;
+                        }
+                    }
+                    for start in [false, true] {
+                        let direct = traceback(prev0, prev1, start, hops);
+                        let direct_correct = direct == bit_at(hops);
+                        let reduced = traceback_correct(c, w, start == bit_at(0), hops);
+                        assert_eq!(
+                            direct_correct, reduced,
+                            "prev0={prev0:b} prev1={prev1:b} bits={bits:b} start={start}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Configuration of the Viterbi case study.
+
+use smg_signal::{Quantizer, SignalError, Snr};
+use std::fmt;
+
+/// Parameters of the memory-1 transmitter + quantized receiver + Viterbi
+/// decoder system.
+///
+/// The paper's RTL bit-widths are unpublished; these parameters span the
+/// same design space. [`ViterbiConfig::paper`] lands in the paper's
+/// state-count regime; [`ViterbiConfig::small`] is a fast configuration for
+/// tests and examples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViterbiConfig {
+    /// Signal-to-noise ratio in dB (the paper uses 5 dB for Table I and
+    /// 8 dB for Table IV).
+    pub snr_db: f64,
+    /// Traceback length `L ≥ 2` (paper: 6 for error properties, 8 for
+    /// convergence; heuristically `4m..5m` suffices).
+    pub traceback_len: usize,
+    /// Number of quantizer levels at the receiver.
+    pub quant_levels: usize,
+    /// Quantizer range `[-quant_range, +quant_range]`; transmitted
+    /// amplitudes are in `{-2, 0, +2}`.
+    pub quant_range: f64,
+    /// Path metrics saturate at this cap after min-normalization (the RTL
+    /// register width).
+    pub pm_cap: u32,
+    /// Branch metrics are `round(metric_scale · |v_q − e|)`; larger scales
+    /// resolve finer distance differences at the cost of state count.
+    pub metric_scale: f64,
+}
+
+impl ViterbiConfig {
+    /// A configuration matching the paper's Table I experiment regime:
+    /// SNR 5 dB, `L = 6`, an 8-level quantizer over `[-3, 3]`.
+    pub fn paper() -> Self {
+        ViterbiConfig {
+            snr_db: 5.0,
+            traceback_len: 6,
+            quant_levels: 8,
+            quant_range: 3.0,
+            pm_cap: 16,
+            metric_scale: 2.0,
+        }
+    }
+
+    /// A small configuration for fast tests and examples: `L = 4`, 4-level
+    /// quantizer, narrow path-metric registers.
+    pub fn small() -> Self {
+        ViterbiConfig {
+            snr_db: 5.0,
+            traceback_len: 4,
+            quant_levels: 4,
+            quant_range: 3.0,
+            pm_cap: 6,
+            metric_scale: 1.0,
+        }
+    }
+
+    /// The paper's convergence experiment (§IV-C / Table IV): SNR 8 dB,
+    /// `L = 8`.
+    pub fn convergence_paper() -> Self {
+        ViterbiConfig {
+            snr_db: 8.0,
+            traceback_len: 8,
+            ..ViterbiConfig::paper()
+        }
+    }
+
+    /// Returns a copy with a different SNR.
+    pub fn with_snr_db(mut self, snr_db: f64) -> Self {
+        self.snr_db = snr_db;
+        self
+    }
+
+    /// Returns a copy with a different traceback length.
+    pub fn with_traceback_len(mut self, l: usize) -> Self {
+        self.traceback_len = l;
+        self
+    }
+
+    /// The SNR as a typed value.
+    pub fn snr(&self) -> Snr {
+        Snr::from_db(self.snr_db)
+    }
+
+    /// The average transmitted signal power `E[s²]`: amplitudes
+    /// `{-2, 0, +2}` with probabilities `{¼, ½, ¼}` give `E[s²] = 2`.
+    pub fn signal_power(&self) -> f64 {
+        2.0
+    }
+
+    /// The AWGN variance implied by the SNR.
+    pub fn noise_variance(&self) -> f64 {
+        self.snr().noise_variance(self.signal_power())
+    }
+
+    /// The receiver quantizer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SignalError`] for degenerate level counts or ranges.
+    pub fn quantizer(&self) -> Result<Quantizer, SignalError> {
+        Quantizer::symmetric(self.quant_levels, self.quant_range)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.traceback_len < 2 {
+            return Err(format!(
+                "traceback_len must be at least 2, got {}",
+                self.traceback_len
+            ));
+        }
+        if self.traceback_len > 16 {
+            return Err(format!(
+                "traceback_len above 16 exceeds the packed-state width, got {}",
+                self.traceback_len
+            ));
+        }
+        if self.quant_levels < 2 {
+            return Err(format!(
+                "quant_levels must be at least 2, got {}",
+                self.quant_levels
+            ));
+        }
+        if self.quant_range.is_nan() || self.quant_range <= 0.0 {
+            return Err(format!(
+                "quant_range must be positive, got {}",
+                self.quant_range
+            ));
+        }
+        if self.pm_cap == 0 || self.pm_cap > 200 {
+            return Err(format!("pm_cap must be in 1..=200, got {}", self.pm_cap));
+        }
+        if self.metric_scale.is_nan() || self.metric_scale <= 0.0 {
+            return Err(format!(
+                "metric_scale must be positive, got {}",
+                self.metric_scale
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ViterbiConfig {
+    fn default() -> Self {
+        ViterbiConfig::paper()
+    }
+}
+
+impl fmt::Display for ViterbiConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "viterbi(snr={}dB, L={}, q={}x[-{},{}], pm_cap={}, scale={})",
+            self.snr_db,
+            self.traceback_len,
+            self.quant_levels,
+            self.quant_range,
+            self.quant_range,
+            self.pm_cap,
+            self.metric_scale
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(ViterbiConfig::paper().validate().is_ok());
+        assert!(ViterbiConfig::small().validate().is_ok());
+        assert!(ViterbiConfig::convergence_paper().validate().is_ok());
+        assert_eq!(ViterbiConfig::default(), ViterbiConfig::paper());
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        assert!(ViterbiConfig::paper()
+            .with_traceback_len(1)
+            .validate()
+            .is_err());
+        assert!(ViterbiConfig::paper()
+            .with_traceback_len(17)
+            .validate()
+            .is_err());
+        let mut c = ViterbiConfig::paper();
+        c.quant_levels = 1;
+        assert!(c.validate().is_err());
+        let mut c = ViterbiConfig::paper();
+        c.pm_cap = 0;
+        assert!(c.validate().is_err());
+        let mut c = ViterbiConfig::paper();
+        c.metric_scale = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ViterbiConfig::paper();
+        c.quant_range = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn noise_variance_tracks_snr() {
+        let lo = ViterbiConfig::paper().with_snr_db(5.0).noise_variance();
+        let hi = ViterbiConfig::paper().with_snr_db(8.0).noise_variance();
+        assert!(hi < lo);
+        // 5 dB, P=2: σ² = 2 / 10^0.5 ≈ 0.6325.
+        assert!((lo - 0.632_455_532_033_675_9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builders_and_display() {
+        let c = ViterbiConfig::paper()
+            .with_snr_db(7.5)
+            .with_traceback_len(5);
+        assert_eq!(c.snr_db, 7.5);
+        assert_eq!(c.traceback_len, 5);
+        assert!(c.to_string().contains("snr=7.5dB"));
+        assert!((c.signal_power() - 2.0).abs() < 1e-12);
+        assert_eq!(c.quantizer().unwrap().levels(), 8);
+    }
+}

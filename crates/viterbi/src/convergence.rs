@@ -1,0 +1,233 @@
+//! The traceback-convergence model (paper §IV-C).
+//!
+//! "A convergent trellis stage is defined to be a stage where both prev0
+//! and prev1 are assigned the same value. … If at least one convergent
+//! stage is encountered during a traceback of length L, the traceback paths
+//! are guaranteed to converge." The model keeps only `pm0`, `pm1`, `x₀` and
+//! a saturating counter of consecutive non-convergent stages; when the
+//! counter reaches `L`, the current decoded bit has non-converging
+//! traceback paths and the `nonconv` proposition holds.
+//!
+//! Property C1 = `R=? [I=T]` over this model computes, in steady state,
+//! "the probability that a bit decoded in any time step has non-converging
+//! traceback paths" — swept over `L` it regenerates the paper's Figure 2.
+
+use crate::acs::acs;
+use crate::config::ViterbiConfig;
+use crate::tables::TrellisTables;
+use crate::NONCONV;
+use smg_dtmc::DtmcModel;
+use smg_signal::SignalError;
+
+/// A state of the convergence model: the probabilistic core `(pm0, pm1, x₀)`
+/// plus the non-convergence counter. The paper's refining function `F_ref`
+/// maps every full state with these values to one equivalence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvState {
+    /// Path metric of internal state 0.
+    pub pm0: u8,
+    /// Path metric of internal state 1.
+    pub pm1: u8,
+    /// The current transmitted bit.
+    pub x0: bool,
+    /// Consecutive non-convergent stages, saturating at `L`.
+    pub count: u8,
+}
+
+impl ConvState {
+    /// The power-on state.
+    pub fn reset() -> Self {
+        ConvState {
+            pm0: 0,
+            pm1: 0,
+            x0: false,
+            count: 0,
+        }
+    }
+}
+
+/// The reduced DTMC model for the convergence property C1.
+#[derive(Debug, Clone)]
+pub struct ConvergenceModel {
+    tables: TrellisTables,
+    l: u8,
+}
+
+impl ConvergenceModel {
+    /// Builds the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid configurations or propagated
+    /// [`SignalError`]s.
+    pub fn new(config: ViterbiConfig) -> Result<Self, String> {
+        config.validate()?;
+        let l = config.traceback_len as u8;
+        let tables = TrellisTables::new(config).map_err(|e: SignalError| e.to_string())?;
+        Ok(ConvergenceModel { tables, l })
+    }
+
+    /// The traceback length `L`.
+    pub fn traceback_len(&self) -> usize {
+        self.l as usize
+    }
+
+    /// The precomputed trellis tables.
+    pub fn tables(&self) -> &TrellisTables {
+        &self.tables
+    }
+
+    /// One clocked update given the step's randomness.
+    pub fn step(&self, s: &ConvState, xn: bool, level: usize) -> ConvState {
+        let out = acs(&self.tables, s.pm0 as u32, s.pm1 as u32, level);
+        // "If this trellis stage is non-converging, we increment count by 1.
+        //  We reset count to 0 for a convergent stage."
+        let convergent = out.prev0 == out.prev1;
+        let count = if convergent {
+            0
+        } else {
+            (s.count + 1).min(self.l)
+        };
+        ConvState {
+            pm0: out.pm0 as u8,
+            pm1: out.pm1 as u8,
+            x0: xn,
+            count,
+        }
+    }
+}
+
+impl DtmcModel for ConvergenceModel {
+    type State = ConvState;
+
+    fn initial_states(&self) -> Vec<(ConvState, f64)> {
+        vec![(ConvState::reset(), 1.0)]
+    }
+
+    fn transitions(&self, s: &ConvState) -> Vec<(ConvState, f64)> {
+        let x_prev = s.x0 as u8;
+        let mut out = Vec::with_capacity(2 * self.tables.levels());
+        for xn in 0..2u8 {
+            for &(level, pq) in self.tables.q_dist(xn, x_prev) {
+                if pq == 0.0 {
+                    continue;
+                }
+                out.push((self.step(s, xn == 1, level), 0.5 * pq));
+            }
+        }
+        out
+    }
+
+    fn atomic_propositions(&self) -> Vec<&'static str> {
+        vec![NONCONV]
+    }
+
+    fn holds(&self, ap: &str, s: &ConvState) -> bool {
+        // count ≥ L ⟺ "the previous L trellis stages are non-convergent".
+        ap == NONCONV && s.count >= self.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smg_dtmc::{explore, transient, ExploreOptions};
+
+    fn c1(config: ViterbiConfig, t: usize) -> f64 {
+        let m = ConvergenceModel::new(config).unwrap();
+        let e = explore(&m, &ExploreOptions::default()).unwrap();
+        transient::instantaneous_reward(&e.dtmc, t)
+    }
+
+    #[test]
+    fn state_space_is_tiny() {
+        // The paper: "Compared to the original model, the number of states
+        // is reduced by several orders of magnitude."
+        let m = ConvergenceModel::new(ViterbiConfig::convergence_paper()).unwrap();
+        let e = explore(&m, &ExploreOptions::default()).unwrap();
+        let cap = m.tables().config().pm_cap as usize;
+        let l = m.traceback_len();
+        assert!(e.dtmc.n_states() <= (2 * cap + 1) * 2 * (l + 1));
+        assert!(e.dtmc.n_states() > 10);
+    }
+
+    #[test]
+    fn c1_decreases_with_traceback_length() {
+        // Figure 2: "the probability of non-convergence decreases with
+        // traceback length".
+        let base = ViterbiConfig::small().with_snr_db(8.0);
+        let mut prev = f64::INFINITY;
+        for l in [2usize, 3, 4, 6, 8] {
+            let v = c1(base.clone().with_traceback_len(l), 150);
+            assert!(
+                v <= prev + 1e-12,
+                "C1 should not increase with L: L={l}, {v} > {prev}"
+            );
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn c1_is_small_but_positive() {
+        let v = c1(ViterbiConfig::small().with_snr_db(8.0), 150);
+        assert!(v > 0.0, "non-convergence must be possible");
+        assert!(v < 0.5, "but rare: {v}");
+    }
+
+    #[test]
+    fn c1_stabilizes_over_time() {
+        // Table IV behaviour: C1 at T=100/400/1000 nearly identical.
+        let m = ConvergenceModel::new(ViterbiConfig::small().with_snr_db(8.0)).unwrap();
+        let e = explore(&m, &ExploreOptions::default()).unwrap();
+        let a = transient::instantaneous_reward(&e.dtmc, 100);
+        let b = transient::instantaneous_reward(&e.dtmc, 400);
+        let c = transient::instantaneous_reward(&e.dtmc, 1000);
+        assert!((a - b).abs() < 1e-4 * a.max(1e-12), "a={a} b={b}");
+        assert!((b - c).abs() < 1e-6 * b.max(1e-12), "b={b} c={c}");
+    }
+
+    #[test]
+    fn counter_resets_on_convergent_stage() {
+        let m = ConvergenceModel::new(ViterbiConfig::small()).unwrap();
+        // Find a level with convergent pointers from equal metrics (a clean
+        // extreme sample forces both survivors to the same state).
+        let t = m.tables();
+        let clean = t.quantizer().quantize(2.0);
+        let out = acs(t, 0, 0, clean);
+        assert_eq!(out.prev0, out.prev1, "extreme sample must converge");
+        let s = ConvState {
+            pm0: 0,
+            pm1: 0,
+            x0: false,
+            count: 3,
+        };
+        let s2 = m.step(&s, true, clean);
+        assert_eq!(s2.count, 0);
+    }
+
+    #[test]
+    fn counter_saturates_at_l() {
+        let m = ConvergenceModel::new(ViterbiConfig::small()).unwrap();
+        let l = m.traceback_len() as u8;
+        // Find a non-convergent step if one exists from some metric pair.
+        'outer: for pm0 in 0..6u8 {
+            for pm1 in 0..6u8 {
+                for level in 0..m.tables().levels() {
+                    let out = acs(m.tables(), pm0 as u32, pm1 as u32, level);
+                    if out.prev0 != out.prev1 {
+                        let s = ConvState {
+                            pm0,
+                            pm1,
+                            x0: false,
+                            count: l,
+                        };
+                        let s2 = m.step(&s, false, level);
+                        assert_eq!(s2.count, l, "must saturate");
+                        assert!(m.holds(NONCONV, &s2));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Viterbi decoder case study (paper §IV-A and §IV-C).
+//!
+//! The system under analysis: a transmitter with memory m=1 whose output at
+//! time n is the sum of the BPSK amplitudes of the current and previous data
+//! bits, `s[n] = a(x[n]) + a(x[n−1]) ∈ {−2, 0, +2}`; AWGN; a uniform
+//! quantizer at the receiver; and a two-internal-state Viterbi decoder with
+//! traceback length `L` (the paper uses L=6 for error properties and L=8
+//! for convergence).
+//!
+//! Three DTMC models are provided:
+//!
+//! * [`FullModel`] — the paper's model `M`: path metrics, survivor pointers
+//!   `prev0ᵢ/prev1ᵢ` and transmitted-bit history `xᵢ` for all trellis
+//!   stages, plus `flag`.
+//! * [`ReducedModel`] — the paper's `M_R`: survivor pointers and bit history
+//!   replaced by the correctness bits `cᵢ/wᵢ` via the abstraction function
+//!   `F_abs` ([`abstraction::f_abs`]); provably a strong lumping of `M`
+//!   (checked exhaustively in the tests via `smg-reduce`).
+//! * [`ConvergenceModel`] — the §IV-C model for traceback-convergence
+//!   property C1: only `(pm0, pm1, x0)` plus a saturating count of
+//!   consecutive non-convergent trellis stages.
+//!
+//! [`decoder::ViterbiDecoder`] is the bit-true implementation of the same
+//! datapath used by the Monte-Carlo baseline in `smg-sim`; it shares the
+//! add-compare-select and traceback code with the models, so simulation and
+//! model checking agree by construction.
+//!
+//! # Example
+//!
+//! ```
+//! use smg_viterbi::{ReducedModel, ViterbiConfig};
+//! use smg_dtmc::{explore, ExploreOptions};
+//!
+//! let config = ViterbiConfig::small();
+//! let model = ReducedModel::new(config)?;
+//! let e = explore(&model, &ExploreOptions::default())?;
+//! // P2 at T=50: the probability a decoded bit is in error.
+//! let ber = smg_dtmc::transient::instantaneous_reward(&e.dtmc, 50);
+//! assert!(ber > 0.0 && ber < 0.5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abstraction;
+pub mod acs;
+pub mod config;
+pub mod convergence;
+pub mod decoder;
+pub mod full;
+pub mod reduced;
+pub mod tables;
+
+pub use abstraction::f_abs;
+pub use acs::{traceback, AcsOutcome};
+pub use config::ViterbiConfig;
+pub use convergence::{ConvState, ConvergenceModel};
+pub use decoder::ViterbiDecoder;
+pub use full::{FullModel, FullState};
+pub use reduced::{ReducedModel, ReducedState};
+pub use tables::TrellisTables;
+
+/// The atomic proposition marking decoded-bit-in-error states (the paper's
+/// `flag`).
+pub const FLAG: &str = "flag";
+/// The atomic proposition marking non-convergent-traceback states in the
+/// convergence model.
+pub const NONCONV: &str = "nonconv";

@@ -1,0 +1,251 @@
+//! The reduced Viterbi DTMC model `M_R` (paper §IV-A-3).
+//!
+//! "Reductions can be defined for checking error properties, that compute
+//! bit errors without actually determining the values of the decoded bits."
+//! The survivor pointers and transmitted-bit history of `M` are replaced by
+//! two bits per stage:
+//!
+//! * `cᵢ` — whether the pointer *from the internal state matching the true
+//!   bit of stage i* leads to the internal state matching the true bit of
+//!   stage i+1;
+//! * `wᵢ` — whether the pointer *from the other (wrong) internal state*
+//!   leads to the true previous state.
+//!
+//! "This information is sufficient to check the correctness of the
+//! traceback operation and thereby, check the correctness of the decoded
+//! bit." The variables `pm0`, `pm1` and `x₀` are retained, so the
+//! probabilistic function `Γ_p` is preserved — the heart of the paper's
+//! strong-lumping proof, which `smg-reduce` re-checks exhaustively in this
+//! crate's tests.
+
+use crate::acs::{acs, traceback_correct, traceback_start};
+use crate::config::ViterbiConfig;
+use crate::tables::TrellisTables;
+use crate::FLAG;
+use smg_dtmc::DtmcModel;
+use smg_signal::SignalError;
+
+/// A state of the reduced model `M_R`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReducedState {
+    /// Path metric of internal state 0.
+    pub pm0: u8,
+    /// Path metric of internal state 1.
+    pub pm1: u8,
+    /// The current transmitted bit `x₀` (needed by `Γ_p`, which conditions
+    /// the sample distribution on the previous bit).
+    pub x0: bool,
+    /// Correctness bits `cᵢ`: bit `i` is stage `i`, `i < L−1`.
+    pub c: u16,
+    /// Recovery bits `wᵢ`: bit `i` is stage `i`, `i < L−1`.
+    pub w: u16,
+    /// Decoded-bit-in-error flag.
+    pub flag: bool,
+}
+
+impl ReducedState {
+    /// The power-on state. The all-zero history of [`crate::FullState`]
+    /// maps to `c = w = 0` under `F_abs` only when the pointers disagree
+    /// with the bits; with everything zero, every pointer (0) matches every
+    /// bit (0), so reset has all `c`/`w` bits set.
+    pub fn reset(l: usize) -> Self {
+        let mask = ((1u32 << (l - 1)) - 1) as u16;
+        ReducedState {
+            pm0: 0,
+            pm1: 0,
+            x0: false,
+            c: mask,
+            w: mask,
+            flag: false,
+        }
+    }
+}
+
+/// The reduced Viterbi DTMC model `M_R`.
+#[derive(Debug, Clone)]
+pub struct ReducedModel {
+    tables: TrellisTables,
+    l: usize,
+}
+
+impl ReducedModel {
+    /// Builds the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid configurations or propagated
+    /// [`SignalError`]s.
+    pub fn new(config: ViterbiConfig) -> Result<Self, String> {
+        config.validate()?;
+        let l = config.traceback_len;
+        let tables = TrellisTables::new(config).map_err(|e: SignalError| e.to_string())?;
+        Ok(ReducedModel { tables, l })
+    }
+
+    /// The traceback length `L`.
+    pub fn traceback_len(&self) -> usize {
+        self.l
+    }
+
+    /// The precomputed trellis tables.
+    pub fn tables(&self) -> &TrellisTables {
+        &self.tables
+    }
+
+    /// One clocked update given the step's randomness (new bit `xn`,
+    /// quantized sample `level`). This is the paper's Equations 7–9.
+    pub fn step(&self, s: &ReducedState, xn: bool, level: usize) -> ReducedState {
+        let l = self.l;
+        let out = acs(&self.tables, s.pm0 as u32, s.pm1 as u32, level);
+        // F_cw (Equation 7): correctness of the new stage-0 pointers with
+        // respect to the new true bit xn and the previous true bit x0.
+        let ptr_from_true = if xn { out.prev1 } else { out.prev0 };
+        let ptr_from_wrong = if xn { out.prev0 } else { out.prev1 };
+        let c0 = ptr_from_true == s.x0;
+        let w0 = ptr_from_wrong == s.x0;
+        let mask = (1u32 << (l - 1)) - 1;
+        let c = (((s.c as u32) << 1) | c0 as u32) & mask;
+        let w = (((s.w as u32) << 1) | w0 as u32) & mask;
+        // F_E^R (Equation 9): traceback in correctness coordinates.
+        let start = traceback_start(out.pm0, out.pm1);
+        let correct = traceback_correct(c as u16, w as u16, start == xn, l - 1);
+        ReducedState {
+            pm0: out.pm0 as u8,
+            pm1: out.pm1 as u8,
+            x0: xn,
+            c: c as u16,
+            w: w as u16,
+            flag: !correct,
+        }
+    }
+}
+
+impl DtmcModel for ReducedModel {
+    type State = ReducedState;
+
+    fn initial_states(&self) -> Vec<(ReducedState, f64)> {
+        vec![(ReducedState::reset(self.l), 1.0)]
+    }
+
+    fn transitions(&self, s: &ReducedState) -> Vec<(ReducedState, f64)> {
+        let x_prev = s.x0 as u8;
+        let mut out = Vec::with_capacity(2 * self.tables.levels());
+        for xn in 0..2u8 {
+            for &(level, pq) in self.tables.q_dist(xn, x_prev) {
+                if pq == 0.0 {
+                    continue;
+                }
+                out.push((self.step(s, xn == 1, level), 0.5 * pq));
+            }
+        }
+        out
+    }
+
+    fn atomic_propositions(&self) -> Vec<&'static str> {
+        vec![FLAG]
+    }
+
+    fn holds(&self, ap: &str, s: &ReducedState) -> bool {
+        ap == FLAG && s.flag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::FullModel;
+    use smg_dtmc::{explore, transient, ExploreOptions};
+
+    #[test]
+    fn smaller_than_full_model() {
+        let cfg = ViterbiConfig::small();
+        let full = explore(
+            &FullModel::new(cfg.clone()).unwrap(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        let reduced =
+            explore(&ReducedModel::new(cfg).unwrap(), &ExploreOptions::default()).unwrap();
+        assert!(
+            reduced.dtmc.n_states() < full.dtmc.n_states(),
+            "reduced {} !< full {}",
+            reduced.dtmc.n_states(),
+            full.dtmc.n_states()
+        );
+    }
+
+    #[test]
+    fn p2_matches_full_model() {
+        // The reduction is property-preserving: P2 (instantaneous reward)
+        // agrees between M and M_R at every horizon.
+        let cfg = ViterbiConfig::small();
+        let full = explore(
+            &FullModel::new(cfg.clone()).unwrap(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        let reduced =
+            explore(&ReducedModel::new(cfg).unwrap(), &ExploreOptions::default()).unwrap();
+        for t in [0usize, 1, 2, 3, 5, 10, 25, 60] {
+            let a = transient::instantaneous_reward(&full.dtmc, t);
+            let b = transient::instantaneous_reward(&reduced.dtmc, t);
+            assert!((a - b).abs() < 1e-12, "t={t}: full={a} reduced={b}");
+        }
+    }
+
+    #[test]
+    fn p1_matches_full_model() {
+        let cfg = ViterbiConfig::small();
+        let full = explore(
+            &FullModel::new(cfg.clone()).unwrap(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        let reduced =
+            explore(&ReducedModel::new(cfg).unwrap(), &ExploreOptions::default()).unwrap();
+        for t in [1usize, 5, 20] {
+            let a = transient::bounded_globally_prob(
+                &full.dtmc,
+                &full.dtmc.label(FLAG).unwrap().not(),
+                t,
+            )
+            .unwrap();
+            let b = transient::bounded_globally_prob(
+                &reduced.dtmc,
+                &reduced.dtmc.label(FLAG).unwrap().not(),
+                t,
+            )
+            .unwrap();
+            assert!((a - b).abs() < 1e-12, "t={t}: full={a} reduced={b}");
+        }
+    }
+
+    #[test]
+    fn reset_state_has_all_correctness_bits() {
+        let s = ReducedState::reset(4);
+        assert_eq!(s.c, 0b111);
+        assert_eq!(s.w, 0b111);
+        assert!(!s.flag);
+    }
+
+    #[test]
+    fn transitions_are_stochastic() {
+        let m = ReducedModel::new(ViterbiConfig::small()).unwrap();
+        let succ = m.transitions(&ReducedState::reset(4));
+        let total: f64 = succ.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ber_converges_to_steady_state() {
+        let m = ReducedModel::new(ViterbiConfig::small()).unwrap();
+        let e = explore(&m, &ExploreOptions::default()).unwrap();
+        let ss = transient::detect_steady_state(&e.dtmc, 1e-10, 10_000);
+        assert!(ss.converged_at.is_some(), "chain must reach steady state");
+        let series = transient::instantaneous_reward_series(&e.dtmc, 200);
+        // Later values settle (paper Table III behaviour).
+        let d1 = (series[100] - series[80]).abs();
+        let d2 = (series[200] - series[180]).abs();
+        assert!(d2 <= d1 + 1e-12);
+    }
+}

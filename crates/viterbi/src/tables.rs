@@ -1,0 +1,188 @@
+//! Precomputed trellis tables: quantized-sample distributions and branch
+//! metrics.
+//!
+//! "For a given SNR, we obtain the variance of the Gaussian distribution of
+//! noise. We use this to calculate the probability of a received sample
+//! being mapped to a particular quantization level which in turn can be
+//! used to label the transitions of the DTMC model." — §III.
+
+use crate::config::ViterbiConfig;
+use smg_signal::{bpsk_bit, Gaussian, Quantizer, SignalError};
+
+/// Precomputed probability and metric tables shared by the DTMC models and
+/// the bit-true decoder.
+#[derive(Debug, Clone)]
+pub struct TrellisTables {
+    config: ViterbiConfig,
+    quantizer: Quantizer,
+    /// `q_dist[prev][cur][k] = (level, P(q = level | x[n]=cur, x[n−1]=prev))`.
+    q_dist: [[Vec<(usize, f64)>; 2]; 2],
+    /// `metric[level][cur][prev]` — quantized branch metric.
+    metric: Vec<[[u32; 2]; 2]>,
+}
+
+impl TrellisTables {
+    /// Builds the tables for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SignalError`] from quantizer or noise construction.
+    // Indexing 2x2 arrays by `prev`/`cur` mirrors the trellis equations;
+    // iterator rewrites obscure which transition each entry is.
+    #[allow(clippy::needless_range_loop)]
+    pub fn new(config: ViterbiConfig) -> Result<Self, SignalError> {
+        let quantizer = config.quantizer()?;
+        let sigma2 = config.noise_variance();
+
+        let mut q_dist: [[Vec<(usize, f64)>; 2]; 2] = Default::default();
+        for prev in 0..2usize {
+            for cur in 0..2usize {
+                let s = expected_amplitude(cur as u8, prev as u8);
+                let noise = Gaussian::new(s, sigma2)?;
+                q_dist[prev][cur] = quantizer.discretize(&noise);
+            }
+        }
+
+        let mut metric = Vec::with_capacity(quantizer.levels());
+        for level in 0..quantizer.levels() {
+            let v = quantizer.level_value(level);
+            let mut m = [[0u32; 2]; 2];
+            for cur in 0..2usize {
+                for prev in 0..2usize {
+                    let e = expected_amplitude(cur as u8, prev as u8);
+                    m[cur][prev] = (config.metric_scale * (v - e).abs()).round() as u32;
+                }
+            }
+            metric.push(m);
+        }
+
+        Ok(TrellisTables {
+            config,
+            quantizer,
+            q_dist,
+            metric,
+        })
+    }
+
+    /// The configuration these tables were built for.
+    pub fn config(&self) -> &ViterbiConfig {
+        &self.config
+    }
+
+    /// The receiver quantizer.
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// The number of quantization levels.
+    pub fn levels(&self) -> usize {
+        self.quantizer.levels()
+    }
+
+    /// The distribution of the quantized received sample given the current
+    /// and previous data bits.
+    pub fn q_dist(&self, cur: u8, prev: u8) -> &[(usize, f64)] {
+        &self.q_dist[prev as usize][cur as usize]
+    }
+
+    /// The branch metric of the transition hypothesising current bit `cur`
+    /// and previous bit `prev`, given quantized sample `level`.
+    pub fn metric(&self, level: usize, cur: u8, prev: u8) -> u32 {
+        self.metric[level][cur as usize][prev as usize]
+    }
+}
+
+/// The noiseless transmitted amplitude for a (current, previous) bit pair:
+/// `a(cur) + a(prev)` with BPSK amplitudes `a(0) = −1`, `a(1) = +1`.
+pub fn expected_amplitude(cur: u8, prev: u8) -> f64 {
+    bpsk_bit(cur) + bpsk_bit(prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplitudes() {
+        assert_eq!(expected_amplitude(0, 0), -2.0);
+        assert_eq!(expected_amplitude(1, 1), 2.0);
+        assert_eq!(expected_amplitude(0, 1), 0.0);
+        assert_eq!(expected_amplitude(1, 0), 0.0);
+    }
+
+    #[test]
+    fn q_dist_normalized_and_shifted() {
+        let t = TrellisTables::new(ViterbiConfig::paper()).unwrap();
+        for prev in 0..2u8 {
+            for cur in 0..2u8 {
+                let d = t.q_dist(cur, prev);
+                let total: f64 = d.iter().map(|&(_, p)| p).sum();
+                assert!((total - 1.0).abs() < 1e-12);
+            }
+        }
+        // (1,1) concentrates on high levels, (0,0) on low levels.
+        let hi = t.q_dist(1, 1);
+        let lo = t.q_dist(0, 0);
+        let mean_hi: f64 = hi.iter().map(|&(l, p)| l as f64 * p).sum();
+        let mean_lo: f64 = lo.iter().map(|&(l, p)| l as f64 * p).sum();
+        assert!(mean_hi > mean_lo + 2.0);
+        // Symmetric pair (0,1) and (1,0) have identical distributions.
+        let a = t.q_dist(0, 1);
+        let b = t.q_dist(1, 0);
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.0, y.0);
+            assert!((x.1 - y.1).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn metrics_minimized_at_expected_level() {
+        let t = TrellisTables::new(ViterbiConfig::paper()).unwrap();
+        let q = t.quantizer();
+        // Quantize the exact amplitude; the metric of the matching branch
+        // must be no larger than that of any other branch at that level.
+        for cur in 0..2u8 {
+            for prev in 0..2u8 {
+                let level = q.quantize(expected_amplitude(cur, prev));
+                let own = t.metric(level, cur, prev);
+                for c2 in 0..2u8 {
+                    for p2 in 0..2u8 {
+                        assert!(
+                            own <= t.metric(level, c2, p2),
+                            "branch ({cur},{prev}) not optimal at its own level"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metric_symmetry_between_zero_branches() {
+        // Branches (0,1) and (1,0) share the expected amplitude 0, hence
+        // share metrics at every level — the duobinary ambiguity the paper's
+        // "poor performance at 5 dB" result reflects.
+        let t = TrellisTables::new(ViterbiConfig::paper()).unwrap();
+        for level in 0..t.levels() {
+            assert_eq!(t.metric(level, 0, 1), t.metric(level, 1, 0));
+        }
+    }
+
+    #[test]
+    fn higher_snr_concentrates_q_dist() {
+        let lo = TrellisTables::new(ViterbiConfig::paper().with_snr_db(0.0)).unwrap();
+        let hi = TrellisTables::new(ViterbiConfig::paper().with_snr_db(15.0)).unwrap();
+        let mass_at = |t: &TrellisTables| -> f64 {
+            let level = t.quantizer().quantize(2.0);
+            t.q_dist(1, 1)
+                .iter()
+                .find(|&&(l, _)| l == level)
+                .map(|&(_, p)| p)
+                .unwrap_or(0.0)
+        };
+        assert!(mass_at(&hi) > mass_at(&lo));
+        // At 15 dB, σ ≈ 0.25 and the cell containing +2 is 0.75 wide; the
+        // bulk (though not all) of the mass lands in it.
+        assert!(mass_at(&hi) > 0.6, "mass = {}", mass_at(&hi));
+    }
+}

@@ -1,0 +1,69 @@
+//! MIMO receive diversity: 1x2 versus 1x4 detectors, symmetry reduction,
+//! and the rare-event cost of simulation.
+//!
+//! Reproduces the workflow behind the paper's Tables II and V at example
+//! scale: enumerate both detectors' state spaces with and without symmetry
+//! reduction, model-check the exact BER, and show how many Monte-Carlo
+//! steps a simulator needs before it even *sees* an error.
+//!
+//! Run with: `cargo run --release --example detector_diversity`
+
+use statguard_mimo::core::report::fmt_prob;
+use statguard_mimo::prelude::*;
+use statguard_mimo::sim::estimator::required_trials;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut table = Table::new(
+        "Receive diversity, symmetry reduction and exact BER",
+        &[
+            "system",
+            "states (M)",
+            "states (M_R)",
+            "factor",
+            "BER (exact)",
+        ],
+    );
+
+    let mut configs = vec![("1x2", DetectorConfig::small())];
+    let mut c14 = DetectorConfig::small().with_nr(4).with_snr_db(12.0);
+    c14.h_levels = 2; // sign-magnitude coefficients: no dead zone
+    c14.y_levels = 2; // coarser receive quantizer keeps 8 blocks tractable
+    configs.push(("1x4", c14));
+
+    let mut bers = Vec::new();
+    for (name, config) in configs {
+        let report = DetectorAnalyzer::new(config)
+            .horizons(vec![5, 10, 20])
+            .analyze()?;
+        let red = report.reduction();
+        table.row(&[
+            name.to_string(),
+            red.original_states.to_string(),
+            red.reduced_states.to_string(),
+            format!("{:.0}", red.factor()),
+            fmt_prob(report.ber),
+        ]);
+        bers.push((name, report.ber));
+    }
+    println!("{table}");
+
+    println!("\nwhat it would cost to learn the same numbers by simulation:");
+    for (name, ber) in bers {
+        if ber <= 0.0 {
+            println!("  {name}: BER 0 at this quantization — simulation could never confirm it");
+            continue;
+        }
+        let trials = required_trials(ber, 0.1, 0.95);
+        println!(
+            "  {name}: BER {} -> ~{trials} Monte-Carlo steps for ±10% @95% \
+             (expected steps to the *first* error: {:.0})",
+            fmt_prob(ber),
+            1.0 / ber
+        );
+    }
+    println!(
+        "\nthe paper's §V observation — zero errors in 1e5 simulated steps of the \
+         1x4 system — is exactly this effect."
+    );
+    Ok(())
+}

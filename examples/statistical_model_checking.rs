@@ -1,0 +1,86 @@
+//! Exact versus statistical model checking on the Viterbi case study.
+//!
+//! The paper contrasts exact probabilistic model checking with plain
+//! Monte-Carlo simulation; *statistical model checking* (which it cites
+//! as related work) sits between the two — sampled like simulation, but
+//! with explicit statistical guarantees: hypothesis tests at chosen
+//! error rates (SPRT) and estimates with Chernoff-bound confidence.
+//! This example runs all three on the paper's best-case error property
+//! P1 = `P=? [ G<=T !flag ]` and shows where each wins.
+//!
+//! Run with: `cargo run --release --example statistical_model_checking`
+
+use statguard_mimo::dtmc::{explore, ExploreOptions};
+use statguard_mimo::pctl::{check_query, parse_property, Property};
+use statguard_mimo::sim::{estimate, okamoto_bound, sprt, SprtConfig, SprtDecision};
+use statguard_mimo::viterbi::{ReducedModel, ViterbiConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ViterbiConfig::small().with_snr_db(7.0);
+    println!("model: {config}");
+    let explored = explore(&ReducedModel::new(config)?, &ExploreOptions::default())?;
+    let d = &explored.dtmc;
+    println!(
+        "states: {}, transitions: {}\n",
+        d.n_states(),
+        d.matrix().logical_transitions()
+    );
+
+    let prop = "P=? [ G<=40 !flag ]";
+    let parsed = parse_property(prop)?;
+    let Property::ProbQuery(path) = parsed.clone() else {
+        unreachable!("P=? query")
+    };
+
+    // 1. Exact: one numerical pass, no error at all.
+    let exact = check_query(d, &parsed)?;
+    println!(
+        "exact          {prop} = {:.6}   ({:?})",
+        exact.value(),
+        exact.time
+    );
+
+    // 2. Chernoff-bound estimation: ±0.01 at 99% confidence.
+    let (eps, delta) = (0.01, 0.01);
+    let est = estimate(d, &path, eps, delta, 42)?;
+    println!(
+        "estimate       {prop} = {:.6}   (±{eps} w.p. {:.0}%, {} sampled paths)",
+        est.estimate,
+        100.0 * (1.0 - delta),
+        est.samples
+    );
+    assert!((est.estimate - exact.value()).abs() <= eps);
+
+    // 3. SPRT: answer a threshold question cheaply.
+    for theta in [0.5, 0.9] {
+        let out = sprt(
+            d,
+            &path,
+            SprtConfig {
+                theta,
+                delta: 0.02,
+                alpha: 0.01,
+                beta: 0.01,
+                max_samples: 5_000_000,
+            },
+            7,
+        )?;
+        let verdict = match out.decision {
+            SprtDecision::AtLeast => format!("P >= {}", theta + 0.02),
+            SprtDecision::AtMost => format!("P <= {}", theta - 0.02),
+            SprtDecision::Undecided => "undecided (inside indifference region)".to_string(),
+        };
+        println!(
+            "SPRT θ={theta:<4}   {verdict:<12} after {:>6} paths ({} satisfied)",
+            out.samples, out.successes
+        );
+    }
+
+    println!(
+        "\nfixed-size bound for the same strength: {} paths — the SPRT's\n\
+         advantage on clear-cut thresholds, and the exact engine's advantage\n\
+         everywhere else (one pass, zero statistical error), are both visible.",
+        okamoto_bound(0.02, 0.01)?
+    );
+    Ok(())
+}

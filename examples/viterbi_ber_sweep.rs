@@ -1,0 +1,62 @@
+//! SNR sweep of the Viterbi decoder: model-checked BER versus Monte-Carlo
+//! estimation, side by side.
+//!
+//! This is the workflow the paper's introduction motivates: a designer
+//! iterating on an RTL design wants the BER-vs-SNR curve *quickly and with
+//! high confidence*. Model checking produces the exact quantized-system
+//! BER at every SNR; the Monte-Carlo column shows what simulation gets with
+//! a fixed budget, including its confidence interval.
+//!
+//! Run with: `cargo run --release --example viterbi_ber_sweep`
+
+use statguard_mimo::core::report::fmt_prob;
+use statguard_mimo::dtmc::transient;
+use statguard_mimo::prelude::*;
+use statguard_mimo::sim::AgreementReport;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sim_budget = 40_000u64;
+    let mut table = Table::new(
+        &format!("Viterbi BER vs SNR (model checking vs {sim_budget}-step simulation)"),
+        &["SNR (dB)", "BER (model)", "BER (sim)", "95% CI", "verdict"],
+    );
+
+    for snr_db in [3.0, 5.0, 7.0, 9.0, 11.0] {
+        let config = ViterbiConfig::small().with_snr_db(snr_db);
+
+        // Model checking: steady-state P2 on the reduced model.
+        let model = ReducedModel::new(config.clone())?;
+        let explored = explore(&model, &ExploreOptions::default())?;
+        let ss = transient::detect_steady_state(&explored.dtmc, 1e-12, 100_000);
+        let ber_model = ss.expected_reward(&explored.dtmc);
+
+        // Simulation with a fixed budget.
+        let mut sim = ViterbiSimulation::new(config, 2024 + snr_db as u64)?;
+        let est = sim.run(sim_budget);
+        let agreement = AgreementReport::from_estimator(ber_model, &est, 0.95);
+
+        table.row(&[
+            format!("{snr_db}"),
+            fmt_prob(ber_model),
+            fmt_prob(agreement.estimate),
+            format!(
+                "[{}, {}]",
+                fmt_prob(agreement.ci.0),
+                fmt_prob(agreement.ci.1)
+            ),
+            if agreement.agrees() {
+                "agree"
+            } else {
+                "DISAGREE"
+            }
+            .to_string(),
+        ]);
+    }
+
+    println!("{table}");
+    println!(
+        "note: as SNR rises the simulated estimate loses relative precision —\n\
+         the regime where the paper's exhaustive approach wins outright."
+    );
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Cross-validation between model checking and Monte-Carlo simulation —
+//! the paper's §V claim that "the values computed in our approach closely
+//! match those obtained by performing simulations over a large number of
+//! time steps".
+//!
+//! Because the simulators drive the *same* combinational datapaths as the
+//! DTMC models, agreement here validates the entire stack: quantized noise
+//! distributions, state dynamics, property semantics and estimators.
+
+use statguard_mimo::detector::{DetectorConfig, DetectorModel};
+use statguard_mimo::dtmc::{explore, transient, ExploreOptions};
+use statguard_mimo::sim::{AgreementReport, DetectorSimulation, ViterbiSimulation};
+use statguard_mimo::viterbi::{ReducedModel, ViterbiConfig};
+
+#[test]
+fn viterbi_ber_model_vs_simulation() {
+    let cfg = ViterbiConfig::small();
+    let explored = explore(
+        &ReducedModel::new(cfg.clone()).unwrap(),
+        &ExploreOptions::default(),
+    )
+    .unwrap();
+    let ss = transient::detect_steady_state(&explored.dtmc, 1e-12, 100_000);
+    let ber_model = ss.expected_reward(&explored.dtmc);
+    assert!(ss.converged_at.is_some());
+
+    let mut sim = ViterbiSimulation::new(cfg, 31_337).unwrap();
+    let est = sim.run(60_000);
+    let report = AgreementReport::from_estimator(ber_model, &est, 0.999);
+    assert!(report.agrees(), "{report}");
+    assert!(report.relative_error() < 0.25, "{report}");
+}
+
+#[test]
+fn viterbi_agreement_across_snrs() {
+    for snr in [4.0, 6.0, 9.0] {
+        let cfg = ViterbiConfig::small().with_snr_db(snr);
+        let explored = explore(
+            &ReducedModel::new(cfg.clone()).unwrap(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        let ber_model = transient::instantaneous_reward(&explored.dtmc, 500);
+        let mut sim = ViterbiSimulation::new(cfg, 7 + snr as u64).unwrap();
+        let est = sim.run(40_000);
+        let report = AgreementReport::from_estimator(ber_model, &est, 0.999);
+        assert!(report.agrees(), "snr={snr}: {report}");
+    }
+}
+
+#[test]
+fn detector_ber_model_vs_simulation() {
+    let cfg = DetectorConfig::small();
+    let exact = DetectorModel::new(cfg.clone()).unwrap().ber();
+    let mut sim = DetectorSimulation::new(cfg, 2).unwrap();
+    let est = sim.run(60_000);
+    let report = AgreementReport::from_estimator(exact, &est, 0.999);
+    assert!(report.agrees(), "{report}");
+}
+
+/// The paper's rare-event observation, in miniature: at high SNR a short
+/// simulation can see zero errors while the model checker still produces
+/// the exact (tiny) BER — and the zero-error run's confidence interval
+/// still contains the exact value.
+#[test]
+fn rare_event_regime_zero_errors_still_consistent() {
+    let mut cfg = DetectorConfig::small().with_nr(4).with_snr_db(14.0);
+    cfg.y_levels = 2;
+    // A 2-level coefficient quantizer has no dead zone around zero, so the
+    // quantization-noise floor disappears and the BER is genuinely tiny.
+    cfg.h_levels = 2;
+    let exact = DetectorModel::new(cfg.clone()).unwrap().ber();
+    assert!(exact < 1e-3, "regime check: exact = {exact}");
+    let mut sim = DetectorSimulation::new(cfg, 3).unwrap();
+    let est = sim.run(2_000);
+    // With a tiny budget we *may* see no errors; either way the 99.9% CI
+    // must contain the exact value.
+    let (lo, hi) = est.wilson_ci(0.999);
+    assert!(
+        lo <= exact && exact <= hi,
+        "exact {exact} not in [{lo}, {hi}]"
+    );
+}
+
+/// Fixed-error-count stopping reaches a target relative precision on the
+/// detector, and the resulting estimate brackets the exact value.
+#[test]
+fn sequential_stopping_brackets_exact_value() {
+    let cfg = DetectorConfig::small();
+    let exact = DetectorModel::new(cfg.clone()).unwrap().ber();
+    let mut sim = DetectorSimulation::new(cfg, 4).unwrap();
+    let est = sim.run_until_errors(100, 5_000_000);
+    assert!(est.errors() >= 100);
+    let (lo, hi) = est.wilson_ci(0.999);
+    assert!(
+        lo <= exact && exact <= hi,
+        "exact {exact} not in [{lo}, {hi}]"
+    );
+}

@@ -1,0 +1,151 @@
+//! End-to-end checks of the paper's property suite, written in the paper's
+//! own concrete syntax, against both case studies — plus the semantic
+//! consistency laws that tie P1, P2 and P3 together.
+
+use statguard_mimo::core::analyzer::{DetectorAnalyzer, ViterbiAnalyzer};
+use statguard_mimo::core::{steady_scan, PerfMetric};
+use statguard_mimo::detector::DetectorConfig;
+use statguard_mimo::dtmc::wrappers::COUNT_EXCEEDS;
+use statguard_mimo::dtmc::{explore, transient, CountingModel, ExploreOptions};
+use statguard_mimo::pctl::{check_query, parse_property};
+use statguard_mimo::viterbi::{ConvergenceModel, ReducedModel, ViterbiConfig, FLAG};
+
+#[test]
+fn paper_property_strings_check_verbatim() {
+    let cfg = ViterbiConfig::small();
+    let reduced = explore(
+        &ReducedModel::new(cfg.clone()).unwrap(),
+        &ExploreOptions::default(),
+    )
+    .unwrap();
+
+    // P1 and P2 on the reduced model, exactly as written in §IV-A-2.
+    let p1 = check_query(
+        &reduced.dtmc,
+        &parse_property("P=? [ G<=300 !flag ]").unwrap(),
+    )
+    .unwrap()
+    .value();
+    let p2 = check_query(&reduced.dtmc, &parse_property("R=? [ I=300 ]").unwrap())
+        .unwrap()
+        .value();
+    assert!((0.0..1e-3).contains(&p1), "best case at 5 dB is tiny: {p1}");
+    assert!(p2 > 0.01 && p2 < 0.5, "average case at 5 dB is poor: {p2}");
+
+    // P3 on the counter-extended model.
+    let counted = explore(
+        &CountingModel::new(ReducedModel::new(cfg).unwrap(), FLAG, 1),
+        &ExploreOptions::default(),
+    )
+    .unwrap();
+    let p3 = check_query(
+        &counted.dtmc,
+        &parse_property("P=? [ F<=300 count_exceeds ]").unwrap(),
+    )
+    .unwrap()
+    .value();
+    assert!(p3 > 0.99, "worst case at 5 dB is near-certain: {p3}");
+}
+
+/// Coherence laws between the three metrics at a common horizon.
+#[test]
+fn metric_coherence_laws() {
+    let report = ViterbiAnalyzer::new(ViterbiConfig::small())
+        .horizon(50)
+        .worst_case_threshold(1)
+        .analyze()
+        .unwrap();
+    // P(no errors) + P(≥1 error) = 1, and P(>1 error) ≤ P(≥1 error).
+    assert!(report.p3 <= 1.0 - report.p1 + 1e-12);
+    // P2 (marginal error probability at one step) can exceed neither 1 − P1
+    // at horizon ≥ 1 nor 1.
+    assert!(report.p2 <= 1.0 - report.p1 + 1e-12);
+    assert!((0.0..=1.0).contains(&report.p1));
+    assert!((0.0..=1.0).contains(&report.p3));
+}
+
+/// Table III's qualitative content: for T well beyond the reachability
+/// fixpoint the computed P2 values stop changing; the chain is ergodic, so
+/// this is a genuine steady state.
+#[test]
+fn p2_attains_steady_state_past_ri() {
+    let cfg = ViterbiConfig::small();
+    let explored = explore(&ReducedModel::new(cfg).unwrap(), &ExploreOptions::default()).unwrap();
+    let ri = explored.stats.reachability_iterations;
+    let scan = steady_scan(&explored.dtmc, &[100, 300, 600, 1000], 1e-12).unwrap();
+    assert!(scan.converged_at.is_some(), "P2 must converge (RI = {ri})");
+    let v300 = scan.value_at(300).unwrap();
+    let v1000 = scan.value_at(1000).unwrap();
+    assert!((v300 - v1000).abs() < 1e-6, "{v300} vs {v1000}");
+}
+
+/// Table IV/C1: convergence property values and their stability over time.
+#[test]
+fn c1_is_stable_and_small_at_8db() {
+    let cfg = ViterbiConfig::small().with_snr_db(8.0);
+    let explored = explore(
+        &ConvergenceModel::new(cfg).unwrap(),
+        &ExploreOptions::default(),
+    )
+    .unwrap();
+    let c1 = |t: usize| transient::instantaneous_reward(&explored.dtmc, t);
+    let (a, b, c) = (c1(100), c1(400), c1(1000));
+    assert!(a > 0.0 && a < 0.1, "C1 = {a}");
+    assert!((a - b).abs() / a < 1e-2);
+    assert!((b - c).abs() / b < 1e-6);
+}
+
+/// Table V's qualitative content: detector P2 is already converged at
+/// T=5 (RI=3) and the 1x4 system beats the 1x2 system by orders of
+/// magnitude.
+#[test]
+fn detector_p2_flat_and_diversity_ordering() {
+    let r12 = DetectorAnalyzer::new(DetectorConfig::small())
+        .horizons(vec![5, 10, 20])
+        .analyze()
+        .unwrap();
+    let mut cfg14 = DetectorConfig::small().with_nr(4).with_snr_db(12.0);
+    cfg14.h_levels = 2;
+    cfg14.y_levels = 2;
+    let r14 = DetectorAnalyzer::new(cfg14)
+        .horizons(vec![5, 10, 20])
+        .analyze()
+        .unwrap();
+    for r in [&r12, &r14] {
+        let v5 = r.p2_at[0].1;
+        for &(t, v) in &r.p2_at {
+            assert!((v - v5).abs() < 1e-12, "{}: T={t}", r.system);
+        }
+    }
+    assert!(
+        r14.ber < r12.ber / 10.0,
+        "1x4 ({}) must beat 1x2 ({}) by an order of magnitude",
+        r14.ber,
+        r12.ber
+    );
+}
+
+/// The PerfMetric helpers generate exactly the strings checked above.
+#[test]
+fn perf_metric_strings_round_trip_through_parser() {
+    for m in [
+        PerfMetric::BestCase { horizon: 300 },
+        PerfMetric::AverageCase { horizon: 300 },
+        PerfMetric::WorstCase {
+            horizon: 300,
+            threshold: 1,
+        },
+        PerfMetric::Convergence { horizon: 1000 },
+    ] {
+        let parsed = m.property().unwrap();
+        let reparsed = parse_property(&parsed.to_string()).unwrap();
+        assert_eq!(parsed, reparsed, "{m}");
+    }
+    // COUNT_EXCEEDS is the label the counting wrapper actually exposes.
+    assert!(PerfMetric::WorstCase {
+        horizon: 1,
+        threshold: 1
+    }
+    .property_text()
+    .contains(COUNT_EXCEEDS));
+}

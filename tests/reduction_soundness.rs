@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: every reduction the paper proposes is
+//! certified sound against the full models, end to end.
+//!
+//! This is the machine-checked version of the paper's §IV-A-4 proof
+//! obligation ("we need to show that M_R is a probabilistic bisimulation of
+//! M") and the §IV-B symmetry argument, discharged on explicit state
+//! spaces.
+
+use statguard_mimo::detector::{DetectorConfig, DetectorModel, SymmetricDetectorModel};
+use statguard_mimo::dtmc::{explore, explore_memoryless, transient, ExploreOptions};
+use statguard_mimo::pctl::{check_query, parse_property};
+use statguard_mimo::reduce::{check_lumping, lump, Partition};
+use statguard_mimo::viterbi::{f_abs, FullModel, ReducedModel, ViterbiConfig};
+use std::collections::HashMap;
+
+/// The paper's central claim for the Viterbi reduction: the partition of
+/// M's states induced by F_abs satisfies the Strong Lumping condition, and
+/// the quotient is exactly M_R.
+#[test]
+fn viterbi_f_abs_is_certified_strong_lumping() {
+    for cfg in [
+        ViterbiConfig::small(),
+        ViterbiConfig::small().with_snr_db(8.0),
+        ViterbiConfig::small().with_traceback_len(3),
+        ViterbiConfig::small().with_traceback_len(5),
+    ] {
+        let l = cfg.traceback_len;
+        let full = explore(
+            &FullModel::new(cfg.clone()).unwrap(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        let partition = Partition::from_key_fn(full.dtmc.n_states(), |i| f_abs(&full.states[i], l));
+        check_lumping(&full.dtmc, &partition)
+            .unwrap_or_else(|v| panic!("lumping violated for {cfg}: {v}"));
+        assert!(partition.block_count() < full.dtmc.n_states());
+    }
+}
+
+/// The quotient of M under F_abs computes the same P1/P2/P3 as both M and
+/// the directly-built M_R.
+#[test]
+fn viterbi_quotient_preserves_all_paper_properties() {
+    let cfg = ViterbiConfig::small();
+    let l = cfg.traceback_len;
+    let full = explore(
+        &FullModel::new(cfg.clone()).unwrap(),
+        &ExploreOptions::default(),
+    )
+    .unwrap();
+    let reduced = explore(&ReducedModel::new(cfg).unwrap(), &ExploreOptions::default()).unwrap();
+    let partition = Partition::from_key_fn(full.dtmc.n_states(), |i| f_abs(&full.states[i], l));
+    let quotient = lump::quotient(&full.dtmc, &partition).unwrap();
+
+    for prop in ["P=? [ G<=60 !flag ]", "R=? [ I=60 ]", "P=? [ F<=60 flag ]"] {
+        let p = parse_property(prop).unwrap();
+        let a = check_query(&full.dtmc, &p).unwrap().value();
+        let b = check_query(&quotient, &p).unwrap().value();
+        let c = check_query(&reduced.dtmc, &p).unwrap().value();
+        assert!((a - b).abs() < 1e-10, "{prop}: full {a} vs quotient {b}");
+        assert!((a - c).abs() < 1e-10, "{prop}: full {a} vs reduced {c}");
+    }
+}
+
+/// Automatic coarsest lumping agrees with the hand reduction on every
+/// property and is at least as small.
+#[test]
+fn automatic_lumping_dominates_hand_reduction() {
+    let cfg = ViterbiConfig::small();
+    let l = cfg.traceback_len;
+    let full = explore(&FullModel::new(cfg).unwrap(), &ExploreOptions::default()).unwrap();
+    let hand = Partition::from_key_fn(full.dtmc.n_states(), |i| f_abs(&full.states[i], l));
+    let auto = lump::coarsest_lumping(&full.dtmc);
+    assert!(auto.block_count() <= hand.block_count());
+    // The hand partition refines the automatic one (F_abs distinctions are a
+    // superset of behaviourally necessary ones).
+    assert!(auto.is_refined_by(&hand));
+    let q = lump::quotient(&full.dtmc, &auto).unwrap();
+    for t in [0usize, 5, 30] {
+        let a = transient::instantaneous_reward(&full.dtmc, t);
+        let b = transient::instantaneous_reward(&q, t);
+        assert!((a - b).abs() < 1e-10, "t={t}");
+    }
+}
+
+/// The detector's symmetry reduction is itself a strong lumping of the
+/// explored full chain: canonicalization induces the partition, and the
+/// rank-one matrix satisfies the lumping condition under it.
+#[test]
+fn detector_symmetry_is_certified_strong_lumping() {
+    let cfg = DetectorConfig::small();
+    let full = DetectorModel::new(cfg.clone()).unwrap();
+    let sym = SymmetricDetectorModel::new(cfg).unwrap();
+    let explored = explore_memoryless(&full, &ExploreOptions::default()).unwrap();
+    let partition = Partition::from_key_fn(explored.dtmc.n_states(), |i| {
+        sym.canonicalize(&explored.states[i])
+    });
+    check_lumping(&explored.dtmc, &partition)
+        .unwrap_or_else(|v| panic!("symmetry lumping violated: {v}"));
+    // Reduction factor in the Table II regime.
+    let factor = explored.dtmc.n_states() as f64 / partition.block_count() as f64;
+    assert!(factor > 5.0, "factor = {factor}");
+}
+
+/// Symmetry-reduced and full detector chains assign identical values to
+/// the paper's P2 at every horizon.
+#[test]
+fn detector_symmetry_preserves_p2() {
+    let cfg = DetectorConfig::small();
+    let full = explore_memoryless(
+        &DetectorModel::new(cfg.clone()).unwrap(),
+        &ExploreOptions::default(),
+    )
+    .unwrap();
+    let sym = explore_memoryless(
+        &SymmetricDetectorModel::new(cfg).unwrap(),
+        &ExploreOptions::default(),
+    )
+    .unwrap();
+    for t in [1u64, 5, 10, 20] {
+        let p = parse_property(&format!("R=? [ I={t} ]")).unwrap();
+        let a = check_query(&full.dtmc, &p).unwrap().value();
+        let b = check_query(&sym.dtmc, &p).unwrap().value();
+        assert!((a - b).abs() < 1e-12, "t={t}: {a} vs {b}");
+    }
+}
+
+/// The convergence model is the quotient of the full model under the
+/// paper's refining function F_ref (pm0, pm1, x0 + derived counter): we
+/// verify the weaker but decisive statement that the *probabilistic core*
+/// (pm0, pm1, x0) partition of the full chain is a valid lumping when
+/// labels are ignored, by checking that the full chain's (pm, x0)-marginal
+/// dynamics are exactly those of the convergence model's core.
+#[test]
+fn convergence_core_marginal_matches() {
+    use statguard_mimo::viterbi::ConvergenceModel;
+    let cfg = ViterbiConfig::small();
+    let full = explore(
+        &FullModel::new(cfg.clone()).unwrap(),
+        &ExploreOptions::default(),
+    )
+    .unwrap();
+    let conv = explore(
+        &ConvergenceModel::new(cfg).unwrap(),
+        &ExploreOptions::default(),
+    )
+    .unwrap();
+
+    // Distribution over (pm0, pm1, x0) after t steps must agree.
+    for t in [1usize, 3, 10, 40] {
+        let pf = transient::distribution_at(&full.dtmc, t);
+        let pc = transient::distribution_at(&conv.dtmc, t);
+        let mut mf: HashMap<(u8, u8, bool), f64> = HashMap::new();
+        for (i, s) in full.states.iter().enumerate() {
+            *mf.entry((s.pm0, s.pm1, s.bit(0))).or_insert(0.0) += pf[i];
+        }
+        let mut mc: HashMap<(u8, u8, bool), f64> = HashMap::new();
+        for (i, s) in conv.states.iter().enumerate() {
+            *mc.entry((s.pm0, s.pm1, s.x0)).or_insert(0.0) += pc[i];
+        }
+        for (k, v) in &mf {
+            let w = mc.get(k).copied().unwrap_or(0.0);
+            assert!((v - w).abs() < 1e-10, "t={t}, core {k:?}: {v} vs {w}");
+        }
+    }
+}

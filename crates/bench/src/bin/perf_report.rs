@@ -1,0 +1,263 @@
+//! Machine-readable DTMC-engine performance report.
+//!
+//! Writes `BENCH_dtmc.json` (in the current directory, or the path given as
+//! the first argument) with:
+//!
+//! * exploration throughput (states/sec) for a synthetic 2-D lattice model
+//!   at small/medium/large scale;
+//! * SpMV kernel latency (ns/iter) for the forward and backward products at
+//!   n ∈ {1e3, 1e5, 1e6};
+//! * Gauss–Seidel sweep timing at the same sizes;
+//! * for each kernel, a `seed_shape` reference measurement that reproduces
+//!   the seed engine's allocation behaviour (a fresh `Vec` per step, a
+//!   `successors()` allocation per row) so the report carries its own
+//!   before/after ratio on whatever machine it runs on.
+//!
+//! Future PRs append their own run to compare trajectories; keep the keys
+//! stable.
+
+use smg_dtmc::{explore, BitVec, DtmcModel, ExploreOptions, TransitionMatrix};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A 2-D lattice random walk: simple transitions, state count `w * w`,
+/// hash-heavy interning — an exploration stress test.
+struct Lattice {
+    w: u32,
+}
+
+impl DtmcModel for Lattice {
+    type State = (u32, u32);
+    fn initial_states(&self) -> Vec<((u32, u32), f64)> {
+        vec![((0, 0), 1.0)]
+    }
+    fn transitions(&self, &(x, y): &(u32, u32)) -> Vec<((u32, u32), f64)> {
+        let mut succ = Vec::with_capacity(4);
+        let w = self.w;
+        succ.push(((x.wrapping_add(1) % w, y), 0.25));
+        succ.push((((x + w - 1) % w, y), 0.25));
+        succ.push(((x, (y + 1) % w), 0.25));
+        succ.push(((x, (y + w - 1) % w), 0.25));
+        succ
+    }
+}
+
+/// A synthetic sparse chain with ~4 off-diagonal entries per row.
+fn synthetic_chain(n: usize) -> smg_dtmc::Dtmc {
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut builder = smg_dtmc::CsrBuilder::with_capacity(n, n * 4);
+    let mut row = Vec::with_capacity(4);
+    for _ in 0..n {
+        row.clear();
+        let k = 2 + (next() % 3) as usize;
+        for _ in 0..k {
+            row.push(((next() % n as u64) as u32, 0.0));
+        }
+        let p = 1.0 / k as f64;
+        for slot in row.iter_mut() {
+            slot.1 = p;
+        }
+        builder
+            .push_row(&mut row)
+            .expect("synthetic rows stochastic");
+    }
+    let matrix = TransitionMatrix::Sparse(builder.finish());
+    smg_dtmc::Dtmc::new(
+        matrix,
+        vec![(0, 1.0)],
+        std::collections::BTreeMap::new(),
+        vec![0.0; n],
+    )
+    .expect("valid synthetic chain")
+}
+
+fn time_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    // One warm-up, then the best of `reps` (robust to scheduler noise).
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// The seed engine's propagation shape: a fresh output vector every step.
+fn seed_shape_forward(dtmc: &smg_dtmc::Dtmc, steps: usize) -> Vec<f64> {
+    let mut pi = dtmc.initial_dense();
+    for _ in 0..steps {
+        pi = dtmc.matrix().forward(&pi);
+    }
+    pi
+}
+
+fn engine_forward(dtmc: &smg_dtmc::Dtmc, steps: usize) -> Vec<f64> {
+    let mut pi = dtmc.initial_dense();
+    let mut next = vec![0.0; pi.len()];
+    for _ in 0..steps {
+        dtmc.matrix().forward_into(&pi, &mut next);
+        std::mem::swap(&mut pi, &mut next);
+    }
+    pi
+}
+
+/// The seed engine's Gauss–Seidel row shape: one `successors()` allocation
+/// per row per sweep.
+fn seed_shape_gs_sweeps(dtmc: &smg_dtmc::Dtmc, target: &BitVec, sweeps: usize) -> Vec<f64> {
+    let n = dtmc.n_states();
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| if target.get(i) { 1.0 } else { 0.0 })
+        .collect();
+    for _ in 0..sweeps {
+        for i in 0..n {
+            if target.get(i) {
+                continue;
+            }
+            let mut acc = 0.0;
+            let mut self_loop = 0.0;
+            for (c, p) in dtmc.matrix().successors(i) {
+                if c as usize == i {
+                    self_loop += p;
+                } else {
+                    acc += p * x[c as usize];
+                }
+            }
+            x[i] = if self_loop < 1.0 {
+                acc / (1.0 - self_loop)
+            } else {
+                0.0
+            };
+        }
+    }
+    x
+}
+
+struct Entry {
+    name: String,
+    n: usize,
+    engine_ns: f64,
+    seed_shape_ns: f64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_dtmc.json".to_string());
+    let quick = std::env::var("SMG_SCALE").as_deref() == Ok("small");
+    let spmv_sizes: &[usize] = if quick {
+        &[1_000, 100_000]
+    } else {
+        &[1_000, 100_000, 1_000_000]
+    };
+
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut explore_rates: Vec<(usize, f64)> = Vec::new();
+
+    // Exploration throughput.
+    for w in if quick {
+        vec![100u32]
+    } else {
+        vec![100u32, 316, 1000]
+    } {
+        let model = Lattice { w };
+        let start = Instant::now();
+        let e = explore(&model, &ExploreOptions::default()).expect("lattice explores");
+        let secs = start.elapsed().as_secs_f64();
+        let states = e.dtmc.n_states();
+        explore_rates.push((states, states as f64 / secs));
+        eprintln!("explore n={states}: {:.0} states/sec", states as f64 / secs);
+    }
+
+    // SpMV + Gauss-Seidel kernels.
+    for &n in spmv_sizes {
+        let dtmc = synthetic_chain(n);
+        let steps = if n >= 1_000_000 { 4 } else { 16 };
+        let reps = if n >= 1_000_000 { 3 } else { 7 };
+
+        let fwd = time_ns(reps, || engine_forward(&dtmc, steps)) / steps as f64;
+        let fwd_seed = time_ns(reps, || seed_shape_forward(&dtmc, steps)) / steps as f64;
+        entries.push(Entry {
+            name: "spmv_forward".into(),
+            n,
+            engine_ns: fwd,
+            seed_shape_ns: fwd_seed,
+        });
+
+        let x = vec![1.0; n];
+        let mut out = vec![0.0; n];
+        let bwd = time_ns(reps, || dtmc.matrix().backward_into(&x, &mut out));
+        let bwd_seed = time_ns(reps, || dtmc.matrix().backward(&x).len());
+        entries.push(Entry {
+            name: "spmv_backward".into(),
+            n,
+            engine_ns: bwd,
+            seed_shape_ns: bwd_seed,
+        });
+
+        let target = BitVec::from_fn(n, |i| i % 97 == 0);
+        let sweeps = 4;
+        let gs = time_ns(reps, || {
+            smg_dtmc::solve::gauss_seidel_reach(&dtmc, &target, 0.0, sweeps).ok()
+        }) / sweeps as f64;
+        let gs_seed =
+            time_ns(reps, || seed_shape_gs_sweeps(&dtmc, &target, sweeps)) / sweeps as f64;
+        entries.push(Entry {
+            name: "gauss_seidel_sweep".into(),
+            n,
+            engine_ns: gs,
+            seed_shape_ns: gs_seed,
+        });
+        for e in entries.iter().rev().take(3) {
+            eprintln!(
+                "{} n={}: engine {:.0} ns/iter, seed-shape {:.0} ns/iter ({:.2}x)",
+                e.name,
+                e.n,
+                e.engine_ns,
+                e.seed_shape_ns,
+                e.seed_shape_ns / e.engine_ns
+            );
+        }
+    }
+
+    // Hand-rolled JSON (the workspace is std-only).
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"smg-bench-dtmc/1\",");
+    let _ = writeln!(json, "  \"threads\": {},", smg_dtmc::par::max_threads());
+    let _ = writeln!(
+        json,
+        "  \"parallel_feature\": {},",
+        cfg!(feature = "parallel")
+    );
+    json.push_str("  \"explore\": [\n");
+    for (i, (states, rate)) in explore_rates.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"states\": {states}, \"states_per_sec\": {rate:.1}}}{}",
+            if i + 1 < explore_rates.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"kernels\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"ns_per_iter\": {:.1}, \
+             \"seed_shape_ns_per_iter\": {:.1}, \"speedup\": {:.3}}}{}",
+            e.name,
+            e.n,
+            e.engine_ns,
+            e.seed_shape_ns,
+            e.seed_shape_ns / e.engine_ns,
+            if i + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_dtmc.json");
+    eprintln!("wrote {out_path}");
+}

@@ -10,7 +10,8 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use smg_dtmc::{Dtmc, StateId};
+use smg_dtmc::matrix::sample_distribution;
+use smg_dtmc::Dtmc;
 
 /// The outcome of a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,14 +37,14 @@ pub struct SimResult {
 /// out of the chain at steady state).
 pub fn simulate_rewards(dtmc: &Dtmc, steps: u64, seed: u64) -> SimResult {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut state = draw(dtmc.initial(), &mut rng);
+    let mut state = sample_distribution(dtmc.initial().iter().copied(), rng.gen());
     let rewards = dtmc.rewards();
     let mut sum = 0.0;
     let mut sum_sq = 0.0;
     let mut hits = 0u64;
     for _ in 0..steps {
-        let row = dtmc.matrix().successors(state as usize);
-        state = draw(&row, &mut rng);
+        // Walk the row in place — no per-step successor allocation.
+        state = dtmc.matrix().sample_row(state as usize, rng.gen());
         let r = rewards[state as usize];
         sum += r;
         sum_sq += r * r;
@@ -62,19 +63,6 @@ pub fn simulate_rewards(dtmc: &Dtmc, steps: u64, seed: u64) -> SimResult {
         ci_high: mean + half,
         hits,
     }
-}
-
-fn draw(dist: &[(StateId, f64)], rng: &mut SmallRng) -> StateId {
-    debug_assert!(!dist.is_empty(), "stochastic rows are non-empty");
-    let mut u: f64 = rng.gen();
-    for &(s, p) in dist {
-        if u < p {
-            return s;
-        }
-        u -= p;
-    }
-    // Floating-point slack: fall back to the last entry.
-    dist.last().expect("non-empty distribution").0
 }
 
 #[cfg(test)]

@@ -7,14 +7,31 @@
 //! pruning mirrors PRISM's behaviour in the paper's 1x4 detector experiment
 //! ("PRISM discards states that are reached with a probability less than
 //! 10⁻¹⁵").
+//!
+//! # Performance notes
+//!
+//! Exploration is dominated by state interning and row assembly, so both are
+//! tuned:
+//!
+//! * states intern into a [`FastHashMap`] ([`crate::hash`]) instead of the
+//!   std SipHash map — hashing is the single hottest operation here and
+//!   needs no HashDoS resistance in-process;
+//! * the frontier expands level by level (batched BFS): ids are assigned in
+//!   discovery order and whole levels are drained before their successors'
+//!   level begins, which makes the level count itself the RI statistic and
+//!   keeps the expansion loop free of per-state depth bookkeeping;
+//! * transition rows append straight into a flat [`CsrBuilder`] instead of
+//!   a `Vec<Vec<_>>` of per-state rows, removing one short-lived allocation
+//!   per expanded state.
 
 use crate::dtmc::{Dtmc, StateId};
 use crate::error::DtmcError;
-use crate::matrix::{CsrMatrix, RankOneMatrix, TransitionMatrix, STOCHASTIC_TOL};
+use crate::hash::FastHashMap;
+use crate::matrix::{CsrBuilder, RankOneMatrix, TransitionMatrix, STOCHASTIC_TOL};
 use crate::model::{DtmcModel, MemorylessModel};
 use crate::stats::BuildStats;
 use crate::BitVec;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Options controlling state-space exploration.
@@ -60,8 +77,8 @@ pub struct Explored<S> {
     pub dtmc: Dtmc,
     /// State at each index (`states[id]` is the model state of `id`).
     pub states: Vec<S>,
-    /// Index of each state.
-    pub index: HashMap<S, StateId>,
+    /// Index of each state (fast-hash interning table).
+    pub index: FastHashMap<S, StateId>,
     /// Exploration statistics (the paper's table columns).
     pub stats: BuildStats,
 }
@@ -76,15 +93,15 @@ impl<S> Explored<S> {
     }
 }
 
-/// Normalizes a successor list: validates probabilities, optionally prunes
-/// tiny ones, and renormalizes. Returns the cleaned list.
+/// Normalizes a successor list in place: validates probabilities, optionally
+/// prunes tiny ones, and renormalizes.
 fn clean_successors<S: std::fmt::Debug>(
     state: &S,
-    mut succ: Vec<(S, f64)>,
+    succ: &mut Vec<(S, f64)>,
     prune: f64,
-) -> Result<Vec<(S, f64)>, DtmcError> {
+) -> Result<(), DtmcError> {
     let mut sum = 0.0;
-    for &(_, p) in &succ {
+    for &(_, p) in succ.iter() {
         if p < 0.0 || p.is_nan() || p > 1.0 + STOCHASTIC_TOL {
             return Err(DtmcError::InvalidProbability {
                 state: format!("{state:?}"),
@@ -108,13 +125,31 @@ fn clean_successors<S: std::fmt::Debug>(
                 sum: 0.0,
             });
         }
-        for s in &mut succ {
+        for s in succ.iter_mut() {
             s.1 /= kept;
         }
     } else {
         succ.retain(|&(_, p)| p > 0.0);
     }
-    Ok(succ)
+    Ok(())
+}
+
+fn intern<S: Clone + std::hash::Hash + Eq>(
+    s: S,
+    states: &mut Vec<S>,
+    index: &mut FastHashMap<S, StateId>,
+    max_states: usize,
+) -> Result<StateId, DtmcError> {
+    if let Some(&id) = index.get(&s) {
+        return Ok(id);
+    }
+    if states.len() >= max_states {
+        return Err(DtmcError::StateLimitExceeded { limit: max_states });
+    }
+    let id = states.len() as StateId;
+    index.insert(s.clone(), id);
+    states.push(s);
+    Ok(id)
 }
 
 /// Explores a [`DtmcModel`] breadth-first into an explicit [`Dtmc`].
@@ -130,31 +165,9 @@ pub fn explore<M: DtmcModel>(
 ) -> Result<Explored<M::State>, DtmcError> {
     let start = Instant::now();
     let mut states: Vec<M::State> = Vec::new();
-    let mut index: HashMap<M::State, StateId> = HashMap::new();
-    let mut depth: Vec<u32> = Vec::new();
+    let mut index: FastHashMap<M::State, StateId> = FastHashMap::default();
 
-    let intern = |s: M::State,
-                  d: u32,
-                  states: &mut Vec<M::State>,
-                  index: &mut HashMap<M::State, StateId>,
-                  depth: &mut Vec<u32>|
-     -> Result<StateId, DtmcError> {
-        if let Some(&id) = index.get(&s) {
-            return Ok(id);
-        }
-        let id = states.len() as StateId;
-        if states.len() >= options.max_states {
-            return Err(DtmcError::StateLimitExceeded {
-                limit: options.max_states,
-            });
-        }
-        index.insert(s.clone(), id);
-        states.push(s);
-        depth.push(d);
-        Ok(id)
-    };
-
-    // Initial distribution.
+    // Initial distribution — level 0 of the BFS.
     let init = model.initial_states();
     let mut init_sum = 0.0;
     let mut initial: Vec<(StateId, f64)> = Vec::with_capacity(init.len());
@@ -164,7 +177,7 @@ pub fn explore<M: DtmcModel>(
         }
         init_sum += p;
         if p > 0.0 {
-            let id = intern(s, 0, &mut states, &mut index, &mut depth)?;
+            let id = intern(s, &mut states, &mut index, options.max_states)?;
             initial.push((id, p));
         }
     }
@@ -172,37 +185,41 @@ pub fn explore<M: DtmcModel>(
         return Err(DtmcError::BadInitialDistribution { sum: init_sum });
     }
 
-    // BFS in id order: ids are assigned in discovery order, and we expand
-    // them in that same order, so CSR rows can be emitted sequentially.
-    let mut rows: Vec<Vec<(u32, f64)>> = Vec::new();
-    let mut next = 0usize;
-    let mut max_depth = 0u32;
-    while next < states.len() {
-        let cur_state = states[next].clone();
-        let cur_depth = depth[next];
-        max_depth = max_depth.max(cur_depth);
-        let succ = clean_successors(
-            &cur_state,
-            model.transitions(&cur_state),
-            options.prune_threshold,
-        )?;
-        let mut row = Vec::with_capacity(succ.len());
-        for (s, p) in succ {
-            let id = intern(s, cur_depth + 1, &mut states, &mut index, &mut depth)?;
-            row.push((id, p));
+    // Batched BFS: ids are assigned in discovery order and expanded in that
+    // same order, one whole level at a time, so CSR rows are emitted
+    // sequentially and the level count is the RI statistic directly.
+    // The reachable size is unknown until the fixpoint; the builder's flat
+    // arrays grow geometrically, which amortises fine without a hint.
+    let mut builder = CsrBuilder::default();
+    let mut row: Vec<(u32, f64)> = Vec::new();
+    let mut levels = 0usize;
+    let mut level_start = 0usize;
+    while level_start < states.len() {
+        let level_end = states.len();
+        levels += 1;
+        for cur in level_start..level_end {
+            let cur_state = states[cur].clone();
+            let mut succ = model.transitions(&cur_state);
+            clean_successors(&cur_state, &mut succ, options.prune_threshold)?;
+            row.clear();
+            for (s, p) in succ {
+                let id = intern(s, &mut states, &mut index, options.max_states)?;
+                row.push((id, p));
+            }
+            builder.push_row(&mut row)?;
         }
-        rows.push(row);
-        next += 1;
+        level_start = level_end;
     }
 
-    let matrix = TransitionMatrix::Sparse(CsrMatrix::from_rows(rows)?);
+    let matrix = TransitionMatrix::Sparse(builder.finish());
     let dtmc = assemble(model, matrix, initial, &states)?;
     let stats = BuildStats {
         states: states.len(),
         transitions: dtmc.matrix().logical_transitions(),
         // The fixpoint is detected one frontier expansion after the deepest
-        // discovery (the expansion that finds nothing new).
-        reachability_iterations: max_depth as usize + 1,
+        // discovery (the expansion that finds nothing new); the number of
+        // non-empty BFS levels counts exactly that.
+        reachability_iterations: levels,
         build_time: start.elapsed(),
     };
     Ok(Explored {
@@ -230,32 +247,16 @@ pub fn explore_memoryless<M: MemorylessModel>(
 ) -> Result<Explored<M::State>, DtmcError> {
     let start = Instant::now();
     let init = model.initial_state();
-    let step = clean_successors(&init, model.step_distribution(), options.prune_threshold)?;
+    let mut step = model.step_distribution();
+    clean_successors(&init, &mut step, options.prune_threshold)?;
 
     let mut states: Vec<M::State> = Vec::new();
-    let mut index: HashMap<M::State, StateId> = HashMap::new();
-    let intern = |s: M::State,
-                  states: &mut Vec<M::State>,
-                  index: &mut HashMap<M::State, StateId>|
-     -> Result<StateId, DtmcError> {
-        if let Some(&id) = index.get(&s) {
-            return Ok(id);
-        }
-        let id = states.len() as StateId;
-        if states.len() >= options.max_states {
-            return Err(DtmcError::StateLimitExceeded {
-                limit: options.max_states,
-            });
-        }
-        index.insert(s.clone(), id);
-        states.push(s);
-        Ok(id)
-    };
+    let mut index: FastHashMap<M::State, StateId> = FastHashMap::default();
 
-    let init_id = intern(init.clone(), &mut states, &mut index)?;
+    let init_id = intern(init.clone(), &mut states, &mut index, options.max_states)?;
     let mut dist: Vec<(u32, f64)> = Vec::with_capacity(step.len());
     for (s, p) in step {
-        let id = intern(s, &mut states, &mut index)?;
+        let id = intern(s, &mut states, &mut index, options.max_states)?;
         dist.push((id, p));
     }
     let init_in_support = dist.iter().any(|&(id, _)| id == init_id);
@@ -450,5 +451,41 @@ mod tests {
             let id_s = slow.index[s] as usize;
             assert!((pf[id_f as usize] - ps[id_s]).abs() < 1e-12);
         }
+    }
+
+    /// A model with a two-dimensional state, exercising the fast hasher's
+    /// multi-word path and the level-batched frontier on a diamond-shaped
+    /// graph where several states are re-discovered from multiple parents.
+    struct Grid {
+        w: u16,
+    }
+
+    impl DtmcModel for Grid {
+        type State = (u16, u16);
+        fn initial_states(&self) -> Vec<((u16, u16), f64)> {
+            vec![((0, 0), 1.0)]
+        }
+        fn transitions(&self, &(x, y): &(u16, u16)) -> Vec<((u16, u16), f64)> {
+            if x + 1 >= self.w && y + 1 >= self.w {
+                return vec![((x, y), 1.0)];
+            }
+            if x + 1 >= self.w {
+                return vec![((x, y + 1), 1.0)];
+            }
+            if y + 1 >= self.w {
+                return vec![((x + 1, y), 1.0)];
+            }
+            vec![((x + 1, y), 0.5), ((x, y + 1), 0.5)]
+        }
+    }
+
+    #[test]
+    fn grid_bfs_levels_count_ri() {
+        let e = explore(&Grid { w: 20 }, &ExploreOptions::default()).unwrap();
+        assert_eq!(e.dtmc.n_states(), 400);
+        // Anti-diagonal BFS levels: 2w - 1 of them.
+        assert_eq!(e.stats.reachability_iterations, 39);
+        // Ids are discovery-ordered: the initial state is id 0.
+        assert_eq!(e.id_of(&(0, 0)), Some(0));
     }
 }

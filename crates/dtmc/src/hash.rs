@@ -1,0 +1,135 @@
+//! A fast, non-cryptographic hasher for state interning.
+//!
+//! BFS exploration spends a large share of its time hashing states into the
+//! intern table. The std `HashMap` default (SipHash-1-3) pays for HashDoS
+//! resistance that an in-process model checker does not need, so exploration
+//! uses this multiply-rotate hasher instead — the same design family as the
+//! `rustc-hash` crate the Rust compiler itself interns with. Collisions cost
+//! a probe, never a correctness failure.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative word hasher; see module docs.
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+/// 2^64 / φ, the canonical Fibonacci-hashing multiplier.
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(26) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The multiply concentrates entropy in the high bits; fold them back
+        // down so power-of-two-sized tables (which mask low bits) see them.
+        self.hash ^ (self.hash >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(word));
+            self.mix(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.mix(i as u64);
+        self.mix((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed with [`FastHasher`] — the exploration intern table.
+pub type FastHashMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` hashed with [`FastHasher`].
+pub type FastHashSet<T> = HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FastBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_ne!(hash_of(&42u64), hash_of(&43u64));
+        assert_ne!(hash_of(&(1u8, 2u8)), hash_of(&(2u8, 1u8)));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ba"));
+        // Length padding keeps prefixes distinct.
+        assert_ne!(hash_of(&[1u8, 0].as_slice()), hash_of(&[1u8].as_slice()));
+    }
+
+    #[test]
+    fn map_works_end_to_end() {
+        let mut m: FastHashMap<Vec<u8>, usize> = FastHashMap::default();
+        for i in 0..1000usize {
+            m.insert(vec![(i % 256) as u8, (i / 256) as u8], i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&vec![5u8, 0]], 5);
+    }
+
+    #[test]
+    fn low_bits_spread() {
+        // Sequential keys must not collide in the low bits a hash table masks.
+        let mut buckets = [0u32; 64];
+        for i in 0..6400u64 {
+            buckets[(hash_of(&i) & 63) as usize] += 1;
+        }
+        let (min, max) = buckets
+            .iter()
+            .fold((u32::MAX, 0), |(lo, hi), &b| (lo.min(b), hi.max(b)));
+        assert!(min > 0, "empty bucket: distribution is degenerate");
+        assert!(max < 400, "bucket overload: {max}");
+    }
+}

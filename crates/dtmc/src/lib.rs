@@ -22,6 +22,30 @@
 //! propagation for time-bounded properties and instantaneous rewards) and
 //! [`graph`] (SCC/BSCC decomposition, used for steady-state arguments).
 //!
+//! # The sparse engine
+//!
+//! The hot paths form a parallel, zero-per-step-allocation sparse engine:
+//!
+//! * **Buffer reuse** — propagation runs through `forward_into` /
+//!   `backward_into` (and masked variants) on [`TransitionMatrix`], which
+//!   write into caller-owned ping-pong buffers; see the buffer-reuse
+//!   contract in [`matrix`]'s module docs. All solvers in [`transient`] and
+//!   [`solve`] allocate their two buffers once per call, never per step.
+//! * **Parallelism** — the `parallel` feature (default on) runs the kernels
+//!   on scoped-thread fork-join ([`par`]) once a chain has at least
+//!   [`par::min_rows`] rows (default 32k, tuned so thread-spawn overhead
+//!   stays under a few percent; override with `SMG_PAR_MIN_ROWS`, set
+//!   the worker count with `SMG_THREADS`). Below the threshold — and under
+//!   `--no-default-features` — the tuned sequential loops run instead, so
+//!   small chains never pay thread overhead. The parallel forward product
+//!   gathers over a lazily cached transpose and is bit-identical to the
+//!   sequential scatter; [`solve::gauss_seidel_reach`] switches to a
+//!   block-hybrid sweep (Gauss–Seidel within worker blocks, Jacobi across
+//!   them) pinned within tolerance of the serial solver by property tests.
+//! * **Exploration** — BFS interns states into a [`FastHashMap`] (an
+//!   FxHash-style multiply hasher, [`hash`]) and assembles rows directly
+//!   into a flat [`CsrBuilder`], level by level.
+//!
 //! # Example
 //!
 //! ```
@@ -63,9 +87,11 @@ pub mod error;
 pub mod explore;
 pub mod export;
 pub mod graph;
+pub mod hash;
 pub mod import;
 pub mod matrix;
 pub mod model;
+pub mod par;
 pub mod solve;
 pub mod stats;
 pub mod transient;
@@ -76,7 +102,8 @@ pub use compose::SyncProduct;
 pub use dtmc::{Dtmc, StateId};
 pub use error::DtmcError;
 pub use explore::{explore, explore_memoryless, ExploreOptions, Explored};
-pub use matrix::{CsrMatrix, RankOneMatrix, TransitionMatrix};
+pub use hash::{FastBuildHasher, FastHashMap, FastHashSet};
+pub use matrix::{CsrBuilder, CsrMatrix, RankOneMatrix, RowIter, TransitionMatrix};
 pub use model::{DtmcModel, MemorylessModel};
 pub use stats::BuildStats;
 pub use wrappers::CountingModel;

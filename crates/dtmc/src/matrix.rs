@@ -11,20 +11,173 @@
 //! All analyses are expressed through the *masked* forward/backward products
 //! so that time-bounded properties can make target states absorbing without
 //! mutating the matrix (see [`crate::transient`]).
+//!
+//! # Buffer-reuse contract
+//!
+//! The hot propagation loops run through the `*_into` kernels
+//! ([`TransitionMatrix::forward_into`], [`TransitionMatrix::backward_into`]
+//! and their masked variants), which write into a caller-owned output buffer
+//! of length `n` instead of allocating. Callers ping-pong two buffers across
+//! steps (`forward_into(&cur, &mut next); swap(&mut cur, &mut next)`), so a
+//! whole transient sweep performs no per-step allocation. The output buffer
+//! is fully overwritten — it does not need to be zeroed between calls — and
+//! must not alias the input (enforced by borrow rules).
+//!
+//! # Parallelism
+//!
+//! With the crate's `parallel` feature (on by default) the sparse kernels
+//! run on [`crate::par`]'s scoped-thread fork-join once the row count
+//! reaches [`crate::par::min_rows`]; below the threshold the tuned
+//! sequential loops run, so small chains never pay thread overhead. The
+//! backward product parallelizes row-wise as-is. The forward product is a
+//! scatter, so the parallel path instead gathers over a lazily built,
+//! cached transpose; entries of each transpose row are stored in ascending
+//! source-row order, which makes the parallel gather accumulate the exact
+//! summation order of the sequential scatter — results are bit-identical,
+//! not merely within tolerance.
 
 use crate::bitvec::BitVec;
 use crate::error::DtmcError;
+use crate::par;
+use std::sync::OnceLock;
 
 /// Tolerance for row-stochasticity checks.
 pub const STOCHASTIC_TOL: f64 = 1e-9;
 
-/// A square row-stochastic matrix in compressed sparse row form.
+/// Minimum rows per worker chunk inside the parallel kernels.
+const PAR_MIN_CHUNK: usize = 8_192;
+
+/// The transposed structure of a [`CsrMatrix`], built lazily for the
+/// parallel forward gather. Row `c` of the transpose lists the predecessors
+/// of state `c` in ascending order.
 #[derive(Debug, Clone, PartialEq)]
+struct Transposed {
+    row_ptr: Vec<usize>,
+    rows: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+/// A square row-stochastic matrix in compressed sparse row form.
+#[derive(Debug)]
 pub struct CsrMatrix {
     n: usize,
     row_ptr: Vec<usize>,
     cols: Vec<u32>,
     vals: Vec<f64>,
+    /// Lazily built transpose (parallel forward gather); not part of the
+    /// matrix's logical value, so `Clone`/`PartialEq` ignore it.
+    transpose: OnceLock<Transposed>,
+}
+
+impl Clone for CsrMatrix {
+    fn clone(&self) -> Self {
+        CsrMatrix {
+            n: self.n,
+            row_ptr: self.row_ptr.clone(),
+            cols: self.cols.clone(),
+            vals: self.vals.clone(),
+            transpose: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.row_ptr == other.row_ptr
+            && self.cols == other.cols
+            && self.vals == other.vals
+    }
+}
+
+/// Incremental [`CsrMatrix`] construction directly into the flat CSR
+/// arrays — exploration appends one row per expanded state without first
+/// materialising a `Vec<Vec<(u32, f64)>>` of the whole chain.
+#[derive(Debug)]
+pub struct CsrBuilder {
+    row_ptr: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl Default for CsrBuilder {
+    fn default() -> Self {
+        CsrBuilder::with_capacity(0, 0)
+    }
+}
+
+impl CsrBuilder {
+    /// A builder with preallocated capacity for `rows` rows and `nnz`
+    /// stored transitions.
+    pub fn with_capacity(rows: usize, nnz: usize) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        CsrBuilder {
+            row_ptr,
+            cols: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// The number of rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Validates, sorts, merges and appends one row. The scratch slice is
+    /// sorted in place (entries with duplicate columns are summed).
+    ///
+    /// # Errors
+    ///
+    /// * [`DtmcError::InvalidProbability`] for negative or NaN entries.
+    /// * [`DtmcError::NotStochastic`] if the row does not sum to one.
+    pub fn push_row(&mut self, row: &mut [(u32, f64)]) -> Result<(), DtmcError> {
+        let r = self.rows();
+        let mut sum = 0.0;
+        for &(_, v) in row.iter() {
+            if v < 0.0 || v.is_nan() || v > 1.0 + STOCHASTIC_TOL {
+                return Err(DtmcError::InvalidProbability {
+                    state: format!("#{r}"),
+                    prob: v,
+                });
+            }
+            sum += v;
+        }
+        if (sum - 1.0).abs() > STOCHASTIC_TOL {
+            return Err(DtmcError::NotStochastic {
+                state: format!("#{r}"),
+                sum,
+            });
+        }
+        row.sort_by_key(|&(c, _)| c);
+        let row_start = self.cols.len();
+        for &(c, v) in row.iter() {
+            if self.cols.len() > row_start && *self.cols.last().expect("row tail") == c {
+                *self.vals.last_mut().expect("cols/vals in sync") += v;
+            } else if v > 0.0 {
+                self.cols.push(c);
+                self.vals.push(v);
+            }
+        }
+        self.row_ptr.push(self.cols.len());
+        Ok(())
+    }
+
+    /// Finishes the square matrix; its dimension is the number of rows.
+    pub fn finish(self) -> CsrMatrix {
+        let n = self.rows();
+        debug_assert!(
+            self.cols.iter().all(|&c| (c as usize) < n),
+            "column index out of range in CSR builder"
+        );
+        CsrMatrix {
+            n,
+            row_ptr: self.row_ptr,
+            cols: self.cols,
+            vals: self.vals,
+            transpose: OnceLock::new(),
+        }
+    }
 }
 
 impl CsrMatrix {
@@ -37,52 +190,12 @@ impl CsrMatrix {
     /// * [`DtmcError::InvalidProbability`] for negative or NaN entries.
     /// * [`DtmcError::NotStochastic`] if a row does not sum to one.
     pub fn from_rows(rows: Vec<Vec<(u32, f64)>>) -> Result<Self, DtmcError> {
-        let n = rows.len();
-        let mut row_ptr = Vec::with_capacity(n + 1);
-        let mut cols = Vec::new();
-        let mut vals = Vec::new();
-        row_ptr.push(0);
-        for (r, mut row) in rows.into_iter().enumerate() {
-            let mut sum = 0.0;
-            for &(c, v) in &row {
-                if v < 0.0 || v.is_nan() || v > 1.0 + STOCHASTIC_TOL {
-                    return Err(DtmcError::InvalidProbability {
-                        state: format!("#{r}"),
-                        prob: v,
-                    });
-                }
-                debug_assert!((c as usize) < n, "column {c} out of range in row {r}");
-                sum += v;
-            }
-            if (sum - 1.0).abs() > STOCHASTIC_TOL {
-                return Err(DtmcError::NotStochastic {
-                    state: format!("#{r}"),
-                    sum,
-                });
-            }
-            row.sort_by_key(|&(c, _)| c);
-            // Merge duplicates.
-            let mut merged: Vec<(u32, f64)> = Vec::with_capacity(row.len());
-            for (c, v) in row {
-                match merged.last_mut() {
-                    Some((lc, lv)) if *lc == c => *lv += v,
-                    _ => merged.push((c, v)),
-                }
-            }
-            for (c, v) in merged {
-                if v > 0.0 {
-                    cols.push(c);
-                    vals.push(v);
-                }
-            }
-            row_ptr.push(cols.len());
+        let nnz = rows.iter().map(Vec::len).sum();
+        let mut builder = CsrBuilder::with_capacity(rows.len(), nnz);
+        for mut row in rows {
+            builder.push_row(&mut row)?;
         }
-        Ok(CsrMatrix {
-            n,
-            row_ptr,
-            cols,
-            vals,
-        })
+        Ok(builder.finish())
     }
 
     /// The dimension (number of states).
@@ -105,17 +218,88 @@ impl CsrMatrix {
             .zip(self.vals[lo..hi].iter().copied())
     }
 
+    /// The transpose, built on first use and cached (used by the parallel
+    /// forward gather). Entries of each transpose row are in ascending
+    /// source-row order.
+    fn transposed(&self) -> &Transposed {
+        self.transpose.get_or_init(|| {
+            let nnz = self.vals.len();
+            let mut row_ptr = vec![0usize; self.n + 1];
+            for &c in &self.cols {
+                row_ptr[c as usize + 1] += 1;
+            }
+            for i in 0..self.n {
+                row_ptr[i + 1] += row_ptr[i];
+            }
+            let mut next = row_ptr.clone();
+            let mut rows = vec![0u32; nnz];
+            let mut vals = vec![0.0f64; nnz];
+            for r in 0..self.n {
+                for (c, v) in self.row(r) {
+                    let slot = next[c as usize];
+                    next[c as usize] += 1;
+                    rows[slot] = r as u32;
+                    vals[slot] = v;
+                }
+            }
+            Transposed {
+                row_ptr,
+                rows,
+                vals,
+            }
+        })
+    }
+
     /// The transposed matrix in CSR form (rows of the transpose are columns
     /// of `self`). The transpose of a stochastic matrix is generally not
     /// stochastic, so this returns raw triplet structure for graph use.
+    ///
+    /// Built transiently on purpose: the value-carrying transpose the
+    /// parallel gather caches costs ~1.5x the matrix's memory, and a
+    /// structure-only graph query must not pin that for the matrix's
+    /// lifetime. If the cache already exists it is reused.
     pub fn transpose_structure(&self) -> Vec<Vec<u32>> {
-        let mut t: Vec<Vec<u32>> = vec![Vec::new(); self.n];
+        if let Some(t) = self.transpose.get() {
+            return (0..self.n)
+                .map(|c| t.rows[t.row_ptr[c]..t.row_ptr[c + 1]].to_vec())
+                .collect();
+        }
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); self.n];
         for r in 0..self.n {
             for (c, _) in self.row(r) {
-                t[c as usize].push(r as u32);
+                out[c as usize].push(r as u32);
             }
         }
-        t
+        out
+    }
+
+    /// The forward product as a gather over the cached transpose, writing
+    /// the output range `[offset, offset + chunk.len())`. Chunks are
+    /// independent, which is what the parallel path exploits; a single full
+    /// chunk reproduces the sequential scatter bit-for-bit because each
+    /// transpose row stores its terms in the scatter's summation order.
+    fn forward_gather_chunk(
+        &self,
+        pi: &[f64],
+        active: Option<&BitVec>,
+        offset: usize,
+        chunk: &mut [f64],
+    ) {
+        let t = self.transposed();
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            let c = offset + j;
+            let mut acc = 0.0;
+            for k in t.row_ptr[c]..t.row_ptr[c + 1] {
+                let r = t.rows[k] as usize;
+                let p = pi[r];
+                // Mirror the sequential scatter exactly: masked and
+                // zero-mass rows contribute no term at all.
+                if p != 0.0 && active.is_none_or(|mask| mask.get(r)) {
+                    acc += p * t.vals[k];
+                }
+            }
+            *slot = acc;
+        }
     }
 }
 
@@ -174,6 +358,42 @@ impl RankOneMatrix {
     }
 }
 
+/// A borrowed view of one matrix row, iterating `(column, probability)`
+/// without allocating (unlike [`TransitionMatrix::successors`]).
+#[derive(Debug, Clone)]
+pub enum RowIter<'a> {
+    /// A CSR row: parallel column/value slices.
+    Sparse {
+        /// Remaining column indices.
+        cols: std::slice::Iter<'a, u32>,
+        /// Remaining probabilities.
+        vals: std::slice::Iter<'a, f64>,
+    },
+    /// A rank-one row: the shared distribution.
+    Shared(std::slice::Iter<'a, (u32, f64)>),
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = (u32, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, f64)> {
+        match self {
+            RowIter::Sparse { cols, vals } => Some((*cols.next()?, *vals.next()?)),
+            RowIter::Shared(pairs) => pairs.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RowIter::Sparse { cols, .. } => cols.size_hint(),
+            RowIter::Shared(pairs) => pairs.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for RowIter<'_> {}
+
 /// A row-stochastic transition matrix in one of the supported
 /// representations.
 #[derive(Debug, Clone, PartialEq)]
@@ -219,7 +439,15 @@ impl TransitionMatrix {
     ///
     /// Panics if `pi.len() != n`.
     pub fn forward(&self, pi: &[f64]) -> Vec<f64> {
-        self.forward_masked(pi, None)
+        let mut out = vec![0.0; self.n()];
+        self.forward_masked_into(pi, None, &mut out);
+        out
+    }
+
+    /// Forward product into a caller-owned buffer (see the module docs'
+    /// buffer-reuse contract).
+    pub fn forward_into(&self, pi: &[f64], out: &mut [f64]) {
+        self.forward_masked_into(pi, None, out);
     }
 
     /// Forward product where only rows with `active` bit set propagate;
@@ -231,14 +459,34 @@ impl TransitionMatrix {
     ///
     /// Panics if `pi.len() != n` or the mask length mismatches.
     pub fn forward_masked(&self, pi: &[f64], active: Option<&BitVec>) -> Vec<f64> {
+        let mut out = vec![0.0; self.n()];
+        self.forward_masked_into(pi, active, &mut out);
+        out
+    }
+
+    /// Masked forward product into a caller-owned buffer. The buffer is
+    /// fully overwritten. Large sparse matrices take the parallel gather
+    /// path (bit-identical to the sequential scatter; see module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != n`, `out.len() != n`, or the mask length
+    /// mismatches.
+    pub fn forward_masked_into(&self, pi: &[f64], active: Option<&BitVec>, out: &mut [f64]) {
         let n = self.n();
         assert_eq!(pi.len(), n, "distribution length mismatch");
+        assert_eq!(out.len(), n, "output buffer length mismatch");
         if let Some(m) = active {
             assert_eq!(m.len(), n, "mask length mismatch");
         }
-        let mut out = vec![0.0; n];
         match self {
+            TransitionMatrix::Sparse(m) if par::should_parallelize(n) => {
+                par::chunked_map(out, PAR_MIN_CHUNK, |offset, chunk| {
+                    m.forward_gather_chunk(pi, active, offset, chunk)
+                });
+            }
             TransitionMatrix::Sparse(m) => {
+                out.fill(0.0);
                 for (r, &p) in pi.iter().enumerate() {
                     if p == 0.0 {
                         continue;
@@ -263,6 +511,7 @@ impl TransitionMatrix {
                         .map(|(_, &p)| p)
                         .sum(),
                 };
+                out.fill(0.0);
                 if mass > 0.0 {
                     for &(c, v) in m.dist() {
                         out[c as usize] += mass * v;
@@ -270,7 +519,6 @@ impl TransitionMatrix {
                 }
             }
         }
-        out
     }
 
     /// Backward product `out = P · x` (value propagation): `out[s]` is the
@@ -280,7 +528,15 @@ impl TransitionMatrix {
     ///
     /// Panics if `x.len() != n`.
     pub fn backward(&self, x: &[f64]) -> Vec<f64> {
-        self.backward_masked(x, None)
+        let mut out = vec![0.0; self.n()];
+        self.backward_masked_into(x, None, &mut out);
+        out
+    }
+
+    /// Backward product into a caller-owned buffer (see the module docs'
+    /// buffer-reuse contract).
+    pub fn backward_into(&self, x: &[f64], out: &mut [f64]) {
+        self.backward_masked_into(x, None, out);
     }
 
     /// Backward product where rows outside the mask keep their current value
@@ -290,48 +546,121 @@ impl TransitionMatrix {
     ///
     /// Panics if `x.len() != n` or the mask length mismatches.
     pub fn backward_masked(&self, x: &[f64], active: Option<&BitVec>) -> Vec<f64> {
+        let mut out = vec![0.0; self.n()];
+        self.backward_masked_into(x, active, &mut out);
+        out
+    }
+
+    /// Masked backward product into a caller-owned buffer. The buffer is
+    /// fully overwritten. Rows parallelize as-is for large matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`, `out.len() != n`, or the mask length
+    /// mismatches.
+    pub fn backward_masked_into(&self, x: &[f64], active: Option<&BitVec>, out: &mut [f64]) {
         let n = self.n();
         assert_eq!(x.len(), n, "value vector length mismatch");
+        assert_eq!(out.len(), n, "output buffer length mismatch");
         if let Some(m) = active {
             assert_eq!(m.len(), n, "mask length mismatch");
         }
         match self {
             TransitionMatrix::Sparse(m) => {
-                let mut out = vec![0.0; n];
-                for r in 0..n {
-                    if let Some(mask) = active {
-                        if !mask.get(r) {
-                            out[r] = x[r];
-                            continue;
+                let body = |offset: usize, chunk: &mut [f64]| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        let r = offset + j;
+                        if let Some(mask) = active {
+                            if !mask.get(r) {
+                                *slot = x[r];
+                                continue;
+                            }
                         }
+                        let mut acc = 0.0;
+                        for (c, v) in m.row(r) {
+                            acc += v * x[c as usize];
+                        }
+                        *slot = acc;
                     }
-                    let mut acc = 0.0;
-                    for (c, v) in m.row(r) {
-                        acc += v * x[c as usize];
-                    }
-                    out[r] = acc;
+                };
+                if par::should_parallelize(n) {
+                    par::chunked_map(out, PAR_MIN_CHUNK, |o, c| body(o, c));
+                } else {
+                    body(0, out);
                 }
-                out
             }
             TransitionMatrix::RankOne(m) => {
                 let shared: f64 = m.dist().iter().map(|&(c, v)| v * x[c as usize]).sum();
-                (0..n)
-                    .map(|r| match active {
-                        Some(mask) if !mask.get(r) => x[r],
-                        _ => shared,
-                    })
-                    .collect()
+                let body = |offset: usize, chunk: &mut [f64]| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = match active {
+                            Some(mask) if !mask.get(offset + j) => x[offset + j],
+                            _ => shared,
+                        };
+                    }
+                };
+                if par::should_parallelize(n) {
+                    par::chunked_map(out, PAR_MIN_CHUNK, |o, c| body(o, c));
+                } else {
+                    body(0, out);
+                }
             }
         }
     }
 
     /// The successors of state `r` as `(column, probability)` pairs.
+    ///
+    /// Allocates; step-heavy callers (simulation, solvers) should prefer
+    /// [`TransitionMatrix::row_iter`].
     pub fn successors(&self, r: usize) -> Vec<(u32, f64)> {
+        self.row_iter(r).collect()
+    }
+
+    /// Samples a successor of state `r` by inverse transform using the
+    /// pre-drawn uniform `u ∈ [0, 1)`; see [`sample_distribution`].
+    pub fn sample_row(&self, r: usize, u: f64) -> u32 {
+        sample_distribution(self.row_iter(r), u)
+    }
+
+    /// Iterates the successors of state `r` without allocating.
+    pub fn row_iter(&self, r: usize) -> RowIter<'_> {
         match self {
-            TransitionMatrix::Sparse(m) => m.row(r).collect(),
-            TransitionMatrix::RankOne(m) => m.dist().to_vec(),
+            TransitionMatrix::Sparse(m) => {
+                let lo = m.row_ptr[r];
+                let hi = m.row_ptr[r + 1];
+                RowIter::Sparse {
+                    cols: m.cols[lo..hi].iter(),
+                    vals: m.vals[lo..hi].iter(),
+                }
+            }
+            TransitionMatrix::RankOne(m) => {
+                debug_assert!(r < m.n(), "row {r} out of range");
+                RowIter::Shared(m.dist().iter())
+            }
         }
     }
+}
+
+/// Samples a state from a discrete distribution by inverse transform, with
+/// the uniform variate `u ∈ [0, 1)` drawn by the caller — the engine stays
+/// RNG-agnostic. Accumulated floating-point slack falls through to the last
+/// entry, so a (sub)stochastic distribution always yields a member.
+///
+/// Shared by the Monte-Carlo samplers in `smg-sim` and `smg-cli`.
+///
+/// # Panics
+///
+/// Panics if the distribution is empty.
+pub fn sample_distribution(dist: impl Iterator<Item = (u32, f64)>, mut u: f64) -> u32 {
+    let mut last = None;
+    for (s, p) in dist {
+        if u < p {
+            return s;
+        }
+        u -= p;
+        last = Some(s);
+    }
+    last.expect("non-empty distribution")
 }
 
 #[cfg(test)]
@@ -361,6 +690,30 @@ mod tests {
     }
 
     #[test]
+    fn builder_matches_from_rows() {
+        let rows = vec![
+            vec![(1u32, 0.5), (0, 0.25), (1, 0.25)],
+            vec![(0, 1.0)],
+            vec![(2, 0.0), (0, 0.5), (1, 0.5)],
+        ];
+        let a = CsrMatrix::from_rows(rows.clone()).unwrap();
+        let mut b = CsrBuilder::with_capacity(3, 6);
+        for mut row in rows {
+            b.push_row(&mut row).unwrap();
+        }
+        assert_eq!(b.rows(), 3);
+        assert_eq!(a, b.finish());
+    }
+
+    #[test]
+    fn builder_rejects_bad_rows() {
+        let mut b = CsrBuilder::default();
+        assert!(b.push_row(&mut [(0, 0.5)]).is_err());
+        assert!(b.push_row(&mut [(0, -0.1), (0, 1.1)]).is_err());
+        assert_eq!(b.rows(), 0, "failed rows leave the builder untouched");
+    }
+
+    #[test]
     fn forward_preserves_mass() {
         let m = two_state();
         let pi = vec![0.25, 0.75];
@@ -370,12 +723,31 @@ mod tests {
     }
 
     #[test]
+    fn forward_into_matches_forward() {
+        let m = two_state();
+        let pi = vec![0.25, 0.75];
+        // Dirty buffer must be fully overwritten.
+        let mut out = vec![42.0; 2];
+        m.forward_into(&pi, &mut out);
+        assert_eq!(out, m.forward(&pi));
+    }
+
+    #[test]
     fn backward_is_expectation() {
         let m = two_state();
         let x = vec![1.0, 0.0];
         let out = m.backward(&x);
         assert!((out[0] - 0.6).abs() < 1e-12);
         assert!((out[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_into_matches_backward() {
+        let m = two_state();
+        let x = vec![1.0, -2.0];
+        let mut out = vec![f64::NAN; 2];
+        m.backward_into(&x, &mut out);
+        assert_eq!(out, m.backward(&x));
     }
 
     #[test]
@@ -457,10 +829,118 @@ mod tests {
     }
 
     #[test]
+    fn sample_distribution_inverse_transform() {
+        let m = two_state();
+        // Row 0 is {0: 0.6, 1: 0.4}: u below 0.6 picks 0, above picks 1.
+        assert_eq!(m.sample_row(0, 0.0), 0);
+        assert_eq!(m.sample_row(0, 0.59), 0);
+        assert_eq!(m.sample_row(0, 0.61), 1);
+        // Rounding slack falls through to the last entry.
+        assert_eq!(m.sample_row(0, 0.999_999_999_999), 1);
+        assert_eq!(sample_distribution([(7u32, 1.0)].into_iter(), 0.5), 7);
+    }
+
+    #[test]
+    fn default_builder_starts_empty() {
+        let mut b = CsrBuilder::default();
+        assert_eq!(b.rows(), 0);
+        b.push_row(&mut [(0, 1.0)]).unwrap();
+        assert_eq!(b.finish().n(), 1);
+    }
+
+    #[test]
+    fn row_iter_matches_successors() {
+        let sp = two_state();
+        for r in 0..2 {
+            assert_eq!(sp.row_iter(r).collect::<Vec<_>>(), sp.successors(r));
+            assert_eq!(sp.row_iter(r).len(), sp.successors(r).len());
+        }
+        let r1 = TransitionMatrix::RankOne(RankOneMatrix::new(4, vec![(1, 1.0)]).unwrap());
+        assert_eq!(r1.row_iter(3).collect::<Vec<_>>(), vec![(1, 1.0)]);
+    }
+
+    #[test]
     fn transpose_structure() {
         let m = CsrMatrix::from_rows(vec![vec![(1, 1.0)], vec![(0, 0.5), (1, 0.5)]]).unwrap();
         let t = m.transpose_structure();
         assert_eq!(t[0], vec![1]);
         assert_eq!(t[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_transpose_cache() {
+        let m = CsrMatrix::from_rows(vec![vec![(1, 1.0)], vec![(0, 1.0)]]).unwrap();
+        let fresh = m.clone();
+        let _ = m.transposed(); // populate the cache on one side only
+        assert_eq!(m, fresh);
+        assert_eq!(m.clone(), fresh);
+    }
+
+    /// Pseudo-random sparse chain for kernel cross-checks.
+    fn random_chain(n: usize, seed: u64) -> TransitionMatrix {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut builder = CsrBuilder::with_capacity(n, n * 4);
+        let mut row = Vec::new();
+        for _ in 0..n {
+            row.clear();
+            let succ = 1 + (next() % 4) as usize;
+            let mut weights = Vec::with_capacity(succ);
+            for _ in 0..succ {
+                row.push(((next() % n as u64) as u32, 0.0));
+                weights.push(1 + next() % 16);
+            }
+            let total: u64 = weights.iter().sum();
+            for (slot, w) in row.iter_mut().zip(&weights) {
+                slot.1 = *w as f64 / total as f64;
+            }
+            builder.push_row(&mut row).unwrap();
+        }
+        TransitionMatrix::Sparse(builder.finish())
+    }
+
+    /// The gather kernel behind the parallel forward path must agree
+    /// bit-for-bit with the sequential scatter, chunked or not. Driving the
+    /// kernel directly keeps this meaningful on single-core machines where
+    /// `should_parallelize` never fires.
+    #[test]
+    fn forward_gather_matches_scatter_bitwise() {
+        let n = 4096;
+        let m = random_chain(n, 0xFEED);
+        let TransitionMatrix::Sparse(csr) = &m else {
+            unreachable!("random_chain builds CSR")
+        };
+        let mut pi = vec![0.0; n];
+        let mut acc = 0.61803398875f64;
+        for (i, slot) in pi.iter_mut().enumerate() {
+            if i % 7 != 0 {
+                acc = (acc * 997.0).fract();
+                *slot = acc;
+            }
+        }
+        let mut mask = BitVec::ones(n);
+        for i in (0..n).step_by(3) {
+            mask.set(i, false);
+        }
+        for active in [None, Some(&mask)] {
+            let seq = m.forward_masked(&pi, active);
+            // One full chunk.
+            let mut full = vec![f64::NAN; n];
+            csr.forward_gather_chunk(&pi, active, 0, &mut full);
+            assert_eq!(full, seq);
+            // Uneven chunking as the parallel split would produce.
+            let mut chunked = vec![f64::NAN; n];
+            let (a, rest) = chunked.split_at_mut(1000);
+            let (b, c) = rest.split_at_mut(2000);
+            csr.forward_gather_chunk(&pi, active, 0, a);
+            csr.forward_gather_chunk(&pi, active, 1000, b);
+            csr.forward_gather_chunk(&pi, active, 3000, c);
+            assert_eq!(chunked, seq);
+        }
     }
 }

@@ -1,0 +1,167 @@
+//! The parallel execution layer behind the sparse kernels.
+//!
+//! The registry crates (`rayon`) are unavailable in this build environment,
+//! so the engine carries its own minimal fork-join built on
+//! `std::thread::scope`: a slice is split into contiguous chunks, each chunk
+//! is processed on its own scoped thread, and per-chunk results are joined
+//! into a `Vec`. Threads are spawned per call rather than pooled; the
+//! [`PAR_MIN_ROWS`] threshold keeps that overhead (tens of microseconds) out
+//! of small problems, where the sequential path is faster anyway.
+//!
+//! Everything here compiles away under `--no-default-features`: without the
+//! `parallel` feature the helpers degrade to straight sequential calls with
+//! identical results.
+//!
+//! Tuning knobs (environment variables, read once per process):
+//!
+//! * `SMG_THREADS` — set the worker-thread count (default: available
+//!   parallelism; values above it are honoured, which lets tests drive the
+//!   threaded paths on low-core machines);
+//! * `SMG_PAR_MIN_ROWS` — override the sequential-fallback threshold.
+
+/// Default row-count threshold below which kernels stay sequential.
+///
+/// Chosen so that thread-spawn overhead (~10–50 µs for a handful of scoped
+/// threads) is under a few percent of the kernel time it hides: a sparse
+/// row costs low tens of nanoseconds to propagate, so 32k rows ≈ 1 ms of
+/// work per sweep.
+pub const PAR_MIN_ROWS: usize = 32_768;
+
+/// The number of worker threads parallel kernels may use (≥ 1).
+///
+/// `SMG_THREADS` overrides the detected parallelism outright — including
+/// *above* it. Oversubscription is harmless for correctness and lets the
+/// real threaded driver be exercised deterministically on low-core
+/// machines (the kernel test suites rely on this).
+#[cfg(feature = "parallel")]
+pub fn max_threads() -> usize {
+    use std::sync::OnceLock;
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        match std::env::var("SMG_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map_or(1, usize::from),
+        }
+    })
+}
+
+/// The number of worker threads parallel kernels may use (≥ 1).
+#[cfg(not(feature = "parallel"))]
+pub fn max_threads() -> usize {
+    1
+}
+
+/// The effective sequential-fallback threshold.
+pub fn min_rows() -> usize {
+    use std::sync::OnceLock;
+    static MIN: OnceLock<usize> = OnceLock::new();
+    *MIN.get_or_init(|| {
+        std::env::var("SMG_PAR_MIN_ROWS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(PAR_MIN_ROWS)
+    })
+}
+
+/// Whether a kernel over `rows` rows should take its parallel path.
+pub fn should_parallelize(rows: usize) -> bool {
+    cfg!(feature = "parallel") && rows >= min_rows() && max_threads() > 1
+}
+
+/// Splits `data` into at most [`max_threads`] contiguous chunks, runs
+/// `f(chunk_offset, chunk)` on each (the last on the calling thread), and
+/// returns the per-chunk results in slice order.
+///
+/// Sequential (single chunk) when the `parallel` feature is off, the data is
+/// shorter than two `min_chunk`s, or only one thread is available.
+pub fn chunked_map<T, R, F>(data: &mut [T], min_chunk: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let n = data.len();
+    let threads = max_threads().min(n / min_chunk.max(1)).max(1);
+    if threads <= 1 || cfg!(not(feature = "parallel")) {
+        return vec![f(0, data)];
+    }
+    chunked_map_parallel(data, n.div_ceil(threads), &f)
+}
+
+#[cfg(feature = "parallel")]
+fn chunked_map_parallel<T, R, F>(data: &mut [T], chunk: usize, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut rest = data;
+        let mut offset = 0;
+        while rest.len() > chunk {
+            let (head, tail) = rest.split_at_mut(chunk);
+            rest = tail;
+            handles.push(scope.spawn(move || f(offset, head)));
+            offset += chunk;
+        }
+        let last = f(offset, rest);
+        let mut results: Vec<R> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        results.push(last);
+        results
+    })
+}
+
+#[cfg(not(feature = "parallel"))]
+fn chunked_map_parallel<T, R, F>(data: &mut [T], _chunk: usize, f: &F) -> Vec<R>
+where
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    vec![f(0, data)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_map_covers_every_element_once() {
+        let mut data: Vec<u64> = (0..100_000).collect();
+        let sums = chunked_map(&mut data, 1000, |off, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                assert_eq!(*v as usize, off + i, "offset bookkeeping");
+                *v += 1;
+            }
+            chunk.iter().sum::<u64>()
+        });
+        let total: u64 = sums.iter().sum();
+        let n = data.len() as u64;
+        assert_eq!(total, n * (n - 1) / 2 + n);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn small_input_stays_single_chunk() {
+        let mut data = [1u8; 10];
+        let results = chunked_map(&mut data, 1000, |off, chunk| (off, chunk.len()));
+        assert_eq!(results, vec![(0, 10)]);
+    }
+
+    #[test]
+    fn threshold_logic() {
+        assert!(!should_parallelize(0));
+        assert!(!should_parallelize(min_rows() - 1));
+        // Whether the threshold passes above depends on core count, but it
+        // must never fire with the feature off.
+        if cfg!(not(feature = "parallel")) {
+            assert!(!should_parallelize(usize::MAX));
+        }
+        assert!(max_threads() >= 1);
+    }
+}

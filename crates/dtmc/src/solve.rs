@@ -6,14 +6,134 @@
 //! markedly faster than the Jacobi-style value iteration in
 //! [`crate::transient::unbounded_reach_values`] (both are provided, and
 //! tests pin their agreement).
+//!
+//! # Sweep strategies
+//!
+//! Two sweeps share the per-row diagonal-solved update:
+//!
+//! * **Sequential Gauss–Seidel** — in-place, each row immediately sees the
+//!   values updated earlier in the same sweep. Runs below the parallel
+//!   threshold and when the `parallel` feature is off. The row loop walks
+//!   the CSR arrays directly (no per-row allocation).
+//! * **Block-hybrid sweep** (the red-black idea generalised to contiguous
+//!   colour blocks) — the state space is cut into one contiguous block per
+//!   worker; rows are Gauss–Seidel *within* their block (reading fresh
+//!   in-block values) and Jacobi *across* blocks (reading the previous
+//!   sweep's values for out-of-block columns). With one block this is
+//!   exactly sequential Gauss–Seidel; with `n` blocks it is exactly
+//!   Jacobi. Each sweep ping-pongs two buffers, so the solver allocates
+//!   nothing per iteration. Both sweeps converge to the same fixed point;
+//!   tests pin their agreement within tolerance.
 
 use crate::bitvec::BitVec;
 use crate::dtmc::Dtmc;
 use crate::error::DtmcError;
-use crate::matrix::TransitionMatrix;
+use crate::matrix::{CsrMatrix, TransitionMatrix};
+use crate::par;
+
+/// Minimum rows per worker block in the hybrid sweep.
+const PAR_MIN_CHUNK: usize = 8_192;
+
+/// One diagonal-solved row update: `x_i = (Σ_{c≠i} p_c·x_c) / (1 - p_ii)`,
+/// with pure self-loops pinned to zero (they never reach the target).
+#[inline]
+fn row_update(m: &CsrMatrix, i: usize, read: impl Fn(usize) -> f64) -> f64 {
+    let mut acc = 0.0;
+    let mut self_loop = 0.0;
+    for (c, p) in m.row(i) {
+        if c as usize == i {
+            self_loop += p;
+        } else {
+            acc += p * read(c as usize);
+        }
+    }
+    if self_loop < 1.0 {
+        acc / (1.0 - self_loop)
+    } else {
+        0.0
+    }
+}
+
+/// One sequential Gauss–Seidel sweep in place; returns the max update delta.
+fn sweep_gauss_seidel(m: &CsrMatrix, target: &BitVec, x: &mut [f64]) -> f64 {
+    let mut delta: f64 = 0.0;
+    for i in 0..x.len() {
+        if target.get(i) {
+            continue;
+        }
+        let new = row_update(m, i, |c| x[c]);
+        delta = delta.max((new - x[i]).abs());
+        x[i] = new;
+    }
+    delta
+}
+
+/// The block kernel both hybrid drivers share: sweeps one block of rows
+/// `[offset, offset + block.len())` from `x_old` into `block`, returning
+/// the block's max delta.
+///
+/// Within the block, columns behind the cursor read the fresh value
+/// (Gauss–Seidel); all other columns read `x_old` (Jacobi).
+fn sweep_one_block(
+    m: &CsrMatrix,
+    target: &BitVec,
+    x_old: &[f64],
+    offset: usize,
+    block: &mut [f64],
+) -> f64 {
+    let mut delta: f64 = 0.0;
+    for j in 0..block.len() {
+        let i = offset + j;
+        if target.get(i) {
+            block[j] = x_old[i];
+            continue;
+        }
+        let new = row_update(m, i, |c| {
+            if c >= offset && c < i {
+                block[c - offset]
+            } else {
+                x_old[c]
+            }
+        });
+        delta = delta.max((new - x_old[i]).abs());
+        block[j] = new;
+    }
+    delta
+}
+
+/// One block-hybrid sweep from `x_old` into `x_new` across the parallel
+/// workers; returns the max delta.
+fn sweep_block_hybrid(m: &CsrMatrix, target: &BitVec, x_old: &[f64], x_new: &mut [f64]) -> f64 {
+    let deltas = par::chunked_map(x_new, PAR_MIN_CHUNK, |offset, block| {
+        sweep_one_block(m, target, x_old, offset, block)
+    });
+    deltas.into_iter().fold(0.0, f64::max)
+}
+
+/// Sequential reference for the hybrid sweep with an explicit block length:
+/// semantically identical to [`sweep_block_hybrid`] partitioned into
+/// `block_len`-sized blocks, whatever the machine's thread count. Used by
+/// the property tests to pin the hybrid against serial Gauss–Seidel.
+#[cfg(test)]
+fn sweep_blocks(
+    m: &CsrMatrix,
+    target: &BitVec,
+    x_old: &[f64],
+    x_new: &mut [f64],
+    block_len: usize,
+) -> f64 {
+    let mut delta: f64 = 0.0;
+    let mut offset = 0;
+    for block in x_new.chunks_mut(block_len.max(1)) {
+        delta = delta.max(sweep_one_block(m, target, x_old, offset, block));
+        offset += block.len();
+    }
+    delta
+}
 
 /// Unbounded reachability probabilities `P(F target)` from every state,
-/// solved by Gauss–Seidel iteration with in-place sweeps.
+/// solved by Gauss–Seidel iteration (sequential in-place sweeps below the
+/// parallel threshold, block-hybrid sweeps above it — see module docs).
 ///
 /// # Errors
 ///
@@ -58,33 +178,23 @@ pub fn gauss_seidel_reach(
             }
             Ok(x)
         }
-        TransitionMatrix::Sparse(_) => {
+        TransitionMatrix::Sparse(m) if par::should_parallelize(n) => {
+            let mut x_new = x.clone();
             for _ in 0..max_iter {
-                let mut delta: f64 = 0.0;
-                for i in 0..n {
-                    if target.get(i) {
-                        continue;
-                    }
-                    let mut acc = 0.0;
-                    let mut self_loop = 0.0;
-                    for (c, p) in dtmc.matrix().successors(i) {
-                        if c as usize == i {
-                            self_loop += p;
-                        } else {
-                            acc += p * x[c as usize];
-                        }
-                    }
-                    // Solve the diagonal immediately: x_i = acc + a_ii x_i.
-                    let new = if self_loop < 1.0 {
-                        acc / (1.0 - self_loop)
-                    } else {
-                        // Pure self-loop outside the target never reaches it.
-                        0.0
-                    };
-                    delta = delta.max((new - x[i]).abs());
-                    x[i] = new;
-                }
+                let delta = sweep_block_hybrid(m, target, &x, &mut x_new);
+                std::mem::swap(&mut x, &mut x_new);
                 if delta < tol {
+                    return Ok(x);
+                }
+            }
+            Err(DtmcError::NoConvergence {
+                iterations: max_iter,
+                residual: tol,
+            })
+        }
+        TransitionMatrix::Sparse(m) => {
+            for _ in 0..max_iter {
+                if sweep_gauss_seidel(m, target, &mut x) < tol {
                     return Ok(x);
                 }
             }
@@ -232,5 +342,175 @@ mod tests {
             gauss_seidel_reach(&e.dtmc, &bad, 1e-9, 10),
             Err(DtmcError::DimensionMismatch { .. })
         ));
+    }
+
+    /// Larger ruin chain for sweeping the hybrid against the serial solver.
+    struct BigRuin {
+        n: u32,
+    }
+    impl DtmcModel for BigRuin {
+        type State = u32;
+        fn initial_states(&self) -> Vec<(u32, f64)> {
+            vec![(self.n / 2, 1.0)]
+        }
+        fn transitions(&self, s: &u32) -> Vec<(u32, f64)> {
+            if *s == 0 || *s == self.n {
+                vec![(*s, 1.0)]
+            } else {
+                vec![(s + 1, 0.45), (s - 1, 0.55)]
+            }
+        }
+        fn atomic_propositions(&self) -> Vec<&'static str> {
+            vec!["rich"]
+        }
+        fn holds(&self, ap: &str, s: &u32) -> bool {
+            ap == "rich" && *s == self.n
+        }
+    }
+
+    /// Drives the hybrid to its fixed point with an explicit block length.
+    fn hybrid_fixed_point(
+        dtmc: &crate::dtmc::Dtmc,
+        target: &BitVec,
+        block_len: usize,
+        tol: f64,
+    ) -> Option<Vec<f64>> {
+        let TransitionMatrix::Sparse(m) = dtmc.matrix() else {
+            panic!("hybrid needs a CSR matrix")
+        };
+        let n = dtmc.n_states();
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| if target.get(i) { 1.0 } else { 0.0 })
+            .collect();
+        let mut x_new = x.clone();
+        for _ in 0..1_000_000 {
+            let delta = super::sweep_blocks(m, target, &x, &mut x_new, block_len);
+            std::mem::swap(&mut x, &mut x_new);
+            if delta < tol {
+                return Some(x);
+            }
+        }
+        None
+    }
+
+    /// The block-hybrid sweep must land on the same fixed point as
+    /// sequential Gauss–Seidel within tolerance, for every block geometry:
+    /// one block (= pure Gauss–Seidel), one row per block (= pure Jacobi),
+    /// and uneven splits in between.
+    #[test]
+    fn block_hybrid_matches_sequential_gauss_seidel() {
+        let e = explore(&BigRuin { n: 600 }, &ExploreOptions::default()).unwrap();
+        let rich = e.dtmc.label("rich").unwrap().clone();
+        let serial = gauss_seidel_reach(&e.dtmc, &rich, 1e-13, 1_000_000).unwrap();
+        let n = e.dtmc.n_states();
+        for block_len in [n, 150, 97, 1] {
+            let hybrid = hybrid_fixed_point(&e.dtmc, &rich, block_len, 1e-13)
+                .unwrap_or_else(|| panic!("no convergence at block_len {block_len}"));
+            for (i, (a, b)) in hybrid.iter().zip(&serial).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "block_len {block_len}, state {i}: hybrid {a} vs serial {b}"
+                );
+            }
+        }
+    }
+
+    /// The parallel driver must agree with the explicit-block reference at
+    /// the driver's own geometry (one block per worker). On single-core
+    /// machines both degenerate to one block; on multi-core runners this
+    /// pins the scoped-thread execution itself.
+    #[test]
+    fn parallel_driver_matches_block_reference() {
+        let e = explore(&BigRuin { n: 700 }, &ExploreOptions::default()).unwrap();
+        let rich = e.dtmc.label("rich").unwrap().clone();
+        let TransitionMatrix::Sparse(m) = e.dtmc.matrix() else {
+            unreachable!("explore builds CSR")
+        };
+        let n = e.dtmc.n_states();
+        let x: Vec<f64> = (0..n)
+            .map(|i| if rich.get(i) { 1.0 } else { 0.0 })
+            .collect();
+        let mut via_driver = vec![0.0; n];
+        let d1 = super::sweep_block_hybrid(m, &rich, &x, &mut via_driver);
+        // chunked_map splits into ceil(n / threads)-sized blocks, except
+        // that fewer-than-two-chunk inputs stay whole.
+        let threads = crate::par::max_threads()
+            .min(n / super::PAR_MIN_CHUNK.max(1))
+            .max(1);
+        let mut via_blocks = vec![0.0; n];
+        let d2 = super::sweep_blocks(m, &rich, &x, &mut via_blocks, n.div_ceil(threads));
+        assert_eq!(via_driver, via_blocks);
+        assert_eq!(d1, d2);
+    }
+
+    mod proptests {
+        use super::super::*;
+        use crate::explore::{explore, ExploreOptions};
+        use crate::model::DtmcModel;
+        use crate::transient;
+        use proptest::prelude::*;
+
+        /// A random absorbing chain: `n` transient states, each branching
+        /// to 2 successors (possibly the absorbing target or sink).
+        #[derive(Debug)]
+        struct RandomAbsorbing {
+            n: u32,
+            edges: Vec<(u32, u32, u32)>, // (succ_a, succ_b, eighths for a)
+        }
+
+        impl DtmcModel for RandomAbsorbing {
+            type State = u32;
+            fn initial_states(&self) -> Vec<(u32, f64)> {
+                vec![(0, 1.0)]
+            }
+            fn transitions(&self, s: &u32) -> Vec<(u32, f64)> {
+                // n = target (absorbing), n+1 = sink (absorbing).
+                if *s >= self.n {
+                    return vec![(*s, 1.0)];
+                }
+                let (a, b, w) = self.edges[*s as usize];
+                let p = f64::from(w.clamp(1, 7)) / 8.0;
+                let (a, b) = (a % (self.n + 2), b % (self.n + 2));
+                if a == b {
+                    return vec![(a, 1.0)];
+                }
+                vec![(a, p), (b, 1.0 - p)]
+            }
+            fn atomic_propositions(&self) -> Vec<&'static str> {
+                vec!["goal"]
+            }
+            fn holds(&self, ap: &str, s: &u32) -> bool {
+                ap == "goal" && *s == self.n
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Hybrid sweeps of arbitrary block geometry agree with serial
+            /// Gauss–Seidel and with Jacobi value iteration on random
+            /// absorbing chains.
+            #[test]
+            fn hybrid_pinned_to_serial_on_random_chains(
+                n in 8u32..60,
+                edges in proptest::collection::vec((0u32..64, 0u32..64, 1u32..8), 60),
+                block_len in 1usize..40,
+            ) {
+                let model = RandomAbsorbing { n, edges };
+                let e = explore(&model, &ExploreOptions::default()).unwrap();
+                let goal = e.dtmc.label("goal").unwrap().clone();
+                // Some random chains place the goal out of reach of every
+                // explored state; the solvers must still agree.
+                let serial = gauss_seidel_reach(&e.dtmc, &goal, 1e-13, 1_000_000).unwrap();
+                let jacobi =
+                    transient::unbounded_reach_values(&e.dtmc, &goal, 1e-13, 1_000_000).unwrap();
+                let hybrid =
+                    super::hybrid_fixed_point(&e.dtmc, &goal, block_len, 1e-13).unwrap();
+                for (i, ((h, s), j)) in hybrid.iter().zip(&serial).zip(&jacobi).enumerate() {
+                    prop_assert!((h - s).abs() < 1e-8, "state {i}: hybrid {h} vs serial {s}");
+                    prop_assert!((h - j).abs() < 1e-8, "state {i}: hybrid {h} vs jacobi {j}");
+                }
+            }
+        }
     }
 }

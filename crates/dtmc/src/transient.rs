@@ -8,6 +8,13 @@
 //! consecutive distributions — "a DTMC model is said to have attained a
 //! steady state when the probability of reaching a state is independent of
 //! the time step" (§III).
+//!
+//! Every loop here follows the matrix module's buffer-reuse contract: two
+//! ping-pong buffers are allocated up front and swapped each step, so a
+//! sweep over `T` steps performs zero per-step allocation regardless of
+//! horizon. The kernels themselves parallelize for large chains (see
+//! [`crate::matrix`]); nothing in this module changes shape between the
+//! sequential and parallel paths.
 
 use crate::bitvec::BitVec;
 use crate::dtmc::Dtmc;
@@ -16,8 +23,10 @@ use crate::error::DtmcError;
 /// The distribution over states after exactly `t` steps.
 pub fn distribution_at(dtmc: &Dtmc, t: usize) -> Vec<f64> {
     let mut pi = dtmc.initial_dense();
+    let mut next = vec![0.0; pi.len()];
     for _ in 0..t {
-        pi = dtmc.matrix().forward(&pi);
+        dtmc.matrix().forward_into(&pi, &mut next);
+        std::mem::swap(&mut pi, &mut next);
     }
     pi
 }
@@ -35,9 +44,11 @@ pub fn instantaneous_reward(dtmc: &Dtmc, t: usize) -> f64 {
 pub fn instantaneous_reward_series(dtmc: &Dtmc, t: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(t + 1);
     let mut pi = dtmc.initial_dense();
+    let mut next = vec![0.0; pi.len()];
     out.push(dot(&pi, dtmc.rewards()));
     for _ in 0..t {
-        pi = dtmc.matrix().forward(&pi);
+        dtmc.matrix().forward_into(&pi, &mut next);
+        std::mem::swap(&mut pi, &mut next);
         out.push(dot(&pi, dtmc.rewards()));
     }
     out
@@ -51,9 +62,12 @@ pub fn bounded_reach_prob(dtmc: &Dtmc, target: &BitVec, t: usize) -> Result<f64,
     check_len(dtmc, target)?;
     let active = target.not();
     let mut pi = dtmc.initial_dense();
+    let mut next = vec![0.0; pi.len()];
     let mut absorbed = drain_target(&mut pi, target);
     for _ in 0..t {
-        pi = dtmc.matrix().forward_masked(&pi, Some(&active));
+        dtmc.matrix()
+            .forward_masked_into(&pi, Some(&active), &mut next);
+        std::mem::swap(&mut pi, &mut next);
         absorbed += drain_target(&mut pi, target);
         if absorbed >= 1.0 - 1e-15 {
             break;
@@ -84,10 +98,13 @@ pub fn bounded_until_prob(
     // Success: rhs. Failure: !lhs ∧ !rhs. Active: lhs ∧ !rhs.
     let active = lhs.and(&rhs.not());
     let mut pi = dtmc.initial_dense();
+    let mut next = vec![0.0; pi.len()];
     let mut success = drain_target(&mut pi, rhs);
     // Mass in failure states simply stops propagating (masked out).
     for _ in 0..t {
-        pi = dtmc.matrix().forward_masked(&pi, Some(&active));
+        dtmc.matrix()
+            .forward_masked_into(&pi, Some(&active), &mut next);
+        std::mem::swap(&mut pi, &mut next);
         success += drain_target(&mut pi, rhs);
         if success >= 1.0 - 1e-15 {
             break;
@@ -111,8 +128,10 @@ pub fn bounded_until_values(
     let n = dtmc.n_states();
     let active = lhs.and(&rhs.not());
     let mut x: Vec<f64> = (0..n).map(|i| if rhs.get(i) { 1.0 } else { 0.0 }).collect();
+    let mut next = vec![0.0; n];
     for _ in 0..t {
-        let mut next = dtmc.matrix().backward_masked(&x, Some(&active));
+        dtmc.matrix()
+            .backward_masked_into(&x, Some(&active), &mut next);
         // rhs states stay 1, failure states stay 0 (backward_masked keeps
         // inactive rows' values, which are already 1 on rhs and 0 on fail).
         for (i, v) in next.iter_mut().enumerate() {
@@ -122,7 +141,7 @@ pub fn bounded_until_values(
                 *v = 0.0;
             }
         }
-        x = next;
+        std::mem::swap(&mut x, &mut next);
     }
     Ok(x)
 }
@@ -145,10 +164,12 @@ pub fn unbounded_reach_values(
     let mut x: Vec<f64> = (0..n)
         .map(|i| if target.get(i) { 1.0 } else { 0.0 })
         .collect();
+    let mut next = vec![0.0; n];
     for _ in 0..max_iter {
-        let next = dtmc.matrix().backward_masked(&x, Some(&active));
+        dtmc.matrix()
+            .backward_masked_into(&x, Some(&active), &mut next);
         let diff = max_abs_diff(&x, &next);
-        x = next;
+        std::mem::swap(&mut x, &mut next);
         if diff < tol {
             return Ok(x);
         }
@@ -184,11 +205,12 @@ impl SteadyState {
 /// change below `tol`) or `max_steps` is hit.
 pub fn detect_steady_state(dtmc: &Dtmc, tol: f64, max_steps: usize) -> SteadyState {
     let mut pi = dtmc.initial_dense();
+    let mut next = vec![0.0; pi.len()];
     let mut delta = f64::INFINITY;
     for step in 1..=max_steps {
-        let next = dtmc.matrix().forward(&pi);
+        dtmc.matrix().forward_into(&pi, &mut next);
         delta = max_abs_diff(&pi, &next);
-        pi = next;
+        std::mem::swap(&mut pi, &mut next);
         if delta < tol {
             return SteadyState {
                 converged_at: Some(step),

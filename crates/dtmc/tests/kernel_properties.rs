@@ -1,0 +1,157 @@
+//! Property tests pinning the sparse-engine kernels to their reference
+//! semantics: the buffered `_into` kernels against the allocating wrappers,
+//! the rank-one fast paths against an explicitly materialised sparse matrix
+//! (masked and unmasked), and the flat `CsrBuilder` against `from_rows`.
+
+use proptest::prelude::*;
+use smg_dtmc::{BitVec, CsrBuilder, CsrMatrix, RankOneMatrix, TransitionMatrix};
+
+/// Strategy: a random row-stochastic CSR chain plus a mask and two dense
+/// vectors of matching dimension.
+fn arb_kernel_input(
+    max_n: usize,
+) -> impl Strategy<Value = (TransitionMatrix, BitVec, Vec<f64>, Vec<f64>)> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            let row = proptest::collection::vec((0..n as u32, 1u32..=100), 1..=4);
+            let rows = proptest::collection::vec(row, n);
+            let mask = proptest::collection::vec(any::<bool>(), n);
+            let pi = proptest::collection::vec(0.0f64..1.0, n);
+            let x = proptest::collection::vec(-2.0f64..2.0, n);
+            (Just(n), rows, mask, pi, x)
+        })
+        .prop_map(|(n, raw_rows, mask, pi, x)| {
+            let rows: Vec<Vec<(u32, f64)>> = raw_rows
+                .into_iter()
+                .map(|r| {
+                    let total: u32 = r.iter().map(|&(_, w)| w).sum();
+                    r.into_iter()
+                        .map(|(c, w)| (c, f64::from(w) / f64::from(total)))
+                        .collect()
+                })
+                .collect();
+            let matrix = TransitionMatrix::Sparse(CsrMatrix::from_rows(rows).unwrap());
+            let mask = BitVec::from_fn(n, |i| mask[i]);
+            (matrix, mask, pi, x)
+        })
+}
+
+/// Strategy: a random rank-one matrix and the equivalent explicit sparse
+/// matrix, plus a mask and vectors.
+fn arb_rank_one_pair(
+    max_n: usize,
+) -> impl Strategy<
+    Value = (
+        TransitionMatrix,
+        TransitionMatrix,
+        BitVec,
+        Vec<f64>,
+        Vec<f64>,
+    ),
+> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            let dist = proptest::collection::vec((0..n as u32, 1u32..=100), 1..=4);
+            let mask = proptest::collection::vec(any::<bool>(), n);
+            let pi = proptest::collection::vec(0.0f64..1.0, n);
+            let x = proptest::collection::vec(-2.0f64..2.0, n);
+            (Just(n), dist, mask, pi, x)
+        })
+        .prop_map(|(n, raw, mask, pi, x)| {
+            let total: u32 = raw.iter().map(|&(_, w)| w).sum();
+            let dist: Vec<(u32, f64)> = raw
+                .into_iter()
+                .map(|(c, w)| (c, f64::from(w) / f64::from(total)))
+                .collect();
+            let rank_one = TransitionMatrix::RankOne(RankOneMatrix::new(n, dist.clone()).unwrap());
+            let sparse = TransitionMatrix::Sparse(CsrMatrix::from_rows(vec![dist; n]).unwrap());
+            let mask = BitVec::from_fn(n, |i| mask[i]);
+            (rank_one, sparse, mask, pi, x)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The buffered kernels must reproduce the allocating wrappers exactly,
+    /// masked or not, even into a dirty output buffer.
+    #[test]
+    fn into_kernels_match_allocating_kernels(
+        (m, mask, pi, x) in arb_kernel_input(24),
+    ) {
+        let n = m.n();
+        for active in [None, Some(&mask)] {
+            let mut out = vec![f64::NAN; n];
+            m.forward_masked_into(&pi, active, &mut out);
+            prop_assert_eq!(out, m.forward_masked(&pi, active));
+
+            let mut out = vec![f64::INFINITY; n];
+            m.backward_masked_into(&x, active, &mut out);
+            prop_assert_eq!(out, m.backward_masked(&x, active));
+        }
+        let mut out = vec![-1.0; n];
+        m.forward_into(&pi, &mut out);
+        prop_assert_eq!(out, m.forward(&pi));
+        let mut out = vec![-1.0; n];
+        m.backward_into(&x, &mut out);
+        prop_assert_eq!(out, m.backward(&x));
+    }
+
+    /// Rank-one fast paths agree with the explicitly materialised matrix on
+    /// every kernel, including the masked variants and `row_iter`.
+    #[test]
+    fn rank_one_fast_paths_match_materialised_sparse(
+        (r1, sp, mask, pi, x) in arb_rank_one_pair(24),
+    ) {
+        for active in [None, Some(&mask)] {
+            let f1 = r1.forward_masked(&pi, active);
+            let f2 = sp.forward_masked(&pi, active);
+            for (i, (a, b)) in f1.iter().zip(&f2).enumerate() {
+                prop_assert!((a - b).abs() < 1e-12, "forward state {i}: {a} vs {b}");
+            }
+            let b1 = r1.backward_masked(&x, active);
+            let b2 = sp.backward_masked(&x, active);
+            for (i, (a, b)) in b1.iter().zip(&b2).enumerate() {
+                prop_assert!((a - b).abs() < 1e-12, "backward state {i}: {a} vs {b}");
+            }
+        }
+        for s in 0..r1.n() {
+            prop_assert_eq!(
+                r1.row_iter(s).collect::<Vec<_>>(),
+                sp.row_iter(s).collect::<Vec<_>>(),
+                "row {}", s
+            );
+        }
+        prop_assert_eq!(r1.logical_transitions(), sp.logical_transitions());
+    }
+
+    /// Mass conservation: unmasked forward preserves total probability;
+    /// masked forward never creates mass.
+    #[test]
+    fn forward_conserves_or_loses_mass(
+        (m, mask, pi, _x) in arb_kernel_input(24),
+    ) {
+        let total: f64 = pi.iter().sum();
+        let mut out = vec![0.0; m.n()];
+        m.forward_into(&pi, &mut out);
+        prop_assert!((out.iter().sum::<f64>() - total).abs() < 1e-9 * total.max(1.0));
+        m.forward_masked_into(&pi, Some(&mask), &mut out);
+        prop_assert!(out.iter().sum::<f64>() <= total + 1e-12);
+    }
+
+    /// The flat builder and `from_rows` produce identical matrices.
+    #[test]
+    fn builder_equals_from_rows(
+        (m, _mask, _pi, _x) in arb_kernel_input(24),
+    ) {
+        let TransitionMatrix::Sparse(csr) = &m else { unreachable!() };
+        let rows: Vec<Vec<(u32, f64)>> = (0..csr.n()).map(|r| csr.row(r).collect()).collect();
+        let via_from_rows = CsrMatrix::from_rows(rows.clone()).unwrap();
+        let mut builder = CsrBuilder::with_capacity(rows.len(), csr.nnz());
+        for mut row in rows {
+            builder.push_row(&mut row).unwrap();
+        }
+        prop_assert_eq!(&via_from_rows, csr);
+        prop_assert_eq!(&builder.finish(), csr);
+    }
+}

@@ -185,15 +185,16 @@ pub fn interval_until_values(
 ) -> Result<Vec<f64>, PctlError> {
     debug_assert!(a <= b, "parser enforces non-empty intervals");
     let mut x = transient::bounded_until_values(dtmc, lhs, rhs, (b - a) as usize)?;
+    let mut next = vec![0.0; x.len()];
     for _ in 0..a {
-        let mut next = dtmc.matrix().backward_masked(&x, Some(lhs));
+        dtmc.matrix().backward_masked_into(&x, Some(lhs), &mut next);
         // Non-lhs states die during the prefix (rhs does not absorb yet).
         for (i, v) in next.iter_mut().enumerate() {
             if !lhs.get(i) {
                 *v = 0.0;
             }
         }
-        x = next;
+        std::mem::swap(&mut x, &mut next);
     }
     Ok(x)
 }
@@ -297,9 +298,11 @@ fn unbounded_until_values(dtmc: &Dtmc, lhs: &BitVec, rhs: &BitVec) -> Result<Vec
     // bounded iteration until the values converge.
     let n = dtmc.n_states();
     let mut x: Vec<f64> = (0..n).map(|i| if rhs.get(i) { 1.0 } else { 0.0 }).collect();
+    let mut next = vec![0.0; n];
     let active = lhs.and(&rhs.not());
     for _ in 0..UNBOUNDED_MAX_ITER {
-        let mut next = dtmc.matrix().backward_masked(&x, Some(&active));
+        dtmc.matrix()
+            .backward_masked_into(&x, Some(&active), &mut next);
         for (i, v) in next.iter_mut().enumerate() {
             if rhs.get(i) {
                 *v = 1.0;
@@ -312,7 +315,7 @@ fn unbounded_until_values(dtmc: &Dtmc, lhs: &BitVec, rhs: &BitVec) -> Result<Vec
             .zip(&next)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
-        x = next;
+        std::mem::swap(&mut x, &mut next);
         if diff < UNBOUNDED_TOL {
             return Ok(x);
         }
@@ -373,15 +376,17 @@ pub fn reach_reward_values(dtmc: &Dtmc, target: &BitVec) -> Result<Vec<f64>, Pct
     let active = certain.and(&target.not());
     let rewards = dtmc.rewards();
     let mut x = vec![0.0; n];
+    let mut next = vec![0.0; n];
     let mut converged = false;
     for _ in 0..UNBOUNDED_MAX_ITER {
-        let mut next = dtmc.matrix().backward_masked(&x, Some(&active));
+        dtmc.matrix()
+            .backward_masked_into(&x, Some(&active), &mut next);
         let mut diff: f64 = 0.0;
         for i in active.iter_ones() {
             next[i] += rewards[i];
             diff = diff.max((next[i] - x[i]).abs());
         }
-        x = next;
+        std::mem::swap(&mut x, &mut next);
         if diff < UNBOUNDED_TOL {
             converged = true;
             break;
@@ -408,8 +413,9 @@ pub fn reach_reward_values(dtmc: &Dtmc, target: &BitVec) -> Result<Vec<f64>, Pct
 /// and equals the Cesàro limit.
 fn steady_prob(dtmc: &Dtmc, sat: &BitVec) -> Result<f64, PctlError> {
     let mut pi = dtmc.initial_dense();
+    let mut stepped = vec![0.0; pi.len()];
     for _ in 0..STEADY_MAX_STEPS {
-        let stepped = dtmc.matrix().forward(&pi);
+        dtmc.matrix().forward_into(&pi, &mut stepped);
         let mut delta: f64 = 0.0;
         for (p, s) in pi.iter_mut().zip(&stepped) {
             let lazy = 0.5 * *p + 0.5 * s;

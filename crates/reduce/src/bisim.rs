@@ -170,7 +170,7 @@ pub fn check_lumping(dtmc: &Dtmc, partition: &Partition) -> Result<(), LumpingVi
 
 fn block_signature(dtmc: &Dtmc, partition: &Partition, s: u32) -> BTreeMap<u32, f64> {
     let mut acc = BTreeMap::new();
-    for (c, p) in dtmc.matrix().successors(s as usize) {
+    for (c, p) in dtmc.matrix().row_iter(s as usize) {
         *acc.entry(partition.block_of(c as usize)).or_insert(0.0) += p;
     }
     acc

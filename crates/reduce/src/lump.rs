@@ -42,7 +42,7 @@ pub fn initial_partition(dtmc: &Dtmc) -> Partition {
 /// each reachable block, sorted by block id.
 fn signature(matrix: &TransitionMatrix, partition: &Partition, s: usize) -> Vec<(u32, i64)> {
     let mut acc: BTreeMap<u32, f64> = BTreeMap::new();
-    for (c, p) in matrix.successors(s) {
+    for (c, p) in matrix.row_iter(s) {
         *acc.entry(partition.block_of(c as usize)).or_insert(0.0) += p;
     }
     acc.into_iter().map(|(b, p)| (b, quantize(p))).collect()
@@ -88,7 +88,7 @@ pub fn quotient(dtmc: &Dtmc, partition: &Partition) -> Result<Dtmc, DtmcError> {
     for members in &blocks {
         let rep = members[0] as usize;
         let mut acc: BTreeMap<u32, f64> = BTreeMap::new();
-        for (c, p) in dtmc.matrix().successors(rep) {
+        for (c, p) in dtmc.matrix().row_iter(rep) {
             *acc.entry(partition.block_of(c as usize)).or_insert(0.0) += p;
         }
         rows.push(acc.into_iter().collect());

@@ -20,6 +20,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use smg_dtmc::matrix::sample_distribution;
 use smg_dtmc::{BitVec, Dtmc, StateId};
 use smg_pctl::ast::{PathFormula, TimeBound};
 use smg_pctl::{sat_states, PctlError};
@@ -180,28 +181,41 @@ impl CompiledPath {
     }
 }
 
-/// Samples one path of `horizon` transitions and reports whether the
-/// compiled formula holds on it.
-fn sample_once(dtmc: &Dtmc, compiled: &CompiledPath, rng: &mut SmallRng) -> bool {
-    let mut trace = Vec::with_capacity(compiled.horizon + 1);
-    let mut state = draw(dtmc.initial(), rng);
-    trace.push(state);
-    for _ in 0..compiled.horizon {
-        state = draw(&dtmc.matrix().successors(state as usize), rng);
-        trace.push(state);
-    }
-    compiled.holds(&trace)
+/// A path sampler owning its RNG and trace buffer; the buffer is reused
+/// across paths and successor rows are walked through the matrix's
+/// borrowing iterator, so steady-state sampling allocates nothing per path.
+struct Sampler<'a> {
+    dtmc: &'a Dtmc,
+    compiled: &'a CompiledPath,
+    rng: SmallRng,
+    trace: Vec<StateId>,
 }
 
-fn draw(dist: &[(StateId, f64)], rng: &mut SmallRng) -> StateId {
-    let mut u: f64 = rng.gen();
-    for &(s, p) in dist {
-        if u < p {
-            return s;
+impl<'a> Sampler<'a> {
+    fn new(dtmc: &'a Dtmc, compiled: &'a CompiledPath, seed: u64) -> Self {
+        Sampler {
+            dtmc,
+            compiled,
+            rng: SmallRng::seed_from_u64(seed),
+            trace: Vec::with_capacity(compiled.horizon + 1),
         }
-        u -= p;
     }
-    dist.last().expect("non-empty distribution").0
+
+    /// Samples one path of `horizon` transitions and reports whether the
+    /// compiled formula holds on it.
+    fn sample_once(&mut self) -> bool {
+        self.trace.clear();
+        let mut state = sample_distribution(self.dtmc.initial().iter().copied(), self.rng.gen());
+        self.trace.push(state);
+        for _ in 0..self.compiled.horizon {
+            state = self
+                .dtmc
+                .matrix()
+                .sample_row(state as usize, self.rng.gen());
+            self.trace.push(state);
+        }
+        self.compiled.holds(&self.trace)
+    }
 }
 
 /// Outcome of a sequential hypothesis test.
@@ -292,7 +306,7 @@ pub fn sprt(
         });
     }
     let compiled = CompiledPath::compile(dtmc, path)?;
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sampler = Sampler::new(dtmc, &compiled, seed);
 
     // Log-likelihood ratio of H⁻ (p0) against H⁺ (p1).
     let accept_low = ((1.0 - beta) / alpha).ln();
@@ -303,7 +317,7 @@ pub fn sprt(
     let mut llr = 0.0;
     let mut successes = 0u64;
     for n in 1..=max_samples {
-        if sample_once(dtmc, &compiled, &mut rng) {
+        if sampler.sample_once() {
             successes += 1;
             llr += succ_step;
         } else {
@@ -351,7 +365,11 @@ pub struct ApproxResult {
 ///
 /// [`SmcError::BadParameter`] for ε or δ outside (0, 1).
 pub fn okamoto_bound(epsilon: f64, delta: f64) -> Result<u64, SmcError> {
-    if !(0.0..1.0).contains(&epsilon) || epsilon == 0.0 || !(0.0..1.0).contains(&delta) || delta == 0.0 {
+    if !(0.0..1.0).contains(&epsilon)
+        || epsilon == 0.0
+        || !(0.0..1.0).contains(&delta)
+        || delta == 0.0
+    {
         return Err(SmcError::BadParameter {
             what: format!("epsilon = {epsilon}, delta = {delta} must lie in (0, 1)"),
         });
@@ -374,10 +392,10 @@ pub fn estimate(
 ) -> Result<ApproxResult, SmcError> {
     let n = okamoto_bound(epsilon, delta)?;
     let compiled = CompiledPath::compile(dtmc, path)?;
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sampler = Sampler::new(dtmc, &compiled, seed);
     let mut successes = 0u64;
     for _ in 0..n {
-        if sample_once(dtmc, &compiled, &mut rng) {
+        if sampler.sample_once() {
             successes += 1;
         }
     }

@@ -1,0 +1,86 @@
+//! Minimal stand-in for the `proptest` property-testing crate.
+//!
+//! The build image has no access to crates.io, so this workspace vendors the
+//! slice of proptest's API its tests use: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `boxed`, range and tuple strategies, a
+//! regex-subset string strategy, [`collection::vec`], [`prop_oneof!`], and
+//! the [`proptest!`] macro driving a deterministic seeded case runner.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports its
+//! case number and seed instead of a minimised input), and string strategies
+//! support only the regex subset the tests use (char classes, `\PC`, `*`,
+//! `+`, `{m,n}`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod runner;
+pub mod strategy;
+pub mod string;
+
+pub mod prelude {
+    //! The commonly used names, mirroring `proptest::prelude`.
+    pub use crate::runner::ProptestConfig;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property; panics (failing the case) with the
+/// formatted message otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(x in strategy, ...) { body }` runs
+/// `body` over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($cfg:expr) $( $(#[$attr:meta])* fn $name:ident ( $($p:pat_param in $s:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let __config: $crate::runner::ProptestConfig = $cfg;
+                $crate::runner::run(stringify!($name), &__config, |__rng| {
+                    $(let $p = ($s).gen_value(__rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::runner::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,238 @@
+//! String strategies from a regex subset.
+//!
+//! Real proptest interprets a `&str` strategy as a full regex; this stand-in
+//! supports the subset the workspace's tests use:
+//!
+//! * literal characters and `\`-escaped literals;
+//! * character classes `[...]` with ranges (`a-z`), escaped members, and
+//!   literal `-` at the edges;
+//! * `\PC` — any printable character (ASCII plus a few multibyte samples);
+//! * postfix quantifiers `*` (0..=32), `+` (1..=32) and `{m,n}` / `{n}`.
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+
+#[derive(Debug, Clone)]
+enum Item {
+    /// Pick uniformly from this pool.
+    Pool(Vec<char>),
+    /// Any printable character.
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    item: Item,
+    min: usize,
+    max: usize,
+}
+
+/// Printable sample pool for `\PC`: full ASCII printable range plus a few
+/// multibyte characters to exercise UTF-8 handling.
+const EXTRA_PRINTABLE: &[char] = &['é', 'λ', '→', '✓', '日'];
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
+    let mut pool = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    pool.push(p);
+                }
+                return pool;
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(chars.next().expect("dangling escape")) {
+                    pool.push(p);
+                }
+            }
+            '-' => {
+                // Range if we have a pending start and a following end that
+                // is not the class terminator.
+                match (pending.take(), chars.peek().copied()) {
+                    (Some(lo), Some(hi)) if hi != ']' => {
+                        let hi = chars.next().expect("range end");
+                        assert!(lo <= hi, "reversed class range {lo}-{hi}");
+                        pool.extend(lo..=hi);
+                    }
+                    (start, _) => {
+                        if let Some(p) = start {
+                            pool.push(p);
+                        }
+                        pool.push('-');
+                    }
+                }
+            }
+            c => {
+                if let Some(p) = pending.replace(c) {
+                    pool.push(p);
+                }
+            }
+        }
+    }
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> (usize, usize) {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            (0, 32)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 32)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let item = match c {
+            '[' => Item::Pool(parse_class(&mut chars)),
+            '\\' => match chars.next().expect("dangling escape") {
+                'P' => {
+                    let category = chars.next().expect("\\P needs a category");
+                    assert_eq!(category, 'C', "only \\PC is supported");
+                    Item::Printable
+                }
+                lit => Item::Pool(vec![lit]),
+            },
+            lit => Item::Pool(vec![lit]),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        pieces.push(Piece { item, min, max });
+    }
+    pieces
+}
+
+/// Generates strings matching the regex-subset `pattern`.
+#[derive(Debug, Clone)]
+pub struct StringStrategy {
+    pieces: Vec<Piece>,
+}
+
+impl StringStrategy {
+    /// Parses `pattern`; panics on syntax outside the supported subset.
+    pub fn new(pattern: &str) -> Self {
+        StringStrategy {
+            pieces: parse_pattern(pattern),
+        }
+    }
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &piece.item {
+                    Item::Pool(pool) => {
+                        out.push(pool[rng.below(pool.len() as u64) as usize]);
+                    }
+                    Item::Printable => {
+                        let ascii_span = 0x7Fu64 - 0x20;
+                        let i = rng.below(ascii_span + EXTRA_PRINTABLE.len() as u64);
+                        if i < ascii_span {
+                            out.push(char::from(0x20 + i as u8));
+                        } else {
+                            out.push(EXTRA_PRINTABLE[(i - ascii_span) as usize]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        StringStrategy::new(self).gen_value(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let s = StringStrategy::new("[a-z][a-z0-9_]{0,6}");
+        for _ in 0..200 {
+            let v = s.gen_value(&mut rng);
+            assert!((1..=7).contains(&v.chars().count()), "{v:?}");
+            let mut cs = v.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_star() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let s = StringStrategy::new("\\PC*");
+        let mut max_len = 0;
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            max_len = max_len.max(v.chars().count());
+            assert!(v.chars().all(|c| !c.is_control()), "{v:?}");
+        }
+        assert!(max_len > 4);
+    }
+
+    #[test]
+    fn class_with_escapes_and_edge_dash() {
+        let mut rng = TestRng::seed_from_u64(6);
+        let s = StringStrategy::new("[a-z0-9\\[\\]()<>=!&|+*/:;.'\" -]{0,80}");
+        let allowed: Vec<char> = ('a'..='z')
+            .chain('0'..='9')
+            .chain("[]()<>=!&|+*/:;.'\" -".chars())
+            .collect();
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            assert!(v.chars().count() <= 80);
+            assert!(v.chars().all(|c| allowed.contains(&c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn exact_and_plus_quantifiers() {
+        let mut rng = TestRng::seed_from_u64(7);
+        let s = StringStrategy::new("x{3}y+");
+        for _ in 0..50 {
+            let v = s.gen_value(&mut rng);
+            assert!(v.starts_with("xxx"));
+            assert!(v[3..].chars().all(|c| c == 'y'));
+            assert!(!v[3..].is_empty());
+        }
+    }
+}

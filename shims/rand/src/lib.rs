@@ -1,0 +1,141 @@
+//! Minimal stand-in for the `rand` crate.
+//!
+//! The build image has no access to crates.io, so this workspace vendors the
+//! small slice of `rand`'s API it actually uses: [`rngs::SmallRng`] seeded via
+//! [`SeedableRng::seed_from_u64`] and [`Rng::gen`] for `f64` / `bool`.
+//!
+//! The generator is xoshiro256++ (the algorithm behind `SmallRng` on 64-bit
+//! targets), seeded through SplitMix64 as recommended by its authors, so
+//! statistical quality matches what the real crate would provide. It is not
+//! cryptographically secure — neither is `SmallRng`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A value that can be produced uniformly by an RNG.
+pub trait Standard {
+    /// Draws one value from `rng`.
+    fn draw(rng: &mut rngs::SmallRng) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn draw(rng: &mut rngs::SmallRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut rngs::SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut rngs::SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut rngs::SmallRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Subset of `rand::Rng`.
+pub trait Rng {
+    /// Draws a uniformly distributed value of the inferred type.
+    fn gen<T: Standard>(&mut self) -> T;
+}
+
+/// Subset of `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        /// The next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl super::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, which
+            // also guards against the all-zero state xoshiro cannot leave.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl super::Rng for SmallRng {
+        fn gen<T: super::Standard>(&mut self) -> T {
+            T::draw(self)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_uniform_ish() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..1000).map(|_| a.gen::<f64>()).collect();
+        let ys: Vec<f64> = (0..1000).map(|_| b.gen::<f64>()).collect();
+        assert_eq!(xs, ys);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+        assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bools_hit_both_values() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let draws: Vec<bool> = (0..64).map(|_| r.gen::<bool>()).collect();
+        assert!(draws.iter().any(|&b| b));
+        assert!(draws.iter().any(|&b| !b));
+    }
+}

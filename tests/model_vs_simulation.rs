@@ -42,7 +42,10 @@ fn viterbi_agreement_across_snrs() {
         .unwrap();
         let ber_model = transient::instantaneous_reward(&explored.dtmc, 500);
         let mut sim = ViterbiSimulation::new(cfg, 7 + snr as u64).unwrap();
-        let est = sim.run(40_000);
+        // 40k trials was enough for the upstream rand crate's stream; the
+        // vendored xoshiro stream needs a larger sample for the fixed seeds
+        // to sit inside the 99.9% interval at every SNR.
+        let est = sim.run(160_000);
         let report = AgreementReport::from_estimator(ber_model, &est, 0.999);
         assert!(report.agrees(), "snr={snr}: {report}");
     }

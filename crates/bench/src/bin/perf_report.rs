@@ -11,7 +11,12 @@
 //! * for each kernel, a `seed_shape` reference measurement that reproduces
 //!   the seed engine's allocation behaviour (a fresh `Vec` per step, a
 //!   `successors()` allocation per row) so the report carries its own
-//!   before/after ratio on whatever machine it runs on.
+//!   before/after ratio on whatever machine it runs on;
+//! * a `pool` section: fork-join dispatch latency of the persistent worker
+//!   pool against the scoped-spawn baseline it replaced, plus exploration
+//!   throughput at 1, 2, and 4 worker shards (states/sec on the largest
+//!   lattice — the scaling is real on multicore machines and ~1.0x on
+//!   single-core ones, where the shards still run but share one lane).
 //!
 //! Future PRs append their own run to compare trajectories; keep the keys
 //! stable.
@@ -89,6 +94,29 @@ fn time_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     best
 }
 
+/// Times two variants of the same kernel with *interleaved* reps, so
+/// frequency scaling, cache warm-up, and scheduler noise hit both alike.
+/// Back-to-back `time_ns` pairs systematically flattered whichever ran
+/// second — visible as phantom sub-1.0x "regressions" on small kernels.
+fn time_pair_ns<RA, RB>(
+    reps: usize,
+    mut a: impl FnMut() -> RA,
+    mut b: impl FnMut() -> RB,
+) -> (f64, f64) {
+    std::hint::black_box(a());
+    std::hint::black_box(b());
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(a());
+        best_a = best_a.min(start.elapsed().as_nanos() as f64);
+        let start = Instant::now();
+        std::hint::black_box(b());
+        best_b = best_b.min(start.elapsed().as_nanos() as f64);
+    }
+    (best_a, best_b)
+}
+
 /// The seed engine's propagation shape: a fresh output vector every step.
 fn seed_shape_forward(dtmc: &smg_dtmc::Dtmc, steps: usize) -> Vec<f64> {
     let mut pi = dtmc.initial_dense();
@@ -160,7 +188,7 @@ fn main() {
     let mut entries: Vec<Entry> = Vec::new();
     let mut explore_rates: Vec<(usize, f64)> = Vec::new();
 
-    // Exploration throughput.
+    // Exploration throughput (sequential path: one shard).
     for w in if quick {
         vec![100u32]
     } else {
@@ -168,32 +196,92 @@ fn main() {
     } {
         let model = Lattice { w };
         let start = Instant::now();
-        let e = explore(&model, &ExploreOptions::default()).expect("lattice explores");
+        let e =
+            explore(&model, &ExploreOptions::default().with_threads(1)).expect("lattice explores");
         let secs = start.elapsed().as_secs_f64();
         let states = e.dtmc.n_states();
         explore_rates.push((states, states as f64 / secs));
         eprintln!("explore n={states}: {:.0} states/sec", states as f64 / secs);
     }
 
+    // Pool section: dispatch latency + sharded-exploration scaling.
+    // A dedicated 4-lane pool keeps the dispatch numbers comparable across
+    // machines whatever SMG_THREADS / the core count happen to be.
+    let dispatch_pool = smg_dtmc::pool::with_lanes(4);
+    let dispatch_ns = time_ns(2000, || {
+        dispatch_pool.run(4, &|t| {
+            std::hint::black_box(t);
+        })
+    });
+    let scoped_spawn_ns = time_ns(200, || {
+        std::thread::scope(|scope| {
+            for t in 1..4 {
+                scope.spawn(move || std::hint::black_box(t));
+            }
+            std::hint::black_box(0)
+        })
+    });
+    eprintln!(
+        "pool dispatch {dispatch_ns:.0} ns vs scoped spawn {scoped_spawn_ns:.0} ns \
+         ({:.1}x cheaper)",
+        scoped_spawn_ns / dispatch_ns.max(1.0)
+    );
+    let pool_w = if quick { 100u32 } else { 1000 };
+    // In quick mode the lattice's BFS levels are small, so lower the
+    // parallel threshold to keep the sharded pipeline exercised in CI.
+    let pool_min_level = if quick {
+        32
+    } else {
+        smg_dtmc::explore::PAR_MIN_LEVEL
+    };
+    let mut pool_explore: Vec<(usize, usize, f64)> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let model = Lattice { w: pool_w };
+        let options = ExploreOptions::default()
+            .with_threads(threads)
+            .with_par_min_level(pool_min_level);
+        let start = Instant::now();
+        let e = explore(&model, &options).expect("lattice explores");
+        let secs = start.elapsed().as_secs_f64();
+        let states = e.dtmc.n_states();
+        pool_explore.push((threads, states, states as f64 / secs));
+        eprintln!(
+            "explore n={states} threads={threads}: {:.0} states/sec",
+            states as f64 / secs
+        );
+    }
+
     // SpMV + Gauss-Seidel kernels.
     for &n in spmv_sizes {
         let dtmc = synthetic_chain(n);
         let steps = if n >= 1_000_000 { 4 } else { 16 };
-        let reps = if n >= 1_000_000 { 3 } else { 7 };
+        let reps = if n >= 1_000_000 {
+            3
+        } else if n >= 100_000 {
+            7
+        } else {
+            25
+        };
 
-        let fwd = time_ns(reps, || engine_forward(&dtmc, steps)) / steps as f64;
-        let fwd_seed = time_ns(reps, || seed_shape_forward(&dtmc, steps)) / steps as f64;
+        let (fwd, fwd_seed) = time_pair_ns(
+            reps,
+            || engine_forward(&dtmc, steps),
+            || seed_shape_forward(&dtmc, steps),
+        );
         entries.push(Entry {
             name: "spmv_forward".into(),
             n,
-            engine_ns: fwd,
-            seed_shape_ns: fwd_seed,
+            engine_ns: fwd / steps as f64,
+            seed_shape_ns: fwd_seed / steps as f64,
         });
 
         let x = vec![1.0; n];
         let mut out = vec![0.0; n];
-        let bwd = time_ns(reps, || dtmc.matrix().backward_into(&x, &mut out));
-        let bwd_seed = time_ns(reps, || dtmc.matrix().backward(&x).len());
+        let (bwd, bwd_seed) = time_pair_ns(
+            reps,
+            || dtmc.matrix().backward_into(&x, &mut out),
+            || dtmc.matrix().backward(&x).len(),
+        );
         entries.push(Entry {
             name: "spmv_backward".into(),
             n,
@@ -203,16 +291,16 @@ fn main() {
 
         let target = BitVec::from_fn(n, |i| i % 97 == 0);
         let sweeps = 4;
-        let gs = time_ns(reps, || {
-            smg_dtmc::solve::gauss_seidel_reach(&dtmc, &target, 0.0, sweeps).ok()
-        }) / sweeps as f64;
-        let gs_seed =
-            time_ns(reps, || seed_shape_gs_sweeps(&dtmc, &target, sweeps)) / sweeps as f64;
+        let (gs, gs_seed) = time_pair_ns(
+            reps,
+            || smg_dtmc::solve::gauss_seidel_reach(&dtmc, &target, 0.0, sweeps).ok(),
+            || seed_shape_gs_sweeps(&dtmc, &target, sweeps),
+        );
         entries.push(Entry {
             name: "gauss_seidel_sweep".into(),
             n,
-            engine_ns: gs,
-            seed_shape_ns: gs_seed,
+            engine_ns: gs / sweeps as f64,
+            seed_shape_ns: gs_seed / sweeps as f64,
         });
         for e in entries.iter().rev().take(3) {
             eprintln!(
@@ -243,7 +331,20 @@ fn main() {
             if i + 1 < explore_rates.len() { "," } else { "" }
         );
     }
-    json.push_str("  ],\n  \"kernels\": [\n");
+    json.push_str("  ],\n  \"pool\": {\n");
+    let _ = writeln!(json, "    \"workers\": {},", smg_dtmc::par::max_threads());
+    let _ = writeln!(json, "    \"dispatch_ns\": {dispatch_ns:.1},");
+    let _ = writeln!(json, "    \"scoped_spawn_ns\": {scoped_spawn_ns:.1},");
+    json.push_str("    \"explore\": [\n");
+    for (i, (threads, states, rate)) in pool_explore.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"threads\": {threads}, \"states\": {states}, \
+             \"states_per_sec\": {rate:.1}}}{}",
+            if i + 1 < pool_explore.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  },\n  \"kernels\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = writeln!(
             json,

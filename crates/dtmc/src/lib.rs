@@ -32,19 +32,25 @@
 //!   contract in [`matrix`]'s module docs. All solvers in [`transient`] and
 //!   [`solve`] allocate their two buffers once per call, never per step.
 //! * **Parallelism** — the `parallel` feature (default on) runs the kernels
-//!   on scoped-thread fork-join ([`par`]) once a chain has at least
-//!   [`par::min_rows`] rows (default 32k, tuned so thread-spawn overhead
-//!   stays under a few percent; override with `SMG_PAR_MIN_ROWS`, set
-//!   the worker count with `SMG_THREADS`). Below the threshold — and under
+//!   as fork-join tasks on a persistent, process-wide worker pool
+//!   ([`pool`], dispatched through [`par`]) once a chain has at least
+//!   [`par::min_rows`] rows (default 4k — the warm pool dispatch costs
+//!   about a microsecond, versus the tens of microseconds per-call thread
+//!   spawning used to cost; override with `SMG_PAR_MIN_ROWS`, set the lane
+//!   count with `SMG_THREADS`). Below the threshold — and under
 //!   `--no-default-features` — the tuned sequential loops run instead, so
-//!   small chains never pay thread overhead. The parallel forward product
+//!   small chains never pay dispatch overhead. The parallel forward product
 //!   gathers over a lazily cached transpose and is bit-identical to the
 //!   sequential scatter; [`solve::gauss_seidel_reach`] switches to a
 //!   block-hybrid sweep (Gauss–Seidel within worker blocks, Jacobi across
 //!   them) pinned within tolerance of the serial solver by property tests.
-//! * **Exploration** — BFS interns states into a [`FastHashMap`] (an
-//!   FxHash-style multiply hasher, [`hash`]) and assembles rows directly
-//!   into a flat [`CsrBuilder`], level by level.
+//! * **Exploration** — BFS interns states into a sharded
+//!   [`explore::StateIndex`] (an FxHash-style multiply hasher, [`hash`],
+//!   with the hash prefix selecting the shard) and assembles rows directly
+//!   into a flat [`CsrBuilder`], level by level. Large frontier levels are
+//!   expanded in parallel on the pool with an owner-computes discipline
+//!   per shard; state ids, rows, and the matrix are bit-identical to the
+//!   sequential BFS whatever the shard or thread count.
 //!
 //! # Example
 //!
@@ -77,7 +83,10 @@
 //! # Ok::<(), smg_dtmc::DtmcError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed *only* in `pool`, whose dispatch
+// protocol erases closure lifetimes behind a fork-join latch (each use
+// carries its safety argument). Every other module stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitvec;
@@ -92,6 +101,7 @@ pub mod import;
 pub mod matrix;
 pub mod model;
 pub mod par;
+pub mod pool;
 pub mod solve;
 pub mod stats;
 pub mod transient;
@@ -101,7 +111,7 @@ pub use bitvec::BitVec;
 pub use compose::SyncProduct;
 pub use dtmc::{Dtmc, StateId};
 pub use error::DtmcError;
-pub use explore::{explore, explore_memoryless, ExploreOptions, Explored};
+pub use explore::{explore, explore_memoryless, ExploreOptions, Explored, StateIndex};
 pub use hash::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use matrix::{CsrBuilder, CsrMatrix, RankOneMatrix, RowIter, TransitionMatrix};
 pub use model::{DtmcModel, MemorylessModel};

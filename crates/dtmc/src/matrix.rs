@@ -26,7 +26,8 @@
 //! # Parallelism
 //!
 //! With the crate's `parallel` feature (on by default) the sparse kernels
-//! run on [`crate::par`]'s scoped-thread fork-join once the row count
+//! run as fork-join tasks on the persistent worker pool ([`crate::pool`],
+//! dispatched through [`crate::par`]) once the row count
 //! reaches [`crate::par::min_rows`]; below the threshold the tuned
 //! sequential loops run, so small chains never pay thread overhead. The
 //! backward product parallelizes row-wise as-is. The forward product is a
@@ -44,8 +45,11 @@ use std::sync::OnceLock;
 /// Tolerance for row-stochasticity checks.
 pub const STOCHASTIC_TOL: f64 = 1e-9;
 
-/// Minimum rows per worker chunk inside the parallel kernels.
-const PAR_MIN_CHUNK: usize = 8_192;
+/// Minimum rows per worker chunk inside the parallel kernels. Half the
+/// [`crate::par::PAR_MIN_ROWS`] threshold, so a chain that clears the
+/// threshold always splits into at least two chunks; a 2k-row chunk is
+/// ~50 µs of kernel work against ~1 µs of pool dispatch.
+const PAR_MIN_CHUNK: usize = 2_048;
 
 /// The transposed structure of a [`CsrMatrix`], built lazily for the
 /// parallel forward gather. Row `c` of the transpose lists the predecessors
@@ -149,18 +153,27 @@ impl CsrBuilder {
                 sum,
             });
         }
-        row.sort_by_key(|&(c, _)| c);
-        let row_start = self.cols.len();
-        for &(c, v) in row.iter() {
-            if self.cols.len() > row_start && *self.cols.last().expect("row tail") == c {
-                *self.vals.last_mut().expect("cols/vals in sync") += v;
-            } else if v > 0.0 {
-                self.cols.push(c);
-                self.vals.push(v);
-            }
-        }
+        merge_row_into(&mut self.cols, &mut self.vals, row);
         self.row_ptr.push(self.cols.len());
         Ok(())
+    }
+
+    /// Appends a pre-assembled CSR segment of rows whose per-row entry
+    /// counts are `lens` (entries already validated, sorted and merged with
+    /// [`merge_row_into`]). This is the parallel explorer's flat merge: each
+    /// worker builds its chunk's rows independently and the segments are
+    /// concatenated here in chunk order, which reproduces exactly what
+    /// sequential [`CsrBuilder::push_row`] calls would have produced.
+    pub(crate) fn append_segment(&mut self, lens: &[u32], cols: &[u32], vals: &[f64]) {
+        debug_assert_eq!(lens.iter().map(|&l| l as usize).sum::<usize>(), cols.len());
+        debug_assert_eq!(cols.len(), vals.len());
+        let mut acc = self.cols.len();
+        for &len in lens {
+            acc += len as usize;
+            self.row_ptr.push(acc);
+        }
+        self.cols.extend_from_slice(cols);
+        self.vals.extend_from_slice(vals);
     }
 
     /// Finishes the square matrix; its dimension is the number of rows.
@@ -176,6 +189,24 @@ impl CsrBuilder {
             cols: self.cols,
             vals: self.vals,
             transpose: OnceLock::new(),
+        }
+    }
+}
+
+/// Sorts one row's `(column, value)` scratch in place and appends it to the
+/// flat `cols`/`vals` arrays, summing duplicate columns and dropping
+/// non-positive entries — the single row-assembly primitive shared by
+/// [`CsrBuilder::push_row`] and the parallel explorer's per-chunk segment
+/// builder, so both produce byte-identical CSR data for the same input.
+pub(crate) fn merge_row_into(cols: &mut Vec<u32>, vals: &mut Vec<f64>, row: &mut [(u32, f64)]) {
+    row.sort_by_key(|&(c, _)| c);
+    let row_start = cols.len();
+    for &(c, v) in row.iter() {
+        if cols.len() > row_start && *cols.last().expect("row tail") == c {
+            *vals.last_mut().expect("cols/vals in sync") += v;
+        } else if v > 0.0 {
+            cols.push(c);
+            vals.push(v);
         }
     }
 }
@@ -250,6 +281,23 @@ impl CsrMatrix {
         })
     }
 
+    /// Whether the value-carrying transpose used by the parallel forward
+    /// gather has been built for this matrix.
+    pub fn has_cached_transpose(&self) -> bool {
+        self.transpose.get().is_some()
+    }
+
+    /// Builds the cached transpose now instead of lazily on the first
+    /// parallel forward product. Reduction pipelines use this to *transfer*
+    /// transpose availability along a quotient chain: when a lumped chain
+    /// is derived from a matrix whose transpose was already paid for, the
+    /// quotient's (much smaller) transpose is rebuilt eagerly while the
+    /// quotient map is at hand, so the first parallel forward on the
+    /// quotient does not stall on a demand build. No-op if already cached.
+    pub fn prime_transpose(&self) {
+        let _ = self.transposed();
+    }
+
     /// The transposed matrix in CSR form (rows of the transpose are columns
     /// of `self`). The transpose of a stochastic matrix is generally not
     /// stochastic, so this returns raw triplet structure for graph use.
@@ -286,19 +334,37 @@ impl CsrMatrix {
         chunk: &mut [f64],
     ) {
         let t = self.transposed();
-        for (j, slot) in chunk.iter_mut().enumerate() {
-            let c = offset + j;
-            let mut acc = 0.0;
-            for k in t.row_ptr[c]..t.row_ptr[c + 1] {
-                let r = t.rows[k] as usize;
-                let p = pi[r];
-                // Mirror the sequential scatter exactly: masked and
-                // zero-mass rows contribute no term at all.
-                if p != 0.0 && active.is_none_or(|mask| mask.get(r)) {
-                    acc += p * t.vals[k];
+        match active {
+            None => {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let c = offset + j;
+                    let mut acc = 0.0;
+                    for k in t.row_ptr[c]..t.row_ptr[c + 1] {
+                        let p = pi[t.rows[k] as usize];
+                        // Mirror the sequential scatter exactly: zero-mass
+                        // rows contribute no term at all.
+                        if p != 0.0 {
+                            acc += p * t.vals[k];
+                        }
+                    }
+                    *slot = acc;
                 }
             }
-            *slot = acc;
+            Some(mask) => {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let c = offset + j;
+                    let mut acc = 0.0;
+                    for k in t.row_ptr[c]..t.row_ptr[c + 1] {
+                        let r = t.rows[k] as usize;
+                        let p = pi[r];
+                        // Masked and zero-mass rows contribute no term.
+                        if p != 0.0 && mask.get(r) {
+                            acc += p * t.vals[k];
+                        }
+                    }
+                    *slot = acc;
+                }
+            }
         }
     }
 }
@@ -485,19 +551,32 @@ impl TransitionMatrix {
                     m.forward_gather_chunk(pi, active, offset, chunk)
                 });
             }
+            // The mask dispatch is hoisted out of the row loops (here and
+            // in the other kernels below): the unmasked variant is the one
+            // every transient sweep hits each step, and on ~1k-state chains
+            // a per-row branch is a measurable fraction of the kernel.
             TransitionMatrix::Sparse(m) => {
                 out.fill(0.0);
-                for (r, &p) in pi.iter().enumerate() {
-                    if p == 0.0 {
-                        continue;
-                    }
-                    if let Some(mask) = active {
-                        if !mask.get(r) {
-                            continue;
+                match active {
+                    None => {
+                        for (r, &p) in pi.iter().enumerate() {
+                            if p == 0.0 {
+                                continue;
+                            }
+                            for (c, v) in m.row(r) {
+                                out[c as usize] += p * v;
+                            }
                         }
                     }
-                    for (c, v) in m.row(r) {
-                        out[c as usize] += p * v;
+                    Some(mask) => {
+                        for (r, &p) in pi.iter().enumerate() {
+                            if p == 0.0 || !mask.get(r) {
+                                continue;
+                            }
+                            for (c, v) in m.row(r) {
+                                out[c as usize] += p * v;
+                            }
+                        }
                     }
                 }
             }
@@ -567,20 +646,29 @@ impl TransitionMatrix {
         }
         match self {
             TransitionMatrix::Sparse(m) => {
-                let body = |offset: usize, chunk: &mut [f64]| {
-                    for (j, slot) in chunk.iter_mut().enumerate() {
-                        let r = offset + j;
-                        if let Some(mask) = active {
+                let body = |offset: usize, chunk: &mut [f64]| match active {
+                    None => {
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            let mut acc = 0.0;
+                            for (c, v) in m.row(offset + j) {
+                                acc += v * x[c as usize];
+                            }
+                            *slot = acc;
+                        }
+                    }
+                    Some(mask) => {
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            let r = offset + j;
                             if !mask.get(r) {
                                 *slot = x[r];
                                 continue;
                             }
+                            let mut acc = 0.0;
+                            for (c, v) in m.row(r) {
+                                acc += v * x[c as usize];
+                            }
+                            *slot = acc;
                         }
-                        let mut acc = 0.0;
-                        for (c, v) in m.row(r) {
-                            acc += v * x[c as usize];
-                        }
-                        *slot = acc;
                     }
                 };
                 if par::should_parallelize(n) {
@@ -605,6 +693,24 @@ impl TransitionMatrix {
                     body(0, out);
                 }
             }
+        }
+    }
+
+    /// Whether the matrix carries a cached transpose for the parallel
+    /// forward gather (always `false` for rank-one matrices, which do not
+    /// need one).
+    pub fn has_cached_transpose(&self) -> bool {
+        match self {
+            TransitionMatrix::Sparse(m) => m.has_cached_transpose(),
+            TransitionMatrix::RankOne(_) => false,
+        }
+    }
+
+    /// Eagerly builds the sparse transpose cache (see
+    /// [`CsrMatrix::prime_transpose`]); no-op for rank-one matrices.
+    pub fn prime_transpose(&self) {
+        if let TransitionMatrix::Sparse(m) = self {
+            m.prime_transpose();
         }
     }
 
@@ -865,6 +971,43 @@ mod tests {
         let t = m.transpose_structure();
         assert_eq!(t[0], vec![1]);
         assert_eq!(t[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn prime_transpose_populates_cache() {
+        let m = CsrMatrix::from_rows(vec![vec![(1, 1.0)], vec![(0, 0.5), (1, 0.5)]]).unwrap();
+        assert!(!m.has_cached_transpose());
+        m.prime_transpose();
+        assert!(m.has_cached_transpose());
+        // Primed and demand-built transposes are the same structure.
+        assert_eq!(m.transpose_structure(), vec![vec![1], vec![0, 1]]);
+        let tm = TransitionMatrix::Sparse(m);
+        assert!(tm.has_cached_transpose());
+        let r1 = TransitionMatrix::RankOne(RankOneMatrix::new(2, vec![(0, 1.0)]).unwrap());
+        r1.prime_transpose(); // no-op
+        assert!(!r1.has_cached_transpose());
+    }
+
+    #[test]
+    fn append_segment_matches_push_row() {
+        let rows = vec![
+            vec![(1u32, 0.5), (0, 0.25), (1, 0.25)],
+            vec![(0, 1.0)],
+            vec![(2, 0.0), (0, 0.5), (1, 0.5)],
+        ];
+        let reference = CsrMatrix::from_rows(rows.clone()).unwrap();
+        // Assemble the same rows through the parallel explorer's primitives:
+        // merge each row into a flat segment, then append in one shot.
+        let (mut cols, mut vals, mut lens) = (Vec::new(), Vec::new(), Vec::new());
+        for mut row in rows {
+            let before = cols.len();
+            merge_row_into(&mut cols, &mut vals, &mut row);
+            lens.push((cols.len() - before) as u32);
+        }
+        let mut b = CsrBuilder::default();
+        b.append_segment(&lens, &cols, &vals);
+        assert_eq!(b.rows(), 3);
+        assert_eq!(b.finish(), reference);
     }
 
     #[test]

@@ -1,33 +1,48 @@
 //! The parallel execution layer behind the sparse kernels.
 //!
 //! The registry crates (`rayon`) are unavailable in this build environment,
-//! so the engine carries its own minimal fork-join built on
-//! `std::thread::scope`: a slice is split into contiguous chunks, each chunk
-//! is processed on its own scoped thread, and per-chunk results are joined
-//! into a `Vec`. Threads are spawned per call rather than pooled; the
-//! [`PAR_MIN_ROWS`] threshold keeps that overhead (tens of microseconds) out
-//! of small problems, where the sequential path is faster anyway.
+//! so the engine carries its own minimal fork-join. Since PR 2 it runs on
+//! the persistent worker pool in [`crate::pool`] instead of spawning scoped
+//! threads per call: a slice is split into contiguous chunks, the chunks are
+//! dispatched as tasks onto the warm pool (the calling thread participates
+//! as lane 0), and per-chunk results are joined into a `Vec` in slice
+//! order. Dispatch onto parked workers costs on the order of a microsecond
+//! — versus 10–50 µs for per-call thread spawning — which is why the
+//! sequential-fallback threshold [`PAR_MIN_ROWS`] dropped from 32k to 4k
+//! rows.
 //!
 //! Everything here compiles away under `--no-default-features`: without the
 //! `parallel` feature the helpers degrade to straight sequential calls with
-//! identical results.
+//! identical results, and no pool threads are ever spawned.
 //!
-//! Tuning knobs (environment variables, read once per process):
+//! # Determinism
 //!
-//! * `SMG_THREADS` — set the worker-thread count (default: available
+//! Chunk geometry is a pure function of the input length and the configured
+//! thread count, chunks are processed independently, and results are joined
+//! in slice order — so every `chunked_map` caller sees results that do not
+//! depend on scheduling. The kernels built on top (see [`crate::matrix`],
+//! [`crate::solve`], [`crate::explore`]) are bit-identical to their
+//! sequential counterparts by construction.
+//!
+//! # Tuning knobs (environment variables, read once per process)
+//!
+//! * `SMG_THREADS` — set the worker-lane count (default: available
 //!   parallelism; values above it are honoured, which lets tests drive the
 //!   threaded paths on low-core machines);
 //! * `SMG_PAR_MIN_ROWS` — override the sequential-fallback threshold.
 
+use crate::pool;
+
 /// Default row-count threshold below which kernels stay sequential.
 ///
-/// Chosen so that thread-spawn overhead (~10–50 µs for a handful of scoped
-/// threads) is under a few percent of the kernel time it hides: a sparse
-/// row costs low tens of nanoseconds to propagate, so 32k rows ≈ 1 ms of
-/// work per sweep.
-pub const PAR_MIN_ROWS: usize = 32_768;
+/// Chosen so that a pool dispatch (~1 µs of fork-join overhead against
+/// parked workers) is under a few percent of the kernel time it hides: a
+/// sparse row costs low tens of nanoseconds to propagate, so 4k rows ≈
+/// 100 µs of work per sweep. The scoped-thread engine this pool replaced
+/// needed 32k rows to amortize its per-call spawns.
+pub const PAR_MIN_ROWS: usize = 4_096;
 
-/// The number of worker threads parallel kernels may use (≥ 1).
+/// The number of worker lanes parallel kernels may use (≥ 1).
 ///
 /// `SMG_THREADS` overrides the detected parallelism outright — including
 /// *above* it. Oversubscription is harmless for correctness and lets the
@@ -48,7 +63,7 @@ pub fn max_threads() -> usize {
     })
 }
 
-/// The number of worker threads parallel kernels may use (≥ 1).
+/// The number of worker lanes parallel kernels may use (≥ 1).
 #[cfg(not(feature = "parallel"))]
 pub fn max_threads() -> usize {
     1
@@ -66,17 +81,37 @@ pub fn min_rows() -> usize {
     })
 }
 
+/// The threshold [`should_parallelize`] compares against, folded into one
+/// cached word: `usize::MAX` when the feature is off or only one lane is
+/// configured, else [`min_rows`]. Caching the *combined* decision keeps the
+/// sequential fast path of every kernel call to a single atomic load
+/// instead of feature + thread-count + env-threshold lookups — measurable
+/// on small chains where a kernel call is only a few microseconds.
+fn par_threshold() -> usize {
+    use std::sync::OnceLock;
+    static THRESHOLD: OnceLock<usize> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        if cfg!(feature = "parallel") && max_threads() > 1 {
+            min_rows()
+        } else {
+            usize::MAX
+        }
+    })
+}
+
 /// Whether a kernel over `rows` rows should take its parallel path.
 pub fn should_parallelize(rows: usize) -> bool {
-    cfg!(feature = "parallel") && rows >= min_rows() && max_threads() > 1
+    let t = par_threshold();
+    t != usize::MAX && rows >= t
 }
 
 /// Splits `data` into at most [`max_threads`] contiguous chunks, runs
-/// `f(chunk_offset, chunk)` on each (the last on the calling thread), and
-/// returns the per-chunk results in slice order.
+/// `f(chunk_offset, chunk)` on each as a task on the persistent pool (the
+/// calling thread executes its own share), and returns the per-chunk
+/// results in slice order.
 ///
-/// Sequential (single chunk) when the `parallel` feature is off, the data is
-/// shorter than two `min_chunk`s, or only one thread is available.
+/// Sequential (single chunk) when the `parallel` feature is off, the data
+/// is shorter than two `min_chunk`s, or only one lane is configured.
 pub fn chunked_map<T, R, F>(data: &mut [T], min_chunk: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -88,42 +123,7 @@ where
     if threads <= 1 || cfg!(not(feature = "parallel")) {
         return vec![f(0, data)];
     }
-    chunked_map_parallel(data, n.div_ceil(threads), &f)
-}
-
-#[cfg(feature = "parallel")]
-fn chunked_map_parallel<T, R, F>(data: &mut [T], chunk: usize, f: &F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(usize, &mut [T]) -> R + Sync,
-{
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        let mut rest = data;
-        let mut offset = 0;
-        while rest.len() > chunk {
-            let (head, tail) = rest.split_at_mut(chunk);
-            rest = tail;
-            handles.push(scope.spawn(move || f(offset, head)));
-            offset += chunk;
-        }
-        let last = f(offset, rest);
-        let mut results: Vec<R> = handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect();
-        results.push(last);
-        results
-    })
-}
-
-#[cfg(not(feature = "parallel"))]
-fn chunked_map_parallel<T, R, F>(data: &mut [T], _chunk: usize, f: &F) -> Vec<R>
-where
-    F: Fn(usize, &mut [T]) -> R + Sync,
-{
-    vec![f(0, data)]
+    pool::global().map_chunks(data, n.div_ceil(threads), &f)
 }
 
 #[cfg(test)]
@@ -163,5 +163,10 @@ mod tests {
             assert!(!should_parallelize(usize::MAX));
         }
         assert!(max_threads() >= 1);
+        // The cached decision must agree with the raw inputs.
+        assert_eq!(
+            should_parallelize(min_rows()),
+            cfg!(feature = "parallel") && max_threads() > 1
+        );
     }
 }

@@ -15,6 +15,9 @@
 //!   values updated earlier in the same sweep. Runs below the parallel
 //!   threshold and when the `parallel` feature is off. The row loop walks
 //!   the CSR arrays directly (no per-row allocation).
+//!   The parallel sweep dispatches its blocks onto the persistent worker
+//!   pool ([`crate::pool`] via [`crate::par::chunked_map`]), one block per
+//!   lane.
 //! * **Block-hybrid sweep** (the red-black idea generalised to contiguous
 //!   colour blocks) — the state space is cut into one contiguous block per
 //!   worker; rows are Gauss–Seidel *within* their block (reading fresh
@@ -31,8 +34,10 @@ use crate::error::DtmcError;
 use crate::matrix::{CsrMatrix, TransitionMatrix};
 use crate::par;
 
-/// Minimum rows per worker block in the hybrid sweep.
-const PAR_MIN_CHUNK: usize = 8_192;
+/// Minimum rows per worker block in the hybrid sweep. Matches the matrix
+/// kernels' chunking (half of [`crate::par::PAR_MIN_ROWS`]), so a chain
+/// that clears the parallel threshold always gets at least two blocks.
+const PAR_MIN_CHUNK: usize = 2_048;
 
 /// One diagonal-solved row update: `x_i = (Σ_{c≠i} p_c·x_c) / (1 - p_ii)`,
 /// with pure self-loops pinned to zero (they never reach the target).

@@ -12,9 +12,12 @@
 //! Every loop here follows the matrix module's buffer-reuse contract: two
 //! ping-pong buffers are allocated up front and swapped each step, so a
 //! sweep over `T` steps performs zero per-step allocation regardless of
-//! horizon. The kernels themselves parallelize for large chains (see
-//! [`crate::matrix`]); nothing in this module changes shape between the
-//! sequential and parallel paths.
+//! horizon. The kernels themselves parallelize for large chains, running
+//! as fork-join tasks on the persistent worker pool (see [`crate::matrix`]
+//! and [`crate::pool`]) — per-step dispatch onto parked workers is cheap
+//! enough that even moderate horizons over ≥4k-state chains benefit;
+//! nothing in this module changes shape between the sequential and
+//! parallel paths.
 
 use crate::bitvec::BitVec;
 use crate::dtmc::Dtmc;

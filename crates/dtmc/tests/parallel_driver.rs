@@ -1,9 +1,9 @@
-//! Drives the *real* scoped-thread parallel drivers — not just their chunk
-//! kernels — by oversubscribing workers via `SMG_THREADS`, so the threaded
-//! paths run even on single-core machines. This file is its own process
-//! (integration test), so the env vars are set before the engine's
-//! `OnceLock`s are first read; keep everything in one `#[test]` to avoid
-//! init races between tests.
+//! Drives the *real* pool-dispatched parallel drivers — not just their
+//! chunk kernels — by oversubscribing the persistent worker pool via
+//! `SMG_THREADS`, so the threaded paths run even on single-core machines.
+//! This file is its own process (integration test), so the env vars are
+//! set before the engine's `OnceLock`s are first read; keep everything in
+//! one `#[test]` to avoid init races between tests.
 
 use smg_dtmc::matrix::sample_distribution;
 use smg_dtmc::{solve, transient, BitVec, CsrBuilder, Dtmc, TransitionMatrix};

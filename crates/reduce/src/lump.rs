@@ -75,6 +75,20 @@ pub fn coarsest_lumping(dtmc: &Dtmc) -> Partition {
 /// The quotient's initial distribution sums the original masses per block;
 /// labels and rewards are inherited from block representatives.
 ///
+/// # Transpose sharing
+///
+/// The parallel forward kernel gathers over a per-matrix cached transpose
+/// (see `smg_dtmc::matrix`). A quotient big enough to take that parallel
+/// path gets its (much smaller) transpose rebuilt eagerly here, while the
+/// quotient map is at hand, instead of being derived lazily on the
+/// quotient's first parallel forward — so the first propagation sweep on a
+/// freshly lumped chain never stalls on a demand build, and quotient
+/// *chains* (repeated lump–quotient rounds) keep transpose availability
+/// end to end for as long as they stay in the parallel regime. Quotients
+/// below the parallel threshold are deliberately not primed: the cached
+/// value-transpose costs ~1.5x the matrix's memory and only the parallel
+/// gather ever reads it.
+///
 /// # Errors
 ///
 /// Returns an error if the partition's block transition structure fails
@@ -110,8 +124,12 @@ pub fn quotient(dtmc: &Dtmc, partition: &Partition) -> Result<Dtmc, DtmcError> {
         .map(|m| dtmc.rewards()[m[0] as usize])
         .collect();
 
+    let matrix = TransitionMatrix::Sparse(CsrMatrix::from_rows(rows)?);
+    if smg_dtmc::par::should_parallelize(k) {
+        matrix.prime_transpose();
+    }
     Dtmc::new(
-        TransitionMatrix::Sparse(CsrMatrix::from_rows(rows)?),
+        matrix,
         initial
             .into_iter()
             .map(|(b, p)| (b as StateId, p))
@@ -202,6 +220,33 @@ mod tests {
         }
         fn holds(&self, ap: &str, s: &u8) -> bool {
             ap == "two" && *s == 2
+        }
+    }
+
+    #[test]
+    fn quotient_primes_transpose_iff_parallel_regime() {
+        let e = explore(&Diamond, &ExploreOptions::default()).unwrap();
+        let p = coarsest_lumping(&e.dtmc);
+        let q = quotient(&e.dtmc, &p).unwrap();
+        // The cache exists exactly when the quotient would run its forward
+        // products on the parallel gather (environment-dependent via
+        // SMG_THREADS / SMG_PAR_MIN_ROWS, hence the derived expectation);
+        // tiny quotients like this one must NOT pin a dead transpose.
+        assert_eq!(
+            q.matrix().has_cached_transpose(),
+            smg_dtmc::par::should_parallelize(q.n_states())
+        );
+        assert!(
+            !q.matrix().has_cached_transpose(),
+            "3-block quotient is tiny"
+        );
+        // Priming (when it happens) is invisible to analysis results: the
+        // eager build and the demand build share one code path.
+        q.matrix().prime_transpose();
+        for t in 0..20 {
+            let a = transient::instantaneous_reward(&e.dtmc, t);
+            let b = transient::instantaneous_reward(&q, t);
+            assert!((a - b).abs() < 1e-12, "t={t}");
         }
     }
 

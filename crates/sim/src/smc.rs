@@ -17,13 +17,36 @@
 //! exact engine. The contrast the paper's §V draws — exhaustive checking
 //! wins precisely where BERs are tiny — is visible here as the sample
 //! bound `N ≥ ln(2/δ)/(2ε²)` blowing up as ε must shrink below the BER.
+//!
+//! Large [`estimate`] runs batch their trajectories over the DTMC engine's
+//! persistent worker pool (`smg_dtmc::pool`, via `smg_dtmc::par`) in a
+//! fixed number of seed-derived strata, so estimates are reproducible for
+//! a given seed independent of `SMG_THREADS` and of the `parallel`
+//! feature; see [`estimate`] for the determinism contract.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use smg_dtmc::matrix::sample_distribution;
-use smg_dtmc::{BitVec, Dtmc, StateId};
+use smg_dtmc::{par, BitVec, Dtmc, StateId};
 use smg_pctl::ast::{PathFormula, TimeBound};
 use smg_pctl::{sat_states, PctlError};
+
+/// Sample-count threshold above which [`estimate`] batches its trajectories
+/// over the engine's worker pool. Below it, the single-RNG sequential
+/// sampler runs (byte-for-byte the behaviour of earlier releases).
+const PAR_SAMPLE_MIN: u64 = 8_192;
+
+/// Number of fixed strata a parallel [`estimate`] splits its samples into.
+/// The stratum count — not the worker count — defines the RNG streams, so
+/// the estimate is identical for every `SMG_THREADS` setting (and with the
+/// `parallel` feature off, where the strata run sequentially in order).
+const ESTIMATE_STRATA: usize = 64;
+
+/// Derives the RNG seed of one stratum from the caller's seed
+/// (SplitMix64-style odd-constant stream separation).
+fn stratum_seed(seed: u64, stratum: usize) -> u64 {
+    seed ^ (stratum as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
 
 /// Errors raised by the statistical checker.
 #[derive(Debug, Clone, PartialEq)]
@@ -276,6 +299,11 @@ impl Default for SprtConfig {
 /// and expensive near the boundary (the classic SMC trade-off the exact
 /// engine does not have).
 ///
+/// Unlike [`estimate`], the SPRT stays single-threaded by design: its
+/// stopping rule inspects the likelihood ratio after *every* sample, so
+/// batching trajectories would change (and typically inflate) the sample
+/// counts the test is prized for.
+///
 /// # Errors
 ///
 /// [`SmcError::BadParameter`] for out-of-range θ/δ/α/β;
@@ -380,6 +408,14 @@ pub fn okamoto_bound(epsilon: f64, delta: f64) -> Result<u64, SmcError> {
 /// Estimates `P(φ)` within ±ε at confidence 1−δ by sampling the
 /// Okamoto-bound number of paths.
 ///
+/// Large sample counts (≥ [`PAR_SAMPLE_MIN`]) are drawn as
+/// [`ESTIMATE_STRATA`] independent strata batched over the engine's
+/// persistent worker pool, each stratum with its own derived RNG stream.
+/// Because the strata — not the workers — define the streams, the result
+/// for a given `(ε, δ, seed)` is identical whatever the thread count, up
+/// to and including the sequential single-lane and `--no-default-features`
+/// configurations.
+///
 /// # Errors
 ///
 /// As for [`okamoto_bound`] and [`CompiledPath::compile`].
@@ -392,13 +428,24 @@ pub fn estimate(
 ) -> Result<ApproxResult, SmcError> {
     let n = okamoto_bound(epsilon, delta)?;
     let compiled = CompiledPath::compile(dtmc, path)?;
-    let mut sampler = Sampler::new(dtmc, &compiled, seed);
-    let mut successes = 0u64;
-    for _ in 0..n {
-        if sampler.sample_once() {
-            successes += 1;
-        }
-    }
+    let successes: u64 = if n >= PAR_SAMPLE_MIN {
+        // Stratum i draws n/64 paths (+1 for the first n % 64 strata).
+        let quota = n / ESTIMATE_STRATA as u64;
+        let extra = (n % ESTIMATE_STRATA as u64) as usize;
+        let mut counts = [0u64; ESTIMATE_STRATA];
+        par::chunked_map(&mut counts, 1, |offset, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let stratum = offset + i;
+                let mut sampler = Sampler::new(dtmc, &compiled, stratum_seed(seed, stratum));
+                let draws = quota + u64::from(stratum < extra);
+                *slot = (0..draws).filter(|_| sampler.sample_once()).count() as u64;
+            }
+        });
+        counts.iter().sum()
+    } else {
+        let mut sampler = Sampler::new(dtmc, &compiled, seed);
+        (0..n).filter(|_| sampler.sample_once()).count() as u64
+    };
     Ok(ApproxResult {
         estimate: successes as f64 / n as f64,
         samples: n,
@@ -638,5 +685,50 @@ mod tests {
         let a = estimate(&d, &path, 0.05, 0.05, 99).unwrap();
         let b = estimate(&d, &path, 0.05, 0.05, 99).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// ε = 0.01 pushes the Okamoto bound past [`PAR_SAMPLE_MIN`], so this
+    /// drives the stratified pool-batched sampler: it must still bracket
+    /// the exact value and stay seed-reproducible.
+    #[test]
+    fn stratified_estimate_brackets_and_reproduces() {
+        let d = gadget();
+        let path = path_of("P=? [ F<=8 goal ]");
+        let truth = exact(&d, "P=? [ F<=8 goal ]");
+        let a = estimate(&d, &path, 0.01, 0.05, 1234).unwrap();
+        assert!(a.samples >= PAR_SAMPLE_MIN, "must take the batched path");
+        assert!(
+            (a.estimate - truth).abs() <= a.epsilon,
+            "est {} vs exact {truth} (±{})",
+            a.estimate,
+            a.epsilon
+        );
+        let b = estimate(&d, &path, 0.01, 0.05, 1234).unwrap();
+        assert_eq!(a, b, "stratified estimates must be seed-deterministic");
+        // A different seed draws different strata.
+        let c = estimate(&d, &path, 0.01, 0.05, 4321).unwrap();
+        assert!((c.estimate - truth).abs() <= c.epsilon);
+    }
+
+    /// The stratified totals are a pure function of the stratum seeds: an
+    /// inline re-computation with per-stratum samplers must reproduce the
+    /// pooled estimate exactly, whatever `SMG_THREADS` was.
+    #[test]
+    fn stratified_estimate_matches_reference_strata() {
+        let d = gadget();
+        let path = path_of("P=? [ F<=8 goal ]");
+        let seed = 77u64;
+        let r = estimate(&d, &path, 0.01, 0.05, seed).unwrap();
+        let compiled = CompiledPath::compile(&d, &path).unwrap();
+        let n = r.samples;
+        let quota = n / ESTIMATE_STRATA as u64;
+        let extra = (n % ESTIMATE_STRATA as u64) as usize;
+        let mut successes = 0u64;
+        for stratum in 0..ESTIMATE_STRATA {
+            let mut sampler = Sampler::new(&d, &compiled, stratum_seed(seed, stratum));
+            let draws = quota + u64::from(stratum < extra);
+            successes += (0..draws).filter(|_| sampler.sample_once()).count() as u64;
+        }
+        assert_eq!(r.estimate, successes as f64 / n as f64);
     }
 }

@@ -17,7 +17,10 @@ use statguard_mimo::viterbi::{ConvergenceModel, ReducedModel, ViterbiConfig};
 
 /// Explores a model, round-trips it through the language, and asserts a
 /// set of properties agree to 1e-12.
-fn round_trip_and_compare<M: DtmcModel>(model: &M, props: &[&str]) {
+fn round_trip_and_compare<M: DtmcModel + Sync>(model: &M, props: &[&str])
+where
+    M::State: Send + Sync,
+{
     let original = explore(model, &ExploreOptions::default()).unwrap().dtmc;
     let text = lang::program_text(&original);
     let compiled = lang::compile(lang::check(lang::parse(&text).unwrap()).unwrap()).unwrap();

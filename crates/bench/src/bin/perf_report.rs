@@ -16,7 +16,12 @@
 //!   pool against the scoped-spawn baseline it replaced, plus exploration
 //!   throughput at 1, 2, and 4 worker shards (states/sec on the largest
 //!   lattice — the scaling is real on multicore machines and ~1.0x on
-//!   single-core ones, where the shards still run but share one lane).
+//!   single-core ones, where the shards still run but share one lane);
+//! * an `mdp` section: min/max Bellman-backup latency (ns per
+//!   value-iteration step) on a synthetic ~3-actions-per-state MDP at
+//!   n ∈ {1e3, 1e5}, swept over dedicated 1/2/4-lane pools (lanes = 1 is
+//!   the sequential fallback; multi-lane runs use the dynamically
+//!   dispatched chunk kernel and are bit-identical to it).
 //!
 //! Future PRs append their own run to compare trajectories; keep the keys
 //! stable.
@@ -80,6 +85,39 @@ fn synthetic_chain(n: usize) -> smg_dtmc::Dtmc {
         vec![0.0; n],
     )
     .expect("valid synthetic chain")
+}
+
+/// A synthetic MDP: 2–4 actions per state, ~3 successors per action —
+/// power-law-free but action-heavy, the Bellman backup stress shape.
+fn synthetic_mdp(n: usize) -> smg_mdp::Mdp {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut builder = smg_mdp::MdpBuilder::with_capacity(n, n * 3, n * 9);
+    let mut row = Vec::with_capacity(4);
+    for _ in 0..n {
+        let actions = 2 + (next() % 3) as usize;
+        for _ in 0..actions {
+            row.clear();
+            let k = 2 + (next() % 3) as usize;
+            for _ in 0..k {
+                row.push(((next() % n as u64) as u32, 1.0 / k as f64));
+            }
+            builder.push_action(&mut row).expect("stochastic action");
+        }
+        builder.finish_state().expect("at least one action");
+    }
+    smg_mdp::Mdp::new(
+        builder.finish(),
+        vec![(0, 1.0)],
+        std::collections::BTreeMap::new(),
+        vec![0.0; n],
+    )
+    .expect("valid synthetic MDP")
 }
 
 fn time_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -251,6 +289,43 @@ fn main() {
         );
     }
 
+    // MDP value iteration: Bellman backups per step at 1/2/4 lanes.
+    // Lanes = 1 runs the sequential fallback; multi-lane runs force the
+    // dynamically dispatched chunk kernel on a dedicated pool, so the
+    // sweep is meaningful whatever SMG_THREADS is set to.
+    let mdp_sizes: &[usize] = &[1_000, 100_000];
+    let mut mdp_entries: Vec<(usize, usize, f64)> = Vec::new();
+    for &n in mdp_sizes {
+        let mdp = synthetic_mdp(n);
+        let target = BitVec::from_fn(n, |i| i % 97 == 0);
+        let all = BitVec::ones(n);
+        let steps = if n >= 100_000 { 8 } else { 32 };
+        let reps = if n >= 100_000 { 7 } else { 25 };
+        for lanes in [1usize, 2, 4] {
+            let vio = if lanes == 1 {
+                smg_mdp::ViOptions::default().with_par_min_states(usize::MAX)
+            } else {
+                smg_mdp::ViOptions {
+                    pool: Some(smg_dtmc::pool::with_lanes(lanes)),
+                    ..smg_mdp::ViOptions::default().with_par_min_states(0)
+                }
+            };
+            let ns = time_ns(reps, || {
+                smg_mdp::vi::bounded_until_values(
+                    &mdp,
+                    &all,
+                    &target,
+                    steps,
+                    smg_mdp::Opt::Max,
+                    &vio,
+                )
+                .expect("bounded VI")
+            }) / steps as f64;
+            eprintln!("mdp_vi n={n} lanes={lanes}: {ns:.0} ns/iter");
+            mdp_entries.push((n, lanes, ns));
+        }
+    }
+
     // SpMV + Gauss-Seidel kernels.
     for &n in spmv_sizes {
         let dtmc = synthetic_chain(n);
@@ -344,7 +419,15 @@ fn main() {
             if i + 1 < pool_explore.len() { "," } else { "" }
         );
     }
-    json.push_str("    ]\n  },\n  \"kernels\": [\n");
+    json.push_str("    ]\n  },\n  \"mdp\": [\n");
+    for (i, (n, lanes, ns)) in mdp_entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {n}, \"lanes\": {lanes}, \"vi_ns_per_iter\": {ns:.1}}}{}",
+            if i + 1 < mdp_entries.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"kernels\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = writeln!(
             json,

@@ -7,7 +7,7 @@ use smg_lang::ExpandOptions;
 
 /// Usage text printed for `help` and argument errors.
 pub const USAGE: &str = "\
-smg — probabilistic model checking for clocked RTL-style DTMC models
+smg — probabilistic model checking for clocked RTL-style DTMC/MDP models
 
 USAGE:
   smg check  <model.sm> --prop <pctl> [--prop <pctl>]... [--max-states N] [--allow-stutter]
@@ -19,18 +19,25 @@ USAGE:
 
 Model files may be guarded-command source (.sm) or PRISM explicit
 transitions (.tra; sibling .lab/.srew files are picked up automatically).
+A model declaring the `mdp` header keeps overlapping guards as
+nondeterministic actions; check it with the min/max query forms, e.g.
+`Pmax=? [ F<=100 err ]` (worst case) / `Pmin=? [ ... ]` (best case),
+`Rmin=?`/`Rmax=?` for rewards.
 
 COMMANDS:
   check   Parse, compile and model-check pCTL properties; prints one
-          PRISM-style result block per property.
-  info    Print model statistics: states, transitions, labels, BSCCs,
-          irreducibility/aperiodicity.
-  export  Write the explicit chain in PRISM explicit formats (tra/lab/
-          srew), as guarded-command source (pm), or as Graphviz (dot).
+          PRISM-style result block per property. MDP models take the
+          Pmin/Pmax/Rmin/Rmax query forms.
+  info    Print model statistics: states, transitions, labels; BSCCs and
+          irreducibility/aperiodicity for chains, choice counts for MDPs.
+  export  Write the explicit model in PRISM explicit formats (tra/lab/
+          srew; the MDP tra carries the action column), as guarded-command
+          source (pm, chains only), or as Graphviz (dot, chains only).
   steady  Detect steady state of the default reward (the paper's BER
-          read-out).
+          read-out). Chains only.
   sim     Monte-Carlo baseline: simulate the chain and estimate the mean
           state reward (compare against `check --prop 'R=? [ I=T ]'`).
+          Chains only; for MDPs see smg-sim's scheduler sampling.
 
 OPTIONS:
   --prop <pctl>     Property to check (repeatable), e.g. 'P=? [ G<=300 !err ]'

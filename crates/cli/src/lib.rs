@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! smg check model.sm --prop 'P=? [ G<=300 !err ]' --prop 'R=? [ I=300 ]'
+//! smg check worst.sm --prop 'Pmax=? [ F<=300 err ]'   # mdp model
 //! smg info model.sm
 //! smg export model.sm --format tra
 //! smg steady model.sm
@@ -19,8 +20,9 @@
 #![warn(missing_docs)]
 
 use smg_dtmc::{graph, transient, Dtmc};
-use smg_lang::{check, compile_with, parse};
-use smg_pctl::{check_query, parse_property};
+use smg_lang::{check, compile_mdp_with, compile_with, parse, ModelType};
+use smg_mdp::Mdp;
+use smg_pctl::{check_mdp_query, check_query, parse_property};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -66,12 +68,21 @@ impl From<smg_dtmc::DtmcError> for CliError {
     }
 }
 
+/// The explicit model a CLI command operates on, by model family.
+#[derive(Debug, Clone)]
+pub enum LoadedModel {
+    /// A `dtmc` program (or imported explicit chain).
+    Dtmc(Dtmc),
+    /// An `mdp` program.
+    Mdp(Mdp),
+}
+
 /// A model loaded by the CLI — either compiled from guarded-command
-/// source or imported from PRISM explicit files.
+/// source (`dtmc` or `mdp` header) or imported from PRISM explicit files.
 #[derive(Debug, Clone)]
 pub struct Loaded {
-    /// The explicit chain.
-    pub dtmc: Dtmc,
+    /// The explicit model.
+    pub model: LoadedModel,
     /// Variable names (guarded-command models only).
     pub var_names: Vec<String>,
 }
@@ -95,7 +106,10 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
             let mut out = model_header(&compiled, build_time);
             for prop in props {
                 let property = parse_property(prop)?;
-                let result = check_query(&compiled.dtmc, &property)?;
+                let result = match &compiled.model {
+                    LoadedModel::Dtmc(d) => check_query(d, &property)?,
+                    LoadedModel::Mdp(m) => check_mdp_query(m, &property)?,
+                };
                 let _ = writeln!(out, "\nProperty: {property}");
                 let _ = writeln!(
                     out,
@@ -116,31 +130,51 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
         Cmd::Info { model, options } => {
             let (compiled, build_time) = load(model, options)?;
             let mut out = model_header(&compiled, build_time);
-            let d = &compiled.dtmc;
             if !compiled.var_names.is_empty() {
                 let _ = writeln!(out, "Variables: {}", compiled.var_names.join(", "));
             }
-            let mut names = d.label_names();
-            names.sort_unstable();
-            for name in names {
-                let _ = writeln!(
-                    out,
-                    "Label \"{name}\": {} states",
-                    d.label(name).expect("listed").count_ones()
-                );
-            }
-            let bsccs = graph::bsccs(d);
-            let _ = writeln!(out, "BSCCs: {}", bsccs.len());
-            let _ = writeln!(out, "Irreducible: {}", graph::is_irreducible(d));
-            match graph::period(d) {
-                Some(p) => {
-                    let _ = writeln!(out, "Period: {p}");
+            match &compiled.model {
+                LoadedModel::Dtmc(d) => {
+                    let mut names = d.label_names();
+                    names.sort_unstable();
+                    for name in names {
+                        let _ = writeln!(
+                            out,
+                            "Label \"{name}\": {} states",
+                            d.label(name).expect("listed").count_ones()
+                        );
+                    }
+                    let bsccs = graph::bsccs(d);
+                    let _ = writeln!(out, "BSCCs: {}", bsccs.len());
+                    let _ = writeln!(out, "Irreducible: {}", graph::is_irreducible(d));
+                    match graph::period(d) {
+                        Some(p) => {
+                            let _ = writeln!(out, "Period: {p}");
+                        }
+                        None => {
+                            let _ = writeln!(out, "Period: undefined (reducible chain)");
+                        }
+                    }
+                    let _ = writeln!(out, "Ergodic: {}", graph::is_ergodic(d));
                 }
-                None => {
-                    let _ = writeln!(out, "Period: undefined (reducible chain)");
+                LoadedModel::Mdp(m) => {
+                    let mut names = m.label_names();
+                    names.sort_unstable();
+                    for name in names {
+                        let _ = writeln!(
+                            out,
+                            "Label \"{name}\": {} states",
+                            m.label(name).expect("listed").count_ones()
+                        );
+                    }
+                    let _ = writeln!(out, "Max actions per state: {}", m.max_action_count());
+                    let _ = writeln!(
+                        out,
+                        "Mean actions per state: {:.3}",
+                        m.n_choices() as f64 / m.n_states().max(1) as f64
+                    );
                 }
             }
-            let _ = writeln!(out, "Ergodic: {}", graph::is_ergodic(d));
             Ok(out)
         }
         Cmd::Export {
@@ -150,13 +184,22 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
             options,
         } => {
             let (compiled, _) = load(model, options)?;
-            let text = match format.as_str() {
-                "tra" => smg_dtmc::export::to_tra(&compiled.dtmc),
-                "lab" => smg_dtmc::export::to_lab(&compiled.dtmc),
-                "srew" => smg_dtmc::export::to_srew(&compiled.dtmc),
-                "pm" => smg_lang::program_text(&compiled.dtmc),
-                "dot" => smg_dtmc::export::to_dot(&compiled.dtmc),
-                other => {
+            let text = match (&compiled.model, format.as_str()) {
+                (LoadedModel::Dtmc(d), "tra") => smg_dtmc::export::to_tra(d),
+                (LoadedModel::Dtmc(d), "lab") => smg_dtmc::export::to_lab(d),
+                (LoadedModel::Dtmc(d), "srew") => smg_dtmc::export::to_srew(d),
+                (LoadedModel::Dtmc(d), "pm") => smg_lang::program_text(d),
+                (LoadedModel::Dtmc(d), "dot") => smg_dtmc::export::to_dot(d),
+                (LoadedModel::Mdp(m), "tra") => smg_mdp::export::to_tra(m),
+                (LoadedModel::Mdp(m), "lab") => smg_mdp::export::to_lab(m),
+                (LoadedModel::Mdp(m), "srew") => smg_mdp::export::to_srew(m),
+                (LoadedModel::Mdp(_), other @ ("pm" | "dot")) => {
+                    return Err(CliError(format!(
+                        "format {other:?} is not supported for mdp models \
+                         (expected tra, lab or srew)"
+                    )))
+                }
+                (_, other) => {
                     return Err(CliError(format!(
                         "unknown export format {other:?} (expected tra, lab, srew, pm or dot)"
                     )))
@@ -177,15 +220,20 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
             options,
         } => {
             let (compiled, build_time) = load(model, options)?;
+            let d = require_dtmc(
+                &compiled,
+                "steady",
+                "long-run behaviour of an mdp is scheduler-dependent",
+            )?;
             let mut out = model_header(&compiled, build_time);
-            let steady = transient::detect_steady_state(&compiled.dtmc, *tol, *max_steps);
+            let steady = transient::detect_steady_state(d, *tol, *max_steps);
             match steady.converged_at {
                 Some(t) => {
                     let _ = writeln!(out, "Steady state detected at step {t}");
                     let _ = writeln!(
                         out,
                         "Long-run expected reward (BER read-out): {}",
-                        fmt_value(steady.expected_reward(&compiled.dtmc))
+                        fmt_value(steady.expected_reward(d))
                     );
                 }
                 None => {
@@ -204,8 +252,14 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
             options,
         } => {
             let (compiled, build_time) = load(model, options)?;
+            let d = require_dtmc(
+                &compiled,
+                "sim",
+                "resolve the nondeterminism first: check Pmin/Pmax, or sample under \
+                 a scheduler with smg-sim's estimate_mdp",
+            )?;
             let mut out = model_header(&compiled, build_time);
-            let r = simulate_rewards(&compiled.dtmc, *steps, *seed);
+            let r = simulate_rewards(d, *steps, *seed);
             let _ = writeln!(out, "Simulated steps: {}", r.steps);
             let _ = writeln!(out, "Mean state reward: {}", fmt_value(r.mean));
             let _ = writeln!(
@@ -217,6 +271,15 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
             let _ = writeln!(out, "Nonzero-reward steps: {}", r.hits);
             Ok(out)
         }
+    }
+}
+
+fn require_dtmc<'a>(loaded: &'a Loaded, cmd: &str, hint: &str) -> Result<&'a Dtmc, CliError> {
+    match &loaded.model {
+        LoadedModel::Dtmc(d) => Ok(d),
+        LoadedModel::Mdp(_) => Err(CliError(format!(
+            "`{cmd}` needs a dtmc model, but this program declares `mdp` ({hint})"
+        ))),
     }
 }
 
@@ -237,7 +300,7 @@ fn load(path: &str, options: &Options) -> Result<(Loaded, f64), CliError> {
         let dtmc = smg_dtmc::import::from_explicit(&src, lab.as_deref(), srew.as_deref())?;
         return Ok((
             Loaded {
-                dtmc,
+                model: LoadedModel::Dtmc(dtmc),
                 var_names: Vec::new(),
             },
             start.elapsed().as_secs_f64(),
@@ -262,21 +325,42 @@ fn load(path: &str, options: &Options) -> Result<(Loaded, f64), CliError> {
             ),
         }
     }
-    let compiled = compile_with(check(program)?, options.clone().into())?;
-    Ok((
-        Loaded {
-            dtmc: compiled.dtmc,
-            var_names: compiled.var_names,
-        },
-        start.elapsed().as_secs_f64(),
-    ))
+    // The model-type header decides the compilation target: `dtmc`
+    // programs become chains, `mdp` programs keep their nondeterminism.
+    let checked = check(program)?;
+    let loaded = match checked.program.model_type {
+        ModelType::Dtmc => {
+            let compiled = compile_with(checked, options.clone().into())?;
+            Loaded {
+                model: LoadedModel::Dtmc(compiled.dtmc),
+                var_names: compiled.var_names,
+            }
+        }
+        ModelType::Mdp => {
+            let compiled = compile_mdp_with(checked, options.clone().into())?;
+            Loaded {
+                model: LoadedModel::Mdp(compiled.mdp),
+                var_names: compiled.var_names,
+            }
+        }
+    };
+    Ok((loaded, start.elapsed().as_secs_f64()))
 }
 
 fn model_header(compiled: &Loaded, build_time: f64) -> String {
-    let d: &Dtmc = &compiled.dtmc;
     let mut out = String::new();
-    let _ = writeln!(out, "States: {}", d.n_states());
-    let _ = writeln!(out, "Transitions: {}", d.matrix().logical_transitions());
+    match &compiled.model {
+        LoadedModel::Dtmc(d) => {
+            let _ = writeln!(out, "States: {}", d.n_states());
+            let _ = writeln!(out, "Transitions: {}", d.matrix().logical_transitions());
+        }
+        LoadedModel::Mdp(m) => {
+            let _ = writeln!(out, "Model type: mdp");
+            let _ = writeln!(out, "States: {}", m.n_states());
+            let _ = writeln!(out, "Choices: {}", m.n_choices());
+            let _ = writeln!(out, "Transitions: {}", m.n_transitions());
+        }
+    }
     let _ = writeln!(out, "Time for model construction: {build_time:.3} s");
     out
 }
@@ -463,6 +547,133 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.0.contains("model error"), "{err}");
+    }
+
+    /// A channel whose regime (quiet or bursty) is adversarial each tick.
+    const REGIME_MDP: &str = r#"
+        mdp
+        const double p_quiet = 0.01;
+        const double p_burst = 0.25;
+        module channel
+          err : bool init false;
+          [] !err -> p_quiet:(err'=true) + (1-p_quiet):(err'=false);
+          [] !err -> p_burst:(err'=true) + (1-p_burst):(err'=false);
+          [] err  -> true;
+        endmodule
+        label "err" = err;
+        rewards err : 1; endrewards
+    "#;
+
+    #[test]
+    fn check_mdp_evaluates_min_max_queries_end_to_end() {
+        let path = write_model("regime.sm", REGIME_MDP);
+        let out = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec![
+                "Pmax=? [ F<=2 err ]".into(),
+                "Pmin=? [ F<=2 err ]".into(),
+                "Pmin=? [ G<=2 !err ]".into(),
+            ],
+            options: opts(),
+        })
+        .unwrap();
+        assert!(out.contains("Model type: mdp"), "{out}");
+        assert!(out.contains("States: 2"), "{out}");
+        assert!(out.contains("Choices: 3"), "{out}");
+        // Worst case over two steps: 1 - 0.75^2 = 0.4375; best: 1 - 0.99^2.
+        assert!(out.contains("Result: 0.4375"), "{out}");
+        assert!(out.contains("0.019900"), "{out}");
+        // Pmin [G !err] = 1 - Pmax [F err] = 0.5625.
+        assert!(out.contains("Result: 0.5625"), "{out}");
+    }
+
+    #[test]
+    fn check_mdp_rejects_ambiguous_plain_queries() {
+        let path = write_model("regime_plain.sm", REGIME_MDP);
+        let err = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec!["P=? [ F<=2 err ]".into()],
+            options: opts(),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("Pmin"), "{err}");
+    }
+
+    #[test]
+    fn info_and_export_handle_mdp_models() {
+        let path = write_model("regime_info.sm", REGIME_MDP);
+        let out = run(&Cmd::Info {
+            model: path.to_string_lossy().into_owned(),
+            options: opts(),
+        })
+        .unwrap();
+        assert!(out.contains("Label \"err\": 1 states"), "{out}");
+        assert!(out.contains("Max actions per state: 2"), "{out}");
+        let tra = run(&Cmd::Export {
+            model: path.to_string_lossy().into_owned(),
+            format: "tra".into(),
+            out: None,
+            options: opts(),
+        })
+        .unwrap();
+        // Header: 2 states, 3 choices, 5 transitions; rows carry the
+        // action column.
+        assert!(tra.starts_with("2 3 5"), "{tra}");
+        assert!(tra.contains("0 1 1 0.25"), "{tra}");
+        for fmt in ["pm", "dot"] {
+            let err = run(&Cmd::Export {
+                model: path.to_string_lossy().into_owned(),
+                format: fmt.into(),
+                out: None,
+                options: opts(),
+            })
+            .unwrap_err();
+            assert!(err.0.contains("not supported for mdp"), "{fmt}: {err}");
+        }
+    }
+
+    #[test]
+    fn steady_and_sim_reject_mdp_models() {
+        let path = write_model("regime_steady.sm", REGIME_MDP);
+        let err = run(&Cmd::Steady {
+            model: path.to_string_lossy().into_owned(),
+            tol: 1e-9,
+            max_steps: 10,
+            options: opts(),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("needs a dtmc"), "{err}");
+        let err = run(&Cmd::Sim {
+            model: path.to_string_lossy().into_owned(),
+            steps: 10,
+            seed: 0,
+            options: opts(),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("needs a dtmc"), "{err}");
+    }
+
+    #[test]
+    fn single_action_mdp_matches_dtmc_results() {
+        // The same channel written as dtmc and as a single-command mdp
+        // must agree: Pmin = Pmax = P.
+        let dpath = write_model("chan_d.sm", CHANNEL);
+        let mpath = write_model("chan_m.sm", &CHANNEL.replacen("dtmc", "mdp", 1));
+        let d = run(&Cmd::Check {
+            model: dpath.to_string_lossy().into_owned(),
+            props: vec!["P=? [ G<=3 !err ]".into()],
+            options: opts(),
+        })
+        .unwrap();
+        let m = run(&Cmd::Check {
+            model: mpath.to_string_lossy().into_owned(),
+            props: vec!["Pmin=? [ G<=3 !err ]".into(), "Pmax=? [ G<=3 !err ]".into()],
+            options: opts(),
+        })
+        .unwrap();
+        let val = "0.669922"; // (1 - 1/8)^3
+        assert!(d.contains(val), "{d}");
+        assert_eq!(m.matches(val).count(), 2, "{m}");
     }
 
     #[test]

@@ -50,6 +50,32 @@ impl BitVec {
         b
     }
 
+    /// Builds a bit vector by evaluating `f` at every index, filling whole
+    /// 64-bit words in parallel chunks on the engine's worker pool when the
+    /// vector is long enough (see [`crate::par`]). Each word is produced by
+    /// exactly one task from its own indices, so the result is bit-identical
+    /// to [`BitVec::from_fn`] for every thread count — exploration uses this
+    /// for per-proposition label assembly over large state spaces.
+    pub fn from_fn_parallel<F: Fn(usize) -> bool + Sync>(len: usize, f: F) -> Self {
+        /// Words per parallel chunk: 1024 words = 65536 states, a few tens
+        /// of microseconds of labelling work against ~1 µs of dispatch.
+        const WORDS_PER_CHUNK: usize = 1_024;
+        let mut words = vec![0u64; len.div_ceil(64)];
+        crate::par::chunked_map(&mut words, WORDS_PER_CHUNK, |word_off, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let base = (word_off + k) * 64;
+                let mut word = 0u64;
+                for b in 0..64.min(len - base) {
+                    if f(base + b) {
+                        word |= 1 << b;
+                    }
+                }
+                *slot = word;
+            }
+        });
+        BitVec { words, len }
+    }
+
     fn clear_tail(&mut self) {
         let rem = self.len % 64;
         if rem != 0 {
@@ -244,6 +270,18 @@ mod tests {
         let ones: Vec<usize> = b.iter_ones().collect();
         let expect: Vec<usize> = (0..200).filter(|i| i % 13 == 5).collect();
         assert_eq!(ones, expect);
+    }
+
+    #[test]
+    fn from_fn_parallel_matches_from_fn() {
+        // Sizes straddling the word boundary, the chunk boundary, and the
+        // parallel threshold; the parallel constructor must agree bit for
+        // bit (including the tail word) in every configuration.
+        for len in [0usize, 1, 63, 64, 65, 1_000, 65_536, 200_003] {
+            let seq = BitVec::from_fn(len, |i| i % 7 == 3 || i % 97 == 0);
+            let par = BitVec::from_fn_parallel(len, |i| i % 7 == 3 || i % 97 == 0);
+            assert_eq!(seq, par, "len={len}");
+        }
     }
 
     #[test]

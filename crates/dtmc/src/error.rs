@@ -49,6 +49,13 @@ pub enum DtmcError {
         /// The residual at the final iteration.
         residual: f64,
     },
+    /// A state of a nondeterministic model (MDP) has no enabled action.
+    /// Mirrors the deadlock errors the modeling layers raise: every state
+    /// of a well-formed MDP must offer at least one choice.
+    NoActions {
+        /// Debug rendering of the offending state.
+        state: String,
+    },
     /// An explicit-format file (`.tra`/`.lab`/`.srew`) failed to parse.
     Import {
         /// 1-based line number of the offending line.
@@ -96,6 +103,9 @@ impl fmt::Display for DtmcError {
                     f,
                     "iteration did not converge within {iterations} steps (residual {residual:e})"
                 )
+            }
+            DtmcError::NoActions { state } => {
+                write!(f, "state {state} has no enabled action (MDP deadlock)")
             }
             DtmcError::Import { line, message } => {
                 write!(f, "import error at line {line}: {message}")

@@ -159,6 +159,32 @@ pub struct StateIndex<S> {
 }
 
 impl<S: Hash + Eq> StateIndex<S> {
+    /// An empty single-shard index. This is the intern table sibling
+    /// explorers build on (the MDP explorer in `smg-mdp` interns its states
+    /// through exactly this type, so DTMC and MDP exploration share one
+    /// interning implementation); [`explore`] itself starts from the same
+    /// shape and reshards on demand.
+    pub fn new() -> Self {
+        StateIndex {
+            shards: vec![FastHashMap::default()],
+            shift: 0,
+        }
+    }
+
+    /// Interns `state` under `id`, returning the previously interned id if
+    /// the state was already present (in which case the table keeps the old
+    /// id — ids are assigned once, in discovery order).
+    pub fn insert(&mut self, state: S, id: StateId) -> Option<StateId> {
+        let sh = shard_of(&state, self.shift, self.shards.len());
+        match self.shards[sh].entry(state) {
+            std::collections::hash_map::Entry::Occupied(o) => Some(*o.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(id);
+                None
+            }
+        }
+    }
+
     /// Looks up the id of an interned state.
     pub fn get(&self, state: &S) -> Option<StateId> {
         self.shards[shard_of(state, self.shift, self.shards.len())]
@@ -187,6 +213,12 @@ impl<S: Hash + Eq> StateIndex<S> {
         self.shards
             .iter()
             .flat_map(|m| m.iter().map(|(s, &id)| (s, id)))
+    }
+}
+
+impl<S: Hash + Eq> Default for StateIndex<S> {
+    fn default() -> Self {
+        StateIndex::new()
     }
 }
 
@@ -244,8 +276,17 @@ impl<S> Explored<S> {
 }
 
 /// Normalizes a successor list in place: validates probabilities, optionally
-/// prunes tiny ones, and renormalizes.
-fn clean_successors<S: std::fmt::Debug>(
+/// prunes tiny ones (renormalizing the remainder), and drops exact zeros.
+/// Public because every explorer over a probabilistic transition function —
+/// including the MDP explorer in `smg-mdp`, which cleans each action's
+/// distribution independently — needs exactly this validation.
+///
+/// # Errors
+///
+/// [`DtmcError::InvalidProbability`] for negative/NaN/super-unit entries and
+/// [`DtmcError::NotStochastic`] when the list does not sum to one (or
+/// pruning removed all mass).
+pub fn clean_successors<S: std::fmt::Debug>(
     state: &S,
     succ: &mut Vec<(S, f64)>,
     prune: f64,
@@ -779,10 +820,13 @@ where
 /// # Errors
 ///
 /// Same conditions as [`explore`].
-pub fn explore_memoryless<M: MemorylessModel>(
+pub fn explore_memoryless<M: MemorylessModel + Sync>(
     model: &M,
     options: &ExploreOptions,
-) -> Result<Explored<M::State>, DtmcError> {
+) -> Result<Explored<M::State>, DtmcError>
+where
+    M::State: Sync,
+{
     let start = Instant::now();
     let init = model.initial_state();
     let mut step = model.step_distribution();
@@ -824,33 +868,74 @@ pub fn explore_memoryless<M: MemorylessModel>(
     })
 }
 
-fn assemble<M: DtmcModel>(
+/// States per chunk of the parallel reward-vector scan — reward closures
+/// are about as cheap as a label test, so the same granularity logic as
+/// [`BitVec::from_fn_parallel`]'s words-per-chunk applies.
+const REWARD_CHUNK: usize = 65_536;
+
+/// Assembles the per-proposition label bit vectors and the state-reward
+/// vector of an explored chain, chunking the per-state scans over the
+/// engine's worker pool for large state spaces (each label word and each
+/// reward slot is produced by exactly one task, so the result is
+/// bit-identical to the sequential scans whatever the thread count).
+///
+/// Shared by [`explore`]/[`explore_memoryless`] and by the MDP explorer in
+/// `smg-mdp`, which has the same post-exploration labelling shape.
+pub fn assemble_labels_rewards(
+    n: usize,
+    aps: &[&'static str],
+    holds: impl Fn(&str, usize) -> bool + Sync,
+    reward: impl Fn(usize) -> f64 + Sync,
+) -> (BTreeMap<String, BitVec>, Vec<f64>) {
+    let mut labels = BTreeMap::new();
+    for ap in aps {
+        labels.insert(
+            ap.to_string(),
+            BitVec::from_fn_parallel(n, |i| holds(ap, i)),
+        );
+    }
+    let mut rewards = vec![0.0; n];
+    par::chunked_map(&mut rewards, REWARD_CHUNK, |offset, chunk| {
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            *slot = reward(offset + k);
+        }
+    });
+    (labels, rewards)
+}
+
+fn assemble<M: DtmcModel + Sync>(
     model: &M,
     matrix: TransitionMatrix,
     initial: Vec<(StateId, f64)>,
     states: &[M::State],
-) -> Result<Dtmc, DtmcError> {
-    let mut labels = BTreeMap::new();
-    for ap in model.atomic_propositions() {
-        let bits = BitVec::from_fn(states.len(), |i| model.holds(ap, &states[i]));
-        labels.insert(ap.to_string(), bits);
-    }
-    let rewards = states.iter().map(|s| model.state_reward(s)).collect();
+) -> Result<Dtmc, DtmcError>
+where
+    M::State: Sync,
+{
+    let (labels, rewards) = assemble_labels_rewards(
+        states.len(),
+        &model.atomic_propositions(),
+        |ap, i| model.holds(ap, &states[i]),
+        |i| model.state_reward(&states[i]),
+    );
     Dtmc::new(matrix, initial, labels, rewards)
 }
 
-fn assemble_memoryless<M: MemorylessModel>(
+fn assemble_memoryless<M: MemorylessModel + Sync>(
     model: &M,
     matrix: TransitionMatrix,
     initial: Vec<(StateId, f64)>,
     states: &[M::State],
-) -> Result<Dtmc, DtmcError> {
-    let mut labels = BTreeMap::new();
-    for ap in model.atomic_propositions() {
-        let bits = BitVec::from_fn(states.len(), |i| model.holds(ap, &states[i]));
-        labels.insert(ap.to_string(), bits);
-    }
-    let rewards = states.iter().map(|s| model.state_reward(s)).collect();
+) -> Result<Dtmc, DtmcError>
+where
+    M::State: Sync,
+{
+    let (labels, rewards) = assemble_labels_rewards(
+        states.len(),
+        &model.atomic_propositions(),
+        |ap, i| model.holds(ap, &states[i]),
+        |i| model.state_reward(&states[i]),
+    );
     Dtmc::new(matrix, initial, labels, rewards)
 }
 

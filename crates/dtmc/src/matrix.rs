@@ -196,9 +196,10 @@ impl CsrBuilder {
 /// Sorts one row's `(column, value)` scratch in place and appends it to the
 /// flat `cols`/`vals` arrays, summing duplicate columns and dropping
 /// non-positive entries — the single row-assembly primitive shared by
-/// [`CsrBuilder::push_row`] and the parallel explorer's per-chunk segment
-/// builder, so both produce byte-identical CSR data for the same input.
-pub(crate) fn merge_row_into(cols: &mut Vec<u32>, vals: &mut Vec<f64>, row: &mut [(u32, f64)]) {
+/// [`CsrBuilder::push_row`], the parallel explorer's per-chunk segment
+/// builder, and the MDP builder's shared distribution pool in `smg-mdp`,
+/// so all of them produce byte-identical flat data for the same input.
+pub fn merge_row_into(cols: &mut Vec<u32>, vals: &mut Vec<f64>, row: &mut [(u32, f64)]) {
     row.sort_by_key(|&(c, _)| c);
     let row_start = cols.len();
     for &(c, v) in row.iter() {

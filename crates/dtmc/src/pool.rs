@@ -116,6 +116,14 @@ pub struct Pool {
     fork: Mutex<()>,
 }
 
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The control state is transient dispatch bookkeeping; the lane
+        // count is the pool's only configuration.
+        f.debug_struct("Pool").field("lanes", &self.lanes).finish()
+    }
+}
+
 impl Pool {
     fn new(lanes: usize) -> Pool {
         Pool {
@@ -213,6 +221,38 @@ impl Pool {
         }
     }
 
+    /// Runs `f(t)` exactly once for every task index `t` in `0..ntasks`,
+    /// with tasks handed to lanes through a shared **atomic cursor** instead
+    /// of [`Pool::run`]'s fixed stride. Lanes grab the next unclaimed index
+    /// as they finish their previous one, so heavy-tailed task costs
+    /// (skewed BFS levels, power-law action fan-out in MDP value iteration)
+    /// balance automatically; the stride assignment would leave whole lanes
+    /// idle behind one expensive task.
+    ///
+    /// Which lane runs which task becomes scheduling-dependent — callers
+    /// get the same guarantee as [`Pool::run`] (every index exactly once,
+    /// all done on return) and must not rely on more. Built on `run`, so
+    /// the latch, panic propagation and nested-dispatch degradation carry
+    /// over unchanged; with one lane the tasks run inline in index order.
+    pub fn run_dynamic<F: Fn(usize) + Sync>(&self, ntasks: usize, f: &F) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let drivers = self.lanes.min(ntasks);
+        if drivers <= 1 || IN_PARALLEL.with(Cell::get) {
+            for t in 0..ntasks {
+                f(t);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        self.run(drivers, &|_| loop {
+            let t = cursor.fetch_add(1, Ordering::Relaxed);
+            if t >= ntasks {
+                break;
+            }
+            f(t);
+        });
+    }
+
     fn worker_loop(&self, lane: usize) {
         IN_PARALLEL.with(|c| c.set(true));
         let mut seen = 0u64;
@@ -298,6 +338,58 @@ impl Pool {
                 unsafe { *out_ptr.add(t) = Some(r) };
             };
             self.run(ntasks, &task);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("pool chunk task completed"))
+            .collect()
+    }
+
+    /// [`Pool::map_chunks`] with **dynamic** task distribution: the chunks
+    /// are claimed through the atomic cursor of [`Pool::run_dynamic`]
+    /// rather than assigned by stride. Callers pick a chunk size small
+    /// enough that many chunks exist per lane; uneven per-chunk costs then
+    /// balance at run time. Chunk geometry — and therefore every chunk's
+    /// content and the result order — is a pure function of `data.len()`
+    /// and `chunk`, so results are identical whatever the lane count or
+    /// schedule, down to the single-lane inline path.
+    #[allow(unsafe_code)]
+    pub fn map_chunks_dynamic<T, R, F>(&self, data: &mut [T], chunk: usize, f: &F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut [T]) -> R + Sync,
+    {
+        let n = data.len();
+        let chunk = chunk.max(1);
+        let ntasks = n.div_ceil(chunk).max(1);
+        if ntasks == 1 {
+            return vec![f(0, data)];
+        }
+        if self.lanes == 1 || IN_PARALLEL.with(Cell::get) {
+            let mut out = Vec::with_capacity(ntasks);
+            let mut offset = 0;
+            for piece in data.chunks_mut(chunk) {
+                out.push(f(offset, piece));
+                offset += piece.len();
+            }
+            return out;
+        }
+        let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(ntasks).collect();
+        {
+            let data_ptr = SendPtr(data.as_mut_ptr());
+            let out_ptr = SendPtr(out.as_mut_ptr());
+            let task = move |t: usize| {
+                let lo = t * chunk;
+                let hi = n.min(lo + chunk);
+                // SAFETY: identical to `map_chunks` — distinct task indices
+                // address disjoint subslices of `data` and distinct `out`
+                // slots, and the latch in `run` (via `run_dynamic`) keeps
+                // both borrows alive until every task has finished.
+                let piece = unsafe { std::slice::from_raw_parts_mut(data_ptr.add(lo), hi - lo) };
+                let r = f(lo, piece);
+                unsafe { *out_ptr.add(t) = Some(r) };
+            };
+            self.run_dynamic(ntasks, &task);
         }
         out.into_iter()
             .map(|slot| slot.expect("pool chunk task completed"))
@@ -462,6 +554,96 @@ mod tests {
         });
         assert_eq!(sums, vec![1, 5, 4]);
         assert_eq!(hits, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_dynamic_covers_every_task_exactly_once() {
+        let pool = with_lanes(4);
+        for ntasks in [0usize, 1, 3, 4, 17, 1000] {
+            let hits: Vec<AtomicUsize> = (0..ntasks).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_dynamic(ntasks, &|t| {
+                hits[t].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "ntasks={ntasks}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_dynamic_balances_heavy_tails() {
+        // A single expensive task must not serialize the rest: with the
+        // cursor, the lane stuck on task 0 leaves the other 15 tasks to the
+        // remaining lanes. We can't assert on timing portably, but we can
+        // assert the results are complete and the pool stays healthy.
+        let pool = with_lanes(4);
+        let total = AtomicUsize::new(0);
+        pool.run_dynamic(16, &|t| {
+            if t == 0 {
+                // Simulated heavy task: spin a little.
+                for i in 0..10_000 {
+                    std::hint::black_box(i);
+                }
+            }
+            total.fetch_add(t, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (0..16).sum());
+    }
+
+    #[test]
+    fn run_dynamic_panic_propagates_and_pool_survives() {
+        let pool = with_lanes(3);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_dynamic(8, &|t| {
+                if t == 5 {
+                    panic!("dynamic task exploded");
+                }
+            });
+        }));
+        assert!(err.is_err());
+        let count = AtomicUsize::new(0);
+        pool.run_dynamic(8, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn map_chunks_dynamic_matches_static_chunking() {
+        let pool = with_lanes(4);
+        for (n, chunk) in [(0usize, 7usize), (5, 7), (100, 7), (10_000, 999)] {
+            let mut a: Vec<u64> = (0..n as u64).collect();
+            let mut b = a.clone();
+            let ra = pool.map_chunks(&mut a, chunk, &|off, c: &mut [u64]| {
+                for (i, v) in c.iter_mut().enumerate() {
+                    *v = *v * 3 + (off + i) as u64;
+                }
+                c.iter().sum::<u64>()
+            });
+            let rb = pool.map_chunks_dynamic(&mut b, chunk, &|off, c: &mut [u64]| {
+                for (i, v) in c.iter_mut().enumerate() {
+                    *v = *v * 3 + (off + i) as u64;
+                }
+                c.iter().sum::<u64>()
+            });
+            assert_eq!(a, b, "n={n} chunk={chunk}");
+            assert_eq!(ra, rb, "n={n} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_dynamic_single_lane_runs_inline_in_order() {
+        let pool = with_lanes(1);
+        let mut data = vec![0u32; 10];
+        let offs = pool.map_chunks_dynamic(&mut data, 3, &|off, c: &mut [u32]| {
+            for v in c.iter_mut() {
+                *v = off as u32;
+            }
+            off
+        });
+        assert_eq!(offs, vec![0, 3, 6, 9]);
+        assert_eq!(data, vec![0, 0, 0, 3, 3, 3, 6, 6, 6, 9]);
     }
 
     #[test]

@@ -309,9 +309,36 @@ pub struct RewardsDecl {
     pub pos: Pos,
 }
 
+/// The declared model type of a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModelType {
+    /// `dtmc` (or `probabilistic`): all choice is resolved
+    /// probabilistically — several enabled commands in one module make a
+    /// uniform choice (PRISM's DTMC convention).
+    #[default]
+    Dtmc,
+    /// `mdp` (or `nondeterministic`): several enabled commands are a
+    /// **nondeterministic** choice — each combination of one enabled
+    /// command per module compiles to an MDP action, and properties
+    /// quantify over the choices (`Pmin`/`Pmax`).
+    Mdp,
+}
+
+impl ModelType {
+    /// The surface keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ModelType::Dtmc => "dtmc",
+            ModelType::Mdp => "mdp",
+        }
+    }
+}
+
 /// A parsed program.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Program {
+    /// The declared model type (`dtmc` if the header is absent).
+    pub model_type: ModelType,
     /// `const` declarations, in source order.
     pub consts: Vec<ConstDecl>,
     /// `formula` declarations.
@@ -327,7 +354,7 @@ pub struct Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "dtmc")?;
+        writeln!(f, "{}", self.model_type.keyword())?;
         for c in &self.consts {
             match &c.ty {
                 Some(ty) => writeln!(f, "const {ty} {} = {};", c.name, c.value)?,

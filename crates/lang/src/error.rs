@@ -155,6 +155,14 @@ pub enum LangError {
         /// Upper bound.
         hi: i64,
     },
+    /// A compiler entry point was handed a program of the other model
+    /// type (`compile` wants `dtmc`, `compile_mdp` is the MDP path).
+    WrongModelType {
+        /// The model type the program declares.
+        declared: &'static str,
+        /// The entry point that should be used instead.
+        hint: &'static str,
+    },
     /// Error propagated from the DTMC layer while assembling the explicit
     /// chain.
     Dtmc(String),
@@ -223,6 +231,9 @@ impl fmt::Display for LangError {
             LangError::NoModules => write!(f, "program declares no module"),
             LangError::EmptyRange { var, lo, hi } => {
                 write!(f, "variable {var:?} has empty range [{lo}..{hi}]")
+            }
+            LangError::WrongModelType { declared, hint } => {
+                write!(f, "program declares model type `{declared}`; {hint}")
             }
             LangError::Dtmc(msg) => write!(f, "dtmc construction failed: {msg}"),
         }

@@ -34,10 +34,13 @@
 //!
 //! ## Deviations from PRISM
 //!
-//! Documented per item; the load-bearing ones are: only `dtmc` models;
-//! **modules compose synchronously** (every module steps each clock tick,
-//! matching the paper's clocked-RTL reading — identical to PRISM for
-//! single-module programs); undefined (`-const`-style) constants are not
+//! Documented per item; the load-bearing ones are: `dtmc` and `mdp`
+//! models only (an `mdp` header switches overlapping guards from uniform
+//! choice to nondeterministic actions — see [`compile_mdp`]); **modules
+//! compose synchronously** (every module steps each clock tick, matching
+//! the paper's clocked-RTL reading — identical to PRISM for single-module
+//! programs; under `mdp` each combination of one enabled command per
+//! module is one action); undefined (`-const`-style) constants are not
 //! supported; rewards blocks carry state rewards only.
 
 #![warn(missing_docs)]
@@ -51,10 +54,13 @@ pub mod parser;
 pub mod token;
 pub mod value;
 
-pub use ast::{Expr, Program};
+pub use ast::{Expr, ModelType, Program};
 pub use check::{check, CheckedProgram, VarInfo};
 pub use error::{LangError, Pos};
 pub use export::program_text;
-pub use model::{compile, compile_with, CompiledModel, ExpandOptions, LangModel};
+pub use model::{
+    compile, compile_mdp, compile_mdp_with, compile_with, CompiledMdp, CompiledModel,
+    ExpandOptions, LangModel,
+};
 pub use parser::{parse, parse_expr};
 pub use value::{eval, Env, Value};

@@ -30,6 +30,7 @@ use crate::value::{eval, Env, Value};
 use smg_dtmc::bitvec::BitVec;
 use smg_dtmc::matrix::{CsrMatrix, TransitionMatrix};
 use smg_dtmc::{Dtmc, DtmcModel};
+use smg_mdp::{Mdp, MdpBuilder};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -190,6 +191,106 @@ impl LangModel {
         eval(e, &self.env(state))?.as_double(context)
     }
 
+    /// The indices of the commands of module `m` whose guards hold, or the
+    /// deadlock/stutter resolution when none does: `Ok(None)` means the
+    /// module stutters this tick.
+    fn enabled_commands(
+        &self,
+        env: &Env,
+        m: &crate::ast::Module,
+        state: &[i64],
+    ) -> Result<Option<Vec<usize>>, LangError> {
+        let mut enabled: Vec<usize> = Vec::new();
+        for (ci, cmd) in m.commands.iter().enumerate() {
+            let g = eval(&cmd.guard, env)?
+                .as_bool(&format!("guard of command {ci} in module {}", m.name))?;
+            if g {
+                enabled.push(ci);
+            }
+        }
+        if enabled.is_empty() {
+            if self.options.allow_stutter {
+                return Ok(None);
+            }
+            return Err(LangError::Deadlock {
+                module: m.name.clone(),
+                state: render_assignment(
+                    &self
+                        .checked
+                        .vars
+                        .iter()
+                        .map(|v| v.name.clone())
+                        .collect::<Vec<_>>(),
+                    state,
+                ),
+            });
+        }
+        Ok(Some(enabled))
+    }
+
+    /// The update distribution of command `ci` of module `m` as deltas,
+    /// with every probability scaled by `scale` — the DTMC path passes its
+    /// uniform choice weight, the MDP path 1 (each command is its own
+    /// action).
+    fn command_dist(
+        &self,
+        env: &Env,
+        m: &crate::ast::Module,
+        ci: usize,
+        scale: f64,
+    ) -> Result<Vec<(Delta, f64)>, LangError> {
+        let cmd = &m.commands[ci];
+        let mut dist: Vec<(Delta, f64)> = Vec::new();
+        let mut sum = 0.0;
+        for u in &cmd.updates {
+            let p = eval(&u.prob, env)?
+                .as_double(&format!("probability in command {ci} of module {}", m.name))?;
+            if !(0.0..=1.0 + PROB_TOL).contains(&p) || p.is_nan() {
+                return Err(LangError::BadProbability {
+                    context: format!("command {ci} of module {}", m.name),
+                    value: p,
+                });
+            }
+            sum += p;
+            // Only exact zeros are dropped: near-zero branches are
+            // real probability mass (the detector chains carry
+            // ~1e-11 outcomes), and dropping them would both skew
+            // results and break row stochasticity.
+            if p <= 0.0 {
+                continue;
+            }
+            let mut delta: Delta = Vec::with_capacity(u.assigns.len());
+            for a in &u.assigns {
+                let vi = self.checked.var_index[&a.var];
+                let info = &self.checked.vars[vi];
+                let val = eval(&a.value, env)?;
+                let new = if info.is_bool {
+                    i64::from(val.as_bool(&format!("assignment to {}", a.var))?)
+                } else {
+                    val.as_int(&format!("assignment to {}", a.var))?
+                };
+                if new < info.lo || new > info.hi {
+                    return Err(LangError::OutOfRange {
+                        var: a.var.clone(),
+                        value: new,
+                        lo: info.lo,
+                        hi: info.hi,
+                    });
+                }
+                delta.push((vi, new));
+            }
+            dist.push((delta, scale * p));
+        }
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(LangError::BadDistribution {
+                module: m.name.clone(),
+                command: ci,
+                sum,
+            });
+        }
+        Ok(dist)
+    }
+
     /// The successor distribution of `state`, or the expansion error that
     /// makes it undefined.
     ///
@@ -199,119 +300,123 @@ impl LangModel {
     /// [`LangError::BadDistribution`], [`LangError::BadProbability`],
     /// [`LangError::OutOfRange`], plus any expression-evaluation error.
     pub fn transitions_checked(&self, state: &[i64]) -> Result<Vec<(Vec<i64>, f64)>, LangError> {
-        // A delta is a sparse list of (var index, new value); each module
-        // contributes a distribution over deltas.
-        type Delta = Vec<(usize, i64)>;
         let env = self.env(state);
         let mut module_dists: Vec<Vec<(Delta, f64)>> =
             Vec::with_capacity(self.checked.program.modules.len());
-        for (mi, m) in self.checked.program.modules.iter().enumerate() {
-            let mut enabled: Vec<usize> = Vec::new();
-            for (ci, cmd) in m.commands.iter().enumerate() {
-                let g = eval(&cmd.guard, &env)?
-                    .as_bool(&format!("guard of command {ci} in module {}", m.name))?;
-                if g {
-                    enabled.push(ci);
-                }
-            }
-            if enabled.is_empty() {
-                if self.options.allow_stutter {
-                    module_dists.push(vec![(Vec::new(), 1.0)]);
-                    continue;
-                }
-                return Err(LangError::Deadlock {
-                    module: m.name.clone(),
-                    state: render_assignment(
-                        &self
-                            .checked
-                            .vars
-                            .iter()
-                            .map(|v| v.name.clone())
-                            .collect::<Vec<_>>(),
-                        state,
-                    ),
-                });
-            }
+        for m in &self.checked.program.modules {
+            let Some(enabled) = self.enabled_commands(&env, m, state)? else {
+                module_dists.push(vec![(Vec::new(), 1.0)]);
+                continue;
+            };
             // Uniform choice among enabled commands.
             let choice_w = 1.0 / enabled.len() as f64;
             let mut dist: Vec<(Delta, f64)> = Vec::new();
             for &ci in &enabled {
-                let cmd = &m.commands[ci];
-                let mut sum = 0.0;
-                for u in &cmd.updates {
-                    let p = eval(&u.prob, &env)?
-                        .as_double(&format!("probability in command {ci} of module {}", m.name))?;
-                    if !(0.0..=1.0 + PROB_TOL).contains(&p) || p.is_nan() {
-                        return Err(LangError::BadProbability {
-                            context: format!("command {ci} of module {}", m.name),
-                            value: p,
-                        });
-                    }
-                    sum += p;
-                    // Only exact zeros are dropped: near-zero branches are
-                    // real probability mass (the detector chains carry
-                    // ~1e-11 outcomes), and dropping them would both skew
-                    // results and break row stochasticity.
-                    if p <= 0.0 {
-                        continue;
-                    }
-                    let mut delta: Vec<(usize, i64)> = Vec::with_capacity(u.assigns.len());
-                    for a in &u.assigns {
-                        let vi = self.checked.var_index[&a.var];
-                        let info = &self.checked.vars[vi];
-                        let val = eval(&a.value, &env)?;
-                        let new = if info.is_bool {
-                            i64::from(val.as_bool(&format!("assignment to {}", a.var))?)
-                        } else {
-                            val.as_int(&format!("assignment to {}", a.var))?
-                        };
-                        if new < info.lo || new > info.hi {
-                            return Err(LangError::OutOfRange {
-                                var: a.var.clone(),
-                                value: new,
-                                lo: info.lo,
-                                hi: info.hi,
-                            });
-                        }
-                        delta.push((vi, new));
-                    }
-                    dist.push((delta, choice_w * p));
-                }
-                if (sum - 1.0).abs() > 1e-6 {
-                    return Err(LangError::BadDistribution {
-                        module: m.name.clone(),
-                        command: ci,
-                        sum,
-                    });
-                }
+                dist.extend(self.command_dist(&env, m, ci, choice_w)?);
             }
             module_dists.push(dist);
-            let _ = mi;
+        }
+        let dists: Vec<&[(Delta, f64)]> = module_dists.iter().map(Vec::as_slice).collect();
+        Ok(combine_module_dists(state, &dists))
+    }
+
+    /// The enabled actions of `state` under **MDP semantics**: every
+    /// combination of one enabled command per module is one action (the
+    /// nondeterministic synchronous product), and each action's
+    /// distribution is the product of its commands' update distributions.
+    /// Where the DTMC semantics normalizes overlapping guards into a
+    /// uniform choice, here the choice is adversarial — `Pmin`/`Pmax`
+    /// quantify over it. A module with no enabled command stutters when
+    /// [`ExpandOptions::allow_stutter`] is set (contributing a single
+    /// identity command to every action) and deadlocks otherwise.
+    ///
+    /// For single-module programs this coincides with PRISM's MDP
+    /// semantics; actions are ordered lexicographically by the source
+    /// order of the chosen commands, so action indices are stable.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LangModel::transitions_checked`].
+    pub fn actions_checked(&self, state: &[i64]) -> Result<Vec<ActionDist>, LangError> {
+        let env = self.env(state);
+        // Per module: the distributions of its enabled commands (a
+        // stuttering module contributes one identity command).
+        let mut module_cmds: Vec<Vec<Vec<(Delta, f64)>>> =
+            Vec::with_capacity(self.checked.program.modules.len());
+        for m in &self.checked.program.modules {
+            let Some(enabled) = self.enabled_commands(&env, m, state)? else {
+                module_cmds.push(vec![vec![(Vec::new(), 1.0)]]);
+                continue;
+            };
+            let mut cmds = Vec::with_capacity(enabled.len());
+            for &ci in &enabled {
+                cmds.push(self.command_dist(&env, m, ci, 1.0)?);
+            }
+            module_cmds.push(cmds);
         }
 
-        // Synchronous product: cartesian combination of module deltas.
-        let mut out: Vec<(Vec<i64>, f64)> = vec![(state.to_vec(), 1.0)];
-        for dist in module_dists {
-            let mut next = Vec::with_capacity(out.len() * dist.len());
-            for (base, bp) in &out {
-                for (delta, dp) in &dist {
-                    let mut s = base.clone();
-                    for &(vi, val) in delta {
-                        s[vi] = val;
-                    }
-                    next.push((s, bp * dp));
+        // Odometer over the command choice of each module.
+        let mut actions = Vec::new();
+        let mut idx = vec![0usize; module_cmds.len()];
+        loop {
+            let chosen: Vec<&[(Delta, f64)]> = idx
+                .iter()
+                .zip(&module_cmds)
+                .map(|(&k, cmds)| cmds[k].as_slice())
+                .collect();
+            actions.push(combine_module_dists(state, &chosen));
+            let mut k = module_cmds.len();
+            loop {
+                if k == 0 {
+                    return Ok(actions);
                 }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < module_cmds[k].len() {
+                    break;
+                }
+                idx[k] = 0;
             }
-            out = next;
         }
-        // Merge duplicate successors so downstream consumers see a
-        // distribution, not a multiset.
-        let mut merged: HashMap<Vec<i64>, f64> = HashMap::with_capacity(out.len());
-        for (s, p) in out {
-            *merged.entry(s).or_insert(0.0) += p;
-        }
-        Ok(merged.into_iter().collect())
     }
+}
+
+/// One MDP action (or DTMC step): a distribution over successor state
+/// vectors.
+pub type ActionDist = Vec<(Vec<i64>, f64)>;
+
+/// A sparse variable update: `(var index, new value)` pairs.
+type Delta = Vec<(usize, i64)>;
+
+/// The synchronous product of one delta-distribution per module: cartesian
+/// combination applied to `state`, with duplicate successors merged so
+/// downstream consumers see a distribution, not a multiset. Successors are
+/// returned sorted by state vector: the merge map's iteration order is
+/// per-instance random, and letting it leak would make BFS state ids (and
+/// every exported artifact) differ from run to run — and between the DTMC
+/// and MDP compilers on the same program.
+fn combine_module_dists(state: &[i64], module_dists: &[&[(Delta, f64)]]) -> Vec<(Vec<i64>, f64)> {
+    let mut out: Vec<(Vec<i64>, f64)> = vec![(state.to_vec(), 1.0)];
+    for dist in module_dists {
+        let mut next = Vec::with_capacity(out.len() * dist.len());
+        for (base, bp) in &out {
+            for (delta, dp) in *dist {
+                let mut s = base.clone();
+                for &(vi, val) in delta {
+                    s[vi] = val;
+                }
+                next.push((s, bp * dp));
+            }
+        }
+        out = next;
+    }
+    let mut merged: HashMap<Vec<i64>, f64> = HashMap::with_capacity(out.len());
+    for (s, p) in out {
+        *merged.entry(s).or_insert(0.0) += p;
+    }
+    let mut out: Vec<(Vec<i64>, f64)> = merged.into_iter().collect();
+    out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    out
 }
 
 impl DtmcModel for LangModel {
@@ -416,6 +521,12 @@ pub fn compile_with(
     checked: CheckedProgram,
     options: ExpandOptions,
 ) -> Result<CompiledModel, LangError> {
+    if checked.program.model_type == crate::ast::ModelType::Mdp {
+        return Err(LangError::WrongModelType {
+            declared: "mdp",
+            hint: "use compile_mdp (or the CLI, which dispatches on the header)",
+        });
+    }
     let model = LangModel::with_options(checked, options);
     let init = model.initial_state();
 
@@ -511,6 +622,185 @@ pub fn compile_with(
     })
 }
 
+/// The result of compiling an `mdp` program: the explicit MDP plus the
+/// same name↔state bookkeeping as [`CompiledModel`].
+#[derive(Debug, Clone)]
+pub struct CompiledMdp {
+    /// The explicit MDP. Labels carry the program's `label` declarations;
+    /// the reward vector is the default reward structure.
+    pub mdp: Mdp,
+    /// Variable names in state-vector order.
+    pub var_names: Vec<String>,
+    /// The concrete variable assignment of every explored state, indexed
+    /// by [`smg_dtmc::StateId`].
+    pub states: Vec<Vec<i64>>,
+    /// Named reward structures (`rewards "name" ...`), as dense vectors.
+    pub named_rewards: BTreeMap<String, Vec<f64>>,
+}
+
+impl CompiledMdp {
+    /// A reward structure by name; `None` requests the default (unnamed)
+    /// structure, which is also baked into [`CompiledMdp::mdp`].
+    pub fn reward_vector(&self, name: Option<&str>) -> Option<&[f64]> {
+        match name {
+            None => Some(self.mdp.rewards()),
+            Some(n) => self.named_rewards.get(n).map(Vec::as_slice),
+        }
+    }
+
+    /// Renders a state as `{x=1, b=false}` for diagnostics.
+    pub fn render_state(&self, id: smg_dtmc::StateId) -> String {
+        render_assignment(&self.var_names, &self.states[id as usize])
+    }
+}
+
+/// Compiles a checked program into an explicit [`Mdp`] with default
+/// options, under the MDP semantics of [`LangModel::actions_checked`].
+///
+/// Accepts programs of either declared model type: compiling a `dtmc`
+/// program here reinterprets its overlapping guards as nondeterministic
+/// (useful to ask "what if the uniform choice were adversarial?"), while
+/// [`compile`] rejects `mdp` programs outright — collapsing declared
+/// nondeterminism into coin flips silently is never what the model meant.
+///
+/// # Errors
+///
+/// Any expansion error; see [`LangModel::actions_checked`]. Also
+/// [`LangError::Dtmc`] if the enumerated space exceeds
+/// [`ExpandOptions::max_states`].
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), smg_lang::LangError> {
+/// let program = smg_lang::parse(
+///     "mdp
+///      module chan
+///        err : bool init false;
+///        [] !err -> 0.01:(err'=true) + 0.99:(err'=false); // quiet regime
+///        [] !err -> 0.2:(err'=true) + 0.8:(err'=false);   // bursty regime
+///        [] err  -> true;
+///      endmodule
+///      label \"err\" = err;",
+/// )?;
+/// let compiled = smg_lang::compile_mdp(smg_lang::check(program)?)?;
+/// assert_eq!(compiled.mdp.n_states(), 2);
+/// assert_eq!(compiled.mdp.action_count(0), 2); // the adversary's regimes
+/// # Ok(())
+/// # }
+/// ```
+pub fn compile_mdp(checked: CheckedProgram) -> Result<CompiledMdp, LangError> {
+    compile_mdp_with(checked, ExpandOptions::default())
+}
+
+/// Compiles to an explicit [`Mdp`] with explicit options.
+///
+/// # Errors
+///
+/// As for [`compile_mdp`].
+pub fn compile_mdp_with(
+    checked: CheckedProgram,
+    options: ExpandOptions,
+) -> Result<CompiledMdp, LangError> {
+    let model = LangModel::with_options(checked, options);
+    let init = model.initial_state();
+
+    let mut index: HashMap<Vec<i64>, u32> = HashMap::new();
+    let mut states: Vec<Vec<i64>> = Vec::new();
+    let mut builder = MdpBuilder::default();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut row: Vec<(u32, f64)> = Vec::new();
+
+    index.insert(init.clone(), 0);
+    states.push(init);
+    queue.push_back(0);
+
+    while let Some(id) = queue.pop_front() {
+        let actions = model.actions_checked(&states[id as usize])?;
+        debug_assert!(!actions.is_empty(), "modules are non-empty");
+        for succ in actions {
+            row.clear();
+            for (s, p) in succ {
+                let next_id = match index.entry(s) {
+                    Entry::Occupied(o) => *o.get(),
+                    Entry::Vacant(v) => {
+                        let nid = states.len() as u32;
+                        if states.len() >= model.options.max_states {
+                            return Err(LangError::Dtmc(format!(
+                                "state space exceeds max_states={}",
+                                model.options.max_states
+                            )));
+                        }
+                        states.push(v.key().clone());
+                        v.insert(nid);
+                        queue.push_back(nid);
+                        nid
+                    }
+                };
+                row.push((next_id, p));
+            }
+            builder
+                .push_action(&mut row)
+                .map_err(|e| LangError::Dtmc(e.to_string()))?;
+        }
+        debug_assert!(builder.states() == id as usize);
+        builder
+            .finish_state()
+            .map_err(|e| LangError::Dtmc(e.to_string()))?;
+    }
+
+    let n = states.len();
+    let mut labels: BTreeMap<String, BitVec> = BTreeMap::new();
+    for l in &model.checked().program.labels {
+        let mut bv = BitVec::zeros(n);
+        for (i, s) in states.iter().enumerate() {
+            bv.set(i, model.eval_bool(&l.body, s, "label body")?);
+        }
+        labels.insert(l.name.clone(), bv);
+    }
+
+    let eval_block = |block: &crate::ast::RewardsDecl| -> Result<Vec<f64>, LangError> {
+        let mut out = vec![0.0; n];
+        for (i, s) in states.iter().enumerate() {
+            let mut total = 0.0;
+            for item in &block.items {
+                if model.eval_bool(&item.guard, s, "reward guard")? {
+                    total += model.eval_num(&item.value, s, "reward value")?;
+                }
+            }
+            out[i] = total;
+        }
+        Ok(out)
+    };
+
+    let default_rewards = match default_rewards_block(model.checked()) {
+        Some(block) => eval_block(block)?,
+        None => vec![0.0; n],
+    };
+    let mut named_rewards = BTreeMap::new();
+    for block in &model.checked().program.rewards {
+        if let Some(name) = &block.name {
+            named_rewards.insert(name.clone(), eval_block(block)?);
+        }
+    }
+
+    let mdp = Mdp::new(builder.finish(), vec![(0, 1.0)], labels, default_rewards)
+        .map_err(|e| LangError::Dtmc(e.to_string()))?;
+
+    let var_names = model
+        .checked()
+        .vars
+        .iter()
+        .map(|v| v.name.clone())
+        .collect();
+    Ok(CompiledMdp {
+        mdp,
+        var_names,
+        states,
+        named_rewards,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,6 +809,10 @@ mod tests {
 
     fn compiled(src: &str) -> Result<CompiledModel, LangError> {
         compile(check(parse(src).unwrap())?)
+    }
+
+    fn compiled_mdp(src: &str) -> Result<CompiledMdp, LangError> {
+        compile_mdp(check(parse(src).unwrap())?)
     }
 
     #[test]
@@ -769,6 +1063,146 @@ mod tests {
             compiled("module m x : [0..2] init 2; b : bool init true; [] true -> true; endmodule")
                 .unwrap();
         assert_eq!(m.render_state(0), "{x=2, b=1}");
+    }
+
+    const REGIME_MDP: &str = r#"
+        mdp
+        module chan
+          err : bool init false;
+          [] !err -> 0.01:(err'=true) + 0.99:(err'=false);
+          [] !err -> 0.2:(err'=true) + 0.8:(err'=false);
+          [] err  -> true;
+        endmodule
+        label "err" = err;
+        rewards err : 1; endrewards
+    "#;
+
+    #[test]
+    fn mdp_overlapping_guards_become_actions() {
+        let m = compiled_mdp(REGIME_MDP).unwrap();
+        assert_eq!(m.mdp.n_states(), 2);
+        assert_eq!(m.mdp.action_count(0), 2);
+        assert_eq!(m.mdp.action_count(1), 1);
+        // Action 0 is the first enabled command in source order.
+        let a0: Vec<_> = m.mdp.action_row(0, 0).collect();
+        let one = m.states.iter().position(|s| s[0] == 1).unwrap() as u32;
+        assert!(a0
+            .iter()
+            .any(|&(c, p)| c == one && (p - 0.01).abs() < 1e-12));
+        let a1: Vec<_> = m.mdp.action_row(0, 1).collect();
+        assert!(a1.iter().any(|&(c, p)| c == one && (p - 0.2).abs() < 1e-12));
+        assert_eq!(m.mdp.label("err").unwrap().count_ones(), 1);
+        assert_eq!(m.mdp.rewards()[one as usize], 1.0);
+        assert_eq!(m.render_state(0), "{err=0}");
+    }
+
+    #[test]
+    fn mdp_multi_module_actions_are_command_combinations() {
+        // Module a has 2 enabled commands, module b has 1: 2 actions, each
+        // the synchronous product of its command choice.
+        let m = compiled_mdp(
+            "mdp
+             module a x : bool; [] true -> (x'=true); [] true -> (x'=false); endmodule
+             module b y : bool; [] true -> 0.5:(y'=true) + 0.5:(y'=false); endmodule",
+        )
+        .unwrap();
+        assert_eq!(m.mdp.action_count(0), 2);
+        for a in 0..2 {
+            let row: Vec<_> = m.mdp.action_row(0, a).collect();
+            assert_eq!(row.len(), 2, "each action splits only on b's coin");
+            assert!(row.iter().all(|&(_, p)| (p - 0.5).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn mdp_deadlock_and_stutter() {
+        let src = "mdp
+             module m x : [0..1] init 0; [] x=0 -> (x'=1); endmodule";
+        let err = compiled_mdp(src).unwrap_err();
+        assert!(matches!(err, LangError::Deadlock { .. }));
+        let m = compile_mdp_with(
+            check(parse(src).unwrap()).unwrap(),
+            ExpandOptions {
+                allow_stutter: true,
+                ..ExpandOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(m.mdp.n_states(), 2);
+        assert_eq!(m.mdp.action_row(1, 0).collect::<Vec<_>>(), vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn compile_rejects_mdp_programs_and_vice_versa_works() {
+        let err = compiled(REGIME_MDP).unwrap_err();
+        assert!(matches!(err, LangError::WrongModelType { .. }));
+        // compile_mdp on a dtmc-typed program reinterprets the uniform
+        // choice as nondeterministic.
+        let m = compiled_mdp(
+            "dtmc
+             module m
+               x : [0..2] init 0;
+               [] x=0 -> (x'=1);
+               [] x=0 -> (x'=2);
+               [] x>0 -> (x'=x);
+             endmodule",
+        )
+        .unwrap();
+        assert_eq!(m.mdp.action_count(0), 2);
+    }
+
+    #[test]
+    fn mdp_single_command_program_matches_dtmc_compile() {
+        // With exactly one enabled command everywhere, the MDP is the DTMC
+        // with one action per state.
+        let src = "module die
+               s : [0..3] init 0;
+               [] s=0 -> 0.5:(s'=1) + 0.5:(s'=2);
+               [] s>0 -> (s'=min(s+1, 3));
+             endmodule
+             label \"end\" = s=3;";
+        let d = compiled(src).unwrap();
+        let m = compiled_mdp(src).unwrap();
+        assert_eq!(m.mdp.n_states(), d.dtmc.n_states());
+        assert_eq!(m.mdp.n_choices(), d.dtmc.n_states());
+        assert_eq!(m.states, d.states);
+        for s in 0..d.dtmc.n_states() {
+            assert_eq!(
+                m.mdp.action_row(s, 0).collect::<Vec<_>>(),
+                d.dtmc.matrix().successors(s),
+                "state {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn mdp_named_rewards_and_state_cap() {
+        let m = compiled_mdp(
+            "mdp
+             module m x : [0..1] init 0; [] true -> (x'=1-x); endmodule
+             rewards x=1 : 1; endrewards
+             rewards \"double\" x=1 : 2; endrewards",
+        )
+        .unwrap();
+        assert_eq!(m.reward_vector(None).unwrap().iter().sum::<f64>(), 1.0);
+        assert_eq!(
+            m.reward_vector(Some("double")).unwrap().iter().sum::<f64>(),
+            2.0
+        );
+        assert!(m.reward_vector(Some("missing")).is_none());
+        let err = compile_mdp_with(
+            check(
+                parse("mdp module m x : [0..100000] init 0; [] true -> (x'=min(x+1,100000)); endmodule")
+                    .unwrap(),
+            )
+            .unwrap(),
+            ExpandOptions {
+                max_states: 50,
+                ..ExpandOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::Dtmc(ref s) if s.contains("max_states")));
     }
 
     #[test]

@@ -147,8 +147,11 @@ impl Parser {
 
     fn program(&mut self) -> Result<Program, LangError> {
         let mut prog = Program::default();
-        // Optional model-type header; only `dtmc` is supported.
+        // Optional model-type header.
         if self.peek().is_kw("dtmc") || self.peek().is_kw("probabilistic") {
+            self.bump();
+        } else if self.peek().is_kw("mdp") || self.peek().is_kw("nondeterministic") {
+            prog.model_type = ModelType::Mdp;
             self.bump();
         }
         loop {

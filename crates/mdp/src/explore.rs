@@ -1,0 +1,507 @@
+//! Breadth-first state-space exploration for MDPs.
+//!
+//! [`explore`] enumerates the states of an [`MdpModel`] reachable from its
+//! initial distribution — a state is reachable if *some* action sequence
+//! can reach it — interning each distinct state and assembling the explicit
+//! [`Mdp`]. The machinery is shared with the DTMC explorer: states intern
+//! into the same sharded [`StateIndex`], action distributions are validated
+//! by the same [`clean_successors`], rows merge through the same
+//! [`merge_row_into`] primitive into [`MdpBuilder`]'s flat pool, and labels
+//! and rewards assemble through the same parallel
+//! [`assemble_labels_rewards`] scans.
+//!
+//! # Parallel exploration
+//!
+//! Levels of at least [`ExploreOptions::par_min_level`] states run as a
+//! three-phase pipeline on the persistent worker pool:
+//!
+//! 1. **Expand** (parallel) — the level is split into contiguous chunks;
+//!    each chunk calls the model's action function and validates every
+//!    action's distribution.
+//! 2. **Intern** (sequential) — one scan over the chunks in level order
+//!    resolves every successor to its id, assigning fresh ids in
+//!    first-occurrence order — exactly the order sequential BFS would have
+//!    used. (The DTMC explorer shards this phase too; MDP expansion is
+//!    dominated by the model's action enumeration, so a sequential intern
+//!    scan costs a small fraction of phase 1 and keeps the pipeline simple.)
+//! 3. **Assemble** (parallel) — each chunk merges its action rows into a
+//!    private flat segment, and segments concatenate in chunk order.
+//!
+//! Ids, rows and statistics are bit-identical to sequential BFS for every
+//! thread count (property-tested in `tests/vi_properties.rs`).
+
+use crate::mdp::{Mdp, MdpBuilder};
+use crate::model::MdpModel;
+use smg_dtmc::explore::{assemble_labels_rewards, clean_successors, ExploreOptions, StateIndex};
+use smg_dtmc::matrix::merge_row_into;
+use smg_dtmc::{par, pool, BuildStats, DtmcError, StateId};
+use std::hash::Hash;
+use std::time::Instant;
+
+/// The result of exploring an MDP model: the explicit process plus the
+/// mapping between model states and matrix indices.
+#[derive(Debug, Clone)]
+pub struct ExploredMdp<S> {
+    /// The explicit MDP.
+    pub mdp: Mdp,
+    /// State at each index (`states[id]` is the model state of `id`).
+    pub states: Vec<S>,
+    /// Index of each state (the DTMC engine's interning table).
+    pub index: StateIndex<S>,
+    /// Exploration statistics; `transitions` counts stored MDP transitions
+    /// (summed over all actions).
+    pub stats: BuildStats,
+}
+
+impl<S> ExploredMdp<S> {
+    /// Looks up the id of a model state.
+    pub fn id_of(&self, state: &S) -> Option<StateId>
+    where
+        S: Hash + Eq,
+    {
+        self.index.get(state)
+    }
+}
+
+/// Interns one state, assigning the next id in discovery order.
+#[inline]
+fn intern<S: Clone + Hash + Eq>(
+    s: S,
+    states: &mut Vec<S>,
+    index: &mut StateIndex<S>,
+    max_states: usize,
+) -> Result<StateId, DtmcError> {
+    if let Some(id) = index.get(&s) {
+        return Ok(id);
+    }
+    if states.len() >= max_states {
+        return Err(DtmcError::StateLimitExceeded { limit: max_states });
+    }
+    let id = states.len() as StateId;
+    index.insert(s.clone(), id);
+    states.push(s);
+    Ok(id)
+}
+
+/// Per-worker expansion scratch, reused across levels.
+#[derive(Debug)]
+struct ChunkScratch<S> {
+    /// Flat successor occurrences `(state, probability)` of this chunk.
+    succ: Vec<(S, f64)>,
+    /// Resolved state ids aligned with `succ` (filled by the intern scan).
+    ids: Vec<u32>,
+    /// Successor count per action, flat in source order.
+    act_len: Vec<u32>,
+    /// Action count per source state.
+    action_count: Vec<u32>,
+    /// First validation/model error hit in this chunk.
+    err: Option<DtmcError>,
+    /// Assembled segment: merged per-action lengths, columns, values.
+    seg_act_len: Vec<u32>,
+    seg_cols: Vec<u32>,
+    seg_vals: Vec<f64>,
+    /// Row sort/merge buffer.
+    row_buf: Vec<(u32, f64)>,
+}
+
+impl<S> ChunkScratch<S> {
+    fn new() -> Self {
+        ChunkScratch {
+            succ: Vec::new(),
+            ids: Vec::new(),
+            act_len: Vec::new(),
+            action_count: Vec::new(),
+            err: None,
+            seg_act_len: Vec::new(),
+            seg_cols: Vec::new(),
+            seg_vals: Vec::new(),
+            row_buf: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.succ.clear();
+        self.ids.clear();
+        self.act_len.clear();
+        self.action_count.clear();
+        self.err = None;
+    }
+}
+
+/// Explores an [`MdpModel`] breadth-first into an explicit [`Mdp`].
+///
+/// Large frontier levels are expanded in parallel on the engine's worker
+/// pool; the result is bit-identical to sequential BFS (see the module
+/// docs). The model is shared across workers, hence the `Sync` bounds.
+///
+/// # Errors
+///
+/// Propagates invalid-probability/stochasticity errors from the model,
+/// [`DtmcError::NoActions`] for deadlocked states, and
+/// [`DtmcError::StateLimitExceeded`] if the reachable space is larger than
+/// `options.max_states`.
+pub fn explore<M>(model: &M, options: &ExploreOptions) -> Result<ExploredMdp<M::State>, DtmcError>
+where
+    M: MdpModel + Sync,
+    M::State: Send + Sync,
+{
+    let start = Instant::now();
+    let workers = options
+        .threads
+        .unwrap_or_else(par::max_threads)
+        .clamp(1, 1 << 16);
+
+    let mut index: StateIndex<M::State> = StateIndex::new();
+    let mut states: Vec<M::State> = Vec::new();
+
+    // Initial distribution — level 0 of the BFS.
+    let init = model.initial_states();
+    let mut init_sum = 0.0;
+    let mut initial: Vec<(StateId, f64)> = Vec::with_capacity(init.len());
+    for (s, p) in init {
+        if p < 0.0 || p.is_nan() {
+            return Err(DtmcError::BadInitialDistribution { sum: f64::NAN });
+        }
+        init_sum += p;
+        if p > 0.0 {
+            let id = intern(s, &mut states, &mut index, options.max_states)?;
+            initial.push((id, p));
+        }
+    }
+    if (init_sum - 1.0).abs() > smg_dtmc::matrix::STOCHASTIC_TOL || initial.is_empty() {
+        return Err(DtmcError::BadInitialDistribution { sum: init_sum });
+    }
+
+    let mut builder = MdpBuilder::default();
+    let mut row: Vec<(u32, f64)> = Vec::new();
+    let mut scratch: Vec<ChunkScratch<M::State>> = Vec::new();
+    let mut levels = 0usize;
+    let mut level_start = 0usize;
+    while level_start < states.len() {
+        let level_end = states.len();
+        levels += 1;
+        let level_len = level_end - level_start;
+        if workers > 1 && level_len >= options.par_min_level.max(1) {
+            let nchunks = workers.min(level_len);
+            if scratch.len() < nchunks {
+                scratch.resize_with(nchunks, ChunkScratch::new);
+            }
+            expand_level_parallel(
+                model,
+                options,
+                &mut states,
+                &mut index,
+                &mut builder,
+                level_start..level_end,
+                &mut scratch[..nchunks],
+            )?;
+        } else {
+            for cur in level_start..level_end {
+                let cur_state = states[cur].clone();
+                let actions = model.actions(&cur_state);
+                if actions.is_empty() {
+                    return Err(DtmcError::NoActions {
+                        state: format!("{cur_state:?}"),
+                    });
+                }
+                for mut dist in actions {
+                    clean_successors(&cur_state, &mut dist, options.prune_threshold)?;
+                    row.clear();
+                    for (s, p) in dist {
+                        let id = intern(s, &mut states, &mut index, options.max_states)?;
+                        row.push((id, p));
+                    }
+                    builder.push_action(&mut row)?;
+                }
+                builder.finish_state()?;
+            }
+        }
+        level_start = level_end;
+    }
+
+    let (labels, rewards) = assemble_labels_rewards(
+        states.len(),
+        &model.atomic_propositions(),
+        |ap, i| model.holds(ap, &states[i]),
+        |i| model.state_reward(&states[i]),
+    );
+    let mdp = Mdp::new(builder.finish(), initial, labels, rewards)?;
+    let stats = BuildStats {
+        states: states.len(),
+        transitions: mdp.n_transitions(),
+        reachability_iterations: levels,
+        build_time: start.elapsed(),
+    };
+    Ok(ExploredMdp {
+        mdp,
+        states,
+        index,
+        stats,
+    })
+}
+
+/// Expands one BFS level through the three-phase pipeline (module docs).
+fn expand_level_parallel<M>(
+    model: &M,
+    options: &ExploreOptions,
+    states: &mut Vec<M::State>,
+    index: &mut StateIndex<M::State>,
+    builder: &mut MdpBuilder,
+    level: std::ops::Range<usize>,
+    scratch: &mut [ChunkScratch<M::State>],
+) -> Result<(), DtmcError>
+where
+    M: MdpModel + Sync,
+    M::State: Send + Sync,
+{
+    let nchunks = scratch.len();
+    let level_len = level.len();
+    let per_chunk = level_len.div_ceil(nchunks);
+    let pool = pool::global();
+
+    // Phase 1: expand + validate.
+    {
+        let level_states = &states[level];
+        let prune = options.prune_threshold;
+        pool.map_chunks(scratch, 1, &|t, sc: &mut [ChunkScratch<M::State>]| {
+            let sc = &mut sc[0];
+            sc.reset();
+            let lo = level_len.min(t * per_chunk);
+            let hi = level_len.min(lo + per_chunk);
+            for cur in &level_states[lo..hi] {
+                let actions = model.actions(cur);
+                if actions.is_empty() {
+                    sc.err = Some(DtmcError::NoActions {
+                        state: format!("{cur:?}"),
+                    });
+                    return;
+                }
+                sc.action_count.push(actions.len() as u32);
+                for mut dist in actions {
+                    if let Err(e) = clean_successors(cur, &mut dist, prune) {
+                        sc.err = Some(e);
+                        return;
+                    }
+                    sc.act_len.push(dist.len() as u32);
+                    sc.succ.extend(dist);
+                }
+            }
+        });
+    }
+    // Deterministic error reporting: chunk order is level order, and each
+    // chunk stopped at its first failing state.
+    for sc in scratch.iter_mut() {
+        if let Some(e) = sc.err.take() {
+            return Err(e);
+        }
+    }
+
+    // Phase 2 (sequential): intern every occurrence in level order — ids
+    // come out in exactly the first-occurrence order sequential BFS uses.
+    for sc in scratch.iter_mut() {
+        for (s, _) in &sc.succ {
+            let id = intern(s.clone(), states, index, options.max_states)?;
+            sc.ids.push(id);
+        }
+    }
+
+    // Phase 3: per-chunk row assembly, then the flat segment merge.
+    pool.map_chunks(scratch, 1, &|_, sc: &mut [ChunkScratch<M::State>]| {
+        let ChunkScratch {
+            succ,
+            ids,
+            act_len,
+            seg_act_len,
+            seg_cols,
+            seg_vals,
+            row_buf,
+            ..
+        } = &mut sc[0];
+        seg_act_len.clear();
+        seg_cols.clear();
+        seg_vals.clear();
+        let mut occ = 0usize;
+        for &len in act_len.iter() {
+            row_buf.clear();
+            for _ in 0..len {
+                row_buf.push((ids[occ], succ[occ].1));
+                occ += 1;
+            }
+            let before = seg_cols.len();
+            merge_row_into(seg_cols, seg_vals, row_buf);
+            seg_act_len.push((seg_cols.len() - before) as u32);
+        }
+    });
+    for sc in scratch.iter() {
+        builder.append_segment(
+            &sc.action_count,
+            &sc.seg_act_len,
+            &sc.seg_cols,
+            &sc.seg_vals,
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A grid walk where the adversary picks the axis and noise decides
+    /// whether the step lands; corners absorb.
+    pub(crate) struct Grid {
+        pub w: u16,
+    }
+
+    impl MdpModel for Grid {
+        type State = (u16, u16);
+        fn initial_states(&self) -> Vec<(Self::State, f64)> {
+            vec![((0, 0), 1.0)]
+        }
+        fn actions(&self, &(x, y): &Self::State) -> Vec<Vec<(Self::State, f64)>> {
+            let mut acts = Vec::new();
+            if x + 1 < self.w {
+                acts.push(vec![((x + 1, y), 0.75), ((x, y), 0.25)]);
+            }
+            if y + 1 < self.w {
+                acts.push(vec![((x, y + 1), 0.75), ((x, y), 0.25)]);
+            }
+            if acts.is_empty() {
+                acts.push(vec![((x, y), 1.0)]);
+            }
+            acts
+        }
+        fn atomic_propositions(&self) -> Vec<&'static str> {
+            vec!["corner"]
+        }
+        fn holds(&self, ap: &str, &(x, y): &Self::State) -> bool {
+            ap == "corner" && x + 1 == self.w && y + 1 == self.w
+        }
+    }
+
+    #[test]
+    fn explores_whole_grid() {
+        let e = explore(&Grid { w: 8 }, &ExploreOptions::default()).unwrap();
+        assert_eq!(e.mdp.n_states(), 64);
+        assert_eq!(e.stats.states, 64);
+        // Interior states offer 2 actions, edges 1, the far corner 1.
+        assert_eq!(e.mdp.n_choices(), 49 * 2 + 14 + 1);
+        assert_eq!(e.id_of(&(0, 0)), Some(0));
+        let corner = e.id_of(&(7, 7)).unwrap() as usize;
+        assert!(e.mdp.label("corner").unwrap().get(corner));
+        assert_eq!(e.mdp.rewards()[corner], 1.0);
+    }
+
+    #[test]
+    fn parallel_exploration_bit_identical_to_sequential() {
+        let seq = explore(&Grid { w: 16 }, &ExploreOptions::default().with_threads(1)).unwrap();
+        for threads in [2usize, 3, 4, 7] {
+            let par = explore(
+                &Grid { w: 16 },
+                &ExploreOptions::default()
+                    .with_threads(threads)
+                    .with_par_min_level(1),
+            )
+            .unwrap();
+            assert_eq!(par.states, seq.states, "threads={threads}");
+            assert_eq!(par.mdp.n_choices(), seq.mdp.n_choices());
+            assert_eq!(par.mdp.n_transitions(), seq.mdp.n_transitions());
+            for s in 0..seq.mdp.n_states() {
+                assert_eq!(par.mdp.action_count(s), seq.mdp.action_count(s));
+                for a in 0..seq.mdp.action_count(s) {
+                    assert_eq!(
+                        par.mdp.action_row(s, a).collect::<Vec<_>>(),
+                        seq.mdp.action_row(s, a).collect::<Vec<_>>(),
+                        "threads={threads} state={s} action={a}"
+                    );
+                }
+            }
+            assert_eq!(
+                par.stats.reachability_iterations,
+                seq.stats.reachability_iterations
+            );
+        }
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let err = explore(
+            &Grid { w: 100 },
+            &ExploreOptions::default().with_max_states(10),
+        );
+        assert!(matches!(
+            err,
+            Err(DtmcError::StateLimitExceeded { limit: 10 })
+        ));
+    }
+
+    struct Deadlocked;
+    impl MdpModel for Deadlocked {
+        type State = u8;
+        fn initial_states(&self) -> Vec<(u8, f64)> {
+            vec![(0, 1.0)]
+        }
+        fn actions(&self, s: &u8) -> Vec<Vec<(u8, f64)>> {
+            if *s == 0 {
+                vec![vec![(1, 1.0)]]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let err = explore(&Deadlocked, &ExploreOptions::default());
+        assert!(matches!(err, Err(DtmcError::NoActions { .. })));
+    }
+
+    struct BadDist;
+    impl MdpModel for BadDist {
+        type State = u8;
+        fn initial_states(&self) -> Vec<(u8, f64)> {
+            vec![(0, 1.0)]
+        }
+        fn actions(&self, _: &u8) -> Vec<Vec<(u8, f64)>> {
+            vec![vec![(0, 0.5)], vec![(0, 1.0)]]
+        }
+    }
+
+    #[test]
+    fn non_stochastic_action_rejected() {
+        let err = explore(&BadDist, &ExploreOptions::default());
+        assert!(matches!(err, Err(DtmcError::NotStochastic { .. })));
+    }
+
+    #[test]
+    fn single_action_mdp_matches_dtmc_exploration() {
+        use crate::model::DtmcAsMdp;
+
+        struct Walk;
+        impl smg_dtmc::DtmcModel for Walk {
+            type State = u8;
+            fn initial_states(&self) -> Vec<(u8, f64)> {
+                vec![(0, 1.0)]
+            }
+            fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+                if *s >= 5 {
+                    vec![(*s, 1.0)]
+                } else {
+                    vec![(s + 1, 0.5), (0, 0.5)]
+                }
+            }
+        }
+
+        let d = smg_dtmc::explore(&Walk, &ExploreOptions::default()).unwrap();
+        let m = explore(&DtmcAsMdp(Walk), &ExploreOptions::default()).unwrap();
+        assert_eq!(m.mdp.n_states(), d.dtmc.n_states());
+        assert_eq!(m.mdp.n_choices(), d.dtmc.n_states());
+        assert_eq!(m.states, d.states);
+        for s in 0..d.dtmc.n_states() {
+            assert_eq!(
+                m.mdp.action_row(s, 0).collect::<Vec<_>>(),
+                d.dtmc.matrix().successors(s)
+            );
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Export to PRISM's explicit-state MDP file formats.
+//!
+//! Same interop story as `smg_dtmc::export`, extended with the action
+//! column: an MDP `.tra` file carries a `states choices transitions`
+//! header and one `src choice dst prob` row per transition (`prism
+//! -importtrans model.tra -mdp ...` reads it back).
+
+use crate::mdp::Mdp;
+use std::fmt::Write as _;
+
+/// Renders the `.tra` transitions file with the MDP action column.
+pub fn to_tra(mdp: &Mdp) -> String {
+    let n = mdp.n_states();
+    let mut out = String::new();
+    let _ = writeln!(out, "{n} {} {}", mdp.n_choices(), mdp.n_transitions());
+    for s in 0..n {
+        for a in 0..mdp.action_count(s) {
+            for (c, p) in mdp.action_row(s, a) {
+                let _ = writeln!(out, "{s} {a} {c} {p}");
+            }
+        }
+    }
+    out
+}
+
+/// Renders the `.lab` labels file (same format as the DTMC exporter: the
+/// initial states carry PRISM's built-in `init` label 0, the model's own
+/// labels follow in sorted order).
+pub fn to_lab(mdp: &Mdp) -> String {
+    let names = mdp.label_names();
+    let mut out = String::new();
+    let decls: Vec<String> = std::iter::once("0=\"init\"".to_string())
+        .chain(
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| format!("{}=\"{n}\"", i + 1)),
+        )
+        .collect();
+    let _ = writeln!(out, "{}", decls.join(" "));
+
+    let mut init = vec![false; mdp.n_states()];
+    for &(s, p) in mdp.initial() {
+        if p > 0.0 {
+            init[s as usize] = true;
+        }
+    }
+    for (s, &is_init) in init.iter().enumerate() {
+        let mut idxs: Vec<usize> = Vec::new();
+        if is_init {
+            idxs.push(0);
+        }
+        for (i, name) in names.iter().enumerate() {
+            if mdp.label(name).expect("label exists").get(s) {
+                idxs.push(i + 1);
+            }
+        }
+        if !idxs.is_empty() {
+            let strs: Vec<String> = idxs.iter().map(|i| i.to_string()).collect();
+            let _ = writeln!(out, "{s}: {}", strs.join(" "));
+        }
+    }
+    out
+}
+
+/// Renders the `.srew` state-rewards file (non-zero rewards only).
+pub fn to_srew(mdp: &Mdp) -> String {
+    let nonzero: Vec<(usize, f64)> = mdp
+        .rewards()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &r)| r != 0.0)
+        .map(|(s, &r)| (s, r))
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", mdp.n_states(), nonzero.len());
+    for (s, r) in nonzero {
+        let _ = writeln!(out, "{s} {r}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdp::MdpBuilder;
+    use smg_dtmc::BitVec;
+    use std::collections::BTreeMap;
+
+    fn two_action() -> Mdp {
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(0, 0.25), (1, 0.75)]).unwrap();
+        b.push_action(&mut [(1, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(1, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("done".to_string(), BitVec::from_fn(2, |i| i == 1));
+        Mdp::new(b.finish(), vec![(0, 1.0)], labels, vec![0.0, 2.5]).unwrap()
+    }
+
+    #[test]
+    fn tra_has_action_column() {
+        let tra = to_tra(&two_action());
+        let mut lines = tra.lines();
+        assert_eq!(lines.next(), Some("2 3 4"));
+        let rest: Vec<&str> = lines.collect();
+        assert!(rest.contains(&"0 0 0 0.25"));
+        assert!(rest.contains(&"0 0 1 0.75"));
+        assert!(rest.contains(&"0 1 1 1"));
+        assert!(rest.contains(&"1 0 1 1"));
+        // Probabilities per (source, choice) sum to 1.
+        let mut sums: std::collections::HashMap<(usize, usize), f64> = Default::default();
+        for l in rest {
+            let f: Vec<&str> = l.split_whitespace().collect();
+            *sums
+                .entry((f[0].parse().unwrap(), f[1].parse().unwrap()))
+                .or_insert(0.0) += f[3].parse::<f64>().unwrap();
+        }
+        assert!(sums.values().all(|s| (s - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn lab_and_srew_match_dtmc_shapes() {
+        let m = two_action();
+        let lab = to_lab(&m);
+        assert!(lab.starts_with("0=\"init\" 1=\"done\""));
+        assert!(lab.contains("0: 0"));
+        assert!(lab.contains("1: 1"));
+        let srew = to_srew(&m);
+        let lines: Vec<&str> = srew.lines().collect();
+        assert_eq!(lines[0], "2 1");
+        assert_eq!(lines[1], "1 2.5");
+    }
+}

@@ -1,0 +1,86 @@
+//! Explicit-state Markov Decision Process (MDP) substrate.
+//!
+//! The paper's DTMC pipeline resolves *every* input probabilistically; real
+//! RTL verification also needs **worst-case guarantees** when some inputs —
+//! stimulus patterns, arbitration, channel regime switches — are unknown
+//! rather than random. This crate adds the classic PRISM-style next step:
+//! models where each state first offers a *nondeterministic choice of
+//! actions* and only then steps probabilistically, checked by quantifying
+//! over all resolutions of the nondeterminism (`Pmin`/`Pmax`, `Rmin`/`Rmax`
+//! in `smg-pctl`).
+//!
+//! The crate deliberately mirrors `smg-dtmc`, and reuses its machinery
+//! rather than reimplementing it:
+//!
+//! * [`Mdp`] stores per-state action lists over a shared flat CSR
+//!   distribution pool, assembled with the same row-merge primitive as the
+//!   DTMC engine ([`smg_dtmc::matrix::merge_row_into`]) — identical inputs
+//!   yield byte-identical pool data.
+//! * [`explore()`] enumerates an implicit [`MdpModel`] breadth-first,
+//!   interning states through [`smg_dtmc::StateIndex`] and expanding large
+//!   levels in parallel on the engine's persistent worker pool; the result
+//!   is bit-identical to sequential BFS for every thread count.
+//! * [`vi`] implements min/max value iteration — bounded/unbounded until,
+//!   instantaneous/cumulative/reachability rewards — as masked Bellman
+//!   backups that run as dynamically dispatched chunks on the pool above
+//!   the engine's [`smg_dtmc::par::min_rows`] threshold, with a
+//!   bit-identical sequential fallback below it.
+//! * [`Mdp::induced_dtmc`] projects a memoryless scheduler back onto the
+//!   DTMC engine, connecting every existing analysis (exact checking,
+//!   simulation, export) to scheduled MDPs — and letting the test suite pin
+//!   `Pmin`/`Pmax` against exhaustive scheduler enumeration.
+//!
+//! # Example
+//!
+//! ```
+//! use smg_mdp::{explore, vi, MdpModel, Opt, ViOptions};
+//! use smg_dtmc::ExploreOptions;
+//!
+//! /// A job that can be scheduled on a fast-but-flaky or slow-but-safe
+//! /// unit; the adversary controls the dispatch.
+//! struct Dispatch;
+//! impl MdpModel for Dispatch {
+//!     type State = u8; // 0 = pending, 1 = done, 2 = failed
+//!     fn initial_states(&self) -> Vec<(u8, f64)> {
+//!         vec![(0, 1.0)]
+//!     }
+//!     fn actions(&self, s: &u8) -> Vec<Vec<(u8, f64)>> {
+//!         match s {
+//!             0 => vec![
+//!                 vec![(1, 0.9), (2, 0.1)],  // fast unit
+//!                 vec![(1, 0.5), (0, 0.5)],  // slow unit, retries
+//!             ],
+//!             s => vec![vec![(*s, 1.0)]],
+//!         }
+//!     }
+//!     fn atomic_propositions(&self) -> Vec<&'static str> {
+//!         vec!["done"]
+//!     }
+//!     fn holds(&self, ap: &str, s: &u8) -> bool {
+//!         ap == "done" && *s == 1
+//!     }
+//! }
+//!
+//! let e = explore(&Dispatch, &ExploreOptions::default())?;
+//! let done = e.mdp.label("done")?.clone();
+//! let vio = ViOptions::default();
+//! let pmax = vi::reach_values(&e.mdp, &done, Opt::Max, &vio)?[0];
+//! let pmin = vi::reach_values(&e.mdp, &done, Opt::Min, &vio)?[0];
+//! assert!((pmax - 1.0).abs() < 1e-9); // slow unit always completes
+//! assert!((pmin - 0.9).abs() < 1e-9); // worst case: fast unit, one shot
+//! # Ok::<(), smg_dtmc::DtmcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod export;
+pub mod mdp;
+pub mod model;
+pub mod vi;
+
+pub use explore::{explore, ExploredMdp};
+pub use mdp::{Mdp, MdpBuilder, MdpTransitions};
+pub use model::{DtmcAsMdp, MdpModel};
+pub use vi::{extremal_scheduler, Opt, ViOptions};

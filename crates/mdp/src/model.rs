@@ -1,0 +1,150 @@
+//! Implicit MDP model descriptions.
+//!
+//! An [`MdpModel`] extends the paper's DTMC tuple `(S, T_p)` with
+//! nondeterminism: in each state the *environment* (stimulus patterns,
+//! arbitration, channel regime switches — anything unknown rather than
+//! random) first picks an **action**, and only then does the design step
+//! probabilistically. Worst-case and best-case guarantees quantify over
+//! these choices (`Pmin`/`Pmax` in `smg-pctl`).
+
+use std::fmt;
+use std::hash::Hash;
+
+/// An implicit description of a finite MDP.
+///
+/// Implementors define the process by its initial distribution and a
+/// function from states to the list of enabled actions, each an
+/// independent successor distribution; [`crate::explore()`] turns this into
+/// an explicit [`crate::Mdp`]. Every state must enable at least one action
+/// (exploration reports [`smg_dtmc::DtmcError::NoActions`] otherwise).
+///
+/// # Example
+///
+/// ```
+/// use smg_mdp::MdpModel;
+///
+/// /// A walk where an adversary picks the step direction, then noise
+/// /// decides whether the step lands.
+/// struct Walk;
+/// impl MdpModel for Walk {
+///     type State = i8;
+///     fn initial_states(&self) -> Vec<(i8, f64)> {
+///         vec![(0, 1.0)]
+///     }
+///     fn actions(&self, s: &i8) -> Vec<Vec<(i8, f64)>> {
+///         if s.abs() >= 3 {
+///             return vec![vec![(*s, 1.0)]]; // absorbing boundary
+///         }
+///         vec![
+///             vec![(s + 1, 0.9), (*s, 0.1)], // try right
+///             vec![(s - 1, 0.9), (*s, 0.1)], // try left
+///         ]
+///     }
+///     fn atomic_propositions(&self) -> Vec<&'static str> {
+///         vec!["right_edge"]
+///     }
+///     fn holds(&self, ap: &str, s: &i8) -> bool {
+///         ap == "right_edge" && *s >= 3
+///     }
+/// }
+/// ```
+pub trait MdpModel {
+    /// A unique assignment of values to the model's state variables.
+    type State: Clone + Eq + Hash + fmt::Debug;
+
+    /// The initial probability distribution over states. Masses must sum
+    /// to one.
+    fn initial_states(&self) -> Vec<(Self::State, f64)>;
+
+    /// The enabled actions of `state`: one successor distribution per
+    /// action, each summing to one (duplicate successors within an action
+    /// are merged during exploration). Must be non-empty, and pure —
+    /// exploration may call it concurrently.
+    fn actions(&self, state: &Self::State) -> Vec<Vec<(Self::State, f64)>>;
+
+    /// Names of the atomic propositions this model labels states with.
+    fn atomic_propositions(&self) -> Vec<&'static str> {
+        Vec::new()
+    }
+
+    /// Whether atomic proposition `ap` holds in `state`. Must return
+    /// `false` for names not listed by [`MdpModel::atomic_propositions`].
+    fn holds(&self, ap: &str, state: &Self::State) -> bool {
+        let _ = (ap, state);
+        false
+    }
+
+    /// The reward assigned to `state` (same default as
+    /// [`smg_dtmc::DtmcModel`]: the 0/1 value of the first atomic
+    /// proposition, if any).
+    fn state_reward(&self, state: &Self::State) -> f64 {
+        match self.atomic_propositions().first() {
+            Some(ap) if self.holds(ap, state) => 1.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Adapter viewing a [`smg_dtmc::DtmcModel`] as a single-action MDP — the
+/// degenerate embedding under which `Pmin = Pmax = P`. Used by the test
+/// suites to pin the MDP checker against the DTMC checker on identical
+/// chains.
+#[derive(Debug, Clone)]
+pub struct DtmcAsMdp<M>(pub M);
+
+impl<M: smg_dtmc::DtmcModel> MdpModel for DtmcAsMdp<M> {
+    type State = M::State;
+
+    fn initial_states(&self) -> Vec<(Self::State, f64)> {
+        self.0.initial_states()
+    }
+
+    fn actions(&self, state: &Self::State) -> Vec<Vec<(Self::State, f64)>> {
+        vec![self.0.transitions(state)]
+    }
+
+    fn atomic_propositions(&self) -> Vec<&'static str> {
+        self.0.atomic_propositions()
+    }
+
+    fn holds(&self, ap: &str, state: &Self::State) -> bool {
+        self.0.holds(ap, state)
+    }
+
+    fn state_reward(&self, state: &Self::State) -> f64 {
+        self.0.state_reward(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Coin;
+    impl smg_dtmc::DtmcModel for Coin {
+        type State = u8;
+        fn initial_states(&self) -> Vec<(u8, f64)> {
+            vec![(0, 1.0)]
+        }
+        fn transitions(&self, _: &u8) -> Vec<(u8, f64)> {
+            vec![(0, 0.5), (1, 0.5)]
+        }
+        fn atomic_propositions(&self) -> Vec<&'static str> {
+            vec!["one"]
+        }
+        fn holds(&self, ap: &str, s: &u8) -> bool {
+            ap == "one" && *s == 1
+        }
+    }
+
+    #[test]
+    fn dtmc_adapter_has_one_action_everywhere() {
+        let m = DtmcAsMdp(Coin);
+        assert_eq!(m.initial_states(), vec![(0, 1.0)]);
+        assert_eq!(m.actions(&0).len(), 1);
+        assert_eq!(m.actions(&0)[0], vec![(0, 0.5), (1, 0.5)]);
+        assert!(m.holds("one", &1));
+        assert_eq!(m.state_reward(&1), 1.0);
+        assert_eq!(m.atomic_propositions(), vec!["one"]);
+    }
+}

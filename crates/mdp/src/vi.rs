@@ -1,0 +1,715 @@
+//! Min/max value iteration — Bellman backups over the action pool.
+//!
+//! All quantitative MDP queries reduce to iterating the optimal backup
+//! operator: for a value vector `x`,
+//!
+//! ```text
+//! (T_opt x)[s] = opt_{a ∈ actions(s)} Σ_c P(s, a, c) · x[c]
+//! ```
+//!
+//! with `opt` either `min` (worst case over the adversary, `Pmin`/`Rmin`)
+//! or `max` (best case, `Pmax`/`Rmax`). [`optimal_step_into`] implements
+//! one masked backup following the DTMC engine's buffer-reuse contract
+//! (caller-owned ping-pong buffers, zero per-step allocation); the bounded
+//! and unbounded drivers ([`bounded_until_values`],
+//! [`unbounded_until_values`], [`reach_reward_values`], ...) loop it.
+//!
+//! # Parallelism and determinism
+//!
+//! Above the engine's sequential-fallback threshold
+//! ([`smg_dtmc::par::min_rows`], same knobs as the DTMC kernels) the backup
+//! runs as fixed-size output chunks **dynamically dispatched** over the
+//! persistent worker pool ([`smg_dtmc::pool::Pool::map_chunks_dynamic`]):
+//! action fan-out is often heavy-tailed (a few states carry most choices),
+//! so lanes claim chunks through an atomic cursor instead of a fixed
+//! stride. Each output state is computed by exactly one task from the same
+//! action walk the sequential loop performs, so results are **bit-identical
+//! to the sequential fallback for every thread count and chunk geometry**
+//! (property-tested in `tests/vi_properties.rs`).
+
+use crate::mdp::Mdp;
+use smg_dtmc::{par, pool, BitVec, DtmcError};
+
+/// The optimization direction of a query: worst case (`Min`) or best case
+/// (`Max`) over the resolution of all nondeterminism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opt {
+    /// Minimize over schedulers (`Pmin`, `Rmin`).
+    Min,
+    /// Maximize over schedulers (`Pmax`, `Rmax`).
+    Max,
+}
+
+impl Opt {
+    /// Whether `candidate` improves on `incumbent` in this direction.
+    #[inline]
+    pub fn better(self, candidate: f64, incumbent: f64) -> bool {
+        match self {
+            Opt::Min => candidate < incumbent,
+            Opt::Max => candidate > incumbent,
+        }
+    }
+
+    /// The opposite direction (used by qualitative pre-passes: `Rmax` is
+    /// finite where `Pmin` reaches almost surely, and vice versa).
+    pub fn dual(self) -> Opt {
+        match self {
+            Opt::Min => Opt::Max,
+            Opt::Max => Opt::Min,
+        }
+    }
+
+    /// The lowercase suffix (`"min"` / `"max"`) used in property syntax.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Opt::Min => "min",
+            Opt::Max => "max",
+        }
+    }
+}
+
+impl std::fmt::Display for Opt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.suffix())
+    }
+}
+
+/// Knobs for the value-iteration drivers.
+#[derive(Debug, Clone, Copy)]
+pub struct ViOptions {
+    /// L∞ convergence tolerance for unbounded iterations.
+    pub tol: f64,
+    /// Iteration budget for unbounded iterations.
+    pub max_iter: usize,
+    /// State-count threshold above which backups run on the worker pool.
+    /// `None` (the default) uses the engine-wide [`par::min_rows`] /
+    /// `SMG_PAR_MIN_ROWS` setting; explicit values let tests and benches
+    /// force either path. Results are identical either way.
+    pub par_min_states: Option<usize>,
+    /// States per dynamically dispatched chunk of a parallel backup.
+    pub chunk: usize,
+    /// Pool to dispatch on. `None` (the default) uses the engine's global
+    /// pool; benches pass [`pool::with_lanes`] pools to sweep lane counts.
+    pub pool: Option<&'static pool::Pool>,
+}
+
+impl Default for ViOptions {
+    fn default() -> Self {
+        ViOptions {
+            tol: 1e-12,
+            max_iter: 1_000_000,
+            par_min_states: None,
+            chunk: 2_048,
+            pool: None,
+        }
+    }
+}
+
+impl ViOptions {
+    /// Options with an explicit parallel threshold (0 forces the parallel
+    /// path, `usize::MAX` forces the sequential one).
+    pub fn with_par_min_states(mut self, m: usize) -> Self {
+        self.par_min_states = Some(m);
+        self
+    }
+
+    fn parallelize(&self, n: usize) -> bool {
+        match self.par_min_states {
+            Some(m) => n >= m,
+            None => par::should_parallelize(n),
+        }
+    }
+}
+
+/// One optimal Bellman backup `out = T_opt x`, masked: states outside
+/// `active` keep their current value (`out[s] = x[s]`, the absorbing
+/// semantics the until/reward iterations rely on). The output buffer is
+/// fully overwritten and must not alias `x`.
+///
+/// # Panics
+///
+/// Panics if `x.len()`, `out.len()`, or the mask length mismatch the
+/// state count.
+pub fn optimal_step_into(
+    mdp: &Mdp,
+    x: &[f64],
+    active: Option<&BitVec>,
+    opt: Opt,
+    out: &mut [f64],
+    vio: &ViOptions,
+) {
+    let n = mdp.n_states();
+    assert_eq!(x.len(), n, "value vector length mismatch");
+    assert_eq!(out.len(), n, "output buffer length mismatch");
+    if let Some(m) = active {
+        assert_eq!(m.len(), n, "mask length mismatch");
+    }
+    let body = |offset: usize, chunk: &mut [f64]| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            let s = offset + j;
+            if let Some(mask) = active {
+                if !mask.get(s) {
+                    *slot = x[s];
+                    continue;
+                }
+            }
+            let mut best = 0.0;
+            for a in 0..mdp.action_count(s) {
+                let mut acc = 0.0;
+                for (c, p) in mdp.action_row(s, a) {
+                    acc += p * x[c as usize];
+                }
+                if a == 0 || opt.better(acc, best) {
+                    best = acc;
+                }
+            }
+            *slot = best;
+        }
+    };
+    if vio.parallelize(n) {
+        let pool = vio.pool.unwrap_or_else(pool::global);
+        pool.map_chunks_dynamic(out, vio.chunk.max(1), &|offset, chunk| body(offset, chunk));
+    } else {
+        body(0, out);
+    }
+}
+
+/// Tolerance within which an action's backup counts as attaining the
+/// optimum during scheduler extraction (the values come from an iteration
+/// converged to ~1e-12, so exact float equality would be wrong).
+const SCHED_TOL: f64 = 1e-9;
+
+/// The memoryless deterministic scheduler extracted from a converged value
+/// vector: `scheduler[s]` attains the optimal one-step backup of `values`
+/// at `s`. For unbounded reachability (where memoryless schedulers are
+/// optimal) this is an optimal scheduler; simulation uses it for
+/// statistical cross-validation (`smg-sim::mdp_smc`).
+///
+/// **`Pmax` needs the `target` set.** Greedily maximizing is not enough:
+/// a value-preserving cycle (e.g. a self-loop) ties with the progressing
+/// action and would trap the induced chain at probability 0 — the
+/// classic pitfall of max-scheduler extraction. When `opt` is
+/// [`Opt::Max`] and `target` is given, ties are broken by the standard
+/// attractor construction: states are claimed outward from the target,
+/// each picking an optimal action with an already-claimed successor, so
+/// the induced chain provably makes progress. For [`Opt::Min`] (any
+/// minimizing selection is optimal) and for step-bounded cross-checks,
+/// `None` suffices.
+pub fn extremal_scheduler(
+    mdp: &Mdp,
+    values: &[f64],
+    opt: Opt,
+    target: Option<&BitVec>,
+) -> Vec<u32> {
+    let n = mdp.n_states();
+    assert_eq!(values.len(), n, "value vector length mismatch");
+    let backup = |s: usize, a: usize| -> f64 {
+        let mut acc = 0.0;
+        for (c, p) in mdp.action_row(s, a) {
+            acc += p * values[c as usize];
+        }
+        acc
+    };
+    // Greedy pass: first action attaining the optimum.
+    let mut sched: Vec<u32> = (0..n)
+        .map(|s| {
+            let mut best = 0.0;
+            let mut arg = 0u32;
+            for a in 0..mdp.action_count(s) {
+                let acc = backup(s, a);
+                if a == 0 || opt.better(acc, best) {
+                    best = acc;
+                    arg = a as u32;
+                }
+            }
+            arg
+        })
+        .collect();
+    // Attractor repair for Pmax: claim states outward from the target
+    // through optimal actions, so every positive-value state's choice has
+    // a claimed successor (hence positive probability of progress).
+    if let (Opt::Max, Some(target)) = (opt, target) {
+        let mut claimed: Vec<bool> = (0..n).map(|s| target.get(s)).collect();
+        loop {
+            let mut changed = false;
+            for s in 0..n {
+                if claimed[s] || values[s] <= 0.0 {
+                    continue;
+                }
+                // The greedy pass left the optimal backup at sched[s].
+                let best = backup(s, sched[s] as usize);
+                for a in 0..mdp.action_count(s) {
+                    if backup(s, a) < best - SCHED_TOL {
+                        continue;
+                    }
+                    if mdp
+                        .action_row(s, a)
+                        .any(|(c, p)| p > 0.0 && claimed[c as usize])
+                    {
+                        sched[s] = a as u32;
+                        claimed[s] = true;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    sched
+}
+
+fn check_len(mdp: &Mdp, bits: &BitVec) -> Result<(), DtmcError> {
+    if bits.len() != mdp.n_states() {
+        return Err(DtmcError::DimensionMismatch {
+            expected: mdp.n_states(),
+            actual: bits.len(),
+        });
+    }
+    Ok(())
+}
+
+/// The optimal probability of `lhs U<=t rhs` from every state: backward
+/// value iteration over `t` optimal backups, with `rhs` pinned to 1 and
+/// failure states (`¬lhs ∧ ¬rhs`) pinned to 0 — the MDP analogue of
+/// [`smg_dtmc::transient::bounded_until_values`].
+///
+/// # Errors
+///
+/// [`DtmcError::DimensionMismatch`] for wrong-length bit vectors.
+pub fn bounded_until_values(
+    mdp: &Mdp,
+    lhs: &BitVec,
+    rhs: &BitVec,
+    t: usize,
+    opt: Opt,
+    vio: &ViOptions,
+) -> Result<Vec<f64>, DtmcError> {
+    check_len(mdp, lhs)?;
+    check_len(mdp, rhs)?;
+    let n = mdp.n_states();
+    let active = lhs.and(&rhs.not());
+    let mut x: Vec<f64> = (0..n).map(|i| if rhs.get(i) { 1.0 } else { 0.0 }).collect();
+    let mut next = vec![0.0; n];
+    for _ in 0..t {
+        optimal_step_into(mdp, &x, Some(&active), opt, &mut next, vio);
+        for (i, v) in next.iter_mut().enumerate() {
+            if rhs.get(i) {
+                *v = 1.0;
+            } else if !lhs.get(i) {
+                *v = 0.0;
+            }
+        }
+        std::mem::swap(&mut x, &mut next);
+    }
+    Ok(x)
+}
+
+/// The optimal probability of `lhs U rhs` (unbounded) from every state,
+/// iterated to the fixpoint from below. Starting from 0 converges to the
+/// *least* fixpoint of the optimal backup, which is the exact `Pmin`/`Pmax`
+/// value in both directions.
+///
+/// # Errors
+///
+/// [`DtmcError::NoConvergence`] if `vio.max_iter` is exhausted;
+/// [`DtmcError::DimensionMismatch`] for wrong-length bit vectors.
+pub fn unbounded_until_values(
+    mdp: &Mdp,
+    lhs: &BitVec,
+    rhs: &BitVec,
+    opt: Opt,
+    vio: &ViOptions,
+) -> Result<Vec<f64>, DtmcError> {
+    check_len(mdp, lhs)?;
+    check_len(mdp, rhs)?;
+    let n = mdp.n_states();
+    let active = lhs.and(&rhs.not());
+    let mut x: Vec<f64> = (0..n).map(|i| if rhs.get(i) { 1.0 } else { 0.0 }).collect();
+    let mut next = vec![0.0; n];
+    for _ in 0..vio.max_iter {
+        optimal_step_into(mdp, &x, Some(&active), opt, &mut next, vio);
+        for (i, v) in next.iter_mut().enumerate() {
+            if rhs.get(i) {
+                *v = 1.0;
+            } else if !lhs.get(i) {
+                *v = 0.0;
+            }
+        }
+        let diff = x
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        std::mem::swap(&mut x, &mut next);
+        if diff < vio.tol {
+            return Ok(x);
+        }
+    }
+    Err(DtmcError::NoConvergence {
+        iterations: vio.max_iter,
+        residual: vio.tol,
+    })
+}
+
+/// The optimal probability of reaching a `target` state (`Pmin`/`Pmax`
+/// `[F target]`) from every state.
+///
+/// # Errors
+///
+/// As for [`unbounded_until_values`].
+pub fn reach_values(
+    mdp: &Mdp,
+    target: &BitVec,
+    opt: Opt,
+    vio: &ViOptions,
+) -> Result<Vec<f64>, DtmcError> {
+    let all = BitVec::ones(mdp.n_states());
+    unbounded_until_values(mdp, &all, target, opt, vio)
+}
+
+/// The optimal expected instantaneous reward at exactly step `t` from
+/// every state (the MDP form of `R=? [I=t]`): `t` unmasked optimal
+/// backups of the reward vector.
+pub fn instantaneous_reward_values(mdp: &Mdp, t: usize, opt: Opt, vio: &ViOptions) -> Vec<f64> {
+    let mut x = mdp.rewards().to_vec();
+    let mut next = vec![0.0; x.len()];
+    for _ in 0..t {
+        optimal_step_into(mdp, &x, None, opt, &mut next, vio);
+        std::mem::swap(&mut x, &mut next);
+    }
+    x
+}
+
+/// The optimal expected reward accumulated over the first `t` steps from
+/// every state (the MDP form of `R=? [C<=t]`; the state occupied at each
+/// of steps `0..t-1` contributes its reward, matching the DTMC checker's
+/// cumulative semantics).
+pub fn cumulative_reward_values(mdp: &Mdp, t: usize, opt: Opt, vio: &ViOptions) -> Vec<f64> {
+    let n = mdp.n_states();
+    let rewards = mdp.rewards();
+    let mut x = vec![0.0; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..t {
+        optimal_step_into(mdp, &x, None, opt, &mut next, vio);
+        for (v, r) in next.iter_mut().zip(rewards) {
+            *v += r;
+        }
+        std::mem::swap(&mut x, &mut next);
+    }
+    x
+}
+
+/// The optimal expected reward accumulated strictly before first reaching
+/// a `target` state, from every state (`Rmin`/`Rmax` `[F target]`, PRISM
+/// semantics: the target's own reward is not counted).
+///
+/// A state's value is `∞` when the *dual* reachability probability is
+/// below 1 — `Rmax` is infinite where some scheduler avoids the target
+/// (`Pmin < 1`), `Rmin` where even the best scheduler cannot reach it
+/// almost surely (`Pmax < 1`). The iteration pins those states to `∞`
+/// up front; `min`-backups route around infinite actions (a finite action
+/// always exists from a finite state), and `max`-backups never see one.
+/// `Rmax` iterates up from 0 (unique fixpoint — every scheduler is proper
+/// in its certain region); `Rmin` descends from the expected cost of a
+/// known-proper scheduler, which steps over the spurious sub-fixpoints
+/// that zero-reward cycles create (a path that stalls forever never
+/// reaches the target and semantically costs ∞, but costs the from-zero
+/// Bellman iteration nothing). Rewards are assumed non-negative.
+///
+/// # Errors
+///
+/// As for [`unbounded_until_values`], for both the qualitative pre-pass
+/// and the reward iteration.
+pub fn reach_reward_values(
+    mdp: &Mdp,
+    target: &BitVec,
+    opt: Opt,
+    vio: &ViOptions,
+) -> Result<Vec<f64>, DtmcError> {
+    check_len(mdp, target)?;
+    let n = mdp.n_states();
+    let dual_reach = reach_values(mdp, target, opt.dual(), vio)?;
+    let certain = BitVec::from_fn(n, |i| dual_reach[i] > 1.0 - 1e-9);
+    let active = certain.and(&target.not());
+    let rewards = mdp.rewards();
+    // Starting point. For Rmax, 0 works: in the certain region *every*
+    // scheduler reaches the target almost surely, the backup operator is a
+    // contraction, and the fixpoint is unique. For Rmin it is unsound: the
+    // certain region only guarantees *some* scheduler is proper, and a
+    // zero-reward cycle lets the minimizing backup stall forever at no
+    // Bellman cost even though the stalling path semantically costs ∞
+    // (it never reaches the target). The classic SSP remedy: start the
+    // descent *from above*, at the expected cost of a known-proper
+    // scheduler — the Pmax attractor scheduler, whose induced chain
+    // reaches the target almost surely from every certain state. Min
+    // backups then decrease monotonically from that super-solution to the
+    // optimal proper cost, and can never fall into the spurious
+    // sub-fixpoints below it. (Assumes non-negative rewards, as do the
+    // paper's 0/1 flag reward structures.)
+    let mut x: Vec<f64> = match opt {
+        Opt::Max => (0..n)
+            .map(|i| if certain.get(i) { 0.0 } else { f64::INFINITY })
+            .collect(),
+        Opt::Min => {
+            let proper = extremal_scheduler(mdp, &dual_reach, Opt::Max, Some(target));
+            let chain = mdp.induced_dtmc(&proper)?;
+            let mut cost = proper_chain_cost(&chain, &active, rewards, vio)?;
+            for (i, c) in cost.iter_mut().enumerate() {
+                if !certain.get(i) {
+                    *c = f64::INFINITY;
+                }
+            }
+            cost
+        }
+    };
+    let mut next = vec![0.0; n];
+    let mut converged = false;
+    for _ in 0..vio.max_iter {
+        optimal_step_into(mdp, &x, Some(&active), opt, &mut next, vio);
+        let mut diff: f64 = 0.0;
+        for i in active.iter_ones() {
+            next[i] += rewards[i];
+            // Finite states always have a finite optimal action (see the
+            // doc comment), so this difference is never ∞ − ∞.
+            diff = diff.max((next[i] - x[i]).abs());
+        }
+        std::mem::swap(&mut x, &mut next);
+        if diff < vio.tol {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(DtmcError::NoConvergence {
+            iterations: vio.max_iter,
+            residual: vio.tol,
+        });
+    }
+    Ok(x)
+}
+
+/// The expected reward accumulated before absorption for a *proper* chain
+/// (every `active` state reaches the complement of `active` almost
+/// surely): iterates `x = r + P·x` on the active states. Used to seed the
+/// `Rmin` descent in [`reach_reward_values`].
+fn proper_chain_cost(
+    chain: &smg_dtmc::Dtmc,
+    active: &BitVec,
+    rewards: &[f64],
+    vio: &ViOptions,
+) -> Result<Vec<f64>, DtmcError> {
+    let n = chain.n_states();
+    let mut x = vec![0.0; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..vio.max_iter {
+        chain
+            .matrix()
+            .backward_masked_into(&x, Some(active), &mut next);
+        let mut diff: f64 = 0.0;
+        for i in active.iter_ones() {
+            next[i] += rewards[i];
+            diff = diff.max((next[i] - x[i]).abs());
+        }
+        std::mem::swap(&mut x, &mut next);
+        if diff < vio.tol {
+            return Ok(x);
+        }
+    }
+    Err(DtmcError::NoConvergence {
+        iterations: vio.max_iter,
+        residual: vio.tol,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdp::MdpBuilder;
+    use std::collections::BTreeMap;
+
+    /// 0 chooses: action 0 = fair coin between goal(1)/bad(2); action 1 =
+    /// biased 0.1 goal / 0.9 bad. Goal and bad absorb.
+    fn tiny() -> Mdp {
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(1, 0.5), (2, 0.5)]).unwrap();
+        b.push_action(&mut [(1, 0.1), (2, 0.9)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(1, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(2, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("goal".to_string(), BitVec::from_fn(3, |i| i == 1));
+        Mdp::new(b.finish(), vec![(0, 1.0)], labels, vec![1.0, 0.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn opt_helpers() {
+        assert!(Opt::Max.better(1.0, 0.5));
+        assert!(!Opt::Max.better(0.5, 0.5));
+        assert!(Opt::Min.better(0.4, 0.5));
+        assert_eq!(Opt::Min.dual(), Opt::Max);
+        assert_eq!(Opt::Max.to_string(), "max");
+    }
+
+    #[test]
+    fn min_max_reach_on_tiny() {
+        let m = tiny();
+        let goal = m.label("goal").unwrap().clone();
+        let vio = ViOptions::default();
+        let max = reach_values(&m, &goal, Opt::Max, &vio).unwrap();
+        let min = reach_values(&m, &goal, Opt::Min, &vio).unwrap();
+        assert!((max[0] - 0.5).abs() < 1e-9, "Pmax = {}", max[0]);
+        assert!((min[0] - 0.1).abs() < 1e-9, "Pmin = {}", min[0]);
+        assert_eq!((max[1], min[1]), (1.0, 1.0));
+        assert_eq!((max[2], min[2]), (0.0, 0.0));
+        // Bounded with a generous horizon agrees.
+        let all = BitVec::ones(3);
+        let bmax = bounded_until_values(&m, &all, &goal, 50, Opt::Max, &vio).unwrap();
+        assert!((bmax[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extremal_scheduler_picks_the_optimal_action() {
+        let m = tiny();
+        let goal = m.label("goal").unwrap().clone();
+        let vio = ViOptions::default();
+        let max_vals = reach_values(&m, &goal, Opt::Max, &vio).unwrap();
+        let min_vals = reach_values(&m, &goal, Opt::Min, &vio).unwrap();
+        assert_eq!(
+            extremal_scheduler(&m, &max_vals, Opt::Max, Some(&goal))[0],
+            0
+        );
+        assert_eq!(extremal_scheduler(&m, &min_vals, Opt::Min, None)[0], 1);
+        // The induced chains reproduce the optimal values exactly.
+        let d = m
+            .induced_dtmc(&extremal_scheduler(&m, &max_vals, Opt::Max, Some(&goal)))
+            .unwrap();
+        let v = smg_dtmc::transient::unbounded_reach_values(&d, &goal, 1e-12, 100_000).unwrap();
+        assert!((v[0] - max_vals[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_scheduler_extraction_breaks_value_preserving_cycles() {
+        // State 0: action 0 self-loops (backup = own value, a tie), action
+        // 1 moves to goal with probability 1. Greedy tie-breaking toward
+        // action 0 would induce a chain that never reaches goal; the
+        // attractor repair must pick action 1.
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(0, 1.0)]).unwrap();
+        b.push_action(&mut [(1, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(1, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("goal".to_string(), BitVec::from_fn(2, |i| i == 1));
+        let m = Mdp::new(b.finish(), vec![(0, 1.0)], labels, vec![0.0, 0.0]).unwrap();
+        let goal = m.label("goal").unwrap().clone();
+        let vio = ViOptions::default();
+        let vals = reach_values(&m, &goal, Opt::Max, &vio).unwrap();
+        assert!((vals[0] - 1.0).abs() < 1e-9);
+        let sched = extremal_scheduler(&m, &vals, Opt::Max, Some(&goal));
+        assert_eq!(sched[0], 1, "must escape the value-preserving self-loop");
+        let d = m.induced_dtmc(&sched).unwrap();
+        let v = smg_dtmc::transient::unbounded_reach_values(&d, &goal, 1e-12, 100_000).unwrap();
+        assert!((v[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reward_queries_on_tiny() {
+        let m = tiny();
+        let vio = ViOptions::default();
+        // Reward 1 only in state 0 (transient): instantaneous reward at
+        // step 0 is 1, at any later step 0 under both opts.
+        let i0 = instantaneous_reward_values(&m, 0, Opt::Max, &vio);
+        assert_eq!(i0[0], 1.0);
+        let i3 = instantaneous_reward_values(&m, 3, Opt::Max, &vio);
+        assert_eq!(i3[0], 0.0);
+        // Cumulative over t steps from state 0: exactly one visit to 0.
+        let c5 = cumulative_reward_values(&m, 5, Opt::Min, &vio);
+        assert!((c5[0] - 1.0).abs() < 1e-12);
+        assert_eq!(c5[1], 0.0);
+    }
+
+    #[test]
+    fn reach_rewards_and_infinity() {
+        let m = tiny();
+        let goal = m.label("goal").unwrap().clone();
+        let vio = ViOptions::default();
+        // Rmin/Rmax to reach goal: bad (state 2) never reaches → ∞ from 0
+        // too, since every action risks ending in bad.
+        let rmax = reach_reward_values(&m, &goal, Opt::Max, &vio).unwrap();
+        assert_eq!(rmax[0], f64::INFINITY);
+        assert_eq!(rmax[2], f64::INFINITY);
+        assert_eq!(rmax[1], 0.0);
+        // Reaching goal | bad is certain in one step; reward 1 accrues in
+        // state 0 only.
+        let either = BitVec::from_fn(3, |i| i > 0);
+        let r = reach_reward_values(&m, &either, Opt::Min, &vio).unwrap();
+        assert!((r[0] - 1.0).abs() < 1e-9);
+        assert_eq!(r[1], 0.0);
+    }
+
+    #[test]
+    fn rmin_is_not_fooled_by_zero_reward_cycles() {
+        // States 0 <-> 1 form a zero-reward cycle; each also has an exit
+        // action to state 2 (reward 10), which steps to the target 3.
+        // A minimizer stalling on the cycle never reaches the target —
+        // semantically an ∞-reward path — so the true Rmin is 10, the cost
+        // of the cheapest *proper* scheduler. Value iteration from zero
+        // would report 0 (the stall costs nothing per Bellman step); the
+        // proper-seeded descent must not.
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(1, 1.0)]).unwrap(); // 0: loop to 1
+        b.push_action(&mut [(2, 1.0)]).unwrap(); // 0: exit
+        b.finish_state().unwrap();
+        b.push_action(&mut [(0, 1.0)]).unwrap(); // 1: loop to 0
+        b.push_action(&mut [(2, 1.0)]).unwrap(); // 1: exit
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 1.0)]).unwrap(); // 2: to target
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 1.0)]).unwrap(); // 3: absorbing target
+        b.finish_state().unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("t".to_string(), BitVec::from_fn(4, |i| i == 3));
+        let m = Mdp::new(
+            b.finish(),
+            vec![(0, 1.0)],
+            labels,
+            vec![0.0, 0.0, 10.0, 0.0],
+        )
+        .unwrap();
+        let target = m.label("t").unwrap().clone();
+        let vio = ViOptions::default();
+        let rmin = reach_reward_values(&m, &target, Opt::Min, &vio).unwrap();
+        assert!((rmin[0] - 10.0).abs() < 1e-9, "Rmin[0] = {}", rmin[0]);
+        assert!((rmin[1] - 10.0).abs() < 1e-9, "Rmin[1] = {}", rmin[1]);
+        assert!((rmin[2] - 10.0).abs() < 1e-9);
+        assert_eq!(rmin[3], 0.0);
+        // Rmax here: the maximizer could also stall forever — but a
+        // stalling path never reaches the target, so Rmax is ∞ exactly
+        // when Pmin < 1, which the qualitative pre-pass reports.
+        let rmax = reach_reward_values(&m, &target, Opt::Max, &vio).unwrap();
+        assert_eq!(rmax[0], f64::INFINITY);
+    }
+
+    #[test]
+    fn forced_parallel_path_is_bit_identical() {
+        let m = tiny();
+        let goal = m.label("goal").unwrap().clone();
+        let seq = ViOptions::default().with_par_min_states(usize::MAX);
+        let par = ViOptions {
+            chunk: 1,
+            ..ViOptions::default().with_par_min_states(0)
+        };
+        for opt in [Opt::Min, Opt::Max] {
+            assert_eq!(
+                reach_values(&m, &goal, opt, &seq).unwrap(),
+                reach_values(&m, &goal, opt, &par).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Pins the min/max value-iteration engine two independent ways:
+//!
+//! 1. **Against the theory** — on tiny random MDPs, `Pmin`/`Pmax`
+//!    unbounded reachability must equal the min/max over *every*
+//!    memoryless deterministic scheduler, computed by exhaustively
+//!    enumerating the schedulers and solving each induced DTMC with the
+//!    (independently tested) DTMC engine. Memoryless schedulers are
+//!    optimal for unbounded reachability, so the enumeration is exact.
+//! 2. **Against itself** — the parallel Bellman backup (dynamic chunks on
+//!    the worker pool) must be **bit-identical** to the sequential
+//!    fallback for every pool lane count (1, 2, 4, and the global pool)
+//!    and chunk geometry.
+//!
+//! This file is its own process, so `SMG_THREADS` is pinned before the
+//! engine's `OnceLock`s are read and the global pool really runs 4
+//! workers; the CI matrix re-runs the whole suite under `SMG_THREADS=1`,
+//! covering the degenerate inline path as well.
+
+use proptest::prelude::*;
+use smg_dtmc::{pool, BitVec, ExploreOptions};
+use smg_mdp::{explore, vi, Mdp, MdpModel, Opt, ViOptions};
+
+/// Sets `SMG_THREADS=4` exactly once, before any engine `OnceLock` is
+/// read (same discipline as `smg-dtmc/tests/sharded_explore.rs`).
+fn init_env() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| std::env::set_var("SMG_THREADS", "4"));
+}
+
+/// Dedicated pools with 1, 2 and 4 lanes (created once; pool workers are
+/// persistent). Together with the 4-lane global pool these drive the
+/// parallel backup at every thread count the acceptance criteria name.
+fn lane_pools() -> &'static [&'static pool::Pool; 3] {
+    static POOLS: std::sync::OnceLock<[&'static pool::Pool; 3]> = std::sync::OnceLock::new();
+    POOLS.get_or_init(|| {
+        [
+            pool::with_lanes(1),
+            pool::with_lanes(2),
+            pool::with_lanes(4),
+        ]
+    })
+}
+
+/// A deterministic pseudo-random MDP: `n` states, 1–3 actions each, 1–3
+/// successors per action (duplicates and self-loops included), with the
+/// last state absorbing and labelled "target".
+#[derive(Debug, Clone)]
+struct RandomMdp {
+    n: u32,
+    seed: u64,
+}
+
+impl RandomMdp {
+    fn mix(&self, a: u64, b: u64) -> u64 {
+        let mut x = self
+            .seed
+            .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(b << 24);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+}
+
+impl MdpModel for RandomMdp {
+    type State = u32;
+
+    fn initial_states(&self) -> Vec<(u32, f64)> {
+        vec![(0, 1.0)]
+    }
+
+    fn actions(&self, &s: &u32) -> Vec<Vec<(u32, f64)>> {
+        if s == self.n - 1 {
+            return vec![vec![(s, 1.0)]]; // absorbing target
+        }
+        let n_actions = 1 + (self.mix(s.into(), 0) % 3) as usize;
+        (0..n_actions)
+            .map(|a| {
+                let fan = 1 + (self.mix(s.into(), 1 + a as u64) % 3) as usize;
+                let mut succ = Vec::with_capacity(fan);
+                let mut weights = Vec::with_capacity(fan);
+                for k in 0..fan {
+                    let t =
+                        (self.mix(s.into(), (10 + a * 7 + k) as u64) % u64::from(self.n)) as u32;
+                    succ.push(t);
+                    weights.push(1 + self.mix(t.into(), k as u64) % 8);
+                }
+                let total: u64 = weights.iter().sum();
+                succ.into_iter()
+                    .zip(weights)
+                    .map(|(t, w)| (t, w as f64 / total as f64))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn atomic_propositions(&self) -> Vec<&'static str> {
+        vec!["target"]
+    }
+
+    fn holds(&self, ap: &str, &s: &u32) -> bool {
+        ap == "target" && s == self.n - 1
+    }
+}
+
+fn explore_mdp(n: u32, seed: u64) -> Mdp {
+    explore(&RandomMdp { n, seed }, &ExploreOptions::default())
+        .expect("random MDP explores")
+        .mdp
+}
+
+/// Enumerates every memoryless deterministic scheduler (odometer over the
+/// per-state action counts) and returns the per-state min and max of the
+/// induced DTMCs' reachability values.
+fn enumerate_schedulers(mdp: &Mdp, target: &BitVec) -> (Vec<f64>, Vec<f64>) {
+    let n = mdp.n_states();
+    let mut sched = vec![0u32; n];
+    let mut min = vec![f64::INFINITY; n];
+    let mut max = vec![f64::NEG_INFINITY; n];
+    loop {
+        let d = mdp.induced_dtmc(&sched).expect("valid scheduler");
+        let vals =
+            smg_dtmc::transient::unbounded_reach_values(&d, target, 1e-13, 1_000_000).unwrap();
+        for i in 0..n {
+            min[i] = min[i].min(vals[i]);
+            max[i] = max[i].max(vals[i]);
+        }
+        // Odometer.
+        let mut k = n;
+        loop {
+            if k == 0 {
+                return (min, max);
+            }
+            k -= 1;
+            sched[k] += 1;
+            if (sched[k] as usize) < mdp.action_count(k) {
+                break;
+            }
+            sched[k] = 0;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Pmin/Pmax unbounded reachability equals the exhaustive
+    /// memoryless-scheduler envelope (memoryless schedulers are optimal
+    /// for unbounded reachability).
+    #[test]
+    fn value_iteration_matches_scheduler_enumeration(
+        n in 2u32..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        init_env();
+        let mdp = explore_mdp(n, seed);
+        let target = mdp.label("target").unwrap().clone();
+        let vio = ViOptions::default();
+        let vmin = vi::reach_values(&mdp, &target, Opt::Min, &vio).unwrap();
+        let vmax = vi::reach_values(&mdp, &target, Opt::Max, &vio).unwrap();
+        let (emin, emax) = enumerate_schedulers(&mdp, &target);
+        for s in 0..mdp.n_states() {
+            prop_assert!(
+                (vmin[s] - emin[s]).abs() < 1e-6,
+                "state {s}: Pmin VI {} vs enumeration {} (n={n}, seed={seed:#x})",
+                vmin[s], emin[s]
+            );
+            prop_assert!(
+                (vmax[s] - emax[s]).abs() < 1e-6,
+                "state {s}: Pmax VI {} vs enumeration {} (n={n}, seed={seed:#x})",
+                vmax[s], emax[s]
+            );
+        }
+        // The extracted extremal schedulers attain the optima.
+        for (opt, expect) in [(Opt::Min, &vmin), (Opt::Max, &vmax)] {
+            let sched = vi::extremal_scheduler(&mdp, expect, opt, Some(&target));
+            let d = mdp.induced_dtmc(&sched).unwrap();
+            let vals = smg_dtmc::transient::unbounded_reach_values(&d, &target, 1e-13, 1_000_000)
+                .unwrap();
+            for s in 0..mdp.n_states() {
+                prop_assert!(
+                    (vals[s] - expect[s]).abs() < 1e-6,
+                    "state {s}: induced {} vs optimal {} ({opt:?})",
+                    vals[s], expect[s]
+                );
+            }
+        }
+    }
+
+    /// The parallel Bellman backup is bit-identical to the sequential
+    /// fallback — across 1/2/4-lane pools, the (4-lane) global pool, and
+    /// randomized chunk geometry, for bounded and unbounded queries in
+    /// both directions.
+    #[test]
+    fn parallel_vi_bit_identical_across_lane_counts(
+        n in 2u32..60,
+        seed in 0u64..u64::MAX,
+        chunk in 1usize..9,
+        horizon in 0usize..12,
+    ) {
+        init_env();
+        let mdp = explore_mdp(n, seed);
+        let target = mdp.label("target").unwrap().clone();
+        let lhs = BitVec::from_fn(mdp.n_states(), |i| i % 3 != 1);
+        let seq = ViOptions::default().with_par_min_states(usize::MAX);
+        let mut parallel_variants: Vec<ViOptions> = lane_pools()
+            .iter()
+            .map(|&p| ViOptions {
+                chunk,
+                pool: Some(p),
+                ..ViOptions::default().with_par_min_states(0)
+            })
+            .collect();
+        // The process-global pool (4 lanes here; 1 in the SMG_THREADS=1 CI leg).
+        parallel_variants.push(ViOptions {
+            chunk,
+            ..ViOptions::default().with_par_min_states(0)
+        });
+        for opt in [Opt::Min, Opt::Max] {
+            let reach_seq = vi::reach_values(&mdp, &target, opt, &seq).unwrap();
+            let bounded_seq =
+                vi::bounded_until_values(&mdp, &lhs, &target, horizon, opt, &seq).unwrap();
+            let reward_seq = vi::cumulative_reward_values(&mdp, horizon, opt, &seq);
+            for (k, vio) in parallel_variants.iter().enumerate() {
+                let reach = vi::reach_values(&mdp, &target, opt, vio).unwrap();
+                prop_assert_eq!(&reach, &reach_seq, "reach variant {} ({:?})", k, opt);
+                let bounded =
+                    vi::bounded_until_values(&mdp, &lhs, &target, horizon, opt, vio).unwrap();
+                prop_assert_eq!(&bounded, &bounded_seq, "bounded variant {} ({:?})", k, opt);
+                let reward = vi::cumulative_reward_values(&mdp, horizon, opt, vio);
+                prop_assert_eq!(&reward, &reward_seq, "reward variant {} ({:?})", k, opt);
+            }
+        }
+    }
+}
+
+/// Bounded optimal values must bracket every memoryless scheduler's
+/// bounded value (time-dependent schedulers can do better, so this is an
+/// inequality, not an equality — the equality case is the unbounded test).
+#[test]
+fn bounded_values_bracket_memoryless_schedulers() {
+    init_env();
+    let mdp = explore_mdp(5, 0xABCDEF);
+    let target = mdp.label("target").unwrap().clone();
+    let all = BitVec::ones(mdp.n_states());
+    let vio = ViOptions::default();
+    for t in [0usize, 1, 3, 7] {
+        let vmin = vi::bounded_until_values(&mdp, &all, &target, t, Opt::Min, &vio).unwrap();
+        let vmax = vi::bounded_until_values(&mdp, &all, &target, t, Opt::Max, &vio).unwrap();
+        let mut sched = vec![0u32; mdp.n_states()];
+        'schedulers: loop {
+            let d = mdp.induced_dtmc(&sched).unwrap();
+            let vals = smg_dtmc::transient::bounded_until_values(&d, &all, &target, t).unwrap();
+            for s in 0..mdp.n_states() {
+                assert!(
+                    vals[s] >= vmin[s] - 1e-9 && vals[s] <= vmax[s] + 1e-9,
+                    "t={t} state {s}: {} outside [{}, {}]",
+                    vals[s],
+                    vmin[s],
+                    vmax[s]
+                );
+            }
+            let mut k = mdp.n_states();
+            loop {
+                if k == 0 {
+                    break 'schedulers;
+                }
+                k -= 1;
+                sched[k] += 1;
+                if (sched[k] as usize) < mdp.action_count(k) {
+                    break;
+                }
+                sched[k] = 0;
+            }
+        }
+    }
+}

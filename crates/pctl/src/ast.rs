@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+pub use smg_mdp::Opt;
+
 /// Comparison operators for probability bounds (`P>=0.99 [...]`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Cmp {
@@ -232,6 +234,14 @@ pub enum Property {
     RewardQuery(RewardQuery),
     /// `S=? [φ]` — the long-run probability of being in a φ-state.
     SteadyQuery(StateFormula),
+    /// `Pmin=? [path]` / `Pmax=? [path]` — the optimal path probability
+    /// over all resolutions of nondeterminism. The natural query forms for
+    /// MDPs (checked by [`crate::check_mdp_query`]); on a DTMC every
+    /// scheduler sees the same chain, so both collapse to `P=?`.
+    OptProbQuery(Opt, PathFormula),
+    /// `Rmin=? [...]` / `Rmax=? [...]` — the optimal expected reward over
+    /// all resolutions of nondeterminism (collapses to `R=?` on a DTMC).
+    OptRewardQuery(Opt, RewardQuery),
 }
 
 impl fmt::Display for Property {
@@ -241,6 +251,8 @@ impl fmt::Display for Property {
             Property::Bool(s) => write!(f, "{s}"),
             Property::RewardQuery(r) => write!(f, "R=? [ {r} ]"),
             Property::SteadyQuery(s) => write!(f, "S=? [ {s} ]"),
+            Property::OptProbQuery(opt, p) => write!(f, "P{opt}=? [ {p} ]"),
+            Property::OptRewardQuery(opt, r) => write!(f, "R{opt}=? [ {r} ]"),
         }
     }
 }
@@ -291,6 +303,30 @@ mod tests {
         assert_eq!(s.to_string(), "S=? [ flag ]");
         let x = Property::ProbQuery(PathFormula::Next(StateFormula::ap("y")));
         assert_eq!(x.to_string(), "P=? [ X y ]");
+    }
+
+    #[test]
+    fn min_max_query_display() {
+        let p = Property::OptProbQuery(
+            Opt::Max,
+            PathFormula::Finally {
+                inner: StateFormula::ap("err"),
+                bound: TimeBound::Upper(300),
+            },
+        );
+        assert_eq!(p.to_string(), "Pmax=? [ F<=300 err ]");
+        let p = Property::OptProbQuery(
+            Opt::Min,
+            PathFormula::Globally {
+                inner: StateFormula::ap("flag").not(),
+                bound: TimeBound::None,
+            },
+        );
+        assert_eq!(p.to_string(), "Pmin=? [ G !flag ]");
+        let r = Property::OptRewardQuery(Opt::Min, RewardQuery::Reach(StateFormula::ap("done")));
+        assert_eq!(r.to_string(), "Rmin=? [ F done ]");
+        let r = Property::OptRewardQuery(Opt::Max, RewardQuery::Cumulative(50));
+        assert_eq!(r.to_string(), "Rmax=? [ C<=50 ]");
     }
 
     #[test]

@@ -40,6 +40,15 @@ pub struct CheckResult {
 }
 
 impl CheckResult {
+    /// Assembles a result (shared with the MDP checker in [`crate::mdp`]).
+    pub(crate) fn assemble(value: f64, boolean: Option<bool>, time: Duration) -> CheckResult {
+        CheckResult {
+            value,
+            boolean,
+            time,
+        }
+    }
+
     /// The numeric value of the query (for boolean queries, 1.0 or 0.0).
     pub fn value(&self) -> f64 {
         self.value
@@ -79,6 +88,13 @@ pub fn check_query(dtmc: &Dtmc, property: &Property) -> Result<CheckResult, Pctl
             let sat = sat_states(dtmc, f)?;
             (steady_prob(dtmc, &sat)?, None)
         }
+        // On a DTMC there is no nondeterminism to optimize over: every
+        // scheduler sees the same chain, so Pmin = Pmax = P and
+        // Rmin = Rmax = R. Accepting the forms here lets property files be
+        // shared between a design's DTMC and MDP variants (and lets tests
+        // pin the MDP checker against this one on single-action models).
+        Property::OptProbQuery(_, path) => (path_prob_from_initial(dtmc, path)?, None),
+        Property::OptRewardQuery(_, q) => (reward_query(dtmc, q)?, None),
     };
     Ok(CheckResult {
         value,

@@ -15,6 +15,11 @@
 //!   forward transient propagation for initial-state queries and backward
 //!   value iteration for per-state satisfaction (both provided; they agree,
 //!   and the tests enforce it).
+//! * [`mdp`] — the checker for nondeterministic models
+//!   ([`smg_mdp::Mdp`]): the `Pmin=?`/`Pmax=?`/`Rmin=?`/`Rmax=?` query
+//!   forms quantify over all resolutions of the nondeterminism via
+//!   `smg-mdp`'s min/max value iteration, giving worst-case design
+//!   guarantees where the DTMC forms give probabilistic ones.
 //!
 //! # Example
 //!
@@ -46,9 +51,11 @@
 pub mod ast;
 pub mod check;
 pub mod error;
+pub mod mdp;
 pub mod parser;
 
-pub use ast::{Cmp, PathFormula, Property, RewardQuery, StateFormula};
+pub use ast::{Cmp, Opt, PathFormula, Property, RewardQuery, StateFormula};
 pub use check::{check_query, path_prob_from_initial, sat_states, CheckResult};
 pub use error::PctlError;
+pub use mdp::{check_mdp_query, opt_path_values, sat_states_mdp};
 pub use parser::parse_property;

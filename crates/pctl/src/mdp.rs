@@ -1,0 +1,378 @@
+//! The pCTL model checker for MDPs.
+//!
+//! Quantitative queries over an MDP must say *which* resolution of the
+//! nondeterminism they mean: [`check_mdp_query`] accepts the `Pmin=?` /
+//! `Pmax=?` / `Rmin=?` / `Rmax=?` forms (worst case / best case over all
+//! schedulers) and rejects the scheduler-ambiguous plain `P=?` / `R=?` /
+//! `S=?` forms with a pointed [`PctlError::Unsupported`]. Boolean state
+//! formulas over labels work unchanged.
+//!
+//! All numeric evaluation happens *backwards* — per-state optimal value
+//! vectors from `smg-mdp`'s value iteration, folded over the initial
+//! distribution at the end. (A scheduler observes the state, including the
+//! initial draw, so the optimal value of a distribution is the expectation
+//! of the per-state optima; there is no MDP analogue of the DTMC checker's
+//! forward transient pass.)
+
+use crate::ast::{Opt, PathFormula, Property, RewardQuery, StateFormula, TimeBound};
+use crate::check::CheckResult;
+use crate::error::PctlError;
+use smg_dtmc::BitVec;
+use smg_mdp::{vi, Mdp, ViOptions};
+use std::time::Instant;
+
+/// Evaluates a top-level property against the MDP's initial distribution.
+///
+/// # Errors
+///
+/// * [`PctlError::Unsupported`] for query forms that are ambiguous on an
+///   MDP (`P=?`, `R=?`, `S=?`, and threshold operators `P⋈p [...]`).
+/// * [`PctlError::Dtmc`] for unknown labels or non-convergence.
+///
+/// # Example
+///
+/// ```
+/// use smg_mdp::{Mdp, MdpBuilder};
+/// use smg_pctl::{check_mdp_query, parse_property};
+/// use std::collections::BTreeMap;
+///
+/// // One state choosing between a safe loop and a risky exit to "err".
+/// let mut b = MdpBuilder::default();
+/// b.push_action(&mut [(0, 1.0)]).unwrap();
+/// b.push_action(&mut [(0, 0.2), (1, 0.8)]).unwrap();
+/// b.finish_state().unwrap();
+/// b.push_action(&mut [(1, 1.0)]).unwrap();
+/// b.finish_state().unwrap();
+/// let mut labels = BTreeMap::new();
+/// labels.insert("err".into(), smg_dtmc::BitVec::from_fn(2, |i| i == 1));
+/// let mdp = Mdp::new(b.finish(), vec![(0, 1.0)], labels, vec![0.0, 0.0]).unwrap();
+///
+/// let worst = check_mdp_query(&mdp, &parse_property("Pmax=? [ F err ]")?)?;
+/// let best = check_mdp_query(&mdp, &parse_property("Pmin=? [ F err ]")?)?;
+/// assert!((worst.value() - 1.0).abs() < 1e-9); // adversary keeps trying
+/// assert_eq!(best.value(), 0.0);               // or never tries at all
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_mdp_query(mdp: &Mdp, property: &Property) -> Result<CheckResult, PctlError> {
+    let start = Instant::now();
+    let vio = ViOptions::default();
+    let (value, boolean) = match property {
+        Property::OptProbQuery(opt, path) => {
+            let vals = opt_path_values(mdp, path, *opt, &vio)?;
+            (initial_expectation(mdp, &vals), None)
+        }
+        Property::OptRewardQuery(opt, q) => (opt_reward_query(mdp, q, *opt, &vio)?, None),
+        Property::Bool(f) => {
+            let sat = sat_states_mdp(mdp, f)?;
+            let ok = mdp
+                .initial()
+                .iter()
+                .all(|&(s, p)| p == 0.0 || sat.get(s as usize));
+            (if ok { 1.0 } else { 0.0 }, Some(ok))
+        }
+        Property::ProbQuery(_) => {
+            return Err(PctlError::Unsupported {
+                construct: "P=? on an MDP (use Pmin=? / Pmax=? to fix the scheduler \
+                            quantification)"
+                    .into(),
+            })
+        }
+        Property::RewardQuery(_) => {
+            return Err(PctlError::Unsupported {
+                construct: "R=? on an MDP (use Rmin=? / Rmax=?)".into(),
+            })
+        }
+        Property::SteadyQuery(_) => {
+            return Err(PctlError::Unsupported {
+                construct: "S=? on an MDP (long-run averages are scheduler-dependent)".into(),
+            })
+        }
+    };
+    Ok(CheckResult::assemble(value, boolean, start.elapsed()))
+}
+
+/// The set of states satisfying a (boolean) state formula over an MDP's
+/// labels. Threshold operators `P⋈p [...]` are rejected: their satisfaction
+/// set on an MDP depends on the scheduler quantifier, which this syntax
+/// does not carry.
+///
+/// # Errors
+///
+/// [`PctlError::Dtmc`] for unknown labels; [`PctlError::Unsupported`] for
+/// nested probability operators.
+pub fn sat_states_mdp(mdp: &Mdp, formula: &StateFormula) -> Result<BitVec, PctlError> {
+    let n = mdp.n_states();
+    match formula {
+        StateFormula::True => Ok(BitVec::ones(n)),
+        StateFormula::False => Ok(BitVec::zeros(n)),
+        StateFormula::Ap(name) => Ok(mdp.label(name)?.clone()),
+        StateFormula::Not(f) => Ok(sat_states_mdp(mdp, f)?.not()),
+        StateFormula::And(a, b) => Ok(sat_states_mdp(mdp, a)?.and(&sat_states_mdp(mdp, b)?)),
+        StateFormula::Or(a, b) => Ok(sat_states_mdp(mdp, a)?.or(&sat_states_mdp(mdp, b)?)),
+        StateFormula::Implies(a, b) => {
+            Ok(sat_states_mdp(mdp, a)?.not().or(&sat_states_mdp(mdp, b)?))
+        }
+        StateFormula::Prob { .. } => Err(PctlError::Unsupported {
+            construct: "nested P⋈p operator inside an MDP formula (its satisfaction set \
+                        depends on the scheduler quantifier)"
+                .into(),
+        }),
+    }
+}
+
+/// The optimal probability of the path formula *from every state*.
+///
+/// # Errors
+///
+/// As for [`check_mdp_query`].
+pub fn opt_path_values(
+    mdp: &Mdp,
+    path: &PathFormula,
+    opt: Opt,
+    vio: &ViOptions,
+) -> Result<Vec<f64>, PctlError> {
+    let n = mdp.n_states();
+    match path {
+        PathFormula::Next(f) => {
+            let sat = sat_states_mdp(mdp, f)?;
+            let x: Vec<f64> = (0..n).map(|i| if sat.get(i) { 1.0 } else { 0.0 }).collect();
+            let mut out = vec![0.0; n];
+            vi::optimal_step_into(mdp, &x, None, opt, &mut out, vio);
+            Ok(out)
+        }
+        PathFormula::Until { lhs, rhs, bound } => {
+            let l = sat_states_mdp(mdp, lhs)?;
+            let r = sat_states_mdp(mdp, rhs)?;
+            opt_until_values(mdp, &l, &r, *bound, opt, vio)
+        }
+        PathFormula::Finally { inner, bound } => {
+            let f = sat_states_mdp(mdp, inner)?;
+            let all = BitVec::ones(n);
+            opt_until_values(mdp, &all, &f, *bound, opt, vio)
+        }
+        PathFormula::Globally { inner, bound } => {
+            // G φ = ¬F ¬φ, with the *dual* optimum: the scheduler
+            // maximizing the invariant minimizes the violation.
+            let f = sat_states_mdp(mdp, inner)?;
+            let bad = f.not();
+            let all = BitVec::ones(n);
+            let reach = opt_until_values(mdp, &all, &bad, *bound, opt.dual(), vio)?;
+            Ok(reach.into_iter().map(|p| 1.0 - p).collect())
+        }
+    }
+}
+
+/// Optimal until values for every [`TimeBound`] variant. Interval bounds
+/// follow PRISM's semantics (the prefix must stay in `lhs`; reaching `rhs`
+/// before the window opens does not count), mirrored from the DTMC
+/// checker's `interval_until_values` with optimal backups.
+fn opt_until_values(
+    mdp: &Mdp,
+    lhs: &BitVec,
+    rhs: &BitVec,
+    bound: TimeBound,
+    opt: Opt,
+    vio: &ViOptions,
+) -> Result<Vec<f64>, PctlError> {
+    match bound {
+        TimeBound::Upper(t) => Ok(vi::bounded_until_values(
+            mdp, lhs, rhs, t as usize, opt, vio,
+        )?),
+        TimeBound::None => Ok(vi::unbounded_until_values(mdp, lhs, rhs, opt, vio)?),
+        TimeBound::Interval(a, b) => {
+            let mut x = vi::bounded_until_values(mdp, lhs, rhs, (b - a) as usize, opt, vio)?;
+            let mut next = vec![0.0; x.len()];
+            for _ in 0..a {
+                vi::optimal_step_into(mdp, &x, Some(lhs), opt, &mut next, vio);
+                // Non-lhs states die during the prefix (rhs does not
+                // absorb yet).
+                for (i, v) in next.iter_mut().enumerate() {
+                    if !lhs.get(i) {
+                        *v = 0.0;
+                    }
+                }
+                std::mem::swap(&mut x, &mut next);
+            }
+            Ok(x)
+        }
+    }
+}
+
+fn opt_reward_query(
+    mdp: &Mdp,
+    q: &RewardQuery,
+    opt: Opt,
+    vio: &ViOptions,
+) -> Result<f64, PctlError> {
+    match q {
+        RewardQuery::Instantaneous(t) => {
+            let vals = vi::instantaneous_reward_values(mdp, *t as usize, opt, vio);
+            Ok(initial_expectation(mdp, &vals))
+        }
+        RewardQuery::Cumulative(t) => {
+            let vals = vi::cumulative_reward_values(mdp, *t as usize, opt, vio);
+            Ok(initial_expectation(mdp, &vals))
+        }
+        RewardQuery::Reach(phi) => {
+            let target = sat_states_mdp(mdp, phi)?;
+            let vals = vi::reach_reward_values(mdp, &target, opt, vio)?;
+            // Skip zero-mass initial states so `0 × ∞` cannot poison the
+            // expectation with NaN (same guard as the DTMC checker).
+            Ok(mdp
+                .initial()
+                .iter()
+                .filter(|&&(_, p)| p > 0.0)
+                .map(|&(s, p)| p * vals[s as usize])
+                .sum())
+        }
+    }
+}
+
+fn initial_expectation(mdp: &Mdp, vals: &[f64]) -> f64 {
+    mdp.initial()
+        .iter()
+        .map(|&(s, p)| p * vals[s as usize])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_property;
+    use smg_mdp::MdpBuilder;
+    use std::collections::BTreeMap;
+
+    /// The DTMC checker's gadget with an added adversary choice in state 0:
+    /// action 0 behaves like the original chain (0 → {1: ½, 2: ½}), action
+    /// 1 restarts (0 → 0). States: 0 start, 1 middle, 2 "bad" absorbing,
+    /// 3 "goal" absorbing; 1 → {3: ½, 0: ½}.
+    fn gadget_mdp() -> Mdp {
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(1, 0.5), (2, 0.5)]).unwrap();
+        b.push_action(&mut [(0, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 0.5), (0, 0.5)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(2, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("goal".to_string(), BitVec::from_fn(4, |i| i == 3));
+        labels.insert("bad".to_string(), BitVec::from_fn(4, |i| i == 2));
+        Mdp::new(b.finish(), vec![(0, 1.0)], labels, vec![0.0, 0.0, 0.0, 1.0]).unwrap()
+    }
+
+    fn q(mdp: &Mdp, prop: &str) -> f64 {
+        check_mdp_query(mdp, &parse_property(prop).unwrap())
+            .unwrap()
+            .value()
+    }
+
+    #[test]
+    fn unbounded_min_max_reach() {
+        let m = gadget_mdp();
+        // Max: restarting is useless (same 1/3 as the DTMC); the optimum
+        // solves p = ½(½ + ½p) → p = 1/3.
+        let pmax = q(&m, "Pmax=? [ F goal ]");
+        assert!((pmax - 1.0 / 3.0).abs() < 1e-9, "pmax = {pmax}");
+        // Min: the adversary restarts forever and never reaches goal.
+        assert_eq!(q(&m, "Pmin=? [ F goal ]"), 0.0);
+        // Dually for bad.
+        assert_eq!(q(&m, "Pmin=? [ F bad ]"), 0.0);
+        let pmax_bad = q(&m, "Pmax=? [ F bad ]");
+        assert!((pmax_bad - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn globally_duality() {
+        let m = gadget_mdp();
+        // Pmax[G !bad] = 1 - Pmin[F bad] = 1 (restart forever).
+        assert_eq!(q(&m, "Pmax=? [ G !bad ]"), 1.0);
+        // Pmin[G !bad] = 1 - Pmax[F bad] = 1/3.
+        let pmin_g = q(&m, "Pmin=? [ G !bad ]");
+        assert!((pmin_g - 1.0 / 3.0).abs() < 1e-9);
+        // Bounded variant.
+        let g2 = q(&m, "Pmin=? [ G<=2 !bad ]");
+        assert!((g2 - 0.5).abs() < 1e-12, "g2 = {g2}");
+    }
+
+    #[test]
+    fn bounded_and_interval_untils() {
+        let m = gadget_mdp();
+        assert_eq!(q(&m, "Pmax=? [ F<=1 goal ]"), 0.0);
+        assert!((q(&m, "Pmax=? [ F<=2 goal ]") - 0.25).abs() < 1e-12);
+        assert!((q(&m, "Pmax=? [ F<=4 goal ]") - 0.3125).abs() < 1e-12);
+        // F[0,t] coincides with F<=t.
+        for t in [0u64, 1, 2, 5] {
+            let a = q(&m, &format!("Pmax=? [ F[0,{t}] goal ]"));
+            let b = q(&m, &format!("Pmax=? [ F<={t} goal ]"));
+            assert!((a - b).abs() < 1e-12, "t={t}: {a} vs {b}");
+        }
+        // Next: one optimal step.
+        assert!((q(&m, "Pmax=? [ X bad ]") - 0.5).abs() < 1e-12);
+        assert_eq!(q(&m, "Pmin=? [ X bad ]"), 0.0);
+        // Until with a constraining lhs: forbidden middle state kills the
+        // only path to goal.
+        assert_eq!(q(&m, "Pmax=? [ (goal | bad) U goal ]"), 0.0);
+    }
+
+    #[test]
+    fn reward_queries() {
+        let m = gadget_mdp();
+        // Instantaneous reward = P(in goal at exactly t) optimized; the
+        // restart action lets the adversary pin it to 0.
+        assert_eq!(q(&m, "Rmin=? [ I=5 ]"), 0.0);
+        let rmax = q(&m, "Rmax=? [ I=4 ]");
+        assert!((rmax - 0.3125).abs() < 1e-12, "rmax = {rmax}");
+        // Cumulative: goal is absorbing with reward 1, so Rmax grows with
+        // the horizon while Rmin stays 0.
+        assert_eq!(q(&m, "Rmin=? [ C<=10 ]"), 0.0);
+        assert!(q(&m, "Rmax=? [ C<=10 ]") > 1.0);
+        // Reach rewards: reaching (goal|bad) is possible but not certain
+        // under the worst scheduler (restart forever) → Rmax = ∞; the best
+        // scheduler reaches it with certainty without collecting reward.
+        assert_eq!(q(&m, "Rmax=? [ F (goal | bad) ]"), f64::INFINITY);
+        assert_eq!(q(&m, "Rmin=? [ F (goal | bad) ]"), 0.0);
+    }
+
+    #[test]
+    fn boolean_queries_work_and_ambiguous_forms_error() {
+        let m = gadget_mdp();
+        let r = check_mdp_query(&m, &parse_property("!goal").unwrap()).unwrap();
+        assert_eq!(r.verdict(), Some(true));
+        let r = check_mdp_query(&m, &parse_property("goal | !bad").unwrap()).unwrap();
+        assert_eq!(r.verdict(), Some(true));
+        for bad in ["P=? [ F goal ]", "R=? [ I=3 ]", "S=? [ goal ]"] {
+            let e = check_mdp_query(&m, &parse_property(bad).unwrap()).unwrap_err();
+            assert!(matches!(e, PctlError::Unsupported { .. }), "{bad}: {e}");
+        }
+        let e = check_mdp_query(&m, &parse_property("P>=0.5 [ F goal ]").unwrap()).unwrap_err();
+        assert!(matches!(e, PctlError::Unsupported { .. }));
+        let e = check_mdp_query(&m, &parse_property("Pmax=? [ F nope ]").unwrap()).unwrap_err();
+        assert!(matches!(e, PctlError::Dtmc(_)));
+    }
+
+    #[test]
+    fn min_max_bracket_every_memoryless_scheduler() {
+        let m = gadget_mdp();
+        let goal = m.label("goal").unwrap().clone();
+        let pmin = q(&m, "Pmin=? [ F goal ]");
+        let pmax = q(&m, "Pmax=? [ F goal ]");
+        // Enumerate both memoryless schedulers of state 0 (other states
+        // have one action); their DTMC values must lie in [pmin, pmax],
+        // with the extremes attained.
+        let mut vals = Vec::new();
+        for a0 in 0..2u32 {
+            let d = m.induced_dtmc(&[a0, 0, 0, 0]).unwrap();
+            let v =
+                smg_dtmc::transient::unbounded_reach_values(&d, &goal, 1e-12, 1_000_000).unwrap();
+            let p: f64 = d.initial().iter().map(|&(s, w)| w * v[s as usize]).sum();
+            vals.push(p);
+            assert!(p >= pmin - 1e-9 && p <= pmax + 1e-9, "a0={a0}: {p}");
+        }
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(0.0, f64::max);
+        assert!((lo - pmin).abs() < 1e-9 && (hi - pmax).abs() < 1e-9);
+    }
+}

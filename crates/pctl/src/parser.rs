@@ -4,7 +4,9 @@
 //!
 //! ```text
 //! property := 'P' '=?' '[' path ']'
+//!           | ('Pmin' | 'Pmax') '=?' '[' path ']'
 //!           | 'R' '=?' '[' reward ']'
+//!           | ('Rmin' | 'Rmax') '=?' '[' reward ']'
 //!           | 'S' '=?' '[' state ']'
 //!           | state                      (boolean query)
 //! reward   := 'I' '=' INT | 'C' '<=' INT | 'F' state
@@ -24,7 +26,7 @@
 //! The paper's properties parse verbatim:
 //! `P=? [ G<=300 !flag ]`, `R=? [ I=300 ]`, `P=? [ F<=300 count_exceeds ]`.
 
-use crate::ast::{Cmp, PathFormula, Property, RewardQuery, StateFormula, TimeBound};
+use crate::ast::{Cmp, Opt, PathFormula, Property, RewardQuery, StateFormula, TimeBound};
 use crate::error::PctlError;
 
 /// Parses a property string.
@@ -197,6 +199,37 @@ impl<'a> Parser<'a> {
 
     fn property(&mut self) -> Result<Property, PctlError> {
         self.skip_ws();
+        // Min/max query forms first: `Pmin`/`Pmax` would otherwise lex as
+        // plain identifiers (the bare `P`/`R` keyword checks stop at the
+        // word boundary and cannot eat them).
+        for (kw, opt) in [("Pmin", Opt::Min), ("Pmax", Opt::Max)] {
+            if self.peek_keyword(kw) {
+                let save = self.pos;
+                assert!(self.eat_keyword(kw));
+                if self.eat("=?") {
+                    self.expect("[")?;
+                    let path = self.path()?;
+                    self.expect("]")?;
+                    return Ok(Property::OptProbQuery(opt, path));
+                }
+                // An AP that happens to be called Pmin/Pmax.
+                self.pos = save;
+                return Ok(Property::Bool(self.state()?));
+            }
+        }
+        for (kw, opt) in [("Rmin", Opt::Min), ("Rmax", Opt::Max)] {
+            if self.peek_keyword(kw) {
+                let save = self.pos;
+                assert!(self.eat_keyword(kw));
+                if self.eat("=?") {
+                    let q = self.reward_body()?;
+                    return Ok(Property::OptRewardQuery(opt, q));
+                }
+                // An AP that happens to be called Rmin/Rmax.
+                self.pos = save;
+                return Ok(Property::Bool(self.state()?));
+            }
+        }
         if self.peek_keyword("P") {
             let save = self.pos;
             assert!(self.eat_keyword("P"));
@@ -212,19 +245,7 @@ impl<'a> Parser<'a> {
         }
         if self.eat_keyword("R") {
             self.expect("=?")?;
-            self.expect("[")?;
-            let q = if self.eat_keyword("I") {
-                self.expect("=")?;
-                RewardQuery::Instantaneous(self.integer()?)
-            } else if self.eat_keyword("C") {
-                self.expect("<=")?;
-                RewardQuery::Cumulative(self.integer()?)
-            } else if self.eat_keyword("F") {
-                RewardQuery::Reach(self.state()?)
-            } else {
-                return Err(self.err("expected `I=`, `C<=` or `F` in reward query"));
-            };
-            self.expect("]")?;
+            let q = self.reward_body()?;
             return Ok(Property::RewardQuery(q));
         }
         if self.eat_keyword("S") {
@@ -235,6 +256,25 @@ impl<'a> Parser<'a> {
             return Ok(Property::SteadyQuery(f));
         }
         Ok(Property::Bool(self.state()?))
+    }
+
+    /// The `[ I=t | C<=t | F φ ]` tail shared by `R`, `Rmin` and `Rmax`
+    /// (the caller has already consumed `=?`).
+    fn reward_body(&mut self) -> Result<RewardQuery, PctlError> {
+        self.expect("[")?;
+        let q = if self.eat_keyword("I") {
+            self.expect("=")?;
+            RewardQuery::Instantaneous(self.integer()?)
+        } else if self.eat_keyword("C") {
+            self.expect("<=")?;
+            RewardQuery::Cumulative(self.integer()?)
+        } else if self.eat_keyword("F") {
+            RewardQuery::Reach(self.state()?)
+        } else {
+            return Err(self.err("expected `I=`, `C<=` or `F` in reward query"));
+        };
+        self.expect("]")?;
+        Ok(q)
     }
 
     fn bound(&mut self) -> Result<TimeBound, PctlError> {
@@ -414,6 +454,35 @@ mod tests {
         round_trip("(a => b)");
         round_trip("P>=0.99 [ F<=5 ok ]");
         round_trip("P<0.001 [ G bad ]");
+    }
+
+    #[test]
+    fn min_max_queries_parse() {
+        round_trip("Pmax=? [ F<=300 err ]");
+        round_trip("Pmin=? [ G<=300 !flag ]");
+        round_trip("Pmin=? [ a U<=10 b ]");
+        round_trip("Pmax=? [ X done ]");
+        round_trip("Rmax=? [ I=300 ]");
+        round_trip("Rmin=? [ C<=50 ]");
+        round_trip("Rmin=? [ F done ]");
+        let p = parse_property("Pmax=? [ F err ]").unwrap();
+        assert!(matches!(p, Property::OptProbQuery(Opt::Max, _)));
+        let p = parse_property("Rmin=? [ F done ]").unwrap();
+        assert!(matches!(p, Property::OptRewardQuery(Opt::Min, _)));
+        // An atomic proposition that merely *starts* like the keywords.
+        let p = parse_property("Pminish").unwrap();
+        assert_eq!(p, Property::Bool(StateFormula::ap("Pminish")));
+        // A bare AP exactly named Pmin/Rmax still works as a boolean query.
+        let p = parse_property("Pmin & flag").unwrap();
+        assert_eq!(
+            p,
+            Property::Bool(StateFormula::ap("Pmin").and(StateFormula::ap("flag")))
+        );
+        let p = parse_property("Rmax | Rmin").unwrap();
+        assert_eq!(
+            p,
+            Property::Bool(StateFormula::ap("Rmax").or(StateFormula::ap("Rmin")))
+        );
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //!
 //! The [`smc`] module adds the middle ground the paper cites as related
 //! work: *statistical model checking* of time-bounded path formulas by
-//! SPRT hypothesis testing and Chernoff-bound estimation.
+//! SPRT hypothesis testing and Chernoff-bound estimation. [`mdp_smc`]
+//! extends it to nondeterministic models: paths of an `smg-mdp` MDP are
+//! sampled under an explicit scheduler (uniform-random or a memoryless
+//! table such as the extremal schedulers extracted from value iteration),
+//! cross-validating the exact `Pmin`/`Pmax` engine statistically.
 //!
 //! # Example
 //!
@@ -37,12 +41,14 @@
 pub mod compare;
 pub mod detector_sim;
 pub mod estimator;
+pub mod mdp_smc;
 pub mod smc;
 pub mod viterbi_sim;
 
 pub use compare::AgreementReport;
 pub use detector_sim::DetectorSimulation;
 pub use estimator::BerEstimator;
+pub use mdp_smc::{estimate_mdp, Scheduler};
 pub use smc::{
     estimate, okamoto_bound, sprt, ApproxResult, SmcError, SprtConfig, SprtDecision, SprtOutcome,
 };

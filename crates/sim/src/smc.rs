@@ -34,17 +34,17 @@ use smg_pctl::{sat_states, PctlError};
 /// Sample-count threshold above which [`estimate`] batches its trajectories
 /// over the engine's worker pool. Below it, the single-RNG sequential
 /// sampler runs (byte-for-byte the behaviour of earlier releases).
-const PAR_SAMPLE_MIN: u64 = 8_192;
+pub(crate) const PAR_SAMPLE_MIN: u64 = 8_192;
 
 /// Number of fixed strata a parallel [`estimate`] splits its samples into.
 /// The stratum count — not the worker count — defines the RNG streams, so
 /// the estimate is identical for every `SMG_THREADS` setting (and with the
 /// `parallel` feature off, where the strata run sequentially in order).
-const ESTIMATE_STRATA: usize = 64;
+pub(crate) const ESTIMATE_STRATA: usize = 64;
 
 /// Derives the RNG seed of one stratum from the caller's seed
 /// (SplitMix64-style odd-constant stream separation).
-fn stratum_seed(seed: u64, stratum: usize) -> u64 {
+pub(crate) fn stratum_seed(seed: u64, stratum: usize) -> u64 {
     seed ^ (stratum as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
@@ -94,7 +94,7 @@ impl From<PctlError> for SmcError {
 pub struct CompiledPath {
     kind: PathKind,
     /// Number of transitions a sample must take to decide the formula.
-    horizon: usize,
+    pub(crate) horizon: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -122,6 +122,32 @@ impl CompiledPath {
     /// [`SmcError::Unbounded`] for formulas with no finite bound;
     /// [`SmcError::Pctl`] if a state subformula fails to resolve.
     pub fn compile(dtmc: &Dtmc, path: &PathFormula) -> Result<CompiledPath, SmcError> {
+        CompiledPath::compile_with(dtmc.n_states(), &|f| Ok(sat_states(dtmc, f)?), path)
+    }
+
+    /// Resolves a bounded path formula against an MDP's labels (used by
+    /// the scheduler samplers in [`crate::mdp_smc`]). Nested `P⋈p`
+    /// operators are rejected — their satisfaction set on an MDP depends
+    /// on the scheduler quantifier.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledPath::compile`].
+    pub fn compile_mdp(mdp: &smg_mdp::Mdp, path: &PathFormula) -> Result<CompiledPath, SmcError> {
+        CompiledPath::compile_with(
+            mdp.n_states(),
+            &|f| Ok(smg_pctl::sat_states_mdp(mdp, f)?),
+            path,
+        )
+    }
+
+    /// The shared compilation body, parameterized by the state-formula
+    /// resolver of the model family.
+    fn compile_with(
+        n: usize,
+        sat: &dyn Fn(&smg_pctl::StateFormula) -> Result<BitVec, SmcError>,
+        path: &PathFormula,
+    ) -> Result<CompiledPath, SmcError> {
         let bounds = |b: &TimeBound| -> Result<(usize, usize), SmcError> {
             match b {
                 TimeBound::Upper(t) => Ok((0, *t as usize)),
@@ -131,15 +157,15 @@ impl CompiledPath {
         };
         Ok(match path {
             PathFormula::Next(f) => CompiledPath {
-                kind: PathKind::Next(sat_states(dtmc, f)?),
+                kind: PathKind::Next(sat(f)?),
                 horizon: 1,
             },
             PathFormula::Until { lhs, rhs, bound } => {
                 let (lo, hi) = bounds(bound)?;
                 CompiledPath {
                     kind: PathKind::Until {
-                        lhs: sat_states(dtmc, lhs)?,
-                        rhs: sat_states(dtmc, rhs)?,
+                        lhs: sat(lhs)?,
+                        rhs: sat(rhs)?,
                         lo,
                         hi,
                         negated: false,
@@ -151,8 +177,8 @@ impl CompiledPath {
                 let (lo, hi) = bounds(bound)?;
                 CompiledPath {
                     kind: PathKind::Until {
-                        lhs: BitVec::ones(dtmc.n_states()),
-                        rhs: sat_states(dtmc, inner)?,
+                        lhs: BitVec::ones(n),
+                        rhs: sat(inner)?,
                         lo,
                         hi,
                         negated: false,
@@ -164,8 +190,8 @@ impl CompiledPath {
                 let (lo, hi) = bounds(bound)?;
                 CompiledPath {
                     kind: PathKind::Until {
-                        lhs: BitVec::ones(dtmc.n_states()),
-                        rhs: sat_states(dtmc, inner)?.not(),
+                        lhs: BitVec::ones(n),
+                        rhs: sat(inner)?.not(),
                         lo,
                         hi,
                         negated: true,
@@ -178,7 +204,7 @@ impl CompiledPath {
 
     /// Evaluates the formula on a sampled trace (`trace[0]` is the initial
     /// state; `trace.len() == horizon + 1`).
-    fn holds(&self, trace: &[StateId]) -> bool {
+    pub(crate) fn holds(&self, trace: &[StateId]) -> bool {
         match &self.kind {
             PathKind::Next(sat) => sat.get(trace[1] as usize),
             PathKind::Until {

@@ -16,7 +16,8 @@
 //! | [`signal`] | `smg-signal` | complex numbers, Gaussian tails, SNR, BPSK, quantizers, Rayleigh fading |
 //! | [`rtl`] | `smg-rtl` | saturating counters, shift registers, clocked components |
 //! | [`dtmc`] | `smg-dtmc` | DTMC models, state-space exploration, transient/steady-state analysis |
-//! | [`pctl`] | `smg-pctl` | pCTL syntax, parser, model-checking algorithms |
+//! | [`mdp`] | `smg-mdp` | MDP models (nondeterminism + probability), min/max value iteration for worst-case guarantees |
+//! | [`pctl`] | `smg-pctl` | pCTL syntax, parser, model-checking algorithms (incl. `Pmin`/`Pmax` over MDPs) |
 //! | [`reduce`] | `smg-reduce` | strong lumping, bisimulation certificates, symmetry reduction |
 //! | [`viterbi`] | `smg-viterbi` | the Viterbi decoder case study (full, reduced, convergence models) |
 //! | [`detector`] | `smg-detector` | the ML MIMO detector case study (full, symmetry-reduced models) |
@@ -49,6 +50,7 @@ pub use smg_core as core;
 pub use smg_detector as detector;
 pub use smg_dtmc as dtmc;
 pub use smg_lang as lang;
+pub use smg_mdp as mdp;
 pub use smg_pctl as pctl;
 pub use smg_reduce as reduce;
 pub use smg_rtl as rtl;
@@ -64,8 +66,11 @@ pub mod prelude {
     };
     pub use smg_detector::{DetectorConfig, DetectorModel, SymmetricDetectorModel};
     pub use smg_dtmc::{explore, explore_memoryless, DtmcModel, ExploreOptions, MemorylessModel};
-    pub use smg_lang::{compile as lang_compile, parse as lang_parse};
-    pub use smg_pctl::{check_query, parse_property};
+    pub use smg_lang::{
+        compile as lang_compile, compile_mdp as lang_compile_mdp, parse as lang_parse,
+    };
+    pub use smg_mdp::{explore as explore_mdp, MdpModel, Opt, ViOptions};
+    pub use smg_pctl::{check_mdp_query, check_query, parse_property};
     pub use smg_sim::{
         estimate, sprt, BerEstimator, DetectorSimulation, SprtConfig, ViterbiSimulation,
     };

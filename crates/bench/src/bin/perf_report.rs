@@ -21,7 +21,13 @@
 //!   value-iteration step) on a synthetic ~3-actions-per-state MDP at
 //!   n ∈ {1e3, 1e5}, swept over dedicated 1/2/4-lane pools (lanes = 1 is
 //!   the sequential fallback; multi-lane runs use the dynamically
-//!   dispatched chunk kernel and are bit-identical to it).
+//!   dispatched chunk kernel and are bit-identical to it);
+//! * a `certified` section: end-to-end unbounded-reachability solve time
+//!   of certified interval iteration against the plain residual-test value
+//!   iteration it replaces, at the SpMV sizes — the cost of a sound error
+//!   bound (a dual sweep does roughly twice the work per iteration, plus
+//!   the qualitative pre-pass, minus whatever the residual test
+//!   under-iterates).
 //!
 //! Future PRs append their own run to compare trajectories; keep the keys
 //! stable.
@@ -326,6 +332,35 @@ fn main() {
         }
     }
 
+    // Certified interval iteration vs the plain residual-test VI it
+    // replaces: full unbounded-reachability solves, interleaved.
+    // Full solves are orders of magnitude longer than single sweeps, so
+    // the size sweep stops at 1e5 and the reps stay small — the overhead
+    // ratio is stable well before the big-kernel rep counts.
+    let mut certified_entries: Vec<(usize, f64, f64)> = Vec::new();
+    for &n in &[1_000usize, 100_000] {
+        let dtmc = synthetic_chain(n);
+        let target = BitVec::from_fn(n, |i| i % 97 == 0);
+        let reps = if n >= 100_000 { 2 } else { 5 };
+        let (plain, interval) = time_pair_ns(
+            reps,
+            || {
+                smg_dtmc::transient::unbounded_reach_values(&dtmc, &target, 1e-8, 1_000_000)
+                    .expect("plain VI converges")
+            },
+            || {
+                smg_dtmc::solve::interval_reach_values(&dtmc, &target, 1e-8, 10_000_000)
+                    .expect("interval iteration converges")
+            },
+        );
+        eprintln!(
+            "certified n={n}: plain VI {plain:.0} ns, interval {interval:.0} ns \
+             ({:.2}x overhead)",
+            interval / plain.max(1.0)
+        );
+        certified_entries.push((n, plain, interval));
+    }
+
     // SpMV + Gauss-Seidel kernels.
     for &n in spmv_sizes {
         let dtmc = synthetic_chain(n);
@@ -425,6 +460,20 @@ fn main() {
             json,
             "    {{\"n\": {n}, \"lanes\": {lanes}, \"vi_ns_per_iter\": {ns:.1}}}{}",
             if i + 1 < mdp_entries.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"certified\": [\n");
+    for (i, (n, plain, interval)) in certified_entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {n}, \"plain_vi_ns\": {plain:.1}, \"interval_ns\": {interval:.1}, \
+             \"overhead\": {:.3}}}{}",
+            interval / plain.max(1.0),
+            if i + 1 < certified_entries.len() {
+                ","
+            } else {
+                ""
+            }
         );
     }
     json.push_str("  ],\n  \"kernels\": [\n");

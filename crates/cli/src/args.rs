@@ -10,7 +10,8 @@ pub const USAGE: &str = "\
 smg — probabilistic model checking for clocked RTL-style DTMC/MDP models
 
 USAGE:
-  smg check  <model.sm> --prop <pctl> [--prop <pctl>]... [--max-states N] [--allow-stutter]
+  smg check  <model.sm> --prop <pctl> [--prop <pctl>]... [--certified EPS]
+             [--max-states N] [--allow-stutter]
   smg info   <model.sm> [--max-states N] [--allow-stutter]
   smg export <model.sm> --format <tra|lab|srew|pm|dot> [--out FILE]
   smg steady <model.sm> [--tol T] [--max-steps N]
@@ -26,10 +27,15 @@ nondeterministic actions; check it with the min/max query forms, e.g.
 
 COMMANDS:
   check   Parse, compile and model-check pCTL properties; prints one
-          PRISM-style result block per property. MDP models take the
-          Pmin/Pmax/Rmin/Rmax query forms.
+          PRISM-style result block per property (each reports which solver
+          ran). MDP models take the Pmin/Pmax/Rmin/Rmax query forms. With
+          --certified EPS, unbounded queries run interval iteration and
+          print a sound [lo, hi] interval of width < EPS instead of
+          trusting a residual test.
   info    Print model statistics: states, transitions, labels; BSCCs and
-          irreducibility/aperiodicity for chains, choice counts for MDPs.
+          irreducibility/aperiodicity for chains, choice counts for MDPs;
+          plus the numerical-engine configuration (worker lanes, parallel
+          threshold, available solvers).
   export  Write the explicit model in PRISM explicit formats (tra/lab/
           srew; the MDP tra carries the action column), as guarded-command
           source (pm, chains only), or as Graphviz (dot, chains only).
@@ -41,6 +47,9 @@ COMMANDS:
 
 OPTIONS:
   --prop <pctl>     Property to check (repeatable), e.g. 'P=? [ G<=300 !err ]'
+  --certified EPS   Certify unbounded queries by interval iteration: the
+                    printed interval provably brackets the exact value with
+                    width below EPS
   --const N=V       Override or define a constant (repeatable), e.g. --const p=0.02
   --max-states N    Exploration cap (default 4000000)
   --allow-stutter   Deadlocked modules self-loop instead of erroring
@@ -61,6 +70,9 @@ pub enum Cmd {
         model: String,
         /// Properties to check, in order.
         props: Vec<String>,
+        /// Certified-interval width for unbounded queries
+        /// (`--certified EPS`), off by default.
+        certified: Option<f64>,
         /// Exploration options.
         options: Options,
     },
@@ -154,6 +166,7 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
 
     let mut model: Option<String> = None;
     let mut props: Vec<String> = Vec::new();
+    let mut certified: Option<f64> = None;
     let mut format: Option<String> = None;
     let mut out: Option<String> = None;
     let mut steps: Option<u64> = None;
@@ -171,6 +184,15 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--prop" => props.push(value(&mut it, "--prop")?.to_string()),
+            "--certified" => {
+                let eps: f64 = value(&mut it, "--certified")?
+                    .parse()
+                    .map_err(|_| CliError("--certified expects a number".into()))?;
+                if !eps.is_finite() || eps <= 0.0 {
+                    return Err(CliError("--certified expects a positive width".into()));
+                }
+                certified = Some(eps);
+            }
             "--format" => format = Some(value(&mut it, "--format")?.to_string()),
             "--out" => out = Some(value(&mut it, "--out")?.to_string()),
             "--steps" => {
@@ -231,6 +253,7 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
             Ok(Cmd::Check {
                 model: require_model(model)?,
                 props,
+                certified,
                 options,
             })
         }
@@ -286,6 +309,35 @@ mod tests {
         };
         assert_eq!(model, "m.sm");
         assert_eq!(props.len(), 2);
+    }
+
+    #[test]
+    fn certified_flag_parses_and_validates() {
+        let parsed = parse_args(&[
+            "check".into(),
+            "m.sm".into(),
+            "--prop".into(),
+            "P=? [ F err ]".into(),
+            "--certified".into(),
+            "1e-6".into(),
+        ])
+        .unwrap();
+        let Cmd::Check { certified, .. } = parsed else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(certified, Some(1e-6));
+        for bad in ["banana", "-1e-6", "0", "inf"] {
+            let err = parse_args(&[
+                "check".into(),
+                "m.sm".into(),
+                "--prop".into(),
+                "x".into(),
+                "--certified".into(),
+                bad.into(),
+            ])
+            .unwrap_err();
+            assert!(err.0.contains("--certified"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -19,10 +19,10 @@
 
 #![warn(missing_docs)]
 
-use smg_dtmc::{graph, transient, Dtmc};
+use smg_dtmc::{graph, par, transient, Dtmc};
 use smg_lang::{check, compile_mdp_with, compile_with, parse, ModelType};
 use smg_mdp::Mdp;
-use smg_pctl::{check_mdp_query, check_query, parse_property};
+use smg_pctl::{check_mdp_query_with, check_query_with, parse_property, CheckOptions};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -100,15 +100,20 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
         Cmd::Check {
             model,
             props,
+            certified,
             options,
         } => {
             let (compiled, build_time) = load(model, options)?;
             let mut out = model_header(&compiled, build_time);
+            let check_opts = match certified {
+                Some(eps) => CheckOptions::certified(*eps),
+                None => CheckOptions::default(),
+            };
             for prop in props {
                 let property = parse_property(prop)?;
                 let result = match &compiled.model {
-                    LoadedModel::Dtmc(d) => check_query(d, &property)?,
-                    LoadedModel::Mdp(m) => check_mdp_query(m, &property)?,
+                    LoadedModel::Dtmc(d) => check_query_with(d, &property, &check_opts)?,
+                    LoadedModel::Mdp(m) => check_mdp_query_with(m, &property, &check_opts)?,
                 };
                 let _ = writeln!(out, "\nProperty: {property}");
                 let _ = writeln!(
@@ -116,12 +121,24 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
                     "Time for model checking: {:.3} s",
                     result.time.as_secs_f64()
                 );
+                let _ = writeln!(out, "Solver: {}", result.solver());
                 match result.verdict() {
                     Some(v) => {
                         let _ = writeln!(out, "Result: {v}");
                     }
                     None => {
                         let _ = writeln!(out, "Result: {}", fmt_value(result.value()));
+                        if certified.is_some() {
+                            if let Some((lo, hi)) = result.interval() {
+                                let width = if lo == hi { 0.0 } else { hi - lo };
+                                let _ = writeln!(
+                                    out,
+                                    "Certified interval: [{}, {}] (width {width:.3e})",
+                                    fmt_value(lo),
+                                    fmt_value(hi)
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -175,6 +192,18 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
                     );
                 }
             }
+            let _ = writeln!(
+                out,
+                "Engine: {} worker lanes, parallel above {} states",
+                par::max_threads(),
+                par::min_rows()
+            );
+            let _ = writeln!(
+                out,
+                "Solvers: transient (bounded, exact arithmetic); value-iteration \
+                 (unbounded, residual test); interval-iteration (unbounded, certified \
+                 — `check --certified EPS`)"
+            );
             Ok(out)
         }
         Cmd::Export {
@@ -412,6 +441,7 @@ mod tests {
         let out = run(&Cmd::Check {
             model: path.to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into(), "P=? [ G<=3 !err ]".into()],
+            certified: None,
             options: opts(),
         })
         .unwrap();
@@ -419,6 +449,48 @@ mod tests {
         assert!(out.contains("Result: 0.125"), "{out}");
         // (1 - 1/8)^3 = 0.669921875
         assert!(out.contains("0.669922"), "{out}");
+    }
+
+    #[test]
+    fn certified_check_prints_interval_and_solver() {
+        let path = write_model("channel_cert.sm", CHANNEL);
+        let out = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec!["P=? [ F err ]".into(), "P=? [ G<=3 !err ]".into()],
+            certified: Some(1e-9),
+            options: opts(),
+        })
+        .unwrap();
+        // The unbounded query runs interval iteration and prints a sound
+        // bracket around the exact 1.0 (err is reached almost surely).
+        assert!(out.contains("Solver: interval-iteration"), "{out}");
+        assert!(out.contains("Certified interval: ["), "{out}");
+        assert!(out.contains("Result: 1.000000"), "{out}");
+        // The bounded query in the same run stays exact arithmetic.
+        assert!(out.contains("Solver: transient"), "{out}");
+        // MDP queries certify through the same flag.
+        let mpath = write_model("regime_cert.sm", REGIME_MDP);
+        let out = run(&Cmd::Check {
+            model: mpath.to_string_lossy().into_owned(),
+            props: vec!["Pmax=? [ G !err ]".into()],
+            certified: Some(1e-9),
+            options: opts(),
+        })
+        .unwrap();
+        assert!(out.contains("Solver: interval-iteration"), "{out}");
+        // The exact answer is 0; the certified bracket pins its lower end
+        // there and the midpoint lands within ε/2 of it.
+        assert!(out.contains("Certified interval: [0.000000,"), "{out}");
+        // Without the flag no interval is claimed for unbounded queries.
+        let out = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec!["P=? [ F err ]".into()],
+            certified: None,
+            options: opts(),
+        })
+        .unwrap();
+        assert!(out.contains("Solver: value-iteration"), "{out}");
+        assert!(!out.contains("Certified interval"), "{out}");
     }
 
     #[test]
@@ -518,6 +590,7 @@ mod tests {
         let out = run(&Cmd::Check {
             model: path.to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into()],
+            certified: None,
             options: Options {
                 consts: vec![("p_err".into(), "0.5".into())],
                 ..Options::default()
@@ -529,6 +602,7 @@ mod tests {
         let out = run(&Cmd::Check {
             model: path.to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into()],
+            certified: None,
             options: Options {
                 consts: vec![("unused".into(), "1".into())],
                 ..Options::default()
@@ -540,6 +614,7 @@ mod tests {
         let err = run(&Cmd::Check {
             model: path.to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into()],
+            certified: None,
             options: Options {
                 consts: vec![("p_err".into(), "0.5 +".into())],
                 ..Options::default()
@@ -574,6 +649,7 @@ mod tests {
                 "Pmin=? [ F<=2 err ]".into(),
                 "Pmin=? [ G<=2 !err ]".into(),
             ],
+            certified: None,
             options: opts(),
         })
         .unwrap();
@@ -593,6 +669,7 @@ mod tests {
         let err = run(&Cmd::Check {
             model: path.to_string_lossy().into_owned(),
             props: vec!["P=? [ F<=2 err ]".into()],
+            certified: None,
             options: opts(),
         })
         .unwrap_err();
@@ -662,12 +739,14 @@ mod tests {
         let d = run(&Cmd::Check {
             model: dpath.to_string_lossy().into_owned(),
             props: vec!["P=? [ G<=3 !err ]".into()],
+            certified: None,
             options: opts(),
         })
         .unwrap();
         let m = run(&Cmd::Check {
             model: mpath.to_string_lossy().into_owned(),
             props: vec!["Pmin=? [ G<=3 !err ]".into(), "Pmax=? [ G<=3 !err ]".into()],
+            certified: None,
             options: opts(),
         })
         .unwrap();
@@ -696,6 +775,7 @@ mod tests {
         let out = run(&Cmd::Check {
             model: dir.join("chan.tra").to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into(), "S=? [ err ]".into()],
+            certified: None,
             options: opts(),
         })
         .unwrap();
@@ -736,6 +816,7 @@ mod tests {
         let err = run(&Cmd::Check {
             model: path.to_string_lossy().into_owned(),
             props: vec!["P=? [ H err ]".into()],
+            certified: None,
             options: opts(),
         })
         .unwrap_err();

@@ -8,6 +8,7 @@
 //! (iterative Tarjan), bottom SCCs, irreducibility, and aperiodicity (gcd of
 //! cycle lengths via BFS levels).
 
+use crate::bitvec::BitVec;
 use crate::dtmc::Dtmc;
 use crate::matrix::TransitionMatrix;
 
@@ -178,6 +179,68 @@ pub fn is_ergodic(dtmc: &Dtmc) -> bool {
     matches!(period(dtmc), Some(1))
 }
 
+/// The states from which some `target` state is reachable through paths
+/// whose intermediate states avoid `avoid` — the qualitative backward
+/// reachability underlying certified solvers.
+///
+/// A state `s` is in the result iff there is a path `s = u₀ u₁ … u_k` with
+/// `u_k ∈ target` and `u_i ∉ avoid` for every `i < k`. Target states are
+/// always included (the empty path witnesses them), even when they are also
+/// in `avoid`; a non-target state in `avoid` can never start a path, so it
+/// is excluded unless it is itself a target.
+///
+/// Two graph facts the interval-iteration solvers ([`crate::solve`]) build
+/// on:
+///
+/// * `can_reach(target, None)` is the set where `P(F target) > 0`; its
+///   complement is the sound `hi = 0` seed of the upper value vector.
+/// * `can_reach(S₀, Some(target))` — with `S₀` the complement above — is
+///   the set where `P(F target) < 1`; *its* complement is the region where
+///   reachability is almost sure, the "certain" region of reward
+///   iteration. (The `avoid` mask makes target states absorbing for the
+///   backward search, as the probabilistic semantics requires.)
+pub fn can_reach(dtmc: &Dtmc, target: &BitVec, avoid: Option<&BitVec>) -> BitVec {
+    let n = dtmc.n_states();
+    let blocked = |s: usize| avoid.is_some_and(|a| a.get(s)) && !target.get(s);
+    // An edge `s → c` can extend a path exactly when `s` is a legal
+    // intermediate (not blocked, not already a target — target edges are
+    // never followed); the filter is applied at traversal time so the
+    // predecessor structure stays query-independent.
+    let usable = |s: usize| !target.get(s) && !blocked(s);
+    let preds: Vec<Vec<u32>> = match dtmc.matrix() {
+        // Sparse chains share the matrix's transpose machinery (and its
+        // cached transpose, when the parallel forward gather already paid
+        // for one).
+        TransitionMatrix::Sparse(m) => m.transpose_structure(),
+        // Rank-one chains have identical rows: every state precedes each
+        // support state.
+        TransitionMatrix::RankOne(m) => {
+            let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for &(c, p) in m.dist() {
+                if p > 0.0 {
+                    preds[c as usize] = (0..n as u32).collect();
+                }
+            }
+            preds
+        }
+    };
+    let mut reach = BitVec::zeros(n);
+    let mut queue: std::collections::VecDeque<u32> =
+        (0..n as u32).filter(|&s| target.get(s as usize)).collect();
+    for &s in &queue {
+        reach.set(s as usize, true);
+    }
+    while let Some(u) = queue.pop_front() {
+        for &s in &preds[u as usize] {
+            if usable(s as usize) && !reach.get(s as usize) {
+                reach.set(s as usize, true);
+                queue.push_back(s);
+            }
+        }
+    }
+    reach
+}
+
 fn gcd(a: u64, b: u64) -> u64 {
     if b == 0 {
         a
@@ -273,6 +336,47 @@ mod tests {
         assert_eq!(b, vec![vec![1, 2]]);
         // Memoryless chains have self-loops inside the support → aperiodic.
         assert_eq!(period(&d), None); // not irreducible (state 0 transient)
+    }
+
+    #[test]
+    fn can_reach_basic_and_avoid_semantics() {
+        use crate::bitvec::BitVec;
+        // 0 → 1 → 2(goal, absorbing); 3 → 3 (separate sink).
+        let d = dtmc_from_rows(vec![
+            vec![(1, 1.0)],
+            vec![(2, 1.0)],
+            vec![(2, 1.0)],
+            vec![(3, 1.0)],
+        ]);
+        let goal = BitVec::from_fn(4, |i| i == 2);
+        let r = can_reach(&d, &goal, None);
+        assert!(r.get(0) && r.get(1) && r.get(2) && !r.get(3));
+        // Avoiding state 1 cuts the only path; the goal itself stays in.
+        let avoid = BitVec::from_fn(4, |i| i == 1);
+        let r = can_reach(&d, &goal, Some(&avoid));
+        assert!(!r.get(0) && !r.get(1) && r.get(2));
+        // A target inside `avoid` is still reachable (the empty path) but
+        // never extended through: 2 → itself only.
+        let r = can_reach(&d, &goal, Some(&goal));
+        assert!(r.get(0) && r.get(1) && r.get(2));
+    }
+
+    #[test]
+    fn can_reach_certain_region_composition() {
+        use crate::bitvec::BitVec;
+        // 0 → {1: ½ (→goal), 3: ½ (→sink)}: P(F goal) ∈ (0, 1) at 0.
+        let d = dtmc_from_rows(vec![
+            vec![(1, 0.5), (3, 0.5)],
+            vec![(2, 1.0)],
+            vec![(2, 1.0)],
+            vec![(3, 1.0)],
+        ]);
+        let goal = BitVec::from_fn(4, |i| i == 2);
+        let s0 = can_reach(&d, &goal, None).not();
+        assert_eq!(s0.iter_ones().collect::<Vec<_>>(), vec![3]);
+        let certain = can_reach(&d, &s0, Some(&goal)).not();
+        // Certain: 1 (goes straight to goal) and goal itself; 0 is not.
+        assert!(!certain.get(0) && certain.get(1) && certain.get(2) && !certain.get(3));
     }
 
     #[test]

@@ -115,5 +115,6 @@ pub use explore::{explore, explore_memoryless, ExploreOptions, Explored, StateIn
 pub use hash::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use matrix::{CsrBuilder, CsrMatrix, RankOneMatrix, RowIter, TransitionMatrix};
 pub use model::{DtmcModel, MemorylessModel};
+pub use solve::CertifiedValues;
 pub use stats::BuildStats;
 pub use wrappers::CountingModel;

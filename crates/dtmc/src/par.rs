@@ -21,7 +21,7 @@
 //! thread count, chunks are processed independently, and results are joined
 //! in slice order — so every `chunked_map` caller sees results that do not
 //! depend on scheduling. The kernels built on top (see [`crate::matrix`],
-//! [`crate::solve`], [`crate::explore`]) are bit-identical to their
+//! [`crate::solve`], [`mod@crate::explore`]) are bit-identical to their
 //! sequential counterparts by construction.
 //!
 //! # Tuning knobs (environment variables, read once per process)

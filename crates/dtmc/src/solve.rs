@@ -27,12 +27,38 @@
 //!   Jacobi. Each sweep ping-pongs two buffers, so the solver allocates
 //!   nothing per iteration. Both sweeps converge to the same fixed point;
 //!   tests pin their agreement within tolerance.
+//!
+//! # Certified convergence: interval iteration
+//!
+//! Every iterative solver above stops on a *residual* test (`delta <
+//! tol`), which is well known to be unsound: a slow-mixing chain can make
+//! consecutive iterates arbitrarily close while both are arbitrarily far
+//! from the fixpoint (`slow_mixing_chain_fools_residual_vi` in the tests
+//! constructs one). The `interval_*` family fixes this with **interval
+//! iteration** (Haddad & Monmege; Baier et al.): it maintains a *lower*
+//! vector iterated up from 0 and an *upper* vector iterated down from a
+//! sound seed, and terminates only when `upper − lower < ε` pointwise.
+//! Monotonicity of the Bellman operator keeps `lo ≤ x* ≤ hi` at every
+//! sweep, so the returned [`CertifiedValues`] is a machine-checked error
+//! certificate, not a heuristic.
+//!
+//! Soundness of the seeds is *qualitative*, not numerical: a graph
+//! pre-pass ([`graph::can_reach`]) pins states that cannot reach the
+//! target to 0 (making the fixpoint unique, so both sequences converge to
+//! it), and for expected rewards a finite hitting-probability probe turns
+//! the graph bound into a finite upper seed `k·r_max/δ`. The dual sweep
+//! runs both bounds through one matrix walk, dispatched as dynamic chunks
+//! on the persistent worker pool above the engine threshold with a
+//! bit-identical sequential fallback (the sweep is Jacobi, so chunk
+//! geometry cannot change results).
 
 use crate::bitvec::BitVec;
 use crate::dtmc::Dtmc;
 use crate::error::DtmcError;
+use crate::graph;
 use crate::matrix::{CsrMatrix, TransitionMatrix};
 use crate::par;
+use crate::pool;
 
 /// Minimum rows per worker block in the hybrid sweep. Matches the matrix
 /// kernels' chunking (half of [`crate::par::PAR_MIN_ROWS`]), so a chain
@@ -209,6 +235,286 @@ pub fn gauss_seidel_reach(
             })
         }
     }
+}
+
+/// A per-state value bracket `[lo, hi]` produced by interval iteration,
+/// with the guarantee `lo[s] ≤ x*[s] ≤ hi[s]` for the exact solution `x*`
+/// and `hi[s] − lo[s] < ε` for every state (infinite reward states carry
+/// `lo = hi = ∞`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertifiedValues {
+    /// Sound lower bounds, iterated up from 0.
+    pub lo: Vec<f64>,
+    /// Sound upper bounds, iterated down from the qualitative seed.
+    pub hi: Vec<f64>,
+    /// Dual sweeps performed until the width test passed.
+    pub iterations: usize,
+}
+
+impl CertifiedValues {
+    /// The maximum interval width over all states (0 for exactly pinned
+    /// states and for infinite `lo = hi = ∞` pairs).
+    pub fn width(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| if l == h { 0.0 } else { h - l })
+            .fold(0.0, f64::max)
+    }
+
+    /// The interval midpoints — the natural point estimate to report
+    /// alongside the certificate (`∞` stays `∞`).
+    pub fn midpoints(&self) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| if l == h { *l } else { 0.5 * (l + h) })
+            .collect()
+    }
+}
+
+/// States per dynamically dispatched chunk of a parallel dual sweep. The
+/// dual sweep does twice the arithmetic of a plain backup per row, so the
+/// chunk matches the hybrid solver's block floor.
+const INTERVAL_CHUNK: usize = 2_048;
+
+/// One dual Jacobi sweep `next = (T lo, T hi)` over the `active` states
+/// (inactive states copy their pinned pair); with `rewards` the operator is
+/// `T x = r + P x`, without it `T x = P x`. Returns the maximum `hi − lo`
+/// width over active states.
+///
+/// Both bounds ride one matrix walk. Above the engine's parallel threshold
+/// the output is cut into [`INTERVAL_CHUNK`]-sized chunks claimed through
+/// the pool's atomic cursor ([`pool::Pool::map_chunks_dynamic`]); the sweep
+/// reads only the previous iterate, so results are bit-identical to the
+/// sequential fallback for every lane count and chunk geometry.
+fn interval_sweep(
+    matrix: &TransitionMatrix,
+    active: &BitVec,
+    rewards: Option<&[f64]>,
+    cur: &[(f64, f64)],
+    next: &mut [(f64, f64)],
+) -> f64 {
+    let n = cur.len();
+    let body = |offset: usize, chunk: &mut [(f64, f64)]| -> f64 {
+        let mut width: f64 = 0.0;
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            let i = offset + j;
+            if !active.get(i) {
+                *slot = cur[i];
+                continue;
+            }
+            let mut lo = 0.0;
+            let mut hi = 0.0;
+            for (c, p) in matrix.row_iter(i) {
+                let (l, h) = cur[c as usize];
+                lo += p * l;
+                hi += p * h;
+            }
+            if let Some(r) = rewards {
+                lo += r[i];
+                hi += r[i];
+            }
+            width = width.max(hi - lo);
+            *slot = (lo, hi);
+        }
+        width
+    };
+    if par::should_parallelize(n) {
+        pool::global()
+            .map_chunks_dynamic(next, INTERVAL_CHUNK, &|offset, chunk| body(offset, chunk))
+            .into_iter()
+            .fold(0.0, f64::max)
+    } else {
+        body(0, next)
+    }
+}
+
+/// Drives dual sweeps until the width drops below `epsilon`, returning the
+/// unzipped certificate.
+fn interval_iterate(
+    matrix: &TransitionMatrix,
+    active: &BitVec,
+    rewards: Option<&[f64]>,
+    mut cur: Vec<(f64, f64)>,
+    epsilon: f64,
+    max_iter: usize,
+) -> Result<CertifiedValues, DtmcError> {
+    let mut next = cur.clone();
+    for it in 1..=max_iter {
+        let width = interval_sweep(matrix, active, rewards, &cur, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+        if width < epsilon {
+            let (lo, hi) = cur.into_iter().unzip();
+            return Ok(CertifiedValues {
+                lo,
+                hi,
+                iterations: it,
+            });
+        }
+    }
+    Err(DtmcError::NoConvergence {
+        iterations: max_iter,
+        residual: epsilon,
+    })
+}
+
+/// Certified probabilities of `lhs U rhs` (unbounded until) from every
+/// state, by interval iteration: the result's `[lo, hi]` brackets the
+/// exact probability with width below `epsilon` at every state.
+///
+/// The qualitative pre-pass ([`graph::can_reach`]) pins states that cannot
+/// reach `rhs` through `lhs` to exactly 0 (and `rhs` states to exactly 1);
+/// on the remaining states the Bellman fixpoint is unique, the lower
+/// iterate ascends from 0, and the upper iterate descends from 1.
+///
+/// # Errors
+///
+/// * [`DtmcError::DimensionMismatch`] for wrong-length bit vectors.
+/// * [`DtmcError::NoConvergence`] if `max_iter` dual sweeps do not close
+///   the width below `epsilon`.
+pub fn interval_until_values(
+    dtmc: &Dtmc,
+    lhs: &BitVec,
+    rhs: &BitVec,
+    epsilon: f64,
+    max_iter: usize,
+) -> Result<CertifiedValues, DtmcError> {
+    let n = dtmc.n_states();
+    for bits in [lhs, rhs] {
+        if bits.len() != n {
+            return Err(DtmcError::DimensionMismatch {
+                expected: n,
+                actual: bits.len(),
+            });
+        }
+    }
+    let maybe = graph::can_reach(dtmc, rhs, Some(&lhs.not()));
+    let active = maybe.and(&rhs.not());
+    let cur: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            if rhs.get(i) {
+                (1.0, 1.0)
+            } else if active.get(i) {
+                (0.0, 1.0)
+            } else {
+                (0.0, 0.0)
+            }
+        })
+        .collect();
+    interval_iterate(dtmc.matrix(), &active, None, cur, epsilon, max_iter)
+}
+
+/// Certified unbounded reachability `P(F target)` from every state — the
+/// interval-iteration replacement for the residual test in
+/// [`gauss_seidel_reach`] / [`crate::transient::unbounded_reach_values`].
+///
+/// # Errors
+///
+/// As for [`interval_until_values`].
+pub fn interval_reach_values(
+    dtmc: &Dtmc,
+    target: &BitVec,
+    epsilon: f64,
+    max_iter: usize,
+) -> Result<CertifiedValues, DtmcError> {
+    let all = BitVec::ones(dtmc.n_states());
+    interval_until_values(dtmc, &all, target, epsilon, max_iter)
+}
+
+/// Certified expected reward accumulated strictly before first reaching
+/// `target` (PRISM `R=? [F target]` semantics), by interval iteration.
+/// States from which the target is not reached almost surely get the exact
+/// `lo = hi = ∞`; on the almost-sure ("certain") region the certificate
+/// brackets the exact expectation with width below `epsilon`.
+///
+/// Everything the certificate rests on is qualitative: the certain region
+/// comes from two [`graph::can_reach`] passes (no residual-converged
+/// probabilities are trusted), and the upper seed comes from a finite
+/// hitting-time probe — if every certain state reaches the target within
+/// `k` steps with probability at least `δ > 0` (such a `k ≤ n` always
+/// exists), the expected reward is at most `k·r_max/δ`.
+///
+/// # Errors
+///
+/// As for [`interval_until_values`].
+pub fn interval_reach_reward_values(
+    dtmc: &Dtmc,
+    target: &BitVec,
+    epsilon: f64,
+    max_iter: usize,
+) -> Result<CertifiedValues, DtmcError> {
+    let n = dtmc.n_states();
+    if target.len() != n {
+        return Err(DtmcError::DimensionMismatch {
+            expected: n,
+            actual: target.len(),
+        });
+    }
+    let s0 = graph::can_reach(dtmc, target, None).not();
+    let certain = graph::can_reach(dtmc, &s0, Some(target)).not();
+    let active = certain.and(&target.not());
+    let rewards = dtmc.rewards();
+    let r_max = active.iter_ones().map(|i| rewards[i]).fold(0.0, f64::max);
+    let seed = if r_max == 0.0 {
+        0.0
+    } else {
+        let (k, delta) = hitting_probe(dtmc, target, &active)?;
+        k as f64 * r_max / delta
+    };
+    let cur: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            if active.get(i) {
+                (0.0, seed)
+            } else if certain.get(i) {
+                (0.0, 0.0) // target states accumulate nothing
+            } else {
+                (f64::INFINITY, f64::INFINITY)
+            }
+        })
+        .collect();
+    interval_iterate(
+        dtmc.matrix(),
+        &active,
+        Some(rewards),
+        cur,
+        epsilon,
+        max_iter,
+    )
+}
+
+/// The smallest sweep count `k` at which every `active` state reaches the
+/// target within `k` steps with positive probability, together with the
+/// minimum such probability `δ` — the ingredients of the sound reward
+/// upper bound `k·r_max/δ`. On a correct certain region `k ≤ n` (a path of
+/// length > n revisits a state), so the probe always terminates.
+fn hitting_probe(dtmc: &Dtmc, target: &BitVec, active: &BitVec) -> Result<(usize, f64), DtmcError> {
+    let n = dtmc.n_states();
+    if !active.any() {
+        return Ok((1, 1.0));
+    }
+    let mut w: Vec<f64> = (0..n)
+        .map(|i| if target.get(i) { 1.0 } else { 0.0 })
+        .collect();
+    let mut next = vec![0.0; n];
+    for k in 1..=n {
+        dtmc.matrix()
+            .backward_masked_into(&w, Some(active), &mut next);
+        std::mem::swap(&mut w, &mut next);
+        let delta = active
+            .iter_ones()
+            .map(|i| w[i])
+            .fold(f64::INFINITY, f64::min);
+        if delta > 0.0 {
+            return Ok((k, delta));
+        }
+    }
+    // Unreachable when `active` really is the certain region; fail loudly
+    // rather than certify with an unsound seed.
+    Err(DtmcError::NoConvergence {
+        iterations: n,
+        residual: 0.0,
+    })
 }
 
 #[cfg(test)]
@@ -448,6 +754,224 @@ mod tests {
         assert_eq!(d1, d2);
     }
 
+    /// A slow-mixing line: each of the `k` transient states mostly
+    /// self-loops (probability `1 − 2p`), advancing toward the goal or
+    /// falling to the sink with probability `p` each. First-exit analysis
+    /// gives `P(reach goal from i) = (1/2)^(k−i)` exactly, independent of
+    /// `p` — but consecutive VI iterates differ by O(p), so a residual
+    /// test with `tol > p` stops essentially immediately, arbitrarily far
+    /// from the truth.
+    struct LazyLine {
+        k: u8,
+        p: f64,
+    }
+    impl DtmcModel for LazyLine {
+        type State = u8;
+        fn initial_states(&self) -> Vec<(u8, f64)> {
+            vec![(0, 1.0)]
+        }
+        fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+            // k = goal, k+1 = sink, both absorbing.
+            if *s >= self.k {
+                vec![(*s, 1.0)]
+            } else {
+                vec![
+                    (*s, 1.0 - 2.0 * self.p),
+                    (s + 1, self.p),
+                    (self.k + 1, self.p),
+                ]
+            }
+        }
+        fn atomic_propositions(&self) -> Vec<&'static str> {
+            vec!["goal"]
+        }
+        fn holds(&self, ap: &str, s: &u8) -> bool {
+            ap == "goal" && *s == self.k
+        }
+    }
+
+    /// The acceptance-criterion demonstration: plain residual VI declares
+    /// convergence while still ~0.5 away from the true probability; the
+    /// certified interval brackets the truth with width below ε on the
+    /// same chain.
+    #[test]
+    fn slow_mixing_chain_fools_residual_vi() {
+        let e = explore(&LazyLine { k: 4, p: 1e-4 }, &ExploreOptions::default()).unwrap();
+        let goal = e.dtmc.label("goal").unwrap().clone();
+        let eps = 1e-3;
+        let near = e.id_of(&3).unwrap() as usize; // truth: 1/2
+        let plain = transient::unbounded_reach_values(&e.dtmc, &goal, eps, 1_000_000).unwrap();
+        assert!(
+            (plain[near] - 0.5).abs() > 0.4,
+            "residual VI should stop early here, got {}",
+            plain[near]
+        );
+        let cert = super::interval_reach_values(&e.dtmc, &goal, eps, 10_000_000).unwrap();
+        assert!(cert.width() < eps);
+        for (i, truth) in [(near, 0.5), (e.id_of(&0).unwrap() as usize, 0.0625)] {
+            assert!(
+                cert.lo[i] <= truth && truth <= cert.hi[i],
+                "state {i}: [{}, {}] must bracket {truth}",
+                cert.lo[i],
+                cert.hi[i]
+            );
+        }
+    }
+
+    #[test]
+    fn interval_brackets_closed_form_gambler() {
+        let e = explore(&Ruin, &ExploreOptions::default()).unwrap();
+        let rich = e.dtmc.label("rich").unwrap().clone();
+        let eps = 1e-9;
+        let cert = super::interval_reach_values(&e.dtmc, &rich, eps, 1_000_000).unwrap();
+        assert!(cert.width() < eps);
+        let r: f64 = 1.5;
+        for k in 0..=4u8 {
+            let want = (1.0 - r.powi(k as i32)) / (1.0 - r.powi(4));
+            let i = e.id_of(&k).unwrap() as usize;
+            assert!(
+                cert.lo[i] <= want + 1e-15 && want <= cert.hi[i] + 1e-15,
+                "k={k}: [{}, {}] vs {want}",
+                cert.lo[i],
+                cert.hi[i]
+            );
+        }
+        // The unreachable-from-goal sink is pinned exactly.
+        let sink = e.id_of(&0).unwrap() as usize;
+        assert_eq!((cert.lo[sink], cert.hi[sink]), (0.0, 0.0));
+        // Midpoints land within ε of the interval everywhere.
+        let mid = cert.midpoints();
+        assert!(mid.iter().zip(&cert.lo).all(|(m, l)| m >= l));
+    }
+
+    #[test]
+    fn interval_until_respects_lhs_and_rank_one() {
+        // Until with a blocking lhs: goal unreachable through lhs → exact 0.
+        let e = explore(&Ruin, &ExploreOptions::default()).unwrap();
+        let rich = e.dtmc.label("rich").unwrap().clone();
+        let lhs = BitVec::from_fn(e.dtmc.n_states(), |i| {
+            i == e.id_of(&2).unwrap() as usize || rich.get(i)
+        });
+        let cert = super::interval_until_values(&e.dtmc, &lhs, &rich, 1e-9, 1000).unwrap();
+        let start = e.id_of(&2).unwrap() as usize;
+        assert_eq!((cert.lo[start], cert.hi[start]), (0.0, 0.0));
+        // Rank-one (memoryless) chains run through the same generic sweep.
+        let e = explore_memoryless(&Dice, &ExploreOptions::default()).unwrap();
+        let six = e.dtmc.label("six").unwrap().clone();
+        let cert = super::interval_reach_values(&e.dtmc, &six, 1e-11, 1_000_000).unwrap();
+        assert!(cert.width() < 1e-11);
+        for i in 0..e.dtmc.n_states() {
+            assert!(cert.lo[i] <= 1.0 && cert.hi[i] >= 1.0 - 1e-11, "state {i}");
+        }
+    }
+
+    #[test]
+    fn interval_reward_line_is_exactly_bracketed() {
+        // 0 → 1 → 2 (target), reward 1 everywhere: distances 2, 1, 0.
+        struct Line;
+        impl DtmcModel for Line {
+            type State = u8;
+            fn initial_states(&self) -> Vec<(u8, f64)> {
+                vec![(0, 1.0)]
+            }
+            fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+                vec![((*s + 1).min(2), 1.0)]
+            }
+            fn atomic_propositions(&self) -> Vec<&'static str> {
+                vec!["end"]
+            }
+            fn holds(&self, ap: &str, s: &u8) -> bool {
+                ap == "end" && *s == 2
+            }
+            fn state_reward(&self, _: &u8) -> f64 {
+                1.0
+            }
+        }
+        let e = explore(&Line, &ExploreOptions::default()).unwrap();
+        let end = e.dtmc.label("end").unwrap().clone();
+        let eps = 1e-9;
+        let cert = super::interval_reach_reward_values(&e.dtmc, &end, eps, 1_000_000).unwrap();
+        assert!(cert.width() < eps);
+        for (s, want) in [(0u8, 2.0), (1, 1.0)] {
+            let i = e.id_of(&s).unwrap() as usize;
+            assert!(
+                cert.lo[i] <= want + 1e-12 && want <= cert.hi[i] + 1e-12,
+                "state {s}: [{}, {}] vs {want}",
+                cert.lo[i],
+                cert.hi[i]
+            );
+        }
+        let t = e.id_of(&2).unwrap() as usize;
+        assert_eq!((cert.lo[t], cert.hi[t]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn interval_reward_infinite_states_are_pinned() {
+        // 0 branches to the certain line (1 → 2 target) and to a lossy
+        // state 3 that may fall into the sink 4: 0 and 3 get exactly ∞.
+        struct Lossy;
+        impl DtmcModel for Lossy {
+            type State = u8;
+            fn initial_states(&self) -> Vec<(u8, f64)> {
+                vec![(0, 1.0)]
+            }
+            fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+                match *s {
+                    0 => vec![(1, 0.5), (3, 0.5)],
+                    1 => vec![(2, 1.0)],
+                    2 => vec![(2, 1.0)],
+                    3 => vec![(2, 0.5), (4, 0.5)],
+                    _ => vec![(4, 1.0)],
+                }
+            }
+            fn atomic_propositions(&self) -> Vec<&'static str> {
+                vec!["end"]
+            }
+            fn holds(&self, ap: &str, s: &u8) -> bool {
+                ap == "end" && *s == 2
+            }
+            fn state_reward(&self, _: &u8) -> f64 {
+                1.0
+            }
+        }
+        let e = explore(&Lossy, &ExploreOptions::default()).unwrap();
+        let end = e.dtmc.label("end").unwrap().clone();
+        let cert = super::interval_reach_reward_values(&e.dtmc, &end, 1e-9, 1_000_000).unwrap();
+        for s in [0u8, 3] {
+            let i = e.id_of(&s).unwrap() as usize;
+            assert_eq!((cert.lo[i], cert.hi[i]), (f64::INFINITY, f64::INFINITY));
+        }
+        let one = e.id_of(&1).unwrap() as usize;
+        assert!(cert.lo[one] <= 1.0 && 1.0 <= cert.hi[one]);
+        // Infinite pairs contribute zero width (no NaN poisoning).
+        assert!(cert.width() < 1e-9);
+        assert_eq!(
+            cert.midpoints()[e.id_of(&0).unwrap() as usize],
+            f64::INFINITY
+        );
+    }
+
+    /// The parallel dual sweep (pool-dispatched dynamic chunks) must agree
+    /// with serial Gauss–Seidel within the certified width on a chain big
+    /// enough to clear the engine's parallel threshold.
+    #[test]
+    fn interval_parallel_path_brackets_serial_solution() {
+        let e = explore(&BigRuin { n: 5000 }, &ExploreOptions::default()).unwrap();
+        let rich = e.dtmc.label("rich").unwrap().clone();
+        let eps = 1e-8;
+        let cert = super::interval_reach_values(&e.dtmc, &rich, eps, 10_000_000).unwrap();
+        assert!(cert.width() < eps);
+        let serial = gauss_seidel_reach(&e.dtmc, &rich, 1e-13, 10_000_000).unwrap();
+        for (i, v) in serial.iter().enumerate() {
+            assert!(
+                cert.lo[i] - 1e-9 <= *v && *v <= cert.hi[i] + 1e-9,
+                "state {i}: {v} outside [{}, {}]",
+                cert.lo[i],
+                cert.hi[i]
+            );
+        }
+    }
+
     mod proptests {
         use super::super::*;
         use crate::explore::{explore, ExploreOptions};
@@ -487,6 +1011,115 @@ mod tests {
             fn holds(&self, ap: &str, s: &u32) -> bool {
                 ap == "goal" && *s == self.n
             }
+            fn state_reward(&self, s: &u32) -> f64 {
+                f64::from(s % 5)
+            }
+        }
+
+        /// Solves the dense augmented system `[A | b]` in place by Gaussian
+        /// elimination with partial pivoting — the *exact* (up to one
+        /// floating-point factorization) linear-system reference the
+        /// certified intervals are pinned against. No iteration, no
+        /// residual test, nothing to terminate early.
+        fn solve_dense(mut a: Vec<Vec<f64>>) -> Vec<f64> {
+            let m = a.len();
+            for col in 0..m {
+                let pivot = (col..m)
+                    .max_by(|&x, &y| a[x][col].abs().total_cmp(&a[y][col].abs()))
+                    .expect("nonempty");
+                a.swap(col, pivot);
+                let p = a[col][col];
+                assert!(p.abs() > 1e-12, "singular system");
+                let pivot_row = a[col].clone();
+                for (row, row_vals) in a.iter_mut().enumerate() {
+                    if row == col {
+                        continue;
+                    }
+                    let f = row_vals[col] / p;
+                    if f != 0.0 {
+                        for (slot, pv) in row_vals[col..].iter_mut().zip(&pivot_row[col..]) {
+                            *slot -= f * pv;
+                        }
+                    }
+                }
+            }
+            (0..m).map(|r| a[r][m] / a[r][r]).collect()
+        }
+
+        /// Exact unbounded reachability: eliminate the `maybe ∖ target`
+        /// system `(I − P)x = P·1_target` directly.
+        fn exact_reach(dtmc: &Dtmc, target: &BitVec) -> Vec<f64> {
+            let n = dtmc.n_states();
+            let maybe = crate::graph::can_reach(dtmc, target, None);
+            let idx: Vec<usize> = (0..n).filter(|&i| maybe.get(i) && !target.get(i)).collect();
+            let mut pos = vec![usize::MAX; n];
+            for (r, &i) in idx.iter().enumerate() {
+                pos[i] = r;
+            }
+            let m = idx.len();
+            let mut a = vec![vec![0.0; m + 1]; m];
+            for (r, &i) in idx.iter().enumerate() {
+                a[r][r] += 1.0;
+                for (c, p) in dtmc.matrix().row_iter(i) {
+                    let c = c as usize;
+                    if target.get(c) {
+                        a[r][m] += p;
+                    } else if pos[c] != usize::MAX {
+                        a[r][pos[c]] -= p;
+                    }
+                }
+            }
+            let x = solve_dense(a);
+            (0..n)
+                .map(|i| {
+                    if target.get(i) {
+                        1.0
+                    } else if pos[i] != usize::MAX {
+                        x[pos[i]]
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        }
+
+        /// Exact expected reachability reward on the certain region:
+        /// eliminate `(I − P)x = r` directly; ∞ outside.
+        fn exact_reach_reward(dtmc: &Dtmc, target: &BitVec) -> Vec<f64> {
+            let n = dtmc.n_states();
+            let s0 = crate::graph::can_reach(dtmc, target, None).not();
+            let certain = crate::graph::can_reach(dtmc, &s0, Some(target)).not();
+            let idx: Vec<usize> = (0..n)
+                .filter(|&i| certain.get(i) && !target.get(i))
+                .collect();
+            let mut pos = vec![usize::MAX; n];
+            for (r, &i) in idx.iter().enumerate() {
+                pos[i] = r;
+            }
+            let m = idx.len();
+            let mut a = vec![vec![0.0; m + 1]; m];
+            for (r, &i) in idx.iter().enumerate() {
+                a[r][r] += 1.0;
+                a[r][m] = dtmc.rewards()[i];
+                for (c, p) in dtmc.matrix().row_iter(i) {
+                    let c = c as usize;
+                    if pos[c] != usize::MAX {
+                        a[r][pos[c]] -= p;
+                    }
+                }
+            }
+            let x = solve_dense(a);
+            (0..n)
+                .map(|i| {
+                    if target.get(i) {
+                        0.0
+                    } else if pos[i] != usize::MAX {
+                        x[pos[i]]
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .collect()
         }
 
         proptest! {
@@ -514,6 +1147,65 @@ mod tests {
                 for (i, ((h, s), j)) in hybrid.iter().zip(&serial).zip(&jacobi).enumerate() {
                     prop_assert!((h - s).abs() < 1e-8, "state {i}: hybrid {h} vs serial {s}");
                     prop_assert!((h - j).abs() < 1e-8, "state {i}: hybrid {h} vs jacobi {j}");
+                }
+            }
+
+            /// The certified reachability interval always brackets the
+            /// exact linear-system solution, with width below ε, on random
+            /// absorbing chains.
+            #[test]
+            fn interval_brackets_exact_solve_on_random_chains(
+                n in 8u32..60,
+                edges in proptest::collection::vec((0u32..64, 0u32..64, 1u32..8), 60),
+            ) {
+                let model = RandomAbsorbing { n, edges };
+                let e = explore(&model, &ExploreOptions::default()).unwrap();
+                let goal = e.dtmc.label("goal").unwrap().clone();
+                let eps = 1e-8;
+                let cert =
+                    super::super::interval_reach_values(&e.dtmc, &goal, eps, 10_000_000).unwrap();
+                prop_assert!(cert.width() < eps);
+                let exact = exact_reach(&e.dtmc, &goal);
+                for (i, v) in exact.iter().enumerate() {
+                    prop_assert!(
+                        cert.lo[i] - 1e-10 <= *v && *v <= cert.hi[i] + 1e-10,
+                        "state {i}: exact {v} outside [{}, {}]",
+                        cert.lo[i], cert.hi[i]
+                    );
+                }
+            }
+
+            /// The certified reachability-reward interval always brackets
+            /// the exact linear-system solution (∞ states matching the
+            /// qualitative analysis exactly) on random rewarded chains.
+            #[test]
+            fn interval_reward_brackets_exact_solve_on_random_chains(
+                n in 8u32..60,
+                edges in proptest::collection::vec((0u32..64, 0u32..64, 1u32..8), 60),
+            ) {
+                let model = RandomAbsorbing { n, edges };
+                let e = explore(&model, &ExploreOptions::default()).unwrap();
+                let goal = e.dtmc.label("goal").unwrap().clone();
+                let eps = 1e-7;
+                let cert =
+                    super::super::interval_reach_reward_values(&e.dtmc, &goal, eps, 10_000_000)
+                        .unwrap();
+                prop_assert!(cert.width() < eps);
+                let exact = exact_reach_reward(&e.dtmc, &goal);
+                for (i, v) in exact.iter().enumerate() {
+                    if v.is_infinite() {
+                        prop_assert_eq!(cert.lo[i], f64::INFINITY, "state {}", i);
+                        prop_assert_eq!(cert.hi[i], f64::INFINITY, "state {}", i);
+                    } else {
+                        // The dense factorization itself carries rounding
+                        // noise; allow it proportionally.
+                        let slack = 1e-9 * (1.0 + v.abs());
+                        prop_assert!(
+                            cert.lo[i] - slack <= *v && *v <= cert.hi[i] + slack,
+                            "state {i}: exact {v} outside [{}, {}]",
+                            cert.lo[i], cert.hi[i]
+                        );
+                    }
                 }
             }
         }

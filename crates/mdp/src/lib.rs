@@ -24,7 +24,14 @@
 //!   instantaneous/cumulative/reachability rewards — as masked Bellman
 //!   backups that run as dynamically dispatched chunks on the pool above
 //!   the engine's [`smg_dtmc::par::min_rows`] threshold, with a
-//!   bit-identical sequential fallback below it.
+//!   bit-identical sequential fallback below it. The `certified_*`
+//!   drivers replace the residual stopping test with interval iteration:
+//!   a `[lo, hi]` bracket that provably contains the exact optimum and
+//!   terminates only when its width drops below ε.
+//! * [`qual`] provides the graph-based qualitative machinery behind the
+//!   certificates — `Prob0`/`Prob1` sets, maximal end components, and a
+//!   provably proper scheduler — none of which trusts a numerically
+//!   converged value.
 //! * [`Mdp::induced_dtmc`] projects a memoryless scheduler back onto the
 //!   DTMC engine, connecting every existing analysis (exact checking,
 //!   simulation, export) to scheduled MDPs — and letting the test suite pin
@@ -78,9 +85,11 @@ pub mod explore;
 pub mod export;
 pub mod mdp;
 pub mod model;
+pub mod qual;
 pub mod vi;
 
 pub use explore::{explore, ExploredMdp};
 pub use mdp::{Mdp, MdpBuilder, MdpTransitions};
 pub use model::{DtmcAsMdp, MdpModel};
+pub use smg_dtmc::solve::CertifiedValues;
 pub use vi::{extremal_scheduler, Opt, ViOptions};

@@ -1,0 +1,470 @@
+//! Qualitative (graph-based) analyses of an MDP — the pre-passes that
+//! make certified value iteration sound.
+//!
+//! Interval iteration ([`crate::vi`]'s `certified_*` drivers) needs facts
+//! that must *not* come from numerically converged probabilities, because
+//! the whole point is to certify those numbers. This module computes them
+//! purely from the transition structure:
+//!
+//! * [`prob0_max`] / [`prob0_min`] — the states where `Pmax = 0`
+//!   (no scheduler can reach) and where `Pmin = 0` (some scheduler can
+//!   avoid), PRISM's `Prob0A`/`Prob0E`.
+//! * [`prob1_min`] / [`prob1_max`] — the states where `Pmin = 1` (every
+//!   scheduler reaches almost surely) and where `Pmax = 1` (some scheduler
+//!   does), PRISM's `Prob1A`/`Prob1E` — the "certain" regions of the
+//!   `Rmax`/`Rmin` reward iterations.
+//! * [`max_end_components`] — the maximal end components of a restricted
+//!   sub-MDP. End components are exactly the structures that break the
+//!   uniqueness of Bellman fixpoints (a scheduler can cycle inside one
+//!   forever), so the certified drivers deflate upper bounds / inflate
+//!   lower bounds across them.
+//! * [`proper_scheduler`] — a memoryless scheduler that reaches the target
+//!   almost surely from every `Pmax = 1` state, built by a safe-action
+//!   attractor (used to seed the certified `Rmin` descent with a cost that
+//!   is provably finite).
+//!
+//! Every function takes the until-style `(lhs, rhs)` masks the checkers
+//! use: states outside `lhs ∪ rhs` are failure states whose actions are
+//! ignored (they behave as absorbing sinks), matching the path semantics
+//! of `lhs U rhs`.
+
+use crate::mdp::Mdp;
+use smg_dtmc::BitVec;
+
+/// Whether state `s` may be expanded through: a legal path intermediate
+/// (in `lhs`, not already in `rhs`).
+#[inline]
+fn expandable(lhs: &BitVec, rhs: &BitVec, s: usize) -> bool {
+    lhs.get(s) && !rhs.get(s)
+}
+
+/// The states that can reach `rhs` with positive probability under *some*
+/// scheduler, through `lhs`-states only — the complement of the
+/// `Pmax = 0` set.
+pub fn pre_star(mdp: &Mdp, lhs: &BitVec, rhs: &BitVec) -> BitVec {
+    let n = mdp.n_states();
+    // Predecessor adjacency over expandable sources (any action).
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for s in 0..n {
+        if !expandable(lhs, rhs, s) {
+            continue;
+        }
+        for a in 0..mdp.action_count(s) {
+            for (c, p) in mdp.action_row(s, a) {
+                if p > 0.0 {
+                    preds[c as usize].push(s as u32);
+                }
+            }
+        }
+    }
+    let mut reach = BitVec::zeros(n);
+    let mut queue: std::collections::VecDeque<u32> =
+        (0..n as u32).filter(|&s| rhs.get(s as usize)).collect();
+    for &s in &queue {
+        reach.set(s as usize, true);
+    }
+    while let Some(u) = queue.pop_front() {
+        for &s in &preds[u as usize] {
+            if !reach.get(s as usize) {
+                reach.set(s as usize, true);
+                queue.push_back(s);
+            }
+        }
+    }
+    reach
+}
+
+/// The `Pmax = 0` states of `lhs U rhs`: no scheduler reaches `rhs`
+/// through `lhs` with positive probability (PRISM `Prob0A`).
+pub fn prob0_max(mdp: &Mdp, lhs: &BitVec, rhs: &BitVec) -> BitVec {
+    pre_star(mdp, lhs, rhs).not()
+}
+
+/// The `Pmin = 0` states of `lhs U rhs`: *some* scheduler avoids `rhs`
+/// almost surely (PRISM `Prob0E`). Computed as the greatest fixpoint of
+/// `U = {s ∉ rhs : s is a failure state, or some action keeps all mass
+/// in U}`.
+pub fn prob0_min(mdp: &Mdp, lhs: &BitVec, rhs: &BitVec) -> BitVec {
+    let n = mdp.n_states();
+    let mut u = rhs.not();
+    loop {
+        let mut changed = false;
+        for s in 0..n {
+            if !u.get(s) || !expandable(lhs, rhs, s) {
+                continue; // rhs states stay out; failure states stay in.
+            }
+            let stays = (0..mdp.action_count(s)).any(|a| {
+                mdp.action_row(s, a)
+                    .all(|(c, p)| p == 0.0 || u.get(c as usize))
+            });
+            if !stays {
+                u.set(s, false);
+                changed = true;
+            }
+        }
+        if !changed {
+            return u;
+        }
+    }
+}
+
+/// The `Pmin = 1` states of `lhs U rhs`: every scheduler reaches `rhs`
+/// almost surely (PRISM `Prob1A`). A state fails the test exactly when
+/// some scheduler reaches the `Pmin = 0` region with positive probability
+/// before `rhs`, so this is `¬ pre*(prob0_min)`.
+pub fn prob1_min(mdp: &Mdp, lhs: &BitVec, rhs: &BitVec) -> BitVec {
+    let zero = prob0_min(mdp, lhs, rhs);
+    // Intermediates must avoid rhs (reaching rhs first is a success), so
+    // restrict the expansion mask to lhs ∖ rhs — `pre_star` already never
+    // expands through its `rhs` argument (`zero` here), and we exclude the
+    // real rhs by masking it out of lhs.
+    pre_star(mdp, &lhs.and(&rhs.not()), &zero).not()
+}
+
+/// The `Pmax = 1` states of `lhs U rhs`: some scheduler reaches `rhs`
+/// almost surely (PRISM `Prob1E`, de Alfaro's nested fixpoint).
+pub fn prob1_max(mdp: &Mdp, lhs: &BitVec, rhs: &BitVec) -> BitVec {
+    let n = mdp.n_states();
+    let mut x = BitVec::ones(n);
+    loop {
+        // Inner least fixpoint: states with an action that stays inside X
+        // and makes progress toward rhs through Y.
+        let mut y = rhs.clone();
+        loop {
+            let mut changed = false;
+            for s in 0..n {
+                if y.get(s) || !x.get(s) || !expandable(lhs, rhs, s) {
+                    continue;
+                }
+                let ok = (0..mdp.action_count(s)).any(|a| {
+                    let mut touches = false;
+                    for (c, p) in mdp.action_row(s, a) {
+                        if p == 0.0 {
+                            continue;
+                        }
+                        if !x.get(c as usize) {
+                            return false;
+                        }
+                        touches |= y.get(c as usize);
+                    }
+                    touches
+                });
+                if ok {
+                    y.set(s, true);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if y == x {
+            return x;
+        }
+        x = y;
+    }
+}
+
+/// The maximal end components of the sub-MDP restricted to `restrict`:
+/// maximal state sets `M ⊆ restrict` such that every state of `M` has at
+/// least one action whose support stays inside `M`, and `M` is strongly
+/// connected through those actions. Singleton components qualify only
+/// with a self-loop action. Components are returned as sorted state
+/// lists.
+pub fn max_end_components(mdp: &Mdp, restrict: &BitVec) -> Vec<Vec<u32>> {
+    let n = mdp.n_states();
+    // Component id per state; refine until stable. Initially one candidate
+    // component (id 0) covering `restrict`, everything else isolated.
+    let mut comp: Vec<u32> = (0..n)
+        .map(|s| if restrict.get(s) { 0 } else { u32::MAX })
+        .collect();
+    loop {
+        // Adjacency through actions fully inside the current candidate
+        // component of their source.
+        let internal = |s: usize, a: usize, comp: &[u32]| -> bool {
+            mdp.action_row(s, a)
+                .all(|(c, p)| p == 0.0 || comp[c as usize] == comp[s])
+        };
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for s in 0..n {
+            if comp[s] == u32::MAX {
+                continue;
+            }
+            for a in 0..mdp.action_count(s) {
+                if internal(s, a, &comp) {
+                    for (c, p) in mdp.action_row(s, a) {
+                        if p > 0.0 && c as usize != s {
+                            adj[s].push(c);
+                        }
+                    }
+                }
+            }
+        }
+        let scc_of = sccs(&adj, &comp);
+        // Re-map: states sharing (old component, scc) stay together.
+        let mut next: Vec<u32> = vec![u32::MAX; n];
+        let mut ids: std::collections::BTreeMap<(u32, u32), u32> =
+            std::collections::BTreeMap::new();
+        for s in 0..n {
+            if comp[s] == u32::MAX {
+                continue;
+            }
+            let key = (comp[s], scc_of[s]);
+            let fresh = ids.len() as u32;
+            next[s] = *ids.entry(key).or_insert(fresh);
+        }
+        if next == comp {
+            break;
+        }
+        comp = next;
+    }
+    // Collect stable components that really are end components.
+    let mut groups: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
+    for (s, &c) in comp.iter().enumerate() {
+        if c != u32::MAX {
+            groups.entry(c).or_default().push(s as u32);
+        }
+    }
+    groups
+        .into_values()
+        .filter(|members| {
+            members.iter().all(|&s| {
+                let s = s as usize;
+                (0..mdp.action_count(s)).any(|a| {
+                    mdp.action_row(s, a)
+                        .all(|(c, p)| p == 0.0 || comp[c as usize] == comp[s])
+                })
+            })
+        })
+        .collect()
+}
+
+/// Strongly-connected component ids over an adjacency list, restricted to
+/// states with a component assignment (iterative Tarjan; isolated or
+/// unassigned states get singleton ids).
+fn sccs(adj: &[Vec<u32>], comp: &[u32]) -> Vec<u32> {
+    let n = adj.len();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index_of = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut scc_of = vec![0u32; n];
+    let mut next_index = 0u32;
+    let mut next_scc = 0u32;
+
+    enum Frame {
+        Enter(u32),
+        Resume(u32, usize),
+    }
+
+    for root in 0..n as u32 {
+        if index_of[root as usize] != UNVISITED || comp[root as usize] == u32::MAX {
+            continue;
+        }
+        let mut frames = vec![Frame::Enter(root)];
+        while let Some(frame) = frames.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index_of[v as usize] = next_index;
+                    lowlink[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                    frames.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut i) => {
+                    let succ = &adj[v as usize];
+                    let mut descended = false;
+                    while i < succ.len() {
+                        let w = succ[i];
+                        i += 1;
+                        if index_of[w as usize] == UNVISITED {
+                            frames.push(Frame::Resume(v, i));
+                            frames.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w as usize] {
+                            lowlink[v as usize] = lowlink[v as usize].min(index_of[w as usize]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if lowlink[v as usize] == index_of[v as usize] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            scc_of[w as usize] = next_scc;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_scc += 1;
+                    } else if let Some(Frame::Resume(parent, _)) = frames.last() {
+                        let p = *parent as usize;
+                        lowlink[p] = lowlink[p].min(lowlink[v as usize]);
+                    }
+                }
+            }
+        }
+    }
+    scc_of
+}
+
+/// A memoryless scheduler that reaches `rhs` almost surely from every
+/// `Pmax = 1` state of `lhs U rhs`, constructed purely from the graph:
+/// states are claimed outward from `rhs`, each picking an action that (a)
+/// keeps all its mass inside the `Pmax = 1` region and (b) moves to an
+/// already-claimed state with positive probability. Such an action always
+/// exists for every `Pmax = 1` state (follow the almost-sure scheduler's
+/// own choices), and the induced chain provably reaches `rhs` almost
+/// surely — no numeric value vector is trusted anywhere.
+///
+/// Unclaimed states (outside the `Pmax = 1` region) default to action 0;
+/// their induced behaviour is irrelevant to the callers, which only
+/// evaluate the scheduler on the certain region.
+pub fn proper_scheduler(mdp: &Mdp, lhs: &BitVec, rhs: &BitVec) -> Vec<u32> {
+    let n = mdp.n_states();
+    let certain = prob1_max(mdp, lhs, rhs);
+    let mut sched = vec![0u32; n];
+    let mut claimed: Vec<bool> = (0..n).map(|s| rhs.get(s)).collect();
+    loop {
+        let mut changed = false;
+        for s in 0..n {
+            if claimed[s] || !certain.get(s) || !expandable(lhs, rhs, s) {
+                continue;
+            }
+            for a in 0..mdp.action_count(s) {
+                let safe = mdp
+                    .action_row(s, a)
+                    .all(|(c, p)| p == 0.0 || certain.get(c as usize) || rhs.get(c as usize));
+                if !safe {
+                    continue;
+                }
+                if mdp
+                    .action_row(s, a)
+                    .any(|(c, p)| p > 0.0 && claimed[c as usize])
+                {
+                    sched[s] = a as u32;
+                    claimed[s] = true;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            return sched;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdp::MdpBuilder;
+    use std::collections::BTreeMap;
+
+    /// 0: action 0 self-loops, action 1 → {goal: ½, sink: ½};
+    /// 1 = goal (absorbing), 2 = sink (absorbing).
+    fn risky() -> Mdp {
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(0, 1.0)]).unwrap();
+        b.push_action(&mut [(1, 0.5), (2, 0.5)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(1, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(2, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("goal".to_string(), smg_dtmc::BitVec::from_fn(3, |i| i == 1));
+        Mdp::new(b.finish(), vec![(0, 1.0)], labels, vec![0.0; 3]).unwrap()
+    }
+
+    #[test]
+    fn qualitative_sets_on_risky() {
+        let m = risky();
+        let goal = m.label("goal").unwrap().clone();
+        let all = BitVec::ones(3);
+        // Pmax > 0 everywhere except the sink.
+        let p0max = prob0_max(&m, &all, &goal);
+        assert_eq!(p0max.iter_ones().collect::<Vec<_>>(), vec![2]);
+        // Pmin = 0 at 0 (stall forever) and at the sink.
+        let p0min = prob0_min(&m, &all, &goal);
+        assert_eq!(p0min.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+        // Pmin = 1 only at the goal itself.
+        let p1min = prob1_min(&m, &all, &goal);
+        assert_eq!(p1min.iter_ones().collect::<Vec<_>>(), vec![1]);
+        // Pmax = 1 at the goal; 0 only reaches with probability ½.
+        let p1max = prob1_max(&m, &all, &goal);
+        assert_eq!(p1max.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn prob1_max_sees_retry_loops() {
+        // 0: action 0 → {goal: ½, 0: ½} — retrying forever succeeds a.s.
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(1, 0.5), (0, 0.5)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(1, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("goal".to_string(), smg_dtmc::BitVec::from_fn(2, |i| i == 1));
+        let m = Mdp::new(b.finish(), vec![(0, 1.0)], labels, vec![0.0; 2]).unwrap();
+        let goal = m.label("goal").unwrap().clone();
+        let all = BitVec::ones(2);
+        assert!(prob1_max(&m, &all, &goal).all());
+        assert!(prob1_min(&m, &all, &goal).all());
+    }
+
+    #[test]
+    fn end_components_found_and_filtered() {
+        // {0, 1} cycle via dedicated actions, each with an exit; 2 has no
+        // self-loop action → not an EC on its own.
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(1, 1.0)]).unwrap();
+        b.push_action(&mut [(2, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(0, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let m = Mdp::new(b.finish(), vec![(0, 1.0)], BTreeMap::new(), vec![0.0; 4]).unwrap();
+        let restrict = BitVec::from_fn(4, |i| i < 3);
+        let mecs = max_end_components(&m, &restrict);
+        assert_eq!(mecs, vec![vec![0, 1]]);
+        // The absorbing state 3 is a singleton EC when included.
+        let mecs = max_end_components(&m, &BitVec::ones(4));
+        assert_eq!(mecs, vec![vec![0, 1], vec![3]]);
+    }
+
+    #[test]
+    fn proper_scheduler_avoids_risky_ties() {
+        // 0: action 0 = risky {goal ½, sink ½}; action 1 = safe → 1;
+        // 1 → goal surely. Pmax = 1 via the safe route only, so the
+        // proper scheduler must not pick action 0 at state 0.
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(2, 0.5), (3, 0.5)]).unwrap();
+        b.push_action(&mut [(1, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(2, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(2, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("goal".to_string(), smg_dtmc::BitVec::from_fn(4, |i| i == 2));
+        let m = Mdp::new(b.finish(), vec![(0, 1.0)], labels, vec![0.0; 4]).unwrap();
+        let goal = m.label("goal").unwrap().clone();
+        let all = BitVec::ones(4);
+        assert!(prob1_max(&m, &all, &goal).get(0));
+        let sched = proper_scheduler(&m, &all, &goal);
+        assert_eq!(sched[0], 1, "must take the safe action");
+        let d = m.induced_dtmc(&sched).unwrap();
+        let v = smg_dtmc::transient::unbounded_reach_values(&d, &goal, 1e-12, 100_000).unwrap();
+        assert!((v[0] - 1.0).abs() < 1e-9);
+    }
+}

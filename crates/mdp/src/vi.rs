@@ -26,8 +26,27 @@
 //! action walk the sequential loop performs, so results are **bit-identical
 //! to the sequential fallback for every thread count and chunk geometry**
 //! (property-tested in `tests/vi_properties.rs`).
+//!
+//! # Certified convergence
+//!
+//! The unbounded drivers above stop on a residual test, which cannot bound
+//! the distance to the fixpoint. The `certified_*` drivers replace it with
+//! **interval iteration**: a lower vector ascending from 0 and an upper
+//! vector descending from a qualitative seed ([`crate::qual`]), advanced
+//! together by [`interval_step_into`] (one action walk computes both
+//! bounds) and terminated only when `upper − lower < ε` pointwise. End
+//! components — the structures that let plain upper iterates stall above
+//! the true `Pmax`, and lower `Rmin` iterates stall below the true cost —
+//! are handled by per-sweep *deflation* (capping a component's upper
+//! values at its best exit backup) and *inflation* (raising a zero-reward
+//! component's lower values to its cheapest exit backup), over maximal end
+//! components computed once per query. The result is a sound bracket for
+//! all four `Pmin`/`Pmax`/`Rmin`/`Rmax` forms, cross-checked in the tests
+//! against exhaustive memoryless-scheduler enumeration.
 
 use crate::mdp::Mdp;
+use crate::qual;
+use smg_dtmc::solve::CertifiedValues;
 use smg_dtmc::{par, pool, BitVec, DtmcError};
 
 /// The optimization direction of a query: worst case (`Min`) or best case
@@ -524,6 +543,368 @@ fn proper_chain_cost(
     })
 }
 
+/// One dual optimal backup `out = (T_opt lo, T_opt hi)`, masked: states
+/// outside `active` copy their current (pinned) pair. Both bounds ride a
+/// single action walk — the per-action accumulators and the running optima
+/// are tracked independently, which is exactly `T_opt` applied to each
+/// bound (the optimal action may differ between them). With `rewards`,
+/// `r[s]` is added to both bounds of every active state.
+///
+/// Parallel dispatch and determinism follow [`optimal_step_into`]: dynamic
+/// chunks on the pool above the threshold, bit-identical sequential
+/// fallback below it. Returns the maximum `hi − lo` width over the active
+/// states of this sweep.
+pub fn interval_step_into(
+    mdp: &Mdp,
+    cur: &[(f64, f64)],
+    active: &BitVec,
+    opt: Opt,
+    rewards: Option<&[f64]>,
+    out: &mut [(f64, f64)],
+    vio: &ViOptions,
+) -> f64 {
+    let n = mdp.n_states();
+    assert_eq!(cur.len(), n, "value vector length mismatch");
+    assert_eq!(out.len(), n, "output buffer length mismatch");
+    assert_eq!(active.len(), n, "mask length mismatch");
+    let body = |offset: usize, chunk: &mut [(f64, f64)]| -> f64 {
+        let mut width: f64 = 0.0;
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            let s = offset + j;
+            if !active.get(s) {
+                *slot = cur[s];
+                continue;
+            }
+            let mut best_lo = 0.0;
+            let mut best_hi = 0.0;
+            for a in 0..mdp.action_count(s) {
+                let mut acc_lo = 0.0;
+                let mut acc_hi = 0.0;
+                for (c, p) in mdp.action_row(s, a) {
+                    let (l, h) = cur[c as usize];
+                    acc_lo += p * l;
+                    acc_hi += p * h;
+                }
+                if a == 0 || opt.better(acc_lo, best_lo) {
+                    best_lo = acc_lo;
+                }
+                if a == 0 || opt.better(acc_hi, best_hi) {
+                    best_hi = acc_hi;
+                }
+            }
+            if let Some(r) = rewards {
+                best_lo += r[s];
+                best_hi += r[s];
+            }
+            width = width.max(best_hi - best_lo);
+            *slot = (best_lo, best_hi);
+        }
+        width
+    };
+    if vio.parallelize(n) {
+        let pool = vio.pool.unwrap_or_else(pool::global);
+        pool.map_chunks_dynamic(out, vio.chunk.max(1), &|offset, chunk| body(offset, chunk))
+            .into_iter()
+            .fold(0.0, f64::max)
+    } else {
+        body(0, out)
+    }
+}
+
+/// Per-state end-component membership (`u32::MAX` = none) plus the list,
+/// precomputed once per certified query.
+struct EcIndex {
+    of: Vec<u32>,
+    members: Vec<Vec<u32>>,
+}
+
+impl EcIndex {
+    fn new(mdp: &Mdp, restrict: &BitVec) -> EcIndex {
+        let members = qual::max_end_components(mdp, restrict);
+        let mut of = vec![u32::MAX; mdp.n_states()];
+        for (k, m) in members.iter().enumerate() {
+            for &s in m {
+                of[s as usize] = k as u32;
+            }
+        }
+        EcIndex { of, members }
+    }
+
+    /// The `opt`-best backup over the *exit* actions of component `k` —
+    /// actions of member states whose support leaves the component. Every
+    /// retained component has at least one (closed components that cannot
+    /// reach the target are excluded by the qualitative pre-passes).
+    fn best_exit(&self, mdp: &Mdp, k: usize, value: impl Fn(usize) -> f64, opt: Opt) -> f64 {
+        let mut best = match opt {
+            Opt::Max => f64::NEG_INFINITY,
+            Opt::Min => f64::INFINITY,
+        };
+        for &u in &self.members[k] {
+            let u = u as usize;
+            for a in 0..mdp.action_count(u) {
+                let mut exits = false;
+                let mut acc = 0.0;
+                for (c, p) in mdp.action_row(u, a) {
+                    exits |= self.of[c as usize] != self.of[u];
+                    acc += p * value(c as usize);
+                }
+                if exits && opt.better(acc, best) {
+                    best = acc;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// The maximum `hi − lo` over `active` states (all finite there).
+fn bracket_width(active: &BitVec, cur: &[(f64, f64)]) -> f64 {
+    active
+        .iter_ones()
+        .map(|i| cur[i].1 - cur[i].0)
+        .fold(0.0, f64::max)
+}
+
+fn unzip_certificate(cur: Vec<(f64, f64)>, iterations: usize) -> CertifiedValues {
+    let (lo, hi) = cur.into_iter().unzip();
+    CertifiedValues { lo, hi, iterations }
+}
+
+/// Certified optimal probabilities of `lhs U rhs` from every state:
+/// interval iteration whose `[lo, hi]` result provably brackets the exact
+/// `Pmin`/`Pmax` value with width below `epsilon` at every state.
+///
+/// The qualitative pre-pass pins the `P = 0` region exactly (for `Pmax`
+/// the states no scheduler can steer to `rhs`, for `Pmin` the states some
+/// scheduler can keep away — [`qual::prob0_max`]/[`qual::prob0_min`]).
+/// For `Pmin` that already makes the fixpoint unique. For `Pmax` the
+/// remaining end components can hold the upper iterate above the true
+/// value forever, so each sweep *deflates* them: every component's upper
+/// values are capped at its best exit backup, which is sound (any
+/// scheduler must leave the component to reach `rhs`) and restores
+/// convergence.
+///
+/// # Errors
+///
+/// [`DtmcError::DimensionMismatch`] for wrong-length bit vectors;
+/// [`DtmcError::NoConvergence`] if `vio.max_iter` dual sweeps do not close
+/// the width below `epsilon`.
+pub fn certified_until_values(
+    mdp: &Mdp,
+    lhs: &BitVec,
+    rhs: &BitVec,
+    opt: Opt,
+    epsilon: f64,
+    vio: &ViOptions,
+) -> Result<CertifiedValues, DtmcError> {
+    check_len(mdp, lhs)?;
+    check_len(mdp, rhs)?;
+    let n = mdp.n_states();
+    let zero = match opt {
+        Opt::Max => qual::prob0_max(mdp, lhs, rhs),
+        Opt::Min => qual::prob0_min(mdp, lhs, rhs),
+    };
+    let active = lhs.and(&rhs.not()).and(&zero.not());
+    let ecs = match opt {
+        Opt::Max => Some(EcIndex::new(mdp, &active)),
+        Opt::Min => None, // every end component has Pmin = 0 → pinned already
+    };
+    let mut cur: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            if rhs.get(i) {
+                (1.0, 1.0)
+            } else if active.get(i) {
+                (0.0, 1.0)
+            } else {
+                (0.0, 0.0)
+            }
+        })
+        .collect();
+    let mut next = cur.clone();
+    for it in 1..=vio.max_iter {
+        let mut width = interval_step_into(mdp, &cur, &active, opt, None, &mut next, vio);
+        if let Some(ecs) = &ecs {
+            for k in 0..ecs.members.len() {
+                let cap = ecs.best_exit(mdp, k, |c| next[c].1, Opt::Max);
+                for &s in &ecs.members[k] {
+                    let hi = &mut next[s as usize].1;
+                    *hi = hi.min(cap);
+                }
+            }
+            width = bracket_width(&active, &next);
+        }
+        std::mem::swap(&mut cur, &mut next);
+        if width < epsilon {
+            return Ok(unzip_certificate(cur, it));
+        }
+    }
+    Err(DtmcError::NoConvergence {
+        iterations: vio.max_iter,
+        residual: epsilon,
+    })
+}
+
+/// Certified optimal reachability `Pmin`/`Pmax` `[F target]` from every
+/// state — [`certified_until_values`] with an unrestricted left operand.
+///
+/// # Errors
+///
+/// As for [`certified_until_values`].
+pub fn certified_reach_values(
+    mdp: &Mdp,
+    target: &BitVec,
+    opt: Opt,
+    epsilon: f64,
+    vio: &ViOptions,
+) -> Result<CertifiedValues, DtmcError> {
+    let all = BitVec::ones(mdp.n_states());
+    certified_until_values(mdp, &all, target, opt, epsilon, vio)
+}
+
+/// Certified optimal expected reward accumulated strictly before first
+/// reaching `target` (`Rmin`/`Rmax` `[F target]`, PRISM semantics).
+/// States outside the qualitative certain region carry the exact
+/// `lo = hi = ∞`; on the certain region the bracket has width below
+/// `epsilon`.
+///
+/// Everything the certificate rests on is graph-based, never a
+/// residual-converged number:
+///
+/// * the certain region is [`qual::prob1_min`] for `Rmax` (every
+///   scheduler must be proper there for the supremum to be finite) and
+///   [`qual::prob1_max`] for `Rmin`;
+/// * the `Rmax` upper seed comes from a finite hitting probe — `k` min-VI
+///   sweeps showing every certain state reaches the target within `k`
+///   steps with probability ≥ δ under *every* scheduler, giving the bound
+///   `k·r_max/δ`;
+/// * the `Rmin` upper seed is a certified upper bound
+///   ([`smg_dtmc::solve::interval_reach_reward_values`]) on the cost of a
+///   graph-constructed proper scheduler ([`qual::proper_scheduler`]);
+/// * the `Rmin` *lower* iterate would stall below the true cost wherever
+///   a zero-reward end component lets the minimizer wait for free, so
+///   each sweep *inflates* those components' lower values to their
+///   cheapest exit backup (sound: a proper scheduler must leave, and
+///   leaving costs at least the cheapest exit).
+///
+/// # Errors
+///
+/// As for [`certified_until_values`] (for the reward iteration, the
+/// hitting probe, and the seed computation).
+pub fn certified_reach_reward_values(
+    mdp: &Mdp,
+    target: &BitVec,
+    opt: Opt,
+    epsilon: f64,
+    vio: &ViOptions,
+) -> Result<CertifiedValues, DtmcError> {
+    check_len(mdp, target)?;
+    let n = mdp.n_states();
+    let all = BitVec::ones(n);
+    let certain = match opt {
+        Opt::Max => qual::prob1_min(mdp, &all, target),
+        Opt::Min => qual::prob1_max(mdp, &all, target),
+    };
+    let active = certain.and(&target.not());
+    let rewards = mdp.rewards();
+    let r_max = active.iter_ones().map(|i| rewards[i]).fold(0.0, f64::max);
+    // Upper seed per state.
+    let seed: Vec<f64> = match opt {
+        Opt::Max => {
+            let bound = if r_max == 0.0 {
+                0.0
+            } else {
+                let (k, delta) = min_hitting_probe(mdp, target, &active, vio)?;
+                k as f64 * r_max / delta
+            };
+            vec![bound; n]
+        }
+        Opt::Min => {
+            let sched = qual::proper_scheduler(mdp, &all, target);
+            let chain = mdp.induced_dtmc(&sched)?;
+            smg_dtmc::solve::interval_reach_reward_values(&chain, target, epsilon, vio.max_iter)?.hi
+        }
+    };
+    let ecs = match opt {
+        Opt::Min => {
+            let zero_reward = BitVec::from_fn(n, |i| active.get(i) && rewards[i] == 0.0);
+            Some(EcIndex::new(mdp, &zero_reward))
+        }
+        Opt::Max => None, // no end components survive inside a Pmin = 1 region
+    };
+    let mut cur: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            if active.get(i) {
+                (0.0, seed[i])
+            } else if certain.get(i) {
+                (0.0, 0.0) // target: accumulation stops before its reward
+            } else {
+                (f64::INFINITY, f64::INFINITY)
+            }
+        })
+        .collect();
+    let mut next = cur.clone();
+    for it in 1..=vio.max_iter {
+        let mut width = interval_step_into(mdp, &cur, &active, opt, Some(rewards), &mut next, vio);
+        if let Some(ecs) = &ecs {
+            for k in 0..ecs.members.len() {
+                let floor = ecs.best_exit(mdp, k, |c| next[c].0, Opt::Min);
+                for &s in &ecs.members[k] {
+                    let lo = &mut next[s as usize].0;
+                    *lo = lo.max(floor);
+                }
+            }
+            width = bracket_width(&active, &next);
+        }
+        std::mem::swap(&mut cur, &mut next);
+        if width < epsilon {
+            return Ok(unzip_certificate(cur, it));
+        }
+    }
+    Err(DtmcError::NoConvergence {
+        iterations: vio.max_iter,
+        residual: epsilon,
+    })
+}
+
+/// The smallest `k` at which every `active` state reaches the target
+/// within `k` steps with positive probability under *every* scheduler,
+/// with the minimum such probability `δ` — `k` bounded min-VI sweeps. On a
+/// correct `Pmin = 1` region such a `k ≤ n` always exists (a scheduler
+/// avoiding the target for `n` steps surely contains an avoiding cycle,
+/// contradicting `Pmin = 1`).
+fn min_hitting_probe(
+    mdp: &Mdp,
+    target: &BitVec,
+    active: &BitVec,
+    vio: &ViOptions,
+) -> Result<(usize, f64), DtmcError> {
+    let n = mdp.n_states();
+    if !active.any() {
+        return Ok((1, 1.0));
+    }
+    let mut w: Vec<f64> = (0..n)
+        .map(|i| if target.get(i) { 1.0 } else { 0.0 })
+        .collect();
+    let mut next = vec![0.0; n];
+    for k in 1..=n {
+        optimal_step_into(mdp, &w, Some(active), Opt::Min, &mut next, vio);
+        std::mem::swap(&mut w, &mut next);
+        let delta = active
+            .iter_ones()
+            .map(|i| w[i])
+            .fold(f64::INFINITY, f64::min);
+        if delta > 0.0 {
+            return Ok((k, delta));
+        }
+    }
+    // Unreachable when `active` really is the Pmin = 1 region; fail loudly
+    // rather than certify with an unsound seed.
+    Err(DtmcError::NoConvergence {
+        iterations: n,
+        residual: 0.0,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,6 +1075,158 @@ mod tests {
         // when Pmin < 1, which the qualitative pre-pass reports.
         let rmax = reach_reward_values(&m, &target, Opt::Max, &vio).unwrap();
         assert_eq!(rmax[0], f64::INFINITY);
+    }
+
+    #[test]
+    fn certified_reach_brackets_tiny() {
+        let m = tiny();
+        let goal = m.label("goal").unwrap().clone();
+        let vio = ViOptions::default();
+        let eps = 1e-9;
+        for (opt, want) in [(Opt::Max, 0.5), (Opt::Min, 0.1)] {
+            let cert = certified_reach_values(&m, &goal, opt, eps, &vio).unwrap();
+            assert!(cert.width() < eps, "{opt:?}");
+            assert!(
+                cert.lo[0] <= want && want <= cert.hi[0],
+                "{opt:?}: [{}, {}] vs {want}",
+                cert.lo[0],
+                cert.hi[0]
+            );
+            // Pinned states are exact.
+            assert_eq!((cert.lo[1], cert.hi[1]), (1.0, 1.0));
+            assert_eq!((cert.lo[2], cert.hi[2]), (0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn certified_pmax_deflates_value_preserving_loops() {
+        // 0: action 0 self-loops (an end component), action 1 risks
+        // {goal: ½, sink: ½}. Pmax = ½, but a plain upper iterate from 1
+        // is a fixpoint of the backup (the self-loop preserves it), so
+        // only deflation lets the certificate close.
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(0, 1.0)]).unwrap();
+        b.push_action(&mut [(1, 0.5), (2, 0.5)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(1, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(2, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("goal".to_string(), BitVec::from_fn(3, |i| i == 1));
+        let m = Mdp::new(b.finish(), vec![(0, 1.0)], labels, vec![0.0; 3]).unwrap();
+        let goal = m.label("goal").unwrap().clone();
+        let vio = ViOptions::default();
+        let eps = 1e-9;
+        let cert = certified_reach_values(&m, &goal, Opt::Max, eps, &vio).unwrap();
+        assert!(cert.width() < eps);
+        assert!(
+            cert.lo[0] <= 0.5 && 0.5 <= cert.hi[0] && cert.hi[0] < 0.5 + eps,
+            "[{}, {}]",
+            cert.lo[0],
+            cert.hi[0]
+        );
+        // Pmin = 0 is pinned qualitatively (stall forever).
+        let cert = certified_reach_values(&m, &goal, Opt::Min, eps, &vio).unwrap();
+        assert_eq!((cert.lo[0], cert.hi[0]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn certified_until_respects_lhs() {
+        let m = tiny();
+        let goal = m.label("goal").unwrap().clone();
+        // lhs excludes state 0 → goal unreachable from 0 through lhs.
+        let lhs = BitVec::from_fn(3, |i| i != 0);
+        let vio = ViOptions::default();
+        let cert = certified_until_values(&m, &lhs, &goal, Opt::Max, 1e-9, &vio).unwrap();
+        assert_eq!((cert.lo[0], cert.hi[0]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn certified_rewards_bracket_tiny_and_infinity() {
+        let m = tiny();
+        let goal = m.label("goal").unwrap().clone();
+        let vio = ViOptions::default();
+        let eps = 1e-9;
+        // Reaching goal alone is uncertain from 0 → ∞ under both opts.
+        for opt in [Opt::Max, Opt::Min] {
+            let cert = certified_reach_reward_values(&m, &goal, opt, eps, &vio).unwrap();
+            assert_eq!((cert.lo[0], cert.hi[0]), (f64::INFINITY, f64::INFINITY));
+            assert_eq!((cert.lo[1], cert.hi[1]), (0.0, 0.0));
+            assert!(cert.width() < eps);
+        }
+        // goal | bad is reached in one certain step; reward 1 accrues at 0.
+        let either = BitVec::from_fn(3, |i| i > 0);
+        for opt in [Opt::Max, Opt::Min] {
+            let cert = certified_reach_reward_values(&m, &either, opt, eps, &vio).unwrap();
+            assert!(cert.width() < eps);
+            assert!(
+                cert.lo[0] <= 1.0 && 1.0 <= cert.hi[0],
+                "{opt:?}: [{}, {}]",
+                cert.lo[0],
+                cert.hi[0]
+            );
+        }
+    }
+
+    #[test]
+    fn certified_rmin_inflates_zero_reward_cycles() {
+        // Same model as `rmin_is_not_fooled_by_zero_reward_cycles`: the
+        // 0 ↔ 1 zero-reward cycle would hold a plain lower iterate at 0
+        // forever; inflation must lift it to the true Rmin = 10 and the
+        // certificate must close around it.
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(1, 1.0)]).unwrap();
+        b.push_action(&mut [(2, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(0, 1.0)]).unwrap();
+        b.push_action(&mut [(2, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("t".to_string(), BitVec::from_fn(4, |i| i == 3));
+        let m = Mdp::new(
+            b.finish(),
+            vec![(0, 1.0)],
+            labels,
+            vec![0.0, 0.0, 10.0, 0.0],
+        )
+        .unwrap();
+        let target = m.label("t").unwrap().clone();
+        let vio = ViOptions::default();
+        let eps = 1e-9;
+        let cert = certified_reach_reward_values(&m, &target, Opt::Min, eps, &vio).unwrap();
+        assert!(cert.width() < eps);
+        for s in [0usize, 1, 2] {
+            assert!(
+                cert.lo[s] <= 10.0 + 1e-12 && 10.0 <= cert.hi[s] + 1e-12,
+                "state {s}: [{}, {}]",
+                cert.lo[s],
+                cert.hi[s]
+            );
+        }
+        // Rmax is ∞ (the maximizer can stall, so Pmin < 1).
+        let cert = certified_reach_reward_values(&m, &target, Opt::Max, eps, &vio).unwrap();
+        assert_eq!((cert.lo[0], cert.hi[0]), (f64::INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn certified_parallel_path_is_bit_identical() {
+        let m = tiny();
+        let goal = m.label("goal").unwrap().clone();
+        let seq = ViOptions::default().with_par_min_states(usize::MAX);
+        let par = ViOptions {
+            chunk: 1,
+            ..ViOptions::default().with_par_min_states(0)
+        };
+        for opt in [Opt::Min, Opt::Max] {
+            let a = certified_reach_values(&m, &goal, opt, 1e-10, &seq).unwrap();
+            let b = certified_reach_values(&m, &goal, opt, 1e-10, &par).unwrap();
+            assert_eq!((a.lo, a.hi), (b.lo, b.hi));
+        }
     }
 
     #[test]

@@ -103,6 +103,10 @@ impl MdpModel for RandomMdp {
     fn holds(&self, ap: &str, &s: &u32) -> bool {
         ap == "target" && s == self.n - 1
     }
+
+    fn state_reward(&self, &s: &u32) -> f64 {
+        f64::from(s % 4)
+    }
 }
 
 fn explore_mdp(n: u32, seed: u64) -> Mdp {
@@ -128,6 +132,43 @@ fn enumerate_schedulers(mdp: &Mdp, target: &BitVec) -> (Vec<f64>, Vec<f64>) {
             max[i] = max[i].max(vals[i]);
         }
         // Odometer.
+        let mut k = n;
+        loop {
+            if k == 0 {
+                return (min, max);
+            }
+            k -= 1;
+            sched[k] += 1;
+            if (sched[k] as usize) < mdp.action_count(k) {
+                break;
+            }
+            sched[k] = 0;
+        }
+    }
+}
+
+/// The per-state min and max *expected reachability reward* over every
+/// memoryless deterministic scheduler, each induced chain solved by the
+/// DTMC engine's own certified interval solver (pinned independently
+/// against dense linear-system elimination in `smg-dtmc`'s test suite).
+/// Improper schedulers contribute `∞`, matching PRISM's reward semantics.
+fn enumerate_scheduler_rewards(mdp: &Mdp, target: &BitVec) -> (Vec<f64>, Vec<f64>) {
+    let n = mdp.n_states();
+    let mut sched = vec![0u32; n];
+    let mut min = vec![f64::INFINITY; n];
+    let mut max = vec![f64::NEG_INFINITY; n];
+    loop {
+        let d = mdp.induced_dtmc(&sched).expect("valid scheduler");
+        // ε leaves headroom above the f64 rounding floor: expected rewards
+        // on these chains can reach ~1e5, where a 1e-11 width is not
+        // representably closable.
+        let vals = smg_dtmc::solve::interval_reach_reward_values(&d, target, 1e-9, 10_000_000)
+            .unwrap()
+            .midpoints();
+        for i in 0..n {
+            min[i] = min[i].min(vals[i]);
+            max[i] = max[i].max(vals[i]);
+        }
         let mut k = n;
         loop {
             if k == 0 {
@@ -185,6 +226,51 @@ proptest! {
                     "state {s}: induced {} vs optimal {} ({opt:?})",
                     vals[s], expect[s]
                 );
+            }
+        }
+    }
+
+    /// The certified intervals bracket the exhaustive memoryless-scheduler
+    /// envelope with width below ε, for all four `Pmin`/`Pmax`/`Rmin`/
+    /// `Rmax` forms — including exact agreement of the qualitative `∞`
+    /// region with the enumeration's improper-scheduler analysis.
+    #[test]
+    fn certified_intervals_bracket_scheduler_enumeration(
+        n in 2u32..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        init_env();
+        let mdp = explore_mdp(n, seed);
+        let target = mdp.label("target").unwrap().clone();
+        let vio = ViOptions::default();
+        let eps = 1e-7;
+        let (emin, emax) = enumerate_schedulers(&mdp, &target);
+        for (opt, envelope) in [(Opt::Min, &emin), (Opt::Max, &emax)] {
+            let cert = vi::certified_reach_values(&mdp, &target, opt, eps, &vio).unwrap();
+            prop_assert!(cert.width() < eps, "{opt:?} width {}", cert.width());
+            for (s, &env) in envelope.iter().enumerate() {
+                prop_assert!(
+                    cert.lo[s] - 1e-9 <= env && env <= cert.hi[s] + 1e-9,
+                    "state {s}: P{opt} {} outside [{}, {}] (n={n}, seed={seed:#x})",
+                    env, cert.lo[s], cert.hi[s]
+                );
+            }
+        }
+        let (rmin, rmax) = enumerate_scheduler_rewards(&mdp, &target);
+        for (opt, envelope) in [(Opt::Min, &rmin), (Opt::Max, &rmax)] {
+            let cert = vi::certified_reach_reward_values(&mdp, &target, opt, eps, &vio).unwrap();
+            prop_assert!(cert.width() < eps, "{opt:?} width {}", cert.width());
+            for (s, &env) in envelope.iter().enumerate() {
+                if env.is_infinite() {
+                    prop_assert_eq!(cert.lo[s], f64::INFINITY, "state {} (R{:?})", s, opt);
+                } else {
+                    let slack = 1e-6 * (1.0 + env.abs());
+                    prop_assert!(
+                        cert.lo[s] - slack <= env && env <= cert.hi[s] + slack,
+                        "state {s}: R{opt} {} outside [{}, {}] (n={n}, seed={seed:#x})",
+                        env, cert.lo[s], cert.hi[s]
+                    );
+                }
             }
         }
     }

@@ -15,17 +15,78 @@
 
 use crate::ast::{PathFormula, Property, RewardQuery, StateFormula, TimeBound};
 use crate::error::PctlError;
-use smg_dtmc::{transient, BitVec, Dtmc};
+use smg_dtmc::{solve, transient, BitVec, Dtmc};
 use std::time::{Duration, Instant};
 
 /// Tolerance for unbounded-until value iteration.
 const UNBOUNDED_TOL: f64 = 1e-12;
 /// Iteration budget for unbounded queries.
 const UNBOUNDED_MAX_ITER: usize = 1_000_000;
+/// Iteration budget for certified interval iteration (dual sweeps close a
+/// width, not a residual, so slow-mixing models legitimately need more
+/// sweeps than the heuristic test would have taken). Shared with the MDP
+/// checker.
+pub(crate) const CERTIFIED_MAX_ITER: usize = 50_000_000;
 /// Tolerance for steady-state detection.
 const STEADY_TOL: f64 = 1e-13;
 /// Step budget for steady-state detection.
 const STEADY_MAX_STEPS: usize = 1_000_000;
+
+/// Options shared by [`check_query_with`] and
+/// [`crate::mdp::check_mdp_query_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CheckOptions {
+    /// When set, unbounded reachability/until/globally probabilities and
+    /// reachability rewards are solved by **certified interval iteration**
+    /// with this ε: the result carries a sound `[lo, hi]` bracket of width
+    /// below ε ([`CheckResult::interval`]) instead of trusting a residual
+    /// test. Finite-horizon queries are exact arithmetic either way and
+    /// report the degenerate `[v, v]`; steady-state detection is not
+    /// certified and reports no interval. Formulas nesting an *unbounded*
+    /// `P⋈p` operator are rejected in this mode — their satisfaction sets
+    /// could only come from residual iteration, which would silently void
+    /// the certificate.
+    pub certify: Option<f64>,
+}
+
+impl CheckOptions {
+    /// Options requesting a certified interval of width below `epsilon`.
+    pub fn certified(epsilon: f64) -> CheckOptions {
+        CheckOptions {
+            certify: Some(epsilon),
+        }
+    }
+}
+
+/// The numerical engine that produced a [`CheckResult`] — reported so a
+/// user can tell a certified answer from a heuristically converged one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Solver {
+    /// Exact finite-horizon arithmetic (forward transient propagation or
+    /// bounded backward iteration) — no convergence test involved.
+    Transient,
+    /// Unbounded value/power iteration stopped on a heuristic residual
+    /// test (`delta < tol`), which bounds nothing.
+    Iterative,
+    /// Certified interval iteration: dual bounds with a qualitative
+    /// pre-pass, terminated on `upper − lower < ε` pointwise.
+    IntervalIteration,
+}
+
+impl std::fmt::Display for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Solver::Transient => "transient",
+            Solver::Iterative => "value-iteration",
+            Solver::IntervalIteration => "interval-iteration",
+        })
+    }
+}
+
+/// A query engine's verdict: the point value, the engine that produced
+/// it, and the value bracket where one exists (shared between the DTMC
+/// and MDP checkers).
+pub(crate) type EngineValue = (f64, Solver, Option<(f64, f64)>);
 
 /// The outcome of checking a property, together with the wall-clock time
 /// spent (the paper's tables report "time (seconds), accounting for both
@@ -35,6 +96,8 @@ const STEADY_MAX_STEPS: usize = 1_000_000;
 pub struct CheckResult {
     value: f64,
     boolean: Option<bool>,
+    interval: Option<(f64, f64)>,
+    solver: Solver,
     /// Time spent checking.
     pub time: Duration,
 }
@@ -45,11 +108,25 @@ impl CheckResult {
         CheckResult {
             value,
             boolean,
+            interval: None,
+            solver: Solver::Transient,
             time,
         }
     }
 
-    /// The numeric value of the query (for boolean queries, 1.0 or 0.0).
+    /// Attaches the engine report (shared with the MDP checker).
+    pub(crate) fn with_engine(
+        mut self,
+        solver: Solver,
+        interval: Option<(f64, f64)>,
+    ) -> CheckResult {
+        self.solver = solver;
+        self.interval = interval;
+        self
+    }
+
+    /// The numeric value of the query (for boolean queries, 1.0 or 0.0;
+    /// for certified queries, the interval midpoint).
     pub fn value(&self) -> f64 {
         self.value
     }
@@ -58,9 +135,23 @@ impl CheckResult {
     pub fn verdict(&self) -> Option<bool> {
         self.boolean
     }
+
+    /// The sound `[lo, hi]` bracket of the value, when one was computed:
+    /// a certificate for certified runs, the degenerate `[v, v]` for exact
+    /// finite-horizon arithmetic, `None` where no bound is claimed
+    /// (residual-converged iteration, steady-state detection, booleans).
+    pub fn interval(&self) -> Option<(f64, f64)> {
+        self.interval
+    }
+
+    /// Which numerical engine produced the value.
+    pub fn solver(&self) -> Solver {
+        self.solver
+    }
 }
 
-/// Evaluates a top-level property against the DTMC's initial distribution.
+/// Evaluates a top-level property against the DTMC's initial distribution
+/// with default options (residual-converged unbounded iteration).
 ///
 /// # Errors
 ///
@@ -70,10 +161,41 @@ impl CheckResult {
 ///
 /// See the crate-level example.
 pub fn check_query(dtmc: &Dtmc, property: &Property) -> Result<CheckResult, PctlError> {
+    check_query_with(dtmc, property, &CheckOptions::default())
+}
+
+/// Evaluates a top-level property against the DTMC's initial distribution.
+/// With [`CheckOptions::certified`], unbounded probability and
+/// reachability-reward queries run certified interval iteration and the
+/// result carries a sound `[lo, hi]` bracket
+/// ([`CheckResult::interval`]).
+///
+/// # Errors
+///
+/// As for [`check_query`].
+pub fn check_query_with(
+    dtmc: &Dtmc,
+    property: &Property,
+    opts: &CheckOptions,
+) -> Result<CheckResult, PctlError> {
     let start = Instant::now();
-    let (value, boolean) = match property {
-        Property::ProbQuery(path) => (path_prob_from_initial(dtmc, path)?, None),
+    let (value, boolean, solver, interval) = match property {
+        // On a DTMC there is no nondeterminism to optimize over: every
+        // scheduler sees the same chain, so Pmin = Pmax = P and
+        // Rmin = Rmax = R. Accepting the min/max forms here lets property
+        // files be shared between a design's DTMC and MDP variants (and
+        // lets tests pin the MDP checker against this one on
+        // single-action models).
+        Property::ProbQuery(path) | Property::OptProbQuery(_, path) => {
+            let (v, solver, interval) = path_prob_query(dtmc, path, opts)?;
+            (v, None, solver, interval)
+        }
         Property::Bool(f) => {
+            // A certified run must not return a verdict that hinges on
+            // residual-converged iteration (e.g. `P>=0.5 [ F goal ]`).
+            if opts.certify.is_some() {
+                certify_operands(&[f])?;
+            }
             let sat = sat_states(dtmc, f)?;
             // A chain satisfies a state formula iff all initial states with
             // positive mass satisfy it.
@@ -81,26 +203,172 @@ pub fn check_query(dtmc: &Dtmc, property: &Property) -> Result<CheckResult, Pctl
                 .initial()
                 .iter()
                 .all(|&(s, p)| p == 0.0 || sat.get(s as usize));
-            (if ok { 1.0 } else { 0.0 }, Some(ok))
+            (
+                if ok { 1.0 } else { 0.0 },
+                Some(ok),
+                Solver::Transient,
+                None,
+            )
         }
-        Property::RewardQuery(q) => (reward_query(dtmc, q)?, None),
+        Property::RewardQuery(q) | Property::OptRewardQuery(_, q) => {
+            let (v, solver, interval) = reward_query(dtmc, q, opts)?;
+            (v, None, solver, interval)
+        }
         Property::SteadyQuery(f) => {
             let sat = sat_states(dtmc, f)?;
-            (steady_prob(dtmc, &sat)?, None)
+            (steady_prob(dtmc, &sat)?, None, Solver::Iterative, None)
         }
-        // On a DTMC there is no nondeterminism to optimize over: every
-        // scheduler sees the same chain, so Pmin = Pmax = P and
-        // Rmin = Rmax = R. Accepting the forms here lets property files be
-        // shared between a design's DTMC and MDP variants (and lets tests
-        // pin the MDP checker against this one on single-action models).
-        Property::OptProbQuery(_, path) => (path_prob_from_initial(dtmc, path)?, None),
-        Property::OptRewardQuery(_, q) => (reward_query(dtmc, q)?, None),
     };
-    Ok(CheckResult {
-        value,
-        boolean,
-        time: start.elapsed(),
-    })
+    Ok(CheckResult::assemble(value, boolean, start.elapsed()).with_engine(solver, interval))
+}
+
+/// Folds a per-state certificate over an initial distribution (shared by
+/// the DTMC and MDP checkers): both bounds fold linearly (the expectation
+/// of a bracketed value stays inside the folded bracket), zero-mass states
+/// are skipped so `0 × ∞` cannot poison reward expectations, and the
+/// reported point value is the interval midpoint. `complement` maps a
+/// bracket of `F ¬φ` to one of `G φ`, swapping the ends.
+pub(crate) fn fold_certificate(
+    initial: &[(smg_dtmc::StateId, f64)],
+    cert: &solve::CertifiedValues,
+    complement: bool,
+) -> EngineValue {
+    let fold = |vals: &[f64]| -> f64 {
+        initial
+            .iter()
+            .filter(|&&(_, p)| p > 0.0)
+            .map(|&(s, p)| p * vals[s as usize])
+            .sum()
+    };
+    let (mut lo, mut hi) = (fold(&cert.lo), fold(&cert.hi));
+    if complement {
+        (lo, hi) = (1.0 - hi, 1.0 - lo);
+    }
+    let mid = if lo == hi { lo } else { 0.5 * (lo + hi) };
+    (mid, Solver::IntervalIteration, Some((lo, hi)))
+}
+
+/// Whether a path formula is an unbounded until-family operator — the
+/// forms that need an iterative (residual or certified) solver. Everything
+/// else is exact finite-horizon arithmetic.
+pub(crate) fn is_unbounded_path(path: &PathFormula) -> bool {
+    matches!(
+        path,
+        PathFormula::Until {
+            bound: TimeBound::None,
+            ..
+        } | PathFormula::Finally {
+            bound: TimeBound::None,
+            ..
+        } | PathFormula::Globally {
+            bound: TimeBound::None,
+            ..
+        }
+    )
+}
+
+/// Whether a state formula nests a `P⋈p [...]` operator over an
+/// *unbounded* path formula. Such a satisfaction set can only be computed
+/// by residual-test value iteration, so a certified run must reject it —
+/// otherwise the outer "sound" interval would be built on an uncertified
+/// target set. Bounded nested operators are exact arithmetic and fine.
+fn nests_unbounded_prob(formula: &StateFormula) -> bool {
+    match formula {
+        StateFormula::True | StateFormula::False | StateFormula::Ap(_) => false,
+        StateFormula::Not(f) => nests_unbounded_prob(f),
+        StateFormula::And(a, b) | StateFormula::Or(a, b) | StateFormula::Implies(a, b) => {
+            nests_unbounded_prob(a) || nests_unbounded_prob(b)
+        }
+        StateFormula::Prob { path, .. } => {
+            if is_unbounded_path(path) {
+                return true;
+            }
+            match &**path {
+                PathFormula::Next(f) => nests_unbounded_prob(f),
+                PathFormula::Until { lhs, rhs, .. } => {
+                    nests_unbounded_prob(lhs) || nests_unbounded_prob(rhs)
+                }
+                PathFormula::Finally { inner, .. } | PathFormula::Globally { inner, .. } => {
+                    nests_unbounded_prob(inner)
+                }
+            }
+        }
+    }
+}
+
+/// Guards a certified query's operand formulas: rejects any that nest an
+/// unbounded probability operator (see [`nests_unbounded_prob`]).
+pub(crate) fn certify_operands(formulas: &[&StateFormula]) -> Result<(), PctlError> {
+    if formulas.iter().any(|f| nests_unbounded_prob(f)) {
+        return Err(PctlError::Unsupported {
+            construct: "a nested unbounded P operator inside a certified query (its \
+                        satisfaction set comes from residual-test iteration, which would \
+                        void the certificate; drop --certified or bound the nested \
+                        operator)"
+                .into(),
+        });
+    }
+    Ok(())
+}
+
+/// Evaluates a probability path query from the initial distribution,
+/// reporting which engine ran and the value bracket where one exists.
+fn path_prob_query(
+    dtmc: &Dtmc,
+    path: &PathFormula,
+    opts: &CheckOptions,
+) -> Result<EngineValue, PctlError> {
+    if opts.certify.is_some() {
+        // Guard every operand formula, whatever the outer bound: a bounded
+        // outer query is exact arithmetic only if its satisfaction sets
+        // are, too.
+        match path {
+            PathFormula::Next(f) => certify_operands(&[f])?,
+            PathFormula::Until { lhs, rhs, .. } => certify_operands(&[lhs, rhs])?,
+            PathFormula::Finally { inner, .. } | PathFormula::Globally { inner, .. } => {
+                certify_operands(&[inner])?
+            }
+        }
+    }
+    if let Some(eps) = opts.certify {
+        match path {
+            PathFormula::Until {
+                lhs,
+                rhs,
+                bound: TimeBound::None,
+            } => {
+                let l = sat_states(dtmc, lhs)?;
+                let r = sat_states(dtmc, rhs)?;
+                let cert = solve::interval_until_values(dtmc, &l, &r, eps, CERTIFIED_MAX_ITER)?;
+                return Ok(fold_certificate(dtmc.initial(), &cert, false));
+            }
+            PathFormula::Finally {
+                inner,
+                bound: TimeBound::None,
+            } => {
+                let f = sat_states(dtmc, inner)?;
+                let cert = solve::interval_reach_values(dtmc, &f, eps, CERTIFIED_MAX_ITER)?;
+                return Ok(fold_certificate(dtmc.initial(), &cert, false));
+            }
+            PathFormula::Globally {
+                inner,
+                bound: TimeBound::None,
+            } => {
+                // G φ = ¬F ¬φ; the bracket complements with its ends
+                // swapped.
+                let bad = sat_states(dtmc, inner)?.not();
+                let cert = solve::interval_reach_values(dtmc, &bad, eps, CERTIFIED_MAX_ITER)?;
+                return Ok(fold_certificate(dtmc.initial(), &cert, true));
+            }
+            _ => {} // finite-horizon forms are exact arithmetic below
+        }
+    }
+    let v = path_prob_from_initial(dtmc, path)?;
+    if is_unbounded_path(path) {
+        Ok((v, Solver::Iterative, None))
+    } else {
+        Ok((v, Solver::Transient, Some((v, v))))
+    }
 }
 
 /// The probability, from the initial distribution, of the path formula —
@@ -342,29 +610,44 @@ fn unbounded_until_values(dtmc: &Dtmc, lhs: &BitVec, rhs: &BitVec) -> Result<Vec
     }))
 }
 
-fn reward_query(dtmc: &Dtmc, q: &RewardQuery) -> Result<f64, PctlError> {
+fn reward_query(
+    dtmc: &Dtmc,
+    q: &RewardQuery,
+    opts: &CheckOptions,
+) -> Result<EngineValue, PctlError> {
     match q {
-        RewardQuery::Instantaneous(t) => Ok(transient::instantaneous_reward(dtmc, *t as usize)),
+        RewardQuery::Instantaneous(t) => {
+            let v = transient::instantaneous_reward(dtmc, *t as usize);
+            Ok((v, Solver::Transient, Some((v, v))))
+        }
         RewardQuery::Cumulative(t) => {
             // Σ_{k=0}^{t-1} expected reward at step k (reward of the state
             // occupied at each of the first t steps).
-            Ok(
-                transient::instantaneous_reward_series(dtmc, (*t as usize).saturating_sub(1))
-                    .iter()
-                    .sum(),
-            )
+            let v = transient::instantaneous_reward_series(dtmc, (*t as usize).saturating_sub(1))
+                .iter()
+                .sum();
+            Ok((v, Solver::Transient, Some((v, v))))
         }
         RewardQuery::Reach(phi) => {
+            if opts.certify.is_some() {
+                certify_operands(&[phi])?;
+            }
             let target = sat_states(dtmc, phi)?;
+            if let Some(eps) = opts.certify {
+                let cert =
+                    solve::interval_reach_reward_values(dtmc, &target, eps, CERTIFIED_MAX_ITER)?;
+                return Ok(fold_certificate(dtmc.initial(), &cert, false));
+            }
             let vals = reach_reward_values(dtmc, &target)?;
             // Skip zero-mass initial states so `0 × ∞` cannot poison the
             // expectation with NaN.
-            Ok(dtmc
+            let v = dtmc
                 .initial()
                 .iter()
                 .filter(|&&(_, p)| p > 0.0)
                 .map(|&(s, p)| p * vals[s as usize])
-                .sum())
+                .sum();
+            Ok((v, Solver::Iterative, None))
         }
     }
 }
@@ -695,6 +978,107 @@ mod tests {
         assert!((vals[0] - 2.0).abs() < 1e-9);
         assert!((vals[1] - 1.0).abs() < 1e-9);
         assert_eq!(vals[2], 0.0);
+    }
+
+    #[test]
+    fn certified_queries_bracket_and_report_solver() {
+        let d = gadget();
+        let opts = CheckOptions::certified(1e-9);
+        // Unbounded reachability: exact value 1/3.
+        let r = check_query_with(&d, &parse_property("P=? [ F goal ]").unwrap(), &opts).unwrap();
+        assert_eq!(r.solver(), Solver::IntervalIteration);
+        let (lo, hi) = r.interval().unwrap();
+        assert!(hi - lo < 1e-9);
+        assert!(
+            lo <= 1.0 / 3.0 + 1e-12 && 1.0 / 3.0 <= hi + 1e-12,
+            "[{lo}, {hi}]"
+        );
+        assert!((r.value() - 1.0 / 3.0).abs() < 1e-9);
+        // Globally complements the bracket.
+        let g = check_query_with(&d, &parse_property("P=? [ G !bad ]").unwrap(), &opts).unwrap();
+        let (glo, ghi) = g.interval().unwrap();
+        assert!(
+            glo <= 1.0 / 3.0 + 1e-12 && 1.0 / 3.0 <= ghi + 1e-12,
+            "[{glo}, {ghi}]"
+        );
+        // Until through a constraint: still certified.
+        let u =
+            check_query_with(&d, &parse_property("P=? [ !bad U goal ]").unwrap(), &opts).unwrap();
+        assert_eq!(u.solver(), Solver::IntervalIteration);
+        // The min/max forms collapse to the same certified engine on a
+        // chain.
+        let m = check_query_with(&d, &parse_property("Pmax=? [ F goal ]").unwrap(), &opts).unwrap();
+        assert_eq!(m.solver(), Solver::IntervalIteration);
+        assert!((m.value() - r.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn certified_rewards_and_exact_interval_reporting() {
+        let d = gadget();
+        let opts = CheckOptions::certified(1e-9);
+        // Certified reachability reward: goal missed with probability 2/3
+        // → exactly ∞ on both ends.
+        let r = check_query_with(&d, &parse_property("R=? [ F goal ]").unwrap(), &opts).unwrap();
+        assert_eq!(r.interval(), Some((f64::INFINITY, f64::INFINITY)));
+        assert_eq!(r.value(), f64::INFINITY);
+        // goal | bad is certain, no reward accrues before absorption.
+        let r = check_query_with(
+            &d,
+            &parse_property("R=? [ F (goal | bad) ]").unwrap(),
+            &opts,
+        )
+        .unwrap();
+        let (lo, hi) = r.interval().unwrap();
+        assert!(lo <= 0.0 && 0.0 <= hi && hi - lo < 1e-9);
+        // Finite-horizon queries are exact arithmetic: degenerate [v, v]
+        // and the transient engine, certified mode or not.
+        for prop in ["P=? [ F<=4 goal ]", "R=? [ I=3 ]", "P=? [ X bad ]"] {
+            let r = check_query_with(&d, &parse_property(prop).unwrap(), &opts).unwrap();
+            assert_eq!(r.solver(), Solver::Transient, "{prop}");
+            assert_eq!(r.interval(), Some((r.value(), r.value())), "{prop}");
+        }
+        // Plain unbounded iteration reports itself and claims no bound.
+        let r = check_query(&d, &parse_property("P=? [ F goal ]").unwrap()).unwrap();
+        assert_eq!(r.solver(), Solver::Iterative);
+        assert_eq!(r.interval(), None);
+        // Steady-state detection is never certified.
+        let r = check_query_with(&d, &parse_property("S=? [ bad ]").unwrap(), &opts).unwrap();
+        assert_eq!(r.solver(), Solver::Iterative);
+        assert_eq!(r.interval(), None);
+    }
+
+    #[test]
+    fn certified_rejects_nested_unbounded_prob() {
+        let d = gadget();
+        let opts = CheckOptions::certified(1e-9);
+        // A nested unbounded P operator would feed a residual-converged
+        // satisfaction set into the "sound" interval — refuse to certify.
+        for prop in [
+            "P=? [ F P>=0.5 [ F goal ] ]",
+            "P=? [ P>=0.1 [ F goal ] U goal ]",
+            "P=? [ G !(P<0.5 [ F goal ]) ]",
+            "R=? [ F P>=0.5 [ F goal ] ]",
+            // Bounded *outer* forms must be guarded too: an exact-looking
+            // [v, v] interval would otherwise rest on residual iteration.
+            "P=? [ X P>=0.5 [ F goal ] ]",
+            "P=? [ F<=3 P>=0.5 [ F goal ] ]",
+            // Top-level threshold verdicts likewise.
+            "P>=0.3 [ F goal ]",
+        ] {
+            let e = check_query_with(&d, &parse_property(prop).unwrap(), &opts).unwrap_err();
+            assert!(matches!(e, PctlError::Unsupported { .. }), "{prop}");
+        }
+        // Bounded nested operators are exact arithmetic: still certified.
+        let r = check_query_with(
+            &d,
+            &parse_property("P=? [ F P>=0.4 [ F<=2 goal ] ]").unwrap(),
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(r.solver(), Solver::IntervalIteration);
+        // Uncertified mode keeps accepting the nested unbounded form.
+        let r = check_query(&d, &parse_property("P=? [ F P>=0.5 [ F goal ] ]").unwrap()).unwrap();
+        assert_eq!(r.solver(), Solver::Iterative);
     }
 
     #[test]

@@ -44,6 +44,38 @@
 //! assert!((result.value() - 0.875).abs() < 1e-12);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Certified answers
+//!
+//! Unbounded queries are normally solved by value iteration with a
+//! residual stopping test, which can declare convergence arbitrarily far
+//! from the true probability. [`CheckOptions::certified`] switches those
+//! queries to interval iteration: the result then carries a sound
+//! `[lo, hi]` bracket of width below ε ([`CheckResult::interval`]), and
+//! [`CheckResult::solver`] reports which engine ran.
+//!
+//! ```
+//! use smg_dtmc::{explore, DtmcModel, ExploreOptions};
+//! use smg_pctl::{check_query_with, parse_property, CheckOptions, Solver};
+//! # struct Coin;
+//! # impl DtmcModel for Coin {
+//! #     type State = bool;
+//! #     fn initial_states(&self) -> Vec<(bool, f64)> { vec![(false, 1.0)] }
+//! #     fn transitions(&self, _: &bool) -> Vec<(bool, f64)> {
+//! #         vec![(false, 0.5), (true, 0.5)]
+//! #     }
+//! #     fn atomic_propositions(&self) -> Vec<&'static str> { vec!["heads"] }
+//! #     fn holds(&self, ap: &str, s: &bool) -> bool { ap == "heads" && *s }
+//! # }
+//! let e = explore(&Coin, &ExploreOptions::default())?;
+//! let prop = parse_property("P=? [ F heads ]")?;
+//! let result = check_query_with(&e.dtmc, &prop, &CheckOptions::certified(1e-9))?;
+//! assert_eq!(result.solver(), Solver::IntervalIteration);
+//! let (lo, hi) = result.interval().expect("certified runs carry a bracket");
+//! assert!(hi - lo < 1e-9);
+//! assert!(lo <= 1.0 && 1.0 <= hi); // the exact answer is 1
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,7 +87,10 @@ pub mod mdp;
 pub mod parser;
 
 pub use ast::{Cmp, Opt, PathFormula, Property, RewardQuery, StateFormula};
-pub use check::{check_query, path_prob_from_initial, sat_states, CheckResult};
+pub use check::{
+    check_query, check_query_with, path_prob_from_initial, sat_states, CheckOptions, CheckResult,
+    Solver,
+};
 pub use error::PctlError;
-pub use mdp::{check_mdp_query, opt_path_values, sat_states_mdp};
+pub use mdp::{check_mdp_query, check_mdp_query_with, opt_path_values, sat_states_mdp};
 pub use parser::parse_property;

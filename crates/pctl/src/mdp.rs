@@ -15,7 +15,10 @@
 //! forward transient pass.)
 
 use crate::ast::{Opt, PathFormula, Property, RewardQuery, StateFormula, TimeBound};
-use crate::check::CheckResult;
+use crate::check::{
+    fold_certificate, is_unbounded_path, CheckOptions, CheckResult, EngineValue, Solver,
+    CERTIFIED_MAX_ITER,
+};
 use crate::error::PctlError;
 use smg_dtmc::BitVec;
 use smg_mdp::{vi, Mdp, ViOptions};
@@ -54,21 +57,46 @@ use std::time::Instant;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn check_mdp_query(mdp: &Mdp, property: &Property) -> Result<CheckResult, PctlError> {
+    check_mdp_query_with(mdp, property, &CheckOptions::default())
+}
+
+/// Evaluates a top-level property against the MDP's initial distribution.
+/// With [`CheckOptions::certified`], unbounded `Pmin`/`Pmax` and
+/// reachability `Rmin`/`Rmax` queries run certified interval iteration
+/// (`smg-mdp`'s `certified_*` drivers) and the result carries a sound
+/// `[lo, hi]` bracket.
+///
+/// # Errors
+///
+/// As for [`check_mdp_query`].
+pub fn check_mdp_query_with(
+    mdp: &Mdp,
+    property: &Property,
+    opts: &CheckOptions,
+) -> Result<CheckResult, PctlError> {
     let start = Instant::now();
     let vio = ViOptions::default();
-    let (value, boolean) = match property {
+    let (value, boolean, solver, interval) = match property {
         Property::OptProbQuery(opt, path) => {
-            let vals = opt_path_values(mdp, path, *opt, &vio)?;
-            (initial_expectation(mdp, &vals), None)
+            let (v, solver, interval) = opt_path_query(mdp, path, *opt, opts, &vio)?;
+            (v, None, solver, interval)
         }
-        Property::OptRewardQuery(opt, q) => (opt_reward_query(mdp, q, *opt, &vio)?, None),
+        Property::OptRewardQuery(opt, q) => {
+            let (v, solver, interval) = opt_reward_query(mdp, q, *opt, opts, &vio)?;
+            (v, None, solver, interval)
+        }
         Property::Bool(f) => {
             let sat = sat_states_mdp(mdp, f)?;
             let ok = mdp
                 .initial()
                 .iter()
                 .all(|&(s, p)| p == 0.0 || sat.get(s as usize));
-            (if ok { 1.0 } else { 0.0 }, Some(ok))
+            (
+                if ok { 1.0 } else { 0.0 },
+                Some(ok),
+                Solver::Transient,
+                None,
+            )
         }
         Property::ProbQuery(_) => {
             return Err(PctlError::Unsupported {
@@ -88,7 +116,65 @@ pub fn check_mdp_query(mdp: &Mdp, property: &Property) -> Result<CheckResult, Pc
             })
         }
     };
-    Ok(CheckResult::assemble(value, boolean, start.elapsed()))
+    Ok(CheckResult::assemble(value, boolean, start.elapsed()).with_engine(solver, interval))
+}
+
+/// Evaluates an optimal path-probability query from the initial
+/// distribution, reporting which engine ran and the value bracket where
+/// one exists.
+fn opt_path_query(
+    mdp: &Mdp,
+    path: &PathFormula,
+    opt: Opt,
+    opts: &CheckOptions,
+    vio: &ViOptions,
+) -> Result<EngineValue, PctlError> {
+    if let Some(eps) = opts.certify {
+        // Interval iteration closes a width, not a residual; give it the
+        // checker's wider budget.
+        let cvio = ViOptions {
+            max_iter: CERTIFIED_MAX_ITER,
+            ..*vio
+        };
+        match path {
+            PathFormula::Until {
+                lhs,
+                rhs,
+                bound: TimeBound::None,
+            } => {
+                let l = sat_states_mdp(mdp, lhs)?;
+                let r = sat_states_mdp(mdp, rhs)?;
+                let cert = vi::certified_until_values(mdp, &l, &r, opt, eps, &cvio)?;
+                return Ok(fold_certificate(mdp.initial(), &cert, false));
+            }
+            PathFormula::Finally {
+                inner,
+                bound: TimeBound::None,
+            } => {
+                let f = sat_states_mdp(mdp, inner)?;
+                let cert = vi::certified_reach_values(mdp, &f, opt, eps, &cvio)?;
+                return Ok(fold_certificate(mdp.initial(), &cert, false));
+            }
+            PathFormula::Globally {
+                inner,
+                bound: TimeBound::None,
+            } => {
+                // G φ = ¬F ¬φ with the dual optimum; the bracket
+                // complements with its ends swapped.
+                let bad = sat_states_mdp(mdp, inner)?.not();
+                let cert = vi::certified_reach_values(mdp, &bad, opt.dual(), eps, &cvio)?;
+                return Ok(fold_certificate(mdp.initial(), &cert, true));
+            }
+            _ => {} // finite-horizon forms are exact arithmetic below
+        }
+    }
+    let vals = opt_path_values(mdp, path, opt, vio)?;
+    let v = initial_expectation(mdp, &vals);
+    if is_unbounded_path(path) {
+        Ok((v, Solver::Iterative, None))
+    } else {
+        Ok((v, Solver::Transient, Some((v, v))))
+    }
 }
 
 /// The set of states satisfying a (boolean) state formula over an MDP's
@@ -202,28 +288,40 @@ fn opt_reward_query(
     mdp: &Mdp,
     q: &RewardQuery,
     opt: Opt,
+    opts: &CheckOptions,
     vio: &ViOptions,
-) -> Result<f64, PctlError> {
+) -> Result<EngineValue, PctlError> {
     match q {
         RewardQuery::Instantaneous(t) => {
             let vals = vi::instantaneous_reward_values(mdp, *t as usize, opt, vio);
-            Ok(initial_expectation(mdp, &vals))
+            let v = initial_expectation(mdp, &vals);
+            Ok((v, Solver::Transient, Some((v, v))))
         }
         RewardQuery::Cumulative(t) => {
             let vals = vi::cumulative_reward_values(mdp, *t as usize, opt, vio);
-            Ok(initial_expectation(mdp, &vals))
+            let v = initial_expectation(mdp, &vals);
+            Ok((v, Solver::Transient, Some((v, v))))
         }
         RewardQuery::Reach(phi) => {
             let target = sat_states_mdp(mdp, phi)?;
+            if let Some(eps) = opts.certify {
+                let cvio = ViOptions {
+                    max_iter: CERTIFIED_MAX_ITER,
+                    ..*vio
+                };
+                let cert = vi::certified_reach_reward_values(mdp, &target, opt, eps, &cvio)?;
+                return Ok(fold_certificate(mdp.initial(), &cert, false));
+            }
             let vals = vi::reach_reward_values(mdp, &target, opt, vio)?;
             // Skip zero-mass initial states so `0 × ∞` cannot poison the
             // expectation with NaN (same guard as the DTMC checker).
-            Ok(mdp
+            let v = mdp
                 .initial()
                 .iter()
                 .filter(|&&(_, p)| p > 0.0)
                 .map(|&(s, p)| p * vals[s as usize])
-                .sum())
+                .sum();
+            Ok((v, Solver::Iterative, None))
         }
     }
 }
@@ -351,6 +449,47 @@ mod tests {
         assert!(matches!(e, PctlError::Unsupported { .. }));
         let e = check_mdp_query(&m, &parse_property("Pmax=? [ F nope ]").unwrap()).unwrap_err();
         assert!(matches!(e, PctlError::Dtmc(_)));
+    }
+
+    #[test]
+    fn certified_mdp_queries_bracket_and_report_solver() {
+        use crate::check::{CheckOptions, Solver};
+        let m = gadget_mdp();
+        let opts = CheckOptions::certified(1e-9);
+        let cases = [
+            ("Pmax=? [ F goal ]", 1.0 / 3.0),
+            ("Pmin=? [ F goal ]", 0.0),
+            ("Pmax=? [ G !bad ]", 1.0),
+            ("Pmin=? [ G !bad ]", 1.0 / 3.0),
+            ("Rmin=? [ F (goal | bad) ]", 0.0),
+        ];
+        for (prop, want) in cases {
+            let r = check_mdp_query_with(&m, &parse_property(prop).unwrap(), &opts).unwrap();
+            assert_eq!(r.solver(), Solver::IntervalIteration, "{prop}");
+            let (lo, hi) = r.interval().unwrap();
+            assert!(hi - lo < 1e-9, "{prop}: width {}", hi - lo);
+            assert!(
+                lo <= want + 1e-12 && want <= hi + 1e-12,
+                "{prop}: [{lo}, {hi}] vs {want}"
+            );
+        }
+        // Rmax [F goal|bad]: the adversary can restart forever → ∞.
+        let r = check_mdp_query_with(
+            &m,
+            &parse_property("Rmax=? [ F (goal | bad) ]").unwrap(),
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(r.interval(), Some((f64::INFINITY, f64::INFINITY)));
+        // Bounded forms stay exact arithmetic with a degenerate interval.
+        let r = check_mdp_query_with(&m, &parse_property("Pmax=? [ F<=4 goal ]").unwrap(), &opts)
+            .unwrap();
+        assert_eq!(r.solver(), Solver::Transient);
+        assert_eq!(r.interval(), Some((r.value(), r.value())));
+        // Uncertified unbounded queries claim no bound.
+        let r = check_mdp_query(&m, &parse_property("Pmax=? [ F goal ]").unwrap()).unwrap();
+        assert_eq!(r.solver(), Solver::Iterative);
+        assert_eq!(r.interval(), None);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Statistical model checking — the middle ground between the paper's two
 //! poles (plain Monte-Carlo simulation and exact probabilistic model
 //! checking), in the style the paper cites as related work (Clarke,
-//! Donzé & Legay, HVC'08 [13]).
+//! Donzé & Legay, HVC'08, the paper's reference \[13\]).
 //!
 //! Given a time-bounded pCTL path formula φ and an explicit chain, a
 //! *statistical* checker samples finite paths and either
@@ -434,8 +434,8 @@ pub fn okamoto_bound(epsilon: f64, delta: f64) -> Result<u64, SmcError> {
 /// Estimates `P(φ)` within ±ε at confidence 1−δ by sampling the
 /// Okamoto-bound number of paths.
 ///
-/// Large sample counts (≥ [`PAR_SAMPLE_MIN`]) are drawn as
-/// [`ESTIMATE_STRATA`] independent strata batched over the engine's
+/// Large sample counts (≥ `PAR_SAMPLE_MIN`, 8192) are drawn as
+/// `ESTIMATE_STRATA` (64) independent strata batched over the engine's
 /// persistent worker pool, each stratum with its own derived RNG stream.
 /// Because the strata — not the workers — define the streams, the result
 /// for a given `(ε, δ, seed)` is identical whatever the thread count, up

@@ -4,7 +4,7 @@ use crate::runner::TestRng;
 use crate::strategy::Strategy;
 use std::ops::{Range, RangeInclusive};
 
-/// A length specification for [`vec`]: an exact `usize` or a range.
+/// A length specification for [`vec()`]: an exact `usize` or a range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
@@ -46,7 +46,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

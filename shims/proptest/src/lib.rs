@@ -1,9 +1,9 @@
 //! Minimal stand-in for the `proptest` property-testing crate.
 //!
 //! The build image has no access to crates.io, so this workspace vendors the
-//! slice of proptest's API its tests use: the [`Strategy`] trait with
+//! slice of proptest's API its tests use: the [`strategy::Strategy`] trait with
 //! `prop_map` / `prop_flat_map` / `boxed`, range and tuple strategies, a
-//! regex-subset string strategy, [`collection::vec`], [`prop_oneof!`], and
+//! regex-subset string strategy, [`collection::vec()`], [`prop_oneof!`], and
 //! the [`proptest!`] macro driving a deterministic seeded case runner.
 //!
 //! Differences from real proptest: no shrinking (a failing case reports its

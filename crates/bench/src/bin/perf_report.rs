@@ -27,7 +27,13 @@
 //!   iteration it replaces, at the SpMV sizes — the cost of a sound error
 //!   bound (a dual sweep does roughly twice the work per iteration, plus
 //!   the qualitative pre-pass, minus whatever the residual test
-//!   under-iterates).
+//!   under-iterates);
+//! * a `session` section: a four-property family with shared targets
+//!   (`F target`, its threshold form, the reachability reward and
+//!   `G !target`) checked through one `CheckSession::check_all` against
+//!   the naive per-call `check_query` loop, at n ∈ {1e3, 1e5} — the
+//!   amortization claim of the batch API (three of the four properties
+//!   reuse the one unbounded reachability solve).
 //!
 //! Future PRs append their own run to compare trajectories; keep the keys
 //! stable.
@@ -361,6 +367,54 @@ fn main() {
         certified_entries.push((n, plain, interval));
     }
 
+    // Session amortization: one CheckSession over a shared-subformula
+    // property family vs the naive per-call loop. The family is chosen so
+    // the unbounded reachability solve of `F target` is the dominant cost
+    // and three of the four properties can reuse it.
+    let session_props: Vec<smg_pctl::Property> = [
+        "P=? [ F target ]",
+        "P>=0.5 [ F target ]",
+        "R=? [ F target ]",
+        "P=? [ G !target ]",
+    ]
+    .iter()
+    .map(|p| smg_pctl::parse_property(p).expect("valid property"))
+    .collect();
+    let mut session_entries: Vec<(usize, f64, f64)> = Vec::new();
+    for &n in &[1_000usize, 100_000] {
+        let mut dtmc = synthetic_chain(n);
+        dtmc.insert_label("target", BitVec::from_fn(n, |i| i % 97 == 0))
+            .expect("fresh label");
+        let reps = if n >= 100_000 { 2 } else { 5 };
+        let (per_call, batched) = time_pair_ns(
+            reps,
+            || {
+                session_props
+                    .iter()
+                    .map(|p| smg_pctl::check_query(&dtmc, p).expect("checks").value())
+                    .sum::<f64>()
+            },
+            || {
+                // A fresh session per rep keeps the cache cold at the
+                // start of every measurement (the model clone is noise
+                // next to the solves).
+                let session = smg_pctl::CheckSession::new(dtmc.clone());
+                session
+                    .check_all(&session_props)
+                    .expect("checks")
+                    .iter()
+                    .map(|r| r.value())
+                    .sum::<f64>()
+            },
+        );
+        eprintln!(
+            "session n={n}: per-call {per_call:.0} ns, check_all {batched:.0} ns \
+             ({:.2}x faster batched)",
+            per_call / batched.max(1.0)
+        );
+        session_entries.push((n, per_call, batched));
+    }
+
     // SpMV + Gauss-Seidel kernels.
     for &n in spmv_sizes {
         let dtmc = synthetic_chain(n);
@@ -470,6 +524,20 @@ fn main() {
              \"overhead\": {:.3}}}{}",
             interval / plain.max(1.0),
             if i + 1 < certified_entries.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("  ],\n  \"session\": [\n");
+    for (i, (n, per_call, batched)) in session_entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {n}, \"props\": 4, \"per_call_ns\": {per_call:.1}, \
+             \"check_all_ns\": {batched:.1}, \"speedup\": {:.3}}}{}",
+            per_call / batched.max(1.0),
+            if i + 1 < session_entries.len() {
                 ","
             } else {
                 ""

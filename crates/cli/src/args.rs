@@ -10,7 +10,8 @@ pub const USAGE: &str = "\
 smg — probabilistic model checking for clocked RTL-style DTMC/MDP models
 
 USAGE:
-  smg check  <model.sm> --prop <pctl> [--prop <pctl>]... [--certified EPS]
+  smg check  <model.sm> [--prop <pctl>]... [--props FILE]...
+             [--certified EPS] [--format text|json]
              [--max-states N] [--allow-stutter]
   smg info   <model.sm> [--max-states N] [--allow-stutter]
   smg export <model.sm> --format <tra|lab|srew|pm|dot> [--out FILE]
@@ -26,11 +27,15 @@ nondeterministic actions; check it with the min/max query forms, e.g.
 `Rmin=?`/`Rmax=?` for rewards.
 
 COMMANDS:
-  check   Parse, compile and model-check pCTL properties; prints one
-          PRISM-style result block per property (each reports which solver
-          ran). MDP models take the Pmin/Pmax/Rmin/Rmax query forms. With
-          --certified EPS, unbounded queries run interval iteration and
-          print a sound [lo, hi] interval of width < EPS instead of
+  check   Parse, compile and model-check pCTL properties; all properties
+          of one run share a checking session, so related queries reuse
+          satisfaction sets, reachability solves and certified brackets.
+          Prints one PRISM-style result block per property (each reports
+          which solver ran) plus a summary table when several properties
+          are checked; --format json emits machine-readable records
+          instead. MDP models take the Pmin/Pmax/Rmin/Rmax query forms.
+          With --certified EPS, unbounded queries run interval iteration
+          and print a sound [lo, hi] interval of width < EPS instead of
           trusting a residual test.
   info    Print model statistics: states, transitions, labels; BSCCs and
           irreducibility/aperiodicity for chains, choice counts for MDPs;
@@ -47,13 +52,19 @@ COMMANDS:
 
 OPTIONS:
   --prop <pctl>     Property to check (repeatable), e.g. 'P=? [ G<=300 !err ]'
+  --props FILE      Read properties from FILE, one per line (repeatable;
+                    blank lines and lines starting with // or # are
+                    skipped); checked after any --prop properties
   --certified EPS   Certify unbounded queries by interval iteration: the
                     printed interval provably brackets the exact value with
                     width below EPS
   --const N=V       Override or define a constant (repeatable), e.g. --const p=0.02
   --max-states N    Exploration cap (default 4000000)
   --allow-stutter   Deadlocked modules self-loop instead of erroring
-  --format F        Export format: tra, lab, srew, pm, dot
+  --format F        check: output format, text (default) or json (stable
+                    keys: property, value, verdict, interval, solver,
+                    time_s; non-finite numbers are encoded as strings).
+                    export: tra, lab, srew, pm, dot
   --out FILE        Write export to FILE instead of stdout
   --steps N         Simulation length in time steps
   --seed S          Simulation RNG seed (default 0)
@@ -68,11 +79,16 @@ pub enum Cmd {
     Check {
         /// Model path.
         model: String,
-        /// Properties to check, in order.
+        /// Properties to check, in order (`--prop`).
         props: Vec<String>,
+        /// Property files to read (`--props FILE`), appended after
+        /// `props` in file order.
+        prop_files: Vec<String>,
         /// Certified-interval width for unbounded queries
         /// (`--certified EPS`), off by default.
         certified: Option<f64>,
+        /// Output format (`--format`): text (default) or json.
+        format: OutputFormat,
         /// Exploration options.
         options: Options,
     },
@@ -118,6 +134,19 @@ pub enum Cmd {
     },
     /// `smg help` / `--help` / no arguments.
     Help,
+}
+
+/// Output format of `smg check` (`--format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// PRISM-style result blocks plus a summary table for multi-property
+    /// runs.
+    #[default]
+    Text,
+    /// One stable-keyed JSON document: model statistics plus a
+    /// `{property, value, verdict, interval, solver, time_s}` record per
+    /// property.
+    Json,
 }
 
 /// Options shared by all model-loading commands.
@@ -166,6 +195,7 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
 
     let mut model: Option<String> = None;
     let mut props: Vec<String> = Vec::new();
+    let mut prop_files: Vec<String> = Vec::new();
     let mut certified: Option<f64> = None;
     let mut format: Option<String> = None;
     let mut out: Option<String> = None;
@@ -184,6 +214,7 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--prop" => props.push(value(&mut it, "--prop")?.to_string()),
+            "--props" => prop_files.push(value(&mut it, "--props")?.to_string()),
             "--certified" => {
                 let eps: f64 = value(&mut it, "--certified")?
                     .parse()
@@ -247,13 +278,26 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
     let require_model = |m: Option<String>| m.ok_or_else(|| CliError("missing model path".into()));
     match cmd.as_str() {
         "check" => {
-            if props.is_empty() {
-                return Err(CliError("check requires at least one --prop".into()));
+            if props.is_empty() && prop_files.is_empty() {
+                return Err(CliError(
+                    "check requires at least one --prop or --props".into(),
+                ));
             }
+            let format = match format.as_deref() {
+                None | Some("text") => OutputFormat::Text,
+                Some("json") => OutputFormat::Json,
+                Some(other) => {
+                    return Err(CliError(format!(
+                        "unknown check output format {other:?} (expected text or json)"
+                    )))
+                }
+            };
             Ok(Cmd::Check {
                 model: require_model(model)?,
                 props,
+                prop_files,
                 certified,
+                format,
                 options,
             })
         }
@@ -338,6 +382,36 @@ mod tests {
             .unwrap_err();
             assert!(err.0.contains("--certified"), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn props_files_and_format_parse() {
+        let parsed = parse_args(&args(
+            "check m.sm --props a.props --props b.props --format json",
+        ))
+        .unwrap();
+        let Cmd::Check {
+            props,
+            prop_files,
+            format,
+            ..
+        } = parsed
+        else {
+            panic!("wrong cmd");
+        };
+        assert!(props.is_empty());
+        assert_eq!(prop_files, vec!["a.props", "b.props"]);
+        assert_eq!(format, OutputFormat::Json);
+        // Default and explicit text.
+        for extra in ["", " --format text"] {
+            let parsed = parse_args(&args(&format!("check m.sm --props a.props{extra}"))).unwrap();
+            let Cmd::Check { format, .. } = parsed else {
+                panic!("wrong cmd");
+            };
+            assert_eq!(format, OutputFormat::Text);
+        }
+        let err = parse_args(&args("check m.sm --props a.props --format yaml")).unwrap_err();
+        assert!(err.0.contains("unknown check output format"), "{err}");
     }
 
     #[test]

@@ -20,16 +20,16 @@
 #![warn(missing_docs)]
 
 use smg_dtmc::{graph, par, transient, Dtmc};
-use smg_lang::{check, compile_mdp_with, compile_with, parse, ModelType};
-use smg_mdp::Mdp;
-use smg_pctl::{check_mdp_query_with, check_query_with, parse_property, CheckOptions};
+use smg_lang::{check, compile_any_with, parse};
+use smg_pctl::{parse_property, AnyModel, CheckResult, CheckSession, Property};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 mod args;
+mod json;
 mod sim;
 
-pub use args::{parse_args, Cmd, Options, USAGE};
+pub use args::{parse_args, Cmd, Options, OutputFormat, USAGE};
 pub use sim::{simulate_rewards, SimResult};
 
 /// Exit-status-bearing error for the CLI: a message for stderr.
@@ -68,21 +68,14 @@ impl From<smg_dtmc::DtmcError> for CliError {
     }
 }
 
-/// The explicit model a CLI command operates on, by model family.
-#[derive(Debug, Clone)]
-pub enum LoadedModel {
-    /// A `dtmc` program (or imported explicit chain).
-    Dtmc(Dtmc),
-    /// An `mdp` program.
-    Mdp(Mdp),
-}
-
 /// A model loaded by the CLI — either compiled from guarded-command
 /// source (`dtmc` or `mdp` header) or imported from PRISM explicit files.
+/// The model itself is the checker's [`AnyModel`], so every command
+/// dispatches on the family through one type.
 #[derive(Debug, Clone)]
 pub struct Loaded {
     /// The explicit model.
-    pub model: LoadedModel,
+    pub model: AnyModel,
     /// Variable names (guarded-command models only).
     pub var_names: Vec<String>,
 }
@@ -100,58 +93,87 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
         Cmd::Check {
             model,
             props,
+            prop_files,
             certified,
+            format,
             options,
         } => {
             let (compiled, build_time) = load(model, options)?;
-            let mut out = model_header(&compiled, build_time);
-            let check_opts = match certified {
-                Some(eps) => CheckOptions::certified(*eps),
-                None => CheckOptions::default(),
-            };
-            for prop in props {
-                let property = parse_property(prop)?;
-                let result = match &compiled.model {
-                    LoadedModel::Dtmc(d) => check_query_with(d, &property, &check_opts)?,
-                    LoadedModel::Mdp(m) => check_mdp_query_with(m, &property, &check_opts)?,
-                };
-                let _ = writeln!(out, "\nProperty: {property}");
-                let _ = writeln!(
-                    out,
-                    "Time for model checking: {:.3} s",
-                    result.time.as_secs_f64()
-                );
-                let _ = writeln!(out, "Solver: {}", result.solver());
-                match result.verdict() {
-                    Some(v) => {
-                        let _ = writeln!(out, "Result: {v}");
-                    }
-                    None => {
-                        let _ = writeln!(out, "Result: {}", fmt_value(result.value()));
-                        if certified.is_some() {
-                            if let Some((lo, hi)) = result.interval() {
-                                let width = if lo == hi { 0.0 } else { hi - lo };
-                                let _ = writeln!(
-                                    out,
-                                    "Certified interval: [{}, {}] (width {width:.3e})",
-                                    fmt_value(lo),
-                                    fmt_value(hi)
-                                );
+            let mut prop_texts = props.clone();
+            for file in prop_files {
+                prop_texts.extend(read_props_file(file)?);
+            }
+            if prop_texts.is_empty() {
+                return Err(CliError(
+                    "no properties to check (the --props files contain none)".into(),
+                ));
+            }
+            let properties = prop_texts
+                .iter()
+                .map(|p| parse_property(p).map_err(CliError::from))
+                .collect::<Result<Vec<_>, _>>()?;
+            // One session for the whole batch: related properties share
+            // satisfaction sets, reachability solves and certified
+            // brackets. The session takes the model (no copy); the
+            // header/JSON stats read it back through `session.model()`.
+            let mut session = CheckSession::new(compiled.model);
+            if let Some(eps) = certified {
+                session = session.certified(*eps);
+            }
+            let results = session.check_all(&properties)?;
+            match format {
+                OutputFormat::Json => Ok(render_json(
+                    session.model(),
+                    build_time,
+                    &properties,
+                    &results,
+                )),
+                OutputFormat::Text => {
+                    let mut out = model_header(session.model(), build_time);
+                    for (property, result) in properties.iter().zip(&results) {
+                        let _ = writeln!(out, "\nProperty: {property}");
+                        let _ = writeln!(
+                            out,
+                            "Time for model checking: {:.3} s",
+                            result.time.as_secs_f64()
+                        );
+                        let _ = writeln!(out, "Solver: {}", result.solver());
+                        match result.verdict() {
+                            Some(v) => {
+                                let _ = writeln!(out, "Result: {v}");
+                            }
+                            None => {
+                                let _ = writeln!(out, "Result: {}", fmt_value(result.value()));
+                                if certified.is_some() {
+                                    if let Some((lo, hi)) = result.interval() {
+                                        let width = if lo == hi { 0.0 } else { hi - lo };
+                                        let _ = writeln!(
+                                            out,
+                                            "Certified interval: [{}, {}] (width {width:.3e})",
+                                            fmt_value(lo),
+                                            fmt_value(hi)
+                                        );
+                                    }
+                                }
                             }
                         }
                     }
+                    if properties.len() > 1 {
+                        out.push('\n');
+                        out.push_str(&render_table(&properties, &results, certified.is_some()));
+                    }
+                    Ok(out)
                 }
             }
-            Ok(out)
         }
         Cmd::Info { model, options } => {
             let (compiled, build_time) = load(model, options)?;
-            let mut out = model_header(&compiled, build_time);
+            let mut out = model_header(&compiled.model, build_time);
             if !compiled.var_names.is_empty() {
                 let _ = writeln!(out, "Variables: {}", compiled.var_names.join(", "));
             }
             match &compiled.model {
-                LoadedModel::Dtmc(d) => {
+                AnyModel::Dtmc(d) => {
                     let mut names = d.label_names();
                     names.sort_unstable();
                     for name in names {
@@ -174,7 +196,7 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
                     }
                     let _ = writeln!(out, "Ergodic: {}", graph::is_ergodic(d));
                 }
-                LoadedModel::Mdp(m) => {
+                AnyModel::Mdp(m) => {
                     let mut names = m.label_names();
                     names.sort_unstable();
                     for name in names {
@@ -214,15 +236,15 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
         } => {
             let (compiled, _) = load(model, options)?;
             let text = match (&compiled.model, format.as_str()) {
-                (LoadedModel::Dtmc(d), "tra") => smg_dtmc::export::to_tra(d),
-                (LoadedModel::Dtmc(d), "lab") => smg_dtmc::export::to_lab(d),
-                (LoadedModel::Dtmc(d), "srew") => smg_dtmc::export::to_srew(d),
-                (LoadedModel::Dtmc(d), "pm") => smg_lang::program_text(d),
-                (LoadedModel::Dtmc(d), "dot") => smg_dtmc::export::to_dot(d),
-                (LoadedModel::Mdp(m), "tra") => smg_mdp::export::to_tra(m),
-                (LoadedModel::Mdp(m), "lab") => smg_mdp::export::to_lab(m),
-                (LoadedModel::Mdp(m), "srew") => smg_mdp::export::to_srew(m),
-                (LoadedModel::Mdp(_), other @ ("pm" | "dot")) => {
+                (AnyModel::Dtmc(d), "tra") => smg_dtmc::export::to_tra(d),
+                (AnyModel::Dtmc(d), "lab") => smg_dtmc::export::to_lab(d),
+                (AnyModel::Dtmc(d), "srew") => smg_dtmc::export::to_srew(d),
+                (AnyModel::Dtmc(d), "pm") => smg_lang::program_text(d),
+                (AnyModel::Dtmc(d), "dot") => smg_dtmc::export::to_dot(d),
+                (AnyModel::Mdp(m), "tra") => smg_mdp::export::to_tra(m),
+                (AnyModel::Mdp(m), "lab") => smg_mdp::export::to_lab(m),
+                (AnyModel::Mdp(m), "srew") => smg_mdp::export::to_srew(m),
+                (AnyModel::Mdp(_), other @ ("pm" | "dot")) => {
                     return Err(CliError(format!(
                         "format {other:?} is not supported for mdp models \
                          (expected tra, lab or srew)"
@@ -254,7 +276,7 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
                 "steady",
                 "long-run behaviour of an mdp is scheduler-dependent",
             )?;
-            let mut out = model_header(&compiled, build_time);
+            let mut out = model_header(&compiled.model, build_time);
             let steady = transient::detect_steady_state(d, *tol, *max_steps);
             match steady.converged_at {
                 Some(t) => {
@@ -287,7 +309,7 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
                 "resolve the nondeterminism first: check Pmin/Pmax, or sample under \
                  a scheduler with smg-sim's estimate_mdp",
             )?;
-            let mut out = model_header(&compiled, build_time);
+            let mut out = model_header(&compiled.model, build_time);
             let r = simulate_rewards(d, *steps, *seed);
             let _ = writeln!(out, "Simulated steps: {}", r.steps);
             let _ = writeln!(out, "Mean state reward: {}", fmt_value(r.mean));
@@ -304,12 +326,153 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
 }
 
 fn require_dtmc<'a>(loaded: &'a Loaded, cmd: &str, hint: &str) -> Result<&'a Dtmc, CliError> {
-    match &loaded.model {
-        LoadedModel::Dtmc(d) => Ok(d),
-        LoadedModel::Mdp(_) => Err(CliError(format!(
+    loaded.model.as_dtmc().ok_or_else(|| {
+        CliError(format!(
             "`{cmd}` needs a dtmc model, but this program declares `mdp` ({hint})"
-        ))),
+        ))
+    })
+}
+
+/// Reads a property file: one property per line; blank lines and lines
+/// starting with `//` or `#` are skipped.
+fn read_props_file(path: &str) -> Result<Vec<String>, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
+/// The multi-property summary table of `check`'s text mode.
+fn render_table(properties: &[Property], results: &[CheckResult], certified: bool) -> String {
+    let prop_texts: Vec<String> = properties.iter().map(|p| p.to_string()).collect();
+    let value_texts: Vec<String> = results
+        .iter()
+        .map(|r| match r.verdict() {
+            Some(v) => v.to_string(),
+            None => fmt_value(r.value()),
+        })
+        .collect();
+    let interval_texts: Vec<String> = results
+        .iter()
+        .map(|r| match r.interval() {
+            Some((lo, hi)) if certified => format!("[{}, {}]", fmt_value(lo), fmt_value(hi)),
+            _ => "-".to_string(),
+        })
+        .collect();
+    let solver_texts: Vec<String> = results.iter().map(|r| r.solver().to_string()).collect();
+    let widths = |header: &str, col: &[String]| -> usize {
+        col.iter()
+            .map(String::len)
+            .chain(std::iter::once(header.len()))
+            .max()
+            .unwrap_or(0)
+    };
+    let wp = widths("Property", &prop_texts);
+    let wv = widths("Value", &value_texts);
+    let wi = widths("Interval", &interval_texts);
+    let ws = widths("Solver", &solver_texts);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:wp$}  {:>wv$}  {:wi$}  {:ws$}  Time (s)",
+        "Property", "Value", "Interval", "Solver"
+    );
+    for (((p, v), i), (s, r)) in prop_texts
+        .iter()
+        .zip(&value_texts)
+        .zip(&interval_texts)
+        .zip(solver_texts.iter().zip(results))
+    {
+        let _ = writeln!(
+            out,
+            "{p:wp$}  {v:>wv$}  {i:wi$}  {s:ws$}  {:.3}",
+            r.time.as_secs_f64()
+        );
     }
+    out
+}
+
+/// The stable-keyed JSON document of `check --format json`: model
+/// statistics plus one record per property. Non-finite numbers are
+/// encoded as strings (see [`json::number`]); `verdict` and `interval`
+/// are `null` where the query carries none.
+fn render_json(
+    model: &AnyModel,
+    build_time: f64,
+    properties: &[Property],
+    results: &[CheckResult],
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"smg-check/1\",");
+    out.push_str("  \"model\": {\n");
+    let _ = writeln!(out, "    \"type\": {},", json::escape(model.kind()));
+    let _ = writeln!(out, "    \"states\": {},", model.n_states());
+    match model {
+        AnyModel::Dtmc(d) => {
+            let _ = writeln!(
+                out,
+                "    \"transitions\": {},",
+                d.matrix().logical_transitions()
+            );
+        }
+        AnyModel::Mdp(m) => {
+            let _ = writeln!(out, "    \"choices\": {},", m.n_choices());
+            let _ = writeln!(out, "    \"transitions\": {},", m.n_transitions());
+        }
+    }
+    let _ = writeln!(out, "    \"build_s\": {}", json::number(build_time));
+    out.push_str("  },\n  \"results\": [\n");
+    for (i, (property, result)) in properties.iter().zip(results).enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(
+            out,
+            "      \"property\": {},",
+            json::escape(&property.to_string())
+        );
+        let _ = writeln!(out, "      \"value\": {},", json::number(result.value()));
+        let _ = writeln!(
+            out,
+            "      \"verdict\": {},",
+            match result.verdict() {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            }
+        );
+        match result.interval() {
+            Some((lo, hi)) => {
+                let _ = writeln!(
+                    out,
+                    "      \"interval\": [{}, {}],",
+                    json::number(lo),
+                    json::number(hi)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "      \"interval\": null,");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "      \"solver\": {},",
+            json::escape(&result.solver().to_string())
+        );
+        let _ = writeln!(
+            out,
+            "      \"time_s\": {}",
+            json::number(result.time.as_secs_f64())
+        );
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn load(path: &str, options: &Options) -> Result<(Loaded, f64), CliError> {
@@ -329,7 +492,7 @@ fn load(path: &str, options: &Options) -> Result<(Loaded, f64), CliError> {
         let dtmc = smg_dtmc::import::from_explicit(&src, lab.as_deref(), srew.as_deref())?;
         return Ok((
             Loaded {
-                model: LoadedModel::Dtmc(dtmc),
+                model: AnyModel::Dtmc(dtmc),
                 var_names: Vec::new(),
             },
             start.elapsed().as_secs_f64(),
@@ -355,35 +518,26 @@ fn load(path: &str, options: &Options) -> Result<(Loaded, f64), CliError> {
         }
     }
     // The model-type header decides the compilation target: `dtmc`
-    // programs become chains, `mdp` programs keep their nondeterminism.
-    let checked = check(program)?;
-    let loaded = match checked.program.model_type {
-        ModelType::Dtmc => {
-            let compiled = compile_with(checked, options.clone().into())?;
-            Loaded {
-                model: LoadedModel::Dtmc(compiled.dtmc),
-                var_names: compiled.var_names,
-            }
-        }
-        ModelType::Mdp => {
-            let compiled = compile_mdp_with(checked, options.clone().into())?;
-            Loaded {
-                model: LoadedModel::Mdp(compiled.mdp),
-                var_names: compiled.var_names,
-            }
-        }
-    };
-    Ok((loaded, start.elapsed().as_secs_f64()))
+    // programs become chains, `mdp` programs keep their nondeterminism —
+    // `compile_any` dispatches, so the CLI never sees `WrongModelType`.
+    let compiled = compile_any_with(check(program)?, options.clone().into())?;
+    Ok((
+        Loaded {
+            model: compiled.model,
+            var_names: compiled.var_names,
+        },
+        start.elapsed().as_secs_f64(),
+    ))
 }
 
-fn model_header(compiled: &Loaded, build_time: f64) -> String {
+fn model_header(model: &AnyModel, build_time: f64) -> String {
     let mut out = String::new();
-    match &compiled.model {
-        LoadedModel::Dtmc(d) => {
+    match model {
+        AnyModel::Dtmc(d) => {
             let _ = writeln!(out, "States: {}", d.n_states());
             let _ = writeln!(out, "Transitions: {}", d.matrix().logical_transitions());
         }
-        LoadedModel::Mdp(m) => {
+        AnyModel::Mdp(m) => {
             let _ = writeln!(out, "Model type: mdp");
             let _ = writeln!(out, "States: {}", m.n_states());
             let _ = writeln!(out, "Choices: {}", m.n_choices());
@@ -442,6 +596,8 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into(), "P=? [ G<=3 !err ]".into()],
             certified: None,
+            prop_files: vec![],
+            format: OutputFormat::Text,
             options: opts(),
         })
         .unwrap();
@@ -458,6 +614,8 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["P=? [ F err ]".into(), "P=? [ G<=3 !err ]".into()],
             certified: Some(1e-9),
+            prop_files: vec![],
+            format: OutputFormat::Text,
             options: opts(),
         })
         .unwrap();
@@ -474,6 +632,8 @@ mod tests {
             model: mpath.to_string_lossy().into_owned(),
             props: vec!["Pmax=? [ G !err ]".into()],
             certified: Some(1e-9),
+            prop_files: vec![],
+            format: OutputFormat::Text,
             options: opts(),
         })
         .unwrap();
@@ -486,6 +646,8 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["P=? [ F err ]".into()],
             certified: None,
+            prop_files: vec![],
+            format: OutputFormat::Text,
             options: opts(),
         })
         .unwrap();
@@ -591,6 +753,8 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into()],
             certified: None,
+            prop_files: vec![],
+            format: OutputFormat::Text,
             options: Options {
                 consts: vec![("p_err".into(), "0.5".into())],
                 ..Options::default()
@@ -603,6 +767,8 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into()],
             certified: None,
+            prop_files: vec![],
+            format: OutputFormat::Text,
             options: Options {
                 consts: vec![("unused".into(), "1".into())],
                 ..Options::default()
@@ -615,6 +781,8 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into()],
             certified: None,
+            prop_files: vec![],
+            format: OutputFormat::Text,
             options: Options {
                 consts: vec![("p_err".into(), "0.5 +".into())],
                 ..Options::default()
@@ -650,6 +818,8 @@ mod tests {
                 "Pmin=? [ G<=2 !err ]".into(),
             ],
             certified: None,
+            prop_files: vec![],
+            format: OutputFormat::Text,
             options: opts(),
         })
         .unwrap();
@@ -670,6 +840,8 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["P=? [ F<=2 err ]".into()],
             certified: None,
+            prop_files: vec![],
+            format: OutputFormat::Text,
             options: opts(),
         })
         .unwrap_err();
@@ -740,6 +912,8 @@ mod tests {
             model: dpath.to_string_lossy().into_owned(),
             props: vec!["P=? [ G<=3 !err ]".into()],
             certified: None,
+            prop_files: vec![],
+            format: OutputFormat::Text,
             options: opts(),
         })
         .unwrap();
@@ -747,12 +921,155 @@ mod tests {
             model: mpath.to_string_lossy().into_owned(),
             props: vec!["Pmin=? [ G<=3 !err ]".into(), "Pmax=? [ G<=3 !err ]".into()],
             certified: None,
+            prop_files: vec![],
+            format: OutputFormat::Text,
             options: opts(),
         })
         .unwrap();
         let val = "0.669922"; // (1 - 1/8)^3
         assert!(d.contains(val), "{d}");
-        assert_eq!(m.matches(val).count(), 2, "{m}");
+        // Two result blocks plus two rows of the multi-property summary
+        // table.
+        assert_eq!(m.matches(val).count(), 4, "{m}");
+    }
+
+    #[test]
+    fn props_file_feeds_the_session_and_table() {
+        let path = write_model("channel_propsfile.sm", CHANNEL);
+        let props_path = write_model(
+            "channel.props",
+            "// the property family of one table row\n\
+             P=? [ F err ]\n\
+             \n\
+             # shared-target relatives\n\
+             P=? [ G !err ]\n\
+             R=? [ I=10 ]\n",
+        );
+        let out = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec!["S=? [ err ]".into()],
+            prop_files: vec![props_path.to_string_lossy().into_owned()],
+            certified: None,
+            format: OutputFormat::Text,
+            options: opts(),
+        })
+        .unwrap();
+        // --prop properties come first, then the file's (comments and
+        // blank lines skipped); four properties → a summary table.
+        assert_eq!(out.matches("\nProperty: ").count(), 4, "{out}");
+        assert!(out.contains("Property  "), "table header missing: {out}");
+        assert!(out.contains("Time (s)"), "{out}");
+        // err is reached almost surely; its complement query shows up as
+        // a vanishing probability in the same table.
+        assert!(out.contains("Result: 1.000000"), "{out}");
+        assert!(out.contains("P=? [ G !err ]"), "{out}");
+        // Empty property files are a clean error.
+        let empty = write_model("empty.props", "// nothing\n");
+        let err = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec![],
+            prop_files: vec![empty.to_string_lossy().into_owned()],
+            certified: None,
+            format: OutputFormat::Text,
+            options: opts(),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("no properties"), "{err}");
+    }
+
+    #[test]
+    fn json_output_round_trips_with_stable_keys() {
+        let path = write_model("channel_json.sm", CHANNEL);
+        let out = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec![
+                "P=? [ F err ]".into(),
+                "R=? [ I=10 ]".into(),
+                "P>=0.9 [ F<=30 err ]".into(),
+                // Unreachable target → the value is exactly Infinity,
+                // which JSON can only carry as the documented string.
+                "R=? [ F (err & !err) ]".into(),
+            ],
+            prop_files: vec![],
+            certified: None,
+            format: OutputFormat::Json,
+            options: opts(),
+        })
+        .unwrap();
+        let doc = crate::json::parser::parse(&out).expect("valid JSON");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("smg-check/1"));
+        let model = doc.get("model").unwrap();
+        assert_eq!(model.get("type").unwrap().as_str(), Some("dtmc"));
+        assert_eq!(model.get("states").unwrap().as_f64(), Some(2.0));
+        let results = doc.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 4);
+        for r in results {
+            // Stable keys, present on every record.
+            for key in [
+                "property", "value", "verdict", "interval", "solver", "time_s",
+            ] {
+                assert!(r.get(key).is_some(), "missing {key}: {out}");
+            }
+        }
+        assert_eq!(
+            results[0].get("property").unwrap().as_str(),
+            Some("P=? [ F err ]")
+        );
+        assert!((results[0].get("value").unwrap().as_f64().unwrap() - 1.0).abs() < 1e-9);
+        assert!((results[1].get("value").unwrap().as_f64().unwrap() - 0.125).abs() < 1e-12);
+        // The threshold query carries a boolean verdict; numeric ones null.
+        assert_eq!(
+            results[2].get("verdict"),
+            Some(&crate::json::parser::Value::Bool(true))
+        );
+        assert_eq!(
+            results[0].get("verdict"),
+            Some(&crate::json::parser::Value::Null)
+        );
+        // Non-finite values survive the string encoding.
+        assert_eq!(
+            results[3].get("value").unwrap().as_f64(),
+            Some(f64::INFINITY)
+        );
+        // Certified runs expose the bracket as a two-element array.
+        let out = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec!["P=? [ F err ]".into()],
+            prop_files: vec![],
+            certified: Some(1e-9),
+            format: OutputFormat::Json,
+            options: opts(),
+        })
+        .unwrap();
+        let doc = crate::json::parser::parse(&out).expect("valid JSON");
+        let r = &doc.get("results").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            r.get("solver").unwrap().as_str(),
+            Some("interval-iteration")
+        );
+        let interval = r.get("interval").unwrap().as_array().unwrap();
+        let (lo, hi) = (interval[0].as_f64().unwrap(), interval[1].as_f64().unwrap());
+        assert!(lo <= 1.0 && 1.0 <= hi && hi - lo < 1e-9, "[{lo}, {hi}]");
+        // MDP models report their family and choice counts.
+        let mpath = write_model("regime_json.sm", REGIME_MDP);
+        let out = run(&Cmd::Check {
+            model: mpath.to_string_lossy().into_owned(),
+            props: vec!["Pmax=? [ F<=2 err ]".into()],
+            prop_files: vec![],
+            certified: None,
+            format: OutputFormat::Json,
+            options: opts(),
+        })
+        .unwrap();
+        let doc = crate::json::parser::parse(&out).expect("valid JSON");
+        assert_eq!(
+            doc.get("model").unwrap().get("type").unwrap().as_str(),
+            Some("mdp")
+        );
+        assert_eq!(
+            doc.get("model").unwrap().get("choices").unwrap().as_f64(),
+            Some(3.0)
+        );
     }
 
     #[test]
@@ -776,6 +1093,8 @@ mod tests {
             model: dir.join("chan.tra").to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into(), "S=? [ err ]".into()],
             certified: None,
+            prop_files: vec![],
+            format: OutputFormat::Text,
             options: opts(),
         })
         .unwrap();
@@ -817,6 +1136,8 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["P=? [ H err ]".into()],
             certified: None,
+            prop_files: vec![],
+            format: OutputFormat::Text,
             options: opts(),
         })
         .unwrap_err();

@@ -3,7 +3,7 @@
 use crate::error::CoreError;
 use crate::metrics::PerfMetric;
 use smg_dtmc::{explore, explore_memoryless, BuildStats, CountingModel, ExploreOptions};
-use smg_pctl::check_query;
+use smg_pctl::CheckSession;
 use smg_reduce::ReductionReport;
 use smg_viterbi::{FullModel, ReducedModel, ViterbiConfig};
 use std::time::Duration;
@@ -127,32 +127,35 @@ impl ViterbiAnalyzer {
         );
         let counted = explore(&counting, &self.explore)?;
 
+        // One checking session per model: P1 and P2 run against the
+        // reduced chain and share its precomputation (the `flag` sat-set,
+        // cached transposes); P3 runs against the counter-extended chain
+        // in its own session.
         let t0 = std::time::Instant::now();
-        let p1 = check_query(
-            &reduced.dtmc,
-            &PerfMetric::BestCase {
+        let reduced_stats = reduced.stats;
+        let p3_stats = counted.stats;
+        let session = CheckSession::new(reduced.dtmc);
+        let p1p2 = session.check_all(&[
+            PerfMetric::BestCase {
                 horizon: self.horizon,
             }
             .property()?,
-        )?
-        .value();
-        let p2 = check_query(
-            &reduced.dtmc,
-            &PerfMetric::AverageCase {
+            PerfMetric::AverageCase {
                 horizon: self.horizon,
             }
             .property()?,
-        )?
-        .value();
-        let p3 = check_query(
-            &counted.dtmc,
-            &PerfMetric::WorstCase {
-                horizon: self.horizon,
-                threshold: self.threshold,
-            }
-            .property()?,
-        )?
-        .value();
+        ])?;
+        let (p1, p2) = (p1p2[0].value(), p1p2[1].value());
+        let p3_session = CheckSession::new(counted.dtmc);
+        let p3 = p3_session
+            .check(
+                &PerfMetric::WorstCase {
+                    horizon: self.horizon,
+                    threshold: self.threshold,
+                }
+                .property()?,
+            )?
+            .value();
         let check_time = t0.elapsed();
 
         Ok(ViterbiReport {
@@ -164,8 +167,8 @@ impl ViterbiAnalyzer {
             threshold: self.threshold,
             full_stats,
             p3_full_stats,
-            reduced_stats: reduced.stats,
-            p3_stats: counted.stats,
+            reduced_stats,
+            p3_stats,
             check_time,
         })
     }
@@ -235,19 +238,24 @@ impl DetectorAnalyzer {
         let ber = sym.ber();
         let full_explored = explore_memoryless(&full, &self.explore)?;
         let sym_explored = explore_memoryless(&sym, &self.explore)?;
-        let mut p2_at = Vec::with_capacity(self.horizons.len());
-        for &t in &self.horizons {
-            let v = check_query(
-                &sym_explored.dtmc,
-                &PerfMetric::AverageCase { horizon: t }.property()?,
-            )?
-            .value();
-            p2_at.push((t, v));
-        }
+        // One session for the whole horizon sweep over the reduced chain.
+        let reduced_stats = sym_explored.stats;
+        let session = CheckSession::new(sym_explored.dtmc);
+        let family = self
+            .horizons
+            .iter()
+            .map(|&t| PerfMetric::AverageCase { horizon: t }.property())
+            .collect::<Result<Vec<_>, _>>()?;
+        let p2_at = self
+            .horizons
+            .iter()
+            .copied()
+            .zip(session.check_all(&family)?.iter().map(|r| r.value()))
+            .collect();
         Ok(DetectorReport {
             system: format!("{}x{}", self.config.nt, self.config.nr),
             full_stats: full_explored.stats,
-            reduced_stats: sym_explored.stats,
+            reduced_stats,
             ber,
             p2_at,
         })

@@ -9,7 +9,10 @@
 //!
 //! Pipeline: [`parse`] → [`check()`](check()) → [`compile`] (or wrap the checked
 //! program in a [`LangModel`] to use the generic exploration/reduction
-//! tooling).
+//! tooling). Callers that don't care which model family a file declares
+//! use [`compile_any`], which dispatches on the `dtmc`/`mdp` header and
+//! returns an [`smg_pctl::AnyModel`] ready for a
+//! [`smg_pctl::CheckSession`].
 //!
 //! ```
 //! # fn main() -> Result<(), smg_lang::LangError> {
@@ -59,8 +62,8 @@ pub use check::{check, CheckedProgram, VarInfo};
 pub use error::{LangError, Pos};
 pub use export::program_text;
 pub use model::{
-    compile, compile_mdp, compile_mdp_with, compile_with, CompiledMdp, CompiledModel,
-    ExpandOptions, LangModel,
+    compile, compile_any, compile_any_with, compile_mdp, compile_mdp_with, compile_with,
+    CompiledAny, CompiledMdp, CompiledModel, ExpandOptions, LangModel,
 };
 pub use parser::{parse, parse_expr};
 pub use value::{eval, Env, Value};

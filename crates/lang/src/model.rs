@@ -31,6 +31,7 @@ use smg_dtmc::bitvec::BitVec;
 use smg_dtmc::matrix::{CsrMatrix, TransitionMatrix};
 use smg_dtmc::{Dtmc, DtmcModel};
 use smg_mdp::{Mdp, MdpBuilder};
+use smg_pctl::AnyModel;
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -801,6 +802,110 @@ pub fn compile_mdp_with(
     })
 }
 
+/// The result of compiling a program of *either* model type: the explicit
+/// model as an [`AnyModel`] plus the shared name↔state bookkeeping.
+/// Produced by [`compile_any`], consumed by
+/// [`smg_pctl::session::CheckSession`] (which accepts an `AnyModel`
+/// directly via the `From` impl below).
+#[derive(Debug, Clone)]
+pub struct CompiledAny {
+    /// The explicit model — a chain for `dtmc` programs, an MDP for `mdp`
+    /// programs.
+    pub model: AnyModel,
+    /// Variable names in state-vector order.
+    pub var_names: Vec<String>,
+    /// The concrete variable assignment of every explored state, indexed
+    /// by [`smg_dtmc::StateId`].
+    pub states: Vec<Vec<i64>>,
+    /// Named reward structures (`rewards "name" ...`), as dense vectors.
+    pub named_rewards: BTreeMap<String, Vec<f64>>,
+}
+
+impl CompiledAny {
+    /// Renders a state as `{x=1, b=false}` for diagnostics.
+    pub fn render_state(&self, id: smg_dtmc::StateId) -> String {
+        render_assignment(&self.var_names, &self.states[id as usize])
+    }
+}
+
+impl From<CompiledAny> for AnyModel {
+    fn from(c: CompiledAny) -> AnyModel {
+        c.model
+    }
+}
+
+/// Compiles a checked program into an [`AnyModel`], dispatching on the
+/// program's declared model type: `dtmc` programs become explicit chains
+/// (exactly as [`compile`]), `mdp` programs explicit MDPs (exactly as
+/// [`compile_mdp`]). This is the entry point for callers that don't care
+/// which family the model file declares — it replaces the
+/// pick-an-entry-point-and-handle-[`LangError::WrongModelType`] dance with
+/// a value [`smg_pctl::session::CheckSession`] accepts directly.
+///
+/// # Errors
+///
+/// As for [`compile`] / [`compile_mdp`] respectively — but never
+/// [`LangError::WrongModelType`].
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use smg_pctl::{parse_property, CheckSession};
+///
+/// let program = smg_lang::parse(
+///     "mdp
+///      module chan
+///        err : bool init false;
+///        [] !err -> 0.01:(err'=true) + 0.99:(err'=false);
+///        [] !err -> 0.2:(err'=true) + 0.8:(err'=false);
+///        [] err  -> true;
+///      endmodule
+///      label \"err\" = err;",
+/// )?;
+/// let compiled = smg_lang::compile_any(smg_lang::check(program)?)?;
+/// assert_eq!(compiled.model.kind(), "mdp");
+/// let session = CheckSession::new(compiled.model);
+/// let worst = session.check(&parse_property("Pmax=? [ F<=10 err ]")?)?;
+/// assert!(worst.value() > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compile_any(checked: CheckedProgram) -> Result<CompiledAny, LangError> {
+    compile_any_with(checked, ExpandOptions::default())
+}
+
+/// Compiles to an [`AnyModel`] with explicit options.
+///
+/// # Errors
+///
+/// As for [`compile_any`].
+pub fn compile_any_with(
+    checked: CheckedProgram,
+    options: ExpandOptions,
+) -> Result<CompiledAny, LangError> {
+    match checked.program.model_type {
+        crate::ast::ModelType::Dtmc => {
+            let c = compile_with(checked, options)?;
+            Ok(CompiledAny {
+                model: AnyModel::Dtmc(c.dtmc),
+                var_names: c.var_names,
+                states: c.states,
+                named_rewards: c.named_rewards,
+            })
+        }
+        crate::ast::ModelType::Mdp => {
+            let c = compile_mdp_with(checked, options)?;
+            Ok(CompiledAny {
+                model: AnyModel::Mdp(c.mdp),
+                var_names: c.var_names,
+                states: c.states,
+                named_rewards: c.named_rewards,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1219,5 +1324,41 @@ mod tests {
         .unwrap();
         assert_eq!(m.dtmc.n_states(), 3);
         assert_eq!(m.dtmc.label("top").unwrap().count_ones(), 1);
+    }
+
+    #[test]
+    fn compile_any_dispatches_on_the_header() {
+        let dtmc_src = "dtmc
+             module m
+               x : bool init false;
+               [] true -> 0.5:(x'=true) + 0.5:(x'=false);
+             endmodule
+             label \"x\" = x;";
+        let any = compile_any(check(parse(dtmc_src).unwrap()).unwrap()).unwrap();
+        assert_eq!(any.model.kind(), "dtmc");
+        assert_eq!(any.model.n_states(), 2);
+        assert_eq!(any.var_names, vec!["x"]);
+        assert_eq!(any.render_state(0), "{x=0}");
+        // Same program, mdp header: the model comes out nondeterministic,
+        // and the bookkeeping matches the dedicated entry point's.
+        let mdp_src = "mdp
+             module m
+               x : bool init false;
+               [] !x -> 0.5:(x'=true) + 0.5:(x'=false);
+               [] !x -> (x'=true);
+               [] x -> true;
+             endmodule
+             label \"x\" = x;";
+        let any = compile_any(check(parse(mdp_src).unwrap()).unwrap()).unwrap();
+        assert_eq!(any.model.kind(), "mdp");
+        let dedicated = compiled_mdp(mdp_src).unwrap();
+        assert_eq!(any.states, dedicated.states);
+        assert_eq!(
+            any.model.as_mdp().unwrap().n_choices(),
+            dedicated.mdp.n_choices()
+        );
+        // No WrongModelType dance in either direction.
+        let model: AnyModel = any.into();
+        assert!(model.is_mdp());
     }
 }

@@ -12,10 +12,21 @@
 //!   single-initial-state experiments are computed.
 //!
 //! The two styles agree; `forward_backward_agree` in the tests pins this.
+//!
+//! Internally every algorithm is a method on an evaluator (`Evaluator`):
+//! the public free functions run an *uncached* evaluator, while a
+//! [`crate::session::CheckSession`] runs a *cached* one whose cache
+//! (`DtmcCache`) memoizes satisfaction sets and the expensive iterative
+//! solves across a whole property family. Both run the identical code
+//! path, so the cache can never change an answer — only skip recomputing
+//! it.
 
 use crate::ast::{PathFormula, Property, RewardQuery, StateFormula, TimeBound};
 use crate::error::PctlError;
 use smg_dtmc::{solve, transient, BitVec, Dtmc};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// Tolerance for unbounded-until value iteration.
@@ -170,6 +181,10 @@ pub fn check_query(dtmc: &Dtmc, property: &Property) -> Result<CheckResult, Pctl
 /// result carries a sound `[lo, hi]` bracket
 /// ([`CheckResult::interval`]).
 ///
+/// To check a *family* of properties against one chain, prefer a
+/// [`crate::session::CheckSession`], which runs this exact code path with
+/// a precomputation cache shared across the batch.
+///
 /// # Errors
 ///
 /// As for [`check_query`].
@@ -178,48 +193,745 @@ pub fn check_query_with(
     property: &Property,
     opts: &CheckOptions,
 ) -> Result<CheckResult, PctlError> {
-    let start = Instant::now();
-    let (value, boolean, solver, interval) = match property {
-        // On a DTMC there is no nondeterminism to optimize over: every
-        // scheduler sees the same chain, so Pmin = Pmax = P and
-        // Rmin = Rmax = R. Accepting the min/max forms here lets property
-        // files be shared between a design's DTMC and MDP variants (and
-        // lets tests pin the MDP checker against this one on
-        // single-action models).
-        Property::ProbQuery(path) | Property::OptProbQuery(_, path) => {
-            let (v, solver, interval) = path_prob_query(dtmc, path, opts)?;
-            (v, None, solver, interval)
+    Evaluator::uncached(dtmc).check_query_with(property, opts)
+}
+
+/// Memoized precomputation shared by every query of a
+/// [`crate::session::CheckSession`] over one immutable chain.
+///
+/// Cache keys are chosen so a hit can only return exactly what
+/// recomputation would have produced: satisfaction sets are keyed by a
+/// collision-free formula serialization ([`sat_key`] — *not* `Display`,
+/// which is readable but not injective over arbitrary label names),
+/// numeric solves by the **exact operand bit-sets** (plus the
+/// certification width's bit pattern where one applies), and every solver
+/// is deterministic. The chain itself is owned by the session and
+/// immutable, so entries never need invalidation.
+#[derive(Debug, Default)]
+pub(crate) struct DtmcCache {
+    /// Satisfaction sets, one entry per distinct (sub)formula
+    /// ([`sat_key`]-keyed).
+    sat: HashMap<String, BitVec>,
+    /// Unbounded reachability value vectors keyed by the target set. Also
+    /// the pre-pass of reachability rewards, so `P=? [ F φ ]` and
+    /// `R=? [ F φ ]` share one solve.
+    reach: HashMap<BitVec, Rc<Vec<f64>>>,
+    /// Unbounded until value vectors keyed by `(lhs, rhs)`.
+    until: HashMap<(BitVec, BitVec), Rc<Vec<f64>>>,
+    /// Reachability-reward value vectors keyed by the target set.
+    reach_reward: HashMap<BitVec, Rc<Vec<f64>>>,
+    /// Certified reachability brackets keyed by `(target, ε bits)`.
+    cert_reach: HashMap<(BitVec, u64), Rc<solve::CertifiedValues>>,
+    /// Certified until brackets keyed by `(lhs, rhs, ε bits)`.
+    cert_until: HashMap<(BitVec, BitVec, u64), Rc<solve::CertifiedValues>>,
+    /// Certified reachability-reward brackets keyed by `(target, ε bits)`.
+    cert_reach_reward: HashMap<(BitVec, u64), Rc<solve::CertifiedValues>>,
+    /// Long-run probabilities keyed by the satisfaction set.
+    steady: HashMap<BitVec, f64>,
+    /// Number of lookups answered from the cache.
+    pub(crate) hits: u64,
+    /// Number of lookups that had to compute (and then stored).
+    pub(crate) misses: u64,
+}
+
+/// The DTMC query engine: every checking algorithm as a method over a
+/// chain plus an optional session cache. The public free functions run an
+/// uncached evaluator; [`crate::session::CheckSession`] runs a cached one.
+pub(crate) struct Evaluator<'a> {
+    dtmc: &'a Dtmc,
+    cache: Option<&'a RefCell<DtmcCache>>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// An evaluator that recomputes everything (the free-function path).
+    pub(crate) fn uncached(dtmc: &'a Dtmc) -> Self {
+        Evaluator { dtmc, cache: None }
+    }
+
+    /// An evaluator sharing a session's cache.
+    pub(crate) fn cached(dtmc: &'a Dtmc, cache: &'a RefCell<DtmcCache>) -> Self {
+        Evaluator {
+            dtmc,
+            cache: Some(cache),
         }
-        Property::Bool(f) => {
-            // A certified run must not return a verdict that hinges on
-            // residual-converged iteration (e.g. `P>=0.5 [ F goal ]`).
-            if opts.certify.is_some() {
-                certify_operands(&[f])?;
+    }
+
+    /// Memoizes one computation: in uncached mode this is a plain call; in
+    /// cached mode a hit returns the stored value (which, keys being exact
+    /// inputs and solvers deterministic, equals what `compute` would
+    /// return) and a miss computes then stores. The borrow is never held
+    /// across `compute`, which may recursively re-enter the cache for
+    /// nested formulas.
+    fn memo<V: Clone>(
+        &self,
+        lookup: impl Fn(&DtmcCache) -> Option<V>,
+        store: impl FnOnce(&mut DtmcCache, V),
+        compute: impl FnOnce(&Self) -> Result<V, PctlError>,
+    ) -> Result<V, PctlError> {
+        let Some(cell) = self.cache else {
+            return compute(self);
+        };
+        let found = lookup(&cell.borrow());
+        if let Some(v) = found {
+            cell.borrow_mut().hits += 1;
+            return Ok(v);
+        }
+        let v = compute(self)?;
+        let mut c = cell.borrow_mut();
+        c.misses += 1;
+        store(&mut c, v.clone());
+        Ok(v)
+    }
+
+    /// See [`check_query_with`].
+    pub(crate) fn check_query_with(
+        &self,
+        property: &Property,
+        opts: &CheckOptions,
+    ) -> Result<CheckResult, PctlError> {
+        let start = Instant::now();
+        let (value, boolean, solver, interval) = match property {
+            // On a DTMC there is no nondeterminism to optimize over: every
+            // scheduler sees the same chain, so Pmin = Pmax = P and
+            // Rmin = Rmax = R. Accepting the min/max forms here lets
+            // property files be shared between a design's DTMC and MDP
+            // variants (and lets tests pin the MDP checker against this
+            // one on single-action models).
+            Property::ProbQuery(path) | Property::OptProbQuery(_, path) => {
+                let (v, solver, interval) = self.path_prob_query(path, opts)?;
+                (v, None, solver, interval)
             }
-            let sat = sat_states(dtmc, f)?;
-            // A chain satisfies a state formula iff all initial states with
-            // positive mass satisfy it.
-            let ok = dtmc
-                .initial()
+            Property::Bool(f) => {
+                // A certified run must not return a verdict that hinges on
+                // residual-converged iteration (e.g. `P>=0.5 [ F goal ]`).
+                if opts.certify.is_some() {
+                    certify_operands(&[f])?;
+                }
+                let sat = self.sat_states(f)?;
+                // A chain satisfies a state formula iff all initial states
+                // with positive mass satisfy it.
+                let ok = self
+                    .dtmc
+                    .initial()
+                    .iter()
+                    .all(|&(s, p)| p == 0.0 || sat.get(s as usize));
+                (
+                    if ok { 1.0 } else { 0.0 },
+                    Some(ok),
+                    Solver::Transient,
+                    None,
+                )
+            }
+            Property::RewardQuery(q) | Property::OptRewardQuery(_, q) => {
+                let (v, solver, interval) = self.reward_query(q, opts)?;
+                (v, None, solver, interval)
+            }
+            Property::SteadyQuery(f) => {
+                let sat = self.sat_states(f)?;
+                (self.steady_prob(&sat)?, None, Solver::Iterative, None)
+            }
+        };
+        Ok(CheckResult::assemble(value, boolean, start.elapsed()).with_engine(solver, interval))
+    }
+
+    /// Evaluates a probability path query from the initial distribution,
+    /// reporting which engine ran and the value bracket where one exists.
+    fn path_prob_query(
+        &self,
+        path: &PathFormula,
+        opts: &CheckOptions,
+    ) -> Result<EngineValue, PctlError> {
+        if opts.certify.is_some() {
+            // Guard every operand formula, whatever the outer bound: a
+            // bounded outer query is exact arithmetic only if its
+            // satisfaction sets are, too.
+            match path {
+                PathFormula::Next(f) => certify_operands(&[f])?,
+                PathFormula::Until { lhs, rhs, .. } => certify_operands(&[lhs, rhs])?,
+                PathFormula::Finally { inner, .. } | PathFormula::Globally { inner, .. } => {
+                    certify_operands(&[inner])?
+                }
+            }
+        }
+        if let Some(eps) = opts.certify {
+            match path {
+                PathFormula::Until {
+                    lhs,
+                    rhs,
+                    bound: TimeBound::None,
+                } => {
+                    let l = self.sat_states(lhs)?;
+                    let r = self.sat_states(rhs)?;
+                    let cert = self.cert_until(&l, &r, eps)?;
+                    return Ok(fold_certificate(self.dtmc.initial(), &cert, false));
+                }
+                PathFormula::Finally {
+                    inner,
+                    bound: TimeBound::None,
+                } => {
+                    let f = self.sat_states(inner)?;
+                    let cert = self.cert_reach(&f, eps)?;
+                    return Ok(fold_certificate(self.dtmc.initial(), &cert, false));
+                }
+                PathFormula::Globally {
+                    inner,
+                    bound: TimeBound::None,
+                } => {
+                    // G φ = ¬F ¬φ; the bracket complements with its ends
+                    // swapped.
+                    let bad = self.sat_states(inner)?.not();
+                    let cert = self.cert_reach(&bad, eps)?;
+                    return Ok(fold_certificate(self.dtmc.initial(), &cert, true));
+                }
+                _ => {} // finite-horizon forms are exact arithmetic below
+            }
+        }
+        let v = self.path_prob_from_initial(path)?;
+        if is_unbounded_path(path) {
+            Ok((v, Solver::Iterative, None))
+        } else {
+            Ok((v, Solver::Transient, Some((v, v))))
+        }
+    }
+
+    /// See [`path_prob_from_initial`].
+    pub(crate) fn path_prob_from_initial(&self, path: &PathFormula) -> Result<f64, PctlError> {
+        let dtmc = self.dtmc;
+        match path {
+            PathFormula::Next(f) => {
+                let sat = self.sat_states(f)?;
+                let pi1 = transient::distribution_at(dtmc, 1);
+                Ok(sat.iter_ones().map(|i| pi1[i]).sum())
+            }
+            PathFormula::Until { lhs, rhs, bound } => {
+                let l = self.sat_states(lhs)?;
+                let r = self.sat_states(rhs)?;
+                match bound {
+                    TimeBound::Upper(t) => {
+                        Ok(transient::bounded_until_prob(dtmc, &l, &r, *t as usize)?)
+                    }
+                    TimeBound::Interval(a, b) => {
+                        let vals = interval_until_values(dtmc, &l, &r, *a, *b)?;
+                        Ok(initial_expectation(dtmc, &vals))
+                    }
+                    TimeBound::None => {
+                        let vals = self.unbounded_until(&l, &r)?;
+                        Ok(initial_expectation(dtmc, &vals))
+                    }
+                }
+            }
+            PathFormula::Finally { inner, bound } => {
+                let f = self.sat_states(inner)?;
+                match bound {
+                    TimeBound::Upper(t) => {
+                        Ok(transient::bounded_reach_prob(dtmc, &f, *t as usize)?)
+                    }
+                    TimeBound::Interval(a, b) => {
+                        let all = BitVec::ones(dtmc.n_states());
+                        let vals = interval_until_values(dtmc, &all, &f, *a, *b)?;
+                        Ok(initial_expectation(dtmc, &vals))
+                    }
+                    TimeBound::None => {
+                        let vals = self.unbounded_reach(&f)?;
+                        Ok(initial_expectation(dtmc, &vals))
+                    }
+                }
+            }
+            PathFormula::Globally { inner, bound } => {
+                let f = self.sat_states(inner)?;
+                match bound {
+                    TimeBound::Upper(t) => {
+                        Ok(transient::bounded_globally_prob(dtmc, &f, *t as usize)?)
+                    }
+                    TimeBound::Interval(a, b) => {
+                        // G[a,b] φ = ¬ F[a,b] ¬φ.
+                        let all = BitVec::ones(dtmc.n_states());
+                        let vals = interval_until_values(dtmc, &all, &f.not(), *a, *b)?;
+                        Ok(1.0 - initial_expectation(dtmc, &vals))
+                    }
+                    TimeBound::None => {
+                        // G φ = ¬F ¬φ.
+                        let bad = f.not();
+                        let vals = self.unbounded_reach(&bad)?;
+                        Ok(1.0 - initial_expectation(dtmc, &vals))
+                    }
+                }
+            }
+        }
+    }
+
+    /// See [`sat_states`]. Every node of the formula is memoized (keyed
+    /// by [`sat_key`]), so subformulas shared across a session's property
+    /// family resolve once.
+    pub(crate) fn sat_states(&self, formula: &StateFormula) -> Result<BitVec, PctlError> {
+        self.memo(
+            |c| c.sat.get(&sat_key(formula)).cloned(),
+            |c, v| {
+                c.sat.insert(sat_key(formula), v);
+            },
+            |ev| ev.sat_states_raw(formula),
+        )
+    }
+
+    fn sat_states_raw(&self, formula: &StateFormula) -> Result<BitVec, PctlError> {
+        let n = self.dtmc.n_states();
+        match formula {
+            StateFormula::True => Ok(BitVec::ones(n)),
+            StateFormula::False => Ok(BitVec::zeros(n)),
+            StateFormula::Ap(name) => Ok(self.dtmc.label(name)?.clone()),
+            StateFormula::Not(f) => Ok(self.sat_states(f)?.not()),
+            StateFormula::And(a, b) => Ok(self.sat_states(a)?.and(&self.sat_states(b)?)),
+            StateFormula::Or(a, b) => Ok(self.sat_states(a)?.or(&self.sat_states(b)?)),
+            StateFormula::Implies(a, b) => Ok(self.sat_states(a)?.not().or(&self.sat_states(b)?)),
+            StateFormula::Prob {
+                cmp,
+                threshold,
+                path,
+            } => {
+                let vals = self.path_values(path)?;
+                Ok(BitVec::from_fn(n, |i| cmp.eval(vals[i], *threshold)))
+            }
+        }
+    }
+
+    /// See [`path_values`].
+    pub(crate) fn path_values(&self, path: &PathFormula) -> Result<Vec<f64>, PctlError> {
+        let dtmc = self.dtmc;
+        let n = dtmc.n_states();
+        match path {
+            PathFormula::Next(f) => {
+                let sat = self.sat_states(f)?;
+                let x: Vec<f64> = (0..n).map(|i| if sat.get(i) { 1.0 } else { 0.0 }).collect();
+                Ok(dtmc.matrix().backward(&x))
+            }
+            PathFormula::Until { lhs, rhs, bound } => {
+                let l = self.sat_states(lhs)?;
+                let r = self.sat_states(rhs)?;
+                match bound {
+                    TimeBound::Upper(t) => {
+                        Ok(transient::bounded_until_values(dtmc, &l, &r, *t as usize)?)
+                    }
+                    TimeBound::Interval(a, b) => interval_until_values(dtmc, &l, &r, *a, *b),
+                    TimeBound::None => self.unbounded_until(&l, &r).map(rc_to_vec),
+                }
+            }
+            PathFormula::Finally { inner, bound } => {
+                let f = self.sat_states(inner)?;
+                let all = BitVec::ones(n);
+                match bound {
+                    TimeBound::Upper(t) => Ok(transient::bounded_until_values(
+                        dtmc,
+                        &all,
+                        &f,
+                        *t as usize,
+                    )?),
+                    TimeBound::Interval(a, b) => interval_until_values(dtmc, &all, &f, *a, *b),
+                    TimeBound::None => self.unbounded_reach(&f).map(rc_to_vec),
+                }
+            }
+            PathFormula::Globally { inner, bound } => {
+                // G φ = ¬F ¬φ (also for the bounded cases).
+                let f = self.sat_states(inner)?;
+                let bad = f.not();
+                let all = BitVec::ones(n);
+                let reach = match bound {
+                    TimeBound::Upper(t) => {
+                        transient::bounded_until_values(dtmc, &all, &bad, *t as usize)?
+                    }
+                    TimeBound::Interval(a, b) => interval_until_values(dtmc, &all, &bad, *a, *b)?,
+                    TimeBound::None => rc_to_vec(self.unbounded_reach(&bad)?),
+                };
+                Ok(reach.into_iter().map(|p| 1.0 - p).collect())
+            }
+        }
+    }
+
+    /// Per-state unbounded reachability probabilities of the target set,
+    /// memoized on the exact set. Shared by `F φ`, `G φ` (via the
+    /// complement set) and the reachability-reward pre-pass.
+    fn unbounded_reach(&self, target: &BitVec) -> Result<Rc<Vec<f64>>, PctlError> {
+        self.memo(
+            |c| c.reach.get(target).cloned(),
+            |c, v| {
+                c.reach.insert(target.clone(), v);
+            },
+            |ev| {
+                Ok(Rc::new(transient::unbounded_reach_values(
+                    ev.dtmc,
+                    target,
+                    UNBOUNDED_TOL,
+                    UNBOUNDED_MAX_ITER,
+                )?))
+            },
+        )
+    }
+
+    /// Per-state unbounded until probabilities, memoized on the operand
+    /// sets.
+    fn unbounded_until(&self, lhs: &BitVec, rhs: &BitVec) -> Result<Rc<Vec<f64>>, PctlError> {
+        self.memo(
+            |c| c.until.get(&(lhs.clone(), rhs.clone())).cloned(),
+            |c, v| {
+                c.until.insert((lhs.clone(), rhs.clone()), v);
+            },
+            |ev| ev.unbounded_until_raw(lhs, rhs).map(Rc::new),
+        )
+    }
+
+    fn unbounded_until_raw(&self, lhs: &BitVec, rhs: &BitVec) -> Result<Vec<f64>, PctlError> {
+        // φ U ψ = reachability of ψ through φ-only states: make ¬φ∧¬ψ
+        // states absorbing failures by restricting the until iteration.
+        // Reuse the bounded iteration until the values converge.
+        let dtmc = self.dtmc;
+        let n = dtmc.n_states();
+        let mut x: Vec<f64> = (0..n).map(|i| if rhs.get(i) { 1.0 } else { 0.0 }).collect();
+        let mut next = vec![0.0; n];
+        let active = lhs.and(&rhs.not());
+        for _ in 0..UNBOUNDED_MAX_ITER {
+            dtmc.matrix()
+                .backward_masked_into(&x, Some(&active), &mut next);
+            for (i, v) in next.iter_mut().enumerate() {
+                if rhs.get(i) {
+                    *v = 1.0;
+                } else if !lhs.get(i) {
+                    *v = 0.0;
+                }
+            }
+            let diff = x
                 .iter()
-                .all(|&(s, p)| p == 0.0 || sat.get(s as usize));
-            (
-                if ok { 1.0 } else { 0.0 },
-                Some(ok),
-                Solver::Transient,
-                None,
-            )
+                .zip(&next)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            std::mem::swap(&mut x, &mut next);
+            if diff < UNBOUNDED_TOL {
+                return Ok(x);
+            }
         }
-        Property::RewardQuery(q) | Property::OptRewardQuery(_, q) => {
-            let (v, solver, interval) = reward_query(dtmc, q, opts)?;
-            (v, None, solver, interval)
+        Err(PctlError::Dtmc(smg_dtmc::DtmcError::NoConvergence {
+            iterations: UNBOUNDED_MAX_ITER,
+            residual: UNBOUNDED_TOL,
+        }))
+    }
+
+    fn reward_query(&self, q: &RewardQuery, opts: &CheckOptions) -> Result<EngineValue, PctlError> {
+        let dtmc = self.dtmc;
+        match q {
+            RewardQuery::Instantaneous(t) => {
+                let v = transient::instantaneous_reward(dtmc, *t as usize);
+                Ok((v, Solver::Transient, Some((v, v))))
+            }
+            RewardQuery::Cumulative(t) => {
+                // Σ_{k=0}^{t-1} expected reward at step k (reward of the
+                // state occupied at each of the first t steps).
+                let v =
+                    transient::instantaneous_reward_series(dtmc, (*t as usize).saturating_sub(1))
+                        .iter()
+                        .sum();
+                Ok((v, Solver::Transient, Some((v, v))))
+            }
+            RewardQuery::Reach(phi) => {
+                if opts.certify.is_some() {
+                    certify_operands(&[phi])?;
+                }
+                let target = self.sat_states(phi)?;
+                if let Some(eps) = opts.certify {
+                    let cert = self.cert_reach_reward(&target, eps)?;
+                    return Ok(fold_certificate(dtmc.initial(), &cert, false));
+                }
+                let vals = self.reach_reward_values(&target)?;
+                // Skip zero-mass initial states so `0 × ∞` cannot poison
+                // the expectation with NaN.
+                let v = dtmc
+                    .initial()
+                    .iter()
+                    .filter(|&&(_, p)| p > 0.0)
+                    .map(|&(s, p)| p * vals[s as usize])
+                    .sum();
+                Ok((v, Solver::Iterative, None))
+            }
         }
-        Property::SteadyQuery(f) => {
-            let sat = sat_states(dtmc, f)?;
-            (steady_prob(dtmc, &sat)?, None, Solver::Iterative, None)
+    }
+
+    /// See [`reach_reward_values`]; memoized on the target set, with the
+    /// reachability pre-pass routed through the shared [`DtmcCache::reach`]
+    /// entry.
+    pub(crate) fn reach_reward_values(&self, target: &BitVec) -> Result<Rc<Vec<f64>>, PctlError> {
+        self.memo(
+            |c| c.reach_reward.get(target).cloned(),
+            |c, v| {
+                c.reach_reward.insert(target.clone(), v);
+            },
+            |ev| ev.reach_reward_values_raw(target).map(Rc::new),
+        )
+    }
+
+    fn reach_reward_values_raw(&self, target: &BitVec) -> Result<Vec<f64>, PctlError> {
+        let dtmc = self.dtmc;
+        let n = dtmc.n_states();
+        let reach = self.unbounded_reach(target)?;
+        let certain = BitVec::from_fn(n, |i| reach[i] > 1.0 - 1e-9);
+        // Iterate only over certain non-target states; everything else is
+        // pinned (0 on targets, ∞ elsewhere, applied after convergence).
+        let active = certain.and(&target.not());
+        let rewards = dtmc.rewards();
+        let mut x = vec![0.0; n];
+        let mut next = vec![0.0; n];
+        let mut converged = false;
+        for _ in 0..UNBOUNDED_MAX_ITER {
+            dtmc.matrix()
+                .backward_masked_into(&x, Some(&active), &mut next);
+            let mut diff: f64 = 0.0;
+            for i in active.iter_ones() {
+                next[i] += rewards[i];
+                diff = diff.max((next[i] - x[i]).abs());
+            }
+            std::mem::swap(&mut x, &mut next);
+            if diff < UNBOUNDED_TOL {
+                converged = true;
+                break;
+            }
         }
-    };
-    Ok(CheckResult::assemble(value, boolean, start.elapsed()).with_engine(solver, interval))
+        if !converged {
+            return Err(PctlError::Dtmc(smg_dtmc::DtmcError::NoConvergence {
+                iterations: UNBOUNDED_MAX_ITER,
+                residual: UNBOUNDED_TOL,
+            }));
+        }
+        for (i, v) in x.iter_mut().enumerate() {
+            if !certain.get(i) {
+                *v = f64::INFINITY;
+            } else if target.get(i) {
+                *v = 0.0;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Certified unbounded reachability, memoized on `(target, ε)`.
+    fn cert_reach(
+        &self,
+        target: &BitVec,
+        eps: f64,
+    ) -> Result<Rc<solve::CertifiedValues>, PctlError> {
+        self.memo(
+            |c| c.cert_reach.get(&(target.clone(), eps.to_bits())).cloned(),
+            |c, v| {
+                c.cert_reach.insert((target.clone(), eps.to_bits()), v);
+            },
+            |ev| {
+                Ok(Rc::new(solve::interval_reach_values(
+                    ev.dtmc,
+                    target,
+                    eps,
+                    CERTIFIED_MAX_ITER,
+                )?))
+            },
+        )
+    }
+
+    /// Certified unbounded until, memoized on `(lhs, rhs, ε)`.
+    fn cert_until(
+        &self,
+        lhs: &BitVec,
+        rhs: &BitVec,
+        eps: f64,
+    ) -> Result<Rc<solve::CertifiedValues>, PctlError> {
+        self.memo(
+            |c| {
+                c.cert_until
+                    .get(&(lhs.clone(), rhs.clone(), eps.to_bits()))
+                    .cloned()
+            },
+            |c, v| {
+                c.cert_until
+                    .insert((lhs.clone(), rhs.clone(), eps.to_bits()), v);
+            },
+            |ev| {
+                Ok(Rc::new(solve::interval_until_values(
+                    ev.dtmc,
+                    lhs,
+                    rhs,
+                    eps,
+                    CERTIFIED_MAX_ITER,
+                )?))
+            },
+        )
+    }
+
+    /// Certified reachability reward, memoized on `(target, ε)`.
+    fn cert_reach_reward(
+        &self,
+        target: &BitVec,
+        eps: f64,
+    ) -> Result<Rc<solve::CertifiedValues>, PctlError> {
+        self.memo(
+            |c| {
+                c.cert_reach_reward
+                    .get(&(target.clone(), eps.to_bits()))
+                    .cloned()
+            },
+            |c, v| {
+                c.cert_reach_reward
+                    .insert((target.clone(), eps.to_bits()), v);
+            },
+            |ev| {
+                Ok(Rc::new(solve::interval_reach_reward_values(
+                    ev.dtmc,
+                    target,
+                    eps,
+                    CERTIFIED_MAX_ITER,
+                )?))
+            },
+        )
+    }
+
+    /// The long-run probability of being in a `sat`-state, memoized on the
+    /// set, computed by damped ("lazy-chain") power iteration which
+    /// converges even for periodic chains and equals the Cesàro limit.
+    fn steady_prob(&self, sat: &BitVec) -> Result<f64, PctlError> {
+        self.memo(
+            |c| c.steady.get(sat).copied(),
+            |c, v| {
+                c.steady.insert(sat.clone(), v);
+            },
+            |ev| ev.steady_prob_raw(sat),
+        )
+    }
+
+    fn steady_prob_raw(&self, sat: &BitVec) -> Result<f64, PctlError> {
+        let dtmc = self.dtmc;
+        let mut pi = dtmc.initial_dense();
+        let mut stepped = vec![0.0; pi.len()];
+        for _ in 0..STEADY_MAX_STEPS {
+            dtmc.matrix().forward_into(&pi, &mut stepped);
+            let mut delta: f64 = 0.0;
+            for (p, s) in pi.iter_mut().zip(&stepped) {
+                let lazy = 0.5 * *p + 0.5 * s;
+                delta = delta.max((lazy - *p).abs());
+                *p = lazy;
+            }
+            if delta < STEADY_TOL {
+                return Ok(sat.iter_ones().map(|i| pi[i]).sum());
+            }
+        }
+        Err(PctlError::Dtmc(smg_dtmc::DtmcError::NoConvergence {
+            iterations: STEADY_MAX_STEPS,
+            residual: STEADY_TOL,
+        }))
+    }
+}
+
+/// Unwraps a cache handle into an owned vector. Uncached evaluators hold
+/// the only reference, so this is free; in a cached session the cache
+/// retains its `Rc` and the vector is copied — but callers reach this
+/// only through [`Evaluator::sat_states`]' memoization, so the copy
+/// happens at most once per *distinct* formula per session, which is
+/// noise next to the iterative solve it fronts.
+fn rc_to_vec(rc: Rc<Vec<f64>>) -> Vec<f64> {
+    Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone())
+}
+
+/// A collision-free serialization of a state formula, used as the
+/// satisfaction-set cache key (shared with the MDP evaluator).
+///
+/// `Display` would be the obvious key but is **not injective**: label
+/// names are arbitrary strings (`Dtmc::new` accepts any map key and
+/// [`StateFormula::ap`] any name), so `Not(Ap("x"))` and `Ap("!x")` both
+/// render as `!x` and would alias one cache slot. Here every operator
+/// carries a distinct tag with explicit delimiters, atom names are quoted
+/// with `\`-escaping, and probability thresholds are serialized by bit
+/// pattern (two textual spellings of one float cannot diverge, and two
+/// different floats cannot collide).
+pub(crate) fn sat_key(formula: &StateFormula) -> String {
+    use std::fmt::Write as _;
+
+    fn push_state(f: &StateFormula, out: &mut String) {
+        match f {
+            StateFormula::True => out.push('T'),
+            StateFormula::False => out.push('F'),
+            StateFormula::Ap(name) => {
+                out.push_str("a\"");
+                for c in name.chars() {
+                    if c == '"' || c == '\\' {
+                        out.push('\\');
+                    }
+                    out.push(c);
+                }
+                out.push('"');
+            }
+            StateFormula::Not(x) => {
+                out.push_str("!(");
+                push_state(x, out);
+                out.push(')');
+            }
+            StateFormula::And(a, b) => push_binary("&", a, b, out),
+            StateFormula::Or(a, b) => push_binary("|", a, b, out),
+            StateFormula::Implies(a, b) => push_binary("=>", a, b, out),
+            StateFormula::Prob {
+                cmp,
+                threshold,
+                path,
+            } => {
+                let _ = write!(out, "P{cmp:?}#{:016x}[", threshold.to_bits());
+                push_path(path, out);
+                out.push(']');
+            }
+        }
+    }
+
+    fn push_binary(tag: &str, a: &StateFormula, b: &StateFormula, out: &mut String) {
+        out.push_str(tag);
+        out.push('(');
+        push_state(a, out);
+        out.push(',');
+        push_state(b, out);
+        out.push(')');
+    }
+
+    fn push_path(p: &PathFormula, out: &mut String) {
+        match p {
+            PathFormula::Next(f) => {
+                out.push_str("X(");
+                push_state(f, out);
+                out.push(')');
+            }
+            PathFormula::Until { lhs, rhs, bound } => {
+                out.push('U');
+                push_bound(bound, out);
+                out.push('(');
+                push_state(lhs, out);
+                out.push(',');
+                push_state(rhs, out);
+                out.push(')');
+            }
+            PathFormula::Finally { inner, bound } => {
+                out.push('F');
+                push_bound(bound, out);
+                out.push('(');
+                push_state(inner, out);
+                out.push(')');
+            }
+            PathFormula::Globally { inner, bound } => {
+                out.push('G');
+                push_bound(bound, out);
+                out.push('(');
+                push_state(inner, out);
+                out.push(')');
+            }
+        }
+    }
+
+    fn push_bound(b: &TimeBound, out: &mut String) {
+        let _ = match b {
+            TimeBound::None => write!(out, "<*>"),
+            TimeBound::Upper(t) => write!(out, "<={t}>"),
+            TimeBound::Interval(a, b) => write!(out, "<{a},{b}>"),
+        };
+    }
+
+    let mut out = String::new();
+    push_state(formula, &mut out);
+    out
 }
 
 /// Folds a per-state certificate over an initial distribution (shared by
@@ -311,66 +1023,6 @@ pub(crate) fn certify_operands(formulas: &[&StateFormula]) -> Result<(), PctlErr
     Ok(())
 }
 
-/// Evaluates a probability path query from the initial distribution,
-/// reporting which engine ran and the value bracket where one exists.
-fn path_prob_query(
-    dtmc: &Dtmc,
-    path: &PathFormula,
-    opts: &CheckOptions,
-) -> Result<EngineValue, PctlError> {
-    if opts.certify.is_some() {
-        // Guard every operand formula, whatever the outer bound: a bounded
-        // outer query is exact arithmetic only if its satisfaction sets
-        // are, too.
-        match path {
-            PathFormula::Next(f) => certify_operands(&[f])?,
-            PathFormula::Until { lhs, rhs, .. } => certify_operands(&[lhs, rhs])?,
-            PathFormula::Finally { inner, .. } | PathFormula::Globally { inner, .. } => {
-                certify_operands(&[inner])?
-            }
-        }
-    }
-    if let Some(eps) = opts.certify {
-        match path {
-            PathFormula::Until {
-                lhs,
-                rhs,
-                bound: TimeBound::None,
-            } => {
-                let l = sat_states(dtmc, lhs)?;
-                let r = sat_states(dtmc, rhs)?;
-                let cert = solve::interval_until_values(dtmc, &l, &r, eps, CERTIFIED_MAX_ITER)?;
-                return Ok(fold_certificate(dtmc.initial(), &cert, false));
-            }
-            PathFormula::Finally {
-                inner,
-                bound: TimeBound::None,
-            } => {
-                let f = sat_states(dtmc, inner)?;
-                let cert = solve::interval_reach_values(dtmc, &f, eps, CERTIFIED_MAX_ITER)?;
-                return Ok(fold_certificate(dtmc.initial(), &cert, false));
-            }
-            PathFormula::Globally {
-                inner,
-                bound: TimeBound::None,
-            } => {
-                // G φ = ¬F ¬φ; the bracket complements with its ends
-                // swapped.
-                let bad = sat_states(dtmc, inner)?.not();
-                let cert = solve::interval_reach_values(dtmc, &bad, eps, CERTIFIED_MAX_ITER)?;
-                return Ok(fold_certificate(dtmc.initial(), &cert, true));
-            }
-            _ => {} // finite-horizon forms are exact arithmetic below
-        }
-    }
-    let v = path_prob_from_initial(dtmc, path)?;
-    if is_unbounded_path(path) {
-        Ok((v, Solver::Iterative, None))
-    } else {
-        Ok((v, Solver::Transient, Some((v, v))))
-    }
-}
-
 /// The probability, from the initial distribution, of the path formula —
 /// computed with the forward transient engine.
 ///
@@ -379,73 +1031,7 @@ fn path_prob_query(
 /// [`PctlError::Dtmc`] for unknown labels or non-convergence of unbounded
 /// operators.
 pub fn path_prob_from_initial(dtmc: &Dtmc, path: &PathFormula) -> Result<f64, PctlError> {
-    match path {
-        PathFormula::Next(f) => {
-            let sat = sat_states(dtmc, f)?;
-            let pi1 = transient::distribution_at(dtmc, 1);
-            Ok(sat.iter_ones().map(|i| pi1[i]).sum())
-        }
-        PathFormula::Until { lhs, rhs, bound } => {
-            let l = sat_states(dtmc, lhs)?;
-            let r = sat_states(dtmc, rhs)?;
-            match bound {
-                TimeBound::Upper(t) => {
-                    Ok(transient::bounded_until_prob(dtmc, &l, &r, *t as usize)?)
-                }
-                TimeBound::Interval(a, b) => {
-                    let vals = interval_until_values(dtmc, &l, &r, *a, *b)?;
-                    Ok(initial_expectation(dtmc, &vals))
-                }
-                TimeBound::None => {
-                    let vals = unbounded_until_values(dtmc, &l, &r)?;
-                    Ok(initial_expectation(dtmc, &vals))
-                }
-            }
-        }
-        PathFormula::Finally { inner, bound } => {
-            let f = sat_states(dtmc, inner)?;
-            match bound {
-                TimeBound::Upper(t) => Ok(transient::bounded_reach_prob(dtmc, &f, *t as usize)?),
-                TimeBound::Interval(a, b) => {
-                    let all = BitVec::ones(dtmc.n_states());
-                    let vals = interval_until_values(dtmc, &all, &f, *a, *b)?;
-                    Ok(initial_expectation(dtmc, &vals))
-                }
-                TimeBound::None => {
-                    let vals = transient::unbounded_reach_values(
-                        dtmc,
-                        &f,
-                        UNBOUNDED_TOL,
-                        UNBOUNDED_MAX_ITER,
-                    )?;
-                    Ok(initial_expectation(dtmc, &vals))
-                }
-            }
-        }
-        PathFormula::Globally { inner, bound } => {
-            let f = sat_states(dtmc, inner)?;
-            match bound {
-                TimeBound::Upper(t) => Ok(transient::bounded_globally_prob(dtmc, &f, *t as usize)?),
-                TimeBound::Interval(a, b) => {
-                    // G[a,b] φ = ¬ F[a,b] ¬φ.
-                    let all = BitVec::ones(dtmc.n_states());
-                    let vals = interval_until_values(dtmc, &all, &f.not(), *a, *b)?;
-                    Ok(1.0 - initial_expectation(dtmc, &vals))
-                }
-                TimeBound::None => {
-                    // G φ = ¬F ¬φ.
-                    let bad = f.not();
-                    let vals = transient::unbounded_reach_values(
-                        dtmc,
-                        &bad,
-                        UNBOUNDED_TOL,
-                        UNBOUNDED_MAX_ITER,
-                    )?;
-                    Ok(1.0 - initial_expectation(dtmc, &vals))
-                }
-            }
-        }
-    }
+    Evaluator::uncached(dtmc).path_prob_from_initial(path)
 }
 
 /// Per-state probabilities of `lhs U[a,b] rhs`: `rhs` is reached at some
@@ -490,24 +1076,7 @@ pub fn interval_until_values(
 ///
 /// [`PctlError::Dtmc`] for unknown labels or non-convergence.
 pub fn sat_states(dtmc: &Dtmc, formula: &StateFormula) -> Result<BitVec, PctlError> {
-    let n = dtmc.n_states();
-    match formula {
-        StateFormula::True => Ok(BitVec::ones(n)),
-        StateFormula::False => Ok(BitVec::zeros(n)),
-        StateFormula::Ap(name) => Ok(dtmc.label(name)?.clone()),
-        StateFormula::Not(f) => Ok(sat_states(dtmc, f)?.not()),
-        StateFormula::And(a, b) => Ok(sat_states(dtmc, a)?.and(&sat_states(dtmc, b)?)),
-        StateFormula::Or(a, b) => Ok(sat_states(dtmc, a)?.or(&sat_states(dtmc, b)?)),
-        StateFormula::Implies(a, b) => Ok(sat_states(dtmc, a)?.not().or(&sat_states(dtmc, b)?)),
-        StateFormula::Prob {
-            cmp,
-            threshold,
-            path,
-        } => {
-            let vals = path_values(dtmc, path)?;
-            Ok(BitVec::from_fn(n, |i| cmp.eval(vals[i], *threshold)))
-        }
-    }
+    Evaluator::uncached(dtmc).sat_states(formula)
 }
 
 /// The probability of the path formula *from every state* (backward
@@ -517,139 +1086,7 @@ pub fn sat_states(dtmc: &Dtmc, formula: &StateFormula) -> Result<BitVec, PctlErr
 ///
 /// [`PctlError::Dtmc`] for unknown labels or non-convergence.
 pub fn path_values(dtmc: &Dtmc, path: &PathFormula) -> Result<Vec<f64>, PctlError> {
-    let n = dtmc.n_states();
-    match path {
-        PathFormula::Next(f) => {
-            let sat = sat_states(dtmc, f)?;
-            let x: Vec<f64> = (0..n).map(|i| if sat.get(i) { 1.0 } else { 0.0 }).collect();
-            Ok(dtmc.matrix().backward(&x))
-        }
-        PathFormula::Until { lhs, rhs, bound } => {
-            let l = sat_states(dtmc, lhs)?;
-            let r = sat_states(dtmc, rhs)?;
-            match bound {
-                TimeBound::Upper(t) => {
-                    Ok(transient::bounded_until_values(dtmc, &l, &r, *t as usize)?)
-                }
-                TimeBound::Interval(a, b) => interval_until_values(dtmc, &l, &r, *a, *b),
-                TimeBound::None => unbounded_until_values(dtmc, &l, &r),
-            }
-        }
-        PathFormula::Finally { inner, bound } => {
-            let f = sat_states(dtmc, inner)?;
-            let all = BitVec::ones(n);
-            match bound {
-                TimeBound::Upper(t) => Ok(transient::bounded_until_values(
-                    dtmc,
-                    &all,
-                    &f,
-                    *t as usize,
-                )?),
-                TimeBound::Interval(a, b) => interval_until_values(dtmc, &all, &f, *a, *b),
-                TimeBound::None => Ok(transient::unbounded_reach_values(
-                    dtmc,
-                    &f,
-                    UNBOUNDED_TOL,
-                    UNBOUNDED_MAX_ITER,
-                )?),
-            }
-        }
-        PathFormula::Globally { inner, bound } => {
-            // G φ = ¬F ¬φ (also for the bounded cases).
-            let f = sat_states(dtmc, inner)?;
-            let bad = f.not();
-            let all = BitVec::ones(n);
-            let reach = match bound {
-                TimeBound::Upper(t) => {
-                    transient::bounded_until_values(dtmc, &all, &bad, *t as usize)?
-                }
-                TimeBound::Interval(a, b) => interval_until_values(dtmc, &all, &bad, *a, *b)?,
-                TimeBound::None => transient::unbounded_reach_values(
-                    dtmc,
-                    &bad,
-                    UNBOUNDED_TOL,
-                    UNBOUNDED_MAX_ITER,
-                )?,
-            };
-            Ok(reach.into_iter().map(|p| 1.0 - p).collect())
-        }
-    }
-}
-
-fn unbounded_until_values(dtmc: &Dtmc, lhs: &BitVec, rhs: &BitVec) -> Result<Vec<f64>, PctlError> {
-    // φ U ψ = reachability of ψ through φ-only states: make ¬φ∧¬ψ states
-    // absorbing failures by restricting the until iteration. Reuse the
-    // bounded iteration until the values converge.
-    let n = dtmc.n_states();
-    let mut x: Vec<f64> = (0..n).map(|i| if rhs.get(i) { 1.0 } else { 0.0 }).collect();
-    let mut next = vec![0.0; n];
-    let active = lhs.and(&rhs.not());
-    for _ in 0..UNBOUNDED_MAX_ITER {
-        dtmc.matrix()
-            .backward_masked_into(&x, Some(&active), &mut next);
-        for (i, v) in next.iter_mut().enumerate() {
-            if rhs.get(i) {
-                *v = 1.0;
-            } else if !lhs.get(i) {
-                *v = 0.0;
-            }
-        }
-        let diff = x
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
-        std::mem::swap(&mut x, &mut next);
-        if diff < UNBOUNDED_TOL {
-            return Ok(x);
-        }
-    }
-    Err(PctlError::Dtmc(smg_dtmc::DtmcError::NoConvergence {
-        iterations: UNBOUNDED_MAX_ITER,
-        residual: UNBOUNDED_TOL,
-    }))
-}
-
-fn reward_query(
-    dtmc: &Dtmc,
-    q: &RewardQuery,
-    opts: &CheckOptions,
-) -> Result<EngineValue, PctlError> {
-    match q {
-        RewardQuery::Instantaneous(t) => {
-            let v = transient::instantaneous_reward(dtmc, *t as usize);
-            Ok((v, Solver::Transient, Some((v, v))))
-        }
-        RewardQuery::Cumulative(t) => {
-            // Σ_{k=0}^{t-1} expected reward at step k (reward of the state
-            // occupied at each of the first t steps).
-            let v = transient::instantaneous_reward_series(dtmc, (*t as usize).saturating_sub(1))
-                .iter()
-                .sum();
-            Ok((v, Solver::Transient, Some((v, v))))
-        }
-        RewardQuery::Reach(phi) => {
-            if opts.certify.is_some() {
-                certify_operands(&[phi])?;
-            }
-            let target = sat_states(dtmc, phi)?;
-            if let Some(eps) = opts.certify {
-                let cert =
-                    solve::interval_reach_reward_values(dtmc, &target, eps, CERTIFIED_MAX_ITER)?;
-                return Ok(fold_certificate(dtmc.initial(), &cert, false));
-            }
-            let vals = reach_reward_values(dtmc, &target)?;
-            // Skip zero-mass initial states so `0 × ∞` cannot poison the
-            // expectation with NaN.
-            let v = dtmc
-                .initial()
-                .iter()
-                .filter(|&&(_, p)| p > 0.0)
-                .map(|&(s, p)| p * vals[s as usize])
-                .sum();
-            Ok((v, Solver::Iterative, None))
-        }
-    }
+    Evaluator::uncached(dtmc).path_values(path)
 }
 
 /// The expected reward accumulated strictly before first reaching a
@@ -667,68 +1104,9 @@ fn reward_query(
 /// [`PctlError::Dtmc`] if the reachability pre-pass or the reward
 /// iteration fails to converge.
 pub fn reach_reward_values(dtmc: &Dtmc, target: &BitVec) -> Result<Vec<f64>, PctlError> {
-    let n = dtmc.n_states();
-    let reach = transient::unbounded_reach_values(dtmc, target, UNBOUNDED_TOL, UNBOUNDED_MAX_ITER)?;
-    let certain = BitVec::from_fn(n, |i| reach[i] > 1.0 - 1e-9);
-    // Iterate only over certain non-target states; everything else is
-    // pinned (0 on targets, ∞ elsewhere, applied after convergence).
-    let active = certain.and(&target.not());
-    let rewards = dtmc.rewards();
-    let mut x = vec![0.0; n];
-    let mut next = vec![0.0; n];
-    let mut converged = false;
-    for _ in 0..UNBOUNDED_MAX_ITER {
-        dtmc.matrix()
-            .backward_masked_into(&x, Some(&active), &mut next);
-        let mut diff: f64 = 0.0;
-        for i in active.iter_ones() {
-            next[i] += rewards[i];
-            diff = diff.max((next[i] - x[i]).abs());
-        }
-        std::mem::swap(&mut x, &mut next);
-        if diff < UNBOUNDED_TOL {
-            converged = true;
-            break;
-        }
-    }
-    if !converged {
-        return Err(PctlError::Dtmc(smg_dtmc::DtmcError::NoConvergence {
-            iterations: UNBOUNDED_MAX_ITER,
-            residual: UNBOUNDED_TOL,
-        }));
-    }
-    for (i, v) in x.iter_mut().enumerate() {
-        if !certain.get(i) {
-            *v = f64::INFINITY;
-        } else if target.get(i) {
-            *v = 0.0;
-        }
-    }
-    Ok(x)
-}
-
-/// The long-run probability of being in a `sat`-state, computed by damped
-/// ("lazy-chain") power iteration which converges even for periodic chains
-/// and equals the Cesàro limit.
-fn steady_prob(dtmc: &Dtmc, sat: &BitVec) -> Result<f64, PctlError> {
-    let mut pi = dtmc.initial_dense();
-    let mut stepped = vec![0.0; pi.len()];
-    for _ in 0..STEADY_MAX_STEPS {
-        dtmc.matrix().forward_into(&pi, &mut stepped);
-        let mut delta: f64 = 0.0;
-        for (p, s) in pi.iter_mut().zip(&stepped) {
-            let lazy = 0.5 * *p + 0.5 * s;
-            delta = delta.max((lazy - *p).abs());
-            *p = lazy;
-        }
-        if delta < STEADY_TOL {
-            return Ok(sat.iter_ones().map(|i| pi[i]).sum());
-        }
-    }
-    Err(PctlError::Dtmc(smg_dtmc::DtmcError::NoConvergence {
-        iterations: STEADY_MAX_STEPS,
-        residual: STEADY_TOL,
-    }))
+    Evaluator::uncached(dtmc)
+        .reach_reward_values(target)
+        .map(rc_to_vec)
 }
 
 fn initial_expectation(dtmc: &Dtmc, vals: &[f64]) -> f64 {
@@ -737,7 +1115,6 @@ fn initial_expectation(dtmc: &Dtmc, vals: &[f64]) -> f64 {
         .map(|&(s, p)| p * vals[s as usize])
         .sum()
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

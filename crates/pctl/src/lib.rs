@@ -20,6 +20,9 @@
 //!   forms quantify over all resolutions of the nondeterminism via
 //!   `smg-mdp`'s min/max value iteration, giving worst-case design
 //!   guarantees where the DTMC forms give probabilistic ones.
+//! * [`session`] — the batch-oriented [`CheckSession`]: one entry point
+//!   over both model families ([`AnyModel`]), with precomputation shared
+//!   across a whole property family.
 //!
 //! # Example
 //!
@@ -76,6 +79,41 @@
 //! assert!(lo <= 1.0 && 1.0 <= hi); // the exact answer is 1
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Checking sessions
+//!
+//! Real workloads check a *family* of properties against one model. A
+//! [`CheckSession`] owns the model (chain or MDP — an [`AnyModel`]),
+//! dispatches each query to the right checker, and memoizes shared
+//! precomputation — satisfaction sets, unbounded solves, certified
+//! brackets — so a batch pays the graph work once. The cache is keyed on
+//! exact solver inputs and both paths run the same code, so batch results
+//! are identical to one-by-one calls.
+//!
+//! ```
+//! use smg_dtmc::{explore, DtmcModel, ExploreOptions};
+//! use smg_pctl::{parse_property, CheckSession};
+//! # struct Coin;
+//! # impl DtmcModel for Coin {
+//! #     type State = bool;
+//! #     fn initial_states(&self) -> Vec<(bool, f64)> { vec![(false, 1.0)] }
+//! #     fn transitions(&self, _: &bool) -> Vec<(bool, f64)> {
+//! #         vec![(false, 0.5), (true, 0.5)]
+//! #     }
+//! #     fn atomic_propositions(&self) -> Vec<&'static str> { vec!["heads"] }
+//! #     fn holds(&self, ap: &str, s: &bool) -> bool { ap == "heads" && *s }
+//! # }
+//! let e = explore(&Coin, &ExploreOptions::default())?;
+//! let session = CheckSession::new(e.dtmc).certified(1e-9);
+//! let family = [
+//!     parse_property("P=? [ F heads ]")?,
+//!     parse_property("P=? [ G !heads ]")?, // shares the certified solve
+//! ];
+//! let results = session.check_all(&family)?;
+//! assert!((results[0].value() + results[1].value() - 1.0).abs() < 1e-9);
+//! assert!(session.cache_stats().hits > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -85,6 +123,7 @@ pub mod check;
 pub mod error;
 pub mod mdp;
 pub mod parser;
+pub mod session;
 
 pub use ast::{Cmp, Opt, PathFormula, Property, RewardQuery, StateFormula};
 pub use check::{
@@ -94,3 +133,4 @@ pub use check::{
 pub use error::PctlError;
 pub use mdp::{check_mdp_query, check_mdp_query_with, opt_path_values, sat_states_mdp};
 pub use parser::parse_property;
+pub use session::{AnyModel, CacheStats, CheckSession};

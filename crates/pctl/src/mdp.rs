@@ -13,15 +13,23 @@
 //! initial draw, so the optimal value of a distribution is the expectation
 //! of the per-state optima; there is no MDP analogue of the DTMC checker's
 //! forward transient pass.)
+//!
+//! Like the DTMC checker, the algorithms are methods on an evaluator with
+//! an optional session cache (`MdpCache`); the free functions run it
+//! uncached, [`crate::session::CheckSession`] runs it cached.
 
 use crate::ast::{Opt, PathFormula, Property, RewardQuery, StateFormula, TimeBound};
 use crate::check::{
-    fold_certificate, is_unbounded_path, CheckOptions, CheckResult, EngineValue, Solver,
+    fold_certificate, is_unbounded_path, sat_key, CheckOptions, CheckResult, EngineValue, Solver,
     CERTIFIED_MAX_ITER,
 };
 use crate::error::PctlError;
+use smg_dtmc::solve::CertifiedValues;
 use smg_dtmc::BitVec;
 use smg_mdp::{vi, Mdp, ViOptions};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
 use std::time::Instant;
 
 /// Evaluates a top-level property against the MDP's initial distribution.
@@ -66,6 +74,10 @@ pub fn check_mdp_query(mdp: &Mdp, property: &Property) -> Result<CheckResult, Pc
 /// (`smg-mdp`'s `certified_*` drivers) and the result carries a sound
 /// `[lo, hi]` bracket.
 ///
+/// To check a *family* of properties against one MDP, prefer a
+/// [`crate::session::CheckSession`], which runs this exact code path with
+/// a precomputation cache shared across the batch.
+///
 /// # Errors
 ///
 /// As for [`check_mdp_query`].
@@ -74,107 +86,479 @@ pub fn check_mdp_query_with(
     property: &Property,
     opts: &CheckOptions,
 ) -> Result<CheckResult, PctlError> {
-    let start = Instant::now();
-    let vio = ViOptions::default();
-    let (value, boolean, solver, interval) = match property {
-        Property::OptProbQuery(opt, path) => {
-            let (v, solver, interval) = opt_path_query(mdp, path, *opt, opts, &vio)?;
-            (v, None, solver, interval)
-        }
-        Property::OptRewardQuery(opt, q) => {
-            let (v, solver, interval) = opt_reward_query(mdp, q, *opt, opts, &vio)?;
-            (v, None, solver, interval)
-        }
-        Property::Bool(f) => {
-            let sat = sat_states_mdp(mdp, f)?;
-            let ok = mdp
-                .initial()
-                .iter()
-                .all(|&(s, p)| p == 0.0 || sat.get(s as usize));
-            (
-                if ok { 1.0 } else { 0.0 },
-                Some(ok),
-                Solver::Transient,
-                None,
-            )
-        }
-        Property::ProbQuery(_) => {
-            return Err(PctlError::Unsupported {
-                construct: "P=? on an MDP (use Pmin=? / Pmax=? to fix the scheduler \
-                            quantification)"
-                    .into(),
-            })
-        }
-        Property::RewardQuery(_) => {
-            return Err(PctlError::Unsupported {
-                construct: "R=? on an MDP (use Rmin=? / Rmax=?)".into(),
-            })
-        }
-        Property::SteadyQuery(_) => {
-            return Err(PctlError::Unsupported {
-                construct: "S=? on an MDP (long-run averages are scheduler-dependent)".into(),
-            })
-        }
-    };
-    Ok(CheckResult::assemble(value, boolean, start.elapsed()).with_engine(solver, interval))
+    MdpEvaluator::uncached(mdp, ViOptions::default()).check_mdp_query_with(property, opts)
 }
 
-/// Evaluates an optimal path-probability query from the initial
-/// distribution, reporting which engine ran and the value bracket where
-/// one exists.
-fn opt_path_query(
-    mdp: &Mdp,
-    path: &PathFormula,
-    opt: Opt,
-    opts: &CheckOptions,
-    vio: &ViOptions,
-) -> Result<EngineValue, PctlError> {
-    if let Some(eps) = opts.certify {
-        // Interval iteration closes a width, not a residual; give it the
-        // checker's wider budget.
-        let cvio = ViOptions {
-            max_iter: CERTIFIED_MAX_ITER,
-            ..*vio
-        };
-        match path {
-            PathFormula::Until {
-                lhs,
-                rhs,
-                bound: TimeBound::None,
-            } => {
-                let l = sat_states_mdp(mdp, lhs)?;
-                let r = sat_states_mdp(mdp, rhs)?;
-                let cert = vi::certified_until_values(mdp, &l, &r, opt, eps, &cvio)?;
-                return Ok(fold_certificate(mdp.initial(), &cert, false));
-            }
-            PathFormula::Finally {
-                inner,
-                bound: TimeBound::None,
-            } => {
-                let f = sat_states_mdp(mdp, inner)?;
-                let cert = vi::certified_reach_values(mdp, &f, opt, eps, &cvio)?;
-                return Ok(fold_certificate(mdp.initial(), &cert, false));
-            }
-            PathFormula::Globally {
-                inner,
-                bound: TimeBound::None,
-            } => {
-                // G φ = ¬F ¬φ with the dual optimum; the bracket
-                // complements with its ends swapped.
-                let bad = sat_states_mdp(mdp, inner)?.not();
-                let cert = vi::certified_reach_values(mdp, &bad, opt.dual(), eps, &cvio)?;
-                return Ok(fold_certificate(mdp.initial(), &cert, true));
-            }
-            _ => {} // finite-horizon forms are exact arithmetic below
+/// Memoized precomputation shared by every MDP query of a
+/// [`crate::session::CheckSession`]. Same keying discipline as
+/// [`crate::check::DtmcCache`]: satisfaction sets by the collision-free
+/// `sat_key` serialization, optimal
+/// value vectors and certified brackets by the exact operand bit-sets plus
+/// the optimization direction (and ε bits), so a hit always equals
+/// recomputation. The qualitative work inside the certified drivers
+/// (`Prob0`/`Prob1` sets, MEC decompositions, proper schedulers) is
+/// amortized through these entries: it runs once per distinct
+/// `(operands, direction, ε)` triple per session instead of once per
+/// query.
+#[derive(Debug, Default)]
+pub(crate) struct MdpCache {
+    /// Satisfaction sets, one entry per distinct (sub)formula text.
+    sat: HashMap<String, BitVec>,
+    /// Unbounded optimal until values keyed by `(lhs, rhs, opt)`.
+    /// (`F φ` routes through this with an all-ones `lhs`.)
+    until: HashMap<(BitVec, BitVec, Opt), Rc<Vec<f64>>>,
+    /// Optimal reachability-reward values keyed by `(target, opt)`.
+    reach_reward: HashMap<(BitVec, Opt), Rc<Vec<f64>>>,
+    /// Certified until brackets keyed by `(lhs, rhs, opt, ε bits)`.
+    cert_until: HashMap<(BitVec, BitVec, Opt, u64), Rc<CertifiedValues>>,
+    /// Certified reachability brackets keyed by `(target, opt, ε bits)`.
+    cert_reach: HashMap<(BitVec, Opt, u64), Rc<CertifiedValues>>,
+    /// Certified reachability-reward brackets, same key as `cert_reach`.
+    cert_reach_reward: HashMap<(BitVec, Opt, u64), Rc<CertifiedValues>>,
+    /// Number of lookups answered from the cache.
+    pub(crate) hits: u64,
+    /// Number of lookups that had to compute (and then stored).
+    pub(crate) misses: u64,
+}
+
+/// The MDP query engine: checking algorithms as methods over an MDP, the
+/// value-iteration options to dispatch with, and an optional session
+/// cache.
+pub(crate) struct MdpEvaluator<'a> {
+    mdp: &'a Mdp,
+    vio: ViOptions,
+    cache: Option<&'a RefCell<MdpCache>>,
+}
+
+impl<'a> MdpEvaluator<'a> {
+    /// An evaluator that recomputes everything (the free-function path).
+    pub(crate) fn uncached(mdp: &'a Mdp, vio: ViOptions) -> Self {
+        MdpEvaluator {
+            mdp,
+            vio,
+            cache: None,
         }
     }
-    let vals = opt_path_values(mdp, path, opt, vio)?;
-    let v = initial_expectation(mdp, &vals);
-    if is_unbounded_path(path) {
-        Ok((v, Solver::Iterative, None))
-    } else {
-        Ok((v, Solver::Transient, Some((v, v))))
+
+    /// An evaluator sharing a session's cache.
+    pub(crate) fn cached(mdp: &'a Mdp, vio: ViOptions, cache: &'a RefCell<MdpCache>) -> Self {
+        MdpEvaluator {
+            mdp,
+            vio,
+            cache: Some(cache),
+        }
     }
+
+    /// Memoizes one computation; see `Evaluator::memo` in
+    /// [`crate::check`] for the borrow discipline.
+    fn memo<V: Clone>(
+        &self,
+        lookup: impl Fn(&MdpCache) -> Option<V>,
+        store: impl FnOnce(&mut MdpCache, V),
+        compute: impl FnOnce(&Self) -> Result<V, PctlError>,
+    ) -> Result<V, PctlError> {
+        let Some(cell) = self.cache else {
+            return compute(self);
+        };
+        let found = lookup(&cell.borrow());
+        if let Some(v) = found {
+            cell.borrow_mut().hits += 1;
+            return Ok(v);
+        }
+        let v = compute(self)?;
+        let mut c = cell.borrow_mut();
+        c.misses += 1;
+        store(&mut c, v.clone());
+        Ok(v)
+    }
+
+    /// A copy of the value-iteration options with the checker's wider
+    /// certified iteration budget (interval iteration closes a width, not
+    /// a residual).
+    fn certified_vio(&self) -> ViOptions {
+        ViOptions {
+            max_iter: CERTIFIED_MAX_ITER,
+            ..self.vio
+        }
+    }
+
+    /// See [`check_mdp_query_with`].
+    pub(crate) fn check_mdp_query_with(
+        &self,
+        property: &Property,
+        opts: &CheckOptions,
+    ) -> Result<CheckResult, PctlError> {
+        let start = Instant::now();
+        let (value, boolean, solver, interval) = match property {
+            Property::OptProbQuery(opt, path) => {
+                let (v, solver, interval) = self.opt_path_query(path, *opt, opts)?;
+                (v, None, solver, interval)
+            }
+            Property::OptRewardQuery(opt, q) => {
+                let (v, solver, interval) = self.opt_reward_query(q, *opt, opts)?;
+                (v, None, solver, interval)
+            }
+            Property::Bool(f) => {
+                let sat = self.sat_states_mdp(f)?;
+                let ok = self
+                    .mdp
+                    .initial()
+                    .iter()
+                    .all(|&(s, p)| p == 0.0 || sat.get(s as usize));
+                (
+                    if ok { 1.0 } else { 0.0 },
+                    Some(ok),
+                    Solver::Transient,
+                    None,
+                )
+            }
+            Property::ProbQuery(_) => {
+                return Err(PctlError::Unsupported {
+                    construct: "P=? on an MDP (use Pmin=? / Pmax=? to fix the scheduler \
+                                quantification)"
+                        .into(),
+                })
+            }
+            Property::RewardQuery(_) => {
+                return Err(PctlError::Unsupported {
+                    construct: "R=? on an MDP (use Rmin=? / Rmax=?)".into(),
+                })
+            }
+            Property::SteadyQuery(_) => {
+                return Err(PctlError::Unsupported {
+                    construct: "S=? on an MDP (long-run averages are scheduler-dependent)".into(),
+                })
+            }
+        };
+        Ok(CheckResult::assemble(value, boolean, start.elapsed()).with_engine(solver, interval))
+    }
+
+    /// Evaluates an optimal path-probability query from the initial
+    /// distribution, reporting which engine ran and the value bracket
+    /// where one exists.
+    fn opt_path_query(
+        &self,
+        path: &PathFormula,
+        opt: Opt,
+        opts: &CheckOptions,
+    ) -> Result<EngineValue, PctlError> {
+        if let Some(eps) = opts.certify {
+            match path {
+                PathFormula::Until {
+                    lhs,
+                    rhs,
+                    bound: TimeBound::None,
+                } => {
+                    let l = self.sat_states_mdp(lhs)?;
+                    let r = self.sat_states_mdp(rhs)?;
+                    let cert = self.cert_until(&l, &r, opt, eps)?;
+                    return Ok(fold_certificate(self.mdp.initial(), &cert, false));
+                }
+                PathFormula::Finally {
+                    inner,
+                    bound: TimeBound::None,
+                } => {
+                    let f = self.sat_states_mdp(inner)?;
+                    let cert = self.cert_reach(&f, opt, eps)?;
+                    return Ok(fold_certificate(self.mdp.initial(), &cert, false));
+                }
+                PathFormula::Globally {
+                    inner,
+                    bound: TimeBound::None,
+                } => {
+                    // G φ = ¬F ¬φ with the dual optimum; the bracket
+                    // complements with its ends swapped.
+                    let bad = self.sat_states_mdp(inner)?.not();
+                    let cert = self.cert_reach(&bad, opt.dual(), eps)?;
+                    return Ok(fold_certificate(self.mdp.initial(), &cert, true));
+                }
+                _ => {} // finite-horizon forms are exact arithmetic below
+            }
+        }
+        let vals = self.opt_path_values(path, opt)?;
+        let v = initial_expectation(self.mdp, &vals);
+        if is_unbounded_path(path) {
+            Ok((v, Solver::Iterative, None))
+        } else {
+            Ok((v, Solver::Transient, Some((v, v))))
+        }
+    }
+
+    /// See [`sat_states_mdp`]. Keyed by the collision-free
+    /// [`crate::check::sat_key`] serialization, like the DTMC evaluator.
+    pub(crate) fn sat_states_mdp(&self, formula: &StateFormula) -> Result<BitVec, PctlError> {
+        self.memo(
+            |c| c.sat.get(&sat_key(formula)).cloned(),
+            |c, v| {
+                c.sat.insert(sat_key(formula), v);
+            },
+            |ev| ev.sat_states_mdp_raw(formula),
+        )
+    }
+
+    fn sat_states_mdp_raw(&self, formula: &StateFormula) -> Result<BitVec, PctlError> {
+        let n = self.mdp.n_states();
+        match formula {
+            StateFormula::True => Ok(BitVec::ones(n)),
+            StateFormula::False => Ok(BitVec::zeros(n)),
+            StateFormula::Ap(name) => Ok(self.mdp.label(name)?.clone()),
+            StateFormula::Not(f) => Ok(self.sat_states_mdp(f)?.not()),
+            StateFormula::And(a, b) => Ok(self.sat_states_mdp(a)?.and(&self.sat_states_mdp(b)?)),
+            StateFormula::Or(a, b) => Ok(self.sat_states_mdp(a)?.or(&self.sat_states_mdp(b)?)),
+            StateFormula::Implies(a, b) => {
+                Ok(self.sat_states_mdp(a)?.not().or(&self.sat_states_mdp(b)?))
+            }
+            StateFormula::Prob { .. } => Err(PctlError::Unsupported {
+                construct: "nested P⋈p operator inside an MDP formula (its satisfaction set \
+                            depends on the scheduler quantifier)"
+                    .into(),
+            }),
+        }
+    }
+
+    /// See [`opt_path_values`].
+    pub(crate) fn opt_path_values(
+        &self,
+        path: &PathFormula,
+        opt: Opt,
+    ) -> Result<Vec<f64>, PctlError> {
+        let n = self.mdp.n_states();
+        match path {
+            PathFormula::Next(f) => {
+                let sat = self.sat_states_mdp(f)?;
+                let x: Vec<f64> = (0..n).map(|i| if sat.get(i) { 1.0 } else { 0.0 }).collect();
+                let mut out = vec![0.0; n];
+                vi::optimal_step_into(self.mdp, &x, None, opt, &mut out, &self.vio);
+                Ok(out)
+            }
+            PathFormula::Until { lhs, rhs, bound } => {
+                let l = self.sat_states_mdp(lhs)?;
+                let r = self.sat_states_mdp(rhs)?;
+                self.opt_until_values(&l, &r, *bound, opt)
+            }
+            PathFormula::Finally { inner, bound } => {
+                let f = self.sat_states_mdp(inner)?;
+                let all = BitVec::ones(n);
+                self.opt_until_values(&all, &f, *bound, opt)
+            }
+            PathFormula::Globally { inner, bound } => {
+                // G φ = ¬F ¬φ, with the *dual* optimum: the scheduler
+                // maximizing the invariant minimizes the violation.
+                let f = self.sat_states_mdp(inner)?;
+                let bad = f.not();
+                let all = BitVec::ones(n);
+                let reach = self.opt_until_values(&all, &bad, *bound, opt.dual())?;
+                Ok(reach.into_iter().map(|p| 1.0 - p).collect())
+            }
+        }
+    }
+
+    /// Optimal until values for every [`TimeBound`] variant. Interval
+    /// bounds follow PRISM's semantics (the prefix must stay in `lhs`;
+    /// reaching `rhs` before the window opens does not count), mirrored
+    /// from the DTMC checker's `interval_until_values` with optimal
+    /// backups.
+    fn opt_until_values(
+        &self,
+        lhs: &BitVec,
+        rhs: &BitVec,
+        bound: TimeBound,
+        opt: Opt,
+    ) -> Result<Vec<f64>, PctlError> {
+        match bound {
+            TimeBound::Upper(t) => Ok(vi::bounded_until_values(
+                self.mdp, lhs, rhs, t as usize, opt, &self.vio,
+            )?),
+            TimeBound::None => self.unbounded_until(lhs, rhs, opt).map(rc_to_vec),
+            TimeBound::Interval(a, b) => {
+                let mut x =
+                    vi::bounded_until_values(self.mdp, lhs, rhs, (b - a) as usize, opt, &self.vio)?;
+                let mut next = vec![0.0; x.len()];
+                for _ in 0..a {
+                    vi::optimal_step_into(self.mdp, &x, Some(lhs), opt, &mut next, &self.vio);
+                    // Non-lhs states die during the prefix (rhs does not
+                    // absorb yet).
+                    for (i, v) in next.iter_mut().enumerate() {
+                        if !lhs.get(i) {
+                            *v = 0.0;
+                        }
+                    }
+                    std::mem::swap(&mut x, &mut next);
+                }
+                Ok(x)
+            }
+        }
+    }
+
+    /// Unbounded optimal until values, memoized on the operand sets and
+    /// the direction.
+    fn unbounded_until(
+        &self,
+        lhs: &BitVec,
+        rhs: &BitVec,
+        opt: Opt,
+    ) -> Result<Rc<Vec<f64>>, PctlError> {
+        self.memo(
+            |c| c.until.get(&(lhs.clone(), rhs.clone(), opt)).cloned(),
+            |c, v| {
+                c.until.insert((lhs.clone(), rhs.clone(), opt), v);
+            },
+            |ev| {
+                Ok(Rc::new(vi::unbounded_until_values(
+                    ev.mdp, lhs, rhs, opt, &ev.vio,
+                )?))
+            },
+        )
+    }
+
+    fn opt_reward_query(
+        &self,
+        q: &RewardQuery,
+        opt: Opt,
+        opts: &CheckOptions,
+    ) -> Result<EngineValue, PctlError> {
+        match q {
+            RewardQuery::Instantaneous(t) => {
+                let vals = vi::instantaneous_reward_values(self.mdp, *t as usize, opt, &self.vio);
+                let v = initial_expectation(self.mdp, &vals);
+                Ok((v, Solver::Transient, Some((v, v))))
+            }
+            RewardQuery::Cumulative(t) => {
+                let vals = vi::cumulative_reward_values(self.mdp, *t as usize, opt, &self.vio);
+                let v = initial_expectation(self.mdp, &vals);
+                Ok((v, Solver::Transient, Some((v, v))))
+            }
+            RewardQuery::Reach(phi) => {
+                let target = self.sat_states_mdp(phi)?;
+                if let Some(eps) = opts.certify {
+                    let cert = self.cert_reach_reward(&target, opt, eps)?;
+                    return Ok(fold_certificate(self.mdp.initial(), &cert, false));
+                }
+                let vals = self.reach_reward(&target, opt)?;
+                // Skip zero-mass initial states so `0 × ∞` cannot poison
+                // the expectation with NaN (same guard as the DTMC
+                // checker).
+                let v = self
+                    .mdp
+                    .initial()
+                    .iter()
+                    .filter(|&&(_, p)| p > 0.0)
+                    .map(|&(s, p)| p * vals[s as usize])
+                    .sum();
+                Ok((v, Solver::Iterative, None))
+            }
+        }
+    }
+
+    /// Optimal reachability-reward values, memoized on the target set and
+    /// the direction.
+    fn reach_reward(&self, target: &BitVec, opt: Opt) -> Result<Rc<Vec<f64>>, PctlError> {
+        self.memo(
+            |c| c.reach_reward.get(&(target.clone(), opt)).cloned(),
+            |c, v| {
+                c.reach_reward.insert((target.clone(), opt), v);
+            },
+            |ev| {
+                Ok(Rc::new(vi::reach_reward_values(
+                    ev.mdp, target, opt, &ev.vio,
+                )?))
+            },
+        )
+    }
+
+    /// Certified unbounded until, memoized on `(lhs, rhs, opt, ε)`.
+    fn cert_until(
+        &self,
+        lhs: &BitVec,
+        rhs: &BitVec,
+        opt: Opt,
+        eps: f64,
+    ) -> Result<Rc<CertifiedValues>, PctlError> {
+        self.memo(
+            |c| {
+                c.cert_until
+                    .get(&(lhs.clone(), rhs.clone(), opt, eps.to_bits()))
+                    .cloned()
+            },
+            |c, v| {
+                c.cert_until
+                    .insert((lhs.clone(), rhs.clone(), opt, eps.to_bits()), v);
+            },
+            |ev| {
+                Ok(Rc::new(vi::certified_until_values(
+                    ev.mdp,
+                    lhs,
+                    rhs,
+                    opt,
+                    eps,
+                    &ev.certified_vio(),
+                )?))
+            },
+        )
+    }
+
+    /// Certified unbounded reachability, memoized on `(target, opt, ε)`.
+    fn cert_reach(
+        &self,
+        target: &BitVec,
+        opt: Opt,
+        eps: f64,
+    ) -> Result<Rc<CertifiedValues>, PctlError> {
+        self.memo(
+            |c| {
+                c.cert_reach
+                    .get(&(target.clone(), opt, eps.to_bits()))
+                    .cloned()
+            },
+            |c, v| {
+                c.cert_reach.insert((target.clone(), opt, eps.to_bits()), v);
+            },
+            |ev| {
+                Ok(Rc::new(vi::certified_reach_values(
+                    ev.mdp,
+                    target,
+                    opt,
+                    eps,
+                    &ev.certified_vio(),
+                )?))
+            },
+        )
+    }
+
+    /// Certified reachability reward, memoized on `(target, opt, ε)`.
+    fn cert_reach_reward(
+        &self,
+        target: &BitVec,
+        opt: Opt,
+        eps: f64,
+    ) -> Result<Rc<CertifiedValues>, PctlError> {
+        self.memo(
+            |c| {
+                c.cert_reach_reward
+                    .get(&(target.clone(), opt, eps.to_bits()))
+                    .cloned()
+            },
+            |c, v| {
+                c.cert_reach_reward
+                    .insert((target.clone(), opt, eps.to_bits()), v);
+            },
+            |ev| {
+                Ok(Rc::new(vi::certified_reach_reward_values(
+                    ev.mdp,
+                    target,
+                    opt,
+                    eps,
+                    &ev.certified_vio(),
+                )?))
+            },
+        )
+    }
+}
+
+/// Unwraps a cache handle into an owned vector (no copy when the evaluator
+/// was uncached and the handle is unique).
+fn rc_to_vec(rc: Rc<Vec<f64>>) -> Vec<f64> {
+    Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone())
 }
 
 /// The set of states satisfying a (boolean) state formula over an MDP's
@@ -187,23 +571,7 @@ fn opt_path_query(
 /// [`PctlError::Dtmc`] for unknown labels; [`PctlError::Unsupported`] for
 /// nested probability operators.
 pub fn sat_states_mdp(mdp: &Mdp, formula: &StateFormula) -> Result<BitVec, PctlError> {
-    let n = mdp.n_states();
-    match formula {
-        StateFormula::True => Ok(BitVec::ones(n)),
-        StateFormula::False => Ok(BitVec::zeros(n)),
-        StateFormula::Ap(name) => Ok(mdp.label(name)?.clone()),
-        StateFormula::Not(f) => Ok(sat_states_mdp(mdp, f)?.not()),
-        StateFormula::And(a, b) => Ok(sat_states_mdp(mdp, a)?.and(&sat_states_mdp(mdp, b)?)),
-        StateFormula::Or(a, b) => Ok(sat_states_mdp(mdp, a)?.or(&sat_states_mdp(mdp, b)?)),
-        StateFormula::Implies(a, b) => {
-            Ok(sat_states_mdp(mdp, a)?.not().or(&sat_states_mdp(mdp, b)?))
-        }
-        StateFormula::Prob { .. } => Err(PctlError::Unsupported {
-            construct: "nested P⋈p operator inside an MDP formula (its satisfaction set \
-                        depends on the scheduler quantifier)"
-                .into(),
-        }),
-    }
+    MdpEvaluator::uncached(mdp, ViOptions::default()).sat_states_mdp(formula)
 }
 
 /// The optimal probability of the path formula *from every state*.
@@ -217,113 +585,7 @@ pub fn opt_path_values(
     opt: Opt,
     vio: &ViOptions,
 ) -> Result<Vec<f64>, PctlError> {
-    let n = mdp.n_states();
-    match path {
-        PathFormula::Next(f) => {
-            let sat = sat_states_mdp(mdp, f)?;
-            let x: Vec<f64> = (0..n).map(|i| if sat.get(i) { 1.0 } else { 0.0 }).collect();
-            let mut out = vec![0.0; n];
-            vi::optimal_step_into(mdp, &x, None, opt, &mut out, vio);
-            Ok(out)
-        }
-        PathFormula::Until { lhs, rhs, bound } => {
-            let l = sat_states_mdp(mdp, lhs)?;
-            let r = sat_states_mdp(mdp, rhs)?;
-            opt_until_values(mdp, &l, &r, *bound, opt, vio)
-        }
-        PathFormula::Finally { inner, bound } => {
-            let f = sat_states_mdp(mdp, inner)?;
-            let all = BitVec::ones(n);
-            opt_until_values(mdp, &all, &f, *bound, opt, vio)
-        }
-        PathFormula::Globally { inner, bound } => {
-            // G φ = ¬F ¬φ, with the *dual* optimum: the scheduler
-            // maximizing the invariant minimizes the violation.
-            let f = sat_states_mdp(mdp, inner)?;
-            let bad = f.not();
-            let all = BitVec::ones(n);
-            let reach = opt_until_values(mdp, &all, &bad, *bound, opt.dual(), vio)?;
-            Ok(reach.into_iter().map(|p| 1.0 - p).collect())
-        }
-    }
-}
-
-/// Optimal until values for every [`TimeBound`] variant. Interval bounds
-/// follow PRISM's semantics (the prefix must stay in `lhs`; reaching `rhs`
-/// before the window opens does not count), mirrored from the DTMC
-/// checker's `interval_until_values` with optimal backups.
-fn opt_until_values(
-    mdp: &Mdp,
-    lhs: &BitVec,
-    rhs: &BitVec,
-    bound: TimeBound,
-    opt: Opt,
-    vio: &ViOptions,
-) -> Result<Vec<f64>, PctlError> {
-    match bound {
-        TimeBound::Upper(t) => Ok(vi::bounded_until_values(
-            mdp, lhs, rhs, t as usize, opt, vio,
-        )?),
-        TimeBound::None => Ok(vi::unbounded_until_values(mdp, lhs, rhs, opt, vio)?),
-        TimeBound::Interval(a, b) => {
-            let mut x = vi::bounded_until_values(mdp, lhs, rhs, (b - a) as usize, opt, vio)?;
-            let mut next = vec![0.0; x.len()];
-            for _ in 0..a {
-                vi::optimal_step_into(mdp, &x, Some(lhs), opt, &mut next, vio);
-                // Non-lhs states die during the prefix (rhs does not
-                // absorb yet).
-                for (i, v) in next.iter_mut().enumerate() {
-                    if !lhs.get(i) {
-                        *v = 0.0;
-                    }
-                }
-                std::mem::swap(&mut x, &mut next);
-            }
-            Ok(x)
-        }
-    }
-}
-
-fn opt_reward_query(
-    mdp: &Mdp,
-    q: &RewardQuery,
-    opt: Opt,
-    opts: &CheckOptions,
-    vio: &ViOptions,
-) -> Result<EngineValue, PctlError> {
-    match q {
-        RewardQuery::Instantaneous(t) => {
-            let vals = vi::instantaneous_reward_values(mdp, *t as usize, opt, vio);
-            let v = initial_expectation(mdp, &vals);
-            Ok((v, Solver::Transient, Some((v, v))))
-        }
-        RewardQuery::Cumulative(t) => {
-            let vals = vi::cumulative_reward_values(mdp, *t as usize, opt, vio);
-            let v = initial_expectation(mdp, &vals);
-            Ok((v, Solver::Transient, Some((v, v))))
-        }
-        RewardQuery::Reach(phi) => {
-            let target = sat_states_mdp(mdp, phi)?;
-            if let Some(eps) = opts.certify {
-                let cvio = ViOptions {
-                    max_iter: CERTIFIED_MAX_ITER,
-                    ..*vio
-                };
-                let cert = vi::certified_reach_reward_values(mdp, &target, opt, eps, &cvio)?;
-                return Ok(fold_certificate(mdp.initial(), &cert, false));
-            }
-            let vals = vi::reach_reward_values(mdp, &target, opt, vio)?;
-            // Skip zero-mass initial states so `0 × ∞` cannot poison the
-            // expectation with NaN (same guard as the DTMC checker).
-            let v = mdp
-                .initial()
-                .iter()
-                .filter(|&&(_, p)| p > 0.0)
-                .map(|&(s, p)| p * vals[s as usize])
-                .sum();
-            Ok((v, Solver::Iterative, None))
-        }
-    }
+    MdpEvaluator::uncached(mdp, *vio).opt_path_values(path, opt)
 }
 
 fn initial_expectation(mdp: &Mdp, vals: &[f64]) -> f64 {
@@ -332,7 +594,6 @@ fn initial_expectation(mdp: &Mdp, vals: &[f64]) -> f64 {
         .map(|&(s, p)| p * vals[s as usize])
         .sum()
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

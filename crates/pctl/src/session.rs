@@ -1,0 +1,534 @@
+//! Checking sessions: one entry point over DTMCs and MDPs with shared
+//! precomputation across a whole property family.
+//!
+//! The paper's workload is never "one property, once" — every table checks
+//! a family of properties (P1/P2/P3, BER-style metrics) against the same
+//! model. [`CheckSession`] packages that batch shape: it owns an
+//! [`AnyModel`] (chain or MDP), dispatches each [`Property`] to the right
+//! checker, and memoizes the work that related properties share —
+//! satisfaction sets of common subformulas, unbounded
+//! reachability/until/reward value vectors, and certified interval
+//! brackets (whose qualitative `Prob0`/`Prob1`/MEC pre-passes dominate
+//! the per-query cost on MDPs). Transposes are cached inside the model
+//! itself ([`smg_dtmc::CsrMatrix`] builds them lazily, once), so they are
+//! shared simply because the session keeps one model alive across calls.
+//!
+//! Because the session *owns* the model and models are immutable, cache
+//! invalidation is by construction: an entry, once computed, is valid for
+//! the session's lifetime. Cache keys are the exact solver inputs (operand
+//! bit-sets, optimization direction, ε bit pattern), and the cached and
+//! uncached paths execute the same code, so batching never changes an
+//! answer — `tests/session_identity.rs` in the workspace pins
+//! `check_all` ≡ one-by-one `check_query`/`check_mdp_query` over
+//! randomized models and batches, in both plain and certified modes.
+
+use crate::ast::{Property, StateFormula};
+use crate::check::{CheckOptions, CheckResult, DtmcCache, Evaluator};
+use crate::error::PctlError;
+use crate::mdp::{MdpCache, MdpEvaluator};
+use smg_dtmc::{pool, BitVec, Dtmc, DtmcError};
+use smg_mdp::{Mdp, ViOptions};
+use std::cell::RefCell;
+
+/// An explicit model of either family — the common currency between the
+/// language front end ([`smg-lang`'s] `compile_any`), the CLI, and
+/// [`CheckSession`]. Callers that don't care whether a program declared
+/// `dtmc` or `mdp` can hold an `AnyModel` and let the session dispatch.
+///
+/// [`smg-lang`'s]: https://docs.rs/smg-lang
+#[derive(Debug, Clone)]
+pub enum AnyModel {
+    /// A discrete-time Markov chain.
+    Dtmc(Dtmc),
+    /// A Markov decision process.
+    Mdp(Mdp),
+}
+
+impl AnyModel {
+    /// The model family as a lowercase tag (`"dtmc"` / `"mdp"`), the same
+    /// words the modeling language uses as headers.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AnyModel::Dtmc(_) => "dtmc",
+            AnyModel::Mdp(_) => "mdp",
+        }
+    }
+
+    /// Whether the model carries nondeterminism (quantitative queries then
+    /// need the `Pmin`/`Pmax`/`Rmin`/`Rmax` forms).
+    pub fn is_mdp(&self) -> bool {
+        matches!(self, AnyModel::Mdp(_))
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        match self {
+            AnyModel::Dtmc(d) => d.n_states(),
+            AnyModel::Mdp(m) => m.n_states(),
+        }
+    }
+
+    /// The state set of a label.
+    ///
+    /// # Errors
+    ///
+    /// [`DtmcError::UnknownLabel`] when the label does not exist.
+    pub fn label(&self, name: &str) -> Result<&BitVec, DtmcError> {
+        match self {
+            AnyModel::Dtmc(d) => d.label(name),
+            AnyModel::Mdp(m) => m.label(name),
+        }
+    }
+
+    /// Label names, in the model's storage order.
+    pub fn label_names(&self) -> Vec<&str> {
+        match self {
+            AnyModel::Dtmc(d) => d.label_names(),
+            AnyModel::Mdp(m) => m.label_names(),
+        }
+    }
+
+    /// The chain, when this is one.
+    pub fn as_dtmc(&self) -> Option<&Dtmc> {
+        match self {
+            AnyModel::Dtmc(d) => Some(d),
+            AnyModel::Mdp(_) => None,
+        }
+    }
+
+    /// The MDP, when this is one.
+    pub fn as_mdp(&self) -> Option<&Mdp> {
+        match self {
+            AnyModel::Dtmc(_) => None,
+            AnyModel::Mdp(m) => Some(m),
+        }
+    }
+}
+
+impl From<Dtmc> for AnyModel {
+    fn from(d: Dtmc) -> AnyModel {
+        AnyModel::Dtmc(d)
+    }
+}
+
+impl From<Mdp> for AnyModel {
+    fn from(m: Mdp) -> AnyModel {
+        AnyModel::Mdp(m)
+    }
+}
+
+/// The dedicated pool for a lane count, created once per count per
+/// process. [`pool::with_lanes`] leaks a fresh pool (and spawns its
+/// workers) on *every* call by design — it is the benches' way of getting
+/// isolated pools — so [`CheckSession::threads`] must memoize here or a
+/// session-per-model parameter sweep would accumulate parked OS threads
+/// without bound.
+fn shared_pool(lanes: usize) -> &'static pool::Pool {
+    use std::sync::{Mutex, OnceLock};
+    static POOLS: OnceLock<Mutex<Vec<(usize, &'static pool::Pool)>>> = OnceLock::new();
+    let mut pools = POOLS
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("pool registry poisoned");
+    if let Some(&(_, p)) = pools.iter().find(|&&(n, _)| n == lanes) {
+        return p;
+    }
+    let p = pool::with_lanes(lanes);
+    pools.push((lanes, p));
+    p
+}
+
+/// Cache telemetry of a session: how many memoized lookups were answered
+/// from the cache versus computed. `hits > 0` across a `check_all` batch
+/// is the signature of shared precomputation actually paying off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that computed (and stored) a fresh entry.
+    pub misses: u64,
+}
+
+/// A batch-oriented checking session over one immutable model.
+///
+/// Built with [`CheckSession::new`] and the builder methods
+/// ([`certified`](CheckSession::certified),
+/// [`threads`](CheckSession::threads)); queried with
+/// [`check`](CheckSession::check), [`check_all`](CheckSession::check_all)
+/// and [`sat`](CheckSession::sat). Results are exactly what the
+/// corresponding free functions ([`crate::check_query_with`] /
+/// [`crate::check_mdp_query_with`]) return — the session only adds
+/// dispatch over the model family and the shared precomputation cache.
+///
+/// # Example
+///
+/// ```
+/// use smg_dtmc::{explore, DtmcModel, ExploreOptions};
+/// use smg_pctl::{parse_property, CheckSession};
+///
+/// struct Coin;
+/// impl DtmcModel for Coin {
+///     type State = bool;
+///     fn initial_states(&self) -> Vec<(bool, f64)> { vec![(false, 1.0)] }
+///     fn transitions(&self, _: &bool) -> Vec<(bool, f64)> {
+///         vec![(false, 0.5), (true, 0.5)]
+///     }
+///     fn atomic_propositions(&self) -> Vec<&'static str> { vec!["heads"] }
+///     fn holds(&self, ap: &str, s: &bool) -> bool { ap == "heads" && *s }
+///     fn state_reward(&self, s: &bool) -> f64 { if *s { 1.0 } else { 0.0 } }
+/// }
+///
+/// let e = explore(&Coin, &ExploreOptions::default())?;
+/// let session = CheckSession::new(e.dtmc);
+/// let family = [
+///     parse_property("P=? [ F heads ]")?,
+///     parse_property("P=? [ G !heads ]")?, // shares the reachability solve
+///     parse_property("R=? [ F heads ]")?,  // shares the qualitative pre-pass
+/// ];
+/// let results = session.check_all(&family)?;
+/// assert!((results[0].value() - 1.0).abs() < 1e-9);
+/// assert!(results[1].value().abs() < 1e-9);
+/// assert!(session.cache_stats().hits > 0); // the batch shared real work
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct CheckSession {
+    model: AnyModel,
+    opts: CheckOptions,
+    vio: ViOptions,
+    dtmc_cache: RefCell<DtmcCache>,
+    mdp_cache: RefCell<MdpCache>,
+}
+
+impl CheckSession {
+    /// Opens a session over a model (anything convertible into an
+    /// [`AnyModel`]: a [`Dtmc`], an [`Mdp`], or an `AnyModel` itself).
+    pub fn new(model: impl Into<AnyModel>) -> CheckSession {
+        CheckSession {
+            model: model.into(),
+            opts: CheckOptions::default(),
+            vio: ViOptions::default(),
+            dtmc_cache: RefCell::new(DtmcCache::default()),
+            mdp_cache: RefCell::new(MdpCache::default()),
+        }
+    }
+
+    /// Requests certified interval iteration with width below `epsilon`
+    /// for every unbounded query of this session (see
+    /// [`CheckOptions::certified`]).
+    #[must_use]
+    pub fn certified(mut self, epsilon: f64) -> CheckSession {
+        self.opts = CheckOptions::certified(epsilon);
+        self
+    }
+
+    /// Replaces the session's checking options wholesale.
+    #[must_use]
+    pub fn with_options(mut self, opts: CheckOptions) -> CheckSession {
+        self.opts = opts;
+        self
+    }
+
+    /// Dispatches this session's MDP value-iteration backups on a
+    /// dedicated persistent pool of `n` worker lanes (a lane count of 1 is
+    /// the sequential fallback; results are bit-identical for every lane
+    /// count). DTMC kernels keep using the engine-wide pool configured by
+    /// `SMG_THREADS` — per-session thread control of the chain kernels is
+    /// future work. Pools are process-wide resources shared by every
+    /// session requesting the same lane count, so building sessions in a
+    /// loop does not accumulate threads.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> CheckSession {
+        self.vio.pool = Some(shared_pool(n.max(1)));
+        self
+    }
+
+    /// The model this session checks.
+    pub fn model(&self) -> &AnyModel {
+        &self.model
+    }
+
+    /// The options every query of this session runs with.
+    pub fn options(&self) -> &CheckOptions {
+        &self.opts
+    }
+
+    /// Consumes the session, returning the model.
+    pub fn into_model(self) -> AnyModel {
+        self.model
+    }
+
+    /// Checks one property, dispatching on the model family.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::check_query_with`] (chains) and
+    /// [`crate::check_mdp_query_with`] (MDPs) — unknown labels,
+    /// non-convergence, scheduler-ambiguous query forms on MDPs,
+    /// uncertifiable formulas in certified mode.
+    pub fn check(&self, property: &Property) -> Result<CheckResult, PctlError> {
+        match &self.model {
+            AnyModel::Dtmc(d) => {
+                Evaluator::cached(d, &self.dtmc_cache).check_query_with(property, &self.opts)
+            }
+            AnyModel::Mdp(m) => MdpEvaluator::cached(m, self.vio, &self.mdp_cache)
+                .check_mdp_query_with(property, &self.opts),
+        }
+    }
+
+    /// Checks a property family in order, sharing precomputation across
+    /// the batch; fails fast on the first erroring property.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CheckSession::check`].
+    pub fn check_all(&self, properties: &[Property]) -> Result<Vec<CheckResult>, PctlError> {
+        properties.iter().map(|p| self.check(p)).collect()
+    }
+
+    /// The satisfaction set of a state formula (memoized like everything
+    /// else in the session).
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::sat_states`] (chains) and [`crate::sat_states_mdp`]
+    /// (MDPs; nested `P⋈p` operators are rejected there).
+    pub fn sat(&self, formula: &StateFormula) -> Result<BitVec, PctlError> {
+        match &self.model {
+            AnyModel::Dtmc(d) => Evaluator::cached(d, &self.dtmc_cache).sat_states(formula),
+            AnyModel::Mdp(m) => {
+                MdpEvaluator::cached(m, self.vio, &self.mdp_cache).sat_states_mdp(formula)
+            }
+        }
+    }
+
+    /// Cache telemetry accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        let (d, m) = (self.dtmc_cache.borrow(), self.mdp_cache.borrow());
+        CacheStats {
+            hits: d.hits + m.hits,
+            misses: d.misses + m.misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check_query, check_query_with, Solver};
+    use crate::mdp::{check_mdp_query, check_mdp_query_with};
+    use crate::parser::parse_property;
+    use smg_mdp::MdpBuilder;
+    use std::collections::BTreeMap;
+
+    /// The DTMC checker's test gadget: 0 →(.5) 1 | 2; 1 →(.5) goal | 0;
+    /// 2 absorbing "bad"; 3 absorbing "goal" with reward 1.
+    fn gadget() -> Dtmc {
+        use smg_dtmc::{matrix::CsrMatrix, TransitionMatrix};
+        let rows = vec![
+            vec![(1u32, 0.5), (2, 0.5)],
+            vec![(0, 0.5), (3, 0.5)],
+            vec![(2, 1.0)],
+            vec![(3, 1.0)],
+        ];
+        let matrix = TransitionMatrix::Sparse(CsrMatrix::from_rows(rows).unwrap());
+        let mut labels = BTreeMap::new();
+        labels.insert("goal".to_string(), BitVec::from_fn(4, |i| i == 3));
+        labels.insert("bad".to_string(), BitVec::from_fn(4, |i| i == 2));
+        Dtmc::new(matrix, vec![(0, 1.0)], labels, vec![0.0, 0.0, 0.0, 1.0]).unwrap()
+    }
+
+    fn gadget_mdp() -> Mdp {
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(1, 0.5), (2, 0.5)]).unwrap();
+        b.push_action(&mut [(0, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 0.5), (0, 0.5)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(2, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("goal".to_string(), BitVec::from_fn(4, |i| i == 3));
+        labels.insert("bad".to_string(), BitVec::from_fn(4, |i| i == 2));
+        Mdp::new(b.finish(), vec![(0, 1.0)], labels, vec![0.0, 0.0, 0.0, 1.0]).unwrap()
+    }
+
+    const DTMC_FAMILY: &[&str] = &[
+        "P=? [ F goal ]",
+        "P=? [ G !goal ]",
+        "R=? [ F goal ]",
+        "P>=0.5 [ F goal ]",
+        "P=? [ F<=4 goal ]",
+        "S=? [ bad ]",
+    ];
+
+    #[test]
+    fn dtmc_batch_matches_one_by_one_and_hits_cache() {
+        let d = gadget();
+        let session = CheckSession::new(d.clone());
+        let props: Vec<_> = DTMC_FAMILY
+            .iter()
+            .map(|p| parse_property(p).unwrap())
+            .collect();
+        let batch = session.check_all(&props).unwrap();
+        for (p, r) in props.iter().zip(&batch) {
+            let solo = check_query(&d, p).unwrap();
+            assert_eq!(solo.value().to_bits(), r.value().to_bits(), "{p}");
+            assert_eq!(solo.interval(), r.interval(), "{p}");
+            assert_eq!(solo.solver(), r.solver(), "{p}");
+            assert_eq!(solo.verdict(), r.verdict(), "{p}");
+        }
+        // `F goal`, `G !goal`, `R [F goal]` and the threshold operator all
+        // share the one unbounded reachability solve.
+        let stats = session.cache_stats();
+        assert!(stats.hits >= 3, "stats = {stats:?}");
+        assert!(stats.misses > 0);
+    }
+
+    #[test]
+    fn certified_batch_matches_one_by_one() {
+        let d = gadget();
+        let session = CheckSession::new(d.clone()).certified(1e-9);
+        let props: Vec<_> = [
+            "P=? [ F goal ]",
+            "P=? [ G !goal ]",
+            "R=? [ F (goal | bad) ]",
+        ]
+        .iter()
+        .map(|p| parse_property(p).unwrap())
+        .collect();
+        let opts = CheckOptions::certified(1e-9);
+        let batch = session.check_all(&props).unwrap();
+        for (p, r) in props.iter().zip(&batch) {
+            let solo = check_query_with(&d, p, &opts).unwrap();
+            assert_eq!(solo.value().to_bits(), r.value().to_bits(), "{p}");
+            assert_eq!(solo.interval(), r.interval(), "{p}");
+            assert_eq!(solo.solver(), r.solver(), "{p}");
+        }
+        assert_eq!(batch[0].solver(), Solver::IntervalIteration);
+        // F goal and G !goal share a certified bracket: the G query's
+        // target set ¬(¬goal) is bit-identical to goal.
+        assert!(session.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn mdp_batch_matches_one_by_one() {
+        let m = gadget_mdp();
+        let props: Vec<_> = [
+            "Pmax=? [ F goal ]",
+            "Pmin=? [ G !goal ]",
+            "Rmax=? [ F goal ]",
+            "Pmax=? [ F<=4 goal ]",
+            "!goal",
+        ]
+        .iter()
+        .map(|p| parse_property(p).unwrap())
+        .collect();
+        for certified in [false, true] {
+            let opts = if certified {
+                CheckOptions::certified(1e-9)
+            } else {
+                CheckOptions::default()
+            };
+            let session = CheckSession::new(m.clone()).with_options(opts);
+            let batch = session.check_all(&props).unwrap();
+            for (p, r) in props.iter().zip(&batch) {
+                let solo = check_mdp_query_with(&m, p, &opts).unwrap();
+                assert_eq!(solo.value().to_bits(), r.value().to_bits(), "{p}");
+                assert_eq!(solo.interval(), r.interval(), "{p}");
+                assert_eq!(solo.solver(), r.solver(), "{p}");
+            }
+            // Pmax [F goal] and Pmin [G !goal] share work (the G query
+            // duals to a Pmax reachability of the complement-complement
+            // set); goal's sat-set is shared everywhere.
+            assert!(session.cache_stats().hits > 0, "certified={certified}");
+        }
+    }
+
+    #[test]
+    fn session_dispatches_errors_like_the_free_functions() {
+        let m = gadget_mdp();
+        let session = CheckSession::new(m.clone());
+        let plain = parse_property("P=? [ F goal ]").unwrap();
+        let e = session.check(&plain).unwrap_err();
+        assert!(matches!(e, PctlError::Unsupported { .. }));
+        assert!(check_mdp_query(&m, &plain).is_err());
+        // check_all fails fast but leaves the session usable.
+        let props = vec![parse_property("Pmax=? [ F goal ]").unwrap(), plain];
+        assert!(session.check_all(&props).is_err());
+        assert!(session.check(&props[0]).is_ok());
+    }
+
+    #[test]
+    fn any_model_accessors() {
+        let am: AnyModel = gadget().into();
+        assert_eq!(am.kind(), "dtmc");
+        assert!(!am.is_mdp());
+        assert_eq!(am.n_states(), 4);
+        assert!(am.as_dtmc().is_some() && am.as_mdp().is_none());
+        assert_eq!(am.label("goal").unwrap().count_ones(), 1);
+        assert!(am.label("nope").is_err());
+        let mut names = am.label_names();
+        names.sort_unstable();
+        assert_eq!(names, vec!["bad", "goal"]);
+        let am: AnyModel = gadget_mdp().into();
+        assert_eq!(am.kind(), "mdp");
+        assert!(am.is_mdp() && am.as_mdp().is_some());
+    }
+
+    #[test]
+    fn sat_cache_does_not_alias_tricky_label_names() {
+        use smg_dtmc::{matrix::CsrMatrix, TransitionMatrix};
+        // A label literally named "!x": under Display both Ap("!x") and
+        // Not(Ap("x")) render as `!x`, so a Display-keyed cache would
+        // alias them. Both label sets are {0}, so the two formulas have
+        // *different* satisfaction sets ({0} vs {1}).
+        let matrix = TransitionMatrix::Sparse(
+            CsrMatrix::from_rows(vec![vec![(1u32, 1.0)], vec![(1, 1.0)]]).unwrap(),
+        );
+        let mut labels = BTreeMap::new();
+        labels.insert("x".to_string(), BitVec::from_fn(2, |i| i == 0));
+        labels.insert("!x".to_string(), BitVec::from_fn(2, |i| i == 0));
+        let d = Dtmc::new(matrix, vec![(0, 1.0)], labels, vec![0.0, 0.0]).unwrap();
+        use crate::ast::StateFormula;
+        for first_not in [false, true] {
+            let session = CheckSession::new(d.clone());
+            let not_x = StateFormula::ap("x").not();
+            let ap_bang_x = StateFormula::ap("!x");
+            let (a, b) = if first_not {
+                (
+                    session.sat(&not_x).unwrap(),
+                    session.sat(&ap_bang_x).unwrap(),
+                )
+            } else {
+                let b = session.sat(&ap_bang_x).unwrap();
+                (session.sat(&not_x).unwrap(), b)
+            };
+            assert_eq!(a, BitVec::from_fn(2, |i| i == 1), "!x as negation");
+            assert_eq!(b, BitVec::from_fn(2, |i| i == 0), "\"!x\" as atom");
+        }
+    }
+
+    #[test]
+    fn shared_pools_are_reused_per_lane_count() {
+        let a = super::shared_pool(3);
+        let b = super::shared_pool(3);
+        assert!(std::ptr::eq(a, b), "same lane count must share one pool");
+    }
+
+    #[test]
+    fn sat_is_memoized_and_threads_builder_works() {
+        let session = CheckSession::new(gadget()).threads(2);
+        let f = parse_property("goal | bad").unwrap();
+        let crate::ast::Property::Bool(f) = f else {
+            unreachable!()
+        };
+        let a = session.sat(&f).unwrap();
+        let before = session.cache_stats();
+        let b = session.sat(&f).unwrap();
+        assert_eq!(a, b);
+        assert!(session.cache_stats().hits > before.hits);
+    }
+}

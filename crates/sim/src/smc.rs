@@ -141,6 +141,25 @@ impl CompiledPath {
         )
     }
 
+    /// Resolves a bounded path formula through a [`CheckSession`]
+    /// (either model family): the session's memoized satisfaction sets
+    /// are shared with the exact queries of the same cross-validation
+    /// run, so checking `P=? [ F<=t err ]` exactly and then sampling the
+    /// same formula statistically resolves `err`'s sat-set once.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledPath::compile`] / [`CompiledPath::compile_mdp`],
+    /// depending on the session's model family.
+    ///
+    /// [`CheckSession`]: smg_pctl::CheckSession
+    pub fn from_session(
+        session: &smg_pctl::CheckSession,
+        path: &PathFormula,
+    ) -> Result<CompiledPath, SmcError> {
+        CompiledPath::compile_with(session.model().n_states(), &|f| Ok(session.sat(f)?), path)
+    }
+
     /// The shared compilation body, parameterized by the state-formula
     /// resolver of the model family.
     fn compile_with(
@@ -516,6 +535,35 @@ mod tests {
         check_query(d, &parse_property(prop).unwrap())
             .unwrap()
             .value()
+    }
+
+    #[test]
+    fn from_session_matches_direct_compilation() {
+        let d = gadget();
+        let session = smg_pctl::CheckSession::new(d.clone());
+        for prop in [
+            "P=? [ F<=8 goal ]",
+            "P=? [ G<=6 !bad ]",
+            "P=? [ !bad U<=10 goal ]",
+            "P=? [ X bad ]",
+        ] {
+            let path = path_of(prop);
+            // Both compilations resolve the same sat-sets, so two
+            // same-seeded samplers must produce identical verdict
+            // sequences.
+            let direct = CompiledPath::compile(&d, &path).unwrap();
+            let via_session = CompiledPath::from_session(&session, &path).unwrap();
+            let mut a = Sampler::new(&d, &direct, 11);
+            let mut b = Sampler::new(&d, &via_session, 11);
+            for i in 0..200 {
+                assert_eq!(a.sample_once(), b.sample_once(), "{prop} sample {i}");
+            }
+        }
+        // The session memoized the formulas' sat-sets: a second resolve
+        // hits the cache.
+        let before = session.cache_stats();
+        let _ = CompiledPath::from_session(&session, &path_of("P=? [ F<=8 goal ]")).unwrap();
+        assert!(session.cache_stats().hits > before.hits);
     }
 
     #[test]

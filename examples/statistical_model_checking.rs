@@ -11,7 +11,7 @@
 //! Run with: `cargo run --release --example statistical_model_checking`
 
 use statguard_mimo::dtmc::{explore, ExploreOptions};
-use statguard_mimo::pctl::{check_query, parse_property, Property};
+use statguard_mimo::pctl::{parse_property, CheckSession, Property};
 use statguard_mimo::sim::{estimate, okamoto_bound, sprt, SprtConfig, SprtDecision};
 use statguard_mimo::viterbi::{ReducedModel, ViterbiConfig};
 
@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ViterbiConfig::small().with_snr_db(7.0);
     println!("model: {config}");
     let explored = explore(&ReducedModel::new(config)?, &ExploreOptions::default())?;
-    let d = &explored.dtmc;
+    // One checking session carries the whole cross-validation run: the
+    // exact query and the samplers resolve the same `flag` satisfaction
+    // set through its cache.
+    let session = CheckSession::new(explored.dtmc);
+    let d = session.model().as_dtmc().expect("viterbi chains are dtmcs");
     println!(
         "states: {}, transitions: {}\n",
         d.n_states(),
@@ -33,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // 1. Exact: one numerical pass, no error at all.
-    let exact = check_query(d, &parsed)?;
+    let exact = session.check(&parsed)?;
     println!(
         "exact          {prop} = {:.6}   ({:?})",
         exact.value(),

@@ -17,7 +17,7 @@
 //! | [`rtl`] | `smg-rtl` | saturating counters, shift registers, clocked components |
 //! | [`dtmc`] | `smg-dtmc` | DTMC models, state-space exploration, transient/steady-state analysis |
 //! | [`mdp`] | `smg-mdp` | MDP models (nondeterminism + probability), min/max value iteration for worst-case guarantees |
-//! | [`pctl`] | `smg-pctl` | pCTL syntax, parser, model-checking algorithms (incl. `Pmin`/`Pmax` over MDPs) |
+//! | [`pctl`] | `smg-pctl` | pCTL syntax, parser, model-checking algorithms (incl. `Pmin`/`Pmax` over MDPs), and the batch-oriented `CheckSession` over either model family |
 //! | [`reduce`] | `smg-reduce` | strong lumping, bisimulation certificates, symmetry reduction |
 //! | [`viterbi`] | `smg-viterbi` | the Viterbi decoder case study (full, reduced, convergence models) |
 //! | [`detector`] | `smg-detector` | the ML MIMO detector case study (full, symmetry-reduced models) |
@@ -66,13 +66,38 @@ pub mod prelude {
     };
     pub use smg_detector::{DetectorConfig, DetectorModel, SymmetricDetectorModel};
     pub use smg_dtmc::{explore, explore_memoryless, DtmcModel, ExploreOptions, MemorylessModel};
-    pub use smg_lang::{
-        compile as lang_compile, compile_mdp as lang_compile_mdp, parse as lang_parse,
-    };
+    pub use smg_lang::{compile_any, parse as lang_parse, CompiledAny};
     pub use smg_mdp::{explore as explore_mdp, MdpModel, Opt, ViOptions};
-    pub use smg_pctl::{check_mdp_query, check_query, parse_property};
+    pub use smg_pctl::{
+        check_mdp_query, check_query, parse_property, AnyModel, CheckOptions, CheckResult,
+        CheckSession,
+    };
     pub use smg_sim::{
         estimate, sprt, BerEstimator, DetectorSimulation, SprtConfig, ViterbiSimulation,
     };
     pub use smg_viterbi::{ConvergenceModel, FullModel, ReducedModel, ViterbiConfig};
+
+    /// Compiles a checked `dtmc` program to an explicit chain.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `compile_any` + `CheckSession` (model-family dispatch without the \
+                WrongModelType dance), or call `smg_lang::compile` directly"
+    )]
+    pub fn lang_compile(
+        checked: smg_lang::CheckedProgram,
+    ) -> Result<smg_lang::CompiledModel, smg_lang::LangError> {
+        smg_lang::compile(checked)
+    }
+
+    /// Compiles a checked `mdp` program to an explicit MDP.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `compile_any` + `CheckSession` (model-family dispatch without the \
+                WrongModelType dance), or call `smg_lang::compile_mdp` directly"
+    )]
+    pub fn lang_compile_mdp(
+        checked: smg_lang::CheckedProgram,
+    ) -> Result<smg_lang::CompiledMdp, smg_lang::LangError> {
+        smg_lang::compile_mdp(checked)
+    }
 }

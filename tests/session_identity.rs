@@ -1,0 +1,218 @@
+//! `CheckSession::check_all` is result-identical to one-by-one
+//! `check_query` / `check_mdp_query` calls — values (bit-exact),
+//! intervals, solver tags and verdicts — over randomized models and
+//! randomized property batches, in both plain and certified modes.
+//!
+//! This is the session cache's soundness contract: keys are exact solver
+//! inputs and both paths run the same code, so memoization may only ever
+//! *skip* recomputation, never change an answer. Batches draw properties
+//! with repetition, so cache hits (same formula twice) and shared
+//! subformulas (different formulas, same targets) are both exercised.
+
+use proptest::prelude::*;
+use statguard_mimo::dtmc::matrix::CsrMatrix;
+use statguard_mimo::dtmc::{BitVec, Dtmc, TransitionMatrix};
+use statguard_mimo::mdp::{Mdp, MdpBuilder};
+use statguard_mimo::pctl::{
+    check_mdp_query_with, check_query_with, parse_property, CheckOptions, CheckSession,
+};
+use std::collections::BTreeMap;
+
+/// Strategy: a random row-stochastic chain with two labels and 0/1
+/// rewards tied to the first.
+fn arb_dtmc(max_n: usize) -> impl Strategy<Value = Dtmc> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            let row = proptest::collection::vec((0..n as u32, 1u32..=100), 1..=4);
+            let rows = proptest::collection::vec(row, n);
+            let a = proptest::collection::vec(any::<bool>(), n);
+            let b = proptest::collection::vec(any::<bool>(), n);
+            (Just(n), rows, a, b)
+        })
+        .prop_map(|(n, raw_rows, a, b)| {
+            let rows: Vec<Vec<(u32, f64)>> = raw_rows
+                .into_iter()
+                .map(|r| {
+                    let total: u32 = r.iter().map(|&(_, w)| w).sum();
+                    r.into_iter()
+                        .map(|(c, w)| (c, w as f64 / total as f64))
+                        .collect()
+                })
+                .collect();
+            let matrix = TransitionMatrix::Sparse(CsrMatrix::from_rows(rows).unwrap());
+            let mut labels = BTreeMap::new();
+            labels.insert("a".to_string(), BitVec::from_fn(n, |i| a[i]));
+            labels.insert("b".to_string(), BitVec::from_fn(n, |i| b[i]));
+            let rewards: Vec<f64> = (0..n).map(|i| if a[i] { 1.0 } else { 0.0 }).collect();
+            Dtmc::new(matrix, vec![(0, 1.0)], labels, rewards).unwrap()
+        })
+}
+
+/// Strategy: a random MDP with 1..=3 actions per state, two labels, 0/1
+/// rewards tied to the first.
+fn arb_mdp(max_n: usize) -> impl Strategy<Value = Mdp> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            let action = proptest::collection::vec((0..n as u32, 1u32..=100), 1..=3);
+            let state = proptest::collection::vec(action, 1..=3);
+            let states = proptest::collection::vec(state, n);
+            let a = proptest::collection::vec(any::<bool>(), n);
+            let b = proptest::collection::vec(any::<bool>(), n);
+            (Just(n), states, a, b)
+        })
+        .prop_map(|(n, states, a, b)| {
+            let mut builder = MdpBuilder::default();
+            for actions in &states {
+                for action in actions {
+                    let total: u32 = action.iter().map(|&(_, w)| w).sum();
+                    let mut row: Vec<(u32, f64)> = action
+                        .iter()
+                        .map(|&(c, w)| (c, w as f64 / total as f64))
+                        .collect();
+                    builder.push_action(&mut row).unwrap();
+                }
+                builder.finish_state().unwrap();
+            }
+            let mut labels = BTreeMap::new();
+            labels.insert("a".to_string(), BitVec::from_fn(n, |i| a[i]));
+            labels.insert("b".to_string(), BitVec::from_fn(n, |i| b[i]));
+            let rewards: Vec<f64> = (0..n).map(|i| if a[i] { 1.0 } else { 0.0 }).collect();
+            Mdp::new(builder.finish(), vec![(0, 1.0)], labels, rewards).unwrap()
+        })
+}
+
+/// DTMC property pool for plain mode. Heavy overlap by construction:
+/// `F a`, `G !a`, the threshold operator and the reachability reward all
+/// revolve around reaching `a`.
+const DTMC_PLAIN: &[&str] = &[
+    "P=? [ F a ]",
+    "P=? [ G !a ]",
+    "R=? [ F a ]",
+    "P>=0.5 [ F a ]",
+    "P=? [ a U b ]",
+    "P=? [ F<=4 b ]",
+    "P=? [ X (a & !b) ]",
+    "R=? [ I=3 ]",
+    "R=? [ C<=5 ]",
+    "S=? [ a ]",
+];
+
+/// DTMC pool for certified mode (threshold operators over unbounded paths
+/// and `S=?`-style nesting of residual iteration are rejected there).
+const DTMC_CERTIFIED: &[&str] = &[
+    "P=? [ F a ]",
+    "P=? [ G !a ]",
+    "R=? [ F a ]",
+    "P=? [ a U b ]",
+    "P=? [ F<=4 b ]",
+    "R=? [ C<=5 ]",
+];
+
+/// MDP property pool (valid in both modes).
+const MDP_POOL: &[&str] = &[
+    "Pmax=? [ F a ]",
+    "Pmin=? [ F a ]",
+    "Pmax=? [ G !a ]",
+    "Pmin=? [ G !a ]",
+    "Rmax=? [ F a ]",
+    "Rmin=? [ F a ]",
+    "Pmin=? [ a U b ]",
+    "Pmax=? [ F<=4 b ]",
+    "Rmin=? [ C<=5 ]",
+    "!a",
+];
+
+/// Bit-exact float equality that treats two NaNs as equal.
+fn same_f64(x: f64, y: f64) -> bool {
+    x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batched DTMC checking never changes an answer.
+    #[test]
+    fn dtmc_check_all_is_identical_to_one_by_one(
+        d in arb_dtmc(8),
+        picks in proptest::collection::vec(0usize..64, 2..8),
+        certified in any::<bool>(),
+    ) {
+        let (pool, opts) = if certified {
+            (DTMC_CERTIFIED, CheckOptions::certified(1e-8))
+        } else {
+            (DTMC_PLAIN, CheckOptions::default())
+        };
+        let props: Vec<_> = picks
+            .iter()
+            .map(|&i| parse_property(pool[i % pool.len()]).unwrap())
+            .collect();
+        let session = CheckSession::new(d.clone()).with_options(opts);
+        let batch = session.check_all(&props).unwrap();
+        for (p, r) in props.iter().zip(&batch) {
+            let solo = check_query_with(&d, p, &opts).unwrap();
+            prop_assert!(
+                same_f64(solo.value(), r.value()),
+                "{p}: {} vs {}", solo.value(), r.value()
+            );
+            prop_assert_eq!(solo.interval(), r.interval(), "{}", p);
+            prop_assert_eq!(solo.solver(), r.solver(), "{}", p);
+            prop_assert_eq!(solo.verdict(), r.verdict(), "{}", p);
+        }
+    }
+
+    /// Batched MDP checking never changes an answer.
+    #[test]
+    fn mdp_check_all_is_identical_to_one_by_one(
+        m in arb_mdp(6),
+        picks in proptest::collection::vec(0usize..64, 2..8),
+        certified in any::<bool>(),
+    ) {
+        let opts = if certified {
+            CheckOptions::certified(1e-8)
+        } else {
+            CheckOptions::default()
+        };
+        let props: Vec<_> = picks
+            .iter()
+            .map(|&i| parse_property(MDP_POOL[i % MDP_POOL.len()]).unwrap())
+            .collect();
+        let session = CheckSession::new(m.clone()).with_options(opts);
+        let batch = session.check_all(&props).unwrap();
+        for (p, r) in props.iter().zip(&batch) {
+            let solo = check_mdp_query_with(&m, p, &opts).unwrap();
+            prop_assert!(
+                same_f64(solo.value(), r.value()),
+                "{p}: {} vs {}", solo.value(), r.value()
+            );
+            prop_assert_eq!(solo.interval(), r.interval(), "{}", p);
+            prop_assert_eq!(solo.solver(), r.solver(), "{}", p);
+            prop_assert_eq!(solo.verdict(), r.verdict(), "{}", p);
+        }
+    }
+
+    /// Checking the same property twice in one session returns identical
+    /// results (the second answer comes from the cache) and records hits.
+    /// (The pool skips `R=? [ I=t ]` / `R=? [ C<=t ]`, which are pure
+    /// transient arithmetic over the reward vector and resolve no state
+    /// formula — nothing to memoize.)
+    #[test]
+    fn repeated_queries_hit_the_cache_without_changing_answers(
+        d in arb_dtmc(8),
+        idx in 0usize..64,
+    ) {
+        let pool: Vec<&str> = DTMC_PLAIN
+            .iter()
+            .copied()
+            .filter(|p| !p.starts_with("R=? [ I") && !p.starts_with("R=? [ C"))
+            .collect();
+        let prop = parse_property(pool[idx % pool.len()]).unwrap();
+        let session = CheckSession::new(d);
+        let first = session.check(&prop).unwrap();
+        let stats = session.cache_stats();
+        let second = session.check(&prop).unwrap();
+        prop_assert!(same_f64(first.value(), second.value()));
+        prop_assert_eq!(first.interval(), second.interval());
+        prop_assert_eq!(first.solver(), second.solver());
+        prop_assert!(session.cache_stats().hits > stats.hits);
+    }
+}

@@ -28,6 +28,13 @@
 //!   bound (a dual sweep does roughly twice the work per iteration, plus
 //!   the qualitative pre-pass, minus whatever the residual test
 //!   under-iterates);
+//! * a `topo` section: topological (SCC-ordered) solving against the
+//!   global solvers on a layered feed-forward chain
+//!   ([`smg_dtmc::synthetic::layered_chain`], depth 100) at the SpMV
+//!   sizes — plain value iteration and certified interval iteration each
+//!   timed both ways. The chain is all trivial SCCs, so the topological
+//!   drivers collapse to one backsubstitution pass where the global
+//!   solvers iterate to convergence over the whole matrix;
 //! * a `session` section: a four-property family with shared targets
 //!   (`F target`, its threshold form, the reachability reward and
 //!   `G !target`) checked through one `CheckSession::check_all` against
@@ -367,6 +374,70 @@ fn main() {
         certified_entries.push((n, plain, interval));
     }
 
+    // Topological vs global solving on the layered chain: the shape the
+    // paper's pipeline models take (a DAG of trivial SCCs), where
+    // SCC-ordered backsubstitution replaces global convergence outright.
+    // Width scales with n at fixed depth 100, so the per-iteration matrix
+    // cost grows while the global solvers' iteration count stays pinned
+    // by the diameter — the honest comparison for the speedup claim.
+    struct TopoEntry {
+        n: usize,
+        global_vi_ns: f64,
+        topo_vi_ns: f64,
+        global_certified_ns: f64,
+        topo_certified_ns: f64,
+    }
+    let mut topo_entries: Vec<TopoEntry> = Vec::new();
+    for &n in spmv_sizes {
+        let depth = 100;
+        let width = (n / depth).max(1);
+        let dtmc = smg_dtmc::synthetic::layered_chain(depth, width);
+        let target = dtmc.label("target").expect("generator labels").clone();
+        let reps = if n >= 1_000_000 {
+            2
+        } else if n >= 100_000 {
+            3
+        } else {
+            5
+        };
+        let (global_vi, topo_vi) = time_pair_ns(
+            reps,
+            || {
+                smg_dtmc::transient::unbounded_reach_values(&dtmc, &target, 1e-8, 1_000_000)
+                    .expect("global VI converges")
+            },
+            || {
+                smg_dtmc::solve::topo_reach_values(&dtmc, &target, 1e-8, 1_000_000)
+                    .expect("topological VI converges")
+            },
+        );
+        let (global_cert, topo_cert) = time_pair_ns(
+            reps,
+            || {
+                smg_dtmc::solve::interval_reach_values(&dtmc, &target, 1e-8, 10_000_000)
+                    .expect("global interval iteration converges")
+            },
+            || {
+                smg_dtmc::solve::topo_interval_reach_values(&dtmc, &target, 1e-8, 10_000_000)
+                    .expect("topological interval iteration converges")
+            },
+        );
+        eprintln!(
+            "topo n={}: VI {global_vi:.0} -> {topo_vi:.0} ns ({:.2}x), \
+             certified {global_cert:.0} -> {topo_cert:.0} ns ({:.2}x)",
+            dtmc.n_states(),
+            global_vi / topo_vi.max(1.0),
+            global_cert / topo_cert.max(1.0)
+        );
+        topo_entries.push(TopoEntry {
+            n: dtmc.n_states(),
+            global_vi_ns: global_vi,
+            topo_vi_ns: topo_vi,
+            global_certified_ns: global_cert,
+            topo_certified_ns: topo_cert,
+        });
+    }
+
     // Session amortization: one CheckSession over a shared-subformula
     // property family vs the naive per-call loop. The family is chosen so
     // the unbounded reachability solve of `F target` is the dominant cost
@@ -528,6 +599,22 @@ fn main() {
             } else {
                 ""
             }
+        );
+    }
+    json.push_str("  ],\n  \"topo\": [\n");
+    for (i, e) in topo_entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"global_vi_ns\": {:.1}, \"topo_vi_ns\": {:.1}, \
+             \"global_certified_ns\": {:.1}, \"topo_certified_ns\": {:.1}, \
+             \"certified_speedup\": {:.3}}}{}",
+            e.n,
+            e.global_vi_ns,
+            e.topo_vi_ns,
+            e.global_certified_ns,
+            e.topo_certified_ns,
+            e.global_certified_ns / e.topo_certified_ns.max(1.0),
+            if i + 1 < topo_entries.len() { "," } else { "" }
         );
     }
     json.push_str("  ],\n  \"session\": [\n");

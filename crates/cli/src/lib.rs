@@ -95,6 +95,7 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
             props,
             prop_files,
             certified,
+            topo,
             format,
             options,
         } => {
@@ -119,6 +120,9 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
             let mut session = CheckSession::new(compiled.model);
             if let Some(eps) = certified {
                 session = session.certified(*eps);
+            }
+            if *topo {
+                session = session.topological();
             }
             let results = session.check_all(&properties)?;
             match format {
@@ -185,6 +189,14 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
                     }
                     let bsccs = graph::bsccs(d);
                     let _ = writeln!(out, "BSCCs: {}", bsccs.len());
+                    let cond = graph::Condensation::new(d);
+                    let _ = writeln!(
+                        out,
+                        "SCCs: {} (largest {} states, condensation depth {})",
+                        cond.n_components(),
+                        cond.largest(),
+                        cond.dag_depth()
+                    );
                     let _ = writeln!(out, "Irreducible: {}", graph::is_irreducible(d));
                     match graph::period(d) {
                         Some(p) => {
@@ -212,6 +224,14 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
                         "Mean actions per state: {:.3}",
                         m.n_choices() as f64 / m.n_states().max(1) as f64
                     );
+                    let cond = smg_mdp::qual::Condensation::new(m);
+                    let _ = writeln!(
+                        out,
+                        "SCCs: {} (largest {} states, condensation depth {})",
+                        cond.n_components(),
+                        cond.largest(),
+                        cond.dag_depth()
+                    );
                 }
             }
             let _ = writeln!(
@@ -224,7 +244,8 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
                 out,
                 "Solvers: transient (bounded, exact arithmetic); value-iteration \
                  (unbounded, residual test); interval-iteration (unbounded, certified \
-                 — `check --certified EPS`)"
+                 — `check --certified EPS`); topological-interval-iteration \
+                 (certified, SCC-ordered — add `--topo`)"
             );
             Ok(out)
         }
@@ -596,6 +617,7 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into(), "P=? [ G<=3 !err ]".into()],
             certified: None,
+            topo: false,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -614,6 +636,7 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["P=? [ F err ]".into(), "P=? [ G<=3 !err ]".into()],
             certified: Some(1e-9),
+            topo: false,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -632,6 +655,7 @@ mod tests {
             model: mpath.to_string_lossy().into_owned(),
             props: vec!["Pmax=? [ G !err ]".into()],
             certified: Some(1e-9),
+            topo: false,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -646,6 +670,7 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["P=? [ F err ]".into()],
             certified: None,
+            topo: false,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -653,6 +678,43 @@ mod tests {
         .unwrap();
         assert!(out.contains("Solver: value-iteration"), "{out}");
         assert!(!out.contains("Certified interval"), "{out}");
+    }
+
+    #[test]
+    fn topological_check_tags_the_solver() {
+        let path = write_model("channel_topo.sm", CHANNEL);
+        let out = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec!["P=? [ F err ]".into()],
+            certified: Some(1e-9),
+            topo: true,
+            prop_files: vec![],
+            format: OutputFormat::Text,
+            options: opts(),
+        })
+        .unwrap();
+        assert!(
+            out.contains("Solver: topological-interval-iteration"),
+            "{out}"
+        );
+        assert!(out.contains("Certified interval: ["), "{out}");
+        assert!(out.contains("Result: 1.000000"), "{out}");
+        // The MDP engine routes through the same flag.
+        let mpath = write_model("regime_topo.sm", REGIME_MDP);
+        let out = run(&Cmd::Check {
+            model: mpath.to_string_lossy().into_owned(),
+            props: vec!["Pmax=? [ F err ]".into()],
+            certified: Some(1e-9),
+            topo: true,
+            prop_files: vec![],
+            format: OutputFormat::Text,
+            options: opts(),
+        })
+        .unwrap();
+        assert!(
+            out.contains("Solver: topological-interval-iteration"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -666,6 +728,11 @@ mod tests {
         assert!(out.contains("Label \"err\": 1 states"), "{out}");
         assert!(out.contains("Irreducible: true"), "{out}");
         assert!(out.contains("Ergodic: true"), "{out}");
+        // The 2-state channel is one SCC of 2 states, condensation depth 1.
+        assert!(
+            out.contains("SCCs: 1 (largest 2 states, condensation depth 1)"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -753,6 +820,7 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into()],
             certified: None,
+            topo: false,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: Options {
@@ -767,6 +835,7 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into()],
             certified: None,
+            topo: false,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: Options {
@@ -781,6 +850,7 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into()],
             certified: None,
+            topo: false,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: Options {
@@ -818,6 +888,7 @@ mod tests {
                 "Pmin=? [ G<=2 !err ]".into(),
             ],
             certified: None,
+            topo: false,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -840,6 +911,7 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["P=? [ F<=2 err ]".into()],
             certified: None,
+            topo: false,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -858,6 +930,11 @@ mod tests {
         .unwrap();
         assert!(out.contains("Label \"err\": 1 states"), "{out}");
         assert!(out.contains("Max actions per state: 2"), "{out}");
+        // !err can stay put or move to absorbing err: two singleton SCCs.
+        assert!(
+            out.contains("SCCs: 2 (largest 1 states, condensation depth 2)"),
+            "{out}"
+        );
         let tra = run(&Cmd::Export {
             model: path.to_string_lossy().into_owned(),
             format: "tra".into(),
@@ -912,6 +989,7 @@ mod tests {
             model: dpath.to_string_lossy().into_owned(),
             props: vec!["P=? [ G<=3 !err ]".into()],
             certified: None,
+            topo: false,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -921,6 +999,7 @@ mod tests {
             model: mpath.to_string_lossy().into_owned(),
             props: vec!["Pmin=? [ G<=3 !err ]".into(), "Pmax=? [ G<=3 !err ]".into()],
             certified: None,
+            topo: false,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -950,6 +1029,7 @@ mod tests {
             props: vec!["S=? [ err ]".into()],
             prop_files: vec![props_path.to_string_lossy().into_owned()],
             certified: None,
+            topo: false,
             format: OutputFormat::Text,
             options: opts(),
         })
@@ -970,6 +1050,7 @@ mod tests {
             props: vec![],
             prop_files: vec![empty.to_string_lossy().into_owned()],
             certified: None,
+            topo: false,
             format: OutputFormat::Text,
             options: opts(),
         })
@@ -992,6 +1073,7 @@ mod tests {
             ],
             prop_files: vec![],
             certified: None,
+            topo: false,
             format: OutputFormat::Json,
             options: opts(),
         })
@@ -1037,6 +1119,7 @@ mod tests {
             props: vec!["P=? [ F err ]".into()],
             prop_files: vec![],
             certified: Some(1e-9),
+            topo: false,
             format: OutputFormat::Json,
             options: opts(),
         })
@@ -1057,6 +1140,7 @@ mod tests {
             props: vec!["Pmax=? [ F<=2 err ]".into()],
             prop_files: vec![],
             certified: None,
+            topo: false,
             format: OutputFormat::Json,
             options: opts(),
         })
@@ -1093,6 +1177,7 @@ mod tests {
             model: dir.join("chan.tra").to_string_lossy().into_owned(),
             props: vec!["R=? [ I=10 ]".into(), "S=? [ err ]".into()],
             certified: None,
+            topo: false,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -1136,6 +1221,7 @@ mod tests {
             model: path.to_string_lossy().into_owned(),
             props: vec!["P=? [ H err ]".into()],
             certified: None,
+            topo: false,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),

@@ -241,6 +241,109 @@ pub fn can_reach(dtmc: &Dtmc, target: &BitVec, avoid: Option<&BitVec>) -> BitVec
     reach
 }
 
+/// The condensation of the chain's digraph: its strongly-connected
+/// components together with the component-of map and the DAG structure the
+/// topological solvers ([`crate::solve`]'s `topo_*` drivers) walk.
+///
+/// Components are stored in reverse topological order (successors before
+/// predecessors, [`sccs`]' output order), so iterating them by ascending
+/// index — or level by level via [`Condensation::comps_at_level`] — visits
+/// every component only after all components it can reach. Built by the
+/// same iterative Tarjan as [`sccs`], so it is stack-safe at millions of
+/// states.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    comps: Vec<Vec<u32>>,
+    comp_of: Vec<u32>,
+    /// Per-component DAG level: 0 for sink components, else
+    /// `1 + max(level of successor components)`.
+    level: Vec<u32>,
+    /// Component indices bucketed by level (`by_level[l]` lists the
+    /// components at level `l`). Components at one level cannot reach each
+    /// other, which is what makes them independent parallel work units.
+    by_level: Vec<Vec<u32>>,
+}
+
+impl Condensation {
+    /// Builds the condensation of a chain's digraph.
+    pub fn new(dtmc: &Dtmc) -> Condensation {
+        let comps = sccs(dtmc);
+        let n = dtmc.n_states();
+        let mut comp_of = vec![0u32; n];
+        for (ci, comp) in comps.iter().enumerate() {
+            for &s in comp {
+                comp_of[s as usize] = ci as u32;
+            }
+        }
+        // Components arrive successors-first, so one forward pass settles
+        // every level before it is read.
+        let mut level = vec![0u32; comps.len()];
+        for (ci, comp) in comps.iter().enumerate() {
+            let mut l = 0u32;
+            for &s in comp {
+                for (c, _) in dtmc.matrix().row_iter(s as usize) {
+                    let tc = comp_of[c as usize] as usize;
+                    if tc != ci {
+                        l = l.max(level[tc] + 1);
+                    }
+                }
+            }
+            level[ci] = l;
+        }
+        let depth = level.iter().copied().max().map_or(0, |d| d as usize + 1);
+        let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); depth];
+        for (ci, &l) in level.iter().enumerate() {
+            by_level[l as usize].push(ci as u32);
+        }
+        Condensation {
+            comps,
+            comp_of,
+            level,
+            by_level,
+        }
+    }
+
+    /// The components, each a sorted state list, in reverse topological
+    /// order (successors before predecessors).
+    pub fn comps(&self) -> &[Vec<u32>] {
+        &self.comps
+    }
+
+    /// The component index of each state.
+    pub fn comp_of(&self) -> &[u32] {
+        &self.comp_of
+    }
+
+    /// The number of components.
+    pub fn n_components(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// The size of the largest component.
+    pub fn largest(&self) -> usize {
+        self.comps.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The DAG level of component `ci`: 0 for sink components, else one
+    /// more than the deepest successor component.
+    pub fn level(&self, ci: usize) -> u32 {
+        self.level[ci]
+    }
+
+    /// The depth of the component DAG: the number of levels (the length of
+    /// the longest component chain). 0 only for the empty chain.
+    pub fn dag_depth(&self) -> usize {
+        self.by_level.len()
+    }
+
+    /// The component indices at DAG level `l` (0 = sinks). Components at
+    /// one level cannot reach each other; solving level by level (ascending
+    /// `l`) sees every successor component already solved.
+    pub fn comps_at_level(&self, l: usize) -> &[u32] {
+        &self.by_level[l]
+    }
+}
+
 fn gcd(a: u64, b: u64) -> u64 {
     if b == 0 {
         a
@@ -377,6 +480,53 @@ mod tests {
         let certain = can_reach(&d, &s0, Some(&goal)).not();
         // Certain: 1 (goes straight to goal) and goal itself; 0 is not.
         assert!(!certain.get(0) && certain.get(1) && certain.get(2) && !certain.get(3));
+    }
+
+    #[test]
+    fn condensation_levels_and_stats() {
+        // 0 branches to absorbing 1 and 2-cycle {2,3}; 4 feeds 0.
+        let d = dtmc_from_rows(vec![
+            vec![(1, 0.5), (2, 0.5)],
+            vec![(1, 1.0)],
+            vec![(3, 1.0)],
+            vec![(2, 1.0)],
+            vec![(0, 1.0)],
+        ]);
+        let c = Condensation::new(&d);
+        assert_eq!(c.n_components(), 4);
+        assert_eq!(c.largest(), 2);
+        assert_eq!(c.dag_depth(), 3); // {4} → {0} → sinks
+                                      // Reverse topological order: every edge points to an
+                                      // earlier-indexed component.
+        for s in 0..d.n_states() {
+            for (t, _) in d.matrix().row_iter(s) {
+                let (cs, ct) = (c.comp_of()[s] as usize, c.comp_of()[t as usize] as usize);
+                assert!(ct <= cs, "edge {s}→{t} breaks reverse topo order");
+                if cs != ct {
+                    assert!(c.level(cs) > c.level(ct));
+                }
+            }
+        }
+        // Sinks at level 0, and levels partition the components.
+        for &ci in c.comps_at_level(0) {
+            assert!(c.comps()[ci as usize] == vec![1] || c.comps()[ci as usize] == vec![2, 3]);
+        }
+        let total: usize = (0..c.dag_depth()).map(|l| c.comps_at_level(l).len()).sum();
+        assert_eq!(total, c.n_components());
+    }
+
+    #[test]
+    fn condensation_deep_chain_is_stack_safe() {
+        // A 50k-deep pure chain: recursion-based Tarjan would overflow.
+        let n = 50_000;
+        let rows: Vec<Vec<(u32, f64)>> = (0..n)
+            .map(|i| vec![((i + 1).min(n - 1) as u32, 1.0)])
+            .collect();
+        let d = dtmc_from_rows(rows);
+        let c = Condensation::new(&d);
+        assert_eq!(c.n_components(), n as usize);
+        assert_eq!(c.dag_depth(), n as usize);
+        assert_eq!(c.largest(), 1);
     }
 
     #[test]

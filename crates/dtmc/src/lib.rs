@@ -52,6 +52,30 @@
 //!   per shard; state ids, rows, and the matrix are bit-identical to the
 //!   sequential BFS whatever the shard or thread count.
 //!
+//! # Topological solving
+//!
+//! Unbounded solvers normally iterate the whole state space until the
+//! slowest state converges. The `topo_*` family in [`solve`] instead
+//! condenses the chain to its SCC DAG ([`graph::Condensation`]) and solves
+//! one component at a time in reverse topological order; on layered models
+//! (every SCC trivial) the certified interval solver collapses to a single
+//! closed-form backsubstitution pass:
+//!
+//! ```
+//! use smg_dtmc::{graph::Condensation, solve, synthetic::layered_chain};
+//!
+//! let chain = layered_chain(50, 4); // 50 layers × 4 states, all-trivial SCCs
+//! let cond = Condensation::new(&chain);
+//! assert_eq!(cond.largest(), 1);
+//!
+//! let target = chain.label("target")?.clone();
+//! let cert = solve::topo_interval_reach_values(&chain, &target, 1e-9, 10_000)?;
+//! // Certified bracket around the exact 0.5, solved without global sweeps.
+//! assert!(cert.lo[0] <= 0.5 && 0.5 <= cert.hi[0]);
+//! assert!(cert.width() < 1e-9);
+//! # Ok::<(), smg_dtmc::DtmcError>(())
+//! ```
+//!
 //! # Example
 //!
 //! ```
@@ -104,6 +128,7 @@ pub mod par;
 pub mod pool;
 pub mod solve;
 pub mod stats;
+pub mod synthetic;
 pub mod transient;
 pub mod wrappers;
 

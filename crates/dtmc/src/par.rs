@@ -33,6 +33,64 @@
 
 use crate::pool;
 
+#[cfg(feature = "parallel")]
+thread_local! {
+    /// An explicit lane count scoped to the current thread (see
+    /// [`with_lane_scope`]); `None` means the process-wide configuration
+    /// (`SMG_THREADS` / detected parallelism) applies.
+    static LANE_SCOPE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Runs `f` with every parallel kernel dispatched *from this thread*
+/// pinned to `lanes` worker lanes (a dedicated shared pool,
+/// [`pool::shared`]), overriding the process-wide `SMG_THREADS`
+/// configuration for the dynamic extent of the call. A lane count of 1
+/// forces the sequential fallbacks. Scopes nest — the innermost wins —
+/// and the previous scope is restored on exit. Without the `parallel`
+/// feature this is a plain call.
+///
+/// This is how [`smg-pctl`'s] `CheckSession::threads` pins the *chain*
+/// kernels (interval sweeps, backward products), which read the global
+/// configuration rather than taking a pool parameter the way the MDP
+/// value-iteration options do.
+///
+/// [`smg-pctl`'s]: https://docs.rs/smg-pctl
+pub fn with_lane_scope<R>(lanes: usize, f: impl FnOnce() -> R) -> R {
+    #[cfg(feature = "parallel")]
+    {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                LANE_SCOPE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(LANE_SCOPE.with(|c| c.replace(Some(lanes.max(1)))));
+        f()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = lanes;
+        f()
+    }
+}
+
+/// The lane count scoped to the current thread, when one is set.
+#[cfg(feature = "parallel")]
+fn scoped_lanes() -> Option<usize> {
+    LANE_SCOPE.with(std::cell::Cell::get)
+}
+
+/// The pool kernels on this thread should dispatch onto: the scoped
+/// shared pool inside [`with_lane_scope`], the process-wide [`pool::global`]
+/// otherwise.
+pub fn scoped_pool() -> &'static pool::Pool {
+    #[cfg(feature = "parallel")]
+    if let Some(lanes) = scoped_lanes() {
+        return pool::shared(lanes);
+    }
+    pool::global()
+}
+
 /// Default row-count threshold below which kernels stay sequential.
 ///
 /// Chosen so that a pool dispatch (~1 µs of fork-join overhead against
@@ -99,8 +157,15 @@ fn par_threshold() -> usize {
     })
 }
 
-/// Whether a kernel over `rows` rows should take its parallel path.
+/// Whether a kernel over `rows` rows should take its parallel path. A
+/// [`with_lane_scope`] on the current thread overrides the process-wide
+/// lane configuration (1 lane disables parallelism outright); the
+/// `min_rows` threshold applies either way.
 pub fn should_parallelize(rows: usize) -> bool {
+    #[cfg(feature = "parallel")]
+    if let Some(lanes) = scoped_lanes() {
+        return lanes > 1 && rows >= min_rows();
+    }
     let t = par_threshold();
     t != usize::MAX && rows >= t
 }
@@ -119,11 +184,15 @@ where
     F: Fn(usize, &mut [T]) -> R + Sync,
 {
     let n = data.len();
-    let threads = max_threads().min(n / min_chunk.max(1)).max(1);
+    #[cfg(feature = "parallel")]
+    let lanes = scoped_lanes().unwrap_or_else(max_threads);
+    #[cfg(not(feature = "parallel"))]
+    let lanes = 1;
+    let threads = lanes.min(n / min_chunk.max(1)).max(1);
     if threads <= 1 || cfg!(not(feature = "parallel")) {
         return vec![f(0, data)];
     }
-    pool::global().map_chunks(data, n.div_ceil(threads), &f)
+    scoped_pool().map_chunks(data, n.div_ceil(threads), &f)
 }
 
 #[cfg(test)]
@@ -151,6 +220,35 @@ mod tests {
         let mut data = [1u8; 10];
         let results = chunked_map(&mut data, 1000, |off, chunk| (off, chunk.len()));
         assert_eq!(results, vec![(0, 10)]);
+    }
+
+    #[test]
+    fn lane_scope_overrides_and_restores() {
+        // Inside a 1-lane scope nothing parallelizes, whatever the
+        // process-wide configuration; the prior state returns on exit.
+        let before = should_parallelize(min_rows());
+        with_lane_scope(1, || {
+            assert!(!should_parallelize(usize::MAX / 2));
+            // Scopes nest, innermost wins.
+            with_lane_scope(3, || {
+                assert_eq!(
+                    should_parallelize(min_rows()),
+                    cfg!(feature = "parallel"),
+                    "3-lane scope parallelizes at the threshold"
+                );
+            });
+            assert!(!should_parallelize(usize::MAX / 2));
+            // chunked_map respects the scope: one chunk, inline.
+            let mut data: Vec<u64> = (0..100_000).collect();
+            let results = chunked_map(&mut data, 1, |off, chunk| (off, chunk.len()));
+            assert_eq!(results, vec![(0, 100_000)]);
+        });
+        assert_eq!(should_parallelize(min_rows()), before);
+        // The scoped pool matches the scope's lane count.
+        #[cfg(feature = "parallel")]
+        with_lane_scope(2, || {
+            assert_eq!(scoped_pool().lanes(), 2);
+        });
     }
 
     #[test]

@@ -452,6 +452,26 @@ pub fn with_lanes(lanes: usize) -> &'static Pool {
     pool
 }
 
+/// The shared pool for an explicit lane count, created once per count per
+/// process. Unlike [`with_lanes`] — which deliberately leaks a *fresh*
+/// pool on every call for bench isolation — this memoizes, so callers
+/// that pin a lane count repeatedly (checking sessions, parameter sweeps)
+/// do not accumulate parked OS threads without bound.
+pub fn shared(lanes: usize) -> &'static Pool {
+    static POOLS: OnceLock<Mutex<Vec<(usize, &'static Pool)>>> = OnceLock::new();
+    let lanes = lanes.max(1);
+    let mut pools = POOLS
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(&(_, p)) = pools.iter().find(|&&(n, _)| n == lanes) {
+        return p;
+    }
+    let p = with_lanes(lanes);
+    pools.push((lanes, p));
+    p
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

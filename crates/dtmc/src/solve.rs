@@ -58,7 +58,6 @@ use crate::error::DtmcError;
 use crate::graph;
 use crate::matrix::{CsrMatrix, TransitionMatrix};
 use crate::par;
-use crate::pool;
 
 /// Minimum rows per worker block in the hybrid sweep. Matches the matrix
 /// kernels' chunking (half of [`crate::par::PAR_MIN_ROWS`]), so a chain
@@ -285,7 +284,7 @@ const INTERVAL_CHUNK: usize = 2_048;
 ///
 /// Both bounds ride one matrix walk. Above the engine's parallel threshold
 /// the output is cut into [`INTERVAL_CHUNK`]-sized chunks claimed through
-/// the pool's atomic cursor ([`pool::Pool::map_chunks_dynamic`]); the sweep
+/// the pool's atomic cursor ([`crate::pool::Pool::map_chunks_dynamic`]); the sweep
 /// reads only the previous iterate, so results are bit-identical to the
 /// sequential fallback for every lane count and chunk geometry.
 fn interval_sweep(
@@ -321,7 +320,7 @@ fn interval_sweep(
         width
     };
     if par::should_parallelize(n) {
-        pool::global()
+        par::scoped_pool()
             .map_chunks_dynamic(next, INTERVAL_CHUNK, &|offset, chunk| body(offset, chunk))
             .into_iter()
             .fold(0.0, f64::max)
@@ -515,6 +514,477 @@ fn hitting_probe(dtmc: &Dtmc, target: &BitVec, active: &BitVec) -> Result<(usize
         iterations: n,
         residual: 0.0,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Topological (SCC-ordered) solving
+// ---------------------------------------------------------------------------
+//
+// Every solver above iterates the *whole* state space until its slowest
+// state converges. The `topo_*` family instead condenses the chain to its
+// SCC DAG ([`graph::Condensation`]) and solves one component at a time in
+// reverse topological order (sinks first), with already-solved successor
+// values folded in as constants:
+//
+// * **Trivial SCCs** (single state, the common case in layered models)
+//   collapse to one closed-form backsubstitution
+//   `x_i = (r_i + Σ_{c≠i} p_c·x_c) / (1 − p_ii)` — no iteration at all.
+//   All trivial components of one DAG level are independent, so they are
+//   evaluated as a single batch dispatched onto the persistent worker pool.
+// * **Non-trivial SCCs** run in-place Gauss–Seidel (or, certified, a dual
+//   in-place sweep) restricted to the component's states, terminating on a
+//   *component-local* test. Convergence cost concentrates on the components
+//   that need it instead of being paid globally.
+//
+// Soundness of the certified variants is per-component: every active state
+// of a component leaves it almost surely (active states reach the target,
+// which lies outside), so `(I − P_CC)` is invertible and the component
+// fixpoint's interval width is a convex combination of the already-certified
+// successor widths — strictly below ε, with no compounding across DAG depth.
+// Each individual in-place update preserves `lo ≤ x* ≤ hi` because the
+// diagonal-solved row is monotone in its off-diagonal reads.
+
+/// One diagonal-solved row over a generic matrix: `(r + Σ_{c≠i} p_c·read(c))
+/// / (1 − p_ii)`, with pure self-loops pinned to zero (they cannot occur in
+/// an active region, which by construction reaches the target).
+#[inline]
+fn solved_row(
+    matrix: &TransitionMatrix,
+    i: usize,
+    reward: f64,
+    read: impl Fn(usize) -> f64,
+) -> f64 {
+    let mut acc = reward;
+    let mut self_loop = 0.0;
+    for (c, p) in matrix.row_iter(i) {
+        if c as usize == i {
+            self_loop += p;
+        } else {
+            acc += p * read(c as usize);
+        }
+    }
+    if self_loop < 1.0 {
+        acc / (1.0 - self_loop)
+    } else {
+        0.0
+    }
+}
+
+/// The dual-bound twin of [`solved_row`]: both bounds ride one row walk,
+/// so a state's pair is always updated consistently (`lo ≤ hi` is preserved
+/// whenever every read pair satisfies it).
+#[inline]
+fn solved_row_pair(
+    matrix: &TransitionMatrix,
+    i: usize,
+    reward: f64,
+    read: impl Fn(usize) -> (f64, f64),
+) -> (f64, f64) {
+    let mut lo = reward;
+    let mut hi = reward;
+    let mut self_loop = 0.0;
+    for (c, p) in matrix.row_iter(i) {
+        if c as usize == i {
+            self_loop += p;
+        } else {
+            let (l, h) = read(c as usize);
+            lo += p * l;
+            hi += p * h;
+        }
+    }
+    if self_loop < 1.0 {
+        let scale = 1.0 / (1.0 - self_loop);
+        (lo * scale, hi * scale)
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+/// Splits one DAG level into the batch of trivial (singleton) active states
+/// and the ids of non-trivial components that contain active states.
+/// Components with no active state are already fully pinned and skipped.
+fn split_level(
+    cond: &graph::Condensation,
+    level: usize,
+    active: &BitVec,
+    batch: &mut Vec<u32>,
+    nontrivial: &mut Vec<u32>,
+) {
+    batch.clear();
+    nontrivial.clear();
+    for &ci in cond.comps_at_level(level) {
+        let comp = &cond.comps()[ci as usize];
+        if let [s] = comp[..] {
+            if active.get(s as usize) {
+                batch.push(s);
+            }
+        } else if comp.iter().any(|&s| active.get(s as usize)) {
+            nontrivial.push(ci);
+        }
+    }
+}
+
+/// The shared per-level driver for the plain topological solvers: walks the
+/// condensation level by level (sinks first), backsubstituting trivial
+/// components in pool-dispatched batches and running component-local
+/// Gauss–Seidel on the rest. `x` arrives with all inactive states pinned.
+fn topo_values_driver(
+    matrix: &TransitionMatrix,
+    cond: &graph::Condensation,
+    active: &BitVec,
+    rewards: Option<&[f64]>,
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<(), DtmcError> {
+    let r_of = |i: usize| rewards.map_or(0.0, |r| r[i]);
+    let mut batch: Vec<u32> = Vec::new();
+    let mut nontrivial: Vec<u32> = Vec::new();
+    let mut scratch: Vec<f64> = Vec::new();
+    for level in 0..cond.dag_depth() {
+        split_level(cond, level, active, &mut batch, &mut nontrivial);
+        if !batch.is_empty() {
+            scratch.clear();
+            scratch.resize(batch.len(), 0.0);
+            let xr: &[f64] = x;
+            let batch_ref: &[u32] = &batch;
+            let fill = |offset: usize, chunk: &mut [f64]| {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let s = batch_ref[offset + j] as usize;
+                    *slot = solved_row(matrix, s, r_of(s), |c| xr[c]);
+                }
+            };
+            if par::should_parallelize(batch.len()) {
+                par::chunked_map(&mut scratch, PAR_MIN_CHUNK, |offset, chunk| {
+                    fill(offset, chunk);
+                });
+            } else {
+                fill(0, &mut scratch);
+            }
+            for (&s, &v) in batch.iter().zip(&scratch) {
+                x[s as usize] = v;
+            }
+        }
+        for &ci in &nontrivial {
+            let comp = &cond.comps()[ci as usize];
+            let mut converged = false;
+            for _ in 0..max_iter {
+                let mut delta: f64 = 0.0;
+                for &s in comp {
+                    let i = s as usize;
+                    if !active.get(i) {
+                        continue;
+                    }
+                    let new = solved_row(matrix, i, r_of(i), |c| x[c]);
+                    delta = delta.max((new - x[i]).abs());
+                    x[i] = new;
+                }
+                if delta < tol {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(DtmcError::NoConvergence {
+                    iterations: max_iter,
+                    residual: tol,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The certified twin of [`topo_values_driver`]: dual bounds per state,
+/// component-local width `< epsilon` instead of a residual test. Returns
+/// the number of sweeps performed (each trivial-batch level counts as one;
+/// each non-trivial component contributes its own dual sweeps).
+fn topo_interval_driver(
+    matrix: &TransitionMatrix,
+    cond: &graph::Condensation,
+    active: &BitVec,
+    rewards: Option<&[f64]>,
+    cur: &mut [(f64, f64)],
+    epsilon: f64,
+    max_iter: usize,
+) -> Result<usize, DtmcError> {
+    let r_of = |i: usize| rewards.map_or(0.0, |r| r[i]);
+    let mut iterations = 0usize;
+    let mut batch: Vec<u32> = Vec::new();
+    let mut nontrivial: Vec<u32> = Vec::new();
+    let mut scratch: Vec<(f64, f64)> = Vec::new();
+    for level in 0..cond.dag_depth() {
+        split_level(cond, level, active, &mut batch, &mut nontrivial);
+        if !batch.is_empty() {
+            iterations += 1;
+            scratch.clear();
+            scratch.resize(batch.len(), (0.0, 0.0));
+            let cur_ref: &[(f64, f64)] = cur;
+            let batch_ref: &[u32] = &batch;
+            let fill = |offset: usize, chunk: &mut [(f64, f64)]| {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let s = batch_ref[offset + j] as usize;
+                    *slot = solved_row_pair(matrix, s, r_of(s), |c| cur_ref[c]);
+                }
+            };
+            if par::should_parallelize(batch.len()) {
+                par::chunked_map(&mut scratch, PAR_MIN_CHUNK, |offset, chunk| {
+                    fill(offset, chunk);
+                });
+            } else {
+                fill(0, &mut scratch);
+            }
+            for (&s, &pair) in batch.iter().zip(&scratch) {
+                cur[s as usize] = pair;
+            }
+        }
+        for &ci in &nontrivial {
+            let comp = &cond.comps()[ci as usize];
+            let mut converged = false;
+            for _ in 0..max_iter {
+                iterations += 1;
+                let mut width: f64 = 0.0;
+                for &s in comp {
+                    let i = s as usize;
+                    if !active.get(i) {
+                        continue;
+                    }
+                    let pair = solved_row_pair(matrix, i, r_of(i), |c| cur[c]);
+                    width = width.max(pair.1 - pair.0);
+                    cur[i] = pair;
+                }
+                if width < epsilon {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(DtmcError::NoConvergence {
+                    iterations: max_iter,
+                    residual: epsilon,
+                });
+            }
+        }
+    }
+    Ok(iterations)
+}
+
+/// Unbounded until probabilities `P(lhs U rhs)` by topological solving:
+/// same qualitative pre-pass and fixpoint as [`gauss_seidel_reach`]-style
+/// global iteration, but each SCC is solved (or backsubstituted in closed
+/// form, for trivial SCCs) with its successors' values as constants. On
+/// layered, mostly-acyclic chains this replaces global convergence with a
+/// single backsubstitution pass. `max_iter` bounds the sweeps of each
+/// individual component, not the global total.
+///
+/// # Errors
+///
+/// * [`DtmcError::DimensionMismatch`] for wrong-length bit vectors.
+/// * [`DtmcError::NoConvergence`] if some component fails to reach `tol`
+///   within `max_iter` sweeps.
+pub fn topo_until_values(
+    dtmc: &Dtmc,
+    lhs: &BitVec,
+    rhs: &BitVec,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Vec<f64>, DtmcError> {
+    let n = dtmc.n_states();
+    for bits in [lhs, rhs] {
+        if bits.len() != n {
+            return Err(DtmcError::DimensionMismatch {
+                expected: n,
+                actual: bits.len(),
+            });
+        }
+    }
+    let maybe = graph::can_reach(dtmc, rhs, Some(&lhs.not()));
+    let active = maybe.and(&rhs.not());
+    let mut x: Vec<f64> = (0..n).map(|i| if rhs.get(i) { 1.0 } else { 0.0 }).collect();
+    let cond = graph::Condensation::new(dtmc);
+    topo_values_driver(dtmc.matrix(), &cond, &active, None, &mut x, tol, max_iter)?;
+    Ok(x)
+}
+
+/// Unbounded reachability `P(F target)` by topological solving — the
+/// SCC-ordered replacement for [`gauss_seidel_reach`].
+///
+/// # Errors
+///
+/// As for [`topo_until_values`].
+pub fn topo_reach_values(
+    dtmc: &Dtmc,
+    target: &BitVec,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Vec<f64>, DtmcError> {
+    let all = BitVec::ones(dtmc.n_states());
+    topo_until_values(dtmc, &all, target, tol, max_iter)
+}
+
+/// Expected reward to `target` (PRISM `R=? [F target]`) by topological
+/// solving, with the same qualitative ∞-pinning as
+/// [`interval_reach_reward_values`].
+///
+/// # Errors
+///
+/// As for [`topo_until_values`].
+pub fn topo_reach_reward_values(
+    dtmc: &Dtmc,
+    target: &BitVec,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Vec<f64>, DtmcError> {
+    let n = dtmc.n_states();
+    if target.len() != n {
+        return Err(DtmcError::DimensionMismatch {
+            expected: n,
+            actual: target.len(),
+        });
+    }
+    let s0 = graph::can_reach(dtmc, target, None).not();
+    let certain = graph::can_reach(dtmc, &s0, Some(target)).not();
+    let active = certain.and(&target.not());
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| if certain.get(i) { 0.0 } else { f64::INFINITY })
+        .collect();
+    let cond = graph::Condensation::new(dtmc);
+    topo_values_driver(
+        dtmc.matrix(),
+        &cond,
+        &active,
+        Some(dtmc.rewards()),
+        &mut x,
+        tol,
+        max_iter,
+    )?;
+    Ok(x)
+}
+
+/// Certified `P(lhs U rhs)` by topological interval iteration: the same
+/// bracket guarantee as [`interval_until_values`] (`lo ≤ x* ≤ hi`, width
+/// `< epsilon` everywhere), but the dual iteration runs per SCC with
+/// already-certified successor bounds folded in as constants, and trivial
+/// SCCs collapse to one exact dual backsubstitution. See the module notes
+/// on why per-component widths do not compound across the DAG.
+///
+/// # Errors
+///
+/// As for [`topo_until_values`], with `epsilon` as the width target.
+pub fn topo_interval_until_values(
+    dtmc: &Dtmc,
+    lhs: &BitVec,
+    rhs: &BitVec,
+    epsilon: f64,
+    max_iter: usize,
+) -> Result<CertifiedValues, DtmcError> {
+    let n = dtmc.n_states();
+    for bits in [lhs, rhs] {
+        if bits.len() != n {
+            return Err(DtmcError::DimensionMismatch {
+                expected: n,
+                actual: bits.len(),
+            });
+        }
+    }
+    let maybe = graph::can_reach(dtmc, rhs, Some(&lhs.not()));
+    let active = maybe.and(&rhs.not());
+    let mut cur: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            if rhs.get(i) {
+                (1.0, 1.0)
+            } else if active.get(i) {
+                (0.0, 1.0)
+            } else {
+                (0.0, 0.0)
+            }
+        })
+        .collect();
+    let cond = graph::Condensation::new(dtmc);
+    let iterations = topo_interval_driver(
+        dtmc.matrix(),
+        &cond,
+        &active,
+        None,
+        &mut cur,
+        epsilon,
+        max_iter,
+    )?;
+    let (lo, hi) = cur.into_iter().unzip();
+    Ok(CertifiedValues { lo, hi, iterations })
+}
+
+/// Certified unbounded reachability by topological interval iteration —
+/// the SCC-ordered replacement for [`interval_reach_values`].
+///
+/// # Errors
+///
+/// As for [`topo_interval_until_values`].
+pub fn topo_interval_reach_values(
+    dtmc: &Dtmc,
+    target: &BitVec,
+    epsilon: f64,
+    max_iter: usize,
+) -> Result<CertifiedValues, DtmcError> {
+    let all = BitVec::ones(dtmc.n_states());
+    topo_interval_until_values(dtmc, &all, target, epsilon, max_iter)
+}
+
+/// Certified expected reachability reward by topological interval
+/// iteration — the SCC-ordered replacement for
+/// [`interval_reach_reward_values`], sharing its qualitative ∞-pinning and
+/// the one global hitting-probe upper seed.
+///
+/// # Errors
+///
+/// As for [`topo_interval_until_values`].
+pub fn topo_interval_reach_reward_values(
+    dtmc: &Dtmc,
+    target: &BitVec,
+    epsilon: f64,
+    max_iter: usize,
+) -> Result<CertifiedValues, DtmcError> {
+    let n = dtmc.n_states();
+    if target.len() != n {
+        return Err(DtmcError::DimensionMismatch {
+            expected: n,
+            actual: target.len(),
+        });
+    }
+    let s0 = graph::can_reach(dtmc, target, None).not();
+    let certain = graph::can_reach(dtmc, &s0, Some(target)).not();
+    let active = certain.and(&target.not());
+    let rewards = dtmc.rewards();
+    let r_max = active.iter_ones().map(|i| rewards[i]).fold(0.0, f64::max);
+    let seed = if r_max == 0.0 {
+        0.0
+    } else {
+        let (k, delta) = hitting_probe(dtmc, target, &active)?;
+        k as f64 * r_max / delta
+    };
+    let mut cur: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            if active.get(i) {
+                (0.0, seed)
+            } else if certain.get(i) {
+                (0.0, 0.0)
+            } else {
+                (f64::INFINITY, f64::INFINITY)
+            }
+        })
+        .collect();
+    let cond = graph::Condensation::new(dtmc);
+    let iterations = topo_interval_driver(
+        dtmc.matrix(),
+        &cond,
+        &active,
+        Some(rewards),
+        &mut cur,
+        epsilon,
+        max_iter,
+    )?;
+    let (lo, hi) = cur.into_iter().unzip();
+    Ok(CertifiedValues { lo, hi, iterations })
 }
 
 #[cfg(test)]
@@ -972,6 +1442,89 @@ mod tests {
         }
     }
 
+    #[test]
+    fn degenerate_single_scc_matches_global() {
+        // A ring where every state can reach every other (one big SCC)
+        // with a per-state escape to absorbing goal/fail states: the
+        // condensation is 3 components, and the topological drivers
+        // degrade to exactly one non-trivial component solve — the global
+        // algorithm with extra bookkeeping. The answers must not care.
+        struct Ring;
+        impl DtmcModel for Ring {
+            type State = u8;
+            fn initial_states(&self) -> Vec<(u8, f64)> {
+                vec![(0, 1.0)]
+            }
+            fn transitions(&self, s: &u8) -> Vec<(u8, f64)> {
+                match s {
+                    100 | 101 => vec![(*s, 1.0)],
+                    s => vec![((s + 1) % 40, 0.9), (100, 0.06), (101, 0.04)],
+                }
+            }
+            fn atomic_propositions(&self) -> Vec<&'static str> {
+                vec!["goal"]
+            }
+            fn holds(&self, ap: &str, s: &u8) -> bool {
+                ap == "goal" && *s == 100
+            }
+            fn state_reward(&self, s: &u8) -> f64 {
+                if *s < 100 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+        let e = explore(&Ring, &ExploreOptions::default()).unwrap();
+        let cond = crate::graph::Condensation::new(&e.dtmc);
+        assert_eq!(cond.n_components(), 3);
+        assert_eq!(cond.largest(), 40);
+        let goal = e.dtmc.label("goal").unwrap().clone();
+        let global = super::interval_reach_values(&e.dtmc, &goal, 1e-10, 10_000_000)
+            .unwrap()
+            .midpoints();
+        let topo = super::topo_interval_reach_values(&e.dtmc, &goal, 1e-10, 10_000_000).unwrap();
+        assert!(topo.width() < 1e-10);
+        let topo_mid = topo.midpoints();
+        let plain = super::topo_reach_values(&e.dtmc, &goal, 1e-12, 1_000_000).unwrap();
+        for i in 0..e.dtmc.n_states() {
+            assert!((global[i] - topo_mid[i]).abs() < 1e-9, "state {i}");
+            assert!((plain[i] - topo_mid[i]).abs() < 1e-8, "state {i}");
+        }
+        // Every ring state escapes with the same odds: P(goal) = 0.06/0.10.
+        assert!((topo_mid[0] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_chain_is_stack_safe() {
+        // A 10k-deep pure chain: 10_001 condensation levels, every SCC
+        // trivial. Recursion anywhere in the SCC decomposition or the
+        // level walk would overflow the default 8 MiB stack long before
+        // this depth; the closed forms pin the values exactly.
+        let depth = 10_000;
+        let d = crate::synthetic::layered_chain(depth, 1);
+        let cond = crate::graph::Condensation::new(&d);
+        assert_eq!(cond.n_components(), depth + 2);
+        assert_eq!(cond.dag_depth(), depth + 1);
+        let target = d.label("target").unwrap().clone();
+        let absorbing = d.label("absorbing").unwrap().clone();
+        let reach = super::topo_reach_values(&d, &target, 1e-12, 1_000_000).unwrap();
+        assert!((reach[0] - 0.5).abs() < 1e-12);
+        let cert = super::topo_interval_reach_values(&d, &target, 1e-9, 10_000_000).unwrap();
+        assert!(cert.width() < 1e-9);
+        assert!(cert.lo[0] <= 0.5 && 0.5 <= cert.hi[0]);
+        // Expected steps to absorption from the head is exactly `depth`.
+        let rew =
+            super::topo_interval_reach_reward_values(&d, &absorbing, 1e-6, 10_000_000).unwrap();
+        let want = depth as f64;
+        assert!(
+            rew.lo[0] - 1e-6 <= want && want <= rew.hi[0] + 1e-6,
+            "[{}, {}] vs {want}",
+            rew.lo[0],
+            rew.hi[0]
+        );
+    }
+
     mod proptests {
         use super::super::*;
         use crate::explore::{explore, ExploreOptions};
@@ -1203,6 +1756,78 @@ mod tests {
                         prop_assert!(
                             cert.lo[i] - slack <= *v && *v <= cert.hi[i] + slack,
                             "state {i}: exact {v} outside [{}, {}]",
+                            cert.lo[i], cert.hi[i]
+                        );
+                    }
+                }
+            }
+
+            /// Topological (SCC-ordered) solving agrees with the global
+            /// solvers on random absorbing chains: plain values within the
+            /// solver tolerance, certified intervals still ε-wide and
+            /// bracketing the exact linear-system solution.
+            #[test]
+            fn topological_matches_global_on_random_chains(
+                n in 8u32..60,
+                edges in proptest::collection::vec((0u32..64, 0u32..64, 1u32..8), 60),
+            ) {
+                let model = RandomAbsorbing { n, edges };
+                let e = explore(&model, &ExploreOptions::default()).unwrap();
+                let goal = e.dtmc.label("goal").unwrap().clone();
+                let global =
+                    transient::unbounded_reach_values(&e.dtmc, &goal, 1e-12, 1_000_000).unwrap();
+                let topo =
+                    super::super::topo_reach_values(&e.dtmc, &goal, 1e-12, 1_000_000).unwrap();
+                for (i, (t, g)) in topo.iter().zip(&global).enumerate() {
+                    prop_assert!((t - g).abs() < 1e-8, "state {i}: topo {t} vs global {g}");
+                }
+                let eps = 1e-8;
+                let cert = super::super::topo_interval_reach_values(
+                    &e.dtmc, &goal, eps, 10_000_000,
+                ).unwrap();
+                prop_assert!(cert.width() < eps);
+                let exact = exact_reach(&e.dtmc, &goal);
+                for (i, v) in exact.iter().enumerate() {
+                    prop_assert!(
+                        cert.lo[i] - 1e-10 <= *v && *v <= cert.hi[i] + 1e-10,
+                        "state {i}: exact {v} outside topo [{}, {}]",
+                        cert.lo[i], cert.hi[i]
+                    );
+                }
+            }
+
+            /// The topological reachability-reward drivers agree with the
+            /// exact solve — including the ∞ region, which the qualitative
+            /// pre-pass must pin identically however the SCCs are ordered.
+            #[test]
+            fn topological_reward_matches_exact_on_random_chains(
+                n in 8u32..60,
+                edges in proptest::collection::vec((0u32..64, 0u32..64, 1u32..8), 60),
+            ) {
+                let model = RandomAbsorbing { n, edges };
+                let e = explore(&model, &ExploreOptions::default()).unwrap();
+                let goal = e.dtmc.label("goal").unwrap().clone();
+                let exact = exact_reach_reward(&e.dtmc, &goal);
+                let topo = super::super::topo_reach_reward_values(
+                    &e.dtmc, &goal, 1e-12, 1_000_000,
+                ).unwrap();
+                let cert = super::super::topo_interval_reach_reward_values(
+                    &e.dtmc, &goal, 1e-7, 10_000_000,
+                ).unwrap();
+                prop_assert!(cert.width() < 1e-7);
+                for (i, v) in exact.iter().enumerate() {
+                    if v.is_infinite() {
+                        prop_assert_eq!(topo[i], f64::INFINITY, "state {}", i);
+                        prop_assert_eq!(cert.lo[i], f64::INFINITY, "state {}", i);
+                    } else {
+                        let slack = 1e-8 * (1.0 + v.abs());
+                        prop_assert!(
+                            (topo[i] - v).abs() < slack,
+                            "state {i}: topo {} vs exact {v}", topo[i]
+                        );
+                        prop_assert!(
+                            cert.lo[i] - slack <= *v && *v <= cert.hi[i] + slack,
+                            "state {i}: exact {v} outside topo [{}, {}]",
                             cert.lo[i], cert.hi[i]
                         );
                     }

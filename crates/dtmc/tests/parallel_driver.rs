@@ -68,7 +68,19 @@ fn ref_backward_masked(d: &Dtmc, x: &[f64], active: Option<&BitVec>) -> Vec<f64>
             if active.is_some_and(|m| !m.get(r)) {
                 return x[r];
             }
-            d.matrix().row_iter(r).map(|(c, v)| v * x[c as usize]).sum()
+            // The engine reduces each row in two interleaved streams
+            // (even/odd positions) that join at the end; mirror that order
+            // so the assertion below checks exactly what the kernel
+            // promises — threaded dispatch introduces no reassociation
+            // beyond the documented per-row reduction order.
+            let terms: Vec<f64> = d
+                .matrix()
+                .row_iter(r)
+                .map(|(c, v)| v * x[c as usize])
+                .collect();
+            let even: f64 = terms.iter().step_by(2).sum();
+            let odd: f64 = terms.iter().skip(1).step_by(2).sum();
+            even + odd
         })
         .collect()
 }

@@ -37,6 +37,41 @@
 //!   simulation, export) to scheduled MDPs — and letting the test suite pin
 //!   `Pmin`/`Pmax` against exhaustive scheduler enumeration.
 //!
+//! # Topological solving
+//!
+//! The `topo_certified_*` drivers in [`vi`] walk the SCC condensation of
+//! the any-action graph ([`qual::Condensation`]) sinks-first, solving each
+//! component with its successors' certified bounds as constants — end
+//! components never span SCCs, so deflation/inflation stays local:
+//!
+//! ```
+//! use smg_mdp::{vi, Mdp, MdpBuilder, Opt, ViOptions};
+//! use smg_dtmc::BitVec;
+//! use std::collections::BTreeMap;
+//!
+//! // 0 chooses a fair or a biased coin; 1 = goal, 2 = sink (absorbing).
+//! let mut b = MdpBuilder::default();
+//! b.push_action(&mut [(1, 0.5), (2, 0.5)])?;
+//! b.push_action(&mut [(1, 0.1), (2, 0.9)])?;
+//! b.finish_state()?;
+//! b.push_action(&mut [(1, 1.0)])?;
+//! b.finish_state()?;
+//! b.push_action(&mut [(2, 1.0)])?;
+//! b.finish_state()?;
+//! let mut labels = BTreeMap::new();
+//! labels.insert("goal".to_string(), BitVec::from_fn(3, |i| i == 1));
+//! let mdp = Mdp::new(b.finish(), vec![(0, 1.0)], labels, vec![0.0; 3])?;
+//!
+//! let cond = smg_mdp::qual::Condensation::new(&mdp);
+//! assert_eq!(cond.largest(), 1); // every SCC trivial → pure backsubstitution
+//! let goal = mdp.label("goal")?.clone();
+//! let cert =
+//!     vi::topo_certified_reach_values(&mdp, &goal, Opt::Max, 1e-9, &ViOptions::default())?;
+//! assert!(cert.lo[0] <= 0.5 && 0.5 <= cert.hi[0]);
+//! assert!(cert.width() < 1e-9);
+//! # Ok::<(), smg_dtmc::DtmcError>(())
+//! ```
+//!
 //! # Example
 //!
 //! ```

@@ -312,6 +312,109 @@ fn sccs(adj: &[Vec<u32>], comp: &[u32]) -> Vec<u32> {
     scc_of
 }
 
+/// The SCC condensation of an MDP's *any-action* transition graph: states
+/// are grouped into strongly-connected components over the union of all
+/// action supports, and components are arranged into DAG levels (level 0 =
+/// sinks, i.e. components with no outgoing cross-component edge).
+///
+/// This is the structural backbone of the topological certified drivers
+/// ([`crate::vi::topo_certified_until_values`] and friends): components are
+/// solved in ascending level order, so every cross-component read hits an
+/// already-solved constant. End components are always strongly connected
+/// through their internal actions, so **an end component never spans two
+/// SCCs** — deflation and inflation stay component-local.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    comps: Vec<Vec<u32>>,
+    comp_of: Vec<u32>,
+    by_level: Vec<Vec<u32>>,
+}
+
+impl Condensation {
+    /// Decomposes `mdp`'s any-action graph (iterative Tarjan, stack-safe at
+    /// millions of states). Component ids ascend in reverse topological
+    /// order: every cross-component edge points to a smaller id.
+    pub fn new(mdp: &Mdp) -> Condensation {
+        let n = mdp.n_states();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (s, out) in adj.iter_mut().enumerate() {
+            for a in 0..mdp.action_count(s) {
+                for (c, p) in mdp.action_row(s, a) {
+                    if p > 0.0 && c as usize != s {
+                        out.push(c);
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+        }
+        let assigned = vec![0u32; n];
+        let comp_of = sccs(&adj, &assigned);
+        // Tarjan pops a component only after everything reachable from it
+        // has popped, so ascending id = reverse topological order and the
+        // level pass below always reads finalized successor levels.
+        let n_comps = comp_of.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+        let mut comps: Vec<Vec<u32>> = vec![Vec::new(); n_comps];
+        for (s, &c) in comp_of.iter().enumerate() {
+            comps[c as usize].push(s as u32);
+        }
+        let mut level = vec![0u32; n_comps];
+        for (ci, comp) in comps.iter().enumerate() {
+            let mut l = 0u32;
+            for &s in comp {
+                for &c in &adj[s as usize] {
+                    let tc = comp_of[c as usize] as usize;
+                    if tc != ci {
+                        l = l.max(level[tc] + 1);
+                    }
+                }
+            }
+            level[ci] = l;
+        }
+        let depth = level.iter().copied().max().map_or(0, |d| d as usize + 1);
+        let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); depth];
+        for (ci, &l) in level.iter().enumerate() {
+            by_level[l as usize].push(ci as u32);
+        }
+        Condensation {
+            comps,
+            comp_of,
+            by_level,
+        }
+    }
+
+    /// The components, as sorted state lists, in reverse topological order.
+    pub fn comps(&self) -> &[Vec<u32>] {
+        &self.comps
+    }
+
+    /// The component id of every state.
+    pub fn comp_of(&self) -> &[u32] {
+        &self.comp_of
+    }
+
+    /// The number of components.
+    pub fn n_components(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// The size of the largest component.
+    pub fn largest(&self) -> usize {
+        self.comps.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The number of DAG levels (the longest component chain).
+    pub fn dag_depth(&self) -> usize {
+        self.by_level.len()
+    }
+
+    /// The component ids at DAG level `l` (level 0 = sinks). All
+    /// components of one level are pairwise unreachable from each other.
+    pub fn comps_at_level(&self, l: usize) -> &[u32] {
+        &self.by_level[l]
+    }
+}
+
 /// A memoryless scheduler that reaches `rhs` almost surely from every
 /// `Pmax = 1` state of `lhs U rhs`, constructed purely from the graph:
 /// states are claimed outward from `rhs`, each picking an action that (a)
@@ -438,6 +541,41 @@ mod tests {
         // The absorbing state 3 is a singleton EC when included.
         let mecs = max_end_components(&m, &BitVec::ones(4));
         assert_eq!(mecs, vec![vec![0, 1], vec![3]]);
+    }
+
+    #[test]
+    fn condensation_groups_cycles_and_levels_sinks_first() {
+        // 0 ↔ 1 cycle (via actions), both can exit to 2, 2 → 3 (absorbing).
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(1, 1.0)]).unwrap();
+        b.push_action(&mut [(2, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(0, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let m = Mdp::new(b.finish(), vec![(0, 1.0)], BTreeMap::new(), vec![0.0; 4]).unwrap();
+        let cond = Condensation::new(&m);
+        assert_eq!(cond.n_components(), 3);
+        assert_eq!(cond.largest(), 2);
+        assert_eq!(cond.dag_depth(), 3);
+        // {0,1} share a component; every cross edge targets a smaller id.
+        assert_eq!(cond.comp_of()[0], cond.comp_of()[1]);
+        for comp in cond.comps() {
+            assert!(comp.windows(2).all(|w| w[0] < w[1]), "sorted members");
+        }
+        assert!(cond.comp_of()[2] < cond.comp_of()[0]);
+        assert!(cond.comp_of()[3] < cond.comp_of()[2]);
+        // Level 0 holds exactly the absorbing sink's component.
+        assert_eq!(cond.comps_at_level(0), &[cond.comp_of()[3]]);
+        // An end component never spans SCCs: the {0,1} MEC sits inside one.
+        let mecs = max_end_components(&m, &BitVec::ones(4));
+        for mec in &mecs {
+            let c0 = cond.comp_of()[mec[0] as usize];
+            assert!(mec.iter().all(|&s| cond.comp_of()[s as usize] == c0));
+        }
     }
 
     #[test]

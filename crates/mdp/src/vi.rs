@@ -905,6 +905,396 @@ fn min_hitting_probe(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Topological (SCC-ordered) certified solving
+// ---------------------------------------------------------------------------
+//
+// The `topo_certified_*` drivers compute the same certificates as the
+// global `certified_*` family, but walk the SCC condensation of the
+// any-action graph ([`qual::Condensation`]) level by level (sinks first),
+// solving each component with its successors' already-certified bounds
+// folded in as constants. Because an end component is strongly connected,
+// it never spans two SCCs, so deflation (Pmax) and inflation (Rmin) stay
+// component-local. Trivial components — a single state, the dominant case
+// in layered models — collapse to one closed-form backsubstitution per
+// bound; all trivial components of a DAG level are independent and are
+// evaluated as one batch dispatched onto the worker pool.
+
+/// Which end-component correction a certified query needs: cap upper
+/// bounds at the best exit (`Pmax`) or raise lower bounds to the cheapest
+/// exit (`Rmin` over zero-reward components).
+#[derive(Clone, Copy)]
+enum EcMode {
+    DeflateHi,
+    InflateLo,
+}
+
+/// Closed-form solve of a trivial (single-state) component: the optimal
+/// fixpoint of `x = opt_a (r + Σ_c P(s,a,c)·x_c)` with every non-self
+/// successor already solved. Per action, the self-loop mass is eliminated
+/// algebraically (`x_a = (r + Σ_{c≠s} p_c·x_c) / (1 − p_ss)`); actions
+/// keeping all mass on `s` are skipped — staying forever never reaches a
+/// target (`P` forms: contributes the already-seeded 0; reward forms:
+/// exactly what deflation/inflation would enforce, since the state is then
+/// a singleton end component whose exits are the remaining actions).
+fn solved_state_pair(mdp: &Mdp, s: usize, reward: f64, opt: Opt, cur: &[(f64, f64)]) -> (f64, f64) {
+    let mut best: Option<(f64, f64)> = None;
+    for a in 0..mdp.action_count(s) {
+        let mut stay = 0.0;
+        let mut lo = reward;
+        let mut hi = reward;
+        for (c, p) in mdp.action_row(s, a) {
+            if c as usize == s {
+                stay += p;
+            } else {
+                let (l, h) = cur[c as usize];
+                lo += p * l;
+                hi += p * h;
+            }
+        }
+        if stay >= 1.0 {
+            continue;
+        }
+        let scale = 1.0 / (1.0 - stay);
+        let cand = (lo * scale, hi * scale);
+        best = Some(match best {
+            None => cand,
+            Some((bl, bh)) => (
+                if opt.better(cand.0, bl) { cand.0 } else { bl },
+                if opt.better(cand.1, bh) { cand.1 } else { bh },
+            ),
+        });
+    }
+    // Active states always have at least one mass-moving action (they reach
+    // a target outside themselves), so this fallback is never taken.
+    best.unwrap_or((0.0, 0.0))
+}
+
+/// Solves one non-trivial component in place: dual optimal backups
+/// restricted to the component's active states (reading the freshest
+/// values, Gauss–Seidel style), then the component-local end-component
+/// correction, then a component-local width test. Returns the sweeps used.
+///
+/// In-place updates are sound for the same reason global sweeps are: the
+/// optimal backup is monotone, so any read vector satisfying
+/// `lo ≤ x* ≤ hi` pointwise produces an update that still satisfies it.
+/// Convergence follows from the global drivers' by domination: a fresher
+/// (already tighter) read can only tighten the update, so each in-place
+/// sweep is bracketed by the corresponding Jacobi sweep and the truth.
+#[allow(clippy::too_many_arguments)]
+fn solve_component_certified(
+    mdp: &Mdp,
+    comp: &[u32],
+    active: &BitVec,
+    opt: Opt,
+    rewards: Option<&[f64]>,
+    ec: Option<(&EcIndex, &[usize], EcMode)>,
+    cur: &mut [(f64, f64)],
+    epsilon: f64,
+    max_iter: usize,
+) -> Result<usize, DtmcError> {
+    for it in 1..=max_iter {
+        for &s in comp {
+            let s = s as usize;
+            if !active.get(s) {
+                continue;
+            }
+            let mut best_lo = 0.0;
+            let mut best_hi = 0.0;
+            for a in 0..mdp.action_count(s) {
+                let mut acc_lo = 0.0;
+                let mut acc_hi = 0.0;
+                for (c, p) in mdp.action_row(s, a) {
+                    let (l, h) = cur[c as usize];
+                    acc_lo += p * l;
+                    acc_hi += p * h;
+                }
+                if a == 0 || opt.better(acc_lo, best_lo) {
+                    best_lo = acc_lo;
+                }
+                if a == 0 || opt.better(acc_hi, best_hi) {
+                    best_hi = acc_hi;
+                }
+            }
+            if let Some(r) = rewards {
+                best_lo += r[s];
+                best_hi += r[s];
+            }
+            cur[s] = (best_lo, best_hi);
+        }
+        if let Some((ecs, ids, mode)) = ec {
+            for &k in ids {
+                match mode {
+                    EcMode::DeflateHi => {
+                        let cap = ecs.best_exit(mdp, k, |c| cur[c].1, Opt::Max);
+                        for &s in &ecs.members[k] {
+                            let hi = &mut cur[s as usize].1;
+                            *hi = hi.min(cap);
+                        }
+                    }
+                    EcMode::InflateLo => {
+                        let floor = ecs.best_exit(mdp, k, |c| cur[c].0, Opt::Min);
+                        for &s in &ecs.members[k] {
+                            let lo = &mut cur[s as usize].0;
+                            *lo = lo.max(floor);
+                        }
+                    }
+                }
+            }
+        }
+        let width = comp
+            .iter()
+            .filter(|&&s| active.get(s as usize))
+            .map(|&s| cur[s as usize].1 - cur[s as usize].0)
+            .fold(0.0, f64::max);
+        if width < epsilon {
+            return Ok(it);
+        }
+    }
+    Err(DtmcError::NoConvergence {
+        iterations: max_iter,
+        residual: epsilon,
+    })
+}
+
+/// The shared level walk of the topological certified drivers: per DAG
+/// level, backsubstitute all trivial active components as one pool batch,
+/// then solve each non-trivial component to its local width target.
+/// `vio.max_iter` bounds the sweeps of each individual component.
+#[allow(clippy::too_many_arguments)]
+fn topo_certified_driver(
+    mdp: &Mdp,
+    cond: &qual::Condensation,
+    active: &BitVec,
+    opt: Opt,
+    rewards: Option<&[f64]>,
+    ec: Option<(EcIndex, EcMode)>,
+    cur: &mut [(f64, f64)],
+    epsilon: f64,
+    vio: &ViOptions,
+) -> Result<usize, DtmcError> {
+    // End components per condensation component (an EC never spans SCCs).
+    let mut ec_by_comp: std::collections::BTreeMap<u32, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    if let Some((ecs, _)) = &ec {
+        for (k, members) in ecs.members.iter().enumerate() {
+            ec_by_comp
+                .entry(cond.comp_of()[members[0] as usize])
+                .or_default()
+                .push(k);
+        }
+    }
+    let r_of = |i: usize| rewards.map_or(0.0, |r| r[i]);
+    let mut iterations = 0usize;
+    let mut batch: Vec<u32> = Vec::new();
+    let mut nontrivial: Vec<u32> = Vec::new();
+    let mut scratch: Vec<(f64, f64)> = Vec::new();
+    for level in 0..cond.dag_depth() {
+        batch.clear();
+        nontrivial.clear();
+        for &ci in cond.comps_at_level(level) {
+            let comp = &cond.comps()[ci as usize];
+            if let [s] = comp[..] {
+                if active.get(s as usize) {
+                    batch.push(s);
+                }
+            } else if comp.iter().any(|&s| active.get(s as usize)) {
+                nontrivial.push(ci);
+            }
+        }
+        if !batch.is_empty() {
+            iterations += 1;
+            scratch.clear();
+            scratch.resize(batch.len(), (0.0, 0.0));
+            let cur_ref: &[(f64, f64)] = cur;
+            let batch_ref: &[u32] = &batch;
+            let fill = |offset: usize, chunk: &mut [(f64, f64)]| {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let s = batch_ref[offset + j] as usize;
+                    *slot = solved_state_pair(mdp, s, r_of(s), opt, cur_ref);
+                }
+            };
+            if vio.parallelize(batch.len()) {
+                let pool = vio.pool.unwrap_or_else(pool::global);
+                pool.map_chunks_dynamic(&mut scratch, vio.chunk.max(1), &|offset, chunk| {
+                    fill(offset, chunk);
+                });
+            } else {
+                fill(0, &mut scratch);
+            }
+            for (&s, &pair) in batch.iter().zip(&scratch) {
+                cur[s as usize] = pair;
+            }
+        }
+        for &ci in &nontrivial {
+            let comp = &cond.comps()[ci as usize];
+            let local = ec.as_ref().map(|(ecs, mode)| {
+                let ids = ec_by_comp.get(&ci).map_or(&[] as &[usize], Vec::as_slice);
+                (ecs, ids, *mode)
+            });
+            iterations += solve_component_certified(
+                mdp,
+                comp,
+                active,
+                opt,
+                rewards,
+                local,
+                cur,
+                epsilon,
+                vio.max_iter,
+            )?;
+        }
+    }
+    Ok(iterations)
+}
+
+/// Certified optimal probabilities of `lhs U rhs` by **topological**
+/// interval iteration: the same bracket guarantee as
+/// [`certified_until_values`] (`lo ≤ x* ≤ hi` with width below `epsilon`
+/// everywhere), but solved one SCC at a time in reverse topological order,
+/// so certified cost concentrates on the components that need iteration
+/// while layered structure collapses to closed-form backsubstitution.
+/// `vio.max_iter` bounds each component's sweeps, not the global total.
+///
+/// # Errors
+///
+/// As for [`certified_until_values`].
+pub fn topo_certified_until_values(
+    mdp: &Mdp,
+    lhs: &BitVec,
+    rhs: &BitVec,
+    opt: Opt,
+    epsilon: f64,
+    vio: &ViOptions,
+) -> Result<CertifiedValues, DtmcError> {
+    check_len(mdp, lhs)?;
+    check_len(mdp, rhs)?;
+    let n = mdp.n_states();
+    let zero = match opt {
+        Opt::Max => qual::prob0_max(mdp, lhs, rhs),
+        Opt::Min => qual::prob0_min(mdp, lhs, rhs),
+    };
+    let active = lhs.and(&rhs.not()).and(&zero.not());
+    let ec = match opt {
+        Opt::Max => Some((EcIndex::new(mdp, &active), EcMode::DeflateHi)),
+        Opt::Min => None, // every end component has Pmin = 0 → pinned already
+    };
+    let mut cur: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            if rhs.get(i) {
+                (1.0, 1.0)
+            } else if active.get(i) {
+                (0.0, 1.0)
+            } else {
+                (0.0, 0.0)
+            }
+        })
+        .collect();
+    let cond = qual::Condensation::new(mdp);
+    let iterations =
+        topo_certified_driver(mdp, &cond, &active, opt, None, ec, &mut cur, epsilon, vio)?;
+    Ok(unzip_certificate(cur, iterations))
+}
+
+/// Certified optimal reachability `Pmin`/`Pmax` `[F target]` by
+/// topological interval iteration — [`topo_certified_until_values`] with
+/// an unrestricted left operand.
+///
+/// # Errors
+///
+/// As for [`certified_until_values`].
+pub fn topo_certified_reach_values(
+    mdp: &Mdp,
+    target: &BitVec,
+    opt: Opt,
+    epsilon: f64,
+    vio: &ViOptions,
+) -> Result<CertifiedValues, DtmcError> {
+    let all = BitVec::ones(mdp.n_states());
+    topo_certified_until_values(mdp, &all, target, opt, epsilon, vio)
+}
+
+/// Certified optimal expected reachability reward by topological interval
+/// iteration: the qualitative pre-passes, seeds, and end-component
+/// corrections of [`certified_reach_reward_values`], solved one SCC at a
+/// time (inflation of zero-reward components stays component-local, since
+/// an end component never spans SCCs).
+///
+/// # Errors
+///
+/// As for [`certified_reach_reward_values`].
+pub fn topo_certified_reach_reward_values(
+    mdp: &Mdp,
+    target: &BitVec,
+    opt: Opt,
+    epsilon: f64,
+    vio: &ViOptions,
+) -> Result<CertifiedValues, DtmcError> {
+    check_len(mdp, target)?;
+    let n = mdp.n_states();
+    let all = BitVec::ones(n);
+    let certain = match opt {
+        Opt::Max => qual::prob1_min(mdp, &all, target),
+        Opt::Min => qual::prob1_max(mdp, &all, target),
+    };
+    let active = certain.and(&target.not());
+    let rewards = mdp.rewards();
+    let r_max = active.iter_ones().map(|i| rewards[i]).fold(0.0, f64::max);
+    let seed: Vec<f64> = match opt {
+        Opt::Max => {
+            let bound = if r_max == 0.0 {
+                0.0
+            } else {
+                let (k, delta) = min_hitting_probe(mdp, target, &active, vio)?;
+                k as f64 * r_max / delta
+            };
+            vec![bound; n]
+        }
+        Opt::Min => {
+            let sched = qual::proper_scheduler(mdp, &all, target);
+            let chain = mdp.induced_dtmc(&sched)?;
+            smg_dtmc::solve::topo_interval_reach_reward_values(
+                &chain,
+                target,
+                epsilon,
+                vio.max_iter,
+            )?
+            .hi
+        }
+    };
+    let ec = match opt {
+        Opt::Min => {
+            let zero_reward = BitVec::from_fn(n, |i| active.get(i) && rewards[i] == 0.0);
+            Some((EcIndex::new(mdp, &zero_reward), EcMode::InflateLo))
+        }
+        Opt::Max => None, // no end components survive inside a Pmin = 1 region
+    };
+    let mut cur: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            if active.get(i) {
+                (0.0, seed[i])
+            } else if certain.get(i) {
+                (0.0, 0.0)
+            } else {
+                (f64::INFINITY, f64::INFINITY)
+            }
+        })
+        .collect();
+    let cond = qual::Condensation::new(mdp);
+    let iterations = topo_certified_driver(
+        mdp,
+        &cond,
+        &active,
+        opt,
+        Some(rewards),
+        ec,
+        &mut cur,
+        epsilon,
+        vio,
+    )?;
+    Ok(unzip_certificate(cur, iterations))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1211,6 +1601,136 @@ mod tests {
         // Rmax is ∞ (the maximizer can stall, so Pmin < 1).
         let cert = certified_reach_reward_values(&m, &target, Opt::Max, eps, &vio).unwrap();
         assert_eq!((cert.lo[0], cert.hi[0]), (f64::INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn topo_certified_matches_global_on_tiny() {
+        let m = tiny();
+        let goal = m.label("goal").unwrap().clone();
+        let vio = ViOptions::default();
+        let eps = 1e-9;
+        for (opt, want) in [(Opt::Max, 0.5), (Opt::Min, 0.1)] {
+            let topo = topo_certified_reach_values(&m, &goal, opt, eps, &vio).unwrap();
+            let glob = certified_reach_values(&m, &goal, opt, eps, &vio).unwrap();
+            assert!(topo.width() < eps, "{opt:?}");
+            assert!(
+                topo.lo[0] <= want && want <= topo.hi[0],
+                "{opt:?}: [{}, {}] vs {want}",
+                topo.lo[0],
+                topo.hi[0]
+            );
+            for i in 0..3 {
+                assert!(
+                    (topo.midpoints()[i] - glob.midpoints()[i]).abs() < eps,
+                    "{opt:?} state {i}"
+                );
+            }
+            // All-trivial SCC structure: the whole query is backsubstitution.
+            assert_eq!((topo.lo[1], topo.hi[1]), (1.0, 1.0));
+            assert_eq!((topo.lo[2], topo.hi[2]), (0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn topo_certified_handles_end_components() {
+        // The deflation model: 0 self-loops (singleton EC) or risks ½/½.
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(0, 1.0)]).unwrap();
+        b.push_action(&mut [(1, 0.5), (2, 0.5)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(1, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(2, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("goal".to_string(), BitVec::from_fn(3, |i| i == 1));
+        let m = Mdp::new(b.finish(), vec![(0, 1.0)], labels, vec![0.0; 3]).unwrap();
+        let goal = m.label("goal").unwrap().clone();
+        let vio = ViOptions::default();
+        let eps = 1e-9;
+        let cert = topo_certified_reach_values(&m, &goal, Opt::Max, eps, &vio).unwrap();
+        assert!(cert.width() < eps);
+        assert!(
+            cert.lo[0] <= 0.5 && 0.5 <= cert.hi[0] && cert.hi[0] < 0.5 + eps,
+            "[{}, {}]",
+            cert.lo[0],
+            cert.hi[0]
+        );
+    }
+
+    #[test]
+    fn topo_certified_rmin_inflates_zero_reward_cycles() {
+        // The 0 ↔ 1 zero-reward cycle is a non-trivial SCC *and* an EC;
+        // component-local inflation must lift the bracket to Rmin = 10.
+        let mut b = MdpBuilder::default();
+        b.push_action(&mut [(1, 1.0)]).unwrap();
+        b.push_action(&mut [(2, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(0, 1.0)]).unwrap();
+        b.push_action(&mut [(2, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        b.push_action(&mut [(3, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let mut labels = BTreeMap::new();
+        labels.insert("t".to_string(), BitVec::from_fn(4, |i| i == 3));
+        let m = Mdp::new(
+            b.finish(),
+            vec![(0, 1.0)],
+            labels,
+            vec![0.0, 0.0, 10.0, 0.0],
+        )
+        .unwrap();
+        let target = m.label("t").unwrap().clone();
+        let vio = ViOptions::default();
+        let eps = 1e-9;
+        let cert = topo_certified_reach_reward_values(&m, &target, Opt::Min, eps, &vio).unwrap();
+        assert!(cert.width() < eps);
+        for s in [0usize, 1, 2] {
+            assert!(
+                cert.lo[s] <= 10.0 + 1e-12 && 10.0 <= cert.hi[s] + 1e-12,
+                "state {s}: [{}, {}]",
+                cert.lo[s],
+                cert.hi[s]
+            );
+        }
+        // Rmax stays exactly ∞ outside the certain region.
+        let cert = topo_certified_reach_reward_values(&m, &target, Opt::Max, eps, &vio).unwrap();
+        assert_eq!((cert.lo[0], cert.hi[0]), (f64::INFINITY, f64::INFINITY));
+        // Rmax of goal|either-style certain queries still brackets.
+        let m2 = tiny();
+        let either = BitVec::from_fn(3, |i| i > 0);
+        for opt in [Opt::Max, Opt::Min] {
+            let cert = topo_certified_reach_reward_values(&m2, &either, opt, eps, &vio).unwrap();
+            assert!(cert.width() < eps);
+            assert!(cert.lo[0] <= 1.0 && 1.0 <= cert.hi[0], "{opt:?}");
+        }
+    }
+
+    #[test]
+    fn topo_certified_deep_chain_is_stack_safe_and_exact() {
+        // A 10k-deep single-action chain: forces one trivial SCC per state
+        // through the full topological machinery.
+        let depth = 10_000u32;
+        let mut b = MdpBuilder::default();
+        for s in 0..depth {
+            b.push_action(&mut [(s + 1, 1.0)]).unwrap();
+            b.finish_state().unwrap();
+        }
+        b.push_action(&mut [(depth, 1.0)]).unwrap();
+        b.finish_state().unwrap();
+        let n = depth as usize + 1;
+        let mut labels = BTreeMap::new();
+        labels.insert("end".to_string(), BitVec::from_fn(n, |i| i == n - 1));
+        let m = Mdp::new(b.finish(), vec![(0, 1.0)], labels, vec![1.0; n]).unwrap();
+        let end = m.label("end").unwrap().clone();
+        let vio = ViOptions::default();
+        for opt in [Opt::Min, Opt::Max] {
+            let cert = topo_certified_reach_values(&m, &end, opt, 1e-9, &vio).unwrap();
+            assert!(cert.width() < 1e-9);
+            assert!((cert.midpoints()[0] - 1.0).abs() < 1e-9);
+        }
     }
 
     #[test]

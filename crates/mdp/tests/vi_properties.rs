@@ -275,6 +275,58 @@ proptest! {
         }
     }
 
+    /// Topological (SCC-ordered) certified solving agrees with global
+    /// certified interval iteration on random MDPs: both brackets are
+    /// ε-wide, overlap, and bracket the exhaustive scheduler envelope —
+    /// for probabilities and rewards (∞ regions pinned identically), in
+    /// both optimization directions.
+    #[test]
+    fn topological_certified_matches_global_on_random_mdps(
+        n in 2u32..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        init_env();
+        let mdp = explore_mdp(n, seed);
+        let target = mdp.label("target").unwrap().clone();
+        let vio = ViOptions::default();
+        let eps = 1e-7;
+        let (emin, emax) = enumerate_schedulers(&mdp, &target);
+        for (opt, envelope) in [(Opt::Min, &emin), (Opt::Max, &emax)] {
+            let global = vi::certified_reach_values(&mdp, &target, opt, eps, &vio).unwrap();
+            let topo = vi::topo_certified_reach_values(&mdp, &target, opt, eps, &vio).unwrap();
+            prop_assert!(topo.width() < eps, "{opt:?} width {}", topo.width());
+            for (s, &env) in envelope.iter().enumerate() {
+                prop_assert!(
+                    topo.lo[s] - 1e-9 <= env && env <= topo.hi[s] + 1e-9,
+                    "state {s}: P{opt} {} outside topo [{}, {}] (n={n}, seed={seed:#x})",
+                    env, topo.lo[s], topo.hi[s]
+                );
+                prop_assert!(
+                    topo.lo[s] <= global.hi[s] + 1e-12 && global.lo[s] <= topo.hi[s] + 1e-12,
+                    "state {s}: disjoint brackets (P{opt})"
+                );
+            }
+        }
+        let (rmin, rmax) = enumerate_scheduler_rewards(&mdp, &target);
+        for (opt, envelope) in [(Opt::Min, &rmin), (Opt::Max, &rmax)] {
+            let topo =
+                vi::topo_certified_reach_reward_values(&mdp, &target, opt, eps, &vio).unwrap();
+            prop_assert!(topo.width() < eps, "{opt:?} width {}", topo.width());
+            for (s, &env) in envelope.iter().enumerate() {
+                if env.is_infinite() {
+                    prop_assert_eq!(topo.lo[s], f64::INFINITY, "state {} (R{:?})", s, opt);
+                } else {
+                    let slack = 1e-6 * (1.0 + env.abs());
+                    prop_assert!(
+                        topo.lo[s] - slack <= env && env <= topo.hi[s] + slack,
+                        "state {s}: R{opt} {} outside topo [{}, {}] (n={n}, seed={seed:#x})",
+                        env, topo.lo[s], topo.hi[s]
+                    );
+                }
+            }
+        }
+    }
+
     /// The parallel Bellman backup is bit-identical to the sequential
     /// fallback — across 1/2/4-lane pools, the (4-lane) global pool, and
     /// randomized chunk geometry, for bounded and unbounded queries in

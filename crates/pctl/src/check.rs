@@ -58,6 +58,17 @@ pub struct CheckOptions {
     /// could only come from residual iteration, which would silently void
     /// the certificate.
     pub certify: Option<f64>,
+    /// When set alongside [`certify`](CheckOptions::certify), certified
+    /// solves run **topologically**: the state graph is condensed to its
+    /// SCC DAG and components are solved one at a time in reverse
+    /// topological order, with already-certified successor values folded
+    /// in as constants ([`solve::topo_interval_reach_values`] and friends
+    /// on chains, `smg_mdp::vi::topo_certified_*` on MDPs). Answers carry
+    /// the same sound `[lo, hi]` guarantee — the certificate is closed per
+    /// component instead of globally — and the result is tagged
+    /// [`Solver::TopologicalII`]. Without `certify` this flag has no
+    /// effect.
+    pub topo: bool,
 }
 
 impl CheckOptions {
@@ -65,7 +76,16 @@ impl CheckOptions {
     pub fn certified(epsilon: f64) -> CheckOptions {
         CheckOptions {
             certify: Some(epsilon),
+            topo: false,
         }
+    }
+
+    /// Requests topological (SCC-ordered) solving for certified queries;
+    /// see [`CheckOptions::topo`].
+    #[must_use]
+    pub fn topological(mut self) -> CheckOptions {
+        self.topo = true;
+        self
     }
 }
 
@@ -82,6 +102,13 @@ pub enum Solver {
     /// Certified interval iteration: dual bounds with a qualitative
     /// pre-pass, terminated on `upper − lower < ε` pointwise.
     IntervalIteration,
+    /// Certified interval iteration run **topologically**: the SCC
+    /// condensation is solved one component at a time in reverse
+    /// topological order, trivial components by closed-form
+    /// backsubstitution, with the `upper − lower < ε` test closed per
+    /// component. Same soundness guarantee as
+    /// [`IntervalIteration`](Solver::IntervalIteration).
+    TopologicalII,
 }
 
 impl std::fmt::Display for Solver {
@@ -90,6 +117,7 @@ impl std::fmt::Display for Solver {
             Solver::Transient => "transient",
             Solver::Iterative => "value-iteration",
             Solver::IntervalIteration => "interval-iteration",
+            Solver::TopologicalII => "topological-interval-iteration",
         })
     }
 }
@@ -362,16 +390,26 @@ impl<'a> Evaluator<'a> {
                 } => {
                     let l = self.sat_states(lhs)?;
                     let r = self.sat_states(rhs)?;
-                    let cert = self.cert_until(&l, &r, eps)?;
-                    return Ok(fold_certificate(self.dtmc.initial(), &cert, false));
+                    let cert = self.cert_until(&l, &r, eps, opts.topo)?;
+                    return Ok(fold_certificate(
+                        self.dtmc.initial(),
+                        &cert,
+                        false,
+                        cert_solver(opts),
+                    ));
                 }
                 PathFormula::Finally {
                     inner,
                     bound: TimeBound::None,
                 } => {
                     let f = self.sat_states(inner)?;
-                    let cert = self.cert_reach(&f, eps)?;
-                    return Ok(fold_certificate(self.dtmc.initial(), &cert, false));
+                    let cert = self.cert_reach(&f, eps, opts.topo)?;
+                    return Ok(fold_certificate(
+                        self.dtmc.initial(),
+                        &cert,
+                        false,
+                        cert_solver(opts),
+                    ));
                 }
                 PathFormula::Globally {
                     inner,
@@ -380,8 +418,13 @@ impl<'a> Evaluator<'a> {
                     // G φ = ¬F ¬φ; the bracket complements with its ends
                     // swapped.
                     let bad = self.sat_states(inner)?.not();
-                    let cert = self.cert_reach(&bad, eps)?;
-                    return Ok(fold_certificate(self.dtmc.initial(), &cert, true));
+                    let cert = self.cert_reach(&bad, eps, opts.topo)?;
+                    return Ok(fold_certificate(
+                        self.dtmc.initial(),
+                        &cert,
+                        true,
+                        cert_solver(opts),
+                    ));
                 }
                 _ => {} // finite-horizon forms are exact arithmetic below
             }
@@ -635,8 +678,13 @@ impl<'a> Evaluator<'a> {
                 }
                 let target = self.sat_states(phi)?;
                 if let Some(eps) = opts.certify {
-                    let cert = self.cert_reach_reward(&target, eps)?;
-                    return Ok(fold_certificate(dtmc.initial(), &cert, false));
+                    let cert = self.cert_reach_reward(&target, eps, opts.topo)?;
+                    return Ok(fold_certificate(
+                        dtmc.initial(),
+                        &cert,
+                        false,
+                        cert_solver(opts),
+                    ));
                 }
                 let vals = self.reach_reward_values(&target)?;
                 // Skip zero-mass initial states so `0 × ∞` cannot poison
@@ -707,11 +755,14 @@ impl<'a> Evaluator<'a> {
         Ok(x)
     }
 
-    /// Certified unbounded reachability, memoized on `(target, ε)`.
+    /// Certified unbounded reachability, memoized on `(target, ε)`. With
+    /// `topo`, the solve walks the SCC condensation component-by-component
+    /// (the bracket guarantee is identical, so the cache key is not).
     fn cert_reach(
         &self,
         target: &BitVec,
         eps: f64,
+        topo: bool,
     ) -> Result<Rc<solve::CertifiedValues>, PctlError> {
         self.memo(
             |c| c.cert_reach.get(&(target.clone(), eps.to_bits())).cloned(),
@@ -719,12 +770,12 @@ impl<'a> Evaluator<'a> {
                 c.cert_reach.insert((target.clone(), eps.to_bits()), v);
             },
             |ev| {
-                Ok(Rc::new(solve::interval_reach_values(
-                    ev.dtmc,
-                    target,
-                    eps,
-                    CERTIFIED_MAX_ITER,
-                )?))
+                let cert = if topo {
+                    solve::topo_interval_reach_values(ev.dtmc, target, eps, CERTIFIED_MAX_ITER)?
+                } else {
+                    solve::interval_reach_values(ev.dtmc, target, eps, CERTIFIED_MAX_ITER)?
+                };
+                Ok(Rc::new(cert))
             },
         )
     }
@@ -735,6 +786,7 @@ impl<'a> Evaluator<'a> {
         lhs: &BitVec,
         rhs: &BitVec,
         eps: f64,
+        topo: bool,
     ) -> Result<Rc<solve::CertifiedValues>, PctlError> {
         self.memo(
             |c| {
@@ -747,13 +799,12 @@ impl<'a> Evaluator<'a> {
                     .insert((lhs.clone(), rhs.clone(), eps.to_bits()), v);
             },
             |ev| {
-                Ok(Rc::new(solve::interval_until_values(
-                    ev.dtmc,
-                    lhs,
-                    rhs,
-                    eps,
-                    CERTIFIED_MAX_ITER,
-                )?))
+                let cert = if topo {
+                    solve::topo_interval_until_values(ev.dtmc, lhs, rhs, eps, CERTIFIED_MAX_ITER)?
+                } else {
+                    solve::interval_until_values(ev.dtmc, lhs, rhs, eps, CERTIFIED_MAX_ITER)?
+                };
+                Ok(Rc::new(cert))
             },
         )
     }
@@ -763,6 +814,7 @@ impl<'a> Evaluator<'a> {
         &self,
         target: &BitVec,
         eps: f64,
+        topo: bool,
     ) -> Result<Rc<solve::CertifiedValues>, PctlError> {
         self.memo(
             |c| {
@@ -775,12 +827,17 @@ impl<'a> Evaluator<'a> {
                     .insert((target.clone(), eps.to_bits()), v);
             },
             |ev| {
-                Ok(Rc::new(solve::interval_reach_reward_values(
-                    ev.dtmc,
-                    target,
-                    eps,
-                    CERTIFIED_MAX_ITER,
-                )?))
+                let cert = if topo {
+                    solve::topo_interval_reach_reward_values(
+                        ev.dtmc,
+                        target,
+                        eps,
+                        CERTIFIED_MAX_ITER,
+                    )?
+                } else {
+                    solve::interval_reach_reward_values(ev.dtmc, target, eps, CERTIFIED_MAX_ITER)?
+                };
+                Ok(Rc::new(cert))
             },
         )
     }
@@ -934,16 +991,28 @@ pub(crate) fn sat_key(formula: &StateFormula) -> String {
     out
 }
 
+/// The solver tag a certified query reports under the given options
+/// (shared by the DTMC and MDP checkers).
+pub(crate) fn cert_solver(opts: &CheckOptions) -> Solver {
+    if opts.topo {
+        Solver::TopologicalII
+    } else {
+        Solver::IntervalIteration
+    }
+}
+
 /// Folds a per-state certificate over an initial distribution (shared by
 /// the DTMC and MDP checkers): both bounds fold linearly (the expectation
 /// of a bracketed value stays inside the folded bracket), zero-mass states
 /// are skipped so `0 × ∞` cannot poison reward expectations, and the
 /// reported point value is the interval midpoint. `complement` maps a
-/// bracket of `F ¬φ` to one of `G φ`, swapping the ends.
+/// bracket of `F ¬φ` to one of `G φ`, swapping the ends. `solver` is the
+/// engine tag to report (see [`cert_solver`]).
 pub(crate) fn fold_certificate(
     initial: &[(smg_dtmc::StateId, f64)],
     cert: &solve::CertifiedValues,
     complement: bool,
+    solver: Solver,
 ) -> EngineValue {
     let fold = |vals: &[f64]| -> f64 {
         initial
@@ -957,7 +1026,7 @@ pub(crate) fn fold_certificate(
         (lo, hi) = (1.0 - hi, 1.0 - lo);
     }
     let mid = if lo == hi { lo } else { 0.5 * (lo + hi) };
-    (mid, Solver::IntervalIteration, Some((lo, hi)))
+    (mid, solver, Some((lo, hi)))
 }
 
 /// Whether a path formula is an unbounded until-family operator — the
@@ -1387,6 +1456,41 @@ mod tests {
         let m = check_query_with(&d, &parse_property("Pmax=? [ F goal ]").unwrap(), &opts).unwrap();
         assert_eq!(m.solver(), Solver::IntervalIteration);
         assert!((m.value() - r.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn topological_certified_matches_and_tags() {
+        let d = gadget();
+        let global = CheckOptions::certified(1e-9);
+        let topo = CheckOptions::certified(1e-9).topological();
+        for prop in [
+            "P=? [ F goal ]",
+            "P=? [ G !bad ]",
+            "P=? [ !bad U goal ]",
+            "R=? [ F (goal | bad) ]",
+            "R=? [ F goal ]", // ∞ pinning must agree too
+        ] {
+            let p = parse_property(prop).unwrap();
+            let g = check_query_with(&d, &p, &global).unwrap();
+            let t = check_query_with(&d, &p, &topo).unwrap();
+            assert_eq!(t.solver(), Solver::TopologicalII, "{prop}");
+            assert_eq!(format!("{}", t.solver()), "topological-interval-iteration");
+            let (glo, ghi) = g.interval().unwrap();
+            let (tlo, thi) = t.interval().unwrap();
+            // Both brackets are sound and below ε wide, so they overlap
+            // around the same truth.
+            assert!(tlo <= ghi + 1e-12 && glo <= thi + 1e-12, "{prop}");
+            if t.value().is_finite() {
+                assert!((t.value() - g.value()).abs() < 2e-9, "{prop}");
+                assert!(thi - tlo < 1e-9, "{prop}");
+            } else {
+                assert_eq!(t.value(), g.value(), "{prop}");
+            }
+        }
+        // Without certify the flag is inert: plain iteration still runs.
+        let plain = CheckOptions::default().topological();
+        let r = check_query_with(&d, &parse_property("P=? [ F goal ]").unwrap(), &plain).unwrap();
+        assert_eq!(r.solver(), Solver::Iterative);
     }
 
     #[test]

@@ -20,8 +20,8 @@
 
 use crate::ast::{Opt, PathFormula, Property, RewardQuery, StateFormula, TimeBound};
 use crate::check::{
-    fold_certificate, is_unbounded_path, sat_key, CheckOptions, CheckResult, EngineValue, Solver,
-    CERTIFIED_MAX_ITER,
+    cert_solver, fold_certificate, is_unbounded_path, sat_key, CheckOptions, CheckResult,
+    EngineValue, Solver, CERTIFIED_MAX_ITER,
 };
 use crate::error::PctlError;
 use smg_dtmc::solve::CertifiedValues;
@@ -251,16 +251,26 @@ impl<'a> MdpEvaluator<'a> {
                 } => {
                     let l = self.sat_states_mdp(lhs)?;
                     let r = self.sat_states_mdp(rhs)?;
-                    let cert = self.cert_until(&l, &r, opt, eps)?;
-                    return Ok(fold_certificate(self.mdp.initial(), &cert, false));
+                    let cert = self.cert_until(&l, &r, opt, eps, opts.topo)?;
+                    return Ok(fold_certificate(
+                        self.mdp.initial(),
+                        &cert,
+                        false,
+                        cert_solver(opts),
+                    ));
                 }
                 PathFormula::Finally {
                     inner,
                     bound: TimeBound::None,
                 } => {
                     let f = self.sat_states_mdp(inner)?;
-                    let cert = self.cert_reach(&f, opt, eps)?;
-                    return Ok(fold_certificate(self.mdp.initial(), &cert, false));
+                    let cert = self.cert_reach(&f, opt, eps, opts.topo)?;
+                    return Ok(fold_certificate(
+                        self.mdp.initial(),
+                        &cert,
+                        false,
+                        cert_solver(opts),
+                    ));
                 }
                 PathFormula::Globally {
                     inner,
@@ -269,8 +279,13 @@ impl<'a> MdpEvaluator<'a> {
                     // G φ = ¬F ¬φ with the dual optimum; the bracket
                     // complements with its ends swapped.
                     let bad = self.sat_states_mdp(inner)?.not();
-                    let cert = self.cert_reach(&bad, opt.dual(), eps)?;
-                    return Ok(fold_certificate(self.mdp.initial(), &cert, true));
+                    let cert = self.cert_reach(&bad, opt.dual(), eps, opts.topo)?;
+                    return Ok(fold_certificate(
+                        self.mdp.initial(),
+                        &cert,
+                        true,
+                        cert_solver(opts),
+                    ));
                 }
                 _ => {} // finite-horizon forms are exact arithmetic below
             }
@@ -431,8 +446,13 @@ impl<'a> MdpEvaluator<'a> {
             RewardQuery::Reach(phi) => {
                 let target = self.sat_states_mdp(phi)?;
                 if let Some(eps) = opts.certify {
-                    let cert = self.cert_reach_reward(&target, opt, eps)?;
-                    return Ok(fold_certificate(self.mdp.initial(), &cert, false));
+                    let cert = self.cert_reach_reward(&target, opt, eps, opts.topo)?;
+                    return Ok(fold_certificate(
+                        self.mdp.initial(),
+                        &cert,
+                        false,
+                        cert_solver(opts),
+                    ));
                 }
                 let vals = self.reach_reward(&target, opt)?;
                 // Skip zero-mass initial states so `0 × ∞` cannot poison
@@ -466,13 +486,16 @@ impl<'a> MdpEvaluator<'a> {
         )
     }
 
-    /// Certified unbounded until, memoized on `(lhs, rhs, opt, ε)`.
+    /// Certified unbounded until, memoized on `(lhs, rhs, opt, ε)`. With
+    /// `topo`, the solve walks the SCC condensation (`vi::topo_certified_*`);
+    /// the bracket guarantee is identical, so the cache key is not.
     fn cert_until(
         &self,
         lhs: &BitVec,
         rhs: &BitVec,
         opt: Opt,
         eps: f64,
+        topo: bool,
     ) -> Result<Rc<CertifiedValues>, PctlError> {
         self.memo(
             |c| {
@@ -485,14 +508,13 @@ impl<'a> MdpEvaluator<'a> {
                     .insert((lhs.clone(), rhs.clone(), opt, eps.to_bits()), v);
             },
             |ev| {
-                Ok(Rc::new(vi::certified_until_values(
-                    ev.mdp,
-                    lhs,
-                    rhs,
-                    opt,
-                    eps,
-                    &ev.certified_vio(),
-                )?))
+                let vio = ev.certified_vio();
+                let cert = if topo {
+                    vi::topo_certified_until_values(ev.mdp, lhs, rhs, opt, eps, &vio)?
+                } else {
+                    vi::certified_until_values(ev.mdp, lhs, rhs, opt, eps, &vio)?
+                };
+                Ok(Rc::new(cert))
             },
         )
     }
@@ -503,6 +525,7 @@ impl<'a> MdpEvaluator<'a> {
         target: &BitVec,
         opt: Opt,
         eps: f64,
+        topo: bool,
     ) -> Result<Rc<CertifiedValues>, PctlError> {
         self.memo(
             |c| {
@@ -514,13 +537,13 @@ impl<'a> MdpEvaluator<'a> {
                 c.cert_reach.insert((target.clone(), opt, eps.to_bits()), v);
             },
             |ev| {
-                Ok(Rc::new(vi::certified_reach_values(
-                    ev.mdp,
-                    target,
-                    opt,
-                    eps,
-                    &ev.certified_vio(),
-                )?))
+                let vio = ev.certified_vio();
+                let cert = if topo {
+                    vi::topo_certified_reach_values(ev.mdp, target, opt, eps, &vio)?
+                } else {
+                    vi::certified_reach_values(ev.mdp, target, opt, eps, &vio)?
+                };
+                Ok(Rc::new(cert))
             },
         )
     }
@@ -531,6 +554,7 @@ impl<'a> MdpEvaluator<'a> {
         target: &BitVec,
         opt: Opt,
         eps: f64,
+        topo: bool,
     ) -> Result<Rc<CertifiedValues>, PctlError> {
         self.memo(
             |c| {
@@ -543,13 +567,13 @@ impl<'a> MdpEvaluator<'a> {
                     .insert((target.clone(), opt, eps.to_bits()), v);
             },
             |ev| {
-                Ok(Rc::new(vi::certified_reach_reward_values(
-                    ev.mdp,
-                    target,
-                    opt,
-                    eps,
-                    &ev.certified_vio(),
-                )?))
+                let vio = ev.certified_vio();
+                let cert = if topo {
+                    vi::topo_certified_reach_reward_values(ev.mdp, target, opt, eps, &vio)?
+                } else {
+                    vi::certified_reach_reward_values(ev.mdp, target, opt, eps, &vio)?
+                };
+                Ok(Rc::new(cert))
             },
         )
     }
@@ -751,6 +775,36 @@ mod tests {
         let r = check_mdp_query(&m, &parse_property("Pmax=? [ F goal ]").unwrap()).unwrap();
         assert_eq!(r.solver(), Solver::Iterative);
         assert_eq!(r.interval(), None);
+    }
+
+    #[test]
+    fn topological_certified_mdp_matches_and_tags() {
+        use crate::check::{CheckOptions, Solver};
+        let m = gadget_mdp();
+        let global = CheckOptions::certified(1e-9);
+        let topo = CheckOptions::certified(1e-9).topological();
+        for prop in [
+            "Pmax=? [ F goal ]",
+            "Pmin=? [ F goal ]",
+            "Pmax=? [ G !bad ]",
+            "Pmin=? [ G !bad ]",
+            "Rmin=? [ F (goal | bad) ]",
+            "Rmax=? [ F (goal | bad) ]", // ∞ pinning must agree too
+        ] {
+            let p = parse_property(prop).unwrap();
+            let g = check_mdp_query_with(&m, &p, &global).unwrap();
+            let t = check_mdp_query_with(&m, &p, &topo).unwrap();
+            assert_eq!(t.solver(), Solver::TopologicalII, "{prop}");
+            let (glo, ghi) = g.interval().unwrap();
+            let (tlo, thi) = t.interval().unwrap();
+            assert!(tlo <= ghi + 1e-12 && glo <= thi + 1e-12, "{prop}");
+            if t.value().is_finite() {
+                assert!((t.value() - g.value()).abs() < 2e-9, "{prop}");
+                assert!(thi - tlo < 1e-9, "{prop}");
+            } else {
+                assert_eq!(t.value(), g.value(), "{prop}");
+            }
+        }
     }
 
     #[test]

@@ -118,24 +118,10 @@ impl From<Mdp> for AnyModel {
 }
 
 /// The dedicated pool for a lane count, created once per count per
-/// process. [`pool::with_lanes`] leaks a fresh pool (and spawns its
-/// workers) on *every* call by design — it is the benches' way of getting
-/// isolated pools — so [`CheckSession::threads`] must memoize here or a
-/// session-per-model parameter sweep would accumulate parked OS threads
-/// without bound.
+/// process — [`pool::shared`]'s memoized registry, so a session-per-model
+/// parameter sweep never accumulates parked OS threads without bound.
 fn shared_pool(lanes: usize) -> &'static pool::Pool {
-    use std::sync::{Mutex, OnceLock};
-    static POOLS: OnceLock<Mutex<Vec<(usize, &'static pool::Pool)>>> = OnceLock::new();
-    let mut pools = POOLS
-        .get_or_init(|| Mutex::new(Vec::new()))
-        .lock()
-        .expect("pool registry poisoned");
-    if let Some(&(_, p)) = pools.iter().find(|&&(n, _)| n == lanes) {
-        return p;
-    }
-    let p = pool::with_lanes(lanes);
-    pools.push((lanes, p));
-    p
+    pool::shared(lanes)
 }
 
 /// Cache telemetry of a session: how many memoized lookups were answered
@@ -196,6 +182,10 @@ pub struct CheckSession {
     model: AnyModel,
     opts: CheckOptions,
     vio: ViOptions,
+    /// Explicit worker-lane pin from [`CheckSession::threads`]; queries run
+    /// inside [`smg_dtmc::par::with_lane_scope`] when set, so the chain
+    /// kernels follow the same pin as the MDP value-iteration pool.
+    lanes: Option<usize>,
     dtmc_cache: RefCell<DtmcCache>,
     mdp_cache: RefCell<MdpCache>,
 }
@@ -208,6 +198,7 @@ impl CheckSession {
             model: model.into(),
             opts: CheckOptions::default(),
             vio: ViOptions::default(),
+            lanes: None,
             dtmc_cache: RefCell::new(DtmcCache::default()),
             mdp_cache: RefCell::new(MdpCache::default()),
         }
@@ -222,6 +213,18 @@ impl CheckSession {
         self
     }
 
+    /// Requests topological (SCC-ordered) certified solving for this
+    /// session's queries: the condensation DAG is solved one component at
+    /// a time in reverse topological order and results are tagged
+    /// `Solver::TopologicalII`. Takes effect for certified queries (pair
+    /// with [`certified`](CheckSession::certified)); see
+    /// [`CheckOptions::topo`].
+    #[must_use]
+    pub fn topological(mut self) -> CheckSession {
+        self.opts = self.opts.topological();
+        self
+    }
+
     /// Replaces the session's checking options wholesale.
     #[must_use]
     pub fn with_options(mut self, opts: CheckOptions) -> CheckSession {
@@ -229,18 +232,31 @@ impl CheckSession {
         self
     }
 
-    /// Dispatches this session's MDP value-iteration backups on a
-    /// dedicated persistent pool of `n` worker lanes (a lane count of 1 is
-    /// the sequential fallback; results are bit-identical for every lane
-    /// count). DTMC kernels keep using the engine-wide pool configured by
-    /// `SMG_THREADS` — per-session thread control of the chain kernels is
-    /// future work. Pools are process-wide resources shared by every
-    /// session requesting the same lane count, so building sessions in a
-    /// loop does not accumulate threads.
+    /// Dispatches this session's solver kernels on a dedicated persistent
+    /// pool of `n` worker lanes (a lane count of 1 is the sequential
+    /// fallback; results are bit-identical for every lane count). The pin
+    /// covers **both** engines: MDP value-iteration backups take the pool
+    /// through their options, and the DTMC chain kernels (interval sweeps,
+    /// backward products) are pinned through a thread-local lane scope
+    /// ([`smg_dtmc::par::with_lane_scope`]) wrapped around every query, so
+    /// `SMG_THREADS` no longer leaks through for chains. Pools are
+    /// process-wide resources shared by every session requesting the same
+    /// lane count, so building sessions in a loop does not accumulate
+    /// threads.
     #[must_use]
     pub fn threads(mut self, n: usize) -> CheckSession {
-        self.vio.pool = Some(shared_pool(n.max(1)));
+        let n = n.max(1);
+        self.vio.pool = Some(shared_pool(n));
+        self.lanes = Some(n);
         self
+    }
+
+    /// Runs `f` under this session's lane pin, if one was requested.
+    fn with_lanes<R>(&self, f: impl FnOnce() -> R) -> R {
+        match self.lanes {
+            Some(n) => smg_dtmc::par::with_lane_scope(n, f),
+            None => f(),
+        }
     }
 
     /// The model this session checks.
@@ -267,13 +283,13 @@ impl CheckSession {
     /// non-convergence, scheduler-ambiguous query forms on MDPs,
     /// uncertifiable formulas in certified mode.
     pub fn check(&self, property: &Property) -> Result<CheckResult, PctlError> {
-        match &self.model {
+        self.with_lanes(|| match &self.model {
             AnyModel::Dtmc(d) => {
                 Evaluator::cached(d, &self.dtmc_cache).check_query_with(property, &self.opts)
             }
             AnyModel::Mdp(m) => MdpEvaluator::cached(m, self.vio, &self.mdp_cache)
                 .check_mdp_query_with(property, &self.opts),
-        }
+        })
     }
 
     /// Checks a property family in order, sharing precomputation across
@@ -294,12 +310,12 @@ impl CheckSession {
     /// As for [`crate::sat_states`] (chains) and [`crate::sat_states_mdp`]
     /// (MDPs; nested `P⋈p` operators are rejected there).
     pub fn sat(&self, formula: &StateFormula) -> Result<BitVec, PctlError> {
-        match &self.model {
+        self.with_lanes(|| match &self.model {
             AnyModel::Dtmc(d) => Evaluator::cached(d, &self.dtmc_cache).sat_states(formula),
             AnyModel::Mdp(m) => {
                 MdpEvaluator::cached(m, self.vio, &self.mdp_cache).sat_states_mdp(formula)
             }
-        }
+        })
     }
 
     /// Cache telemetry accumulated so far.
@@ -448,6 +464,50 @@ mod tests {
     }
 
     #[test]
+    fn topological_sessions_match_global_certified() {
+        let props: Vec<_> = [
+            "P=? [ F goal ]",
+            "P=? [ G !goal ]",
+            "R=? [ F (goal | bad) ]",
+        ]
+        .iter()
+        .map(|p| parse_property(p).unwrap())
+        .collect();
+        let global = CheckSession::new(gadget()).certified(1e-9);
+        let topo = CheckSession::new(gadget()).certified(1e-9).topological();
+        for (g, t) in global
+            .check_all(&props)
+            .unwrap()
+            .iter()
+            .zip(&topo.check_all(&props).unwrap())
+        {
+            assert_eq!(t.solver(), Solver::TopologicalII);
+            assert!((g.value() - t.value()).abs() < 2e-9);
+        }
+        let mprops: Vec<_> = ["Pmax=? [ F goal ]", "Rmax=? [ F goal ]"]
+            .iter()
+            .map(|p| parse_property(p).unwrap())
+            .collect();
+        let global = CheckSession::new(gadget_mdp()).certified(1e-9);
+        let topo = CheckSession::new(gadget_mdp())
+            .certified(1e-9)
+            .topological();
+        for (g, t) in global
+            .check_all(&mprops)
+            .unwrap()
+            .iter()
+            .zip(&topo.check_all(&mprops).unwrap())
+        {
+            assert_eq!(t.solver(), Solver::TopologicalII);
+            if g.value().is_finite() {
+                assert!((g.value() - t.value()).abs() < 2e-9);
+            } else {
+                assert_eq!(g.value(), t.value());
+            }
+        }
+    }
+
+    #[test]
     fn session_dispatches_errors_like_the_free_functions() {
         let m = gadget_mdp();
         let session = CheckSession::new(m.clone());
@@ -516,6 +576,31 @@ mod tests {
         let a = super::shared_pool(3);
         let b = super::shared_pool(3);
         assert!(std::ptr::eq(a, b), "same lane count must share one pool");
+    }
+
+    #[test]
+    fn threads_pins_dtmc_kernels_and_answers_match() {
+        // Large enough to clear the 4k-row parallel threshold, so the lane
+        // scope actually routes the chain kernels; every lane count must
+        // produce a sound (and here bit-identical) certified answer.
+        let chain = smg_dtmc::synthetic::layered_chain(50, 120);
+        let props: Vec<_> = ["P=? [ F target ]", "R=? [ F absorbing ]"]
+            .iter()
+            .map(|p| parse_property(p).unwrap())
+            .collect();
+        let base = CheckSession::new(chain.clone()).certified(1e-9);
+        let baseline = base.check_all(&props).unwrap();
+        for lanes in [1usize, 2, 3] {
+            let pinned = CheckSession::new(chain.clone())
+                .certified(1e-9)
+                .threads(lanes);
+            for (b, r) in baseline.iter().zip(&pinned.check_all(&props).unwrap()) {
+                let (blo, bhi) = b.interval().unwrap();
+                let (rlo, rhi) = r.interval().unwrap();
+                assert!(rhi - rlo < 1e-9, "lanes={lanes}");
+                assert!(rlo <= bhi + 1e-12 && blo <= rhi + 1e-12, "lanes={lanes}");
+            }
+        }
     }
 
     #[test]

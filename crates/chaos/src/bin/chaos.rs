@@ -1,0 +1,234 @@
+//! The chaos CLI: seed sweeps, reproducer replay, and the mutation
+//! self-check. See the crate docs for the harness it drives.
+//!
+//! ```text
+//! chaos run [--seeds A..B] [--drivers a,b,…] [--no-faults] [--no-probes] [--out PREFIX]
+//! chaos repro SEED [--driver NAME] [--budget N] [--faults SPEC]
+//! chaos mutate [--seeds A..B]
+//! ```
+//!
+//! Exit codes: 0 all cases passed (for `mutate`: the seeded bug was
+//! caught), 1 a failure was found (reproducer written to
+//! `<PREFIX><driver>-<seed>.txt`), 2 usage error.
+
+#[cfg(all(feature = "parallel", feature = "sim"))]
+fn main() {
+    std::process::exit(real::run());
+}
+
+#[cfg(not(all(feature = "parallel", feature = "sim")))]
+fn main() {
+    eprintln!("chaos: build with --features parallel,sim (both default-on for smg-chaos)");
+    std::process::exit(2);
+}
+
+#[cfg(all(feature = "parallel", feature = "sim"))]
+mod real {
+    use smg_chaos::drivers::DriverKind;
+    use smg_chaos::faults::FaultPlan;
+    use smg_chaos::harness::{
+        self, params_for_seed, replay, run_case, sweep, CaseParams, SweepOptions,
+    };
+    use std::ops::Range;
+
+    pub fn run() -> i32 {
+        // The harness deliberately injects panics (probes) and catches
+        // them; keep the default hook's backtrace spam for *unexpected*
+        // panics only.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let expected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("a worker task panicked (lane "));
+            if !expected {
+                default_hook(info);
+            }
+        }));
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match args.first().map(String::as_str) {
+            Some("run") => cmd_run(&args[1..]),
+            Some("repro") => cmd_repro(&args[1..]),
+            Some("mutate") => cmd_mutate(&args[1..]),
+            _ => usage(),
+        }
+    }
+
+    fn usage() -> i32 {
+        eprintln!(
+            "usage: chaos run [--seeds A..B] [--drivers a,b] [--no-faults] [--no-probes] [--out PREFIX]\n\
+             \x20      chaos repro SEED [--driver NAME] [--budget N] [--faults SPEC]\n\
+             \x20      chaos mutate [--seeds A..B]"
+        );
+        2
+    }
+
+    fn parse_seeds(s: &str) -> Option<Range<u64>> {
+        let (a, b) = s.split_once("..")?;
+        let lo: u64 = a.parse().ok()?;
+        let hi: u64 = b.parse().ok()?;
+        (lo < hi).then_some(lo..hi)
+    }
+
+    /// Pulls `--flag value` out of `args`; `None` if absent, `Err` if
+    /// the value is missing.
+    fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, ()> {
+        match args.iter().position(|a| a == flag) {
+            None => Ok(None),
+            Some(i) => args.get(i + 1).cloned().map(Some).ok_or(()),
+        }
+    }
+
+    fn cmd_run(args: &[String]) -> i32 {
+        let seeds = match flag_value(args, "--seeds") {
+            Ok(None) => 0..1000,
+            Ok(Some(s)) => match parse_seeds(&s) {
+                Some(r) => r,
+                None => return usage(),
+            },
+            Err(()) => return usage(),
+        };
+        let drivers: Vec<DriverKind> = match flag_value(args, "--drivers") {
+            Ok(None) => DriverKind::ALL.to_vec(),
+            Ok(Some(s)) => {
+                let parsed: Option<Vec<DriverKind>> =
+                    s.split(',').map(DriverKind::from_name).collect();
+                match parsed {
+                    Some(d) if !d.is_empty() => d,
+                    _ => return usage(),
+                }
+            }
+            Err(()) => return usage(),
+        };
+        let prefix = match flag_value(args, "--out") {
+            Ok(v) => v.unwrap_or_else(|| "chaos-repro-".to_string()),
+            Err(()) => return usage(),
+        };
+        let opts = SweepOptions {
+            faults: !args.iter().any(|a| a == "--no-faults"),
+            probes: !args.iter().any(|a| a == "--no-probes"),
+        };
+        let span = format!("{}..{}", seeds.start, seeds.end);
+        let report = sweep(&drivers, seeds, opts);
+        println!(
+            "chaos run: {} cases over seeds {span} ({} driver(s)), {} failure(s)",
+            report.cases,
+            drivers.len(),
+            report.failures.len()
+        );
+        if report.failures.is_empty() {
+            return 0;
+        }
+        for f in &report.failures {
+            eprintln!("{}", f.render());
+            let path = format!("{prefix}{}-{}.txt", f.repro.driver.name(), f.repro.seed);
+            let body = format!("{}\n\nreplay:\n  {}\n", f.render(), f.repro.command_line());
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("chaos: could not write {path}: {e}");
+            } else {
+                eprintln!("chaos: reproducer written to {path}");
+            }
+        }
+        1
+    }
+
+    fn cmd_repro(args: &[String]) -> i32 {
+        let Some(seed) = args.first().and_then(|s| s.parse::<u64>().ok()) else {
+            return usage();
+        };
+        let driver = match flag_value(args, "--driver") {
+            Ok(None) => None,
+            Ok(Some(name)) => match DriverKind::from_name(&name) {
+                Some(d) => Some(d),
+                None => return usage(),
+            },
+            Err(()) => return usage(),
+        };
+        let budget = match flag_value(args, "--budget") {
+            Ok(None) => u64::MAX,
+            Ok(Some(s)) => match s.parse() {
+                Ok(b) => b,
+                Err(_) => return usage(),
+            },
+            Err(()) => return usage(),
+        };
+        let faults = match flag_value(args, "--faults") {
+            Ok(None) => None,
+            Ok(Some(s)) => match FaultPlan::parse(&s) {
+                Some(p) => Some(p),
+                None => return usage(),
+            },
+            Err(()) => return usage(),
+        };
+        let mut case = params_for_seed(seed);
+        case.budget = budget;
+        if let Some(p) = faults {
+            case.faults = p;
+        }
+        let drivers: Vec<DriverKind> = match driver {
+            Some(d) => vec![d],
+            None => {
+                let mut all = DriverKind::ALL.to_vec();
+                all.push(DriverKind::Buggy);
+                all
+            }
+        };
+        let mut failed = false;
+        for kind in drivers {
+            match replay(kind, &case) {
+                Ok(()) => println!("repro seed {seed} driver {}: pass", kind.name()),
+                Err(reason) => {
+                    failed = true;
+                    println!("repro seed {seed} driver {}: FAIL\n{reason}", kind.name());
+                }
+            }
+        }
+        i32::from(failed)
+    }
+
+    /// The self-check: the intentionally order-dependent workload must
+    /// be caught *and* shrunk within the seed range.
+    fn cmd_mutate(args: &[String]) -> i32 {
+        let seeds = match flag_value(args, "--seeds") {
+            Ok(None) => 0..64,
+            Ok(Some(s)) => match parse_seeds(&s) {
+                Some(r) => r,
+                None => return usage(),
+            },
+            Err(()) => return usage(),
+        };
+        let span = format!("{}..{}", seeds.start, seeds.end);
+        for seed in seeds {
+            let case: CaseParams = params_for_seed(seed);
+            if let Err(failure) = run_case(DriverKind::Buggy, &case) {
+                println!(
+                    "mutation check: seeded ordering bug caught at seed {seed}, \
+                     shrunk to seed {} budget {} faults {}",
+                    failure.repro.seed,
+                    failure.repro.budget,
+                    failure.repro.faults.describe()
+                );
+                // The shrunk reproducer must itself still fail.
+                let mut minimal = params_for_seed(failure.repro.seed);
+                minimal.budget = failure.repro.budget;
+                minimal.faults = failure.repro.faults.clone();
+                match replay(DriverKind::Buggy, &minimal) {
+                    Err(_) => {
+                        println!("mutation check: shrunk reproducer replays the failure — ok");
+                        return 0;
+                    }
+                    Ok(()) => {
+                        eprintln!("mutation check: shrunk reproducer does NOT replay!");
+                        return 1;
+                    }
+                }
+            }
+        }
+        eprintln!(
+            "mutation check: the seeded ordering bug was NOT caught over seeds {span} — \
+             the harness is blind"
+        );
+        let _ = harness::MAX_FAILURES;
+        1
+    }
+}

@@ -1,0 +1,537 @@
+//! The real consumers the harness sweeps, each reduced to a digest.
+//!
+//! A driver runs one of the engine's parallel workloads — sharded BFS
+//! exploration, parallel value iteration, certified interval sweeps,
+//! per-SCC topological batching — and folds every numeric result into a
+//! 64-bit FNV digest, **bit by bit** (`f64::to_bits`, not an epsilon
+//! comparison). All four production drivers are *bit-identical by
+//! construction*: the engine pins their parallel paths to the sequential
+//! results exactly, whatever the schedule, so under the chaos
+//! interleaver any digest drift is a real ordering bug. The block-hybrid
+//! Gauss–Seidel solver is deliberately **not** a driver — its results
+//! depend on block geometry by design, so it has no schedule-independent
+//! digest to pin.
+//!
+//! [`DriverKind::Buggy`] is the mutation check: a deliberately
+//! order-dependent prefix-sum that a correct harness *must* flag under
+//! adversarial schedules — it validates the harness, not the engine.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::harness::CaseParams;
+use smg_dtmc::solve;
+use smg_dtmc::synthetic::layered_chain;
+use smg_dtmc::{explore, par, pool, BitVec, Dtmc, DtmcModel, ExploreOptions};
+use smg_mdp::{vi, Mdp, MdpBuilder, Opt, ViOptions};
+
+/// The workloads the harness can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverKind {
+    /// Sharded parallel BFS exploration of a seeded layered model.
+    Explore,
+    /// Parallel min/max value iteration on a seeded MDP.
+    Vi,
+    /// Certified interval sweeps (reachability + reward) on a layered
+    /// chain.
+    Certified,
+    /// Per-SCC topological batching, DTMC and MDP sides.
+    Topo,
+    /// The intentionally order-dependent mutation check.
+    Buggy,
+}
+
+impl DriverKind {
+    /// The production drivers a sweep covers by default (excludes the
+    /// mutation check).
+    pub const ALL: [DriverKind; 4] = [
+        DriverKind::Explore,
+        DriverKind::Vi,
+        DriverKind::Certified,
+        DriverKind::Topo,
+    ];
+
+    /// The driver's CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DriverKind::Explore => "explore",
+            DriverKind::Vi => "vi",
+            DriverKind::Certified => "certified",
+            DriverKind::Topo => "topo",
+            DriverKind::Buggy => "buggy",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<DriverKind> {
+        match name {
+            "explore" => Some(DriverKind::Explore),
+            "vi" => Some(DriverKind::Vi),
+            "certified" => Some(DriverKind::Certified),
+            "topo" => Some(DriverKind::Topo),
+            "buggy" => Some(DriverKind::Buggy),
+            _ => None,
+        }
+    }
+}
+
+/// Runs `kind`'s workload and digests the result. With `parallel` false
+/// this is the ground-truth run: single lane, sequential kernels, no
+/// interleaver consulted. With `parallel` true the workload is pushed
+/// through the pool's parallel paths — the caller is expected to have a
+/// sim interleaver installed, which is what makes the run adversarial.
+pub fn digest(kind: DriverKind, case: &CaseParams, parallel: bool) -> u64 {
+    match kind {
+        DriverKind::Explore => digest_explore(case, parallel),
+        DriverKind::Vi => digest_vi(case, parallel),
+        DriverKind::Certified => digest_certified(case, parallel),
+        DriverKind::Topo => digest_topo(case, parallel),
+        DriverKind::Buggy => digest_buggy(case, parallel),
+    }
+}
+
+// --- digest folding ------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Digest {
+        Digest(FNV_OFFSET)
+    }
+    fn mix(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+    fn mix_f64s(&mut self, vals: &[f64]) {
+        for v in vals {
+            self.mix(v.to_bits());
+        }
+    }
+    fn mix_bits(&mut self, bits: &BitVec) {
+        self.mix(bits.len() as u64);
+        for i in bits.iter_ones() {
+            self.mix(i as u64);
+        }
+    }
+    fn mix_dtmc(&mut self, d: &Dtmc) {
+        self.mix(d.n_states() as u64);
+        let m = d.matrix();
+        for r in 0..d.n_states() {
+            for (c, v) in m.row_iter(r) {
+                self.mix(u64::from(c));
+                self.mix(v.to_bits());
+            }
+        }
+        for name in d.label_names() {
+            self.mix(name.len() as u64);
+            self.mix_bits(d.label(name).expect("label just listed"));
+        }
+        self.mix_f64s(d.rewards());
+    }
+    fn mix_cert(&mut self, c: &solve::CertifiedValues) {
+        self.mix_f64s(&c.lo);
+        self.mix_f64s(&c.hi);
+    }
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+// --- seeded workload shapes ----------------------------------------------
+
+/// splitmix-style stateless hash for deriving model structure.
+fn mash(parts: &[u64]) -> u64 {
+    let mut h = 0x51_7c_c1_b7_27_22_0a_95u64;
+    for &p in parts {
+        h ^= p.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h = h.rotate_left(29).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    }
+    h ^ (h >> 31)
+}
+
+/// A seeded layered DAG model for the exploration driver: `width` states
+/// per layer, pseudo-random forward fan-out, an absorbing final layer.
+/// Layers are wide enough that every BFS level takes the parallel
+/// owner-computes path once `par_min_level` is 1.
+struct Web {
+    seed: u64,
+    depth: u32,
+    width: u32,
+}
+
+impl DtmcModel for Web {
+    type State = (u32, u32);
+
+    fn initial_states(&self) -> Vec<((u32, u32), f64)> {
+        vec![((0, 0), 1.0)]
+    }
+
+    fn transitions(&self, &(layer, idx): &(u32, u32)) -> Vec<((u32, u32), f64)> {
+        if layer >= self.depth {
+            return vec![((layer, idx), 1.0)];
+        }
+        let h = mash(&[self.seed, u64::from(layer), u64::from(idx)]);
+        let fan = 2 + (h % 3) as u32;
+        let mut succ: Vec<(u32, u64)> = Vec::new();
+        for k in 0..fan {
+            let hk = mash(&[self.seed, u64::from(layer), u64::from(idx), u64::from(k)]);
+            let j = (hk % u64::from(self.width)) as u32;
+            let w = 1 + (hk >> 32) % 7;
+            match succ.iter_mut().find(|(c, _)| *c == j) {
+                Some((_, wc)) => *wc += w,
+                None => succ.push((j, w)),
+            }
+        }
+        let total: u64 = succ.iter().map(|&(_, w)| w).sum();
+        succ.sort_by_key(|&(c, _)| c);
+        succ.into_iter()
+            .map(|(j, w)| ((layer + 1, j), w as f64 / total as f64))
+            .collect()
+    }
+
+    fn atomic_propositions(&self) -> Vec<&'static str> {
+        vec!["goal"]
+    }
+
+    fn holds(&self, ap: &str, &(layer, idx): &(u32, u32)) -> bool {
+        ap == "goal" && layer == self.depth && idx % 2 == 0
+    }
+}
+
+/// A seeded forward-chained MDP: every action moves strictly toward two
+/// absorbing states (`goal`, sink), so certified iteration converges in
+/// at most `n` sweeps whatever the schedule.
+fn seeded_mdp(seed: u64) -> Mdp {
+    let n: u32 = 40;
+    let goal = n;
+    let sink = n + 1;
+    let mut b = MdpBuilder::default();
+    for s in 0..n {
+        let actions = 1 + mash(&[seed, u64::from(s)]) % 3;
+        for a in 0..actions {
+            let ha = mash(&[seed, u64::from(s), a, 7]);
+            let fan = 1 + (ha % 3) as u32;
+            let mut row: Vec<(u32, u64)> = Vec::new();
+            for k in 0..fan {
+                let hk = mash(&[seed, u64::from(s), a, u64::from(k)]);
+                // Strictly forward: interior successor or an absorber.
+                let span = u64::from(n - s) + 1;
+                let t = match hk % span {
+                    0 => {
+                        if hk & 1 == 0 {
+                            goal
+                        } else {
+                            sink
+                        }
+                    }
+                    d => s + d as u32,
+                };
+                let t = if t >= n {
+                    if hk & 2 == 0 {
+                        goal
+                    } else {
+                        sink
+                    }
+                } else {
+                    t
+                };
+                let w = 1 + (hk >> 33) % 9;
+                match row.iter_mut().find(|(c, _)| *c == t) {
+                    Some((_, wc)) => *wc += w,
+                    None => row.push((t, w)),
+                }
+            }
+            row.sort_by_key(|&(c, _)| c);
+            let total: u64 = row.iter().map(|&(_, w)| w).sum();
+            let mut dist: Vec<(u32, f64)> = row
+                .into_iter()
+                .map(|(c, w)| (c, w as f64 / total as f64))
+                .collect();
+            b.push_action(&mut dist)
+                .expect("row-stochastic by construction");
+        }
+        b.finish_state().expect("at least one action per state");
+    }
+    for _ in 0..2 {
+        let s = b.states() as u32;
+        b.push_action(&mut [(s, 1.0)]).expect("absorbing self-loop");
+        b.finish_state().expect("absorbing state");
+    }
+    let total = (n + 2) as usize;
+    let mut labels = BTreeMap::new();
+    labels.insert(
+        "goal".to_string(),
+        BitVec::from_fn(total, |i| i == goal as usize),
+    );
+    let rewards: Vec<f64> = (0..total)
+        .map(|s| (mash(&[seed, s as u64, 13]) % 5) as f64)
+        .collect();
+    Mdp::new(b.finish(), vec![(0, 1.0)], labels, rewards).expect("valid seeded MDP")
+}
+
+/// A seeded *layered* MDP for the topological driver: `width` states per
+/// layer, every action targeting the next layer (absorbers after the
+/// last), so the SCC condensation is all-trivial with `width`-sized
+/// levels — exactly the shape whose per-level batches the `topo_*`
+/// drivers dispatch onto the pool.
+fn layered_mdp(seed: u64, layers: u32, width: u32) -> Mdp {
+    let n = layers * width;
+    let goal = n;
+    let sink = n + 1;
+    let mut b = MdpBuilder::default();
+    for l in 0..layers {
+        for w in 0..width {
+            let s = l * width + w;
+            let actions = 1 + mash(&[seed, u64::from(s)]) % 2;
+            for a in 0..actions {
+                let fan = 1 + (mash(&[seed, u64::from(s), a, 3]) % 3) as u32;
+                let mut row: Vec<(u32, u64)> = Vec::new();
+                for k in 0..fan {
+                    let hk = mash(&[seed, u64::from(s), a, u64::from(k), 11]);
+                    let t = if l + 1 == layers {
+                        if hk & 1 == 0 {
+                            goal
+                        } else {
+                            sink
+                        }
+                    } else {
+                        (l + 1) * width + (hk % u64::from(width)) as u32
+                    };
+                    let wgt = 1 + (hk >> 33) % 9;
+                    match row.iter_mut().find(|(c, _)| *c == t) {
+                        Some((_, wc)) => *wc += wgt,
+                        None => row.push((t, wgt)),
+                    }
+                }
+                row.sort_by_key(|&(c, _)| c);
+                let total: u64 = row.iter().map(|&(_, w)| w).sum();
+                let mut dist: Vec<(u32, f64)> = row
+                    .into_iter()
+                    .map(|(c, w)| (c, w as f64 / total as f64))
+                    .collect();
+                b.push_action(&mut dist)
+                    .expect("row-stochastic by construction");
+            }
+            b.finish_state().expect("at least one action per state");
+        }
+    }
+    for _ in 0..2 {
+        let s = b.states() as u32;
+        b.push_action(&mut [(s, 1.0)]).expect("absorbing self-loop");
+        b.finish_state().expect("absorbing state");
+    }
+    let total = (n + 2) as usize;
+    let mut labels = BTreeMap::new();
+    labels.insert(
+        "goal".to_string(),
+        BitVec::from_fn(total, |i| i == goal as usize),
+    );
+    let rewards = vec![0.0; total];
+    Mdp::new(b.finish(), vec![(0, 1.0)], labels, rewards).expect("valid layered MDP")
+}
+
+// --- drivers -------------------------------------------------------------
+
+fn digest_explore(case: &CaseParams, parallel: bool) -> u64 {
+    let model = Web {
+        seed: case.seed,
+        depth: 6,
+        width: 24,
+    };
+    let opts = if parallel {
+        ExploreOptions::default()
+            .with_threads(case.lanes)
+            .with_par_min_level(1)
+    } else {
+        ExploreOptions::default().with_threads(1)
+    };
+    let lanes = if parallel { case.lanes } else { 1 };
+    let explored =
+        par::with_lane_scope(lanes, || explore(&model, &opts)).expect("seeded model explores");
+    let mut d = Digest::new();
+    d.mix_dtmc(&explored.dtmc);
+    d.mix(explored.stats.reachability_iterations as u64);
+    d.finish()
+}
+
+fn digest_vi(case: &CaseParams, parallel: bool) -> u64 {
+    let m = seeded_mdp(case.seed);
+    let goal = m.label("goal").expect("seeded MDP labels goal").clone();
+    let vio = if parallel {
+        ViOptions {
+            par_min_states: Some(0),
+            chunk: case.chunk,
+            pool: Some(pool::shared(case.lanes)),
+            ..ViOptions::default()
+        }
+    } else {
+        ViOptions {
+            par_min_states: Some(usize::MAX),
+            ..ViOptions::default()
+        }
+    };
+    let mut d = Digest::new();
+    for opt in [Opt::Max, Opt::Min] {
+        let vals = vi::reach_values(&m, &goal, opt, &vio).expect("reach VI on seeded MDP");
+        d.mix_f64s(&vals);
+    }
+    let cert = vi::certified_reach_values(&m, &goal, Opt::Max, 1e-9, &vio)
+        .expect("certified VI on seeded MDP");
+    d.mix_cert(&cert);
+    d.finish()
+}
+
+fn digest_certified(case: &CaseParams, parallel: bool) -> u64 {
+    let chain = layered_chain(8, 6);
+    let target = chain
+        .label("target")
+        .expect("layered_chain labels target")
+        .clone();
+    let lanes = if parallel { case.lanes } else { 1 };
+    par::with_lane_scope(lanes, || {
+        let reach = solve::interval_reach_values(&chain, &target, 1e-9, 100_000)
+            .expect("interval reach on layered chain");
+        let reward = solve::interval_reach_reward_values(&chain, &target, 1e-9, 100_000)
+            .expect("interval reward on layered chain");
+        let mut d = Digest::new();
+        d.mix_cert(&reach);
+        d.mix_cert(&reward);
+        d.finish()
+    })
+}
+
+fn digest_topo(case: &CaseParams, parallel: bool) -> u64 {
+    // Wide layers: the per-SCC backsubstitution batches one condensation
+    // level at a time, and a level must span several kernel chunks for
+    // the batch dispatch to reach the simulated scheduler.
+    let chain = layered_chain(8, 24);
+    let target = chain
+        .label("target")
+        .expect("layered_chain labels target")
+        .clone();
+    let lanes = if parallel { case.lanes } else { 1 };
+    let mut d = Digest::new();
+    par::with_lane_scope(lanes, || {
+        let cert = solve::topo_interval_reach_values(&chain, &target, 1e-9, 100_000)
+            .expect("topo interval reach");
+        d.mix_cert(&cert);
+    });
+    let m = layered_mdp(case.seed ^ 0xA5A5, 6, 12);
+    let goal = m.label("goal").expect("layered MDP labels goal").clone();
+    let vio = if parallel {
+        ViOptions {
+            par_min_states: Some(0),
+            // Per-level batches are `width` states; keep several chunks
+            // per batch so the dispatch is genuinely multi-lane.
+            chunk: case.chunk.min(6),
+            pool: Some(pool::shared(case.lanes)),
+            ..ViOptions::default()
+        }
+    } else {
+        ViOptions {
+            par_min_states: Some(usize::MAX),
+            ..ViOptions::default()
+        }
+    };
+    let cert = vi::topo_certified_reach_values(&m, &goal, Opt::Max, 1e-9, &vio)
+        .expect("topo certified VI");
+    d.mix_cert(&cert);
+    d.finish()
+}
+
+/// The mutation check: a prefix-sum where each task reads its
+/// predecessor's slot *if already written*. In-order execution (the
+/// sequential reference, or a FIFO-ish schedule) produces true prefix
+/// sums; any schedule that runs task `t` before `t-1` lands a zero
+/// instead — an order-dependence bug the harness must catch and shrink.
+fn digest_buggy(case: &CaseParams, parallel: bool) -> u64 {
+    let ntasks = 24usize;
+    let slots: Vec<AtomicU64> = (0..ntasks).map(|_| AtomicU64::new(0)).collect();
+    let written: Vec<AtomicBool> = (0..ntasks).map(|_| AtomicBool::new(false)).collect();
+    let pool = if parallel {
+        pool::shared(case.lanes)
+    } else {
+        pool::with_lanes(1)
+    };
+    pool.run(ntasks, &|t| {
+        let prev = if t > 0 && written[t - 1].load(Ordering::SeqCst) {
+            slots[t - 1].load(Ordering::SeqCst)
+        } else {
+            0
+        };
+        slots[t].store(prev + t as u64 + 1, Ordering::SeqCst);
+        written[t].store(true, Ordering::SeqCst);
+    });
+    let mut d = Digest::new();
+    for s in &slots {
+        d.mix(s.load(Ordering::SeqCst));
+    }
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(seed: u64) -> CaseParams {
+        crate::harness::params_for_seed(seed)
+    }
+
+    #[test]
+    fn sequential_digests_are_reproducible_and_seed_sensitive() {
+        for kind in DriverKind::ALL {
+            let a = digest(kind, &case(1), false);
+            let b = digest(kind, &case(1), false);
+            assert_eq!(a, b, "{}", kind.name());
+        }
+        // The seeded workloads actually vary with the seed.
+        assert_ne!(
+            digest(DriverKind::Explore, &case(1), false),
+            digest(DriverKind::Explore, &case(2), false)
+        );
+        assert_ne!(
+            digest(DriverKind::Vi, &case(1), false),
+            digest(DriverKind::Vi, &case(2), false)
+        );
+    }
+
+    #[test]
+    fn driver_names_round_trip() {
+        for kind in DriverKind::ALL {
+            assert_eq!(DriverKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(DriverKind::from_name("buggy"), Some(DriverKind::Buggy));
+        assert_eq!(DriverKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn seeded_mdp_is_well_formed() {
+        for seed in 0..8 {
+            let m = seeded_mdp(seed);
+            assert_eq!(m.n_states(), 42);
+            assert!(m.n_choices() >= m.n_states());
+            assert_eq!(m.label("goal").unwrap().count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn web_model_explores_to_a_layered_chain() {
+        let ex = explore(
+            &Web {
+                seed: 5,
+                depth: 6,
+                width: 24,
+            },
+            &ExploreOptions::default().with_threads(1),
+        )
+        .unwrap();
+        // Reachable subset of 6 layers × ≤24 states plus absorbers.
+        assert!(ex.dtmc.n_states() > 30);
+        assert!(ex.dtmc.n_states() <= 6 * 24 + 25);
+    }
+}

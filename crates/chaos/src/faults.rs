@@ -1,0 +1,235 @@
+//! Fault plans: what breaks, and when.
+//!
+//! A [`FaultPlan`] is a small, explicit list of injected faults keyed by
+//! the simulation's fault-step clock (one tick per task-execution
+//! attempt), plus a set of epochs forced onto the degraded inline path.
+//! Plans are value objects: the shrinker minimizes a failure by deleting
+//! entries ([`FaultPlan::without`]) and replaying — deleting an entry
+//! never shifts when the remaining ones fire, because the keys are
+//! absolute steps, not relative offsets.
+//!
+//! Comparison sweeps use *benign* plans (stalls and forced-inline
+//! degradation — faults that delay or reroute work without destroying
+//! it); panic injection runs as a separate probe (see
+//! [`crate::harness::panic_probe`]) because a panicked dispatch
+//! legitimately aborts the workload instead of producing a comparable
+//! result.
+
+use crate::rng::{fault_stream, XorShift64};
+
+/// One injected fault, fired when the simulation's fault-step clock
+/// reaches `at_step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The fault-step (task-execution attempt count) this fires at.
+    pub at_step: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// The kinds of fault the harness injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The chosen lane stalls for this many virtual steps.
+    Stall(u32),
+    /// The chosen lane's task panics without running (the lane dies for
+    /// the epoch and the dispatch re-raises the pool's enriched message).
+    Panic,
+}
+
+/// A deterministic fault plan for one simulated run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Step-keyed lane faults.
+    pub faults: Vec<FaultSpec>,
+    /// Epochs (1-based, per the sim's per-thread counter) forced onto
+    /// the inline degraded path — the "forced nested-dispatch
+    /// degradation" fault.
+    pub inline_epochs: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, every epoch simulated normally.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The benign plan a case seed maps to: up to three stalls in the
+    /// first few hundred steps, and (one run in four) one early epoch
+    /// forced inline. Drawn from the fault stream, never the schedule
+    /// stream, so dropping this plan replays the same interleaving.
+    pub fn benign_for_seed(seed: u64) -> FaultPlan {
+        let mut rng = XorShift64::new(fault_stream(seed));
+        let n = rng.below(4);
+        let mut faults: Vec<FaultSpec> = (0..n)
+            .map(|_| FaultSpec {
+                at_step: rng.below(320),
+                kind: FaultKind::Stall(1 + rng.below(8) as u32),
+            })
+            .collect();
+        faults.sort_by_key(|f| f.at_step);
+        faults.dedup_by_key(|f| f.at_step);
+        let inline_epochs = if rng.chance(1, 4) {
+            vec![1 + rng.below(16)]
+        } else {
+            Vec::new()
+        };
+        FaultPlan {
+            faults,
+            inline_epochs,
+        }
+    }
+
+    /// The panic-probe plan: a single injected panic within the first few
+    /// task executions (early, so it lands even on small workloads).
+    pub fn panic_probe(seed: u64) -> FaultPlan {
+        let mut rng = XorShift64::new(fault_stream(seed).rotate_left(17));
+        FaultPlan {
+            faults: vec![FaultSpec {
+                at_step: rng.below(6),
+                kind: FaultKind::Panic,
+            }],
+            inline_epochs: Vec::new(),
+        }
+    }
+
+    /// Total droppable entries (faults plus forced-inline epochs) — the
+    /// index space [`FaultPlan::without`] operates on.
+    pub fn len(&self) -> usize {
+        self.faults.len() + self.inline_epochs.len()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty() && self.inline_epochs.is_empty()
+    }
+
+    /// The plan with droppable entry `idx` removed (faults first, then
+    /// forced-inline epochs). Used by the shrinker's delta pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn without(&self, idx: usize) -> FaultPlan {
+        let mut out = self.clone();
+        if idx < out.faults.len() {
+            out.faults.remove(idx);
+        } else {
+            let i = idx - out.faults.len();
+            out.inline_epochs.remove(i);
+        }
+        out
+    }
+
+    /// The fault firing at `step`, if any.
+    pub fn at(&self, step: u64) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.at_step == step)
+            .map(|f| f.kind)
+    }
+
+    /// A compact, parseable description: `stall@12x3,panic@5,inline@2`
+    /// (empty plan → `-`). Round-trips through [`FaultPlan::parse`].
+    pub fn describe(&self) -> String {
+        if self.is_empty() {
+            return "-".to_string();
+        }
+        let mut parts: Vec<String> = self
+            .faults
+            .iter()
+            .map(|f| match f.kind {
+                FaultKind::Stall(n) => format!("stall@{}x{n}", f.at_step),
+                FaultKind::Panic => format!("panic@{}", f.at_step),
+            })
+            .collect();
+        parts.extend(self.inline_epochs.iter().map(|e| format!("inline@{e}")));
+        parts.join(",")
+    }
+
+    /// Parses [`FaultPlan::describe`]'s format; `None` on malformed input.
+    pub fn parse(s: &str) -> Option<FaultPlan> {
+        let s = s.trim();
+        if s == "-" || s.is_empty() {
+            return Some(FaultPlan::none());
+        }
+        let mut plan = FaultPlan::none();
+        for part in s.split(',') {
+            let (kind, rest) = part.trim().split_once('@')?;
+            match kind {
+                "stall" => {
+                    let (step, n) = rest.split_once('x')?;
+                    plan.faults.push(FaultSpec {
+                        at_step: step.parse().ok()?,
+                        kind: FaultKind::Stall(n.parse().ok()?),
+                    });
+                }
+                "panic" => plan.faults.push(FaultSpec {
+                    at_step: rest.parse().ok()?,
+                    kind: FaultKind::Panic,
+                }),
+                "inline" => plan.inline_epochs.push(rest.parse().ok()?),
+                _ => return None,
+            }
+        }
+        Some(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_parse_round_trips() {
+        for seed in 0..64u64 {
+            let plan = FaultPlan::benign_for_seed(seed);
+            let parsed = FaultPlan::parse(&plan.describe()).unwrap();
+            assert_eq!(plan, parsed, "seed {seed}");
+        }
+        assert_eq!(FaultPlan::parse("-").unwrap(), FaultPlan::none());
+        assert!(FaultPlan::parse("frobnicate@3").is_none());
+    }
+
+    #[test]
+    fn benign_plans_never_contain_panics() {
+        for seed in 0..256u64 {
+            let plan = FaultPlan::benign_for_seed(seed);
+            assert!(plan
+                .faults
+                .iter()
+                .all(|f| matches!(f.kind, FaultKind::Stall(_))));
+        }
+    }
+
+    #[test]
+    fn without_removes_exactly_one_entry() {
+        let plan = FaultPlan {
+            faults: vec![
+                FaultSpec {
+                    at_step: 1,
+                    kind: FaultKind::Stall(2),
+                },
+                FaultSpec {
+                    at_step: 9,
+                    kind: FaultKind::Panic,
+                },
+            ],
+            inline_epochs: vec![4],
+        };
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.without(0).faults.len(), 1);
+        assert_eq!(plan.without(2).inline_epochs.len(), 0);
+        assert_eq!(plan.without(2).faults.len(), 2);
+    }
+
+    #[test]
+    fn probe_plans_fire_early() {
+        for seed in 0..64u64 {
+            let plan = FaultPlan::panic_probe(seed);
+            assert_eq!(plan.faults.len(), 1);
+            assert!(plan.faults[0].at_step < 6);
+            assert_eq!(plan.faults[0].kind, FaultKind::Panic);
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! Case derivation, invariant checking, sweeping, and shrinking.
+//!
+//! One **case** is fully determined by its seed: lane count, scheduling
+//! policy, kernel chunking, and the benign fault plan all derive from it
+//! (see [`params_for_seed`]). A case *passes* when the workload's digest
+//! under the adversarial schedule is bit-identical to the sequential
+//! ground truth and no simulation invariant (lost task, double-run,
+//! latch consistency) fires. Panic injection runs as a separate
+//! [`panic_probe`]: it asserts the pool's enriched panic message and
+//! that a clean rerun on the same (virtual) pool still reproduces the
+//! reference digest — no lost jobs after a propagated panic.
+//!
+//! On failure, [`shrink`] reduces the case to a minimal
+//! `(seed, step-budget, fault-set)` triple: a budget search localizes
+//! *when* adversarial scheduling matters (past the budget the
+//! interleaver turns benign), a delta pass drops superfluous faults, and
+//! a bounded scan looks for a smaller failing seed.
+
+use std::cell::RefCell;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+use crate::drivers::{self, DriverKind};
+use crate::faults::FaultPlan;
+use crate::interleave::ChaosInterleaver;
+use crate::policy::Policy;
+use smg_dtmc::sim::{self, Interleaver, SimConfig};
+
+/// Everything that determines one simulated run.
+#[derive(Debug, Clone)]
+pub struct CaseParams {
+    /// The master seed; workload shapes and streams derive from it.
+    pub seed: u64,
+    /// Virtual lane count of the simulated pool.
+    pub lanes: usize,
+    /// The scheduling adversary.
+    pub policy: Policy,
+    /// Kernel chunk cap while simulating (also the VI chunk size), so
+    /// small models still split into many pool tasks.
+    pub chunk: usize,
+    /// Adversarial schedule-step budget; past it the interleaver turns
+    /// benign. `u64::MAX` for fresh cases, minimized by the shrinker.
+    pub budget: u64,
+    /// The injected fault plan.
+    pub faults: FaultPlan,
+}
+
+/// The canonical case a seed maps to, with the benign fault plan. Every
+/// seventeenth seed oversubscribes (32 virtual lanes — more than the
+/// host's cores, which the simulation makes cheap to explore).
+pub fn params_for_seed(seed: u64) -> CaseParams {
+    let lanes = if seed.is_multiple_of(17) {
+        32
+    } else {
+        2 + (seed % 5) as usize
+    };
+    CaseParams {
+        seed,
+        lanes,
+        policy: Policy::for_seed(seed, lanes),
+        // Small enough that every driver's workload splits into at least
+        // two pool tasks (a single-task dispatch early-inlines before the
+        // scheduler seam and would make the case vacuous).
+        chunk: [4, 8, 12, 16][((seed / 8) % 4) as usize],
+        budget: u64::MAX,
+        faults: FaultPlan::benign_for_seed(seed),
+    }
+}
+
+/// A minimal reproducer for a failing case.
+#[derive(Debug, Clone)]
+pub struct Repro {
+    /// The failing driver.
+    pub driver: DriverKind,
+    /// The failing seed.
+    pub seed: u64,
+    /// Minimal adversarial step budget that still fails.
+    pub budget: u64,
+    /// Minimal fault plan that still fails.
+    pub faults: FaultPlan,
+}
+
+impl Repro {
+    /// The `chaos repro` invocation that replays this failure.
+    pub fn command_line(&self) -> String {
+        format!(
+            "chaos repro {} --driver {} --budget {} --faults {}",
+            self.seed,
+            self.driver.name(),
+            self.budget,
+            self.faults.describe()
+        )
+    }
+}
+
+/// One verified failure: what broke, the shrunk reproducer, and the
+/// per-lane timeline of the minimal failing run.
+#[derive(Debug)]
+pub struct FailureReport {
+    /// Why the case failed (digest mismatch, invariant violation, …).
+    pub reason: String,
+    /// The minimized reproducer.
+    pub repro: Repro,
+    /// Rendered per-lane event timeline of the minimal failing run.
+    pub timeline: String,
+}
+
+impl FailureReport {
+    /// The full human-readable report.
+    pub fn render(&self) -> String {
+        format!(
+            "FAILURE: driver {} seed {}\n  {}\n  replay: {}\n{}",
+            self.repro.driver.name(),
+            self.repro.seed,
+            self.reason,
+            self.repro.command_line(),
+            self.timeline
+        )
+    }
+}
+
+fn sim_config(case: &CaseParams) -> SimConfig {
+    SimConfig {
+        kernel_chunk: Some(case.chunk),
+        min_rows: 2,
+    }
+}
+
+/// Runs `kind` under `case`'s adversarial schedule and checks the
+/// invariants. `Err` carries the failure reason; the timeline of the
+/// failing run is returned alongside.
+fn attempt(kind: DriverKind, case: &CaseParams) -> (Result<(), String>, String, u64) {
+    let reference = match catch_unwind(AssertUnwindSafe(|| drivers::digest(kind, case, false))) {
+        Ok(d) => d,
+        Err(p) => {
+            return (
+                Err(format!(
+                    "sequential reference panicked: {}",
+                    payload_msg(&p)
+                )),
+                String::new(),
+                0,
+            )
+        }
+    };
+    let il = Rc::new(RefCell::new(ChaosInterleaver::new(
+        case.seed,
+        case.policy,
+        case.faults.clone(),
+        case.budget,
+    )));
+    let il_dyn: Rc<RefCell<dyn Interleaver>> = il.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _guard = sim::install(il_dyn, sim_config(case));
+        drivers::digest(kind, case, true)
+    }));
+    let (timeline, steps) = {
+        let b = il.borrow();
+        (b.timeline.render(), b.steps_taken())
+    };
+    let result = match outcome {
+        Ok(d) if d == reference => Ok(()),
+        Ok(d) => Err(format!(
+            "digest mismatch vs sequential reference: {d:#018x} != {reference:#018x}"
+        )),
+        Err(p) => Err(format!("run panicked: {}", payload_msg(&p))),
+    };
+    (result, timeline, steps)
+}
+
+fn payload_msg(p: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs one case and, on failure, shrinks it to a [`FailureReport`].
+pub fn run_case(kind: DriverKind, case: &CaseParams) -> Result<(), FailureReport> {
+    let (result, _, steps) = attempt(kind, case);
+    match result {
+        Ok(()) => Ok(()),
+        Err(first_reason) => {
+            let repro = shrink(kind, case, steps);
+            let minimal = CaseParams {
+                seed: repro.seed,
+                budget: repro.budget,
+                faults: repro.faults.clone(),
+                ..params_for_seed(repro.seed)
+            };
+            let (result, timeline, _) = attempt(kind, &minimal);
+            let reason = result.err().unwrap_or(first_reason);
+            Err(FailureReport {
+                reason,
+                repro,
+                timeline,
+            })
+        }
+    }
+}
+
+/// Replays an explicit `(seed, budget, faults)` triple (the
+/// `chaos repro` path): no shrinking, the raw attempt outcome.
+pub fn replay(kind: DriverKind, case: &CaseParams) -> Result<(), String> {
+    let (result, timeline, _) = attempt(kind, case);
+    result.map_err(|reason| format!("{reason}\n{timeline}"))
+}
+
+/// Injects a panic into `kind`'s workload and checks the pool's failure
+/// contract: the propagated message names a lane ("a worker task
+/// panicked (lane L, epoch E)"), and a clean rerun still matches the
+/// sequential reference — the panic lost no jobs and poisoned nothing.
+pub fn panic_probe(kind: DriverKind, case: &CaseParams) -> Result<(), String> {
+    let reference = drivers::digest(kind, case, false);
+    let probe = CaseParams {
+        faults: FaultPlan::panic_probe(case.seed),
+        ..case.clone()
+    };
+    let il: Rc<RefCell<dyn Interleaver>> = Rc::new(RefCell::new(ChaosInterleaver::new(
+        probe.seed,
+        probe.policy,
+        probe.faults.clone(),
+        probe.budget,
+    )));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _guard = sim::install(il, sim_config(&probe));
+        drivers::digest(kind, &probe, true)
+    }));
+    match outcome {
+        Err(p) => {
+            let msg = payload_msg(&p);
+            if !msg.contains("a worker task panicked (lane ") {
+                return Err(format!(
+                    "injected panic propagated without the enriched pool message: {msg}"
+                ));
+            }
+        }
+        Ok(d) => {
+            // The probe can miss (the workload settled before the fault
+            // step); the run must then simply match the reference.
+            if d != reference {
+                return Err(format!(
+                    "probe run missed its fault but diverged: {d:#018x} != {reference:#018x}"
+                ));
+            }
+            return Ok(());
+        }
+    }
+    // After the propagated panic: a clean rerun must reproduce the
+    // reference exactly — nothing was lost or left behind.
+    let clean = CaseParams {
+        faults: FaultPlan::none(),
+        ..case.clone()
+    };
+    let il: Rc<RefCell<dyn Interleaver>> = Rc::new(RefCell::new(ChaosInterleaver::new(
+        clean.seed,
+        clean.policy,
+        FaultPlan::none(),
+        clean.budget,
+    )));
+    let after = catch_unwind(AssertUnwindSafe(|| {
+        let _guard = sim::install(il, sim_config(&clean));
+        drivers::digest(kind, &clean, true)
+    }))
+    .map_err(|p| format!("clean rerun after the panic panicked: {}", payload_msg(&p)))?;
+    if after != reference {
+        return Err(format!(
+            "jobs lost after a propagated panic: rerun digest {after:#018x} != reference {reference:#018x}"
+        ));
+    }
+    Ok(())
+}
+
+fn fails(kind: DriverKind, case: &CaseParams) -> bool {
+    attempt(kind, case).0.is_err()
+}
+
+/// Minimizes a failing case (see the module docs). `steps_hint` is the
+/// schedule length of the observed failure — the upper bound for the
+/// budget search.
+pub fn shrink(kind: DriverKind, case: &CaseParams, steps_hint: u64) -> Repro {
+    let mut current = case.clone();
+
+    // 1. Budget search: smallest prefix of adversarial scheduling that
+    // still fails (benign FIFO beyond it). Binary search assumes
+    // monotonicity; the result is verified, falling back on the hint.
+    let mut lo = 0u64;
+    let mut hi = steps_hint.max(1);
+    if fails(
+        kind,
+        &CaseParams {
+            budget: hi,
+            ..current.clone()
+        },
+    ) {
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if fails(
+                kind,
+                &CaseParams {
+                    budget: mid,
+                    ..current.clone()
+                },
+            ) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        current.budget = hi;
+    }
+
+    // 2. Fault delta pass: drop every fault the failure does not need.
+    let mut i = 0;
+    while i < current.faults.len() {
+        let candidate = CaseParams {
+            faults: current.faults.without(i),
+            ..current.clone()
+        };
+        if fails(kind, &candidate) {
+            current.faults = candidate.faults;
+        } else {
+            i += 1;
+        }
+    }
+
+    // 3. Bounded smaller-seed scan: a fresh canonical case with a lower
+    // seed that also fails makes a friendlier reproducer.
+    for s in 0..case.seed.min(24) {
+        let fresh = params_for_seed(s);
+        if fails(kind, &fresh) {
+            let (_, _, steps) = attempt(kind, &fresh);
+            let mut sub = fresh.clone();
+            let mut lo = 0u64;
+            let mut hi = steps.max(1);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if fails(
+                    kind,
+                    &CaseParams {
+                        budget: mid,
+                        ..sub.clone()
+                    },
+                ) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            sub.budget = hi;
+            let mut i = 0;
+            while i < sub.faults.len() {
+                let candidate = CaseParams {
+                    faults: sub.faults.without(i),
+                    ..sub.clone()
+                };
+                if fails(kind, &candidate) {
+                    sub.faults = candidate.faults;
+                } else {
+                    i += 1;
+                }
+            }
+            return Repro {
+                driver: kind,
+                seed: sub.seed,
+                budget: sub.budget,
+                faults: sub.faults,
+            };
+        }
+    }
+
+    Repro {
+        driver: kind,
+        seed: current.seed,
+        budget: current.budget,
+        faults: current.faults,
+    }
+}
+
+/// A sweep's tally.
+#[derive(Debug, Default)]
+pub struct SweepReport {
+    /// Cases executed (driver × seed, probes not counted separately).
+    pub cases: usize,
+    /// Shrunk failures, in discovery order (capped at
+    /// [`MAX_FAILURES`]; the sweep stops early once full).
+    pub failures: Vec<FailureReport>,
+}
+
+/// A sweep stops after this many distinct failures.
+pub const MAX_FAILURES: usize = 5;
+
+/// Sweep knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Inject the seed-derived benign fault plans.
+    pub faults: bool,
+    /// Run the panic probe for every eighth seed.
+    pub probes: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            faults: true,
+            probes: true,
+        }
+    }
+}
+
+/// Sweeps `drivers × seeds`, shrinking every failure.
+pub fn sweep(drivers: &[DriverKind], seeds: Range<u64>, opts: SweepOptions) -> SweepReport {
+    let mut report = SweepReport::default();
+    for seed in seeds {
+        for &kind in drivers {
+            let mut case = params_for_seed(seed);
+            if !opts.faults {
+                case.faults = FaultPlan::none();
+            }
+            report.cases += 1;
+            if let Err(failure) = run_case(kind, &case) {
+                report.failures.push(failure);
+                if report.failures.len() >= MAX_FAILURES {
+                    return report;
+                }
+            }
+            if opts.probes && seed % 8 == 3 {
+                if let Err(reason) = panic_probe(kind, &case) {
+                    report.failures.push(FailureReport {
+                        reason,
+                        repro: Repro {
+                            driver: kind,
+                            seed,
+                            budget: case.budget,
+                            faults: FaultPlan::panic_probe(seed),
+                        },
+                        timeline: String::new(),
+                    });
+                    if report.failures.len() >= MAX_FAILURES {
+                        return report;
+                    }
+                }
+            }
+        }
+    }
+    report
+}

@@ -1,0 +1,155 @@
+//! The harness's [`Interleaver`]: policy-driven scheduling plus
+//! plan-driven fault injection, bounded by an adversarial step budget.
+//!
+//! Two independent clocks drive a run:
+//!
+//! * the **schedule step** counts [`Interleaver::choose`] calls and is
+//!   compared against the budget — past it the interleaver turns benign
+//!   (always the lowest runnable lane, no faults), which is the lever
+//!   the shrinker uses to localize *when* a failure is induced;
+//! * the **fault step** counts [`Interleaver::fault`] calls (one per
+//!   task-execution attempt) and keys the [`FaultPlan`] lookups, so
+//!   deleting one fault never shifts another.
+//!
+//! Injected panics are demoted to one-step stalls on lane 0: the real
+//! pool re-raises the *caller's* payload as-is, so a synthetic caller
+//! panic would test the harness, not the pool.
+
+use crate::faults::{FaultKind, FaultPlan};
+use crate::policy::Policy;
+use crate::rng::XorShift64;
+use crate::timeline::Timeline;
+use smg_dtmc::sim::{EpochMode, Event, Fault, Interleaver};
+
+/// The chaos interleaver (see the module docs).
+pub struct ChaosInterleaver {
+    policy: Policy,
+    rng: XorShift64,
+    rr: usize,
+    faults: FaultPlan,
+    budget: u64,
+    sched_step: u64,
+    fault_step: u64,
+    /// The recorded run, rendered on failure.
+    pub timeline: Timeline,
+}
+
+impl ChaosInterleaver {
+    /// An interleaver for one run: `policy` seeded by `seed` (the
+    /// schedule stream), injecting `faults`, adversarial for the first
+    /// `budget` schedule steps and benign after.
+    pub fn new(seed: u64, policy: Policy, faults: FaultPlan, budget: u64) -> ChaosInterleaver {
+        ChaosInterleaver {
+            policy,
+            rng: XorShift64::new(seed),
+            rr: 0,
+            faults,
+            budget,
+            sched_step: 0,
+            fault_step: 0,
+            timeline: Timeline::new(),
+        }
+    }
+
+    /// Schedule steps taken so far — after a failing run, an upper bound
+    /// for the shrinker's budget search.
+    pub fn steps_taken(&self) -> u64 {
+        self.sched_step
+    }
+}
+
+impl Interleaver for ChaosInterleaver {
+    fn epoch_begin(
+        &mut self,
+        epoch: u64,
+        _lanes: usize,
+        _ntasks: usize,
+        _dynamic: bool,
+    ) -> EpochMode {
+        if self.sched_step < self.budget && self.faults.inline_epochs.contains(&epoch) {
+            EpochMode::Inline
+        } else {
+            EpochMode::Simulate
+        }
+    }
+
+    fn choose(&mut self, runnable: &[usize]) -> usize {
+        let step = self.sched_step;
+        self.sched_step += 1;
+        if step >= self.budget {
+            // Benign mode: lowest runnable lane, the closest simulated
+            // analogue of an uncontended FIFO schedule.
+            runnable[0]
+        } else {
+            self.policy.pick(runnable, &mut self.rr, &mut self.rng)
+        }
+    }
+
+    fn fault(&mut self, lane: usize, _task: usize) -> Fault {
+        let step = self.fault_step;
+        self.fault_step += 1;
+        if self.sched_step > self.budget {
+            return Fault::None;
+        }
+        match self.faults.at(step) {
+            Some(FaultKind::Stall(n)) => Fault::Stall(n),
+            Some(FaultKind::Panic) if lane == 0 => Fault::Stall(1),
+            Some(FaultKind::Panic) => Fault::Panic,
+            None => Fault::None,
+        }
+    }
+
+    fn observe(&mut self, event: &Event) {
+        self.timeline.push(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn past_the_budget_the_schedule_turns_benign() {
+        let mut il = ChaosInterleaver::new(3, Policy::Lifo, FaultPlan::none(), 2);
+        assert_eq!(il.choose(&[0, 1, 2]), 2);
+        assert_eq!(il.choose(&[0, 1, 2]), 2);
+        // Budget exhausted: lowest runnable from here on.
+        assert_eq!(il.choose(&[0, 1, 2]), 0);
+        assert_eq!(il.choose(&[1, 2]), 1);
+        assert_eq!(il.steps_taken(), 4);
+    }
+
+    #[test]
+    fn planned_faults_fire_at_their_step_and_nowhere_else() {
+        let plan = FaultPlan::parse("stall@1x5").unwrap();
+        let mut il = ChaosInterleaver::new(3, Policy::Lifo, plan, u64::MAX);
+        il.choose(&[0, 1]);
+        assert_eq!(il.fault(1, 0), Fault::None);
+        il.choose(&[0, 1]);
+        assert_eq!(il.fault(1, 1), Fault::Stall(5));
+        il.choose(&[0, 1]);
+        assert_eq!(il.fault(1, 2), Fault::None);
+    }
+
+    #[test]
+    fn injected_panics_on_the_caller_lane_demote_to_stalls() {
+        let plan = FaultPlan::parse("panic@0").unwrap();
+        let mut il = ChaosInterleaver::new(3, Policy::Lifo, plan.clone(), u64::MAX);
+        il.choose(&[0, 1]);
+        assert_eq!(il.fault(0, 0), Fault::Stall(1));
+        let mut il = ChaosInterleaver::new(3, Policy::Lifo, plan, u64::MAX);
+        il.choose(&[0, 1]);
+        assert_eq!(il.fault(1, 0), Fault::Panic);
+    }
+
+    #[test]
+    fn forced_inline_epochs_respect_the_plan_and_budget() {
+        let plan = FaultPlan::parse("inline@2").unwrap();
+        let mut il = ChaosInterleaver::new(3, Policy::Lifo, plan.clone(), u64::MAX);
+        assert_eq!(il.epoch_begin(1, 4, 8, false), EpochMode::Simulate);
+        assert_eq!(il.epoch_begin(2, 4, 8, false), EpochMode::Inline);
+        // With a zero budget the plan is inert.
+        let mut il = ChaosInterleaver::new(3, Policy::Lifo, plan, 0);
+        assert_eq!(il.epoch_begin(2, 4, 8, false), EpochMode::Simulate);
+    }
+}

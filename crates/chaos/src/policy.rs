@@ -1,0 +1,129 @@
+//! Adversarial scheduling policies.
+//!
+//! A policy decides, at every simulation step, which runnable virtual
+//! lane advances next. Each policy is a different adversary: LIFO runs
+//! the *latest* lanes first (the exact inversion of the FIFO order the
+//! real pool's wakeup tends toward), round-robin interleaves maximally,
+//! starve-one models a descheduled worker, and random walks the schedule
+//! space seeded per case.
+
+use crate::rng::XorShift64;
+
+/// A deterministic scheduling adversary (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Always advance the highest runnable lane.
+    Lifo,
+    /// Cycle through the lanes, advancing each one step in turn.
+    RoundRobin,
+    /// Advance the highest runnable lane, but never the victim unless it
+    /// is the only lane left — the victim's share runs last.
+    StarveOne {
+        /// The lane held back.
+        victim: usize,
+    },
+    /// Advance a uniformly random runnable lane (from the case's
+    /// schedule stream).
+    Random,
+}
+
+impl Policy {
+    /// The policy a case seed maps to (the low two bits pick the family,
+    /// the next bits pick the starvation victim).
+    pub fn for_seed(seed: u64, lanes: usize) -> Policy {
+        match seed % 4 {
+            0 => Policy::Lifo,
+            1 => Policy::RoundRobin,
+            2 => Policy::StarveOne {
+                victim: ((seed / 4) % lanes.max(1) as u64) as usize,
+            },
+            _ => Policy::Random,
+        }
+    }
+
+    /// A short display name (`lifo`, `rr`, `starve3`, `random`).
+    pub fn name(&self) -> String {
+        match self {
+            Policy::Lifo => "lifo".to_string(),
+            Policy::RoundRobin => "rr".to_string(),
+            Policy::StarveOne { victim } => format!("starve{victim}"),
+            Policy::Random => "random".to_string(),
+        }
+    }
+
+    /// Picks a lane from the non-empty, ascending `runnable` set. `rr` is
+    /// the round-robin cursor (persists across calls); `rng` is the
+    /// case's schedule stream, consumed only by [`Policy::Random`].
+    pub fn pick(&self, runnable: &[usize], rr: &mut usize, rng: &mut XorShift64) -> usize {
+        debug_assert!(!runnable.is_empty());
+        match self {
+            Policy::Lifo => *runnable.last().unwrap(),
+            Policy::RoundRobin => {
+                // The smallest runnable lane strictly above the cursor,
+                // wrapping to the smallest overall.
+                let next = runnable
+                    .iter()
+                    .copied()
+                    .find(|&l| l > *rr)
+                    .unwrap_or(runnable[0]);
+                *rr = next;
+                next
+            }
+            Policy::StarveOne { victim } => runnable
+                .iter()
+                .copied()
+                .rev()
+                .find(|l| l != victim)
+                .unwrap_or(*victim),
+            Policy::Random => runnable[rng.below(runnable.len() as u64) as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_picks_the_highest() {
+        let mut rr = 0;
+        let mut rng = XorShift64::new(0);
+        assert_eq!(Policy::Lifo.pick(&[0, 2, 5], &mut rr, &mut rng), 5);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = 0; // start below every lane
+        let mut rng = XorShift64::new(0);
+        let p = Policy::RoundRobin;
+        let order: Vec<usize> = (0..4)
+            .map(|_| p.pick(&[1, 2, 3], &mut rr, &mut rng))
+            .collect();
+        assert_eq!(order, vec![1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn starve_one_defers_the_victim_until_last() {
+        let mut rr = 0;
+        let mut rng = XorShift64::new(0);
+        let p = Policy::StarveOne { victim: 3 };
+        assert_eq!(p.pick(&[1, 3], &mut rr, &mut rng), 1);
+        assert_eq!(p.pick(&[3], &mut rr, &mut rng), 3);
+    }
+
+    #[test]
+    fn random_stays_within_the_runnable_set() {
+        let mut rr = 0;
+        let mut rng = XorShift64::new(9);
+        for _ in 0..50 {
+            let l = Policy::Random.pick(&[2, 4, 7], &mut rr, &mut rng);
+            assert!([2, 4, 7].contains(&l));
+        }
+    }
+
+    #[test]
+    fn seed_mapping_covers_all_families() {
+        let names: Vec<String> = (0..4).map(|s| Policy::for_seed(s, 4).name()).collect();
+        assert_eq!(names, vec!["lifo", "rr", "starve0", "random"]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Compact per-lane event timelines.
+//!
+//! The simulation seam reports every scheduling decision as a
+//! [`smg_dtmc::sim::Event`]; the harness records them here and, when a
+//! run fails, renders the last few epochs as a per-lane trace — the
+//! "what actually interleaved" artifact that makes a shrunk reproducer
+//! readable without re-running it under a debugger.
+
+use smg_dtmc::sim::Event;
+
+/// How many trailing epochs a rendered timeline shows.
+const RENDER_EPOCHS: usize = 4;
+/// Per-lane cap on rendered entries within one epoch.
+const RENDER_LANE_ENTRIES: usize = 48;
+
+/// An append-only recording of one simulated run's events.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    events: Vec<Event>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Records one event.
+    pub fn push(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the last few epochs as per-lane traces. Entry notation:
+    /// `rN` ran task N, `cN` claimed task N (dynamic), `zNxK` stalled K
+    /// steps before task N, `P!N` injected panic on task N, `X!N` the
+    /// task body panicked, `.` lane done.
+    pub fn render(&self) -> String {
+        // Split the flat stream on EpochBegin markers.
+        let mut epochs: Vec<&[Event]> = Vec::new();
+        let mut start = None;
+        for (i, ev) in self.events.iter().enumerate() {
+            if matches!(ev, Event::EpochBegin { .. }) {
+                if let Some(s) = start {
+                    epochs.push(&self.events[s..i]);
+                }
+                start = Some(i);
+            }
+        }
+        if let Some(s) = start {
+            epochs.push(&self.events[s..]);
+        }
+        let shown = epochs.len().min(RENDER_EPOCHS);
+        let mut out = String::new();
+        if epochs.len() > shown {
+            out.push_str(&format!(
+                "… {} earlier epoch(s) elided …\n",
+                epochs.len() - shown
+            ));
+        }
+        for ep in &epochs[epochs.len() - shown..] {
+            render_epoch(ep, &mut out);
+        }
+        if out.is_empty() {
+            out.push_str("(no simulated epochs recorded)\n");
+        }
+        out
+    }
+}
+
+fn render_epoch(events: &[Event], out: &mut String) {
+    let Some(Event::EpochBegin {
+        epoch,
+        lanes,
+        ntasks,
+        dynamic,
+        inline,
+    }) = events.first().copied()
+    else {
+        return;
+    };
+    let mode = match (inline, dynamic) {
+        (true, _) => "inline",
+        (false, true) => "dynamic",
+        (false, false) => "static",
+    };
+    let panicked = events
+        .iter()
+        .any(|e| matches!(e, Event::EpochEnd { panicked: true, .. }));
+    out.push_str(&format!(
+        "epoch {epoch}: {lanes} lanes × {ntasks} tasks, {mode}{}\n",
+        if panicked { " — PANICKED" } else { "" }
+    ));
+    if inline {
+        return;
+    }
+    // Global schedule order first — the per-lane rows below cannot show
+    // which lane moved first, and that order is usually the whole story.
+    let order: Vec<String> = events[1..]
+        .iter()
+        .filter_map(|ev| match *ev {
+            Event::Run { lane, .. } => Some(format!("l{lane}")),
+            Event::Stall { lane, .. } => Some(format!("l{lane}z")),
+            Event::InjectedPanic { lane, .. } | Event::TaskPanic { lane, .. } => {
+                Some(format!("l{lane}!"))
+            }
+            _ => None,
+        })
+        .collect();
+    if !order.is_empty() {
+        let elided = order.len().saturating_sub(RENDER_LANE_ENTRIES);
+        out.push_str(&format!(
+            "  order: {}{}\n",
+            if elided > 0 {
+                format!("(+{elided} elided) ")
+            } else {
+                String::new()
+            },
+            order[elided..].join(" ")
+        ));
+    }
+    let mut per_lane: Vec<Vec<String>> = vec![Vec::new(); lanes];
+    for ev in &events[1..] {
+        let (lane, entry) = match *ev {
+            Event::Claim { lane, task } => (lane, format!("c{task}")),
+            Event::Run { lane, task } => (lane, format!("r{task}")),
+            Event::Stall { lane, task, steps } => (lane, format!("z{task}x{steps}")),
+            Event::InjectedPanic { lane, task } => (lane, format!("P!{task}")),
+            Event::TaskPanic { lane, task } => (lane, format!("X!{task}")),
+            Event::LaneDone { lane } => (lane, ".".to_string()),
+            Event::EpochBegin { .. } | Event::EpochEnd { .. } => continue,
+        };
+        if lane < per_lane.len() {
+            per_lane[lane].push(entry);
+        }
+    }
+    for (lane, entries) in per_lane.iter().enumerate() {
+        if entries.is_empty() {
+            continue;
+        }
+        let elided = entries.len().saturating_sub(RENDER_LANE_ENTRIES);
+        let tail = &entries[elided..];
+        out.push_str(&format!(
+            "  lane {lane}: {}{}\n",
+            if elided > 0 {
+                format!("(+{elided} elided) ")
+            } else {
+                String::new()
+            },
+            tail.join(" ")
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_per_lane_entries_for_the_last_epochs() {
+        let mut t = Timeline::new();
+        for epoch in 1..=6u64 {
+            t.push(Event::EpochBegin {
+                epoch,
+                lanes: 2,
+                ntasks: 2,
+                dynamic: false,
+                inline: false,
+            });
+            t.push(Event::Run { lane: 1, task: 1 });
+            t.push(Event::Run { lane: 0, task: 0 });
+            t.push(Event::EpochEnd {
+                epoch,
+                panicked: false,
+            });
+        }
+        let r = t.render();
+        assert!(r.contains("… 2 earlier epoch(s) elided …"), "{r}");
+        assert!(r.contains("epoch 6: 2 lanes × 2 tasks, static"), "{r}");
+        assert!(r.contains("lane 1: r1"), "{r}");
+    }
+
+    #[test]
+    fn marks_panicked_epochs() {
+        let mut t = Timeline::new();
+        t.push(Event::EpochBegin {
+            epoch: 1,
+            lanes: 2,
+            ntasks: 4,
+            dynamic: true,
+            inline: false,
+        });
+        t.push(Event::InjectedPanic { lane: 1, task: 0 });
+        t.push(Event::EpochEnd {
+            epoch: 1,
+            panicked: true,
+        });
+        let r = t.render();
+        assert!(r.contains("PANICKED"), "{r}");
+        assert!(r.contains("P!0"), "{r}");
+    }
+
+    #[test]
+    fn empty_timeline_renders_a_placeholder() {
+        assert!(Timeline::new().render().contains("no simulated epochs"));
+    }
+}

@@ -68,7 +68,7 @@ use crate::hash::{FastBuildHasher, FastHashMap};
 use crate::matrix::{merge_row_into, CsrBuilder, RankOneMatrix, TransitionMatrix, STOCHASTIC_TOL};
 use crate::model::{DtmcModel, MemorylessModel};
 use crate::stats::BuildStats;
-use crate::{par, pool, BitVec};
+use crate::{par, BitVec};
 use std::collections::BTreeMap;
 use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -511,7 +511,10 @@ where
     let nshards = shards.len();
     let level_len = level.len();
     let per_chunk = level_len.div_ceil(nchunks);
-    let pool = pool::global();
+    // The scoped pool honours `par::with_lane_scope` (checking sessions
+    // pinning a lane count, the sim harness pinning a virtual lane count);
+    // without a scope this is the process-wide pool as before.
+    let pool = par::scoped_pool();
 
     // Phase 1: expand + route.
     {

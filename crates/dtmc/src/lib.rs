@@ -126,6 +126,8 @@ pub mod matrix;
 pub mod model;
 pub mod par;
 pub mod pool;
+#[cfg(feature = "sim")]
+pub mod sim;
 pub mod solve;
 pub mod stats;
 pub mod synthetic;

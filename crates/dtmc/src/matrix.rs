@@ -577,7 +577,7 @@ impl TransitionMatrix {
         }
         match self {
             TransitionMatrix::Sparse(m) if par::should_parallelize(n) => {
-                par::chunked_map(out, PAR_MIN_CHUNK, |offset, chunk| {
+                par::chunked_map(out, par::tune_chunk(PAR_MIN_CHUNK), |offset, chunk| {
                     m.forward_gather_chunk(pi, active, offset, chunk)
                 });
             }
@@ -690,7 +690,7 @@ impl TransitionMatrix {
                     }
                 };
                 if par::should_parallelize(n) {
-                    par::chunked_map(out, PAR_MIN_CHUNK, |o, c| body(o, c));
+                    par::chunked_map(out, par::tune_chunk(PAR_MIN_CHUNK), |o, c| body(o, c));
                 } else {
                     body(0, out);
                 }
@@ -706,7 +706,7 @@ impl TransitionMatrix {
                     }
                 };
                 if par::should_parallelize(n) {
-                    par::chunked_map(out, PAR_MIN_CHUNK, |o, c| body(o, c));
+                    par::chunked_map(out, par::tune_chunk(PAR_MIN_CHUNK), |o, c| body(o, c));
                 } else {
                     body(0, out);
                 }

@@ -100,24 +100,75 @@ pub fn scoped_pool() -> &'static pool::Pool {
 /// needed 32k rows to amortize its per-call spawns.
 pub const PAR_MIN_ROWS: usize = 4_096;
 
+/// Hard ceiling on the configurable lane count. Oversubscription well
+/// above the core count is deliberately allowed (tests drive the threaded
+/// paths on small machines), but a typo like `SMG_THREADS=80000` would
+/// otherwise spawn tens of thousands of parked OS threads.
+#[cfg(feature = "parallel")]
+const THREADS_CAP: usize = 1_024;
+
+/// Interprets a raw `SMG_THREADS` value against the detected parallelism.
+///
+/// Returns the lane count to use plus a warning to print (at most one)
+/// when the value was rejected or clamped:
+///
+/// * unset → detected parallelism, silently;
+/// * a positive integer ≤ [`THREADS_CAP`] → honoured as-is (including
+///   values above the core count);
+/// * `0` → rejected, detected parallelism, one warning;
+/// * garbage (non-numeric, empty, negative) → rejected, detected
+///   parallelism, one warning;
+/// * absurd (> [`THREADS_CAP`]) → clamped to the cap, one warning.
+#[cfg(feature = "parallel")]
+fn parse_threads(raw: Option<&str>, detected: usize) -> (usize, Option<String>) {
+    let Some(raw) = raw else {
+        return (detected, None);
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(0) => (
+            detected,
+            Some(format!(
+                "SMG_THREADS=0 is invalid (the dispatching thread is always a lane); \
+                 falling back to the detected parallelism ({detected})"
+            )),
+        ),
+        Ok(n) if n > THREADS_CAP as u64 => (
+            THREADS_CAP,
+            Some(format!(
+                "SMG_THREADS={n} exceeds the {THREADS_CAP}-lane cap; clamping to {THREADS_CAP}"
+            )),
+        ),
+        Ok(n) => (n as usize, None),
+        Err(_) => (
+            detected,
+            Some(format!(
+                "SMG_THREADS={raw:?} is not a thread count; \
+                 falling back to the detected parallelism ({detected})"
+            )),
+        ),
+    }
+}
+
 /// The number of worker lanes parallel kernels may use (≥ 1).
 ///
 /// `SMG_THREADS` overrides the detected parallelism outright — including
-/// *above* it. Oversubscription is harmless for correctness and lets the
-/// real threaded driver be exercised deterministically on low-core
-/// machines (the kernel test suites rely on this).
+/// *above* it, up to a 1024-lane cap. Oversubscription is harmless for
+/// correctness and lets the real threaded driver be exercised
+/// deterministically on low-core machines (the kernel test suites rely on
+/// this). Zero, garbage, and absurd values fall back to a sane count with
+/// a single warning on stderr instead of silently misbehaving.
 #[cfg(feature = "parallel")]
 pub fn max_threads() -> usize {
     use std::sync::OnceLock;
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
-        match std::env::var("SMG_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-        {
-            Some(n) if n >= 1 => n,
-            _ => std::thread::available_parallelism().map_or(1, usize::from),
+        let raw = std::env::var("SMG_THREADS").ok();
+        let detected = std::thread::available_parallelism().map_or(1, usize::from);
+        let (lanes, warning) = parse_threads(raw.as_deref(), detected);
+        if let Some(w) = warning {
+            eprintln!("smg-dtmc: {w}");
         }
+        lanes
     })
 }
 
@@ -160,14 +211,34 @@ fn par_threshold() -> usize {
 /// Whether a kernel over `rows` rows should take its parallel path. A
 /// [`with_lane_scope`] on the current thread overrides the process-wide
 /// lane configuration (1 lane disables parallelism outright); the
-/// `min_rows` threshold applies either way.
+/// `min_rows` threshold applies either way. With a sim interleaver
+/// installed (`sim` feature), the sim's own threshold wins so that small
+/// test models still exercise the dispatch paths under simulation.
 pub fn should_parallelize(rows: usize) -> bool {
+    #[cfg(feature = "sim")]
+    if let Some(m) = crate::sim::min_rows_override() {
+        return rows >= m.max(2);
+    }
     #[cfg(feature = "parallel")]
     if let Some(lanes) = scoped_lanes() {
         return lanes > 1 && rows >= min_rows();
     }
     let t = par_threshold();
     t != usize::MAX && rows >= t
+}
+
+/// The chunk size a kernel should use where it would normally use
+/// `default`: the sim's [`crate::sim::SimConfig::kernel_chunk`] cap when
+/// an interleaver is installed on this thread, `default` otherwise. With
+/// the `sim` feature off this is the identity function and compiles away
+/// — the production chunk geometry is untouched.
+#[inline]
+pub fn tune_chunk(default: usize) -> usize {
+    #[cfg(feature = "sim")]
+    if let Some(cap) = crate::sim::kernel_chunk() {
+        return cap.clamp(1, default.max(1));
+    }
+    default
 }
 
 /// Splits `data` into at most [`max_threads`] contiguous chunks, runs
@@ -249,6 +320,36 @@ mod tests {
         with_lane_scope(2, || {
             assert_eq!(scoped_pool().lanes(), 2);
         });
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn smg_threads_parsing_rejects_zero_garbage_and_absurd_values() {
+        // Unset: detected parallelism, no warning.
+        assert_eq!(parse_threads(None, 8), (8, None));
+        // Valid values are honoured as-is, including oversubscription.
+        assert_eq!(parse_threads(Some("3"), 8), (3, None));
+        assert_eq!(parse_threads(Some(" 16 "), 2), (16, None));
+        // Zero is rejected with a warning and a sane fallback.
+        let (lanes, warn) = parse_threads(Some("0"), 8);
+        assert_eq!(lanes, 8);
+        assert!(warn.unwrap().contains("SMG_THREADS=0"));
+        // Garbage is rejected with a warning and a sane fallback.
+        for garbage in ["", "zwölf", "4.5", "-2", "1e3"] {
+            let (lanes, warn) = parse_threads(Some(garbage), 6);
+            assert_eq!(lanes, 6, "garbage {garbage:?}");
+            assert!(
+                warn.unwrap().contains("not a thread count"),
+                "garbage {garbage:?}"
+            );
+        }
+        // Absurd values are clamped to the cap with a warning.
+        let (lanes, warn) = parse_threads(Some("80000"), 8);
+        assert_eq!(lanes, super::THREADS_CAP);
+        assert!(warn.unwrap().contains("clamping"));
+        // A huge value that doesn't even fit u64 is garbage, not a clamp.
+        let (lanes, _) = parse_threads(Some("99999999999999999999999999"), 4);
+        assert_eq!(lanes, 4);
     }
 
     #[test]

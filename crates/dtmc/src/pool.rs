@@ -58,6 +58,22 @@ thread_local! {
     static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Runs `f` with the re-entrancy guard set, so that nested dispatches
+/// degrade to the inline loop — the context every pool task body executes
+/// in. The simulated executor ([`crate::sim`]) wraps task bodies in this
+/// to reproduce the real pool's nested-dispatch degradation.
+#[cfg(feature = "sim")]
+pub(crate) fn in_task<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_PARALLEL.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(IN_PARALLEL.with(|c| c.replace(true)));
+    f()
+}
+
 /// A type-erased borrowed job: a data pointer to the caller's closure and a
 /// monomorphized trampoline that invokes it with a task index.
 #[derive(Clone, Copy)]
@@ -98,8 +114,10 @@ struct Control {
     ntasks: usize,
     /// Workers that have not yet finished the current epoch.
     remaining: usize,
-    /// Whether any worker task of the current epoch panicked.
-    panicked: bool,
+    /// `(lane, epoch)` of the first worker task that panicked in the
+    /// current epoch, carried into the re-raised message so real-world
+    /// failures are diagnosable without a harness attached.
+    panicked: Option<(usize, u64)>,
 }
 
 /// A persistent fork-join worker pool; see the module docs for the
@@ -133,7 +151,7 @@ impl Pool {
                 job: None,
                 ntasks: 0,
                 remaining: 0,
-                panicked: false,
+                panicked: None,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -181,6 +199,11 @@ impl Pool {
             }
             return;
         }
+        #[cfg(feature = "sim")]
+        if crate::sim::active() {
+            crate::sim::run_epoch(self.lanes, ntasks, false, &|t| f(t));
+            return;
+        }
         let _fork = self.fork.lock().unwrap_or_else(PoisonError::into_inner);
         IN_PARALLEL.with(|c| c.set(true));
         {
@@ -188,7 +211,7 @@ impl Pool {
             ctl.job = Some(Job::erase(f));
             ctl.ntasks = ntasks;
             ctl.remaining = self.lanes - 1;
-            ctl.panicked = false;
+            ctl.panicked = None;
             ctl.epoch += 1;
             self.work_cv.notify_all();
         }
@@ -209,15 +232,18 @@ impl Pool {
                 .unwrap_or_else(PoisonError::into_inner);
         }
         ctl.job = None;
-        let worker_panicked = std::mem::take(&mut ctl.panicked);
+        let worker_panicked = ctl.panicked.take();
         drop(ctl);
         IN_PARALLEL.with(|c| c.set(false));
         match caller {
             Err(payload) => resume_unwind(payload),
-            Ok(()) if worker_panicked => {
-                panic!("smg-dtmc worker pool: a worker task panicked")
+            Ok(()) => {
+                if let Some((lane, epoch)) = worker_panicked {
+                    panic!(
+                        "smg-dtmc worker pool: a worker task panicked (lane {lane}, epoch {epoch})"
+                    )
+                }
             }
-            Ok(()) => {}
         }
     }
 
@@ -241,6 +267,14 @@ impl Pool {
             for t in 0..ntasks {
                 f(t);
             }
+            return;
+        }
+        #[cfg(feature = "sim")]
+        if crate::sim::active() {
+            // The simulated executor claims tasks through a *virtual*
+            // cursor so the interleaver controls claim order; routing
+            // through `run` would let lane 0 drain the real cursor whole.
+            crate::sim::run_epoch(drivers, ntasks, true, &|t| f(t));
             return;
         }
         let cursor = AtomicUsize::new(0);
@@ -283,8 +317,8 @@ impl Pool {
             }))
             .is_ok();
             let mut ctl = self.lock_ctl();
-            if !ok {
-                ctl.panicked = true;
+            if !ok && ctl.panicked.is_none() {
+                ctl.panicked = Some((lane, seen));
             }
             ctl.remaining -= 1;
             if ctl.remaining == 0 {
@@ -523,6 +557,33 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn worker_panic_message_carries_lane_and_epoch() {
+        let pool = with_lanes(2);
+        // Burn a few epochs so the reported epoch is meaningful.
+        for _ in 0..3 {
+            pool.run(4, &|_| {});
+        }
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, &|t| {
+                // Only the worker lane (task 1 on a 2-lane stride) panics,
+                // so the pool's enriched message — not the caller's raw
+                // payload — is what propagates.
+                if t == 1 {
+                    panic!("worker task exploded");
+                }
+            });
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("enriched pool panic carries a formatted String payload");
+        assert!(
+            msg.contains("a worker task panicked (lane 1, epoch "),
+            "message should name the lane and epoch: {msg}"
+        );
     }
 
     #[test]

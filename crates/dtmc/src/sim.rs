@@ -1,0 +1,630 @@
+//! Deterministic simulation seam for the worker pool (the `sim` feature).
+//!
+//! Every parallel subsystem in this workspace is pinned "bit-identical to
+//! sequential" by property tests — but those tests only explore the
+//! schedules the operating system happens to produce. This module lets a
+//! harness take control of the pool's scheduling decisions instead: with
+//! an [`Interleaver`] installed on the current thread, every
+//! [`Pool::run`]/[`Pool::run_dynamic`] dispatch is *simulated* — the
+//! pool's lanes become virtual lanes that are single-stepped, one task at
+//! a time, in whatever order the interleaver chooses, with optional fault
+//! injection (lane stalls, injected task panics, forced degradation to
+//! the inline path). The whole simulation runs on the calling thread, so
+//! a given interleaver decision sequence replays exactly.
+//!
+//! The production dispatch path is untouched: without the `sim` feature
+//! this module does not exist and the pool compiles exactly as before;
+//! with the feature compiled in but no interleaver installed, the only
+//! cost is one thread-local read per dispatch.
+//!
+//! # Simulated semantics
+//!
+//! The executor mirrors the real pool's observable behaviour:
+//!
+//! * **Static dispatch** ([`Pool::run`]): lane `l` owns tasks
+//!   `l, l + lanes, …`. A task panic (injected or genuine) makes the lane
+//!   abandon its remaining share — exactly what the real worker's
+//!   `catch_unwind` around its share loop does — and the dispatch re-raises
+//!   after all lanes settle.
+//! * **Dynamic dispatch** ([`Pool::run_dynamic`]): lanes claim task
+//!   indices through a virtual cursor; a panicking lane stops claiming but
+//!   the surviving lanes drain the remaining tasks, as with the real
+//!   atomic cursor.
+//! * **Nested dispatch** from inside a simulated task degrades to the
+//!   inline sequential loop, because the real pool's re-entrancy guard is
+//!   set for the duration of the task.
+//! * **Panic propagation**: the dispatching lane's own panic payload is
+//!   re-raised as-is; worker-lane panics re-raise the pool's enriched
+//!   `"a worker task panicked (lane L, epoch E)"` message.
+//!
+//! The executor also checks the pool's dispatch invariants on every epoch
+//! — no task lost, no task run twice — and reports a violation by
+//! panicking with a message starting with `"smg-sim invariant violation"`.
+//!
+//! Interleaving granularity is one *task*: the simulation cannot reorder
+//! loads and stores inside a task body, so it explores the space of task
+//! schedules, not weak-memory behaviours.
+//!
+//! [`Pool::run`]: crate::pool::Pool::run
+//! [`Pool::run_dynamic`]: crate::pool::Pool::run_dynamic
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+/// A fault the interleaver may inject before a lane executes a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault: the task executes normally.
+    None,
+    /// The lane stalls for the given number of virtual time steps without
+    /// claiming or executing its task (models a descheduled worker).
+    Stall(u32),
+    /// The task "panics" without executing: the lane dies for the rest of
+    /// the epoch and the dispatch re-raises the pool's enriched panic
+    /// message after every lane has settled.
+    Panic,
+}
+
+/// How a simulated epoch executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochMode {
+    /// Single-step virtual lanes under [`Interleaver::choose`].
+    Simulate,
+    /// Run every task inline in index order — the pool's degraded
+    /// sequential path (what a re-entrant or single-lane dispatch does).
+    Inline,
+}
+
+/// One observable step of a simulated dispatch, reported to
+/// [`Interleaver::observe`] for timeline reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A dispatch began.
+    EpochBegin {
+        /// Per-thread simulated epoch counter (1-based).
+        epoch: u64,
+        /// Virtual lane count of this dispatch.
+        lanes: usize,
+        /// Task count of this dispatch.
+        ntasks: usize,
+        /// Whether tasks are claimed through the (virtual) atomic cursor.
+        dynamic: bool,
+        /// Whether the epoch was forced onto the inline degraded path.
+        inline: bool,
+    },
+    /// A lane claimed a task index through the virtual cursor.
+    Claim {
+        /// Claiming lane.
+        lane: usize,
+        /// Claimed task index.
+        task: usize,
+    },
+    /// A lane is about to execute a task.
+    Run {
+        /// Executing lane.
+        lane: usize,
+        /// Task index.
+        task: usize,
+    },
+    /// A lane was stalled by an injected fault.
+    Stall {
+        /// Stalled lane.
+        lane: usize,
+        /// The task it would have run.
+        task: usize,
+        /// Stall length in virtual steps.
+        steps: u32,
+    },
+    /// An injected fault killed the task (and the lane) without running it.
+    InjectedPanic {
+        /// Dying lane.
+        lane: usize,
+        /// The task that was lost.
+        task: usize,
+    },
+    /// The task body genuinely panicked; the lane dies for the epoch.
+    TaskPanic {
+        /// Dying lane.
+        lane: usize,
+        /// The panicking task.
+        task: usize,
+    },
+    /// A lane finished its share (static) or found the cursor drained
+    /// (dynamic).
+    LaneDone {
+        /// Finished lane.
+        lane: usize,
+    },
+    /// The dispatch settled.
+    EpochEnd {
+        /// Epoch counter matching the [`Event::EpochBegin`].
+        epoch: u64,
+        /// Whether any lane panicked (injected or genuine).
+        panicked: bool,
+    },
+}
+
+/// The scheduling policy seam: a harness implements this to decide, step
+/// by step, which virtual lane advances and which faults strike.
+///
+/// All methods are called on the simulating (= dispatching) thread, never
+/// concurrently; `&mut self` state needs no synchronization.
+pub trait Interleaver {
+    /// Called once per dispatch before any task runs. Returning
+    /// [`EpochMode::Inline`] forces the pool's degraded sequential path —
+    /// the "forced nested-dispatch degradation" fault.
+    fn epoch_begin(&mut self, epoch: u64, lanes: usize, ntasks: usize, dynamic: bool) -> EpochMode {
+        let _ = (epoch, lanes, ntasks, dynamic);
+        EpochMode::Simulate
+    }
+
+    /// Picks the lane to single-step next. `runnable` is non-empty and
+    /// sorted ascending; the return value must be one of its elements.
+    fn choose(&mut self, runnable: &[usize]) -> usize;
+
+    /// The fault (if any) to inject before `lane` executes `task`. Called
+    /// exactly once per scheduling step, so implementations may count
+    /// calls as their global step clock.
+    fn fault(&mut self, lane: usize, task: usize) -> Fault {
+        let _ = (lane, task);
+        Fault::None
+    }
+
+    /// Observes one simulation event (see [`Event`]); the default ignores
+    /// them. Harnesses record these into per-lane timelines.
+    fn observe(&mut self, event: &Event) {
+        let _ = event;
+    }
+}
+
+/// Kernel-tuning overrides active while an interleaver is installed.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Caps the chunk size of the chunked kernels (see
+    /// [`crate::par::tune_chunk`]) so that small test models still split
+    /// into many pool tasks. `None` keeps the production chunk sizes.
+    pub kernel_chunk: Option<usize>,
+    /// Replacement for the [`crate::par::min_rows`] parallel threshold:
+    /// any kernel of at least this many rows takes its parallel path.
+    pub min_rows: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            kernel_chunk: Some(16),
+            min_rows: 2,
+        }
+    }
+}
+
+/// The per-thread simulation context installed by [`install`].
+struct SimCtx {
+    il: Rc<RefCell<dyn Interleaver>>,
+    cfg: SimConfig,
+    /// Per-thread epoch counter; advances on every simulated dispatch.
+    epoch: Cell<u64>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<SimCtx>> = const { RefCell::new(None) };
+}
+
+/// Uninstalls the thread's interleaver on drop; returned by [`install`].
+pub struct SimGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for SimGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| *a.borrow_mut() = None);
+    }
+}
+
+/// Installs `interleaver` as this thread's scheduling authority: until the
+/// returned guard drops, every multi-lane pool dispatch *from this thread*
+/// is simulated instead of fanned out to worker threads.
+///
+/// # Panics
+///
+/// Panics if an interleaver is already installed on this thread (sims do
+/// not nest — a harness drives one workload at a time).
+pub fn install(interleaver: Rc<RefCell<dyn Interleaver>>, cfg: SimConfig) -> SimGuard {
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        assert!(
+            slot.is_none(),
+            "a sim interleaver is already installed on this thread"
+        );
+        *slot = Some(SimCtx {
+            il: interleaver,
+            cfg,
+            epoch: Cell::new(0),
+        });
+    });
+    SimGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Whether a sim interleaver is installed on the current thread.
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// The active sim's kernel-chunk cap, if any (see [`SimConfig`]).
+pub(crate) fn kernel_chunk() -> Option<usize> {
+    ACTIVE.with(|a| a.borrow().as_ref().and_then(|c| c.cfg.kernel_chunk))
+}
+
+/// The active sim's parallel-threshold override, if any.
+pub(crate) fn min_rows_override() -> Option<usize> {
+    ACTIVE.with(|a| a.borrow().as_ref().map(|c| c.cfg.min_rows))
+}
+
+/// Simulates one pool dispatch; called from [`crate::pool::Pool::run`] /
+/// [`crate::pool::Pool::run_dynamic`] when an interleaver is active.
+///
+/// Executes every task of the epoch on the calling thread, in the order
+/// the interleaver chooses, with the panic/latch semantics described in
+/// the module docs.
+pub(crate) fn run_epoch(lanes: usize, ntasks: usize, dynamic: bool, f: &dyn Fn(usize)) {
+    let (il, epoch) = ACTIVE.with(|a| {
+        let b = a.borrow();
+        let ctx = b.as_ref().expect("run_epoch without an installed sim");
+        ctx.epoch.set(ctx.epoch.get() + 1);
+        (Rc::clone(&ctx.il), ctx.epoch.get())
+    });
+    let mode = il.borrow_mut().epoch_begin(epoch, lanes, ntasks, dynamic);
+    let inline = matches!(mode, EpochMode::Inline);
+    il.borrow_mut().observe(&Event::EpochBegin {
+        epoch,
+        lanes,
+        ntasks,
+        dynamic,
+        inline,
+    });
+    if inline {
+        // The degraded path: index order, no catch — a panic propagates
+        // immediately, exactly like the pool's own inline fallback.
+        for t in 0..ntasks {
+            f(t);
+        }
+        il.borrow_mut().observe(&Event::EpochEnd {
+            epoch,
+            panicked: false,
+        });
+        return;
+    }
+
+    let mut completed = vec![false; ntasks];
+    let mut stall = vec![0u32; lanes];
+    let mut dead = vec![false; lanes];
+    let mut done = vec![false; lanes];
+    // Static assignment: the next strided task per lane. Dynamic: the
+    // shared claim cursor.
+    let mut next: Vec<usize> = (0..lanes).collect();
+    let mut cursor = 0usize;
+    if !dynamic {
+        for l in 0..lanes {
+            if next[l] >= ntasks {
+                done[l] = true;
+            }
+        }
+    }
+    // (lane, task, genuine panic payload — None for injected faults).
+    type PanicRec = (usize, usize, Option<Box<dyn Any + Send>>);
+    let mut panics: Vec<PanicRec> = Vec::new();
+    let mut runnable: Vec<usize> = Vec::with_capacity(lanes);
+
+    loop {
+        runnable.clear();
+        runnable.extend((0..lanes).filter(|&l| !done[l] && !dead[l] && stall[l] == 0));
+        if runnable.is_empty() {
+            // Either every live lane is stalled — advance virtual time past
+            // the shortest stall (stalls never deadlock the epoch) — or all
+            // lanes are done/dead and the epoch has settled.
+            let min_stall = (0..lanes)
+                .filter(|&l| !done[l] && !dead[l] && stall[l] > 0)
+                .map(|l| stall[l])
+                .min();
+            match min_stall {
+                Some(s) => {
+                    for v in stall.iter_mut() {
+                        *v = v.saturating_sub(s);
+                    }
+                    continue;
+                }
+                None => break,
+            }
+        }
+        let lane = il.borrow_mut().choose(&runnable);
+        assert!(
+            runnable.contains(&lane),
+            "smg-sim invariant violation: interleaver chose lane {lane} \
+             outside the runnable set {runnable:?}"
+        );
+        // The task this lane would execute next.
+        let task = if dynamic {
+            if cursor >= ntasks {
+                done[lane] = true;
+                il.borrow_mut().observe(&Event::LaneDone { lane });
+                continue;
+            }
+            cursor
+        } else {
+            next[lane]
+        };
+        // Bind before matching: the `borrow_mut` temporary would otherwise
+        // live across the arms, which re-borrow to observe events.
+        let fault = il.borrow_mut().fault(lane, task);
+        match fault {
+            Fault::Stall(steps) => {
+                let steps = steps.max(1);
+                stall[lane] = steps;
+                il.borrow_mut().observe(&Event::Stall { lane, task, steps });
+                continue;
+            }
+            Fault::Panic => {
+                if dynamic {
+                    // The real panic happens *after* the claim succeeded,
+                    // so the claimed index is lost, not recycled.
+                    cursor += 1;
+                    il.borrow_mut().observe(&Event::Claim { lane, task });
+                }
+                dead[lane] = true;
+                panics.push((lane, task, None));
+                il.borrow_mut()
+                    .observe(&Event::InjectedPanic { lane, task });
+                continue;
+            }
+            Fault::None => {}
+        }
+        if dynamic {
+            cursor += 1;
+            il.borrow_mut().observe(&Event::Claim { lane, task });
+        }
+        il.borrow_mut().observe(&Event::Run { lane, task });
+        // Nested dispatch from inside the task must degrade inline, as on
+        // the real pool (the worker's re-entrancy guard is set).
+        let result = catch_unwind(AssertUnwindSafe(|| crate::pool::in_task(|| f(task))));
+        match result {
+            Ok(()) => {
+                assert!(
+                    !completed[task],
+                    "smg-sim invariant violation: task {task} ran twice in epoch {epoch}"
+                );
+                completed[task] = true;
+                if !dynamic {
+                    next[lane] += lanes;
+                    if next[lane] >= ntasks {
+                        done[lane] = true;
+                        il.borrow_mut().observe(&Event::LaneDone { lane });
+                    }
+                }
+            }
+            Err(payload) => {
+                // The lane abandons the rest of its share, exactly like a
+                // real worker unwinding out of its strided loop.
+                dead[lane] = true;
+                panics.push((lane, task, Some(payload)));
+                il.borrow_mut().observe(&Event::TaskPanic { lane, task });
+            }
+        }
+    }
+
+    let panicked = !panics.is_empty();
+    il.borrow_mut()
+        .observe(&Event::EpochEnd { epoch, panicked });
+    if !panicked {
+        if let Some(task) = completed.iter().position(|&c| !c) {
+            let ran = completed.iter().filter(|&&c| c).count();
+            panic!(
+                "smg-sim invariant violation: task {task} was lost in epoch {epoch} \
+                 ({ran}/{ntasks} tasks completed without any panic)"
+            );
+        }
+        return;
+    }
+    // Propagation mirrors the real pool: the dispatching lane's own panic
+    // payload is re-raised as-is; worker panics raise the enriched pool
+    // message naming the first dead lane and the epoch.
+    if let Some(payload) = panics
+        .iter_mut()
+        .find_map(|(l, _, p)| (*l == 0).then(|| p.take()).flatten())
+    {
+        resume_unwind(payload);
+    }
+    let (lane, _, _) = panics[0];
+    panic!("smg-dtmc worker pool: a worker task panicked (lane {lane}, epoch {epoch})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Scripted interleaver: always picks the highest runnable lane
+    /// (LIFO-ish), injecting faults from a fixed step-indexed table.
+    struct Scripted {
+        faults: Vec<(u64, Fault)>,
+        step: u64,
+        events: Vec<Event>,
+    }
+
+    impl Scripted {
+        fn new(faults: Vec<(u64, Fault)>) -> Self {
+            Scripted {
+                faults,
+                step: 0,
+                events: Vec::new(),
+            }
+        }
+    }
+
+    impl Interleaver for Scripted {
+        fn choose(&mut self, runnable: &[usize]) -> usize {
+            *runnable.last().unwrap()
+        }
+        fn fault(&mut self, _lane: usize, _task: usize) -> Fault {
+            let step = self.step;
+            self.step += 1;
+            self.faults
+                .iter()
+                .find(|&&(s, _)| s == step)
+                .map_or(Fault::None, |&(_, f)| f)
+        }
+        fn observe(&mut self, event: &Event) {
+            self.events.push(*event);
+        }
+    }
+
+    fn with_sim<R>(il: Rc<RefCell<Scripted>>, f: impl FnOnce() -> R) -> R {
+        let _guard = install(il, SimConfig::default());
+        f()
+    }
+
+    #[test]
+    fn static_dispatch_runs_every_task_exactly_once_under_adversarial_order() {
+        let il = Rc::new(RefCell::new(Scripted::new(vec![
+            (2, Fault::Stall(3)),
+            (7, Fault::Stall(1)),
+        ])));
+        let pool = pool::with_lanes(4);
+        let hits: Vec<AtomicUsize> = (0..23).map(|_| AtomicUsize::new(0)).collect();
+        with_sim(Rc::clone(&il), || {
+            pool.run(23, &|t| {
+                hits[t].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        let ev = &il.borrow().events;
+        assert!(matches!(
+            ev.first(),
+            Some(Event::EpochBegin {
+                lanes: 4,
+                ntasks: 23,
+                dynamic: false,
+                ..
+            })
+        ));
+        assert!(matches!(
+            ev.last(),
+            Some(Event::EpochEnd {
+                panicked: false,
+                ..
+            })
+        ));
+        assert!(ev.iter().any(|e| matches!(e, Event::Stall { .. })));
+    }
+
+    #[test]
+    fn dynamic_dispatch_drains_cursor_even_with_a_dead_lane() {
+        // Lane dies on the third scheduling step; the remaining lanes must
+        // still claim every other task, and the panic must carry lane+epoch.
+        let il = Rc::new(RefCell::new(Scripted::new(vec![(2, Fault::Panic)])));
+        let pool = pool::with_lanes(3);
+        let hits: Vec<AtomicUsize> = (0..10).map(|_| AtomicUsize::new(0)).collect();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            with_sim(Rc::clone(&il), || {
+                pool.run_dynamic(10, &|t| {
+                    hits[t].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(
+            msg.contains("a worker task panicked (lane "),
+            "panic message should carry the lane: {msg}"
+        );
+        // Exactly one task (the claimed-then-killed one) is lost; every
+        // other index was drained by the surviving lanes.
+        let lost: Vec<usize> = (0..10)
+            .filter(|&t| hits[t].load(Ordering::Relaxed) == 0)
+            .collect();
+        assert_eq!(lost.len(), 1, "exactly the killed claim is lost: {lost:?}");
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) <= 1));
+    }
+
+    #[test]
+    fn static_panic_abandons_the_lanes_share() {
+        // Lane 3 (the scripted interleaver's first pick on a 4-lane pool)
+        // dies immediately: its whole strided share {3, 7, 11} is
+        // abandoned, matching the real worker's catch_unwind granularity.
+        let il = Rc::new(RefCell::new(Scripted::new(vec![(0, Fault::Panic)])));
+        let pool = pool::with_lanes(4);
+        let hits: Vec<AtomicUsize> = (0..12).map(|_| AtomicUsize::new(0)).collect();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            with_sim(Rc::clone(&il), || {
+                pool.run(12, &|t| {
+                    hits[t].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(err.is_err());
+        for (t, hit) in hits.iter().enumerate() {
+            let expect = usize::from(t % 4 != 3);
+            assert_eq!(hit.load(Ordering::Relaxed), expect, "task {t}");
+        }
+    }
+
+    #[test]
+    fn inline_mode_runs_in_index_order() {
+        struct ForceInline;
+        impl Interleaver for ForceInline {
+            fn epoch_begin(&mut self, _: u64, _: usize, _: usize, _: bool) -> EpochMode {
+                EpochMode::Inline
+            }
+            fn choose(&mut self, _runnable: &[usize]) -> usize {
+                unreachable!("inline epochs never schedule")
+            }
+        }
+        let il: Rc<RefCell<ForceInline>> = Rc::new(RefCell::new(ForceInline));
+        let order = std::sync::Mutex::new(Vec::new());
+        {
+            let _guard = install(il, SimConfig::default());
+            pool::with_lanes(4).run(6, &|t| {
+                order.lock().unwrap().push(t);
+            });
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn nested_dispatch_inside_a_simulated_task_degrades_inline() {
+        let il = Rc::new(RefCell::new(Scripted::new(Vec::new())));
+        let pool = pool::with_lanes(3);
+        let outer = AtomicUsize::new(0);
+        let inner = AtomicUsize::new(0);
+        with_sim(il, || {
+            pool.run(3, &|_| {
+                outer.fetch_add(1, Ordering::Relaxed);
+                pool.run(5, &|_| {
+                    inner.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 3);
+        assert_eq!(inner.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn guard_uninstalls_and_dispatch_goes_back_to_the_real_pool() {
+        let pool = pool::with_lanes(2);
+        {
+            let il = Rc::new(RefCell::new(Scripted::new(Vec::new())));
+            let _guard = install(il, SimConfig::default());
+            assert!(active());
+        }
+        assert!(!active());
+        let count = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+}

@@ -134,7 +134,7 @@ fn sweep_one_block(
 /// One block-hybrid sweep from `x_old` into `x_new` across the parallel
 /// workers; returns the max delta.
 fn sweep_block_hybrid(m: &CsrMatrix, target: &BitVec, x_old: &[f64], x_new: &mut [f64]) -> f64 {
-    let deltas = par::chunked_map(x_new, PAR_MIN_CHUNK, |offset, block| {
+    let deltas = par::chunked_map(x_new, par::tune_chunk(PAR_MIN_CHUNK), |offset, block| {
         sweep_one_block(m, target, x_old, offset, block)
     });
     deltas.into_iter().fold(0.0, f64::max)
@@ -321,7 +321,9 @@ fn interval_sweep(
     };
     if par::should_parallelize(n) {
         par::scoped_pool()
-            .map_chunks_dynamic(next, INTERVAL_CHUNK, &|offset, chunk| body(offset, chunk))
+            .map_chunks_dynamic(next, par::tune_chunk(INTERVAL_CHUNK), &|offset, chunk| {
+                body(offset, chunk)
+            })
             .into_iter()
             .fold(0.0, f64::max)
     } else {
@@ -655,9 +657,13 @@ fn topo_values_driver(
                 }
             };
             if par::should_parallelize(batch.len()) {
-                par::chunked_map(&mut scratch, PAR_MIN_CHUNK, |offset, chunk| {
-                    fill(offset, chunk);
-                });
+                par::chunked_map(
+                    &mut scratch,
+                    par::tune_chunk(PAR_MIN_CHUNK),
+                    |offset, chunk| {
+                        fill(offset, chunk);
+                    },
+                );
             } else {
                 fill(0, &mut scratch);
             }
@@ -728,9 +734,13 @@ fn topo_interval_driver(
                 }
             };
             if par::should_parallelize(batch.len()) {
-                par::chunked_map(&mut scratch, PAR_MIN_CHUNK, |offset, chunk| {
-                    fill(offset, chunk);
-                });
+                par::chunked_map(
+                    &mut scratch,
+                    par::tune_chunk(PAR_MIN_CHUNK),
+                    |offset, chunk| {
+                        fill(offset, chunk);
+                    },
+                );
             } else {
                 fill(0, &mut scratch);
             }

@@ -558,6 +558,53 @@ fn main() {
         "  \"parallel_feature\": {},",
         cfg!(feature = "parallel")
     );
+    // Run metadata: enough to reproduce (or distrust) a number months
+    // later without the CI log that produced it.
+    json.push_str("  \"meta\": {\n");
+    let _ = writeln!(json, "    \"threads\": {},", smg_dtmc::par::max_threads());
+    let _ = writeln!(
+        json,
+        "    \"smg_threads_env\": {},",
+        match std::env::var("SMG_THREADS") {
+            Ok(v) => format!("\"{}\"", v.replace('"', "'")),
+            Err(_) => "null".to_string(),
+        }
+    );
+    let _ = writeln!(
+        json,
+        "    \"smg_scale_env\": {},",
+        match std::env::var("SMG_SCALE") {
+            Ok(v) => format!("\"{}\"", v.replace('"', "'")),
+            Err(_) => "null".to_string(),
+        }
+    );
+    let _ = writeln!(
+        json,
+        "    \"features\": {{\"parallel\": {}}},",
+        cfg!(feature = "parallel")
+    );
+    let _ = writeln!(
+        json,
+        "    \"debug_assertions\": {},",
+        cfg!(debug_assertions)
+    );
+    let rustc =
+        std::process::Command::new(std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string()))
+            .arg("--version")
+            .output()
+            .ok()
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty());
+    let _ = writeln!(
+        json,
+        "    \"rustc\": {}",
+        match rustc {
+            Some(v) => format!("\"{}\"", v.replace('"', "'")),
+            None => "null".to_string(),
+        }
+    );
+    json.push_str("  },\n");
     json.push_str("  \"explore\": [\n");
     for (i, (states, rate)) in explore_rates.iter().enumerate() {
         let _ = writeln!(

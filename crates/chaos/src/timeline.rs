@@ -7,6 +7,7 @@
 //! readable without re-running it under a debugger.
 
 use smg_dtmc::sim::Event;
+use smg_obs as obs;
 
 /// How many trailing epochs a rendered timeline shows.
 const RENDER_EPOCHS: usize = 4;
@@ -25,8 +26,14 @@ impl Timeline {
         Timeline::default()
     }
 
-    /// Records one event.
+    /// Records one event. When a recorder is installed, the event is also
+    /// reported through the instrumentation seam — simulated epochs speak
+    /// the same pool vocabulary as real dispatches, plus the
+    /// `smg_chaos_*` fault counters.
     pub fn push(&mut self, ev: Event) {
+        if obs::enabled() {
+            record_obs(&ev);
+        }
         self.events.push(ev);
     }
 
@@ -74,6 +81,41 @@ impl Timeline {
             out.push_str("(no simulated epochs recorded)\n");
         }
         out
+    }
+}
+
+/// Maps one simulated scheduling event onto the workspace's instruments:
+/// epochs and tasks use the worker pool's vocabulary (the simulated pool
+/// *is* the pool, virtually scheduled), injected faults get their own
+/// `smg_chaos_*` counters.
+fn record_obs(ev: &Event) {
+    match *ev {
+        Event::EpochBegin {
+            lanes,
+            ntasks,
+            inline,
+            ..
+        } => {
+            if inline {
+                obs::counter_add("smg_pool_inline_runs_total", None, 1);
+            } else {
+                obs::counter_add("smg_chaos_epochs_total", None, 1);
+                obs::counter_add("smg_pool_tasks_total", None, ntasks as u64);
+                obs::gauge_set("smg_pool_lanes", None, lanes as f64);
+                if lanes > 0 {
+                    obs::observe(
+                        "smg_pool_lane_utilization_ratio",
+                        None,
+                        ntasks.min(lanes) as f64 / lanes as f64,
+                    );
+                }
+            }
+        }
+        Event::Stall { .. } => obs::counter_add("smg_chaos_stalls_total", None, 1),
+        Event::InjectedPanic { .. } => {
+            obs::counter_add("smg_chaos_injected_panics_total", None, 1);
+        }
+        _ => {}
     }
 }
 
@@ -212,5 +254,47 @@ mod tests {
     #[test]
     fn empty_timeline_renders_a_placeholder() {
         assert!(Timeline::new().render().contains("no simulated epochs"));
+    }
+
+    #[test]
+    fn events_report_through_the_recorder_seam() {
+        let cap = std::sync::Arc::new(smg_obs::Capture::new());
+        smg_obs::with_recorder(cap.clone(), || {
+            let mut t = Timeline::new();
+            t.push(Event::EpochBegin {
+                epoch: 1,
+                lanes: 2,
+                ntasks: 4,
+                dynamic: true,
+                inline: false,
+            });
+            t.push(Event::Stall {
+                lane: 0,
+                task: 1,
+                steps: 3,
+            });
+            t.push(Event::InjectedPanic { lane: 1, task: 2 });
+            t.push(Event::EpochEnd {
+                epoch: 1,
+                panicked: true,
+            });
+            t.push(Event::EpochBegin {
+                epoch: 2,
+                lanes: 2,
+                ntasks: 1,
+                dynamic: false,
+                inline: true,
+            });
+        });
+        assert_eq!(cap.counter("smg_chaos_epochs_total"), 1);
+        assert_eq!(cap.counter("smg_chaos_stalls_total"), 1);
+        assert_eq!(cap.counter("smg_chaos_injected_panics_total"), 1);
+        assert_eq!(cap.counter("smg_pool_tasks_total"), 4);
+        assert_eq!(cap.counter("smg_pool_inline_runs_total"), 1);
+        assert_eq!(cap.gauge("smg_pool_lanes"), Some(2.0));
+        assert_eq!(
+            cap.observations("smg_pool_lane_utilization_ratio"),
+            vec![1.0]
+        );
     }
 }

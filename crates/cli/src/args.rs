@@ -12,6 +12,7 @@ smg — probabilistic model checking for clocked RTL-style DTMC/MDP models
 USAGE:
   smg check  <model.sm> [--prop <pctl>]... [--props FILE]...
              [--certified EPS] [--topo] [--format text|json]
+             [--metrics text|json] [--trace-convergence FILE]
              [--max-states N] [--allow-stutter]
   smg info   <model.sm> [--max-states N] [--allow-stutter]
   smg export <model.sm> --format <tra|lab|srew|pm|dot> [--out FILE]
@@ -72,6 +73,15 @@ OPTIONS:
                     keys: property, value, verdict, interval, solver,
                     time_s; non-finite numbers are encoded as strings).
                     export: tra, lab, srew, pm, dot
+  --metrics F       check: after the results, dump the run's internal
+                    instruments (states explored, solver sweeps, pool
+                    dispatches, session cache hits, per-property wall time)
+                    to stderr; F is text (Prometheus exposition format) or
+                    json
+  --trace-convergence FILE
+                    check: stream one JSON line per solver iteration to
+                    FILE (keys: driver, sweep, residual, width, component)
+                    — plot it to watch interval iteration converge
   --out FILE        Write export to FILE instead of stdout
   --steps N         Simulation length in time steps
   --seed S          Simulation RNG seed (default 0)
@@ -99,6 +109,12 @@ pub enum Cmd {
         topo: bool,
         /// Output format (`--format`): text (default) or json.
         format: OutputFormat,
+        /// Dump run metrics to stderr (`--metrics text|json`), off by
+        /// default.
+        metrics: Option<OutputFormat>,
+        /// Stream per-iteration solver convergence records to this file
+        /// as JSON lines (`--trace-convergence FILE`).
+        trace_convergence: Option<String>,
         /// Exploration options.
         options: Options,
     },
@@ -209,6 +225,8 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
     let mut certified: Option<f64> = None;
     let mut topo = false;
     let mut format: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut trace_convergence: Option<String> = None;
     let mut out: Option<String> = None;
     let mut steps: Option<u64> = None;
     let mut seed: u64 = 0;
@@ -237,6 +255,10 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
             }
             "--topo" => topo = true,
             "--format" => format = Some(value(&mut it, "--format")?.to_string()),
+            "--metrics" => metrics = Some(value(&mut it, "--metrics")?.to_string()),
+            "--trace-convergence" => {
+                trace_convergence = Some(value(&mut it, "--trace-convergence")?.to_string());
+            }
             "--out" => out = Some(value(&mut it, "--out")?.to_string()),
             "--steps" => {
                 steps = Some(
@@ -311,6 +333,16 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
                         .into(),
                 ));
             }
+            let metrics = match metrics.as_deref() {
+                None => None,
+                Some("text") => Some(OutputFormat::Text),
+                Some("json") => Some(OutputFormat::Json),
+                Some(other) => {
+                    return Err(CliError(format!(
+                        "unknown metrics format {other:?} (expected text or json)"
+                    )))
+                }
+            };
             Ok(Cmd::Check {
                 model: require_model(model)?,
                 props,
@@ -318,6 +350,8 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
                 certified,
                 topo,
                 format,
+                metrics,
+                trace_convergence,
                 options,
             })
         }
@@ -449,6 +483,43 @@ mod tests {
         }
         let err = parse_args(&args("check m.sm --props a.props --format yaml")).unwrap_err();
         assert!(err.0.contains("unknown check output format"), "{err}");
+    }
+
+    #[test]
+    fn metrics_and_trace_flags_parse() {
+        let parsed = parse_args(&args(
+            "check m.sm --props a.props --metrics text --trace-convergence trace.jsonl",
+        ))
+        .unwrap();
+        let Cmd::Check {
+            metrics,
+            trace_convergence,
+            ..
+        } = parsed
+        else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(metrics, Some(OutputFormat::Text));
+        assert_eq!(trace_convergence.as_deref(), Some("trace.jsonl"));
+        // Off by default; json variant; bad value rejected.
+        let Cmd::Check {
+            metrics,
+            trace_convergence,
+            ..
+        } = parse_args(&args("check m.sm --props a.props")).unwrap()
+        else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(metrics, None);
+        assert_eq!(trace_convergence, None);
+        let Cmd::Check { metrics, .. } =
+            parse_args(&args("check m.sm --props a.props --metrics json")).unwrap()
+        else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(metrics, Some(OutputFormat::Json));
+        let err = parse_args(&args("check m.sm --props a.props --metrics yaml")).unwrap_err();
+        assert!(err.0.contains("unknown metrics format"), "{err}");
     }
 
     #[test]

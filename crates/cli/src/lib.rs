@@ -21,8 +21,12 @@
 
 use smg_dtmc::{graph, par, transient, Dtmc};
 use smg_lang::{check, compile_any_with, parse};
-use smg_pctl::{parse_property, AnyModel, CheckResult, CheckSession, Property};
+use smg_obs as obs;
+use smg_pctl::{
+    parse_property, AnyModel, CacheKind, CacheStats, CheckResult, CheckSession, Property,
+};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 mod args;
@@ -97,78 +101,49 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
             certified,
             topo,
             format,
+            metrics,
+            trace_convergence,
             options,
         } => {
-            let (compiled, build_time) = load(model, options)?;
-            let mut prop_texts = props.clone();
-            for file in prop_files {
-                prop_texts.extend(read_props_file(file)?);
+            // `--metrics` / `--trace-convergence` install scoped recorders
+            // around the whole load + check run, so exploration, solver,
+            // pool and session-cache instruments all land in them. All
+            // engine work dispatches from this thread, so a thread-local
+            // recorder sees the run without touching process-global state.
+            let registry = metrics.map(|_| Arc::new(obs::Registry::new()));
+            let trace_sink = trace_convergence
+                .as_deref()
+                .map(|path| {
+                    let file = std::fs::File::create(path)
+                        .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                    Ok::<_, CliError>(Arc::new(obs::JsonLines::new(std::io::BufWriter::new(file))))
+                })
+                .transpose()?;
+            let mut recorders: Vec<Arc<dyn obs::Recorder>> = Vec::new();
+            if let Some(r) = &registry {
+                recorders.push(r.clone() as Arc<dyn obs::Recorder>);
             }
-            if prop_texts.is_empty() {
-                return Err(CliError(
-                    "no properties to check (the --props files contain none)".into(),
-                ));
+            if let Some(t) = &trace_sink {
+                recorders.push(t.clone() as Arc<dyn obs::Recorder>);
             }
-            let properties = prop_texts
-                .iter()
-                .map(|p| parse_property(p).map_err(CliError::from))
-                .collect::<Result<Vec<_>, _>>()?;
-            // One session for the whole batch: related properties share
-            // satisfaction sets, reachability solves and certified
-            // brackets. The session takes the model (no copy); the
-            // header/JSON stats read it back through `session.model()`.
-            let mut session = CheckSession::new(compiled.model);
-            if let Some(eps) = certified {
-                session = session.certified(*eps);
+            let body = || run_check(model, props, prop_files, certified, topo, *format, options);
+            let out = if recorders.is_empty() {
+                body()
+            } else {
+                obs::with_recorder(Arc::new(obs::Fanout::new(recorders)), body)
+            };
+            let mut out = out?;
+            if let Some(t) = &trace_sink {
+                t.flush()?;
             }
-            if *topo {
-                session = session.topological();
+            if let (Some(fmt), Some(r)) = (metrics, &registry) {
+                out.push('\n');
+                out.push_str(&match fmt {
+                    OutputFormat::Text => r.render_text(),
+                    OutputFormat::Json => r.render_json(),
+                });
             }
-            let results = session.check_all(&properties)?;
-            match format {
-                OutputFormat::Json => Ok(render_json(
-                    session.model(),
-                    build_time,
-                    &properties,
-                    &results,
-                )),
-                OutputFormat::Text => {
-                    let mut out = model_header(session.model(), build_time);
-                    for (property, result) in properties.iter().zip(&results) {
-                        let _ = writeln!(out, "\nProperty: {property}");
-                        let _ = writeln!(
-                            out,
-                            "Time for model checking: {:.3} s",
-                            result.time.as_secs_f64()
-                        );
-                        let _ = writeln!(out, "Solver: {}", result.solver());
-                        match result.verdict() {
-                            Some(v) => {
-                                let _ = writeln!(out, "Result: {v}");
-                            }
-                            None => {
-                                let _ = writeln!(out, "Result: {}", fmt_value(result.value()));
-                                if certified.is_some() {
-                                    if let Some((lo, hi)) = result.interval() {
-                                        let width = if lo == hi { 0.0 } else { hi - lo };
-                                        let _ = writeln!(
-                                            out,
-                                            "Certified interval: [{}, {}] (width {width:.3e})",
-                                            fmt_value(lo),
-                                            fmt_value(hi)
-                                        );
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    if properties.len() > 1 {
-                        out.push('\n');
-                        out.push_str(&render_table(&properties, &results, certified.is_some()));
-                    }
-                    Ok(out)
-                }
-            }
+            Ok(out)
         }
         Cmd::Info { model, options } => {
             let (compiled, build_time) = load(model, options)?;
@@ -346,6 +321,96 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
     }
 }
 
+/// The `check` command proper: load, parse properties, run one shared
+/// session, render. Factored out of [`run`] so the observability wrapper
+/// can scope recorders around the whole thing.
+#[allow(clippy::too_many_arguments)]
+fn run_check(
+    model: &str,
+    props: &[String],
+    prop_files: &[String],
+    certified: &Option<f64>,
+    topo: &bool,
+    format: OutputFormat,
+    options: &Options,
+) -> Result<String, CliError> {
+    let (compiled, build_time) = load(model, options)?;
+    let mut prop_texts = props.to_vec();
+    for file in prop_files {
+        prop_texts.extend(read_props_file(file)?);
+    }
+    if prop_texts.is_empty() {
+        return Err(CliError(
+            "no properties to check (the --props files contain none)".into(),
+        ));
+    }
+    let properties = prop_texts
+        .iter()
+        .map(|p| parse_property(p).map_err(CliError::from))
+        .collect::<Result<Vec<_>, _>>()?;
+    // One session for the whole batch: related properties share
+    // satisfaction sets, reachability solves and certified
+    // brackets. The session takes the model (no copy); the
+    // header/JSON stats read it back through `session.model()`.
+    let mut session = CheckSession::new(compiled.model);
+    if let Some(eps) = certified {
+        session = session.certified(*eps);
+    }
+    if *topo {
+        session = session.topological();
+    }
+    let results = session.check_all(&properties)?;
+    // Engine-configuration facts every metrics run carries, even when the
+    // model stays below the parallel threshold and the pool never fires.
+    obs::gauge_set("smg_pool_lanes", None, par::max_threads() as f64);
+    obs::counter_add("smg_check_properties_total", None, properties.len() as u64);
+    match format {
+        OutputFormat::Json => Ok(render_json(
+            session.model(),
+            build_time,
+            session.cache_stats(),
+            &properties,
+            &results,
+        )),
+        OutputFormat::Text => {
+            let mut out = model_header(session.model(), build_time);
+            for (property, result) in properties.iter().zip(&results) {
+                let _ = writeln!(out, "\nProperty: {property}");
+                let _ = writeln!(
+                    out,
+                    "Time for model checking: {:.3} s",
+                    result.time.as_secs_f64()
+                );
+                let _ = writeln!(out, "Solver: {}", result.solver());
+                match result.verdict() {
+                    Some(v) => {
+                        let _ = writeln!(out, "Result: {v}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "Result: {}", fmt_value(result.value()));
+                        if certified.is_some() {
+                            if let Some((lo, hi)) = result.interval() {
+                                let width = if lo == hi { 0.0 } else { hi - lo };
+                                let _ = writeln!(
+                                    out,
+                                    "Certified interval: [{}, {}] (width {width:.3e})",
+                                    fmt_value(lo),
+                                    fmt_value(hi)
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            if properties.len() > 1 {
+                out.push('\n');
+                out.push_str(&render_table(&properties, &results, certified.is_some()));
+            }
+            Ok(out)
+        }
+    }
+}
+
 fn require_dtmc<'a>(loaded: &'a Loaded, cmd: &str, hint: &str) -> Result<&'a Dtmc, CliError> {
     loaded.model.as_dtmc().ok_or_else(|| {
         CliError(format!(
@@ -418,12 +483,14 @@ fn render_table(properties: &[Property], results: &[CheckResult], certified: boo
 }
 
 /// The stable-keyed JSON document of `check --format json`: model
-/// statistics plus one record per property. Non-finite numbers are
-/// encoded as strings (see [`json::number`]); `verdict` and `interval`
-/// are `null` where the query carries none.
+/// statistics, the session's per-kind cache telemetry, plus one record
+/// per property. Non-finite numbers are encoded as strings (see
+/// [`json::number`]); `verdict` and `interval` are `null` where the
+/// query carries none.
 fn render_json(
     model: &AnyModel,
     build_time: f64,
+    cache: CacheStats,
     properties: &[Property],
     results: &[CheckResult],
 ) -> String {
@@ -446,6 +513,22 @@ fn render_json(
         }
     }
     let _ = writeln!(out, "    \"build_s\": {}", json::number(build_time));
+    out.push_str("  },\n  \"cache\": {\n");
+    for (i, &kind) in CacheKind::ALL.iter().enumerate() {
+        let ks = cache.kind(kind);
+        let _ = writeln!(
+            out,
+            "    {}: {{\"hits\": {}, \"misses\": {}}}{}",
+            json::escape(kind.as_str()),
+            ks.hits,
+            ks.misses,
+            if i + 1 < CacheKind::ALL.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
     out.push_str("  },\n  \"results\": [\n");
     for (i, (property, result)) in properties.iter().zip(results).enumerate() {
         out.push_str("    {\n");
@@ -618,6 +701,8 @@ mod tests {
             props: vec!["R=? [ I=10 ]".into(), "P=? [ G<=3 !err ]".into()],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -637,6 +722,8 @@ mod tests {
             props: vec!["P=? [ F err ]".into(), "P=? [ G<=3 !err ]".into()],
             certified: Some(1e-9),
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -656,6 +743,8 @@ mod tests {
             props: vec!["Pmax=? [ G !err ]".into()],
             certified: Some(1e-9),
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -671,6 +760,8 @@ mod tests {
             props: vec!["P=? [ F err ]".into()],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -688,6 +779,8 @@ mod tests {
             props: vec!["P=? [ F err ]".into()],
             certified: Some(1e-9),
             topo: true,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -706,6 +799,8 @@ mod tests {
             props: vec!["Pmax=? [ F err ]".into()],
             certified: Some(1e-9),
             topo: true,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -821,6 +916,8 @@ mod tests {
             props: vec!["R=? [ I=10 ]".into()],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: Options {
@@ -836,6 +933,8 @@ mod tests {
             props: vec!["R=? [ I=10 ]".into()],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: Options {
@@ -851,6 +950,8 @@ mod tests {
             props: vec!["R=? [ I=10 ]".into()],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: Options {
@@ -889,6 +990,8 @@ mod tests {
             ],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -912,6 +1015,8 @@ mod tests {
             props: vec!["P=? [ F<=2 err ]".into()],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -990,6 +1095,8 @@ mod tests {
             props: vec!["P=? [ G<=3 !err ]".into()],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -1000,6 +1107,8 @@ mod tests {
             props: vec!["Pmin=? [ G<=3 !err ]".into(), "Pmax=? [ G<=3 !err ]".into()],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -1030,6 +1139,8 @@ mod tests {
             prop_files: vec![props_path.to_string_lossy().into_owned()],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             format: OutputFormat::Text,
             options: opts(),
         })
@@ -1051,6 +1162,8 @@ mod tests {
             prop_files: vec![empty.to_string_lossy().into_owned()],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             format: OutputFormat::Text,
             options: opts(),
         })
@@ -1074,6 +1187,8 @@ mod tests {
             prop_files: vec![],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             format: OutputFormat::Json,
             options: opts(),
         })
@@ -1120,6 +1235,8 @@ mod tests {
             prop_files: vec![],
             certified: Some(1e-9),
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             format: OutputFormat::Json,
             options: opts(),
         })
@@ -1141,6 +1258,8 @@ mod tests {
             prop_files: vec![],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             format: OutputFormat::Json,
             options: opts(),
         })
@@ -1154,6 +1273,134 @@ mod tests {
             doc.get("model").unwrap().get("choices").unwrap().as_f64(),
             Some(3.0)
         );
+    }
+
+    #[test]
+    fn metrics_text_is_valid_exposition() {
+        let path = write_model("channel_metrics.sm", CHANNEL);
+        let out = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec![
+                "P=? [ F err ]".into(),
+                "P=? [ F err ]".into(),
+                "R=? [ I=10 ]".into(),
+                "S=? [ err ]".into(),
+            ],
+            certified: Some(1e-9),
+            topo: false,
+            prop_files: vec![],
+            format: OutputFormat::Text,
+            metrics: Some(OutputFormat::Text),
+            trace_convergence: None,
+            options: opts(),
+        })
+        .unwrap();
+        // The appended block is well-formed Prometheus text exposition...
+        let summary = obs::validate_exposition(&out).expect("valid exposition");
+        assert!(summary.families >= 8, "only {:?}", summary.names);
+        // ...and spans exploration, solving, engine config and the
+        // session caches even on a model too small for pool dispatch.
+        for needle in [
+            "smg_explore_states_total",
+            "smg_explore_transitions_total",
+            "smg_explore_levels_total",
+            "smg_explore_seconds",
+            "smg_solve_sweeps_total",
+            "smg_session_cache_hits_total",
+            "smg_session_cache_misses_total",
+            "smg_pctl_property_seconds",
+            "smg_pool_lanes",
+            "smg_check_properties_total",
+        ] {
+            assert!(
+                summary.names.iter().any(|n| n == needle),
+                "{needle} missing from {:?}",
+                summary.names
+            );
+        }
+        // The result blocks still precede the metrics.
+        assert!(out.contains("Result: 1.000000"), "{out}");
+    }
+
+    #[test]
+    fn metrics_json_and_trace_convergence_stream() {
+        let path = write_model("channel_trace.sm", CHANNEL);
+        let trace_path = std::env::temp_dir().join("smg-cli-tests/trace.jsonl");
+        let out = run(&Cmd::Check {
+            model: path.to_string_lossy().into_owned(),
+            props: vec!["P=? [ F err ]".into()],
+            certified: Some(1e-9),
+            topo: false,
+            prop_files: vec![],
+            format: OutputFormat::Json,
+            metrics: Some(OutputFormat::Json),
+            trace_convergence: Some(trace_path.to_string_lossy().into_owned()),
+            options: opts(),
+        })
+        .unwrap();
+        // The check document and the appended metrics document are each
+        // valid JSON (split at the blank line between them).
+        let (check_doc, metrics_doc) = out.split_once("\n\n").expect("two documents");
+        let doc = crate::json::parser::parse(check_doc).expect("valid check JSON");
+        let cache = doc.get("cache").expect("cache block");
+        for kind in ["sat", "values", "certified", "steady"] {
+            let k = cache.get(kind).expect(kind);
+            assert!(
+                k.get("hits").is_some() && k.get("misses").is_some(),
+                "{out}"
+            );
+        }
+        let metrics = crate::json::parser::parse(metrics_doc).expect("valid metrics JSON");
+        assert!(metrics.get("counters").is_some(), "{metrics_doc}");
+        // The trace file carries one record per solver iteration, with
+        // stable keys, and the certified run converged below epsilon.
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let records: Vec<_> = trace
+            .lines()
+            .map(|l| crate::json::parser::parse(l).expect("valid trace line"))
+            .collect();
+        assert!(!records.is_empty(), "{trace}");
+        for r in &records {
+            for key in ["driver", "sweep", "residual", "width", "component"] {
+                assert!(r.get(key).is_some(), "missing {key}: {trace}");
+            }
+        }
+        let last = records.last().unwrap();
+        assert_eq!(last.get("driver").unwrap().as_str(), Some("interval"));
+        assert!(
+            last.get("width").unwrap().as_f64().unwrap() < 1e-9,
+            "{trace}"
+        );
+    }
+
+    #[test]
+    fn metrics_text_is_deterministic_modulo_timing() {
+        let path = write_model("channel_det.sm", CHANNEL);
+        let emit = || {
+            let out = run(&Cmd::Check {
+                model: path.to_string_lossy().into_owned(),
+                props: vec!["P=? [ F err ]".into(), "R=? [ I=10 ]".into()],
+                certified: Some(1e-9),
+                topo: false,
+                prop_files: vec![],
+                format: OutputFormat::Text,
+                metrics: Some(OutputFormat::Text),
+                trace_convergence: None,
+                options: opts(),
+            })
+            .unwrap();
+            // Keep only the exposition block, minus the families that
+            // measure wall time (their samples differ run to run).
+            let start = out.find("# HELP").expect("exposition present");
+            out[start..]
+                .lines()
+                .filter(|l| !l.contains("_seconds"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let (first, second) = (emit(), emit());
+        assert!(!first.is_empty());
+        assert_eq!(first, second, "counts and gauges must be byte-stable");
     }
 
     #[test]
@@ -1178,6 +1425,8 @@ mod tests {
             props: vec!["R=? [ I=10 ]".into(), "S=? [ err ]".into()],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),
@@ -1222,6 +1471,8 @@ mod tests {
             props: vec!["P=? [ H err ]".into()],
             certified: None,
             topo: false,
+            metrics: None,
+            trace_convergence: None,
             prop_files: vec![],
             format: OutputFormat::Text,
             options: opts(),

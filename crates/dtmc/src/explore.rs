@@ -69,6 +69,7 @@ use crate::matrix::{merge_row_into, CsrBuilder, RankOneMatrix, TransitionMatrix,
 use crate::model::{DtmcModel, MemorylessModel};
 use crate::stats::BuildStats;
 use crate::{par, BitVec};
+use smg_obs as obs;
 use std::collections::BTreeMap;
 use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -801,6 +802,7 @@ where
         reachability_iterations: levels,
         build_time: start.elapsed(),
     };
+    record_build_stats(&stats);
     Ok(Explored {
         dtmc,
         states,
@@ -810,6 +812,26 @@ where
         },
         stats,
     })
+}
+
+/// Reports one exploration's statistics through the instrumentation seam
+/// (no-op when no recorder is installed).
+fn record_build_stats(stats: &BuildStats) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::counter_add("smg_explore_states_total", None, stats.states as u64);
+    obs::counter_add(
+        "smg_explore_transitions_total",
+        None,
+        stats.transitions as u64,
+    );
+    obs::counter_add(
+        "smg_explore_levels_total",
+        None,
+        stats.reachability_iterations as u64,
+    );
+    obs::observe("smg_explore_seconds", None, stats.build_time.as_secs_f64());
 }
 
 /// Explores a [`MemorylessModel`] into a rank-one [`Dtmc`].
@@ -860,6 +882,7 @@ where
         reachability_iterations: if init_in_support { 2 } else { 3 },
         build_time: start.elapsed(),
     };
+    record_build_stats(&stats);
     Ok(Explored {
         dtmc,
         states,

@@ -48,6 +48,7 @@
 //!   calling thread) degrades to the inline sequential loop instead of
 //!   deadlocking.
 
+use smg_obs as obs;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, MutexGuard, Once, OnceLock, PoisonError};
@@ -194,6 +195,7 @@ impl Pool {
     /// tasks have settled — the pool itself survives and stays usable).
     pub fn run<F: Fn(usize) + Sync>(&self, ntasks: usize, f: &F) {
         if self.lanes == 1 || ntasks <= 1 || IN_PARALLEL.with(Cell::get) {
+            obs::counter_add("smg_pool_inline_runs_total", None, 1);
             for t in 0..ntasks {
                 f(t);
             }
@@ -204,6 +206,9 @@ impl Pool {
             crate::sim::run_epoch(self.lanes, ntasks, false, &|t| f(t));
             return;
         }
+        // Dispatch instrumentation fires on this (the dispatching) thread,
+        // so thread-locally scoped recorders see a full run.
+        let dispatch_start = obs::enabled().then(std::time::Instant::now);
         let _fork = self.fork.lock().unwrap_or_else(PoisonError::into_inner);
         IN_PARALLEL.with(|c| c.set(true));
         {
@@ -235,6 +240,20 @@ impl Pool {
         let worker_panicked = ctl.panicked.take();
         drop(ctl);
         IN_PARALLEL.with(|c| c.set(false));
+        if let Some(start) = dispatch_start {
+            obs::observe(
+                "smg_pool_dispatch_seconds",
+                None,
+                start.elapsed().as_secs_f64(),
+            );
+            obs::counter_add("smg_pool_epochs_total", None, 1);
+            obs::counter_add("smg_pool_tasks_total", None, ntasks as u64);
+            obs::observe(
+                "smg_pool_lane_utilization_ratio",
+                None,
+                ntasks.min(self.lanes) as f64 / self.lanes as f64,
+            );
+        }
         match caller {
             Err(payload) => resume_unwind(payload),
             Ok(()) => {

@@ -58,6 +58,7 @@ use crate::error::DtmcError;
 use crate::graph;
 use crate::matrix::{CsrMatrix, TransitionMatrix};
 use crate::par;
+use smg_obs as obs;
 
 /// Minimum rows per worker block in the hybrid sweep. Matches the matrix
 /// kernels' chunking (half of [`crate::par::PAR_MIN_ROWS`]), so a chain
@@ -210,9 +211,10 @@ pub fn gauss_seidel_reach(
         }
         TransitionMatrix::Sparse(m) if par::should_parallelize(n) => {
             let mut x_new = x.clone();
-            for _ in 0..max_iter {
+            for it in 1..=max_iter {
                 let delta = sweep_block_hybrid(m, target, &x, &mut x_new);
                 std::mem::swap(&mut x, &mut x_new);
+                record_gs_sweep(it, delta);
                 if delta < tol {
                     return Ok(x);
                 }
@@ -223,8 +225,10 @@ pub fn gauss_seidel_reach(
             })
         }
         TransitionMatrix::Sparse(m) => {
-            for _ in 0..max_iter {
-                if sweep_gauss_seidel(m, target, &mut x) < tol {
+            for it in 1..=max_iter {
+                let delta = sweep_gauss_seidel(m, target, &mut x);
+                record_gs_sweep(it, delta);
+                if delta < tol {
                     return Ok(x);
                 }
             }
@@ -234,6 +238,27 @@ pub fn gauss_seidel_reach(
             })
         }
     }
+}
+
+/// Reports one Gauss–Seidel sweep (either flavour) through the
+/// instrumentation seam.
+#[inline]
+fn record_gs_sweep(it: usize, delta: f64) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::counter_add(
+        "smg_solve_sweeps_total",
+        Some(("driver", "gauss_seidel")),
+        1,
+    );
+    obs::trace(&obs::ConvergenceRecord {
+        driver: "gauss_seidel",
+        sweep: it as u64,
+        residual: Some(delta),
+        width: None,
+        component: None,
+    });
 }
 
 /// A per-state value bracket `[lo, hi]` produced by interval iteration,
@@ -345,6 +370,16 @@ fn interval_iterate(
     for it in 1..=max_iter {
         let width = interval_sweep(matrix, active, rewards, &cur, &mut next);
         std::mem::swap(&mut cur, &mut next);
+        if obs::enabled() {
+            obs::counter_add("smg_solve_sweeps_total", Some(("driver", "interval")), 1);
+            obs::trace(&obs::ConvergenceRecord {
+                driver: "interval",
+                sweep: it as u64,
+                residual: None,
+                width: Some(width),
+                component: None,
+            });
+        }
         if width < epsilon {
             let (lo, hi) = cur.into_iter().unzip();
             return Ok(CertifiedValues {
@@ -747,11 +782,25 @@ fn topo_interval_driver(
             for (&s, &pair) in batch.iter().zip(&scratch) {
                 cur[s as usize] = pair;
             }
+            if obs::enabled() {
+                obs::counter_add(
+                    "smg_solve_sweeps_total",
+                    Some(("driver", "topo_interval")),
+                    1,
+                );
+                obs::trace(&obs::ConvergenceRecord {
+                    driver: "topo_interval",
+                    sweep: iterations as u64,
+                    residual: None,
+                    width: Some(0.0),
+                    component: None,
+                });
+            }
         }
         for &ci in &nontrivial {
             let comp = &cond.comps()[ci as usize];
             let mut converged = false;
-            for _ in 0..max_iter {
+            for local in 1..=max_iter {
                 iterations += 1;
                 let mut width: f64 = 0.0;
                 for &s in comp {
@@ -762,6 +811,20 @@ fn topo_interval_driver(
                     let pair = solved_row_pair(matrix, i, r_of(i), |c| cur[c]);
                     width = width.max(pair.1 - pair.0);
                     cur[i] = pair;
+                }
+                if obs::enabled() {
+                    obs::counter_add(
+                        "smg_solve_sweeps_total",
+                        Some(("driver", "topo_interval")),
+                        1,
+                    );
+                    obs::trace(&obs::ConvergenceRecord {
+                        driver: "topo_interval",
+                        sweep: local as u64,
+                        residual: None,
+                        width: Some(width),
+                        component: Some(ci),
+                    });
                 }
                 if width < epsilon {
                     converged = true;

@@ -22,6 +22,7 @@
 use crate::bitvec::BitVec;
 use crate::dtmc::Dtmc;
 use crate::error::DtmcError;
+use smg_obs as obs;
 
 /// The distribution over states after exactly `t` steps.
 pub fn distribution_at(dtmc: &Dtmc, t: usize) -> Vec<f64> {
@@ -168,11 +169,21 @@ pub fn unbounded_reach_values(
         .map(|i| if target.get(i) { 1.0 } else { 0.0 })
         .collect();
     let mut next = vec![0.0; n];
-    for _ in 0..max_iter {
+    for it in 1..=max_iter {
         dtmc.matrix()
             .backward_masked_into(&x, Some(&active), &mut next);
         let diff = max_abs_diff(&x, &next);
         std::mem::swap(&mut x, &mut next);
+        if obs::enabled() {
+            obs::counter_add("smg_solve_sweeps_total", Some(("driver", "power")), 1);
+            obs::trace(&obs::ConvergenceRecord {
+                driver: "power",
+                sweep: it as u64,
+                residual: Some(diff),
+                width: None,
+                component: None,
+            });
+        }
         if diff < tol {
             return Ok(x);
         }

@@ -1,0 +1,128 @@
+//! Capture-recorder coverage of the instrumented DTMC solve drivers:
+//! every driver must report its sweeps through `smg_solve_sweeps_total`
+//! and stream one convergence record per iteration, with the final
+//! residual (or bracket width) below the requested tolerance. A trailing
+//! test pins the zero-overhead contract the engine instrumentation rests
+//! on: with no recorder installed, results are identical.
+
+use smg_dtmc::bitvec::BitVec;
+use smg_dtmc::matrix::{CsrMatrix, TransitionMatrix};
+use smg_dtmc::{solve, transient, Dtmc};
+use smg_obs as obs;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Chain: 0 → {0: 0.5, 1: 0.5}, 1 → {2: 1.0}, 2 absorbing; "goal" on 2.
+fn chain() -> Dtmc {
+    let m = TransitionMatrix::Sparse(
+        CsrMatrix::from_rows(vec![
+            vec![(0, 0.5), (1, 0.5)],
+            vec![(2, 1.0)],
+            vec![(2, 1.0)],
+        ])
+        .unwrap(),
+    );
+    let mut labels = BTreeMap::new();
+    labels.insert("goal".to_string(), BitVec::from_fn(3, |i| i == 2));
+    Dtmc::new(m, vec![(0, 1.0)], labels, vec![0.0, 0.0, 1.0]).unwrap()
+}
+
+fn captured<R>(f: impl FnOnce() -> R) -> (Arc<obs::Capture>, R) {
+    let cap = Arc::new(obs::Capture::new());
+    let out = obs::with_recorder(cap.clone(), f);
+    (cap, out)
+}
+
+#[test]
+fn power_driver_emits_one_record_per_sweep() {
+    let d = chain();
+    let goal = d.label("goal").unwrap().clone();
+    let (cap, values) =
+        captured(|| transient::unbounded_reach_values(&d, &goal, 1e-12, 10_000).unwrap());
+    assert!((values[0] - 1.0).abs() < 1e-9);
+    let traces = cap.traces_for("power");
+    assert!(!traces.is_empty());
+    assert_eq!(
+        cap.counter_with("smg_solve_sweeps_total", "power"),
+        traces.len() as u64
+    );
+    let last = traces.last().unwrap();
+    assert_eq!(last.sweep as usize, traces.len(), "sweeps are 1-based");
+    assert!(last.residual.unwrap() < 1e-12, "{last:?}");
+    assert!(last.width.is_none() && last.component.is_none());
+}
+
+#[test]
+fn gauss_seidel_driver_emits_one_record_per_sweep() {
+    let d = chain();
+    let goal = d.label("goal").unwrap().clone();
+    let (cap, values) = captured(|| solve::gauss_seidel_reach(&d, &goal, 1e-12, 10_000).unwrap());
+    assert!((values[0] - 1.0).abs() < 1e-9);
+    let traces = cap.traces_for("gauss_seidel");
+    assert!(!traces.is_empty());
+    assert_eq!(
+        cap.counter_with("smg_solve_sweeps_total", "gauss_seidel"),
+        traces.len() as u64
+    );
+    assert!(traces.last().unwrap().residual.unwrap() < 1e-12);
+}
+
+#[test]
+fn interval_driver_reports_width_below_epsilon() {
+    let d = chain();
+    let goal = d.label("goal").unwrap().clone();
+    let eps = 1e-9;
+    let (cap, certified) =
+        captured(|| solve::interval_reach_values(&d, &goal, eps, 10_000).unwrap());
+    assert!(certified.hi[0] - certified.lo[0] < eps);
+    let traces = cap.traces_for("interval");
+    assert_eq!(traces.len(), certified.iterations);
+    // Widths shrink monotonically to below epsilon; residual stays unset
+    // (interval iteration certifies by bracket, not by residual).
+    let widths: Vec<f64> = traces.iter().map(|t| t.width.unwrap()).collect();
+    assert!(widths.windows(2).all(|w| w[1] <= w[0]), "{widths:?}");
+    assert!(*widths.last().unwrap() < eps);
+    assert!(traces.iter().all(|t| t.residual.is_none()));
+}
+
+#[test]
+fn topo_interval_driver_tags_components() {
+    // 0 ↔ 1 cycle escaping through the trivial relay state 3 into the
+    // absorbing goal state 2: the cycle is a nontrivial SCC whose sweeps
+    // must carry the component id, while the relay is solved in a trivial
+    // backsubstitution batch that does not.
+    let m = TransitionMatrix::Sparse(
+        CsrMatrix::from_rows(vec![
+            vec![(1, 0.9), (3, 0.1)],
+            vec![(0, 0.9), (3, 0.1)],
+            vec![(2, 1.0)],
+            vec![(2, 1.0)],
+        ])
+        .unwrap(),
+    );
+    let mut labels = BTreeMap::new();
+    labels.insert("goal".to_string(), BitVec::from_fn(4, |i| i == 2));
+    let d = Dtmc::new(m, vec![(0, 1.0)], labels, vec![0.0, 0.0, 1.0, 0.0]).unwrap();
+    let goal = d.label("goal").unwrap().clone();
+    let eps = 1e-9;
+    let (cap, certified) =
+        captured(|| solve::topo_interval_reach_values(&d, &goal, eps, 10_000).unwrap());
+    assert!(certified.hi[0] - certified.lo[0] < eps);
+    let traces = cap.traces_for("topo_interval");
+    assert_eq!(traces.len(), certified.iterations);
+    assert!(traces.iter().any(|t| t.component.is_some()), "{traces:?}");
+    assert!(traces.iter().any(|t| t.component.is_none()), "{traces:?}");
+    assert!(traces.last().unwrap().width.unwrap() < eps);
+}
+
+#[test]
+fn no_recorder_means_identical_results() {
+    let d = chain();
+    let goal = d.label("goal").unwrap().clone();
+    let plain = solve::interval_reach_values(&d, &goal, 1e-9, 10_000).unwrap();
+    let (_cap, recorded) =
+        captured(|| solve::interval_reach_values(&d, &goal, 1e-9, 10_000).unwrap());
+    assert_eq!(plain.lo, recorded.lo, "recording must not change results");
+    assert_eq!(plain.hi, recorded.hi);
+    assert_eq!(plain.iterations, recorded.iterations);
+}

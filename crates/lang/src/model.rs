@@ -31,6 +31,7 @@ use smg_dtmc::bitvec::BitVec;
 use smg_dtmc::matrix::{CsrMatrix, TransitionMatrix};
 use smg_dtmc::{Dtmc, DtmcModel};
 use smg_mdp::{Mdp, MdpBuilder};
+use smg_obs as obs;
 use smg_pctl::AnyModel;
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -530,6 +531,7 @@ pub fn compile_with(
     }
     let model = LangModel::with_options(checked, options);
     let init = model.initial_state();
+    let explore_start = obs::enabled().then(std::time::Instant::now);
 
     let mut index: HashMap<Vec<i64>, u32> = HashMap::new();
     let mut states: Vec<Vec<i64>> = Vec::new();
@@ -540,7 +542,17 @@ pub fn compile_with(
     states.push(init);
     queue.push_back(0);
 
+    // BFS level bookkeeping: level k is fully discovered before its first
+    // state is expanded, so `states.len()` at that moment is where level
+    // k+1 will start.
+    let mut levels: u64 = 0;
+    let mut next_level_start: usize = 0;
+
     while let Some(id) = queue.pop_front() {
+        if id as usize == next_level_start {
+            levels += 1;
+            next_level_start = states.len();
+        }
         let succ = model.transitions_checked(&states[id as usize])?;
         let mut row: Vec<(u32, f64)> = Vec::with_capacity(succ.len());
         for (s, p) in succ {
@@ -571,6 +583,16 @@ pub fn compile_with(
     let matrix = TransitionMatrix::Sparse(
         CsrMatrix::from_rows(rows).map_err(|e| LangError::Dtmc(e.to_string()))?,
     );
+    if let Some(start) = explore_start {
+        obs::counter_add("smg_explore_states_total", None, n as u64);
+        obs::counter_add(
+            "smg_explore_transitions_total",
+            None,
+            matrix.logical_transitions() as u64,
+        );
+        obs::counter_add("smg_explore_levels_total", None, levels);
+        obs::observe("smg_explore_seconds", None, start.elapsed().as_secs_f64());
+    }
 
     let mut labels: BTreeMap<String, BitVec> = BTreeMap::new();
     for l in &model.checked().program.labels {
@@ -705,6 +727,7 @@ pub fn compile_mdp_with(
 ) -> Result<CompiledMdp, LangError> {
     let model = LangModel::with_options(checked, options);
     let init = model.initial_state();
+    let explore_start = obs::enabled().then(std::time::Instant::now);
 
     let mut index: HashMap<Vec<i64>, u32> = HashMap::new();
     let mut states: Vec<Vec<i64>> = Vec::new();
@@ -716,7 +739,15 @@ pub fn compile_mdp_with(
     states.push(init);
     queue.push_back(0);
 
+    // Same BFS level bookkeeping as the DTMC path above.
+    let mut levels: u64 = 0;
+    let mut next_level_start: usize = 0;
+
     while let Some(id) = queue.pop_front() {
+        if id as usize == next_level_start {
+            levels += 1;
+            next_level_start = states.len();
+        }
         let actions = model.actions_checked(&states[id as usize])?;
         debug_assert!(!actions.is_empty(), "modules are non-empty");
         for succ in actions {
@@ -787,6 +818,16 @@ pub fn compile_mdp_with(
 
     let mdp = Mdp::new(builder.finish(), vec![(0, 1.0)], labels, default_rewards)
         .map_err(|e| LangError::Dtmc(e.to_string()))?;
+    if let Some(start) = explore_start {
+        obs::counter_add("smg_explore_states_total", None, n as u64);
+        obs::counter_add(
+            "smg_explore_transitions_total",
+            None,
+            mdp.n_transitions() as u64,
+        );
+        obs::counter_add("smg_explore_levels_total", None, levels);
+        obs::observe("smg_explore_seconds", None, start.elapsed().as_secs_f64());
+    }
 
     let var_names = model
         .checked()

@@ -30,6 +30,7 @@
 
 use crate::mdp::Mdp;
 use smg_dtmc::BitVec;
+use smg_obs as obs;
 
 /// Whether state `s` may be expanded through: a legal path intermediate
 /// (in `lhs`, not already in `rhs`).
@@ -225,7 +226,7 @@ pub fn max_end_components(mdp: &Mdp, restrict: &BitVec) -> Vec<Vec<u32>> {
             groups.entry(c).or_default().push(s as u32);
         }
     }
-    groups
+    let mecs: Vec<Vec<u32>> = groups
         .into_values()
         .filter(|members| {
             members.iter().all(|&s| {
@@ -236,7 +237,9 @@ pub fn max_end_components(mdp: &Mdp, restrict: &BitVec) -> Vec<Vec<u32>> {
                 })
             })
         })
-        .collect()
+        .collect();
+    obs::counter_add("smg_mdp_mecs_total", None, mecs.len() as u64);
+    mecs
 }
 
 /// Strongly-connected component ids over an adjacency list, restricted to

@@ -48,6 +48,7 @@ use crate::mdp::Mdp;
 use crate::qual;
 use smg_dtmc::solve::CertifiedValues;
 use smg_dtmc::{par, pool, BitVec, DtmcError};
+use smg_obs as obs;
 
 /// The optimization direction of a query: worst case (`Min`) or best case
 /// (`Max`) over the resolution of all nondeterminism.
@@ -348,7 +349,7 @@ pub fn unbounded_until_values(
     let active = lhs.and(&rhs.not());
     let mut x: Vec<f64> = (0..n).map(|i| if rhs.get(i) { 1.0 } else { 0.0 }).collect();
     let mut next = vec![0.0; n];
-    for _ in 0..vio.max_iter {
+    for it in 1..=vio.max_iter {
         optimal_step_into(mdp, &x, Some(&active), opt, &mut next, vio);
         for (i, v) in next.iter_mut().enumerate() {
             if rhs.get(i) {
@@ -363,6 +364,16 @@ pub fn unbounded_until_values(
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
         std::mem::swap(&mut x, &mut next);
+        if obs::enabled() {
+            obs::counter_add("smg_solve_sweeps_total", Some(("driver", "vi")), 1);
+            obs::trace(&obs::ConvergenceRecord {
+                driver: "vi",
+                sweep: it as u64,
+                residual: Some(diff),
+                width: None,
+                component: None,
+            });
+        }
         if diff < vio.tol {
             return Ok(x);
         }
@@ -724,16 +735,24 @@ pub fn certified_until_values(
     for it in 1..=vio.max_iter {
         let mut width = interval_step_into(mdp, &cur, &active, opt, None, &mut next, vio);
         if let Some(ecs) = &ecs {
+            let mut deflated = 0u64;
             for k in 0..ecs.members.len() {
                 let cap = ecs.best_exit(mdp, k, |c| next[c].1, Opt::Max);
                 for &s in &ecs.members[k] {
                     let hi = &mut next[s as usize].1;
-                    *hi = hi.min(cap);
+                    if cap < *hi {
+                        *hi = cap;
+                        deflated += 1;
+                    }
                 }
+            }
+            if deflated > 0 {
+                obs::counter_add("smg_vi_deflations_total", None, deflated);
             }
             width = bracket_width(&active, &next);
         }
         std::mem::swap(&mut cur, &mut next);
+        record_certified_sweep("certified_vi", it, width, None);
         if width < epsilon {
             return Ok(unzip_certificate(cur, it));
         }
@@ -742,6 +761,22 @@ pub fn certified_until_values(
         iterations: vio.max_iter,
         residual: epsilon,
     })
+}
+
+/// Reports one certified dual sweep through the instrumentation seam.
+#[inline]
+fn record_certified_sweep(driver: &'static str, it: usize, width: f64, component: Option<u32>) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::counter_add("smg_solve_sweeps_total", Some(("driver", driver)), 1);
+    obs::trace(&obs::ConvergenceRecord {
+        driver,
+        sweep: it as u64,
+        residual: None,
+        width: Some(width),
+        component,
+    });
 }
 
 /// Certified optimal reachability `Pmin`/`Pmax` `[F target]` from every
@@ -846,16 +881,24 @@ pub fn certified_reach_reward_values(
     for it in 1..=vio.max_iter {
         let mut width = interval_step_into(mdp, &cur, &active, opt, Some(rewards), &mut next, vio);
         if let Some(ecs) = &ecs {
+            let mut inflated = 0u64;
             for k in 0..ecs.members.len() {
                 let floor = ecs.best_exit(mdp, k, |c| next[c].0, Opt::Min);
                 for &s in &ecs.members[k] {
                     let lo = &mut next[s as usize].0;
-                    *lo = lo.max(floor);
+                    if floor > *lo {
+                        *lo = floor;
+                        inflated += 1;
+                    }
                 }
+            }
+            if inflated > 0 {
+                obs::counter_add("smg_vi_inflations_total", None, inflated);
             }
             width = bracket_width(&active, &next);
         }
         std::mem::swap(&mut cur, &mut next);
+        record_certified_sweep("certified_vi", it, width, None);
         if width < epsilon {
             return Ok(unzip_certificate(cur, it));
         }
@@ -984,6 +1027,7 @@ fn solved_state_pair(mdp: &Mdp, s: usize, reward: f64, opt: Opt, cur: &[(f64, f6
 #[allow(clippy::too_many_arguments)]
 fn solve_component_certified(
     mdp: &Mdp,
+    ci: u32,
     comp: &[u32],
     active: &BitVec,
     opt: Opt,
@@ -1047,6 +1091,7 @@ fn solve_component_certified(
             .filter(|&&s| active.get(s as usize))
             .map(|&s| cur[s as usize].1 - cur[s as usize].0)
             .fold(0.0, f64::max);
+        record_certified_sweep("topo_certified_vi", it, width, Some(ci));
         if width < epsilon {
             return Ok(it);
         }
@@ -1125,6 +1170,7 @@ fn topo_certified_driver(
             for (&s, &pair) in batch.iter().zip(&scratch) {
                 cur[s as usize] = pair;
             }
+            record_certified_sweep("topo_certified_vi", iterations, 0.0, None);
         }
         for &ci in &nontrivial {
             let comp = &cond.comps()[ci as usize];
@@ -1134,6 +1180,7 @@ fn topo_certified_driver(
             });
             iterations += solve_component_certified(
                 mdp,
+                ci,
                 comp,
                 active,
                 opt,

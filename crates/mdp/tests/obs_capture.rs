@@ -1,0 +1,106 @@
+//! Capture-recorder coverage of the instrumented MDP value-iteration
+//! drivers: plain VI streams residual records, the certified variants
+//! stream width records that end below the requested ε (the ISSUE's
+//! acceptance bar for certified solves), and sweeps counted through
+//! `smg_solve_sweeps_total` always equal the traced record count.
+
+use smg_dtmc::BitVec;
+use smg_mdp::{vi, Mdp, MdpBuilder, Opt, ViOptions};
+use smg_obs as obs;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// State 0 chooses between a lazy coin flip (self/goal) and a risky jump
+/// (0.1 goal / 0.9 bad); 1 ("goal") and 2 ("bad") absorb. Pmax(F goal)
+/// from 0 is 1, Pmin is 0.1.
+fn tiny() -> Mdp {
+    let mut b = MdpBuilder::default();
+    b.push_action(&mut [(0, 0.5), (1, 0.5)]).unwrap();
+    b.push_action(&mut [(1, 0.1), (2, 0.9)]).unwrap();
+    b.finish_state().unwrap();
+    b.push_action(&mut [(1, 1.0)]).unwrap();
+    b.finish_state().unwrap();
+    b.push_action(&mut [(2, 1.0)]).unwrap();
+    b.finish_state().unwrap();
+    let mut labels = BTreeMap::new();
+    labels.insert("goal".to_string(), BitVec::from_fn(3, |i| i == 1));
+    labels.insert("bad".to_string(), BitVec::from_fn(3, |i| i == 2));
+    Mdp::new(b.finish(), vec![(0, 1.0)], labels, vec![0.0, 1.0, 0.0]).unwrap()
+}
+
+fn captured<R>(f: impl FnOnce() -> R) -> (Arc<obs::Capture>, R) {
+    let cap = Arc::new(obs::Capture::new());
+    let out = obs::with_recorder(cap.clone(), f);
+    (cap, out)
+}
+
+#[test]
+fn vi_driver_emits_one_record_per_sweep() {
+    let m = tiny();
+    let goal = m.label("goal").unwrap().clone();
+    let vio = ViOptions::default();
+    let (cap, values) = captured(|| vi::reach_values(&m, &goal, Opt::Max, &vio).unwrap());
+    assert!((values[0] - 1.0).abs() < 1e-9);
+    let traces = cap.traces_for("vi");
+    assert!(!traces.is_empty());
+    assert_eq!(
+        cap.counter_with("smg_solve_sweeps_total", "vi"),
+        traces.len() as u64
+    );
+    let last = traces.last().unwrap();
+    assert_eq!(last.sweep as usize, traces.len(), "sweeps are 1-based");
+    assert!(last.residual.unwrap() <= vio.tol, "{last:?}");
+    assert!(last.width.is_none());
+}
+
+#[test]
+fn certified_vi_emits_records_ending_below_epsilon() {
+    let m = tiny();
+    let goal = m.label("goal").unwrap().clone();
+    let eps = 1e-9;
+    let (cap, certified) = captured(|| {
+        vi::certified_reach_values(&m, &goal, Opt::Min, eps, &ViOptions::default()).unwrap()
+    });
+    assert!((certified.lo[0] - 0.1).abs() < 1e-6);
+    let traces = cap.traces_for("certified_vi");
+    assert!(!traces.is_empty(), "certified solve must stream records");
+    assert_eq!(
+        cap.counter_with("smg_solve_sweeps_total", "certified_vi"),
+        traces.len() as u64
+    );
+    let last = traces.last().unwrap();
+    assert!(last.width.unwrap() < eps, "{last:?}");
+    assert!(last.residual.is_none());
+    assert!(certified.hi[0] - certified.lo[0] < eps);
+}
+
+#[test]
+fn topo_certified_vi_emits_records_ending_below_epsilon() {
+    let m = tiny();
+    let goal = m.label("goal").unwrap().clone();
+    let eps = 1e-9;
+    let (cap, certified) = captured(|| {
+        vi::topo_certified_reach_values(&m, &goal, Opt::Max, eps, &ViOptions::default()).unwrap()
+    });
+    assert!((certified.hi[0] - 1.0).abs() < 1e-6);
+    let traces = cap.traces_for("topo_certified_vi");
+    assert!(!traces.is_empty());
+    assert_eq!(
+        cap.counter_with("smg_solve_sweeps_total", "topo_certified_vi"),
+        traces.len() as u64
+    );
+    assert!(traces.last().unwrap().width.unwrap() < eps);
+}
+
+#[test]
+fn no_recorder_means_identical_results() {
+    let m = tiny();
+    let goal = m.label("goal").unwrap().clone();
+    let vio = ViOptions::default();
+    let plain = vi::certified_reach_values(&m, &goal, Opt::Min, 1e-9, &vio).unwrap();
+    let (_cap, recorded) =
+        captured(|| vi::certified_reach_values(&m, &goal, Opt::Min, 1e-9, &vio).unwrap());
+    assert_eq!(plain.lo, recorded.lo, "recording must not change results");
+    assert_eq!(plain.hi, recorded.hi);
+    assert_eq!(plain.iterations, recorded.iterations);
+}

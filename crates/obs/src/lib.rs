@@ -1,0 +1,398 @@
+//! # smg-obs — the workspace's instrumentation layer
+//!
+//! Every engine crate (exploration, the chain and MDP solvers, the worker
+//! pool, checking sessions) reports what it did through this crate's
+//! *recorder seam*: free functions ([`counter_add`], [`gauge_set`],
+//! [`observe`], [`trace`]) that forward to whatever [`Recorder`] is
+//! installed. With no recorder installed — the default — every entry point
+//! is a single relaxed atomic load and an early return, so instrumentation
+//! costs nothing measurable on the hot paths (the engine's bit-identical
+//! seq/parallel pins and the committed kernel benchmarks all run in this
+//! no-op state).
+//!
+//! Two installation scopes exist, mirroring the two consumers:
+//!
+//! * [`set_global`] installs a process-wide recorder — the shape a
+//!   long-running daemon (`smg-serve`'s `/metrics`) wants. Events fired
+//!   from any thread (including pool workers) reach it.
+//! * [`with_recorder`] installs a **thread-local** recorder for the
+//!   duration of a closure — the shape the CLI (one run, one snapshot) and
+//!   tests (parallel-safe capture) want. Events fired on the wrapped
+//!   thread prefer the innermost local recorder; other threads fall back
+//!   to the global one. Every instrumentation site in the engine fires
+//!   from the dispatching thread, so a local recorder sees a full run.
+//!
+//! The crate ships three recorders: [`Registry`] (atomic-flavoured
+//! counters, gauges and fixed-bucket histograms with Prometheus text
+//! exposition and a JSON snapshot), [`Capture`] (records raw events for
+//! test assertions), and [`JsonLines`] (streams solver
+//! [`ConvergenceRecord`]s as JSON lines — the `check --trace-convergence`
+//! channel). [`Fanout`] composes them.
+//!
+//! # Example
+//!
+//! ```
+//! use smg_obs as obs;
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(obs::Registry::new());
+//! let snapshot = obs::with_recorder(registry.clone(), || {
+//!     // ... run a solver; the engine crates fire these internally ...
+//!     obs::counter_add("smg_solve_sweeps_total", Some(("driver", "interval")), 12);
+//!     obs::gauge_set("smg_pool_lanes", None, 4.0);
+//!     obs::observe("smg_pool_dispatch_seconds", None, 3.2e-6);
+//!     obs::trace(&obs::ConvergenceRecord {
+//!         driver: "interval",
+//!         sweep: 12,
+//!         residual: None,
+//!         width: Some(4.5e-10),
+//!         component: None,
+//!     });
+//!     registry.render_text()
+//! });
+//! assert!(snapshot.contains("smg_solve_sweeps_total{driver=\"interval\"} 12"));
+//! assert!(snapshot.contains("# TYPE smg_pool_dispatch_seconds histogram"));
+//! // The exposition parses: 3 metric families, and outside the closure
+//! // the seam is a no-op again.
+//! let summary = obs::validate_exposition(&snapshot).unwrap();
+//! assert!(summary.families >= 3);
+//! assert!(!obs::enabled());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod capture;
+mod expo;
+mod registry;
+mod trace;
+
+pub use capture::{Capture, CapturedEvent};
+pub use expo::{validate_exposition, ExpositionSummary};
+pub use registry::Registry;
+pub use trace::{ConvergenceRecord, JsonLines};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Instant;
+
+/// One instrumentation event, borrowed from the call site. Recorders that
+/// need to keep an event own-copy it ([`CapturedEvent`]); the aggregating
+/// [`Registry`] folds it into its instruments instead.
+#[derive(Debug, Clone, Copy)]
+pub enum Event<'a> {
+    /// A monotone counter increased by `value`.
+    CounterAdd {
+        /// Instrument name (`smg_*`, counters end in `_total`).
+        name: &'static str,
+        /// Optional single `key="value"` label pair.
+        label: Option<(&'static str, &'a str)>,
+        /// Increment (≥ 0 by construction).
+        value: u64,
+    },
+    /// A gauge was set to `value` (last write wins).
+    GaugeSet {
+        /// Instrument name.
+        name: &'static str,
+        /// Optional single label pair.
+        label: Option<(&'static str, &'a str)>,
+        /// New gauge value.
+        value: f64,
+    },
+    /// A histogram observed one sample.
+    Observe {
+        /// Instrument name (`_seconds` names get latency buckets, `_ratio`
+        /// names get unit-interval buckets — see [`Registry`]).
+        name: &'static str,
+        /// Optional single label pair.
+        label: Option<(&'static str, &'a str)>,
+        /// Observed sample.
+        value: f64,
+    },
+    /// A solver emitted one per-iteration convergence record.
+    Trace(&'a ConvergenceRecord),
+}
+
+/// The seam every instrumented crate talks through. Implementations must
+/// tolerate concurrent calls from many threads (the worker pool records
+/// from its dispatching thread, but a global recorder can also see worker
+/// threads).
+pub trait Recorder: Send + Sync {
+    /// Handles one event. Must not call back into the recording seam
+    /// (events produced while recording would recurse).
+    fn record(&self, event: &Event<'_>);
+}
+
+/// Count of currently installed recorders (the global one counts 1, each
+/// active [`with_recorder`] scope counts 1). Zero means every seam entry
+/// point returns after one relaxed load — the "instrumentation is free
+/// when off" contract.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide recorder, if any.
+static GLOBAL: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+thread_local! {
+    /// Innermost-wins stack of thread-local recorders.
+    static LOCAL: RefCell<Vec<Arc<dyn Recorder>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether any recorder is installed (globally or on *some* thread). The
+/// instrumented crates use this to skip building event payloads; it is a
+/// single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// Installs (or replaces) the process-wide recorder. Thread-local
+/// recorders installed by [`with_recorder`] take precedence on their
+/// threads.
+pub fn set_global(recorder: Arc<dyn Recorder>) {
+    let mut slot = GLOBAL.write().unwrap_or_else(PoisonError::into_inner);
+    if slot.replace(recorder).is_none() {
+        ACTIVE.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Removes the process-wide recorder, returning it if one was installed.
+pub fn clear_global() -> Option<Arc<dyn Recorder>> {
+    let mut slot = GLOBAL.write().unwrap_or_else(PoisonError::into_inner);
+    let prev = slot.take();
+    if prev.is_some() {
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+    prev
+}
+
+/// Runs `f` with `recorder` installed as this thread's recorder (innermost
+/// wins; restored on exit, panic included). Events fired by `f` on this
+/// thread go to `recorder` instead of the global one; events fired by
+/// other threads (e.g. pool workers) still go to the global recorder.
+/// Every solver/pool instrumentation site fires from the dispatching
+/// thread, so wrapping a check run captures it completely — and two tests
+/// wrapping different recorders on different threads never see each
+/// other's events.
+pub fn with_recorder<R>(recorder: Arc<dyn Recorder>, f: impl FnOnce() -> R) -> R {
+    struct Scope;
+    impl Drop for Scope {
+        fn drop(&mut self) {
+            LOCAL.with(|l| l.borrow_mut().pop());
+            ACTIVE.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    LOCAL.with(|l| l.borrow_mut().push(recorder));
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
+    let _scope = Scope;
+    f()
+}
+
+/// Routes one event: innermost thread-local recorder if present, else the
+/// global recorder, else dropped.
+fn dispatch(event: &Event<'_>) {
+    let delivered = LOCAL.with(|l| {
+        // A recorder must not re-enter the seam, but user recorders are
+        // arbitrary code: don't hold the borrow across the call.
+        let local = l.borrow().last().cloned();
+        match local {
+            Some(r) => {
+                r.record(event);
+                true
+            }
+            None => false,
+        }
+    });
+    if !delivered {
+        let global = GLOBAL
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        if let Some(r) = global {
+            r.record(event);
+        }
+    }
+}
+
+/// Adds `value` to the counter `name` (with an optional label pair).
+/// No-op unless a recorder is installed.
+#[inline]
+pub fn counter_add(name: &'static str, label: Option<(&'static str, &str)>, value: u64) {
+    if !enabled() {
+        return;
+    }
+    dispatch(&Event::CounterAdd { name, label, value });
+}
+
+/// Sets the gauge `name` to `value`. No-op unless a recorder is installed.
+#[inline]
+pub fn gauge_set(name: &'static str, label: Option<(&'static str, &str)>, value: f64) {
+    if !enabled() {
+        return;
+    }
+    dispatch(&Event::GaugeSet { name, label, value });
+}
+
+/// Observes `value` into the histogram `name`. No-op unless a recorder is
+/// installed.
+#[inline]
+pub fn observe(name: &'static str, label: Option<(&'static str, &str)>, value: f64) {
+    if !enabled() {
+        return;
+    }
+    dispatch(&Event::Observe { name, label, value });
+}
+
+/// Emits one solver convergence record. No-op unless a recorder is
+/// installed; callers that would allocate to build the record should guard
+/// with [`enabled`] first.
+#[inline]
+pub fn trace(record: &ConvergenceRecord) {
+    if !enabled() {
+        return;
+    }
+    dispatch(&Event::Trace(record));
+}
+
+/// A monotonic span timer: started with [`Span::start`], it observes the
+/// elapsed wall time (seconds) into the histogram `name` when dropped.
+/// When no recorder is installed at start time the span holds no clock
+/// reading and drops for free.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    label: Option<(&'static str, &'static str)>,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Starts a span feeding the histogram `name`.
+    #[must_use]
+    pub fn start(name: &'static str) -> Span {
+        Span {
+            name,
+            label: None,
+            start: enabled().then(Instant::now),
+        }
+    }
+
+    /// Starts a labelled span.
+    #[must_use]
+    pub fn start_with(name: &'static str, key: &'static str, value: &'static str) -> Span {
+        Span {
+            name,
+            label: Some((key, value)),
+            start: enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            observe(self.name, self.label, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Broadcasts every event to a set of recorders, in order — e.g. a
+/// [`Registry`] snapshot plus a [`JsonLines`] trace file in one CLI run.
+pub struct Fanout(Vec<Arc<dyn Recorder>>);
+
+impl Fanout {
+    /// A fanout over `recorders`.
+    pub fn new(recorders: Vec<Arc<dyn Recorder>>) -> Fanout {
+        Fanout(recorders)
+    }
+}
+
+impl Recorder for Fanout {
+    fn record(&self, event: &Event<'_>) {
+        for r in &self.0 {
+            r.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seam_is_off_by_default_and_scoped_install_restores() {
+        assert!(!enabled());
+        // Events with no recorder vanish (and must not panic).
+        counter_add("smg_test_total", None, 1);
+        let cap = Arc::new(Capture::new());
+        let inner = Arc::new(Capture::new());
+        with_recorder(cap.clone(), || {
+            assert!(enabled());
+            counter_add("smg_test_total", None, 2);
+            // Innermost wins.
+            with_recorder(inner.clone(), || {
+                counter_add("smg_test_total", None, 40);
+            });
+            counter_add("smg_test_total", Some(("kind", "x")), 3);
+        });
+        assert_eq!(cap.counter("smg_test_total"), 5);
+        assert_eq!(inner.counter("smg_test_total"), 40);
+        assert_eq!(cap.counter_with("smg_test_total", "x"), 3);
+    }
+
+    #[test]
+    fn scoped_recorder_survives_panics() {
+        let cap = Arc::new(Capture::new());
+        let r = std::panic::catch_unwind(|| {
+            with_recorder(cap.clone(), || panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert!(!enabled());
+        counter_add("smg_after_total", None, 1);
+        assert_eq!(cap.counter("smg_after_total"), 0);
+    }
+
+    #[test]
+    fn global_recorder_receives_other_threads() {
+        // Serialized with any other global-using test by the install
+        // itself being process-wide; this is the only one in this crate.
+        let cap = Arc::new(Capture::new());
+        set_global(cap.clone());
+        std::thread::spawn(|| counter_add("smg_thread_total", None, 7))
+            .join()
+            .unwrap();
+        let got = clear_global();
+        assert!(got.is_some());
+        assert_eq!(cap.counter("smg_thread_total"), 7);
+        assert!(clear_global().is_none());
+    }
+
+    #[test]
+    fn span_observes_elapsed_seconds() {
+        let cap = Arc::new(Capture::new());
+        with_recorder(cap.clone(), || {
+            let span = Span::start_with("smg_test_seconds", "kind", "a");
+            std::hint::black_box(17 * 3);
+            drop(span);
+        });
+        let obs = cap.observations("smg_test_seconds");
+        assert_eq!(obs.len(), 1);
+        assert!(obs[0] >= 0.0);
+        // Started outside any recorder scope: drops silently even if a
+        // recorder appears afterwards.
+        let late = Span::start("smg_test_seconds");
+        with_recorder(cap.clone(), move || drop(late));
+        assert_eq!(cap.observations("smg_test_seconds").len(), 1);
+    }
+
+    #[test]
+    fn fanout_broadcasts() {
+        let a = Arc::new(Capture::new());
+        let b = Arc::new(Capture::new());
+        let fan = Arc::new(Fanout::new(vec![a.clone(), b.clone()]));
+        with_recorder(fan, || {
+            gauge_set("smg_test_lanes", None, 4.0);
+        });
+        assert_eq!(a.gauge("smg_test_lanes"), Some(4.0));
+        assert_eq!(b.gauge("smg_test_lanes"), Some(4.0));
+    }
+}

@@ -23,7 +23,9 @@
 
 use crate::ast::{PathFormula, Property, RewardQuery, StateFormula, TimeBound};
 use crate::error::PctlError;
+use crate::session::{CacheKind, CacheStats};
 use smg_dtmc::{solve, transient, BitVec, Dtmc};
+use smg_obs as obs;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -111,14 +113,22 @@ pub enum Solver {
     TopologicalII,
 }
 
-impl std::fmt::Display for Solver {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
+impl Solver {
+    /// The stable tag used in JSON output and metric labels (also the
+    /// `Display` text).
+    pub fn as_str(self) -> &'static str {
+        match self {
             Solver::Transient => "transient",
             Solver::Iterative => "value-iteration",
             Solver::IntervalIteration => "interval-iteration",
             Solver::TopologicalII => "topological-interval-iteration",
-        })
+        }
+    }
+}
+
+impl std::fmt::Display for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -256,10 +266,8 @@ pub(crate) struct DtmcCache {
     cert_reach_reward: HashMap<(BitVec, u64), Rc<solve::CertifiedValues>>,
     /// Long-run probabilities keyed by the satisfaction set.
     steady: HashMap<BitVec, f64>,
-    /// Number of lookups answered from the cache.
-    pub(crate) hits: u64,
-    /// Number of lookups that had to compute (and then stored).
-    pub(crate) misses: u64,
+    /// Hit/miss telemetry, per cache kind.
+    pub(crate) stats: CacheStats,
 }
 
 /// The DTMC query engine: every checking algorithm as a method over a
@@ -292,6 +300,7 @@ impl<'a> Evaluator<'a> {
     /// nested formulas.
     fn memo<V: Clone>(
         &self,
+        kind: CacheKind,
         lookup: impl Fn(&DtmcCache) -> Option<V>,
         store: impl FnOnce(&mut DtmcCache, V),
         compute: impl FnOnce(&Self) -> Result<V, PctlError>,
@@ -301,12 +310,12 @@ impl<'a> Evaluator<'a> {
         };
         let found = lookup(&cell.borrow());
         if let Some(v) = found {
-            cell.borrow_mut().hits += 1;
+            cell.borrow_mut().stats.record_hit(kind);
             return Ok(v);
         }
         let v = compute(self)?;
         let mut c = cell.borrow_mut();
-        c.misses += 1;
+        c.stats.record_miss(kind);
         store(&mut c, v.clone());
         Ok(v)
     }
@@ -359,7 +368,13 @@ impl<'a> Evaluator<'a> {
                 (self.steady_prob(&sat)?, None, Solver::Iterative, None)
             }
         };
-        Ok(CheckResult::assemble(value, boolean, start.elapsed()).with_engine(solver, interval))
+        let elapsed = start.elapsed();
+        obs::observe(
+            "smg_pctl_property_seconds",
+            Some(("solver", solver.as_str())),
+            elapsed.as_secs_f64(),
+        );
+        Ok(CheckResult::assemble(value, boolean, elapsed).with_engine(solver, interval))
     }
 
     /// Evaluates a probability path query from the initial distribution,
@@ -508,6 +523,7 @@ impl<'a> Evaluator<'a> {
     /// family resolve once.
     pub(crate) fn sat_states(&self, formula: &StateFormula) -> Result<BitVec, PctlError> {
         self.memo(
+            CacheKind::Sat,
             |c| c.sat.get(&sat_key(formula)).cloned(),
             |c, v| {
                 c.sat.insert(sat_key(formula), v);
@@ -594,6 +610,7 @@ impl<'a> Evaluator<'a> {
     /// complement set) and the reachability-reward pre-pass.
     fn unbounded_reach(&self, target: &BitVec) -> Result<Rc<Vec<f64>>, PctlError> {
         self.memo(
+            CacheKind::Values,
             |c| c.reach.get(target).cloned(),
             |c, v| {
                 c.reach.insert(target.clone(), v);
@@ -613,6 +630,7 @@ impl<'a> Evaluator<'a> {
     /// sets.
     fn unbounded_until(&self, lhs: &BitVec, rhs: &BitVec) -> Result<Rc<Vec<f64>>, PctlError> {
         self.memo(
+            CacheKind::Values,
             |c| c.until.get(&(lhs.clone(), rhs.clone())).cloned(),
             |c, v| {
                 c.until.insert((lhs.clone(), rhs.clone()), v);
@@ -705,6 +723,7 @@ impl<'a> Evaluator<'a> {
     /// entry.
     pub(crate) fn reach_reward_values(&self, target: &BitVec) -> Result<Rc<Vec<f64>>, PctlError> {
         self.memo(
+            CacheKind::Values,
             |c| c.reach_reward.get(target).cloned(),
             |c, v| {
                 c.reach_reward.insert(target.clone(), v);
@@ -765,6 +784,7 @@ impl<'a> Evaluator<'a> {
         topo: bool,
     ) -> Result<Rc<solve::CertifiedValues>, PctlError> {
         self.memo(
+            CacheKind::Certified,
             |c| c.cert_reach.get(&(target.clone(), eps.to_bits())).cloned(),
             |c, v| {
                 c.cert_reach.insert((target.clone(), eps.to_bits()), v);
@@ -789,6 +809,7 @@ impl<'a> Evaluator<'a> {
         topo: bool,
     ) -> Result<Rc<solve::CertifiedValues>, PctlError> {
         self.memo(
+            CacheKind::Certified,
             |c| {
                 c.cert_until
                     .get(&(lhs.clone(), rhs.clone(), eps.to_bits()))
@@ -817,6 +838,7 @@ impl<'a> Evaluator<'a> {
         topo: bool,
     ) -> Result<Rc<solve::CertifiedValues>, PctlError> {
         self.memo(
+            CacheKind::Certified,
             |c| {
                 c.cert_reach_reward
                     .get(&(target.clone(), eps.to_bits()))
@@ -847,6 +869,7 @@ impl<'a> Evaluator<'a> {
     /// converges even for periodic chains and equals the Cesàro limit.
     fn steady_prob(&self, sat: &BitVec) -> Result<f64, PctlError> {
         self.memo(
+            CacheKind::Steady,
             |c| c.steady.get(sat).copied(),
             |c, v| {
                 c.steady.insert(sat.clone(), v);
@@ -859,13 +882,23 @@ impl<'a> Evaluator<'a> {
         let dtmc = self.dtmc;
         let mut pi = dtmc.initial_dense();
         let mut stepped = vec![0.0; pi.len()];
-        for _ in 0..STEADY_MAX_STEPS {
+        for it in 1..=STEADY_MAX_STEPS {
             dtmc.matrix().forward_into(&pi, &mut stepped);
             let mut delta: f64 = 0.0;
             for (p, s) in pi.iter_mut().zip(&stepped) {
                 let lazy = 0.5 * *p + 0.5 * s;
                 delta = delta.max((lazy - *p).abs());
                 *p = lazy;
+            }
+            if obs::enabled() {
+                obs::counter_add("smg_solve_sweeps_total", Some(("driver", "steady")), 1);
+                obs::trace(&obs::ConvergenceRecord {
+                    driver: "steady",
+                    sweep: it as u64,
+                    residual: Some(delta),
+                    width: None,
+                    component: None,
+                });
             }
             if delta < STEADY_TOL {
                 return Ok(sat.iter_ones().map(|i| pi[i]).sum());

@@ -111,7 +111,7 @@
 //! ];
 //! let results = session.check_all(&family)?;
 //! assert!((results[0].value() + results[1].value() - 1.0).abs() < 1e-9);
-//! assert!(session.cache_stats().hits > 0);
+//! assert!(session.cache_stats().hits() > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -133,4 +133,4 @@ pub use check::{
 pub use error::PctlError;
 pub use mdp::{check_mdp_query, check_mdp_query_with, opt_path_values, sat_states_mdp};
 pub use parser::parse_property;
-pub use session::{AnyModel, CacheStats, CheckSession};
+pub use session::{AnyModel, CacheKind, CacheStats, CheckSession, KindStats};

@@ -24,9 +24,11 @@ use crate::check::{
     EngineValue, Solver, CERTIFIED_MAX_ITER,
 };
 use crate::error::PctlError;
+use crate::session::{CacheKind, CacheStats};
 use smg_dtmc::solve::CertifiedValues;
 use smg_dtmc::BitVec;
 use smg_mdp::{vi, Mdp, ViOptions};
+use smg_obs as obs;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -115,10 +117,8 @@ pub(crate) struct MdpCache {
     cert_reach: HashMap<(BitVec, Opt, u64), Rc<CertifiedValues>>,
     /// Certified reachability-reward brackets, same key as `cert_reach`.
     cert_reach_reward: HashMap<(BitVec, Opt, u64), Rc<CertifiedValues>>,
-    /// Number of lookups answered from the cache.
-    pub(crate) hits: u64,
-    /// Number of lookups that had to compute (and then stored).
-    pub(crate) misses: u64,
+    /// Hit/miss telemetry, per cache kind.
+    pub(crate) stats: CacheStats,
 }
 
 /// The MDP query engine: checking algorithms as methods over an MDP, the
@@ -153,6 +153,7 @@ impl<'a> MdpEvaluator<'a> {
     /// [`crate::check`] for the borrow discipline.
     fn memo<V: Clone>(
         &self,
+        kind: CacheKind,
         lookup: impl Fn(&MdpCache) -> Option<V>,
         store: impl FnOnce(&mut MdpCache, V),
         compute: impl FnOnce(&Self) -> Result<V, PctlError>,
@@ -162,12 +163,12 @@ impl<'a> MdpEvaluator<'a> {
         };
         let found = lookup(&cell.borrow());
         if let Some(v) = found {
-            cell.borrow_mut().hits += 1;
+            cell.borrow_mut().stats.record_hit(kind);
             return Ok(v);
         }
         let v = compute(self)?;
         let mut c = cell.borrow_mut();
-        c.misses += 1;
+        c.stats.record_miss(kind);
         store(&mut c, v.clone());
         Ok(v)
     }
@@ -230,7 +231,13 @@ impl<'a> MdpEvaluator<'a> {
                 })
             }
         };
-        Ok(CheckResult::assemble(value, boolean, start.elapsed()).with_engine(solver, interval))
+        let elapsed = start.elapsed();
+        obs::observe(
+            "smg_pctl_property_seconds",
+            Some(("solver", solver.as_str())),
+            elapsed.as_secs_f64(),
+        );
+        Ok(CheckResult::assemble(value, boolean, elapsed).with_engine(solver, interval))
     }
 
     /// Evaluates an optimal path-probability query from the initial
@@ -303,6 +310,7 @@ impl<'a> MdpEvaluator<'a> {
     /// [`crate::check::sat_key`] serialization, like the DTMC evaluator.
     pub(crate) fn sat_states_mdp(&self, formula: &StateFormula) -> Result<BitVec, PctlError> {
         self.memo(
+            CacheKind::Sat,
             |c| c.sat.get(&sat_key(formula)).cloned(),
             |c, v| {
                 c.sat.insert(sat_key(formula), v);
@@ -414,6 +422,7 @@ impl<'a> MdpEvaluator<'a> {
         opt: Opt,
     ) -> Result<Rc<Vec<f64>>, PctlError> {
         self.memo(
+            CacheKind::Values,
             |c| c.until.get(&(lhs.clone(), rhs.clone(), opt)).cloned(),
             |c, v| {
                 c.until.insert((lhs.clone(), rhs.clone(), opt), v);
@@ -474,6 +483,7 @@ impl<'a> MdpEvaluator<'a> {
     /// the direction.
     fn reach_reward(&self, target: &BitVec, opt: Opt) -> Result<Rc<Vec<f64>>, PctlError> {
         self.memo(
+            CacheKind::Values,
             |c| c.reach_reward.get(&(target.clone(), opt)).cloned(),
             |c, v| {
                 c.reach_reward.insert((target.clone(), opt), v);
@@ -498,6 +508,7 @@ impl<'a> MdpEvaluator<'a> {
         topo: bool,
     ) -> Result<Rc<CertifiedValues>, PctlError> {
         self.memo(
+            CacheKind::Certified,
             |c| {
                 c.cert_until
                     .get(&(lhs.clone(), rhs.clone(), opt, eps.to_bits()))
@@ -528,6 +539,7 @@ impl<'a> MdpEvaluator<'a> {
         topo: bool,
     ) -> Result<Rc<CertifiedValues>, PctlError> {
         self.memo(
+            CacheKind::Certified,
             |c| {
                 c.cert_reach
                     .get(&(target.clone(), opt, eps.to_bits()))
@@ -557,6 +569,7 @@ impl<'a> MdpEvaluator<'a> {
         topo: bool,
     ) -> Result<Rc<CertifiedValues>, PctlError> {
         self.memo(
+            CacheKind::Certified,
             |c| {
                 c.cert_reach_reward
                     .get(&(target.clone(), opt, eps.to_bits()))

@@ -28,6 +28,7 @@ use crate::error::PctlError;
 use crate::mdp::{MdpCache, MdpEvaluator};
 use smg_dtmc::{pool, BitVec, Dtmc, DtmcError};
 use smg_mdp::{Mdp, ViOptions};
+use smg_obs as obs;
 use std::cell::RefCell;
 
 /// An explicit model of either family — the common currency between the
@@ -124,15 +125,131 @@ fn shared_pool(lanes: usize) -> &'static pool::Pool {
     pool::shared(lanes)
 }
 
-/// Cache telemetry of a session: how many memoized lookups were answered
-/// from the cache versus computed. `hits > 0` across a `check_all` batch
-/// is the signature of shared precomputation actually paying off.
+/// The kinds of memoized work a session's caches distinguish. Each memo
+/// lookup in the DTMC and MDP evaluators is tagged with one of these, so
+/// telemetry can attribute hits to the family of precomputation they
+/// saved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKind {
+    /// Satisfaction bit-sets of (sub)formulas.
+    Sat,
+    /// Numeric value vectors (reachability, until, reachability rewards).
+    Values,
+    /// Certified `[lo, hi]` brackets from interval iteration.
+    Certified,
+    /// Long-run (steady-state) probabilities.
+    Steady,
+}
+
+impl CacheKind {
+    /// Every kind, in reporting order.
+    pub const ALL: [CacheKind; 4] = [
+        CacheKind::Sat,
+        CacheKind::Values,
+        CacheKind::Certified,
+        CacheKind::Steady,
+    ];
+
+    /// The stable label used in JSON output and metric labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheKind::Sat => "sat",
+            CacheKind::Values => "values",
+            CacheKind::Certified => "certified",
+            CacheKind::Steady => "steady",
+        }
+    }
+}
+
+/// Hit/miss counters for one [`CacheKind`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
+pub struct KindStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that computed (and stored) a fresh entry.
     pub misses: u64,
+}
+
+/// Cache telemetry of a session: how many memoized lookups were answered
+/// from the cache versus computed, broken down by [`CacheKind`].
+/// `hits() > 0` across a `check_all` batch is the signature of shared
+/// precomputation actually paying off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Satisfaction-set lookups.
+    pub sat: KindStats,
+    /// Value-vector lookups (reach, until, reachability rewards).
+    pub values: KindStats,
+    /// Certified-bracket lookups.
+    pub certified: KindStats,
+    /// Steady-state lookups.
+    pub steady: KindStats,
+}
+
+impl CacheStats {
+    /// The counters for one kind.
+    pub fn kind(&self, kind: CacheKind) -> KindStats {
+        match kind {
+            CacheKind::Sat => self.sat,
+            CacheKind::Values => self.values,
+            CacheKind::Certified => self.certified,
+            CacheKind::Steady => self.steady,
+        }
+    }
+
+    /// Total lookups answered from the cache, across all kinds.
+    pub fn hits(&self) -> u64 {
+        CacheKind::ALL.iter().map(|&k| self.kind(k).hits).sum()
+    }
+
+    /// Total lookups that had to compute, across all kinds.
+    pub fn misses(&self) -> u64 {
+        CacheKind::ALL.iter().map(|&k| self.kind(k).misses).sum()
+    }
+
+    fn slot(&mut self, kind: CacheKind) -> &mut KindStats {
+        match kind {
+            CacheKind::Sat => &mut self.sat,
+            CacheKind::Values => &mut self.values,
+            CacheKind::Certified => &mut self.certified,
+            CacheKind::Steady => &mut self.steady,
+        }
+    }
+
+    /// Counts one cache hit (and reports it through the instrumentation
+    /// seam).
+    pub(crate) fn record_hit(&mut self, kind: CacheKind) {
+        self.slot(kind).hits += 1;
+        obs::counter_add(
+            "smg_session_cache_hits_total",
+            Some(("kind", kind.as_str())),
+            1,
+        );
+    }
+
+    /// Counts one cache miss (and reports it through the instrumentation
+    /// seam).
+    pub(crate) fn record_miss(&mut self, kind: CacheKind) {
+        self.slot(kind).misses += 1;
+        obs::counter_add(
+            "smg_session_cache_misses_total",
+            Some(("kind", kind.as_str())),
+            1,
+        );
+    }
+
+    /// The element-wise sum of two stats (the session merges its DTMC and
+    /// MDP cache telemetry; exactly one side is ever non-zero).
+    pub(crate) fn merged(self, other: CacheStats) -> CacheStats {
+        let mut out = self;
+        for kind in CacheKind::ALL {
+            let add = other.kind(kind);
+            let slot = out.slot(kind);
+            slot.hits += add.hits;
+            slot.misses += add.misses;
+        }
+        out
+    }
 }
 
 /// A batch-oriented checking session over one immutable model.
@@ -174,7 +291,7 @@ pub struct CacheStats {
 /// let results = session.check_all(&family)?;
 /// assert!((results[0].value() - 1.0).abs() < 1e-9);
 /// assert!(results[1].value().abs() < 1e-9);
-/// assert!(session.cache_stats().hits > 0); // the batch shared real work
+/// assert!(session.cache_stats().hits() > 0); // the batch shared real work
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
@@ -318,13 +435,10 @@ impl CheckSession {
         })
     }
 
-    /// Cache telemetry accumulated so far.
+    /// Cache telemetry accumulated so far, per cache kind.
     pub fn cache_stats(&self) -> CacheStats {
         let (d, m) = (self.dtmc_cache.borrow(), self.mdp_cache.borrow());
-        CacheStats {
-            hits: d.hits + m.hits,
-            misses: d.misses + m.misses,
-        }
+        d.stats.merged(m.stats)
     }
 }
 
@@ -399,8 +513,8 @@ mod tests {
         // `F goal`, `G !goal`, `R [F goal]` and the threshold operator all
         // share the one unbounded reachability solve.
         let stats = session.cache_stats();
-        assert!(stats.hits >= 3, "stats = {stats:?}");
-        assert!(stats.misses > 0);
+        assert!(stats.hits() >= 3, "stats = {stats:?}");
+        assert!(stats.misses() > 0);
     }
 
     #[test]
@@ -426,7 +540,7 @@ mod tests {
         assert_eq!(batch[0].solver(), Solver::IntervalIteration);
         // F goal and G !goal share a certified bracket: the G query's
         // target set ¬(¬goal) is bit-identical to goal.
-        assert!(session.cache_stats().hits > 0);
+        assert!(session.cache_stats().hits() > 0);
     }
 
     #[test]
@@ -459,7 +573,7 @@ mod tests {
             // Pmax [F goal] and Pmin [G !goal] share work (the G query
             // duals to a Pmax reachability of the complement-complement
             // set); goal's sat-set is shared everywhere.
-            assert!(session.cache_stats().hits > 0, "certified={certified}");
+            assert!(session.cache_stats().hits() > 0, "certified={certified}");
         }
     }
 
@@ -614,6 +728,6 @@ mod tests {
         let before = session.cache_stats();
         let b = session.sat(&f).unwrap();
         assert_eq!(a, b);
-        assert!(session.cache_stats().hits > before.hits);
+        assert!(session.cache_stats().hits() > before.hits());
     }
 }

@@ -563,7 +563,7 @@ mod tests {
         // hits the cache.
         let before = session.cache_stats();
         let _ = CompiledPath::from_session(&session, &path_of("P=? [ F<=8 goal ]")).unwrap();
-        assert!(session.cache_stats().hits > before.hits);
+        assert!(session.cache_stats().hits() > before.hits());
     }
 
     #[test]

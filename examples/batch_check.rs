@@ -96,12 +96,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = session.cache_stats();
     println!(
         "session cache: {} hits / {} misses across {} properties",
-        stats.hits,
-        stats.misses,
+        stats.hits(),
+        stats.misses(),
         results.len()
     );
     assert!(
-        stats.hits >= 3,
+        stats.hits() >= 3,
         "the shared-subformula family must hit the cache"
     );
 

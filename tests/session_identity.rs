@@ -213,6 +213,6 @@ proptest! {
         prop_assert!(same_f64(first.value(), second.value()));
         prop_assert_eq!(first.interval(), second.interval());
         prop_assert_eq!(first.solver(), second.solver());
-        prop_assert!(session.cache_stats().hits > stats.hits);
+        prop_assert!(session.cache_stats().hits() > stats.hits());
     }
 }

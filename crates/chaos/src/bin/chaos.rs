@@ -5,6 +5,7 @@
 //! chaos run [--seeds A..B] [--drivers a,b,…] [--no-faults] [--no-probes] [--out PREFIX]
 //! chaos repro SEED [--driver NAME] [--budget N] [--faults SPEC]
 //! chaos mutate [--seeds A..B]
+//! chaos daemon [--seeds A..B]     (requires --features daemon)
 //! ```
 //!
 //! Exit codes: 0 all cases passed (for `mutate`: the seeded bug was
@@ -50,6 +51,7 @@ mod real {
             Some("run") => cmd_run(&args[1..]),
             Some("repro") => cmd_repro(&args[1..]),
             Some("mutate") => cmd_mutate(&args[1..]),
+            Some("daemon") => cmd_daemon(&args[1..]),
             _ => usage(),
         }
     }
@@ -58,8 +60,43 @@ mod real {
         eprintln!(
             "usage: chaos run [--seeds A..B] [--drivers a,b] [--no-faults] [--no-probes] [--out PREFIX]\n\
              \x20      chaos repro SEED [--driver NAME] [--budget N] [--faults SPEC]\n\
-             \x20      chaos mutate [--seeds A..B]"
+             \x20      chaos mutate [--seeds A..B]\n\
+             \x20      chaos daemon [--seeds A..B]"
         );
+        2
+    }
+
+    /// The daemon sweep: boot a real smg-serve per seed and fire the
+    /// interleaved schedule at it (see `smg_chaos::daemon`).
+    #[cfg(feature = "daemon")]
+    fn cmd_daemon(args: &[String]) -> i32 {
+        let seeds = match flag_value(args, "--seeds") {
+            Ok(None) => 0..500,
+            Ok(Some(s)) => match parse_seeds(&s) {
+                Some(r) => r,
+                None => return usage(),
+            },
+            Err(()) => return usage(),
+        };
+        let span = format!("{}..{}", seeds.start, seeds.end);
+        let cases = seeds.end - seeds.start;
+        let failures = smg_chaos::daemon::sweep_daemon(seeds);
+        println!(
+            "chaos daemon: {cases} cases over seeds {span}, {} failure(s)",
+            failures.len()
+        );
+        if failures.is_empty() {
+            return 0;
+        }
+        for (seed, reason) in &failures {
+            eprintln!("chaos daemon seed {seed}: {reason}");
+        }
+        1
+    }
+
+    #[cfg(not(feature = "daemon"))]
+    fn cmd_daemon(_args: &[String]) -> i32 {
+        eprintln!("chaos daemon: rebuild with --features daemon");
         2
     }
 

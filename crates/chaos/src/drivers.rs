@@ -39,6 +39,12 @@ pub enum DriverKind {
     Topo,
     /// The intentionally order-dependent mutation check.
     Buggy,
+    /// The second mutation check, sensitive to *deferred shares* rather
+    /// than raw execution order: a consumer assumes lane `l`'s share
+    /// starts before lane `l+1`'s share completes — true under both the
+    /// index-order and the benign share-order schedules, broken exactly
+    /// when a torn latch parks a whole share past the settle point.
+    Stale,
 }
 
 impl DriverKind {
@@ -59,6 +65,7 @@ impl DriverKind {
             DriverKind::Certified => "certified",
             DriverKind::Topo => "topo",
             DriverKind::Buggy => "buggy",
+            DriverKind::Stale => "stale",
         }
     }
 
@@ -70,6 +77,7 @@ impl DriverKind {
             "certified" => Some(DriverKind::Certified),
             "topo" => Some(DriverKind::Topo),
             "buggy" => Some(DriverKind::Buggy),
+            "stale" => Some(DriverKind::Stale),
             _ => None,
         }
     }
@@ -87,6 +95,7 @@ pub fn digest(kind: DriverKind, case: &CaseParams, parallel: bool) -> u64 {
         DriverKind::Certified => digest_certified(case, parallel),
         DriverKind::Topo => digest_topo(case, parallel),
         DriverKind::Buggy => digest_buggy(case, parallel),
+        DriverKind::Stale => digest_stale(case, parallel),
     }
 }
 
@@ -470,6 +479,43 @@ fn digest_buggy(case: &CaseParams, parallel: bool) -> u64 {
     let mut d = Digest::new();
     for s in &slots {
         d.mix(s.load(Ordering::SeqCst));
+    }
+    d.finish()
+}
+
+/// The deferred-share mutation check (see [`DriverKind::Stale`]). Each
+/// task is mapped to its static-stride lane `t % lanes`; a lane's first
+/// task records whether the *next* lane's share already completed in
+/// full. Under the sequential reference, the index-order schedule and
+/// the benign lowest-lane schedule that never happens; a torn latch that
+/// defers a whole share makes it so.
+fn digest_stale(case: &CaseParams, parallel: bool) -> u64 {
+    let lanes = case.lanes.max(2);
+    let share = 4usize;
+    let ntasks = lanes * share;
+    let done: Vec<AtomicU64> = (0..lanes).map(|_| AtomicU64::new(0)).collect();
+    let stale: Vec<AtomicBool> = (0..lanes).map(|_| AtomicBool::new(false)).collect();
+    let pool = if parallel {
+        pool::shared(lanes)
+    } else {
+        pool::with_lanes(1)
+    };
+    pool.run(ntasks, &|t| {
+        let lane = t % lanes;
+        // First task of this share: has the next lane's share (no
+        // wraparound — lane 0 legitimately finishes first under the
+        // benign schedule) already fully completed?
+        if done[lane].load(Ordering::SeqCst) == 0 && lane + 1 < lanes {
+            let next = done[lane + 1].load(Ordering::SeqCst);
+            if next as usize >= share {
+                stale[lane].store(true, Ordering::SeqCst);
+            }
+        }
+        done[lane].fetch_add(1, Ordering::SeqCst);
+    });
+    let mut d = Digest::new();
+    for s in &stale {
+        d.mix(s.load(Ordering::SeqCst) as u64);
     }
     d.finish()
 }

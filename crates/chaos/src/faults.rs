@@ -8,9 +8,10 @@
 //! never shifts when the remaining ones fire, because the keys are
 //! absolute steps, not relative offsets.
 //!
-//! Comparison sweeps use *benign* plans (stalls and forced-inline
-//! degradation — faults that delay or reroute work without destroying
-//! it); panic injection runs as a separate probe (see
+//! Comparison sweeps use *benign* plans (stalls, torn latch updates,
+//! epoch-counter skew and forced-inline degradation — faults that delay,
+//! mislabel or reroute work without destroying it); panic injection runs
+//! as a separate probe (see
 //! [`crate::harness::panic_probe`]) because a panicked dispatch
 //! legitimately aborts the workload instead of producing a comparable
 //! result.
@@ -35,6 +36,14 @@ pub enum FaultKind {
     /// The chosen lane's task panics without running (the lane dies for
     /// the epoch and the dispatch re-raises the pool's enriched message).
     Panic,
+    /// The chosen lane's completion latch tears: it reads as done while
+    /// its share is still pending, until the settle check re-reads it and
+    /// resurrects the lane. Benign — work is delayed, never destroyed.
+    Torn,
+    /// The per-thread epoch counter skews forward by this many epochs
+    /// (a torn counter increment). Benign — nothing may depend on epoch
+    /// contiguity.
+    Skew(u32),
 }
 
 /// A deterministic fault plan for one simulated run.
@@ -55,9 +64,11 @@ impl FaultPlan {
     }
 
     /// The benign plan a case seed maps to: up to three stalls in the
-    /// first few hundred steps, and (one run in four) one early epoch
-    /// forced inline. Drawn from the fault stream, never the schedule
-    /// stream, so dropping this plan replays the same interleaving.
+    /// first few hundred steps, (one run in four each) a torn latch
+    /// update and an epoch-counter skew, and (one run in four) one early
+    /// epoch forced inline. Drawn from the fault stream, never the
+    /// schedule stream, so dropping this plan replays the same
+    /// interleaving.
     pub fn benign_for_seed(seed: u64) -> FaultPlan {
         let mut rng = XorShift64::new(fault_stream(seed));
         let n = rng.below(4);
@@ -67,6 +78,18 @@ impl FaultPlan {
                 kind: FaultKind::Stall(1 + rng.below(8) as u32),
             })
             .collect();
+        if rng.chance(1, 4) {
+            faults.push(FaultSpec {
+                at_step: rng.below(320),
+                kind: FaultKind::Torn,
+            });
+        }
+        if rng.chance(1, 4) {
+            faults.push(FaultSpec {
+                at_step: rng.below(320),
+                kind: FaultKind::Skew(1 + rng.below(7) as u32),
+            });
+        }
         faults.sort_by_key(|f| f.at_step);
         faults.dedup_by_key(|f| f.at_step);
         let inline_epochs = if rng.chance(1, 4) {
@@ -129,8 +152,9 @@ impl FaultPlan {
             .map(|f| f.kind)
     }
 
-    /// A compact, parseable description: `stall@12x3,panic@5,inline@2`
-    /// (empty plan → `-`). Round-trips through [`FaultPlan::parse`].
+    /// A compact, parseable description:
+    /// `stall@12x3,panic@5,torn@9,skew@4x2,inline@2` (empty plan → `-`).
+    /// Round-trips through [`FaultPlan::parse`].
     pub fn describe(&self) -> String {
         if self.is_empty() {
             return "-".to_string();
@@ -141,6 +165,8 @@ impl FaultPlan {
             .map(|f| match f.kind {
                 FaultKind::Stall(n) => format!("stall@{}x{n}", f.at_step),
                 FaultKind::Panic => format!("panic@{}", f.at_step),
+                FaultKind::Torn => format!("torn@{}", f.at_step),
+                FaultKind::Skew(n) => format!("skew@{}x{n}", f.at_step),
             })
             .collect();
         parts.extend(self.inline_epochs.iter().map(|e| format!("inline@{e}")));
@@ -168,6 +194,17 @@ impl FaultPlan {
                     at_step: rest.parse().ok()?,
                     kind: FaultKind::Panic,
                 }),
+                "torn" => plan.faults.push(FaultSpec {
+                    at_step: rest.parse().ok()?,
+                    kind: FaultKind::Torn,
+                }),
+                "skew" => {
+                    let (step, n) = rest.split_once('x')?;
+                    plan.faults.push(FaultSpec {
+                        at_step: step.parse().ok()?,
+                        kind: FaultKind::Skew(n.parse().ok()?),
+                    });
+                }
                 "inline" => plan.inline_epochs.push(rest.parse().ok()?),
                 _ => return None,
             }
@@ -193,13 +230,28 @@ mod tests {
 
     #[test]
     fn benign_plans_never_contain_panics() {
+        let mut torn = 0usize;
+        let mut skews = 0usize;
         for seed in 0..256u64 {
             let plan = FaultPlan::benign_for_seed(seed);
             assert!(plan
                 .faults
                 .iter()
-                .all(|f| matches!(f.kind, FaultKind::Stall(_))));
+                .all(|f| !matches!(f.kind, FaultKind::Panic)));
+            torn += plan
+                .faults
+                .iter()
+                .filter(|f| matches!(f.kind, FaultKind::Torn))
+                .count();
+            skews += plan
+                .faults
+                .iter()
+                .filter(|f| matches!(f.kind, FaultKind::Skew(_)))
+                .count();
         }
+        // The extended vocabulary actually appears in the corpus.
+        assert!(torn > 0, "no torn latch updates in 256 benign plans");
+        assert!(skews > 0, "no epoch skews in 256 benign plans");
     }
 
     #[test]

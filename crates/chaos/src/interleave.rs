@@ -95,6 +95,8 @@ impl Interleaver for ChaosInterleaver {
             Some(FaultKind::Stall(n)) => Fault::Stall(n),
             Some(FaultKind::Panic) if lane == 0 => Fault::Stall(1),
             Some(FaultKind::Panic) => Fault::Panic,
+            Some(FaultKind::Torn) => Fault::TornLatch,
+            Some(FaultKind::Skew(n)) => Fault::EpochSkew(n),
             None => Fault::None,
         }
     }

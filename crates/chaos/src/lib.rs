@@ -52,6 +52,8 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "daemon")]
+pub mod daemon;
 #[cfg(all(feature = "parallel", feature = "sim"))]
 pub mod drivers;
 #[cfg(all(feature = "parallel", feature = "sim"))]

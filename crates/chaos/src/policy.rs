@@ -12,6 +12,12 @@ use crate::rng::XorShift64;
 /// A deterministic scheduling adversary (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
+    /// Always advance the lowest runnable lane — the explicit form of the
+    /// interleaver's past-budget benign schedule. On a static dispatch
+    /// this executes tasks in index order, so it is the *null* adversary:
+    /// useful for pinning that a fault (not the schedule) causes a
+    /// failure. Never drawn by [`Policy::for_seed`].
+    Fifo,
     /// Always advance the highest runnable lane.
     Lifo,
     /// Cycle through the lanes, advancing each one step in turn.
@@ -41,9 +47,10 @@ impl Policy {
         }
     }
 
-    /// A short display name (`lifo`, `rr`, `starve3`, `random`).
+    /// A short display name (`fifo`, `lifo`, `rr`, `starve3`, `random`).
     pub fn name(&self) -> String {
         match self {
+            Policy::Fifo => "fifo".to_string(),
             Policy::Lifo => "lifo".to_string(),
             Policy::RoundRobin => "rr".to_string(),
             Policy::StarveOne { victim } => format!("starve{victim}"),
@@ -57,6 +64,7 @@ impl Policy {
     pub fn pick(&self, runnable: &[usize], rr: &mut usize, rng: &mut XorShift64) -> usize {
         debug_assert!(!runnable.is_empty());
         match self {
+            Policy::Fifo => runnable[0],
             Policy::Lifo => *runnable.last().unwrap(),
             Policy::RoundRobin => {
                 // The smallest runnable lane strictly above the cursor,

@@ -50,7 +50,9 @@ impl Timeline {
     /// Renders the last few epochs as per-lane traces. Entry notation:
     /// `rN` ran task N, `cN` claimed task N (dynamic), `zNxK` stalled K
     /// steps before task N, `P!N` injected panic on task N, `X!N` the
-    /// task body panicked, `.` lane done.
+    /// task body panicked, `T!N` latch tore before task N, `^` the settle
+    /// check resurrected the lane, `~K` epoch counter skewed forward K,
+    /// `.` lane done.
     pub fn render(&self) -> String {
         // Split the flat stream on EpochBegin markers.
         let mut epochs: Vec<&[Event]> = Vec::new();
@@ -115,6 +117,8 @@ fn record_obs(ev: &Event) {
         Event::InjectedPanic { .. } => {
             obs::counter_add("smg_chaos_injected_panics_total", None, 1);
         }
+        Event::TornLatch { .. } => obs::counter_add("smg_chaos_torn_latches_total", None, 1),
+        Event::EpochSkew { .. } => obs::counter_add("smg_chaos_epoch_skews_total", None, 1),
         _ => {}
     }
 }
@@ -155,6 +159,7 @@ fn render_epoch(events: &[Event], out: &mut String) {
             Event::InjectedPanic { lane, .. } | Event::TaskPanic { lane, .. } => {
                 Some(format!("l{lane}!"))
             }
+            Event::TornLatch { lane, .. } => Some(format!("l{lane}t")),
             _ => None,
         })
         .collect();
@@ -179,6 +184,9 @@ fn render_epoch(events: &[Event], out: &mut String) {
             Event::InjectedPanic { lane, task } => (lane, format!("P!{task}")),
             Event::TaskPanic { lane, task } => (lane, format!("X!{task}")),
             Event::LaneDone { lane } => (lane, ".".to_string()),
+            Event::TornLatch { lane, task } => (lane, format!("T!{task}")),
+            Event::LatchResurrect { lane } => (lane, "^".to_string()),
+            Event::EpochSkew { lane, skip } => (lane, format!("~{skip}")),
             Event::EpochBegin { .. } | Event::EpochEnd { .. } => continue,
         };
         if lane < per_lane.len() {

@@ -18,6 +18,7 @@ USAGE:
   smg export <model.sm> --format <tra|lab|srew|pm|dot> [--out FILE]
   smg steady <model.sm> [--tol T] [--max-steps N]
   smg sim    <model.sm> --steps N [--seed S]
+  smg serve  [--addr HOST:PORT] [--capacity N] [--ttl SECS]
   smg help
 
 Model files may be guarded-command source (.sm) or PRISM explicit
@@ -54,6 +55,13 @@ COMMANDS:
   sim     Monte-Carlo baseline: simulate the chain and estimate the mean
           state reward (compare against `check --prop 'R=? [ I=T ]'`).
           Chains only; for MDPs see smg-sim's scheduler sampling.
+  serve   Run the resident model-checking daemon (smg-serve): compiled
+          models and their warm check sessions stay in memory across
+          requests, so repeated property families answer from memoized
+          sat-sets, value vectors and certified brackets — bit-identical
+          to `smg check`. Prints the bound address on startup; stops
+          gracefully (drains in-flight requests) on SIGTERM/ctrl-c. See
+          docs/SERVE.md for the HTTP protocol.
 
 OPTIONS:
   --prop <pctl>     Property to check (repeatable), e.g. 'P=? [ G<=300 !err ]'
@@ -87,6 +95,11 @@ OPTIONS:
   --seed S          Simulation RNG seed (default 0)
   --tol T           Steady-state tolerance (default 1e-9)
   --max-steps N     Steady-state step budget (default 100000)
+  --addr HOST:PORT  serve: bind address (default 127.0.0.1:7177; port 0
+                    picks a free port, printed on startup)
+  --capacity N      serve: max resident models, LRU beyond it (default 8)
+  --ttl SECS        serve: evict models unused for SECS seconds (default:
+                    never)
 ";
 
 /// A parsed command line.
@@ -157,6 +170,15 @@ pub enum Cmd {
         seed: u64,
         /// Exploration options.
         options: Options,
+    },
+    /// `smg serve`
+    Serve {
+        /// Bind address (`--addr`); port 0 picks a free port.
+        addr: String,
+        /// Max resident models (`--capacity`).
+        capacity: usize,
+        /// Idle eviction TTL in seconds (`--ttl`), off by default.
+        ttl: Option<f64>,
     },
     /// `smg help` / `--help` / no arguments.
     Help,
@@ -232,6 +254,9 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
     let mut seed: u64 = 0;
     let mut tol: f64 = 1e-9;
     let mut max_steps: usize = 100_000;
+    let mut addr: String = "127.0.0.1:7177".to_string();
+    let mut capacity: usize = 8;
+    let mut ttl: Option<f64> = None;
     let mut options = Options::default();
 
     fn value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, CliError> {
@@ -281,6 +306,26 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
                 max_steps = value(&mut it, "--max-steps")?
                     .parse()
                     .map_err(|_| CliError("--max-steps expects an integer".into()))?;
+            }
+            "--addr" => addr = value(&mut it, "--addr")?.to_string(),
+            "--capacity" => {
+                capacity = value(&mut it, "--capacity")?
+                    .parse()
+                    .map_err(|_| CliError("--capacity expects an integer".into()))?;
+                if capacity == 0 {
+                    return Err(CliError("--capacity expects a positive integer".into()));
+                }
+            }
+            "--ttl" => {
+                let secs: f64 = value(&mut it, "--ttl")?
+                    .parse()
+                    .map_err(|_| CliError("--ttl expects a number of seconds".into()))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(CliError(
+                        "--ttl expects a positive number of seconds".into(),
+                    ));
+                }
+                ttl = Some(secs);
             }
             "--max-states" => {
                 options.max_states = value(&mut it, "--max-states")?
@@ -377,6 +422,19 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
             seed,
             options,
         }),
+        "serve" => {
+            if let Some(stray) = model {
+                return Err(CliError(format!(
+                    "serve takes no model argument (got {stray:?}); models are \
+                     compiled over HTTP via POST /models"
+                )));
+            }
+            Ok(Cmd::Serve {
+                addr,
+                capacity,
+                ttl,
+            })
+        }
         other => Err(CliError(format!("unknown command {other:?}"))),
     }
 }
@@ -598,6 +656,42 @@ mod tests {
             ]
         );
         assert!(parse_args(&args("info m.sm --const banana")).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let Cmd::Serve {
+            addr,
+            capacity,
+            ttl,
+        } = parse_args(&args("serve")).unwrap()
+        else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(addr, "127.0.0.1:7177");
+        assert_eq!(capacity, 8);
+        assert_eq!(ttl, None);
+        let Cmd::Serve {
+            addr,
+            capacity,
+            ttl,
+        } = parse_args(&args("serve --addr 0.0.0.0:9000 --capacity 2 --ttl 30")).unwrap()
+        else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(addr, "0.0.0.0:9000");
+        assert_eq!(capacity, 2);
+        assert_eq!(ttl, Some(30.0));
+        // A stray positional, a zero capacity and a non-positive ttl are
+        // all rejected with pointed messages.
+        let err = parse_args(&args("serve m.sm")).unwrap_err();
+        assert!(err.0.contains("no model argument"), "{err}");
+        let err = parse_args(&args("serve --capacity 0")).unwrap_err();
+        assert!(err.0.contains("--capacity"), "{err}");
+        for bad in ["-3", "0", "banana", "inf"] {
+            let err = parse_args(&["serve".into(), "--ttl".into(), bad.into()]).unwrap_err();
+            assert!(err.0.contains("--ttl"), "{bad}: {err}");
+        }
     }
 
     #[test]

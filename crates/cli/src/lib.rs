@@ -318,6 +318,27 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
             let _ = writeln!(out, "Nonzero-reward steps: {}", r.hits);
             Ok(out)
         }
+        Cmd::Serve {
+            addr,
+            capacity,
+            ttl,
+        } => {
+            // The daemon prints its listening line itself (main only
+            // prints after run returns, which for serve is shutdown) and
+            // installs a process-global recorder so pool-worker events
+            // land in /metrics too.
+            let config = smg_serve::ServerConfig {
+                addr: addr.clone(),
+                capacity: *capacity,
+                ttl: ttl.map(std::time::Duration::from_secs_f64),
+                install_global: true,
+                ..smg_serve::ServerConfig::default()
+            };
+            let mut stdout = std::io::stdout();
+            smg_serve::run_blocking(config, &mut stdout)
+                .map_err(|e| CliError(format!("serve: {e}")))?;
+            Ok(String::new())
+        }
     }
 }
 

@@ -8,9 +8,10 @@
 //! [`Pool::run`]/[`Pool::run_dynamic`] dispatch is *simulated* — the
 //! pool's lanes become virtual lanes that are single-stepped, one task at
 //! a time, in whatever order the interleaver chooses, with optional fault
-//! injection (lane stalls, injected task panics, forced degradation to
-//! the inline path). The whole simulation runs on the calling thread, so
-//! a given interleaver decision sequence replays exactly.
+//! injection (lane stalls, injected task panics, torn latch updates,
+//! epoch-counter skew, forced degradation to the inline path). The whole
+//! simulation runs on the calling thread, so a given interleaver decision
+//! sequence replays exactly.
 //!
 //! The production dispatch path is untouched: without the `sim` feature
 //! this module does not exist and the pool compiles exactly as before;
@@ -65,6 +66,19 @@ pub enum Fault {
     /// the epoch and the dispatch re-raises the pool's enriched panic
     /// message after every lane has settled.
     Panic,
+    /// The lane's completion latch *tears*: the dispatcher observes the
+    /// lane as finished while its share is still pending (models a torn
+    /// non-atomic "done" write). The lane stops being scheduled, but the
+    /// settle check re-reads the latch and resurrects any torn lane that
+    /// still holds work — delayed, never lost — exactly as the real
+    /// latch's acquire-side re-check would.
+    TornLatch,
+    /// The per-thread epoch counter skews forward by the given amount
+    /// before the next dispatch (models a counter torn between
+    /// increments). Consumes the scheduling step like a stall; execution
+    /// order and results are unaffected — nothing may depend on epoch
+    /// contiguity.
+    EpochSkew(u32),
 }
 
 /// How a simulated epoch executes.
@@ -136,6 +150,28 @@ pub enum Event {
     LaneDone {
         /// Finished lane.
         lane: usize,
+    },
+    /// An injected [`Fault::TornLatch`] made the lane's completion latch
+    /// read as done while its share is still pending.
+    TornLatch {
+        /// The lane whose latch tore.
+        lane: usize,
+        /// The task it would have run.
+        task: usize,
+    },
+    /// The settle check re-read a torn latch and found unfinished work:
+    /// the lane resumes scheduling.
+    LatchResurrect {
+        /// The resurrected lane.
+        lane: usize,
+    },
+    /// An injected [`Fault::EpochSkew`] advanced the per-thread epoch
+    /// counter.
+    EpochSkew {
+        /// The lane whose increment tore.
+        lane: usize,
+        /// How far the counter skewed forward.
+        skip: u32,
     },
     /// The dispatch settled.
     EpochEnd {
@@ -303,6 +339,9 @@ pub(crate) fn run_epoch(lanes: usize, ntasks: usize, dynamic: bool, f: &dyn Fn(u
     let mut stall = vec![0u32; lanes];
     let mut dead = vec![false; lanes];
     let mut done = vec![false; lanes];
+    // Lanes whose completion latch tore: they read as done but may still
+    // hold work; the settle check below re-reads and resurrects them.
+    let mut torn = vec![false; lanes];
     // Static assignment: the next strided task per lane. Dynamic: the
     // shared claim cursor.
     let mut next: Vec<usize> = (0..lanes).collect();
@@ -337,7 +376,32 @@ pub(crate) fn run_epoch(lanes: usize, ntasks: usize, dynamic: bool, f: &dyn Fn(u
                     }
                     continue;
                 }
-                None => break,
+                None => {
+                    // Settle: before declaring the epoch done, re-read any
+                    // torn latch. A torn lane that still holds unfinished
+                    // work resurrects — its share was delayed, never lost.
+                    let mut resurrected = false;
+                    for l in 0..lanes {
+                        if !torn[l] {
+                            continue;
+                        }
+                        torn[l] = false;
+                        let pending = if dynamic {
+                            cursor < ntasks
+                        } else {
+                            next[l] < ntasks
+                        };
+                        if pending && !dead[l] {
+                            done[l] = false;
+                            resurrected = true;
+                            il.borrow_mut().observe(&Event::LatchResurrect { lane: l });
+                        }
+                    }
+                    if resurrected {
+                        continue;
+                    }
+                    break;
+                }
             }
         }
         let lane = il.borrow_mut().choose(&runnable);
@@ -378,6 +442,24 @@ pub(crate) fn run_epoch(lanes: usize, ntasks: usize, dynamic: bool, f: &dyn Fn(u
                 panics.push((lane, task, None));
                 il.borrow_mut()
                     .observe(&Event::InjectedPanic { lane, task });
+                continue;
+            }
+            Fault::TornLatch => {
+                // The dispatcher observes the lane as finished while its
+                // share is still pending; no task ran, nothing is claimed.
+                torn[lane] = true;
+                done[lane] = true;
+                il.borrow_mut().observe(&Event::TornLatch { lane, task });
+                continue;
+            }
+            Fault::EpochSkew(skip) => {
+                let skip = skip.max(1);
+                ACTIVE.with(|a| {
+                    if let Some(ctx) = a.borrow().as_ref() {
+                        ctx.epoch.set(ctx.epoch.get() + u64::from(skip));
+                    }
+                });
+                il.borrow_mut().observe(&Event::EpochSkew { lane, skip });
                 continue;
             }
             Fault::None => {}
@@ -570,6 +652,84 @@ mod tests {
             let expect = usize::from(t % 4 != 3);
             assert_eq!(hit.load(Ordering::Relaxed), expect, "task {t}");
         }
+    }
+
+    #[test]
+    fn torn_latch_delays_but_never_loses_the_lanes_share() {
+        // Lane 3 (first pick) tears its latch immediately: it reads as
+        // done, the other lanes drain their shares, then the settle check
+        // resurrects it and its full strided share still runs — every
+        // task exactly once.
+        let il = Rc::new(RefCell::new(Scripted::new(vec![(0, Fault::TornLatch)])));
+        let pool = pool::with_lanes(4);
+        let hits: Vec<AtomicUsize> = (0..17).map(|_| AtomicUsize::new(0)).collect();
+        with_sim(Rc::clone(&il), || {
+            pool.run(17, &|t| {
+                hits[t].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        let ev = &il.borrow().events;
+        let tear = ev
+            .iter()
+            .position(|e| matches!(e, Event::TornLatch { lane: 3, .. }))
+            .expect("latch tear observed");
+        let resurrect = ev
+            .iter()
+            .position(|e| matches!(e, Event::LatchResurrect { lane: 3 }))
+            .expect("settle check resurrects the torn lane");
+        assert!(tear < resurrect);
+        // Between tear and resurrection the lane never runs a task.
+        assert!(ev[tear..resurrect]
+            .iter()
+            .all(|e| !matches!(e, Event::Run { lane: 3, .. })));
+    }
+
+    #[test]
+    fn torn_latch_in_dynamic_mode_keeps_the_cursor_exact() {
+        let il = Rc::new(RefCell::new(Scripted::new(vec![(1, Fault::TornLatch)])));
+        let pool = pool::with_lanes(3);
+        let hits: Vec<AtomicUsize> = (0..11).map(|_| AtomicUsize::new(0)).collect();
+        with_sim(Rc::clone(&il), || {
+            pool.run_dynamic(11, &|t| {
+                hits[t].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        // No claim is consumed by the tear: all 11 indices run once.
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn epoch_skew_advances_the_counter_without_touching_results() {
+        let il = Rc::new(RefCell::new(Scripted::new(vec![(1, Fault::EpochSkew(5))])));
+        let pool = pool::with_lanes(2);
+        let count = AtomicUsize::new(0);
+        with_sim(Rc::clone(&il), || {
+            pool.run(6, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            pool.run(6, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 12);
+        let epochs: Vec<u64> = il
+            .borrow()
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::EpochBegin { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .collect();
+        // First dispatch is epoch 1; the skew tears the counter forward
+        // by 5, so the second dispatch numbers itself 7, not 2.
+        assert_eq!(epochs, vec![1, 7]);
+        assert!(il
+            .borrow()
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::EpochSkew { skip: 5, .. })));
     }
 
     #[test]

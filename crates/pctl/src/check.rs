@@ -28,7 +28,7 @@ use smg_dtmc::{solve, transient, BitVec, Dtmc};
 use smg_obs as obs;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tolerance for unbounded-until value iteration.
@@ -253,17 +253,22 @@ pub(crate) struct DtmcCache {
     /// Unbounded reachability value vectors keyed by the target set. Also
     /// the pre-pass of reachability rewards, so `P=? [ F φ ]` and
     /// `R=? [ F φ ]` share one solve.
-    reach: HashMap<BitVec, Rc<Vec<f64>>>,
+    reach: HashMap<BitVec, Arc<Vec<f64>>>,
     /// Unbounded until value vectors keyed by `(lhs, rhs)`.
-    until: HashMap<(BitVec, BitVec), Rc<Vec<f64>>>,
+    until: HashMap<(BitVec, BitVec), Arc<Vec<f64>>>,
     /// Reachability-reward value vectors keyed by the target set.
-    reach_reward: HashMap<BitVec, Rc<Vec<f64>>>,
-    /// Certified reachability brackets keyed by `(target, ε bits)`.
-    cert_reach: HashMap<(BitVec, u64), Rc<solve::CertifiedValues>>,
-    /// Certified until brackets keyed by `(lhs, rhs, ε bits)`.
-    cert_until: HashMap<(BitVec, BitVec, u64), Rc<solve::CertifiedValues>>,
-    /// Certified reachability-reward brackets keyed by `(target, ε bits)`.
-    cert_reach_reward: HashMap<(BitVec, u64), Rc<solve::CertifiedValues>>,
+    reach_reward: HashMap<BitVec, Arc<Vec<f64>>>,
+    /// Certified reachability brackets keyed by `(target, ε bits, topo)`.
+    /// The `topo` flag is part of the key even though both solvers honour
+    /// the same bracket guarantee: the global and SCC-ordered sweeps land
+    /// on *different sound bits*, and long-lived sessions (the smg-serve
+    /// daemon) promise answers that depend only on (model, property,
+    /// options) — never on which request happened to run first.
+    cert_reach: HashMap<(BitVec, u64, bool), Arc<solve::CertifiedValues>>,
+    /// Certified until brackets keyed by `(lhs, rhs, ε bits, topo)`.
+    cert_until: HashMap<(BitVec, BitVec, u64, bool), Arc<solve::CertifiedValues>>,
+    /// Certified reachability-reward brackets, keyed as [`Self::cert_reach`].
+    cert_reach_reward: HashMap<(BitVec, u64, bool), Arc<solve::CertifiedValues>>,
     /// Long-run probabilities keyed by the satisfaction set.
     steady: HashMap<BitVec, f64>,
     /// Hit/miss telemetry, per cache kind.
@@ -571,7 +576,7 @@ impl<'a> Evaluator<'a> {
                         Ok(transient::bounded_until_values(dtmc, &l, &r, *t as usize)?)
                     }
                     TimeBound::Interval(a, b) => interval_until_values(dtmc, &l, &r, *a, *b),
-                    TimeBound::None => self.unbounded_until(&l, &r).map(rc_to_vec),
+                    TimeBound::None => self.unbounded_until(&l, &r).map(arc_to_vec),
                 }
             }
             PathFormula::Finally { inner, bound } => {
@@ -585,7 +590,7 @@ impl<'a> Evaluator<'a> {
                         *t as usize,
                     )?),
                     TimeBound::Interval(a, b) => interval_until_values(dtmc, &all, &f, *a, *b),
-                    TimeBound::None => self.unbounded_reach(&f).map(rc_to_vec),
+                    TimeBound::None => self.unbounded_reach(&f).map(arc_to_vec),
                 }
             }
             PathFormula::Globally { inner, bound } => {
@@ -598,7 +603,7 @@ impl<'a> Evaluator<'a> {
                         transient::bounded_until_values(dtmc, &all, &bad, *t as usize)?
                     }
                     TimeBound::Interval(a, b) => interval_until_values(dtmc, &all, &bad, *a, *b)?,
-                    TimeBound::None => rc_to_vec(self.unbounded_reach(&bad)?),
+                    TimeBound::None => arc_to_vec(self.unbounded_reach(&bad)?),
                 };
                 Ok(reach.into_iter().map(|p| 1.0 - p).collect())
             }
@@ -608,7 +613,7 @@ impl<'a> Evaluator<'a> {
     /// Per-state unbounded reachability probabilities of the target set,
     /// memoized on the exact set. Shared by `F φ`, `G φ` (via the
     /// complement set) and the reachability-reward pre-pass.
-    fn unbounded_reach(&self, target: &BitVec) -> Result<Rc<Vec<f64>>, PctlError> {
+    fn unbounded_reach(&self, target: &BitVec) -> Result<Arc<Vec<f64>>, PctlError> {
         self.memo(
             CacheKind::Values,
             |c| c.reach.get(target).cloned(),
@@ -616,7 +621,7 @@ impl<'a> Evaluator<'a> {
                 c.reach.insert(target.clone(), v);
             },
             |ev| {
-                Ok(Rc::new(transient::unbounded_reach_values(
+                Ok(Arc::new(transient::unbounded_reach_values(
                     ev.dtmc,
                     target,
                     UNBOUNDED_TOL,
@@ -628,14 +633,14 @@ impl<'a> Evaluator<'a> {
 
     /// Per-state unbounded until probabilities, memoized on the operand
     /// sets.
-    fn unbounded_until(&self, lhs: &BitVec, rhs: &BitVec) -> Result<Rc<Vec<f64>>, PctlError> {
+    fn unbounded_until(&self, lhs: &BitVec, rhs: &BitVec) -> Result<Arc<Vec<f64>>, PctlError> {
         self.memo(
             CacheKind::Values,
             |c| c.until.get(&(lhs.clone(), rhs.clone())).cloned(),
             |c, v| {
                 c.until.insert((lhs.clone(), rhs.clone()), v);
             },
-            |ev| ev.unbounded_until_raw(lhs, rhs).map(Rc::new),
+            |ev| ev.unbounded_until_raw(lhs, rhs).map(Arc::new),
         )
     }
 
@@ -721,14 +726,14 @@ impl<'a> Evaluator<'a> {
     /// See [`reach_reward_values`]; memoized on the target set, with the
     /// reachability pre-pass routed through the shared [`DtmcCache::reach`]
     /// entry.
-    pub(crate) fn reach_reward_values(&self, target: &BitVec) -> Result<Rc<Vec<f64>>, PctlError> {
+    pub(crate) fn reach_reward_values(&self, target: &BitVec) -> Result<Arc<Vec<f64>>, PctlError> {
         self.memo(
             CacheKind::Values,
             |c| c.reach_reward.get(target).cloned(),
             |c, v| {
                 c.reach_reward.insert(target.clone(), v);
             },
-            |ev| ev.reach_reward_values_raw(target).map(Rc::new),
+            |ev| ev.reach_reward_values_raw(target).map(Arc::new),
         )
     }
 
@@ -774,20 +779,26 @@ impl<'a> Evaluator<'a> {
         Ok(x)
     }
 
-    /// Certified unbounded reachability, memoized on `(target, ε)`. With
-    /// `topo`, the solve walks the SCC condensation component-by-component
-    /// (the bracket guarantee is identical, so the cache key is not).
+    /// Certified unbounded reachability, memoized on `(target, ε, topo)`.
+    /// With `topo`, the solve walks the SCC condensation component-by-
+    /// component; its (equally sound) bracket differs at the bit level
+    /// from the global sweep's, so the two never share a cache slot.
     fn cert_reach(
         &self,
         target: &BitVec,
         eps: f64,
         topo: bool,
-    ) -> Result<Rc<solve::CertifiedValues>, PctlError> {
+    ) -> Result<Arc<solve::CertifiedValues>, PctlError> {
         self.memo(
             CacheKind::Certified,
-            |c| c.cert_reach.get(&(target.clone(), eps.to_bits())).cloned(),
+            |c| {
+                c.cert_reach
+                    .get(&(target.clone(), eps.to_bits(), topo))
+                    .cloned()
+            },
             |c, v| {
-                c.cert_reach.insert((target.clone(), eps.to_bits()), v);
+                c.cert_reach
+                    .insert((target.clone(), eps.to_bits(), topo), v);
             },
             |ev| {
                 let cert = if topo {
@@ -795,29 +806,29 @@ impl<'a> Evaluator<'a> {
                 } else {
                     solve::interval_reach_values(ev.dtmc, target, eps, CERTIFIED_MAX_ITER)?
                 };
-                Ok(Rc::new(cert))
+                Ok(Arc::new(cert))
             },
         )
     }
 
-    /// Certified unbounded until, memoized on `(lhs, rhs, ε)`.
+    /// Certified unbounded until, memoized on `(lhs, rhs, ε, topo)`.
     fn cert_until(
         &self,
         lhs: &BitVec,
         rhs: &BitVec,
         eps: f64,
         topo: bool,
-    ) -> Result<Rc<solve::CertifiedValues>, PctlError> {
+    ) -> Result<Arc<solve::CertifiedValues>, PctlError> {
         self.memo(
             CacheKind::Certified,
             |c| {
                 c.cert_until
-                    .get(&(lhs.clone(), rhs.clone(), eps.to_bits()))
+                    .get(&(lhs.clone(), rhs.clone(), eps.to_bits(), topo))
                     .cloned()
             },
             |c, v| {
                 c.cert_until
-                    .insert((lhs.clone(), rhs.clone(), eps.to_bits()), v);
+                    .insert((lhs.clone(), rhs.clone(), eps.to_bits(), topo), v);
             },
             |ev| {
                 let cert = if topo {
@@ -825,28 +836,28 @@ impl<'a> Evaluator<'a> {
                 } else {
                     solve::interval_until_values(ev.dtmc, lhs, rhs, eps, CERTIFIED_MAX_ITER)?
                 };
-                Ok(Rc::new(cert))
+                Ok(Arc::new(cert))
             },
         )
     }
 
-    /// Certified reachability reward, memoized on `(target, ε)`.
+    /// Certified reachability reward, memoized on `(target, ε, topo)`.
     fn cert_reach_reward(
         &self,
         target: &BitVec,
         eps: f64,
         topo: bool,
-    ) -> Result<Rc<solve::CertifiedValues>, PctlError> {
+    ) -> Result<Arc<solve::CertifiedValues>, PctlError> {
         self.memo(
             CacheKind::Certified,
             |c| {
                 c.cert_reach_reward
-                    .get(&(target.clone(), eps.to_bits()))
+                    .get(&(target.clone(), eps.to_bits(), topo))
                     .cloned()
             },
             |c, v| {
                 c.cert_reach_reward
-                    .insert((target.clone(), eps.to_bits()), v);
+                    .insert((target.clone(), eps.to_bits(), topo), v);
             },
             |ev| {
                 let cert = if topo {
@@ -859,7 +870,7 @@ impl<'a> Evaluator<'a> {
                 } else {
                     solve::interval_reach_reward_values(ev.dtmc, target, eps, CERTIFIED_MAX_ITER)?
                 };
-                Ok(Rc::new(cert))
+                Ok(Arc::new(cert))
             },
         )
     }
@@ -913,12 +924,12 @@ impl<'a> Evaluator<'a> {
 
 /// Unwraps a cache handle into an owned vector. Uncached evaluators hold
 /// the only reference, so this is free; in a cached session the cache
-/// retains its `Rc` and the vector is copied — but callers reach this
+/// retains its `Arc` and the vector is copied — but callers reach this
 /// only through [`Evaluator::sat_states`]' memoization, so the copy
 /// happens at most once per *distinct* formula per session, which is
 /// noise next to the iterative solve it fronts.
-fn rc_to_vec(rc: Rc<Vec<f64>>) -> Vec<f64> {
-    Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone())
+fn arc_to_vec(rc: Arc<Vec<f64>>) -> Vec<f64> {
+    Arc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone())
 }
 
 /// A collision-free serialization of a state formula, used as the
@@ -1208,7 +1219,7 @@ pub fn path_values(dtmc: &Dtmc, path: &PathFormula) -> Result<Vec<f64>, PctlErro
 pub fn reach_reward_values(dtmc: &Dtmc, target: &BitVec) -> Result<Vec<f64>, PctlError> {
     Evaluator::uncached(dtmc)
         .reach_reward_values(target)
-        .map(rc_to_vec)
+        .map(arc_to_vec)
 }
 
 fn initial_expectation(dtmc: &Dtmc, vals: &[f64]) -> f64 {

@@ -31,7 +31,7 @@ use smg_mdp::{vi, Mdp, ViOptions};
 use smg_obs as obs;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Evaluates a top-level property against the MDP's initial distribution.
@@ -108,15 +108,19 @@ pub(crate) struct MdpCache {
     sat: HashMap<String, BitVec>,
     /// Unbounded optimal until values keyed by `(lhs, rhs, opt)`.
     /// (`F φ` routes through this with an all-ones `lhs`.)
-    until: HashMap<(BitVec, BitVec, Opt), Rc<Vec<f64>>>,
+    until: HashMap<(BitVec, BitVec, Opt), Arc<Vec<f64>>>,
     /// Optimal reachability-reward values keyed by `(target, opt)`.
-    reach_reward: HashMap<(BitVec, Opt), Rc<Vec<f64>>>,
-    /// Certified until brackets keyed by `(lhs, rhs, opt, ε bits)`.
-    cert_until: HashMap<(BitVec, BitVec, Opt, u64), Rc<CertifiedValues>>,
-    /// Certified reachability brackets keyed by `(target, opt, ε bits)`.
-    cert_reach: HashMap<(BitVec, Opt, u64), Rc<CertifiedValues>>,
+    reach_reward: HashMap<(BitVec, Opt), Arc<Vec<f64>>>,
+    /// Certified until brackets keyed by `(lhs, rhs, opt, ε bits, topo)`.
+    /// `topo` is in the key because the global and SCC-ordered sweeps
+    /// produce different (equally sound) bits, and session answers must
+    /// depend only on (model, property, options) — not request history.
+    cert_until: HashMap<(BitVec, BitVec, Opt, u64, bool), Arc<CertifiedValues>>,
+    /// Certified reachability brackets keyed by `(target, opt, ε bits,
+    /// topo)`.
+    cert_reach: HashMap<(BitVec, Opt, u64, bool), Arc<CertifiedValues>>,
     /// Certified reachability-reward brackets, same key as `cert_reach`.
-    cert_reach_reward: HashMap<(BitVec, Opt, u64), Rc<CertifiedValues>>,
+    cert_reach_reward: HashMap<(BitVec, Opt, u64, bool), Arc<CertifiedValues>>,
     /// Hit/miss telemetry, per cache kind.
     pub(crate) stats: CacheStats,
 }
@@ -392,7 +396,7 @@ impl<'a> MdpEvaluator<'a> {
             TimeBound::Upper(t) => Ok(vi::bounded_until_values(
                 self.mdp, lhs, rhs, t as usize, opt, &self.vio,
             )?),
-            TimeBound::None => self.unbounded_until(lhs, rhs, opt).map(rc_to_vec),
+            TimeBound::None => self.unbounded_until(lhs, rhs, opt).map(arc_to_vec),
             TimeBound::Interval(a, b) => {
                 let mut x =
                     vi::bounded_until_values(self.mdp, lhs, rhs, (b - a) as usize, opt, &self.vio)?;
@@ -420,7 +424,7 @@ impl<'a> MdpEvaluator<'a> {
         lhs: &BitVec,
         rhs: &BitVec,
         opt: Opt,
-    ) -> Result<Rc<Vec<f64>>, PctlError> {
+    ) -> Result<Arc<Vec<f64>>, PctlError> {
         self.memo(
             CacheKind::Values,
             |c| c.until.get(&(lhs.clone(), rhs.clone(), opt)).cloned(),
@@ -428,7 +432,7 @@ impl<'a> MdpEvaluator<'a> {
                 c.until.insert((lhs.clone(), rhs.clone(), opt), v);
             },
             |ev| {
-                Ok(Rc::new(vi::unbounded_until_values(
+                Ok(Arc::new(vi::unbounded_until_values(
                     ev.mdp, lhs, rhs, opt, &ev.vio,
                 )?))
             },
@@ -481,7 +485,7 @@ impl<'a> MdpEvaluator<'a> {
 
     /// Optimal reachability-reward values, memoized on the target set and
     /// the direction.
-    fn reach_reward(&self, target: &BitVec, opt: Opt) -> Result<Rc<Vec<f64>>, PctlError> {
+    fn reach_reward(&self, target: &BitVec, opt: Opt) -> Result<Arc<Vec<f64>>, PctlError> {
         self.memo(
             CacheKind::Values,
             |c| c.reach_reward.get(&(target.clone(), opt)).cloned(),
@@ -489,16 +493,17 @@ impl<'a> MdpEvaluator<'a> {
                 c.reach_reward.insert((target.clone(), opt), v);
             },
             |ev| {
-                Ok(Rc::new(vi::reach_reward_values(
+                Ok(Arc::new(vi::reach_reward_values(
                     ev.mdp, target, opt, &ev.vio,
                 )?))
             },
         )
     }
 
-    /// Certified unbounded until, memoized on `(lhs, rhs, opt, ε)`. With
-    /// `topo`, the solve walks the SCC condensation (`vi::topo_certified_*`);
-    /// the bracket guarantee is identical, so the cache key is not.
+    /// Certified unbounded until, memoized on `(lhs, rhs, opt, ε, topo)`.
+    /// With `topo`, the solve walks the SCC condensation
+    /// (`vi::topo_certified_*`), landing on different sound bits than the
+    /// global sweep — hence the separate cache slot.
     fn cert_until(
         &self,
         lhs: &BitVec,
@@ -506,17 +511,17 @@ impl<'a> MdpEvaluator<'a> {
         opt: Opt,
         eps: f64,
         topo: bool,
-    ) -> Result<Rc<CertifiedValues>, PctlError> {
+    ) -> Result<Arc<CertifiedValues>, PctlError> {
         self.memo(
             CacheKind::Certified,
             |c| {
                 c.cert_until
-                    .get(&(lhs.clone(), rhs.clone(), opt, eps.to_bits()))
+                    .get(&(lhs.clone(), rhs.clone(), opt, eps.to_bits(), topo))
                     .cloned()
             },
             |c, v| {
                 c.cert_until
-                    .insert((lhs.clone(), rhs.clone(), opt, eps.to_bits()), v);
+                    .insert((lhs.clone(), rhs.clone(), opt, eps.to_bits(), topo), v);
             },
             |ev| {
                 let vio = ev.certified_vio();
@@ -525,28 +530,30 @@ impl<'a> MdpEvaluator<'a> {
                 } else {
                     vi::certified_until_values(ev.mdp, lhs, rhs, opt, eps, &vio)?
                 };
-                Ok(Rc::new(cert))
+                Ok(Arc::new(cert))
             },
         )
     }
 
-    /// Certified unbounded reachability, memoized on `(target, opt, ε)`.
+    /// Certified unbounded reachability, memoized on `(target, opt, ε,
+    /// topo)`.
     fn cert_reach(
         &self,
         target: &BitVec,
         opt: Opt,
         eps: f64,
         topo: bool,
-    ) -> Result<Rc<CertifiedValues>, PctlError> {
+    ) -> Result<Arc<CertifiedValues>, PctlError> {
         self.memo(
             CacheKind::Certified,
             |c| {
                 c.cert_reach
-                    .get(&(target.clone(), opt, eps.to_bits()))
+                    .get(&(target.clone(), opt, eps.to_bits(), topo))
                     .cloned()
             },
             |c, v| {
-                c.cert_reach.insert((target.clone(), opt, eps.to_bits()), v);
+                c.cert_reach
+                    .insert((target.clone(), opt, eps.to_bits(), topo), v);
             },
             |ev| {
                 let vio = ev.certified_vio();
@@ -555,29 +562,29 @@ impl<'a> MdpEvaluator<'a> {
                 } else {
                     vi::certified_reach_values(ev.mdp, target, opt, eps, &vio)?
                 };
-                Ok(Rc::new(cert))
+                Ok(Arc::new(cert))
             },
         )
     }
 
-    /// Certified reachability reward, memoized on `(target, opt, ε)`.
+    /// Certified reachability reward, memoized on `(target, opt, ε, topo)`.
     fn cert_reach_reward(
         &self,
         target: &BitVec,
         opt: Opt,
         eps: f64,
         topo: bool,
-    ) -> Result<Rc<CertifiedValues>, PctlError> {
+    ) -> Result<Arc<CertifiedValues>, PctlError> {
         self.memo(
             CacheKind::Certified,
             |c| {
                 c.cert_reach_reward
-                    .get(&(target.clone(), opt, eps.to_bits()))
+                    .get(&(target.clone(), opt, eps.to_bits(), topo))
                     .cloned()
             },
             |c, v| {
                 c.cert_reach_reward
-                    .insert((target.clone(), opt, eps.to_bits()), v);
+                    .insert((target.clone(), opt, eps.to_bits(), topo), v);
             },
             |ev| {
                 let vio = ev.certified_vio();
@@ -586,7 +593,7 @@ impl<'a> MdpEvaluator<'a> {
                 } else {
                     vi::certified_reach_reward_values(ev.mdp, target, opt, eps, &vio)?
                 };
-                Ok(Rc::new(cert))
+                Ok(Arc::new(cert))
             },
         )
     }
@@ -594,8 +601,8 @@ impl<'a> MdpEvaluator<'a> {
 
 /// Unwraps a cache handle into an owned vector (no copy when the evaluator
 /// was uncached and the handle is unique).
-fn rc_to_vec(rc: Rc<Vec<f64>>) -> Vec<f64> {
-    Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone())
+fn arc_to_vec(rc: Arc<Vec<f64>>) -> Vec<f64> {
+    Arc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone())
 }
 
 /// The set of states satisfying a (boolean) state formula over an MDP's

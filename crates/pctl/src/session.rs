@@ -368,6 +368,40 @@ impl CheckSession {
         self
     }
 
+    /// Replaces the session's checking options **in place** — the
+    /// non-consuming form of [`with_options`](CheckSession::with_options),
+    /// for sessions shared behind a lock (a resident daemon serves many
+    /// requests, each with its own `certified`/`topo` choice, through one
+    /// long-lived session). Changing options never invalidates the caches:
+    /// cache keys embed the exact solver inputs (operand bit-sets,
+    /// optimization direction, ε bit pattern), so entries computed under
+    /// other options simply stop matching — memoization can only skip
+    /// recomputation, never change an answer.
+    pub fn set_options(&mut self, opts: CheckOptions) {
+        self.opts = opts;
+    }
+
+    /// Sets or clears the worker-lane pin in place — the non-consuming
+    /// form of [`threads`](CheckSession::threads). `Some(n)` pins both
+    /// engines to a dedicated `n`-lane pool (clamped to at least one);
+    /// `None` restores the default dispatch (`SMG_THREADS` / core count).
+    /// Like [`set_options`](CheckSession::set_options), this is safe on a
+    /// session whose caches are already warm: lane count never changes
+    /// results, only where the sweeps run.
+    pub fn set_threads(&mut self, n: Option<usize>) {
+        match n {
+            Some(n) => {
+                let n = n.max(1);
+                self.vio.pool = Some(shared_pool(n));
+                self.lanes = Some(n);
+            }
+            None => {
+                self.vio.pool = None;
+                self.lanes = None;
+            }
+        }
+    }
+
     /// Runs `f` under this session's lane pin, if one was requested.
     fn with_lanes<R>(&self, f: impl FnOnce() -> R) -> R {
         match self.lanes {
@@ -715,6 +749,56 @@ mod tests {
                 assert!(rlo <= bhi + 1e-12 && blo <= rhi + 1e-12, "lanes={lanes}");
             }
         }
+    }
+
+    /// The daemon shares one session per resident model behind a
+    /// `Mutex<CheckSession>`, so the session must be `Send` (moved into
+    /// handler threads) even though its caches are single-owner
+    /// `RefCell`s. This is a compile-time contract: losing `Send` (say
+    /// by caching an `Rc`) breaks resident serving.
+    #[test]
+    fn sessions_are_send_for_locked_sharing() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CheckSession>();
+        assert_send::<std::sync::Mutex<CheckSession>>();
+    }
+
+    /// In-place option/thread mutation answers identically to a fresh
+    /// session built with the consuming builders, and flipping options
+    /// back and forth over a warm cache never changes an answer.
+    #[test]
+    fn set_options_and_set_threads_match_builders_on_warm_caches() {
+        let props: Vec<_> = ["P=? [ F goal ]", "R=? [ F goal ]", "P=? [ G !bad ]"]
+            .iter()
+            .map(|p| parse_property(p).unwrap())
+            .collect();
+        let plain = CheckSession::new(gadget()).check_all(&props).unwrap();
+        let certified = CheckSession::new(gadget())
+            .certified(1e-8)
+            .check_all(&props)
+            .unwrap();
+
+        let mut session = CheckSession::new(gadget());
+        for _round in 0..2 {
+            session.set_options(CheckOptions::default());
+            session.set_threads(None);
+            for (a, b) in plain.iter().zip(&session.check_all(&props).unwrap()) {
+                assert_eq!(a.value().to_bits(), b.value().to_bits());
+                assert_eq!(a.solver(), b.solver());
+                assert_eq!(a.interval(), b.interval());
+            }
+            session.set_options(CheckOptions::certified(1e-8));
+            session.set_threads(Some(2));
+            for (a, b) in certified.iter().zip(&session.check_all(&props).unwrap()) {
+                assert_eq!(a.value().to_bits(), b.value().to_bits());
+                assert_eq!(a.solver(), b.solver());
+                assert_eq!(a.interval(), b.interval());
+            }
+        }
+        // `Some(n)` pins a shared pool, `None` clears the pin again.
+        session.set_threads(Some(3));
+        assert!(session.options().certify.is_some());
+        session.set_threads(None);
     }
 
     #[test]

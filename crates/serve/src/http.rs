@@ -1,0 +1,306 @@
+//! A hand-rolled HTTP/1.1 subset: exactly what the daemon's JSON
+//! protocol needs, and nothing more.
+//!
+//! One request per connection (`Connection: close` both ways), bodies
+//! delimited by `Content-Length` only — no chunked encoding, no
+//! keep-alive, no TLS. The [`client`] module is the matching blocking
+//! client used by the CLI's tests, the root-crate identity suites and
+//! the chaos daemon driver.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request head (request line + headers).
+const MAX_HEAD: usize = 8 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// The method verb, uppercase as sent (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The request target (path only; the daemon ignores query strings).
+    pub target: String,
+    /// The raw body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The declared `Content-Length` exceeds the daemon's cap → 413.
+    TooLarge,
+    /// The bytes on the wire are not an HTTP/1.1 request → 400.
+    Malformed(String),
+    /// The peer vanished mid-request (no response owed to anyone).
+    Disconnected,
+}
+
+/// Reads one request from `stream`, enforcing `max_body` on the declared
+/// body length.
+///
+/// # Errors
+///
+/// [`ReadError`] — the caller maps `TooLarge` to 413, `Malformed` to 400
+/// and drops the connection silently on `Disconnected`.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    // Accumulate until the blank line ending the head.
+    let mut buf = Vec::with_capacity(512);
+    let head_end = loop {
+        if let Some(i) = find_head_end(&buf) {
+            break i;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(ReadError::Malformed("request head too large".into()));
+        }
+        let mut chunk = [0u8; 512];
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|_| ReadError::Disconnected)?;
+        if n == 0 {
+            return Err(ReadError::Disconnected);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ReadError::Malformed("non-UTF-8 request head".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = (
+        parts.next().unwrap_or(""),
+        parts.next().unwrap_or(""),
+        parts.next().unwrap_or(""),
+    );
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "bad request line {request_line:?}"
+        )));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        // Drain what the peer is still sending (bounded) before the
+        // caller answers 413 — closing with unread bytes in the receive
+        // buffer makes the kernel reset the connection, and the reset
+        // can destroy the error response in flight.
+        const DRAIN_CAP: usize = 16 * 1024 * 1024;
+        let mut remaining = content_length
+            .min(DRAIN_CAP)
+            .saturating_sub(buf.len() - head_end - 4);
+        let mut scratch = [0u8; 64 * 1024];
+        while remaining > 0 {
+            match stream.read(&mut scratch[..remaining.min(64 * 1024)]) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => remaining -= n,
+            }
+        }
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = vec![0u8; (content_length - body.len()).min(64 * 1024)];
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|_| ReadError::Disconnected)?;
+        if n == 0 {
+            return Err(ReadError::Disconnected);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one complete response and flushes (the caller closes the
+/// connection by dropping the stream).
+///
+/// # Errors
+///
+/// Propagates the socket write error (the peer may already be gone).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The reason phrase for the status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// The blocking client half: one call, one connection, one `(status,
+/// body)` pair back. Shared by the test suites and the chaos daemon
+/// driver so every consumer speaks to the daemon the same way.
+pub mod client {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    /// Sends one request and reads the response to EOF.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a malformed response status line maps to
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn request(
+        addr: &str,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let mut stream = TcpStream::connect(addr)?;
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+        if let Some(b) = body {
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                b.len()
+            ));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        if let Some(b) = body {
+            stream.write_all(b.as_bytes())?;
+        }
+        stream.flush()?;
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw)?;
+        let status: u16 = raw
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad response status line: {:?}", raw.lines().next()),
+                )
+            })?;
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        Ok((status, body))
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`request`].
+    pub fn get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+        request(addr, "GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// As for [`request`].
+    pub fn post(addr: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        request(addr, "POST", path, Some(body))
+    }
+
+    /// `DELETE path`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`request`].
+    pub fn delete(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+        request(addr, "DELETE", path, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trips one request through a real socket pair.
+    fn round_trip(raw: &str, max_body: usize) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let got = read_request(&mut stream, max_body);
+        writer.join().unwrap();
+        got
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = round_trip(
+            "POST /check HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/check");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = round_trip("GET /healthz HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_declared_body_is_too_large() {
+        let got = round_trip(
+            "POST /models HTTP/1.1\r\nContent-Length: 4096\r\n\r\n",
+            1024,
+        );
+        assert!(matches!(got, Err(ReadError::TooLarge)));
+    }
+
+    #[test]
+    fn non_http_bytes_are_malformed() {
+        let got = round_trip("this is not http\r\n\r\n", 1024);
+        assert!(matches!(got, Err(ReadError::Malformed(_))));
+    }
+
+    #[test]
+    fn a_dropped_peer_is_disconnected_not_an_error_response() {
+        let got = round_trip("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhalf", 1024);
+        assert!(matches!(got, Err(ReadError::Disconnected)));
+    }
+}

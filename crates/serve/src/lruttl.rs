@@ -1,0 +1,197 @@
+//! A capped LRU map with optional per-entry TTL — the daemon's
+//! resident-model eviction policy.
+//!
+//! Every method that consults the clock takes an explicit `now`, so the
+//! policy is deterministic under test (no hidden `Instant::now()` —
+//! tests step a synthetic clock forward). Evicted entries are *returned*
+//! to the caller together with the reason, because the daemon must keep
+//! its gauge and per-reason eviction counters truthful.
+
+use std::time::{Duration, Instant};
+
+/// Why an entry left the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictReason {
+    /// The cache was over capacity and this was the least recently used
+    /// entry.
+    Capacity,
+    /// The entry outlived the time-to-live since its last use.
+    Ttl,
+    /// The caller removed it (`DELETE /models/{hash}`).
+    Explicit,
+}
+
+impl EvictReason {
+    /// The label value the eviction counters use.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EvictReason::Capacity => "capacity",
+            EvictReason::Ttl => "ttl",
+            EvictReason::Explicit => "explicit",
+        }
+    }
+}
+
+/// The LRU-TTL map (see the module docs). Entry order is recency:
+/// index 0 is the least recently used.
+#[derive(Debug)]
+pub struct LruTtl<V> {
+    capacity: usize,
+    ttl: Option<Duration>,
+    entries: Vec<(String, V, Instant)>,
+}
+
+impl<V> LruTtl<V> {
+    /// An empty map holding at most `capacity` entries (at least one),
+    /// each expiring `ttl` after its last use (never, if `None`).
+    pub fn new(capacity: usize, ttl: Option<Duration>) -> LruTtl<V> {
+        LruTtl {
+            capacity: capacity.max(1),
+            ttl,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry whose TTL lapsed before `now`, returning them.
+    pub fn expire_at(&mut self, now: Instant) -> Vec<(String, V)> {
+        let Some(ttl) = self.ttl else {
+            return Vec::new();
+        };
+        let mut expired = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if now.duration_since(self.entries[i].2) >= ttl {
+                let (k, v, _) = self.entries.remove(i);
+                expired.push((k, v));
+            } else {
+                i += 1;
+            }
+        }
+        expired
+    }
+
+    /// Looks up `key`, marking it most recently used at `now`. Call
+    /// [`LruTtl::expire_at`] first; this method does not expire.
+    pub fn get_at(&mut self, key: &str, now: Instant) -> Option<&V> {
+        let i = self.entries.iter().position(|(k, _, _)| k == key)?;
+        let (k, v, _) = self.entries.remove(i);
+        self.entries.push((k, v, now));
+        self.entries.last().map(|(_, v, _)| v)
+    }
+
+    /// Inserts (or replaces) `key` as most recently used at `now`,
+    /// returning the least-recently-used entries evicted to stay within
+    /// capacity.
+    pub fn insert_at(&mut self, key: String, value: V, now: Instant) -> Vec<(String, V)> {
+        if let Some(i) = self.entries.iter().position(|(k, _, _)| *k == key) {
+            self.entries.remove(i);
+        }
+        self.entries.push((key, value, now));
+        let mut evicted = Vec::new();
+        while self.entries.len() > self.capacity {
+            let (k, v, _) = self.entries.remove(0);
+            evicted.push((k, v));
+        }
+        evicted
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<V> {
+        let i = self.entries.iter().position(|(k, _, _)| k == key)?;
+        Some(self.entries.remove(i).1)
+    }
+
+    /// The resident entries, most recently used first.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &V)> {
+        self.entries.iter().rev().map(|(k, v, _)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn capacity_evicts_the_least_recently_used() {
+        let now = t0();
+        let mut m = LruTtl::new(2, None);
+        assert!(m.insert_at("a".into(), 1, now).is_empty());
+        assert!(m.insert_at("b".into(), 2, now).is_empty());
+        // Touch `a`; `b` becomes the LRU victim.
+        assert_eq!(m.get_at("a", now), Some(&1));
+        let evicted = m.insert_at("c".into(), 3, now);
+        assert_eq!(evicted, vec![("b".to_string(), 2)]);
+        assert_eq!(m.len(), 2);
+        let order: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(order, vec!["c", "a"]);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let now = t0();
+        let mut m = LruTtl::new(2, None);
+        m.insert_at("a".into(), 1, now);
+        m.insert_at("b".into(), 2, now);
+        assert!(m.insert_at("a".into(), 10, now).is_empty());
+        assert_eq!(m.get_at("a", now), Some(&10));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn ttl_expires_relative_to_last_use() {
+        let now = t0();
+        let mut m = LruTtl::new(8, Some(Duration::from_secs(10)));
+        m.insert_at("a".into(), 1, now);
+        m.insert_at("b".into(), 2, now);
+        // Touch `a` at +6s: its TTL restarts, `b`'s does not.
+        assert!(m.expire_at(now + Duration::from_secs(6)).is_empty());
+        m.get_at("a", now + Duration::from_secs(6));
+        let expired = m.expire_at(now + Duration::from_secs(12));
+        assert_eq!(expired, vec![("b".to_string(), 2)]);
+        assert_eq!(m.len(), 1);
+        // `a` lapses at +16s.
+        let expired = m.expire_at(now + Duration::from_secs(16));
+        assert_eq!(expired, vec![("a".to_string(), 1)]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn no_ttl_never_expires() {
+        let now = t0();
+        let mut m = LruTtl::new(2, None);
+        m.insert_at("a".into(), 1, now);
+        assert!(m.expire_at(now + Duration::from_secs(1 << 20)).is_empty());
+    }
+
+    #[test]
+    fn explicit_removal() {
+        let now = t0();
+        let mut m = LruTtl::new(2, None);
+        m.insert_at("a".into(), 1, now);
+        assert_eq!(m.remove("a"), Some(1));
+        assert_eq!(m.remove("a"), None);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let now = t0();
+        let mut m = LruTtl::new(0, None);
+        assert!(m.insert_at("a".into(), 1, now).is_empty());
+        let evicted = m.insert_at("b".into(), 2, now);
+        assert_eq!(evicted, vec![("a".to_string(), 1)]);
+    }
+}

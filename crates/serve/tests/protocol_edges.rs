@@ -1,0 +1,310 @@
+//! Protocol-edge coverage: every malformed, mistargeted or oversized
+//! request gets a *structured* error — and none of them ever poisons a
+//! resident session.
+
+use smg_serve::json;
+use smg_serve::{client, spawn, Handle, ServerConfig};
+use std::io::Write as _;
+use std::time::Duration;
+
+const DTMC: &str = "dtmc\n\
+const int N = 40;\n\
+const double perr = 0.02;\n\
+module channel\n\
+  t : [0..N] init 0;\n\
+  err : bool init false;\n\
+  [] t < N & !err -> perr:(t'=t+1)&(err'=true) + (1-perr):(t'=t+1);\n\
+  [] t < N & err -> (t'=t+1);\n\
+  [] t = N -> true;\n\
+endmodule\n\
+label \"done\" = t = N;\n\
+label \"err\" = err;\n\
+rewards\n\
+  err : 1;\n\
+endrewards\n";
+
+const MDP: &str = "mdp\n\
+module m\n\
+  x : [0..3] init 0;\n\
+  [] x<3 -> 0.5:(x'=x+1) + 0.5:(x'=x);\n\
+  [] x<3 -> (x'=x+1);\n\
+  [] x=3 -> true;\n\
+endmodule\n\
+label \"done\" = x=3;\n";
+
+fn daemon(config: ServerConfig) -> (Handle, String) {
+    let handle = spawn(config).unwrap();
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn compile(addr: &str, source: &str) -> String {
+    let body = format!("{{\"source\": {}}}", json::escape(source));
+    let (status, reply) = client::post(addr, "/models", &body).unwrap();
+    assert_eq!(status, 200, "{reply}");
+    json::parse(&reply)
+        .unwrap()
+        .get("hash")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string()
+}
+
+/// Asserts an error response carries the structured error schema.
+fn assert_structured(status: u16, body: &str, expect_status: u16, needle: &str) {
+    assert_eq!(status, expect_status, "{body}");
+    let v = json::parse(body).unwrap_or_else(|e| panic!("unparseable error body {body:?}: {e}"));
+    assert_eq!(
+        v.get("schema").and_then(json::Value::as_str),
+        Some("smg-serve-error/1"),
+        "{body}"
+    );
+    assert_eq!(
+        v.get("status").and_then(json::Value::as_u64),
+        Some(u64::from(expect_status)),
+        "{body}"
+    );
+    let msg = v.get("error").and_then(json::Value::as_str).unwrap();
+    assert!(msg.contains(needle), "error {msg:?} lacks {needle:?}");
+}
+
+#[test]
+fn malformed_bodies_and_bad_fields_are_structured_400s() {
+    let (handle, addr) = daemon(ServerConfig::default());
+    let hash = compile(&addr, DTMC);
+
+    let (s, b) = client::post(&addr, "/models", "{nope").unwrap();
+    assert_structured(s, &b, 400, "malformed JSON body");
+    let (s, b) = client::post(&addr, "/models", "{\"source\": 7}").unwrap();
+    assert_structured(s, &b, 400, "source");
+    let (s, b) = client::post(&addr, "/models", "{\"source\": \"dtmc garbage\"}").unwrap();
+    assert_structured(s, &b, 400, "model error");
+
+    let (s, b) = client::post(&addr, "/check", "{\"props\": [\"P=? [ F err ]\"]}").unwrap();
+    assert_structured(s, &b, 400, "hash");
+    let (s, b) = client::post(&addr, "/check", &format!("{{\"hash\": \"{hash}\"}}")).unwrap();
+    assert_structured(s, &b, 400, "props");
+    let (s, b) = client::post(
+        &addr,
+        "/check",
+        &format!("{{\"hash\": \"{hash}\", \"props\": []}}"),
+    )
+    .unwrap();
+    assert_structured(s, &b, 400, "empty");
+    let (s, b) = client::post(
+        &addr,
+        "/check",
+        &format!("{{\"hash\": \"{hash}\", \"props\": [7]}}"),
+    )
+    .unwrap();
+    assert_structured(s, &b, 400, "array of strings");
+    let (s, b) = client::post(
+        &addr,
+        "/check",
+        &format!("{{\"hash\": \"{hash}\", \"props\": [\"banana\"]}}"),
+    )
+    .unwrap();
+    assert_structured(s, &b, 400, "property error");
+    let (s, b) = client::post(
+        &addr,
+        "/check",
+        &format!("{{\"hash\": \"{hash}\", \"props\": [\"P=? [ F err ]\"], \"certified\": -1}}"),
+    )
+    .unwrap();
+    assert_structured(s, &b, 400, "positive width");
+    let (s, b) = client::post(
+        &addr,
+        "/check",
+        &format!("{{\"hash\": \"{hash}\", \"props\": [\"P=? [ F err ]\"], \"topo\": true}}"),
+    )
+    .unwrap();
+    assert_structured(s, &b, 400, "requires");
+    let (s, b) = client::post(
+        &addr,
+        "/check",
+        &format!("{{\"hash\": \"{hash}\", \"props\": [\"P=? [ F err ]\"], \"threads\": 0}}"),
+    )
+    .unwrap();
+    assert_structured(s, &b, 400, "positive integer");
+
+    // After the whole gauntlet the resident session still answers.
+    let (s, b) = client::post(
+        &addr,
+        "/check",
+        &format!("{{\"hash\": \"{hash}\", \"props\": [\"P=? [ F err ]\"]}}"),
+    )
+    .unwrap();
+    assert_eq!(s, 200, "{b}");
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_hashes_and_routes_are_404() {
+    let (handle, addr) = daemon(ServerConfig::default());
+    let (s, b) = client::post(
+        &addr,
+        "/check",
+        "{\"hash\": \"0000000000000000\", \"props\": [\"P=? [ F err ]\"]}",
+    )
+    .unwrap();
+    assert_structured(s, &b, 404, "no resident model");
+    let (s, b) = client::delete(&addr, "/models/0000000000000000").unwrap();
+    assert_structured(s, &b, 404, "no resident model");
+    let (s, b) = client::get(&addr, "/nope").unwrap();
+    assert_structured(s, &b, 404, "no such route");
+    let (s, b) = client::post(&addr, "/healthz", "{}").unwrap();
+    assert_structured(s, &b, 404, "no such route");
+    handle.shutdown();
+}
+
+#[test]
+fn wrong_model_class_is_rejected_without_poisoning_the_session() {
+    let (handle, addr) = daemon(ServerConfig::default());
+    let hash = compile(&addr, MDP);
+    // `P=?` is scheduler-ambiguous on an MDP: a structured 400 …
+    let (s, b) = client::post(
+        &addr,
+        "/check",
+        &format!("{{\"hash\": \"{hash}\", \"props\": [\"P=? [ F done ]\"]}}"),
+    )
+    .unwrap();
+    assert_structured(s, &b, 400, "property error");
+    // … and the very same resident session still solves the min/max
+    // forms afterwards.
+    let (s, b) = client::post(
+        &addr,
+        "/check",
+        &format!(
+            "{{\"hash\": \"{hash}\", \"props\": [\"Pmax=? [ F done ]\", \"Pmin=? [ F done ]\"]}}"
+        ),
+    )
+    .unwrap();
+    assert_eq!(s, 200, "{b}");
+    let v = json::parse(&b).unwrap();
+    let results = v.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].get("value").unwrap().as_f64(), Some(1.0));
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_413_and_do_not_wedge_the_daemon() {
+    let (handle, addr) = daemon(ServerConfig {
+        max_body: 256,
+        ..ServerConfig::default()
+    });
+    let big = format!("{{\"source\": {}}}", json::escape(&"x".repeat(4096)));
+    let (s, b) = client::post(&addr, "/models", &big).unwrap();
+    assert_structured(s, &b, 413, "cap");
+    let (s, _) = client::get(&addr, "/healthz").unwrap();
+    assert_eq!(s, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn client_abort_mid_request_leaves_the_daemon_healthy() {
+    let (handle, addr) = daemon(ServerConfig::default());
+    // Declare a body, send half of it, vanish.
+    {
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(b"POST /check HTTP/1.1\r\nContent-Length: 64\r\n\r\n{\"hash")
+            .unwrap();
+        stream.flush().unwrap();
+    }
+    // Raw non-HTTP bytes, then vanish.
+    {
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream.write_all(b"\x00\x01\x02 nonsense\r\n\r\n").unwrap();
+    }
+    let hash = compile(&addr, DTMC);
+    let (s, b) = client::post(
+        &addr,
+        "/check",
+        &format!("{{\"hash\": \"{hash}\", \"props\": [\"P=? [ F done ]\"]}}"),
+    )
+    .unwrap();
+    assert_eq!(s, 200, "{b}");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_an_inflight_request() {
+    let (handle, addr) = daemon(ServerConfig::default());
+    let hash = compile(&addr, DTMC);
+    let addr2 = addr.clone();
+    let hash2 = hash.clone();
+    let inflight = std::thread::spawn(move || {
+        client::post(
+            &addr2,
+            "/check",
+            &format!(
+                "{{\"hash\": \"{hash2}\", \"props\": [\"P=? [ F err ]\"], \"certified\": 1e-9}}"
+            ),
+        )
+        .unwrap()
+    });
+    // Let the request reach the daemon, then stop accepting.
+    std::thread::sleep(Duration::from_millis(5));
+    handle.shutdown();
+    let (s, b) = inflight.join().unwrap();
+    assert_eq!(s, 200, "in-flight request was dropped by shutdown: {b}");
+    // The listener is gone now.
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(client::get(&addr, "/healthz").is_err());
+}
+
+#[test]
+fn evictions_update_models_and_metrics() {
+    let (handle, addr) = daemon(ServerConfig {
+        capacity: 1,
+        ..ServerConfig::default()
+    });
+    let registry = handle.registry();
+    let dtmc_hash = compile(&addr, DTMC);
+    let mdp_hash = compile(&addr, MDP);
+    assert_ne!(dtmc_hash, mdp_hash);
+    // Capacity 1: compiling the MDP evicted the chain.
+    let (s, b) = client::get(&addr, "/models").unwrap();
+    assert_eq!(s, 200);
+    let v = json::parse(&b).unwrap();
+    let models = v.get("models").unwrap().as_array().unwrap();
+    assert_eq!(models.len(), 1, "{b}");
+    assert_eq!(
+        models[0].get("hash").unwrap().as_str(),
+        Some(mdp_hash.as_str())
+    );
+    assert_eq!(
+        registry.counter_value("smg_serve_evictions_total", Some("capacity")),
+        1
+    );
+    // Explicit eviction counts under its own reason.
+    let (s, _) = client::delete(&addr, &format!("/models/{mdp_hash}")).unwrap();
+    assert_eq!(s, 200);
+    assert_eq!(
+        registry.counter_value("smg_serve_evictions_total", Some("explicit")),
+        1
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn ttl_lapses_evict_idle_models() {
+    let (handle, addr) = daemon(ServerConfig {
+        ttl: Some(Duration::from_millis(80)),
+        ..ServerConfig::default()
+    });
+    let registry = handle.registry();
+    let hash = compile(&addr, DTMC);
+    std::thread::sleep(Duration::from_millis(200));
+    let (s, b) = client::post(
+        &addr,
+        "/check",
+        &format!("{{\"hash\": \"{hash}\", \"props\": [\"P=? [ F err ]\"]}}"),
+    )
+    .unwrap();
+    assert_structured(s, &b, 404, "no resident model");
+    assert!(registry.counter_value("smg_serve_evictions_total", Some("ttl")) >= 1);
+    handle.shutdown();
+}

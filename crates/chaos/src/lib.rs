@@ -50,7 +50,6 @@
 //! ```
 
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
 
 #[cfg(feature = "daemon")]
 pub mod daemon;

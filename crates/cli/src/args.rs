@@ -15,6 +15,7 @@ USAGE:
              [--metrics text|json] [--trace-convergence FILE]
              [--max-states N] [--allow-stutter]
   smg info   <model.sm> [--max-states N] [--allow-stutter]
+  smg lint   <model.sm> [--format text|json] [--deny warnings]
   smg export <model.sm> --format <tra|lab|srew|pm|dot> [--out FILE]
   smg steady <model.sm> [--tol T] [--max-steps N]
   smg sim    <model.sm> --steps N [--seed S]
@@ -47,6 +48,15 @@ COMMANDS:
           SCC structure (component count, largest component, condensation-
           DAG depth); plus the numerical-engine configuration (worker
           lanes, parallel threshold, available solvers).
+  lint    Static analysis over the declared variable ranges (interval
+          abstract interpretation, smg-lint): dead or constant guards,
+          out-of-range assignments, malformed distributions, certain
+          deadlocks, overlapping dtmc guards, unused declarations and
+          trivial labels, each with a stable L0xx code and position.
+          Exits nonzero when errors are found (--deny warnings raises
+          the bar to any finding). `check`/`info` run the same analysis
+          on compile and print findings as warnings; --no-lint turns
+          that off. See docs/LINT.md for the code table.
   export  Write the explicit model in PRISM explicit formats (tra/lab/
           srew; the MDP tra carries the action column), as guarded-command
           source (pm, chains only), or as Graphviz (dot, chains only).
@@ -81,6 +91,8 @@ OPTIONS:
                     keys: property, value, verdict, interval, solver,
                     time_s; non-finite numbers are encoded as strings).
                     export: tra, lab, srew, pm, dot
+                    lint: text (default) or json (byte-stable: the same
+                    model always renders the same bytes)
   --metrics F       check: after the results, dump the run's internal
                     instruments (states explored, solver sweeps, pool
                     dispatches, session cache hits, per-property wall time)
@@ -90,6 +102,8 @@ OPTIONS:
                     check: stream one JSON line per solver iteration to
                     FILE (keys: driver, sweep, residual, width, component)
                     — plot it to watch interval iteration converge
+  --deny warnings   lint: exit nonzero on warnings too, not just errors
+  --no-lint         check/info: skip the compile-time lint pass
   --out FILE        Write export to FILE instead of stdout
   --steps N         Simulation length in time steps
   --seed S          Simulation RNG seed (default 0)
@@ -136,6 +150,18 @@ pub enum Cmd {
         /// Model path.
         model: String,
         /// Exploration options.
+        options: Options,
+    },
+    /// `smg lint`
+    Lint {
+        /// Model path (guarded-command source only).
+        model: String,
+        /// Output format (`--format`): text (default) or json.
+        format: OutputFormat,
+        /// Treat warnings as fatal (`--deny warnings`).
+        deny_warnings: bool,
+        /// Exploration options (`--allow-stutter` suppresses the
+        /// deadlock analysis; `--const` participates as in `check`).
         options: Options,
     },
     /// `smg export`
@@ -207,6 +233,8 @@ pub struct Options {
     /// Constant overrides (`--const name=expr`), applied before semantic
     /// analysis.
     pub consts: Vec<(String, String)>,
+    /// Skip the compile-time lint pass (`--no-lint`).
+    pub no_lint: bool,
 }
 
 impl Default for Options {
@@ -215,6 +243,7 @@ impl Default for Options {
             max_states: 4_000_000,
             allow_stutter: false,
             consts: Vec::new(),
+            no_lint: false,
         }
     }
 }
@@ -257,6 +286,7 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
     let mut addr: String = "127.0.0.1:7177".to_string();
     let mut capacity: usize = 8;
     let mut ttl: Option<f64> = None;
+    let mut deny_warnings = false;
     let mut options = Options::default();
 
     fn value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, CliError> {
@@ -333,6 +363,15 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
                     .map_err(|_| CliError("--max-states expects an integer".into()))?;
             }
             "--allow-stutter" => options.allow_stutter = true,
+            "--no-lint" => options.no_lint = true,
+            "--deny" => match value(&mut it, "--deny")? {
+                "warnings" => deny_warnings = true,
+                other => {
+                    return Err(CliError(format!(
+                        "--deny expects `warnings`, got {other:?}"
+                    )));
+                }
+            },
             "--const" => {
                 let v = value(&mut it, "--const")?;
                 let (name, expr) = v
@@ -404,6 +443,23 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, CliError> {
             model: require_model(model)?,
             options,
         }),
+        "lint" => {
+            let format = match format.as_deref() {
+                None | Some("text") => OutputFormat::Text,
+                Some("json") => OutputFormat::Json,
+                Some(other) => {
+                    return Err(CliError(format!(
+                        "unknown lint output format {other:?} (expected text or json)"
+                    )))
+                }
+            };
+            Ok(Cmd::Lint {
+                model: require_model(model)?,
+                format,
+                deny_warnings,
+                options,
+            })
+        }
         "export" => Ok(Cmd::Export {
             model: require_model(model)?,
             format: format.ok_or_else(|| CliError("export requires --format".into()))?,
@@ -601,6 +657,59 @@ mod tests {
             panic!("wrong cmd");
         };
         assert_eq!(options, Options::default());
+    }
+
+    #[test]
+    fn lint_flags_parse() {
+        let Cmd::Lint {
+            model,
+            format,
+            deny_warnings,
+            ..
+        } = parse_args(&args("lint m.sm")).unwrap()
+        else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(model, "m.sm");
+        assert_eq!(format, OutputFormat::Text);
+        assert!(!deny_warnings);
+        let Cmd::Lint {
+            format,
+            deny_warnings,
+            options,
+            ..
+        } = parse_args(&args(
+            "lint m.sm --format json --deny warnings --allow-stutter --const N=4",
+        ))
+        .unwrap()
+        else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(format, OutputFormat::Json);
+        assert!(deny_warnings);
+        assert!(options.allow_stutter);
+        assert_eq!(options.consts, vec![("N".to_string(), "4".to_string())]);
+        // Bad --deny and --format values are rejected with pointed messages.
+        let err = parse_args(&args("lint m.sm --deny errors")).unwrap_err();
+        assert!(err.0.contains("--deny expects `warnings`"), "{err}");
+        let err = parse_args(&args("lint m.sm --format yaml")).unwrap_err();
+        assert!(err.0.contains("unknown lint output format"), "{err}");
+        assert!(parse_args(&args("lint")).unwrap_err().0.contains("model"));
+    }
+
+    #[test]
+    fn no_lint_flag_parses() {
+        let Cmd::Info { options, .. } = parse_args(&args("info m.sm --no-lint")).unwrap() else {
+            panic!("wrong cmd");
+        };
+        assert!(options.no_lint);
+        let Cmd::Check { options, .. } =
+            parse_args(&args("check m.sm --props a.props --no-lint")).unwrap()
+        else {
+            panic!("wrong cmd");
+        };
+        assert!(options.no_lint);
+        assert!(!Options::default().no_lint);
     }
 
     #[test]

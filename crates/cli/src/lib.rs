@@ -8,6 +8,7 @@
 //! ```text
 //! smg check model.sm --prop 'P=? [ G<=300 !err ]' --prop 'R=? [ I=300 ]'
 //! smg check worst.sm --prop 'Pmax=? [ F<=300 err ]'   # mdp model
+//! smg lint model.sm --format json
 //! smg info model.sm
 //! smg export model.sm --format tra
 //! smg steady model.sm
@@ -16,8 +17,6 @@
 //!
 //! The crate is a thin library ([`run`]) plus a `main` wrapper so that the
 //! command logic is unit-testable without spawning processes.
-
-#![warn(missing_docs)]
 
 use smg_dtmc::{graph, par, transient, Dtmc};
 use smg_lang::{check, compile_any_with, parse};
@@ -223,6 +222,33 @@ pub fn run(cmd: &Cmd) -> Result<String, CliError> {
                  (certified, SCC-ordered — add `--topo`)"
             );
             Ok(out)
+        }
+        Cmd::Lint {
+            model,
+            format,
+            deny_warnings,
+            options,
+        } => {
+            if model.ends_with(".tra") {
+                return Err(CliError(
+                    "lint analyses guarded-command source (.sm), not explicit .tra files".into(),
+                ));
+            }
+            let checked = load_checked(model, options)?;
+            let report = smg_lint::lint_with(&checked, &lint_options(options));
+            let rendered = match format {
+                OutputFormat::Text => report.render_text(model),
+                OutputFormat::Json => report.render_json(),
+            };
+            let failing =
+                report.error_count() > 0 || (*deny_warnings && report.warning_count() > 0);
+            if failing {
+                // Findings land on stderr and the exit status is nonzero,
+                // so `smg lint` gates CI the way compilers do.
+                Err(CliError(rendered))
+            } else {
+                Ok(rendered)
+            }
         }
         Cmd::Export {
             model,
@@ -600,29 +626,22 @@ fn render_json(
     out
 }
 
-fn load(path: &str, options: &Options) -> Result<(Loaded, f64), CliError> {
+/// The lint configuration a command's exploration options imply:
+/// `--allow-stutter` turns deadlocks into self-loops, so the deadlock
+/// analysis stands down with it.
+fn lint_options(options: &Options) -> smg_lint::LintOptions {
+    smg_lint::LintOptions {
+        allow_stutter: options.allow_stutter,
+        ..smg_lint::LintOptions::default()
+    }
+}
+
+/// Reads, parses and semantically checks guarded-command source,
+/// applying `--const` overrides — the shared front half of [`load`] and
+/// the `lint` command.
+fn load_checked(path: &str, options: &Options) -> Result<smg_lang::CheckedProgram, CliError> {
     let src =
         std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-    let start = Instant::now();
-    // PRISM explicit transitions: pick up sibling .lab/.srew files.
-    if path.ends_with(".tra") {
-        if !options.consts.is_empty() {
-            return Err(CliError(
-                "--const applies to guarded-command models, not explicit .tra files".into(),
-            ));
-        }
-        let stem = path.strip_suffix(".tra").expect("checked");
-        let lab = std::fs::read_to_string(format!("{stem}.lab")).ok();
-        let srew = std::fs::read_to_string(format!("{stem}.srew")).ok();
-        let dtmc = smg_dtmc::import::from_explicit(&src, lab.as_deref(), srew.as_deref())?;
-        return Ok((
-            Loaded {
-                model: AnyModel::Dtmc(dtmc),
-                var_names: Vec::new(),
-            },
-            start.elapsed().as_secs_f64(),
-        ));
-    }
     let mut program = parse(&src)?;
     // `--const name=expr` overrides an existing constant in place (keeping
     // declaration order, so later constants still see it) or prepends a
@@ -642,10 +661,46 @@ fn load(path: &str, options: &Options) -> Result<(Loaded, f64), CliError> {
             ),
         }
     }
+    Ok(check(program)?)
+}
+
+fn load(path: &str, options: &Options) -> Result<(Loaded, f64), CliError> {
+    let start = Instant::now();
+    // PRISM explicit transitions: pick up sibling .lab/.srew files.
+    if path.ends_with(".tra") {
+        if !options.consts.is_empty() {
+            return Err(CliError(
+                "--const applies to guarded-command models, not explicit .tra files".into(),
+            ));
+        }
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+        let stem = path.strip_suffix(".tra").expect("checked");
+        let lab = std::fs::read_to_string(format!("{stem}.lab")).ok();
+        let srew = std::fs::read_to_string(format!("{stem}.srew")).ok();
+        let dtmc = smg_dtmc::import::from_explicit(&src, lab.as_deref(), srew.as_deref())?;
+        return Ok((
+            Loaded {
+                model: AnyModel::Dtmc(dtmc),
+                var_names: Vec::new(),
+            },
+            start.elapsed().as_secs_f64(),
+        ));
+    }
+    let checked = load_checked(path, options)?;
+    // Lint on compile: findings go to stderr as warnings and never block
+    // the run — the expansion itself rejects the errors that matter, and
+    // `smg lint` exists for gating. `--no-lint` silences the pass.
+    if !options.no_lint {
+        let report = smg_lint::lint_with(&checked, &lint_options(options));
+        if !report.is_clean() {
+            eprint!("{}", report.render_text(path));
+        }
+    }
     // The model-type header decides the compilation target: `dtmc`
     // programs become chains, `mdp` programs keep their nondeterminism —
     // `compile_any` dispatches, so the CLI never sees `WrongModelType`.
-    let compiled = compile_any_with(check(program)?, options.clone().into())?;
+    let compiled = compile_any_with(checked, options.clone().into())?;
     Ok((
         Loaded {
             model: compiled.model,
@@ -1457,6 +1512,95 @@ mod tests {
         // Both queries see the 0.125 BER through labels and rewards that
         // came from the sibling files.
         assert_eq!(out.matches("Result: 0.125").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn lint_reports_findings_and_gates_on_severity() {
+        // The channel model is clean: exit 0, a "clean" line on stdout.
+        let path = write_model("channel_lint.sm", CHANNEL);
+        let lint = |model: &str, format: OutputFormat, deny: bool| {
+            run(&Cmd::Lint {
+                model: model.into(),
+                format,
+                deny_warnings: deny,
+                options: opts(),
+            })
+        };
+        let out = lint(&path.to_string_lossy(), OutputFormat::Text, false).unwrap();
+        assert!(out.contains("clean, no lint findings"), "{out}");
+        // ...even under --deny warnings, and in byte-stable JSON.
+        lint(&path.to_string_lossy(), OutputFormat::Text, true).unwrap();
+        let json = lint(&path.to_string_lossy(), OutputFormat::Json, false).unwrap();
+        assert!(json.contains("\"schema\": \"smg-lint/1\""), "{json}");
+        assert_eq!(
+            json,
+            lint(&path.to_string_lossy(), OutputFormat::Json, false).unwrap()
+        );
+        // A dead guard is a warning: clean exit by default, fatal under
+        // --deny warnings.
+        let warn = write_model(
+            "lint_warn.sm",
+            "dtmc\nmodule m\n  x : [0..3] init 0;\n  [] x < 3 -> (x'=x+1);\n  \
+             [] x = 3 -> true;\n  [] x > 3 -> (x'=0);\nendmodule\n",
+        );
+        let out = lint(&warn.to_string_lossy(), OutputFormat::Text, false).unwrap();
+        assert!(out.contains("warning[L001]"), "{out}");
+        let err = lint(&warn.to_string_lossy(), OutputFormat::Text, true).unwrap_err();
+        assert!(err.0.contains("warning[L001]"), "{err}");
+        // An error-severity finding is fatal regardless, in both formats.
+        let bad = write_model(
+            "lint_err.sm",
+            "dtmc\nmodule m\n  x : [0..3] init 0;\n  [] true -> (x'=x+4);\nendmodule\n",
+        );
+        let err = lint(&bad.to_string_lossy(), OutputFormat::Text, false).unwrap_err();
+        assert!(err.0.contains("error[L003]"), "{err}");
+        let err = lint(&bad.to_string_lossy(), OutputFormat::Json, false).unwrap_err();
+        assert!(err.0.contains("\"errors\": 1"), "{err}");
+        // Explicit .tra models have no guarded commands to analyse.
+        let err = lint("model.tra", OutputFormat::Text, false).unwrap_err();
+        assert!(err.0.contains("not explicit .tra"), "{err}");
+        // --const participates before analysis: overriding the probability
+        // to an invalid weight turns the clean channel into an L004 error.
+        let err = run(&Cmd::Lint {
+            model: path.to_string_lossy().into_owned(),
+            format: OutputFormat::Text,
+            deny_warnings: false,
+            options: Options {
+                consts: vec![("p_err".into(), "1.5".into())],
+                ..Options::default()
+            },
+        })
+        .unwrap_err();
+        assert!(err.0.contains("error[L004]"), "{err}");
+    }
+
+    #[test]
+    fn compile_time_lint_does_not_block_commands() {
+        // A model with a dead guard still checks fine (the lint pass only
+        // warns on stderr), with or without --no-lint.
+        let path = write_model(
+            "lint_on_compile.sm",
+            "dtmc\nmodule m\n  x : [0..3] init 0;\n  [] x < 3 -> (x'=x+1);\n  \
+             [] x = 3 -> true;\n  [] x > 3 -> (x'=0);\nendmodule\nrewards x = 3 : 1; endrewards\n",
+        );
+        for no_lint in [false, true] {
+            let out = run(&Cmd::Check {
+                model: path.to_string_lossy().into_owned(),
+                props: vec!["R=? [ I=10 ]".into()],
+                certified: None,
+                topo: false,
+                metrics: None,
+                trace_convergence: None,
+                prop_files: vec![],
+                format: OutputFormat::Text,
+                options: Options {
+                    no_lint,
+                    ..Options::default()
+                },
+            })
+            .unwrap();
+            assert!(out.contains("States: 4"), "{out}");
+        }
     }
 
     #[test]

@@ -33,7 +33,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod analyzer;
 pub mod error;

@@ -111,7 +111,6 @@
 // protocol erases closure lifetimes behind a fork-join latch (each use
 // carries its safety argument). Every other module stays safe Rust.
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod bitvec;
 pub mod compose;

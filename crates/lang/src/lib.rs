@@ -46,8 +46,6 @@
 //! module is one action); undefined (`-const`-style) constants are not
 //! supported; rewards blocks carry state rewards only.
 
-#![warn(missing_docs)]
-
 pub mod ast;
 pub mod check;
 pub mod error;
@@ -66,4 +64,5 @@ pub use model::{
     CompiledAny, CompiledMdp, CompiledModel, ExpandOptions, LangModel,
 };
 pub use parser::{parse, parse_expr};
+pub use value::interval::{eval_abs, refine_box, AbsEnv, AbsVal};
 pub use value::{eval, Env, Value};

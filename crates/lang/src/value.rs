@@ -10,6 +10,8 @@ use crate::error::LangError;
 use std::collections::HashMap;
 use std::fmt;
 
+pub mod interval;
+
 /// A runtime value.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {

@@ -1,0 +1,829 @@
+//! Sound interval abstract interpretation for [`Expr`].
+//!
+//! [`eval_abs`] evaluates an expression over a *box* — an abstract value
+//! per state variable, typically the declared `[lo..hi]` range — instead
+//! of a single valuation, and returns an [`AbsVal`] that over-approximates
+//! every outcome the concrete evaluator [`eval`](super::eval) could
+//! produce anywhere in the box.
+//!
+//! # Soundness contract
+//!
+//! Let `σ` be any concrete valuation drawn from the box described by an
+//! [`AbsEnv`]. The abstract evaluator maintains two guarantees:
+//!
+//! 1. **Over-approximation** — if `eval(e, σ)` returns `Ok(v)`, then `v`
+//!    lies in the concretization of `eval_abs(e, env)`.
+//! 2. **Error conservatism** — if `eval(e, σ)` can return an error (or
+//!    panic) for *some* `σ` in the box, `eval_abs` returns [`AbsVal::Top`].
+//!
+//! Together these make every *definite* answer trustworthy: when
+//! [`AbsVal::truth`] says `Some(false)`, the concrete guard evaluates to
+//! `false` — without error — at every valuation in the box. This is the
+//! property the `smg-lint` dead-guard and certain-deadlock diagnostics
+//! build on; they may only make claims that hold for *all* reachable
+//! states, and reachable states are a subset of the box.
+//!
+//! The abstract operators mirror [`super::eval`] case by case:
+//! wrapping integer arithmetic goes to `Top` whenever an endpoint
+//! combination overflows (the wrapped value would fall outside the naive
+//! interval), division goes to `Top` whenever the divisor interval
+//! contains zero (a [`LangError::DivisionByZero`](crate::LangError) is
+//! possible), and `&`/`|`/`=>` reproduce the concrete evaluator's
+//! short-circuiting — `false & e` is definitely `false` even when `e`
+//! alone would be `Top`, because the concrete evaluator never looks at
+//! `e`.
+//!
+//! Interval endpoints are combined through the same `i64 → f64`
+//! conversions the concrete evaluator applies. Those conversions and the
+//! IEEE-754 `+ - * /` operations are monotone in each argument, so taking
+//! the min/max over endpoint combinations is sound without any extra
+//! precision guard.
+
+use super::Value;
+use crate::ast::{BinOp, Expr, Func};
+use std::collections::HashMap;
+
+/// Formula references are expanded at most this deep before the abstract
+/// evaluator gives up with [`AbsVal::Top`] (guards against cyclic
+/// `formula` definitions, which the concrete evaluator would chase
+/// forever).
+const MAX_FORMULA_DEPTH: u32 = 64;
+
+/// The abstract counterpart of [`Value`]: a sound over-approximation of
+/// every value an expression can take over a box of variable ranges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AbsVal {
+    /// An inclusive integer interval `[lo, hi]`.
+    Int(i64, i64),
+    /// An inclusive real interval `[lo, hi]`; endpoints are never NaN but
+    /// may be infinite.
+    Double(f64, f64),
+    /// A boolean as `(can_be_false, can_be_true)`; at least one flag is
+    /// always set.
+    Bool(bool, bool),
+    /// Unknown: any value of any type, or a runtime error.
+    Top,
+}
+
+impl AbsVal {
+    /// The singleton abstraction of a concrete boolean.
+    pub fn bool_const(b: bool) -> AbsVal {
+        AbsVal::Bool(!b, b)
+    }
+
+    /// The abstraction of "any boolean".
+    pub fn bool_any() -> AbsVal {
+        AbsVal::Bool(true, true)
+    }
+
+    /// The exact abstraction of a concrete value.
+    pub fn from_value(v: Value) -> AbsVal {
+        match v {
+            Value::Int(i) => AbsVal::Int(i, i),
+            Value::Double(d) if d.is_nan() => AbsVal::Top,
+            Value::Double(d) => AbsVal::Double(d, d),
+            Value::Bool(b) => AbsVal::bool_const(b),
+        }
+    }
+
+    /// `Some(true)` / `Some(false)` when the value is a *definite*
+    /// boolean — the concrete evaluation cannot error and always yields
+    /// that truth value anywhere in the box — and `None` otherwise.
+    pub fn truth(self) -> Option<bool> {
+        match self {
+            AbsVal::Bool(false, true) => Some(true),
+            AbsVal::Bool(true, false) => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Whether the abstraction pins a single numeric value, returned as
+    /// the `f64` the concrete evaluator's `as_double` coercion would
+    /// produce.
+    pub fn singleton(self) -> Option<f64> {
+        match self {
+            AbsVal::Int(l, h) if l == h => Some(l as f64),
+            AbsVal::Double(l, h) if l == h => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The interval after the concrete `int → double` promotion: `None`
+    /// for booleans and `Top` (where the promotion would error).
+    fn as_f64_pair(self) -> Option<(f64, f64)> {
+        match self {
+            AbsVal::Int(l, h) => Some((l as f64, h as f64)),
+            AbsVal::Double(l, h) => Some((l, h)),
+            _ => None,
+        }
+    }
+
+    /// Least upper bound of two abstractions (used to merge `ite`
+    /// branches). Mixed types go to `Top`: the concrete result type then
+    /// depends on the branch, which downstream coercions must not trust.
+    pub fn join(a: AbsVal, b: AbsVal) -> AbsVal {
+        match (a, b) {
+            (AbsVal::Int(al, ah), AbsVal::Int(bl, bh)) => AbsVal::Int(al.min(bl), ah.max(bh)),
+            (AbsVal::Double(al, ah), AbsVal::Double(bl, bh)) => {
+                AbsVal::Double(al.min(bl), ah.max(bh))
+            }
+            (AbsVal::Bool(af, at), AbsVal::Bool(bf, bt)) => AbsVal::Bool(af || bf, at || bt),
+            _ => AbsVal::Top,
+        }
+    }
+}
+
+/// A box of abstract variable values plus the (concrete) constant and
+/// formula tables — the abstract analogue of [`super::Env`].
+pub struct AbsEnv<'a> {
+    /// Abstract state-variable bindings.
+    pub vars: HashMap<&'a str, AbsVal>,
+    /// Folded constants.
+    pub consts: &'a HashMap<String, Value>,
+    /// Formula bodies, expanded at reference sites.
+    pub formulas: &'a HashMap<String, Expr>,
+}
+
+/// Abstractly evaluates `expr` over the box described by `env`.
+///
+/// Never fails: anything the analysis cannot bound — including every
+/// case where the concrete evaluator could error — comes back as
+/// [`AbsVal::Top`].
+pub fn eval_abs(expr: &Expr, env: &AbsEnv<'_>) -> AbsVal {
+    eval_rec(expr, env, MAX_FORMULA_DEPTH)
+}
+
+fn eval_rec(expr: &Expr, env: &AbsEnv<'_>, depth: u32) -> AbsVal {
+    match expr {
+        Expr::Int(v) => AbsVal::Int(*v, *v),
+        Expr::Double(v) if v.is_nan() => AbsVal::Top,
+        Expr::Double(v) => AbsVal::Double(*v, *v),
+        Expr::Bool(v) => AbsVal::bool_const(*v),
+        // Same resolution order as the concrete evaluator: variables,
+        // then constants, then formulas.
+        Expr::Name(name, _) => {
+            if let Some(v) = env.vars.get(name.as_str()) {
+                return *v;
+            }
+            if let Some(v) = env.consts.get(name) {
+                return AbsVal::from_value(*v);
+            }
+            if let Some(body) = env.formulas.get(name) {
+                if depth == 0 {
+                    return AbsVal::Top;
+                }
+                return eval_rec(body, env, depth - 1);
+            }
+            AbsVal::Top
+        }
+        Expr::Neg(e) => match eval_rec(e, env, depth) {
+            // `-i64::MIN` overflows in the concrete evaluator.
+            AbsVal::Int(l, h) if l != i64::MIN => AbsVal::Int(-h, -l),
+            AbsVal::Double(l, h) => AbsVal::Double(-h, -l),
+            _ => AbsVal::Top,
+        },
+        Expr::Not(e) => match eval_rec(e, env, depth) {
+            AbsVal::Bool(f, t) => AbsVal::Bool(t, f),
+            _ => AbsVal::Top,
+        },
+        Expr::Bin(op, a, b) => match op {
+            BinOp::Or | BinOp::And | BinOp::Implies => logic(*op, a, b, env, depth),
+            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                compare_abs(*op, eval_rec(a, env, depth), eval_rec(b, env, depth))
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                numeric_abs(*op, eval_rec(a, env, depth), eval_rec(b, env, depth))
+            }
+        },
+        Expr::Ite(c, t, f) => match eval_rec(c, env, depth) {
+            AbsVal::Bool(false, true) => eval_rec(t, env, depth),
+            AbsVal::Bool(true, false) => eval_rec(f, env, depth),
+            AbsVal::Bool(true, true) => {
+                AbsVal::join(eval_rec(t, env, depth), eval_rec(f, env, depth))
+            }
+            _ => AbsVal::Top,
+        },
+        Expr::Apply(func, args) => {
+            let vals: Vec<AbsVal> = args.iter().map(|a| eval_rec(a, env, depth)).collect();
+            apply_abs(*func, &vals)
+        }
+    }
+}
+
+/// `|`, `&` and `=>` with the concrete evaluator's short-circuiting: a
+/// definite left operand hides both errors and unknowns on the right.
+fn logic(op: BinOp, a: &Expr, b: &Expr, env: &AbsEnv<'_>, depth: u32) -> AbsVal {
+    let lhs = eval_rec(a, env, depth);
+    let short = match op {
+        // `true | _` is true, `false & _` is false, `false => _` is true.
+        BinOp::Or => lhs.truth() == Some(true),
+        BinOp::And => lhs.truth() == Some(false),
+        BinOp::Implies => lhs.truth() == Some(false),
+        _ => unreachable!("logic called with non-logical op"),
+    };
+    if short {
+        return AbsVal::bool_const(op != BinOp::And);
+    }
+    let AbsVal::Bool(af, at) = lhs else {
+        return AbsVal::Top;
+    };
+    // The right operand is evaluated on at least one path, so any error
+    // or unknown there taints the result.
+    let AbsVal::Bool(bf, bt) = eval_rec(b, env, depth) else {
+        return AbsVal::Top;
+    };
+    match op {
+        BinOp::Or => AbsVal::Bool(af && bf, at || bt),
+        BinOp::And => AbsVal::Bool(af || bf, at && bt),
+        BinOp::Implies => AbsVal::Bool(at && bf, af || bt),
+        _ => unreachable!(),
+    }
+}
+
+fn compare_abs(op: BinOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    // Boolean equality mirrors `compare`: `=`/`!=` are defined, ordering
+    // is a type error (hence Top).
+    if let (AbsVal::Bool(af, at), AbsVal::Bool(bf, bt)) = (a, b) {
+        return match op {
+            BinOp::Eq | BinOp::Neq => {
+                let flip = op == BinOp::Neq;
+                // Outcomes over every pair drawn from the two flag sets.
+                let can_eq = (af && bf) || (at && bt);
+                let can_ne = (af && bt) || (at && bf);
+                let (can_true, can_false) = if flip {
+                    (can_ne, can_eq)
+                } else {
+                    (can_eq, can_ne)
+                };
+                AbsVal::Bool(can_false, can_true)
+            }
+            _ => AbsVal::Top,
+        };
+    }
+    let (Some((al, ah)), Some((bl, bh))) = (a.as_f64_pair(), b.as_f64_pair()) else {
+        return AbsVal::Top;
+    };
+    let (can_true, can_false) = match op {
+        BinOp::Lt => (al < bh, ah >= bl),
+        BinOp::Le => (al <= bh, ah > bl),
+        BinOp::Gt => (ah > bl, al <= bh),
+        BinOp::Ge => (ah >= bl, al < bh),
+        BinOp::Eq => (ah >= bl && bh >= al, !(al == ah && bl == bh && al == bl)),
+        BinOp::Neq => (!(al == ah && bl == bh && al == bl), ah >= bl && bh >= al),
+        _ => unreachable!("compare_abs called with non-relational op"),
+    };
+    if !can_true && !can_false {
+        // Possible only with empty/inverted intervals, which callers
+        // never construct; stay sound anyway.
+        return AbsVal::Top;
+    }
+    AbsVal::Bool(can_false, can_true)
+}
+
+fn numeric_abs(op: BinOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    // Integer add/sub/mul stay integral; the concrete evaluator *wraps*
+    // on overflow, so any endpoint combination that leaves i64 makes the
+    // naive interval unsound — give up instead.
+    if let (AbsVal::Int(al, ah), AbsVal::Int(bl, bh)) = (a, b) {
+        if op != BinOp::Div {
+            let combos = |f: fn(i128, i128) -> i128| -> AbsVal {
+                let products = [
+                    f(al as i128, bl as i128),
+                    f(al as i128, bh as i128),
+                    f(ah as i128, bl as i128),
+                    f(ah as i128, bh as i128),
+                ];
+                let lo = products.iter().copied().min().unwrap_or(0);
+                let hi = products.iter().copied().max().unwrap_or(0);
+                if lo < i64::MIN as i128 || hi > i64::MAX as i128 {
+                    AbsVal::Top
+                } else {
+                    AbsVal::Int(lo as i64, hi as i64)
+                }
+            };
+            return match op {
+                BinOp::Add => combos(|x, y| x + y),
+                BinOp::Sub => combos(|x, y| x - y),
+                BinOp::Mul => combos(|x, y| x * y),
+                _ => unreachable!(),
+            };
+        }
+    }
+    let (Some((al, ah)), Some((bl, bh))) = (a.as_f64_pair(), b.as_f64_pair()) else {
+        return AbsVal::Top;
+    };
+    if op == BinOp::Div && bl <= 0.0 && bh >= 0.0 {
+        // The divisor interval contains zero: DivisionByZero is possible.
+        return AbsVal::Top;
+    }
+    let f = |x: f64, y: f64| -> f64 {
+        match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => x / y,
+            _ => unreachable!("numeric_abs called with non-arithmetic op"),
+        }
+    };
+    // Each IEEE-754 operation is monotone in each argument (rounding
+    // included), so extremes occur at endpoint combinations.
+    let combos = [f(al, bl), f(al, bh), f(ah, bl), f(ah, bh)];
+    if combos.iter().any(|v| v.is_nan()) {
+        return AbsVal::Top;
+    }
+    let lo = combos.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = combos.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    AbsVal::Double(lo, hi)
+}
+
+fn apply_abs(func: Func, args: &[AbsVal]) -> AbsVal {
+    match func {
+        Func::Min | Func::Max => {
+            let take_max = func == Func::Max;
+            // Integral iff every argument is integral, like `apply`.
+            if args.iter().all(|v| matches!(v, AbsVal::Int(..))) {
+                let mut lo = None;
+                let mut hi = None;
+                for v in args {
+                    let AbsVal::Int(l, h) = *v else {
+                        unreachable!()
+                    };
+                    lo = Some(pick(lo, l, take_max));
+                    hi = Some(pick(hi, h, take_max));
+                }
+                match (lo, hi) {
+                    (Some(l), Some(h)) => AbsVal::Int(l, h),
+                    _ => AbsVal::Top,
+                }
+            } else {
+                let mut lo = None;
+                let mut hi = None;
+                for v in args {
+                    let Some((l, h)) = v.as_f64_pair() else {
+                        return AbsVal::Top;
+                    };
+                    lo = Some(pick_f(lo, l, take_max));
+                    hi = Some(pick_f(hi, h, take_max));
+                }
+                match (lo, hi) {
+                    (Some(l), Some(h)) => AbsVal::Double(l, h),
+                    _ => AbsVal::Top,
+                }
+            }
+        }
+        Func::Floor | Func::Ceil => {
+            // `as_double` then floor/ceil then `as i64`: every step is
+            // monotone (the cast saturates), so endpoint images bound the
+            // interior exactly as the concrete evaluator computes it.
+            let Some((l, h)) = args.first().and_then(|v| v.as_f64_pair()) else {
+                return AbsVal::Top;
+            };
+            let round = |v: f64| -> i64 {
+                if func == Func::Floor {
+                    v.floor() as i64
+                } else {
+                    v.ceil() as i64
+                }
+            };
+            AbsVal::Int(round(l), round(h))
+        }
+        Func::Mod => {
+            let (Some(&AbsVal::Int(al, ah)), Some(&AbsVal::Int(bl, bh))) =
+                (args.first(), args.get(1))
+            else {
+                return AbsVal::Top;
+            };
+            if bl <= 0 && bh >= 0 {
+                // mod(_, 0) is DivisionByZero.
+                return AbsVal::Top;
+            }
+            if al == i64::MIN && bl <= -1 && bh >= -1 {
+                // `i64::MIN.rem_euclid(-1)` overflows.
+                return AbsVal::Top;
+            }
+            if al == ah && bl == bh {
+                let v = al.rem_euclid(bl);
+                return AbsVal::Int(v, v);
+            }
+            // rem_euclid(b) lands in [0, |b| - 1] for any b ≠ 0.
+            let bound = (bl as i128).abs().max((bh as i128).abs()) - 1;
+            AbsVal::Int(0, i64::try_from(bound).unwrap_or(i64::MAX))
+        }
+        Func::Pow => {
+            let (Some(&base), Some(&exp)) = (args.first(), args.get(1)) else {
+                return AbsVal::Top;
+            };
+            if let (AbsVal::Int(al, ah), AbsVal::Int(bl, bh)) = (base, exp) {
+                if bl < 0 {
+                    // Falls through to powf in the concrete evaluator.
+                    return pow_double(base, exp);
+                }
+                let (Ok(el), Ok(eh)) = (u32::try_from(bl), u32::try_from(bh)) else {
+                    // Exponents beyond u32 are a concrete BadNumber error.
+                    return AbsVal::Top;
+                };
+                if al == ah && el == eh {
+                    let v = al.wrapping_pow(el);
+                    return AbsVal::Int(v, v);
+                }
+                if al >= 0 && el == eh {
+                    // x^k is monotone for x ≥ 0; only trust it when no
+                    // endpoint wraps.
+                    match (al.checked_pow(el), ah.checked_pow(eh)) {
+                        (Some(l), Some(h)) => return AbsVal::Int(l, h),
+                        _ => return AbsVal::Top,
+                    }
+                }
+                return AbsVal::Top;
+            }
+            pow_double(base, exp)
+        }
+    }
+}
+
+/// `powf` is not guaranteed correctly rounded, so only singleton inputs —
+/// where the abstract result is the literal concrete result — are pinned.
+fn pow_double(base: AbsVal, exp: AbsVal) -> AbsVal {
+    match (base.singleton(), exp.singleton()) {
+        (Some(b), Some(e)) => {
+            let v = b.powf(e);
+            if v.is_nan() {
+                AbsVal::Top
+            } else {
+                AbsVal::Double(v, v)
+            }
+        }
+        _ => AbsVal::Top,
+    }
+}
+
+fn pick(acc: Option<i64>, v: i64, take_max: bool) -> i64 {
+    match acc {
+        None => v,
+        Some(a) if take_max => a.max(v),
+        Some(a) => a.min(v),
+    }
+}
+
+fn pick_f(acc: Option<f64>, v: f64, take_max: bool) -> f64 {
+    match acc {
+        None => v,
+        Some(a) if take_max => a.max(v),
+        Some(a) => a.min(v),
+    }
+}
+
+/// Narrows the variable box in place to (a superset of) the valuations
+/// satisfying `guard`, and reports whether the narrowed box is still
+/// non-empty.
+///
+/// Sound in the only direction that matters: every valuation of the
+/// original box that satisfies the guard is still inside the narrowed
+/// box. Narrowing handles conjunctions, boolean-variable literals and
+/// comparisons with a bare variable on one side; everything else is left
+/// untouched (no narrowing is always sound).
+///
+/// A `false` return means the guard is unsatisfiable over the box — the
+/// narrowed intervals became empty.
+pub fn refine_box(
+    guard: &Expr,
+    vars: &mut HashMap<&str, AbsVal>,
+    consts: &HashMap<String, Value>,
+    formulas: &HashMap<String, Expr>,
+    depth: u32,
+) -> bool {
+    if depth == 0 {
+        return true;
+    }
+    match guard {
+        Expr::Bin(BinOp::And, a, b) => {
+            refine_box(a, vars, consts, formulas, depth - 1)
+                && refine_box(b, vars, consts, formulas, depth - 1)
+        }
+        Expr::Name(name, _) => {
+            if let Some(v) = vars.get_mut(name.as_str()) {
+                if let AbsVal::Bool(_, can_true) = *v {
+                    if !can_true {
+                        return false;
+                    }
+                    *v = AbsVal::bool_const(true);
+                }
+                true
+            } else if let Some(body) = formulas.get(name) {
+                refine_box(body, vars, consts, formulas, depth - 1)
+            } else {
+                true
+            }
+        }
+        Expr::Not(inner) => {
+            if let Expr::Name(name, _) = &**inner {
+                if let Some(v) = vars.get_mut(name.as_str()) {
+                    if let AbsVal::Bool(can_false, _) = *v {
+                        if !can_false {
+                            return false;
+                        }
+                        *v = AbsVal::bool_const(false);
+                    }
+                }
+            }
+            true
+        }
+        Expr::Bin(op, lhs, rhs)
+            if matches!(
+                op,
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq
+            ) =>
+        {
+            if let Expr::Name(name, _) = &**lhs {
+                return narrow_var(name, *op, rhs, vars, consts, formulas);
+            }
+            if let Expr::Name(name, _) = &**rhs {
+                // `e OP x` is `x mirror(OP) e`.
+                let mirrored = match op {
+                    BinOp::Lt => BinOp::Gt,
+                    BinOp::Le => BinOp::Ge,
+                    BinOp::Gt => BinOp::Lt,
+                    BinOp::Ge => BinOp::Le,
+                    BinOp::Eq => BinOp::Eq,
+                    _ => unreachable!(),
+                };
+                return narrow_var(name, mirrored, lhs, vars, consts, formulas);
+            }
+            true
+        }
+        _ => true,
+    }
+}
+
+/// Narrows variable `name` by `name OP bound` where `bound`'s interval is
+/// computed over the current (wider) box — sound because the wider box's
+/// bounds still bound the expression on the narrowed box.
+fn narrow_var(
+    name: &str,
+    op: BinOp,
+    bound: &Expr,
+    vars: &mut HashMap<&str, AbsVal>,
+    consts: &HashMap<String, Value>,
+    formulas: &HashMap<String, Expr>,
+) -> bool {
+    let Some(&current) = vars.get(name) else {
+        return true;
+    };
+    let bound_abs = {
+        let env = AbsEnv {
+            vars: vars.clone(),
+            consts,
+            formulas,
+        };
+        eval_abs(bound, &env)
+    };
+    match current {
+        AbsVal::Int(mut lo, mut hi) => {
+            let Some((bl, bh)) = bound_abs.as_f64_pair() else {
+                return true;
+            };
+            // An integer x with x < v satisfies x ≤ ceil(v) - 1 for
+            // integral v and x ≤ floor(v) otherwise; dually for >.
+            let below = |v: f64, strict: bool| -> Option<i64> {
+                if !v.is_finite() || v.abs() >= i64::MAX as f64 {
+                    return None;
+                }
+                let f = v.floor();
+                let mut b = f as i64;
+                if strict && f == v {
+                    b -= 1;
+                }
+                Some(b)
+            };
+            let above = |v: f64, strict: bool| -> Option<i64> {
+                if !v.is_finite() || v.abs() >= i64::MAX as f64 {
+                    return None;
+                }
+                let c = v.ceil();
+                let mut b = c as i64;
+                if strict && c == v {
+                    b += 1;
+                }
+                Some(b)
+            };
+            match op {
+                BinOp::Lt => {
+                    if let Some(b) = below(bh, true) {
+                        hi = hi.min(b);
+                    }
+                }
+                BinOp::Le => {
+                    if let Some(b) = below(bh, false) {
+                        hi = hi.min(b);
+                    }
+                }
+                BinOp::Gt => {
+                    if let Some(b) = above(bl, true) {
+                        lo = lo.max(b);
+                    }
+                }
+                BinOp::Ge => {
+                    if let Some(b) = above(bl, false) {
+                        lo = lo.max(b);
+                    }
+                }
+                BinOp::Eq => {
+                    if let Some(b) = below(bh, false) {
+                        hi = hi.min(b);
+                    }
+                    if let Some(b) = above(bl, false) {
+                        lo = lo.max(b);
+                    }
+                }
+                _ => {}
+            }
+            if lo > hi {
+                return false;
+            }
+            if let Some(v) = vars.get_mut(name) {
+                *v = AbsVal::Int(lo, hi);
+            }
+            true
+        }
+        AbsVal::Bool(can_false, can_true) if op == BinOp::Eq => {
+            // `b = e` with a definite boolean e pins b.
+            match bound_abs.truth() {
+                Some(true) => {
+                    if !can_true {
+                        return false;
+                    }
+                    if let Some(v) = vars.get_mut(name) {
+                        *v = AbsVal::bool_const(true);
+                    }
+                    true
+                }
+                Some(false) => {
+                    if !can_false {
+                        return false;
+                    }
+                    if let Some(v) = vars.get_mut(name) {
+                        *v = AbsVal::bool_const(false);
+                    }
+                    true
+                }
+                None => true,
+            }
+        }
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{eval, Env};
+    use super::*;
+    use crate::parser::parse_expr;
+
+    /// Concrete membership in the concretization of an abstraction.
+    fn member(v: Value, a: AbsVal) -> bool {
+        match (v, a) {
+            (_, AbsVal::Top) => true,
+            (Value::Int(i), AbsVal::Int(l, h)) => l <= i && i <= h,
+            (Value::Double(d), AbsVal::Double(l, h)) => l <= d && d <= h,
+            (Value::Bool(false), AbsVal::Bool(f, _)) => f,
+            (Value::Bool(true), AbsVal::Bool(_, t)) => t,
+            _ => false,
+        }
+    }
+
+    /// Exhaustively checks the soundness contract of `eval_abs` for one
+    /// expression over the box x ∈ [-3..4], y ∈ [0..3], b ∈ bool.
+    fn assert_sound(src: &str) {
+        let expr = parse_expr(src).expect("expression parses");
+        let consts = HashMap::new();
+        let formulas = HashMap::new();
+        let mut vars = HashMap::new();
+        vars.insert("x", AbsVal::Int(-3, 4));
+        vars.insert("y", AbsVal::Int(0, 3));
+        vars.insert("b", AbsVal::bool_any());
+        let abs = eval_abs(
+            &expr,
+            &AbsEnv {
+                vars,
+                consts: &consts,
+                formulas: &formulas,
+            },
+        );
+        for x in -3..=4i64 {
+            for y in 0..=3i64 {
+                for b in [false, true] {
+                    let mut cvars = HashMap::new();
+                    cvars.insert("x", Value::Int(x));
+                    cvars.insert("y", Value::Int(y));
+                    cvars.insert("b", Value::Bool(b));
+                    let env = Env {
+                        vars: cvars,
+                        consts: &consts,
+                        formulas: &formulas,
+                    };
+                    match eval(&expr, &env) {
+                        Ok(v) => assert!(
+                            member(v, abs),
+                            "{src}: concrete {v:?} escapes abstract {abs:?} at x={x} y={y} b={b}"
+                        ),
+                        Err(e) => assert_eq!(
+                            abs,
+                            AbsVal::Top,
+                            "{src}: concrete error {e} but abstract {abs:?} is not Top"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn abstract_evaluation_over_approximates_concrete() {
+        for src in [
+            "x + y",
+            "x - 2 * y",
+            "x * x",
+            "x / 7",
+            "x / y",
+            "x / (y + 1)",
+            "-x",
+            "!b",
+            "x < y",
+            "x <= 3",
+            "x = y",
+            "x != 0",
+            "b & x < y",
+            "b | x >= -3",
+            "b => x > 1",
+            "x < y & !b",
+            "b ? x : y",
+            "x < 0 ? -x : x",
+            "min(x, y)",
+            "max(x, y, 2)",
+            "min(x, 2.5)",
+            "floor(x / 2)",
+            "ceil(x / (y + 1))",
+            "mod(x, 3)",
+            "mod(x, y)",
+            "pow(2, y)",
+            "pow(x, 2)",
+            "pow(x, y)",
+            "pow(2.0, x)",
+            "(x + y) * (x - y)",
+            "x < y | x = y",
+            "1 / 0",
+            "mod(3, 0)",
+        ] {
+            assert_sound(src);
+        }
+    }
+
+    #[test]
+    fn definite_answers_are_definite() {
+        let consts = HashMap::new();
+        let formulas = HashMap::new();
+        let mut vars = HashMap::new();
+        vars.insert("x", AbsVal::Int(0, 5));
+        let env = AbsEnv {
+            vars,
+            consts: &consts,
+            formulas: &formulas,
+        };
+        let definitely =
+            |src: &str| eval_abs(&parse_expr(src).expect("expression parses"), &env).truth();
+        assert_eq!(definitely("x < 6"), Some(true));
+        assert_eq!(definitely("x > 5"), Some(false));
+        assert_eq!(definitely("x >= 0 & x <= 5"), Some(true));
+        assert_eq!(definitely("x < 3"), None);
+        // Short-circuit hides the unbounded right operand.
+        assert_eq!(definitely("x > 5 & 1 / 0 > 0"), Some(false));
+        assert_eq!(definitely("x < 6 | 1 / 0 > 0"), Some(true));
+        // But the non-short-circuit side stays unknown.
+        assert_eq!(definitely("x < 3 & 1 / 0 > 0"), None);
+    }
+
+    #[test]
+    fn refine_narrows_comparisons() {
+        let consts = HashMap::new();
+        let formulas = HashMap::new();
+        let mut vars: HashMap<&str, AbsVal> = HashMap::new();
+        vars.insert("x", AbsVal::Int(0, 10));
+        vars.insert("b", AbsVal::bool_any());
+        let guard = parse_expr("x < 4 & x >= 2 & b").expect("guard parses");
+        assert!(refine_box(&guard, &mut vars, &consts, &formulas, 16));
+        assert_eq!(vars["x"], AbsVal::Int(2, 3));
+        assert_eq!(vars["b"], AbsVal::bool_const(true));
+
+        let mut vars: HashMap<&str, AbsVal> = HashMap::new();
+        vars.insert("x", AbsVal::Int(0, 10));
+        let dead = parse_expr("x > 10").expect("guard parses");
+        assert!(!refine_box(&dead, &mut vars, &consts, &formulas, 16));
+
+        // `10 <= x` mirrors to `x >= 10`.
+        let mut vars: HashMap<&str, AbsVal> = HashMap::new();
+        vars.insert("x", AbsVal::Int(0, 10));
+        let rev = parse_expr("10 <= x").expect("guard parses");
+        assert!(refine_box(&rev, &mut vars, &consts, &formulas, 16));
+        assert_eq!(vars["x"], AbsVal::Int(10, 10));
+    }
+}

@@ -1,0 +1,83 @@
+//! Snapshot tests over the seeded-defect fixture corpus.
+//!
+//! Every `lXXX_*.sm` fixture must report exactly the codes and positions
+//! recorded in its `.expect` sidecar (one `L0xx line:col` per line), and
+//! every `*_clean.sm` twin must lint clean. Regenerate sidecars with
+//! `SMG_LINT_BLESS=1 cargo test -p smg-lint --test fixtures`.
+
+use smg_lang::{check, parse};
+use smg_lint::lint;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture_paths() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("fixture dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "sm"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn fixtures_match_expected_codes_and_positions() {
+    let bless = std::env::var_os("SMG_LINT_BLESS").is_some();
+    let paths = fixture_paths();
+    assert!(paths.len() >= 20, "fixture corpus went missing");
+    let mut seen_codes: BTreeSet<&'static str> = BTreeSet::new();
+
+    for path in paths {
+        let name = path
+            .file_name()
+            .expect("file name")
+            .to_string_lossy()
+            .into_owned();
+        let src = fs::read_to_string(&path).expect("fixture readable");
+        let checked = check(parse(&src).expect("fixture parses")).expect("fixture checks");
+        let report = lint(&checked);
+        let actual: Vec<String> = report
+            .diagnostics()
+            .iter()
+            .map(|d| format!("{} {}:{}", d.code, d.pos.line, d.pos.col))
+            .collect();
+
+        // Rendering is a pure function of the report: byte-stable.
+        assert_eq!(report.render_json(), report.render_json(), "{name}");
+
+        if name.ends_with("_clean.sm") {
+            assert!(
+                report.is_clean(),
+                "{name} must lint clean, found: {actual:?}"
+            );
+            continue;
+        }
+
+        for d in report.diagnostics() {
+            seen_codes.insert(d.code.as_str());
+        }
+        let expect_path = path.with_extension("expect");
+        if bless {
+            fs::write(&expect_path, actual.join("\n") + "\n").expect("write sidecar");
+            continue;
+        }
+        let expected: Vec<String> = fs::read_to_string(&expect_path)
+            .unwrap_or_else(|_| panic!("missing sidecar {}", expect_path.display()))
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect();
+        assert_eq!(actual, expected, "{name} diagnostics drifted");
+    }
+
+    // The defect half of the corpus exercises every diagnostic code.
+    let all: Vec<&str> = seen_codes.into_iter().collect();
+    assert_eq!(
+        all,
+        vec!["L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010"],
+        "corpus no longer covers every code"
+    );
+}

@@ -1,0 +1,256 @@
+//! Soundness proptest: the lint's definite claims are never false
+//! positives.
+//!
+//! For randomized guarded-command programs (rendered to source and
+//! re-parsed so diagnostics carry real positions):
+//!
+//! - any command flagged *dead* (L001) is never taken during exhaustive
+//!   expansion — its guard does not hold in any reachable state;
+//! - any model flagged *certain deadlock* (L005) really fails expansion
+//!   with [`LangError::Deadlock`].
+//!
+//! Generated assignments are clamped into range and weights are constant
+//! and valid, so the only expansion error a generated model can produce
+//! is a deadlock — which makes the second assertion exact.
+
+use proptest::prelude::*;
+use smg_lang::ast::{
+    Assign, BinOp, Command, DeclType, Expr, ModelType, Module, Program, Update, VarDecl,
+};
+use smg_lang::{check, compile_any_with, eval, Env, ExpandOptions, LangError, Pos, Value};
+use smg_lint::{lint, Code};
+use std::collections::HashMap;
+
+/// Tiny deterministic generator driven by a proptest-supplied seed —
+/// keeps the program shape independent of the shim's strategy surface.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x1234_5678))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+struct GenVar {
+    name: String,
+    hi: i64,
+}
+
+/// A random comparison over one variable, well-typed by construction.
+fn gen_cmp(rng: &mut Rng, vars: &[GenVar]) -> Expr {
+    let v = &vars[rng.below(vars.len() as u64) as usize];
+    let op = [
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Eq,
+        BinOp::Neq,
+        BinOp::Gt,
+        BinOp::Ge,
+    ][rng.below(6) as usize];
+    // Bounds straddle the range so dead and live guards both appear.
+    let c = rng.below((v.hi + 3) as u64) as i64 - 1;
+    Expr::Bin(op, Box::new(Expr::name(&v.name)), Box::new(Expr::Int(c)))
+}
+
+fn gen_guard(rng: &mut Rng, vars: &[GenVar], depth: u32) -> Expr {
+    if depth == 0 || rng.below(2) == 0 {
+        return gen_cmp(rng, vars);
+    }
+    let a = Box::new(gen_guard(rng, vars, depth - 1));
+    let b = Box::new(gen_guard(rng, vars, depth - 1));
+    match rng.below(3) {
+        0 => Expr::Bin(BinOp::And, a, b),
+        1 => Expr::Bin(BinOp::Or, a, b),
+        _ => Expr::Not(a),
+    }
+}
+
+/// `min(max(x + d, 0), hi)` — always lands inside the declared range, so
+/// generated models can only fail expansion by deadlocking.
+fn gen_assign(rng: &mut Rng, v: &GenVar) -> Assign {
+    let d = rng.below(3) as i64 - 1;
+    let bumped = Expr::Bin(
+        BinOp::Add,
+        Box::new(Expr::name(&v.name)),
+        Box::new(Expr::Int(d)),
+    );
+    let clamped = Expr::Apply(
+        smg_lang::ast::Func::Min,
+        vec![
+            Expr::Apply(smg_lang::ast::Func::Max, vec![bumped, Expr::Int(0)]),
+            Expr::Int(v.hi),
+        ],
+    );
+    Assign {
+        var: v.name.clone(),
+        value: clamped,
+        pos: Pos::start(),
+    }
+}
+
+fn gen_program(seed: u64) -> Program {
+    let mut rng = Rng::new(seed);
+    let n_modules = 1 + rng.below(2) as usize;
+    let mut program = Program {
+        model_type: ModelType::Dtmc,
+        ..Program::default()
+    };
+    let mut all_vars: Vec<GenVar> = Vec::new();
+    let mut per_module: Vec<Vec<GenVar>> = Vec::new();
+    for mi in 0..n_modules {
+        let n_vars = 1 + rng.below(2) as usize;
+        let mut mine = Vec::new();
+        for vi in 0..n_vars {
+            let hi = 1 + rng.below(3) as i64;
+            let name = format!("m{mi}v{vi}");
+            mine.push(GenVar {
+                name: name.clone(),
+                hi,
+            });
+            all_vars.push(GenVar { name, hi });
+        }
+        per_module.push(mine);
+    }
+    for (mi, mine) in per_module.iter().enumerate() {
+        let mut module = Module {
+            name: format!("mod{mi}"),
+            vars: Vec::new(),
+            commands: Vec::new(),
+            pos: Pos::start(),
+        };
+        for v in mine {
+            module.vars.push(VarDecl {
+                name: v.name.clone(),
+                ty: DeclType::Range(Expr::Int(0), Expr::Int(v.hi)),
+                init: Some(Expr::Int(rng.below((v.hi + 1) as u64) as i64)),
+                pos: Pos::start(),
+            });
+        }
+        let n_cmds = 1 + rng.below(3) as usize;
+        for _ in 0..n_cmds {
+            // Guards may read any module's variables; writes stay local.
+            let guard = gen_guard(&mut rng, &all_vars, 2);
+            let two_way = rng.below(2) == 0;
+            let updates = if two_way {
+                vec![
+                    Update {
+                        prob: Expr::Double(0.5),
+                        assigns: vec![gen_assign(&mut rng, &mine[0])],
+                    },
+                    Update {
+                        prob: Expr::Double(0.5),
+                        assigns: mine
+                            .get(1)
+                            .map(|v| vec![gen_assign(&mut rng, v)])
+                            .unwrap_or_default(),
+                    },
+                ]
+            } else {
+                vec![Update {
+                    prob: Expr::Int(1),
+                    assigns: mine.iter().map(|v| gen_assign(&mut rng, v)).collect(),
+                }]
+            };
+            module.commands.push(Command {
+                action: None,
+                guard,
+                updates,
+                pos: Pos::start(),
+            });
+        }
+        program.modules.push(module);
+    }
+    program
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128 })]
+
+    #[test]
+    fn dead_guards_and_certain_deadlocks_are_never_false_positives(seed in 0u64..u64::MAX) {
+        // Render and re-parse so diagnostics carry real source positions.
+        let source = gen_program(seed).to_string();
+        let parsed = smg_lang::parse(&source).expect("generated program parses");
+        let checked = check(parsed).expect("generated program checks");
+        let report = lint(&checked);
+
+        let compiled = compile_any_with(
+            checked.clone(),
+            ExpandOptions { max_states: 100_000, allow_stutter: false },
+        );
+
+        // Certain deadlock => expansion really deadlocks.
+        let flagged_deadlock = report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == Code::CertainDeadlock);
+        if flagged_deadlock {
+            prop_assert!(
+                matches!(compiled, Err(LangError::Deadlock { .. })),
+                "lint claimed certain deadlock but expansion said {:?}\nmodel:\n{source}",
+                compiled.as_ref().map(|c| c.states.len()),
+            );
+        }
+
+        let Ok(compiled) = compiled else { return };
+        prop_assert!(!flagged_deadlock);
+
+        // Dead guard => never satisfied at any reachable state.
+        for d in report.diagnostics() {
+            if d.code != Code::DeadGuard {
+                continue;
+            }
+            let module = checked
+                .program
+                .modules
+                .iter()
+                .find(|m| Some(&m.name) == d.module.as_ref())
+                .expect("diagnostic names a real module");
+            let cmd = module
+                .commands
+                .iter()
+                .find(|c| c.pos == d.pos)
+                .expect("diagnostic points at a command");
+            for state in &compiled.states {
+                let mut vars = HashMap::new();
+                for (info, &raw) in checked.vars.iter().zip(state) {
+                    let v = if info.is_bool {
+                        Value::Bool(raw != 0)
+                    } else {
+                        Value::Int(raw)
+                    };
+                    vars.insert(info.name.as_str(), v);
+                }
+                let env = Env {
+                    vars,
+                    consts: &checked.consts,
+                    formulas: &checked.formulas,
+                };
+                let taken = matches!(
+                    eval(&cmd.guard, &env).map(|v| v.as_bool("soundness")),
+                    Ok(Ok(true))
+                );
+                prop_assert!(
+                    !taken,
+                    "dead-flagged guard `{}` fires at reachable state {state:?}\nmodel:\n{source}",
+                    cmd.guard,
+                );
+            }
+        }
+    }
+}

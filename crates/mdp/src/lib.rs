@@ -114,7 +114,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod explore;
 pub mod export;

@@ -59,7 +59,6 @@
 //! assert!(!obs::enabled());
 //! ```
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod capture;

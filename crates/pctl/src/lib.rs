@@ -116,7 +116,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod ast;
 pub mod check;

@@ -54,7 +54,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod bisim;
 pub mod lump;

@@ -22,7 +22,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod clocked;
 pub mod sat;

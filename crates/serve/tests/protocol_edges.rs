@@ -308,3 +308,75 @@ fn ttl_lapses_evict_idle_models() {
     assert!(registry.counter_value("smg_serve_evictions_total", Some("ttl")) >= 1);
     handle.shutdown();
 }
+
+#[test]
+fn lint_route_matches_cli_json_and_model_replies_carry_the_summary() {
+    let (handle, addr) = daemon(ServerConfig::default());
+
+    // A clean model: zero counts over the wire, byte-identical to an
+    // in-process render (the CLI's `smg lint --format json` calls the
+    // same function on the same checked program).
+    let body = format!("{{\"source\": {}}}", json::escape(DTMC));
+    let (s, b) = client::post(&addr, "/lint", &body).unwrap();
+    assert_eq!(s, 200, "{b}");
+    let expected =
+        smg_lint::lint(&smg_lang::check(smg_lang::parse(DTMC).unwrap()).unwrap()).render_json();
+    assert_eq!(b, expected);
+    let v = json::parse(&b).unwrap();
+    assert_eq!(
+        v.get("schema").and_then(json::Value::as_str),
+        Some("smg-lint/1")
+    );
+    assert_eq!(v.get("errors").and_then(json::Value::as_f64), Some(0.0));
+    assert_eq!(v.get("warnings").and_then(json::Value::as_f64), Some(0.0));
+
+    // A model with a dead guard still lints 200 — findings are data, not
+    // protocol errors — and the diagnostics carry code and position.
+    let dead = "dtmc\nmodule m\n  x : [0..3] init 0;\n  [] x < 3 -> (x'=x+1);\n  \
+                [] x = 3 -> true;\n  [] x > 3 -> (x'=0);\nendmodule\n";
+    let body = format!("{{\"source\": {}}}", json::escape(dead));
+    let (s, b) = client::post(&addr, "/lint", &body).unwrap();
+    assert_eq!(s, 200, "{b}");
+    let v = json::parse(&b).unwrap();
+    assert_eq!(v.get("warnings").and_then(json::Value::as_f64), Some(1.0));
+    let d = &v.get("diagnostics").unwrap().as_array().unwrap()[0];
+    assert_eq!(d.get("code").and_then(json::Value::as_str), Some("L001"));
+    assert_eq!(d.get("line").and_then(json::Value::as_f64), Some(6.0));
+
+    // `allow_stutter` stands the deadlock analysis down, as in the CLI.
+    let clocked = "dtmc\nmodule m\n  x : [0..3] init 0;\n  [] x < 3 -> (x'=x+1);\nendmodule\n";
+    let body = format!("{{\"source\": {}}}", json::escape(clocked));
+    let (s, b) = client::post(&addr, "/lint", &body).unwrap();
+    assert_eq!(s, 200, "{b}");
+    assert!(b.contains("L005"), "{b}");
+    let body = format!(
+        "{{\"source\": {}, \"allow_stutter\": true}}",
+        json::escape(clocked)
+    );
+    let (s, b) = client::post(&addr, "/lint", &body).unwrap();
+    assert_eq!(s, 200, "{b}");
+    assert!(!b.contains("L005"), "{b}");
+
+    // Malformed bodies and unparseable models are structured 400s.
+    let (s, b) = client::post(&addr, "/lint", "{\"source\": 7}").unwrap();
+    assert_structured(s, &b, 400, "source");
+    let (s, b) = client::post(&addr, "/lint", "{\"source\": \"dtmc garbage\"}").unwrap();
+    assert_structured(s, &b, 400, "model error");
+
+    // POST /models answers with the same counts inline, on both the
+    // compile and the cached path.
+    let body = format!("{{\"source\": {}}}", json::escape(dead));
+    for _ in 0..2 {
+        let (s, b) = client::post(&addr, "/models", &body).unwrap();
+        assert_eq!(s, 200, "{b}");
+        let v = json::parse(&b).unwrap();
+        let lint = v.get("lint").unwrap();
+        assert_eq!(lint.get("errors").and_then(json::Value::as_f64), Some(0.0));
+        assert_eq!(
+            lint.get("warnings").and_then(json::Value::as_f64),
+            Some(1.0)
+        );
+    }
+
+    handle.shutdown();
+}

@@ -36,7 +36,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod compare;
 pub mod detector_sim;

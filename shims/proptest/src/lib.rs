@@ -12,7 +12,6 @@
 //! `+`, `{m,n}`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod collection;
 pub mod runner;

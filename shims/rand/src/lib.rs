@@ -10,7 +10,6 @@
 //! cryptographically secure — neither is `SmallRng`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 /// A value that can be produced uniformly by an RNG.
 pub trait Standard {

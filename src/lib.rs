@@ -24,6 +24,7 @@
 //! | [`sim`] | `smg-sim` | Monte-Carlo baseline with confidence intervals |
 //! | [`core`] | `smg-core` | end-to-end analyzers producing the paper's tables |
 //! | [`lang`] | `smg-lang` | PRISM-style guarded-command modeling language and compiler |
+//! | [`lint`] | `smg-lint` | interval-domain static analysis of guarded-command models (dead guards, range escapes, certain deadlocks, …) |
 //!
 //! # Quickstart
 //!
@@ -44,12 +45,12 @@
 //! figure of the paper.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub use smg_core as core;
 pub use smg_detector as detector;
 pub use smg_dtmc as dtmc;
 pub use smg_lang as lang;
+pub use smg_lint as lint;
 pub use smg_mdp as mdp;
 pub use smg_pctl as pctl;
 pub use smg_reduce as reduce;
@@ -67,6 +68,7 @@ pub mod prelude {
     pub use smg_detector::{DetectorConfig, DetectorModel, SymmetricDetectorModel};
     pub use smg_dtmc::{explore, explore_memoryless, DtmcModel, ExploreOptions, MemorylessModel};
     pub use smg_lang::{compile_any, parse as lang_parse, CompiledAny};
+    pub use smg_lint::{lint as lang_lint, lint_with as lang_lint_with, LintOptions, LintReport};
     pub use smg_mdp::{explore as explore_mdp, MdpModel, Opt, ViOptions};
     pub use smg_pctl::{
         check_mdp_query, check_query, parse_property, AnyModel, CheckOptions, CheckResult,
